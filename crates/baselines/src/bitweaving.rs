@@ -1,0 +1,281 @@
+//! BitWeaving/V — vertical bit-parallel storage (Li & Patel [31],
+//! paper Section 2.2).
+//!
+//! Values are grouped into segments of 32; word `k` of a segment holds
+//! **bit `k` of all 32 values** (one bit per lane). The layout's selling
+//! point is *predicate evaluation without decoding*: a `< constant`
+//! scan walks the bit-planes most-significant-first with word-parallel
+//! logic, touching only `width` words per 32 values — and can stop
+//! early once every lane is decided. Full decoding, in contrast, must
+//! transpose the planes back, which is why the paper's horizontal
+//! layout wins for decompress-everything workloads.
+
+use tlc_bitpack::width::max_bits;
+use tlc_gpu_sim::{Device, GlobalBuffer, KernelConfig};
+
+/// Values per segment (one bit-plane word per bit of width).
+pub const SEGMENT: usize = 32;
+
+/// Segments per group. Within a group the words are *plane-major*
+/// (all plane-0 words contiguous, then plane 1, …), so a scan that only
+/// touches plane 0 reads a dense, coalesced run — the layout trick the
+/// original paper uses to keep scans sequential.
+pub const GROUP_SEGS: usize = 32;
+
+/// A BitWeaving/V-encoded column (host side). Non-negative values
+/// only (dictionary codes, as in the original paper).
+#[derive(Debug, Clone)]
+pub struct BitWeaving {
+    /// Logical value count.
+    pub total_count: usize,
+    /// Code width in bits.
+    pub width: u32,
+    /// Bit-plane words, grouped by [`GROUP_SEGS`] segments and
+    /// plane-major within each group; plane 0 = most significant bit.
+    pub planes: Vec<u32>,
+}
+
+/// Word index of (segment, plane) in the grouped plane-major layout.
+#[inline]
+fn word_index(seg: usize, plane: usize, width: usize) -> usize {
+    let group = seg / GROUP_SEGS;
+    let lane_seg = seg % GROUP_SEGS;
+    group * GROUP_SEGS * width + plane * GROUP_SEGS + lane_seg
+}
+
+impl BitWeaving {
+    /// Encode a column of non-negative values.
+    pub fn encode(values: &[i32]) -> Self {
+        assert!(values.iter().all(|&v| v >= 0), "BitWeaving stores codes (non-negative)");
+        let as_u: Vec<u32> = values.iter().map(|&v| v as u32).collect();
+        let width = max_bits(&as_u).max(1);
+        let segments = values.len().div_ceil(SEGMENT);
+        let padded_segs = segments.div_ceil(GROUP_SEGS) * GROUP_SEGS;
+        let mut planes = vec![0u32; padded_segs * width as usize];
+        for (i, &v) in as_u.iter().enumerate() {
+            let seg = i / SEGMENT;
+            let lane = i % SEGMENT;
+            for k in 0..width {
+                // Plane 0 holds the MSB.
+                let bit = (v >> (width - 1 - k)) & 1;
+                planes[word_index(seg, k as usize, width as usize)] |= bit << lane;
+            }
+        }
+        BitWeaving { total_count: values.len(), width, planes }
+    }
+
+    /// Compressed footprint in bytes.
+    pub fn compressed_bytes(&self) -> u64 {
+        self.planes.len() as u64 * 4 + 8
+    }
+
+    /// Compression rate in bits per integer.
+    pub fn bits_per_int(&self) -> f64 {
+        self.compressed_bytes() as f64 * 8.0 / self.total_count.max(1) as f64
+    }
+
+    /// Sequential reference decoder (plane transpose).
+    pub fn decode_cpu(&self) -> Vec<i32> {
+        let mut out = Vec::with_capacity(self.total_count);
+        let w = self.width as usize;
+        for i in 0..self.total_count {
+            let seg = i / SEGMENT;
+            let lane = i % SEGMENT;
+            let mut v = 0u32;
+            for k in 0..w {
+                let bit = (self.planes[word_index(seg, k, w)] >> lane) & 1;
+                v = (v << 1) | bit;
+            }
+            out.push(v as i32);
+        }
+        out
+    }
+
+    /// Scalar reference for `value < constant`.
+    pub fn scan_lt_cpu(&self, constant: i32) -> Vec<bool> {
+        self.decode_cpu().iter().map(|&v| v < constant).collect()
+    }
+
+    /// Upload to the device.
+    pub fn to_device(&self, dev: &Device) -> BitWeavingDevice {
+        BitWeavingDevice {
+            total_count: self.total_count,
+            width: self.width,
+            planes: dev.alloc_from_slice(&self.planes),
+        }
+    }
+}
+
+/// Device-resident BitWeaving/V column.
+#[derive(Debug)]
+pub struct BitWeavingDevice {
+    /// Logical value count.
+    pub total_count: usize,
+    /// Code width.
+    pub width: u32,
+    /// Bit-planes.
+    pub planes: GlobalBuffer<u32>,
+}
+
+/// Groups per thread block in the kernels.
+const GROUPS_PER_BLOCK: usize = 4;
+
+/// Predicate scan `value < constant` evaluated **directly on the
+/// bit-planes** (no decode): the classic BitWeaving column-scan with
+/// early termination — planes past the point where every lane's
+/// comparison is decided are never read.
+pub fn scan_lt(dev: &Device, col: &BitWeavingDevice, constant: i32) -> GlobalBuffer<u32> {
+    let segments = col.total_count.div_ceil(SEGMENT);
+    let mut out = dev.alloc_zeroed::<u32>(segments);
+    if col.total_count == 0 {
+        return out;
+    }
+    let w = col.width as usize;
+    let c = constant.max(0) as u32;
+    let groups = segments.div_ceil(GROUP_SEGS);
+    let grid = groups.div_ceil(GROUPS_PER_BLOCK);
+    let cfg = KernelConfig::new("bitweaving_scan_lt", grid, 128).regs_per_thread(26);
+    dev.launch(cfg, |ctx| {
+        let glo = ctx.block_id() * GROUPS_PER_BLOCK;
+        let ghi = (glo + GROUPS_PER_BLOCK).min(groups);
+        for g in glo..ghi {
+            let mut lt = [0u32; GROUP_SEGS];
+            let mut eq = [u32::MAX; GROUP_SEGS];
+            for k in 0..w {
+                // Early termination: every lane of every segment decided.
+                if eq.iter().all(|&e| e == 0) {
+                    break;
+                }
+                // Plane k of the whole group is one contiguous run.
+                let xs = ctx.read_coalesced(
+                    &col.planes,
+                    g * GROUP_SEGS * w + k * GROUP_SEGS,
+                    GROUP_SEGS,
+                );
+                ctx.add_int_ops(GROUP_SEGS as u64 * 5);
+                let c_k = if (c >> (col.width - 1 - k as u32)) & 1 == 1 { u32::MAX } else { 0 };
+                for (s, &x) in xs.iter().enumerate() {
+                    lt[s] |= eq[s] & !x & c_k;
+                    eq[s] &= !(x ^ c_k);
+                }
+            }
+            if constant < 0 {
+                lt = [0; GROUP_SEGS]; // nothing is < a negative constant
+            }
+            let lo_seg = g * GROUP_SEGS;
+            let keep = GROUP_SEGS.min(segments - lo_seg);
+            ctx.write_coalesced(&mut out, lo_seg, &lt[..keep]);
+        }
+    });
+    out
+}
+
+/// Full decode (plane transpose) — the expensive direction for this
+/// layout.
+pub fn decompress(dev: &Device, col: &BitWeavingDevice) -> GlobalBuffer<i32> {
+    let n = col.total_count;
+    let mut out = dev.alloc_zeroed::<i32>(n);
+    if n == 0 {
+        return out;
+    }
+    let segments = n.div_ceil(SEGMENT);
+    let w = col.width as usize;
+    let groups = segments.div_ceil(GROUP_SEGS);
+    let grid = groups.div_ceil(GROUPS_PER_BLOCK);
+    let cfg = KernelConfig::new("bitweaving_decompress", grid, 128).regs_per_thread(40);
+    dev.launch(cfg, |ctx| {
+        let glo = ctx.block_id() * GROUPS_PER_BLOCK;
+        let ghi = (glo + GROUPS_PER_BLOCK).min(groups);
+        for g in glo..ghi {
+            let words = ctx.read_coalesced(&col.planes, g * GROUP_SEGS * w, GROUP_SEGS * w);
+            // Transpose: per value, w shift/mask/or steps.
+            ctx.add_int_ops((GROUP_SEGS * SEGMENT * w) as u64);
+            let mut vals = Vec::with_capacity(GROUP_SEGS * SEGMENT);
+            let base = g * GROUP_SEGS * SEGMENT;
+            for seg in 0..GROUP_SEGS {
+                for lane in 0..SEGMENT {
+                    if base + seg * SEGMENT + lane >= n {
+                        break;
+                    }
+                    let mut v = 0u32;
+                    for k in 0..w {
+                        v = (v << 1) | ((words[k * GROUP_SEGS + seg] >> lane) & 1);
+                    }
+                    vals.push(v as i32);
+                }
+            }
+            ctx.write_coalesced(&mut out, base, &vals);
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<i32> {
+        (0..5000).map(|i| (i * 31) % 1000).collect()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let values = sample();
+        let enc = BitWeaving::encode(&values);
+        assert_eq!(enc.decode_cpu(), values);
+        let dev = Device::v100();
+        let out = decompress(&dev, &enc.to_device(&dev));
+        assert_eq!(out.as_slice_unaccounted(), values);
+    }
+
+    #[test]
+    fn scan_matches_scalar() {
+        let values = sample();
+        let enc = BitWeaving::encode(&values);
+        let dev = Device::v100();
+        let dcol = enc.to_device(&dev);
+        for constant in [0, 1, 500, 999, 1000, -5] {
+            let masks = scan_lt(&dev, &dcol, constant);
+            let expect = enc.scan_lt_cpu(constant);
+            for (i, &want) in expect.iter().enumerate() {
+                let got = (masks.as_slice_unaccounted()[i / 32] >> (i % 32)) & 1 == 1;
+                assert_eq!(got, want, "value {} < {constant}", values[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn scan_reads_less_than_decode() {
+        // The whole point of the layout: a selective scan touches only
+        // the planes needed to decide the comparison.
+        let values: Vec<i32> = (0..1 << 16).map(|i| (i % 512) + 512).collect(); // 10-bit codes
+        let enc = BitWeaving::encode(&values);
+        let dev = Device::v100();
+        let dcol = enc.to_device(&dev);
+        dev.reset_timeline();
+        // Constant 256: MSB of every value differs from the constant's,
+        // so the scan decides after ~1 plane.
+        let _ = scan_lt(&dev, &dcol, 256);
+        let scan_reads = dev.with_timeline(|t| t.total_traffic().global_read_segments);
+        dev.reset_timeline();
+        let _ = decompress(&dev, &dcol);
+        let decode_reads = dev.with_timeline(|t| t.total_traffic().global_read_segments);
+        assert!(scan_reads * 3 < decode_reads, "{scan_reads} vs {decode_reads}");
+    }
+
+    #[test]
+    fn width_is_exact() {
+        let enc = BitWeaving::encode(&[0, 1, 2, 3]);
+        assert_eq!(enc.width, 2);
+        // 1 group (padded to 32 segments) x 2 planes.
+        assert_eq!(enc.planes.len(), GROUP_SEGS * 2);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        for values in [vec![], vec![9i32]] {
+            let enc = BitWeaving::encode(&values);
+            assert_eq!(enc.decode_cpu(), values);
+        }
+    }
+}

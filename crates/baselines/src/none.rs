@@ -1,0 +1,120 @@
+//! Uncompressed columns ("None") and the streaming kernels used as the
+//! memory-bandwidth yardstick in Sections 4.2 and 9.2.
+
+use tlc_gpu_sim::{Device, GlobalBuffer, KernelConfig};
+
+/// Grid size for grid-stride streaming kernels: enough blocks to fill
+/// every SM without paying per-block overhead proportional to N.
+const STREAM_GRID: usize = 160;
+
+/// An uncompressed device column of 4-byte integers.
+#[derive(Debug)]
+pub struct NoneDevice {
+    /// The values.
+    pub data: GlobalBuffer<i32>,
+}
+
+impl NoneDevice {
+    /// Upload a plain column.
+    pub fn upload(dev: &Device, values: &[i32]) -> Self {
+        NoneDevice { data: dev.alloc_from_slice(values) }
+    }
+
+    /// Logical value count.
+    pub fn total_count(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Bytes a PCIe transfer would move.
+    pub fn size_bytes(&self) -> u64 {
+        self.data.size_bytes()
+    }
+
+    /// Compression rate: always 32 bits per integer.
+    pub fn bits_per_int(&self) -> f64 {
+        32.0
+    }
+}
+
+/// Stream-read the whole buffer into registers and discard — the
+/// "reading an uncompressed dataset takes 2.4 ms" yardstick.
+pub fn read_only(dev: &Device, col: &NoneDevice) {
+    stream(dev, col, None, "none_read");
+}
+
+/// Stream-copy the buffer to a fresh one (read + write): what "None"
+/// costs in the Figure 7a decompression comparison.
+pub fn copy(dev: &Device, col: &NoneDevice) -> GlobalBuffer<i32> {
+    let mut out = dev.alloc_zeroed::<i32>(col.data.len());
+    stream(dev, col, Some(&mut out), "none_copy");
+    out
+}
+
+fn stream(dev: &Device, col: &NoneDevice, mut out: Option<&mut GlobalBuffer<i32>>, name: &str) {
+    let n = col.data.len();
+    if n == 0 {
+        return;
+    }
+    let grid = STREAM_GRID.min(n.div_ceil(128));
+    let per_block = n.div_ceil(grid);
+    let cfg = KernelConfig::new(name, grid, 128).regs_per_thread(24);
+    dev.launch(cfg, |ctx| {
+        let start = ctx.block_id() * per_block;
+        let len = per_block.min(n.saturating_sub(start));
+        if len == 0 {
+            return;
+        }
+        let vals = ctx.read_coalesced(&col.data, start, len);
+        ctx.add_int_ops(len as u64);
+        if let Some(out) = out.as_deref_mut() {
+            ctx.write_coalesced(out, start, &vals);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copy_roundtrips() {
+        let dev = Device::v100();
+        let values: Vec<i32> = (0..10_000).map(|i| i * 3).collect();
+        let col = NoneDevice::upload(&dev, &values);
+        let out = copy(&dev, &col);
+        assert_eq!(out.as_slice_unaccounted(), values);
+    }
+
+    #[test]
+    fn read_traffic_matches_data_size() {
+        let dev = Device::v100();
+        let n = 1 << 20;
+        let col = NoneDevice::upload(&dev, &vec![1i32; n]);
+        dev.reset_timeline();
+        read_only(&dev, &col);
+        let segs = dev.with_timeline(|t| t.total_traffic().global_read_segments);
+        let ideal = (n as u64 * 4) / 128;
+        assert!(segs >= ideal && segs <= ideal + 2 * STREAM_GRID as u64);
+    }
+
+    #[test]
+    fn five_hundred_million_ints_read_in_2_4_ms() {
+        // The Section 4.2 yardstick: 2 GB at 880 GB/s ≈ 2.3 ms.
+        let dev = Device::v100();
+        let n_sim = 1 << 21;
+        let col = NoneDevice::upload(&dev, &vec![0i32; n_sim]);
+        dev.reset_timeline();
+        read_only(&dev, &col);
+        let t = dev.elapsed_seconds_scaled(500.0e6 / n_sim as f64);
+        assert!(t > 2.0e-3 && t < 2.6e-3, "t = {t}");
+    }
+
+    #[test]
+    fn empty_column() {
+        let dev = Device::v100();
+        let col = NoneDevice::upload(&dev, &[]);
+        read_only(&dev, &col);
+        let out = copy(&dev, &col);
+        assert!(out.is_empty());
+    }
+}

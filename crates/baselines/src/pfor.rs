@@ -1,0 +1,228 @@
+//! PFOR — patched frame of reference (Zukowski et al. [53], paper
+//! Section 2.2).
+//!
+//! Each 128-value block picks a bitwidth `b` covering ~90 % of its
+//! values; the rest become *exceptions* stored verbatim at the block's
+//! tail with their positions. Small outliers no longer inflate the
+//! packed width (the problem GPU-FOR solves with miniblocks), at the
+//! cost of a patch pass over the exception list during decode.
+
+use tlc_bitpack::horizontal::{extract, pack_into};
+use tlc_bitpack::width::bits_for;
+use tlc_gpu_sim::{Device, GlobalBuffer, KernelConfig};
+
+/// Values per block.
+pub const PFOR_BLOCK: usize = 128;
+
+/// Fraction of values the packed width must cover.
+const COVERAGE: f64 = 0.90;
+
+/// A PFOR-encoded column (host side).
+///
+/// Block layout in `data` (32-bit words):
+/// `[reference][bitwidth | n_exceptions << 8][packed 128 values]
+///  [exception positions packed at 8 bits][exception values verbatim]`.
+#[derive(Debug, Clone)]
+pub struct PFor {
+    /// Logical value count.
+    pub total_count: usize,
+    /// Word offset of each block (`blocks + 1` entries).
+    pub block_starts: Vec<u32>,
+    /// Block payloads.
+    pub data: Vec<u32>,
+}
+
+impl PFor {
+    /// Encode a column.
+    pub fn encode(values: &[i32]) -> Self {
+        let mut data = Vec::new();
+        let mut block_starts = Vec::new();
+        for chunk in values.chunks(PFOR_BLOCK) {
+            block_starts.push(data.len() as u32);
+            let reference = *chunk.iter().min().expect("chunk non-empty");
+            let mut offsets: Vec<u32> =
+                chunk.iter().map(|&v| (v as i64 - reference as i64) as u32).collect();
+            offsets.resize(PFOR_BLOCK, 0);
+
+            // Width covering COVERAGE of the values.
+            let mut sorted = offsets.clone();
+            sorted.sort_unstable();
+            let cover_idx = ((PFOR_BLOCK as f64 * COVERAGE).ceil() as usize - 1).min(PFOR_BLOCK - 1);
+            let width = bits_for(sorted[cover_idx]);
+            let limit = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+
+            let mut positions = Vec::new();
+            let mut exceptions = Vec::new();
+            let mut packed = offsets.clone();
+            for (i, off) in packed.iter_mut().enumerate() {
+                if *off > limit {
+                    positions.push(i as u32);
+                    exceptions.push(*off);
+                    *off = 0; // patched on decode
+                }
+            }
+            data.push(reference as u32);
+            data.push(width | (positions.len() as u32) << 8);
+            pack_into(&packed, width, &mut data);
+            pack_into(&positions, 8, &mut data);
+            data.extend_from_slice(&exceptions);
+        }
+        block_starts.push(data.len() as u32);
+        PFor { total_count: values.len(), block_starts, data }
+    }
+
+    /// Compressed footprint in bytes.
+    pub fn compressed_bytes(&self) -> u64 {
+        (self.data.len() + self.block_starts.len() + 3) as u64 * 4
+    }
+
+    /// Compression rate in bits per integer.
+    pub fn bits_per_int(&self) -> f64 {
+        self.compressed_bytes() as f64 * 8.0 / self.total_count.max(1) as f64
+    }
+
+    /// Decode one block from its word slice.
+    fn decode_block(block: &[u32]) -> Vec<i32> {
+        let reference = block[0] as i32;
+        let width = block[1] & 0xFF;
+        let n_exceptions = (block[1] >> 8) as usize;
+        let packed_words = (PFOR_BLOCK * width as usize).div_ceil(32);
+        let pos_words = (n_exceptions * 8).div_ceil(32);
+        let mut out: Vec<i32> = (0..PFOR_BLOCK)
+            .map(|i| {
+                let off = extract(&block[2..], i * width as usize, width);
+                reference.wrapping_add(off as i32)
+            })
+            .collect();
+        // Patch pass.
+        for e in 0..n_exceptions {
+            let pos = extract(&block[2 + packed_words..], e * 8, 8) as usize;
+            let value = block[2 + packed_words + pos_words + e];
+            out[pos] = reference.wrapping_add(value as i32);
+        }
+        out
+    }
+
+    /// Sequential reference decoder.
+    pub fn decode_cpu(&self) -> Vec<i32> {
+        let mut out = Vec::with_capacity(self.total_count);
+        for b in 0..self.block_starts.len() - 1 {
+            out.extend(Self::decode_block(&self.data[self.block_starts[b] as usize..]));
+        }
+        out.truncate(self.total_count);
+        out
+    }
+
+    /// Upload to the device.
+    pub fn to_device(&self, dev: &Device) -> PForDevice {
+        PForDevice {
+            total_count: self.total_count,
+            block_starts: dev.alloc_from_slice(&self.block_starts),
+            data: dev.alloc_from_slice(&self.data),
+        }
+    }
+}
+
+/// Device-resident PFOR column.
+#[derive(Debug)]
+pub struct PForDevice {
+    /// Logical value count.
+    pub total_count: usize,
+    /// Block offsets.
+    pub block_starts: GlobalBuffer<u32>,
+    /// Block payloads.
+    pub data: GlobalBuffer<u32>,
+}
+
+/// Decompress with a tile-style kernel (stage, unpack, patch).
+pub fn decompress(dev: &Device, col: &PForDevice) -> GlobalBuffer<i32> {
+    let n = col.total_count;
+    let mut out = dev.alloc_zeroed::<i32>(n);
+    if n == 0 {
+        return out;
+    }
+    let blocks = col.block_starts.len() - 1;
+    let d = 4;
+    let tiles = blocks.div_ceil(d);
+    let cfg = KernelConfig::new("pfor_decompress", tiles, 128)
+        .smem_per_block(d * PFOR_BLOCK * 4 + 64)
+        .regs_per_thread(34);
+    dev.launch(cfg, |ctx| {
+        let first = ctx.block_id() * d;
+        let tile_blocks = d.min(blocks - first);
+        let idx: Vec<usize> = (first..=first + tile_blocks).collect();
+        let starts = ctx.warp_gather(&col.block_starts, &idx);
+        let s = starts[0] as usize;
+        let e = *starts.last().expect("non-empty") as usize;
+        ctx.stage_to_shared(&col.data, s, e - s, 0);
+        ctx.smem_traffic(tile_blocks as u64 * PFOR_BLOCK as u64 * 14);
+        ctx.add_int_ops(tile_blocks as u64 * PFOR_BLOCK as u64 * 9);
+        let mut vals = Vec::with_capacity(tile_blocks * PFOR_BLOCK);
+        for &start in starts.iter().take(tile_blocks) {
+            vals.extend(PFor::decode_block(&ctx.shared()[start as usize - s..]));
+        }
+        let lo = first * PFOR_BLOCK;
+        let keep = vals.len().min(n - lo);
+        ctx.write_coalesced(&mut out, lo, &vals[..keep]);
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_uniform() {
+        let values: Vec<i32> = (0..5000).map(|i| (i * 37) % 900).collect();
+        let enc = PFor::encode(&values);
+        assert_eq!(enc.decode_cpu(), values);
+        let dev = Device::v100();
+        let out = decompress(&dev, &enc.to_device(&dev));
+        assert_eq!(out.as_slice_unaccounted(), values);
+    }
+
+    #[test]
+    fn roundtrip_with_outliers() {
+        let mut values: Vec<i32> = (0..5000).map(|i| i % 64).collect();
+        for i in (0..values.len()).step_by(100) {
+            values[i] = i32::MAX - i as i32; // 1% wild outliers
+        }
+        let enc = PFor::encode(&values);
+        assert_eq!(enc.decode_cpu(), values);
+        let dev = Device::v100();
+        let out = decompress(&dev, &enc.to_device(&dev));
+        assert_eq!(out.as_slice_unaccounted(), values);
+    }
+
+    #[test]
+    fn outliers_stay_cheap() {
+        // 1% outliers: PFOR packs the 99% at 6 bits and pays 4 bytes per
+        // exception; a single-width scheme would pay 31 bits everywhere.
+        let mut values: Vec<i32> = (0..12_800).map(|i| i % 64).collect();
+        for i in (0..values.len()).step_by(128) {
+            values[i] = 1 << 30;
+        }
+        let enc = PFor::encode(&values);
+        assert!(enc.bits_per_int() < 12.0, "{}", enc.bits_per_int());
+        let bp = crate::gpu_bp::GpuBp::encode(&values);
+        assert!(enc.compressed_bytes() * 2 < bp.compressed_bytes());
+    }
+
+    #[test]
+    fn no_exceptions_on_smooth_data() {
+        let values: Vec<i32> = (0..1280).map(|i| i % 50).collect();
+        let enc = PFor::encode(&values);
+        for b in 0..enc.block_starts.len() - 1 {
+            let block = &enc.data[enc.block_starts[b] as usize..];
+            assert_eq!(block[1] >> 8, 0, "block {b} has exceptions");
+        }
+    }
+
+    #[test]
+    fn partial_final_block() {
+        let values: Vec<i32> = (0..200).collect();
+        let enc = PFor::encode(&values);
+        assert_eq!(enc.decode_cpu(), values);
+    }
+}

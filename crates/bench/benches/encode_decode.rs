@@ -1,0 +1,62 @@
+//! Criterion benches: real CPU time of the encoders and of a full
+//! simulated decompression pass, one group per scheme.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tlc_bench::{sorted_unique, uniform_bits};
+use tlc_core::{EncodedColumn, Scheme};
+use tlc_gpu_sim::Device;
+
+const N: usize = 1 << 18;
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("encode");
+    g.throughput(Throughput::Elements(N as u64));
+    let uniform = uniform_bits(N, 16, 1);
+    let sorted = sorted_unique(N, 1 << 16);
+    let runs: Vec<i32> = (0..N).map(|i| (i / 64) as i32).collect();
+    for (scheme, data) in [
+        (Scheme::GpuFor, &uniform),
+        (Scheme::GpuDFor, &sorted),
+        (Scheme::GpuRFor, &runs),
+    ] {
+        g.bench_with_input(BenchmarkId::new("scheme", scheme.name()), data, |b, d| {
+            b.iter(|| EncodedColumn::encode_as(d, scheme).compressed_bytes())
+        });
+    }
+    g.finish();
+}
+
+fn bench_decompress_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decompress_simulated");
+    g.throughput(Throughput::Elements(N as u64));
+    g.sample_size(10);
+    let uniform = uniform_bits(N, 16, 2);
+    for scheme in Scheme::ALL {
+        let dev = Device::v100();
+        let col = EncodedColumn::encode_as(&uniform, scheme).to_device(&dev);
+        g.bench_with_input(BenchmarkId::new("scheme", scheme.name()), &col, |b, col| {
+            b.iter(|| {
+                dev.reset_timeline();
+                col.decode_only(&dev);
+                dev.elapsed_seconds()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_decode_cpu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decode_cpu");
+    g.throughput(Throughput::Elements(N as u64));
+    let uniform = uniform_bits(N, 16, 3);
+    for scheme in Scheme::ALL {
+        let col = EncodedColumn::encode_as(&uniform, scheme);
+        g.bench_with_input(BenchmarkId::new("scheme", scheme.name()), &col, |b, col| {
+            b.iter(|| col.decode_cpu().len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decompress_sim, bench_decode_cpu);
+criterion_main!(benches);

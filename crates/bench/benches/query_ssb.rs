@@ -1,0 +1,28 @@
+//! Criterion benches: full SSB query pipelines (generation excluded),
+//! comparing the inline GPU-* path against None and nvCOMP.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tlc_gpu_sim::Device;
+use tlc_ssb::{run_query, LoColumns, QueryId, SsbData, System};
+
+fn bench_queries(c: &mut Criterion) {
+    let data = SsbData::generate(0.01);
+    let mut g = c.benchmark_group("ssb");
+    g.sample_size(10);
+    for q in [QueryId::Q11, QueryId::Q21, QueryId::Q43] {
+        for sys in [System::None, System::GpuStar, System::NvComp] {
+            let dev = Device::v100();
+            let cols = LoColumns::build(&dev, &data, sys, q.columns());
+            g.bench_function(BenchmarkId::new(q.name(), sys.name()), |b| {
+                b.iter(|| {
+                    dev.reset_timeline();
+                    run_query(&dev, &data, &cols, q).len()
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion benches: the bit-level primitives everything is built on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tlc_bitpack::{pack_stream, unpack_stream, vertical_pack, vertical_unpack};
+
+const N: usize = 1 << 16;
+
+fn bench_horizontal(c: &mut Criterion) {
+    let mut g = c.benchmark_group("horizontal");
+    g.throughput(Throughput::Elements(N as u64));
+    for bw in [5u32, 13, 21, 32] {
+        let mask = if bw == 32 { u32::MAX } else { (1 << bw) - 1 };
+        let values: Vec<u32> = (0..N as u32).map(|i| i.wrapping_mul(2_654_435_761) & mask).collect();
+        g.bench_with_input(BenchmarkId::new("pack", bw), &values, |b, v| {
+            b.iter(|| pack_stream(v, bw).len())
+        });
+        let packed = pack_stream(&values, bw);
+        g.bench_with_input(BenchmarkId::new("unpack", bw), &packed, |b, p| {
+            b.iter(|| unpack_stream(p, bw, N).len())
+        });
+    }
+    g.finish();
+}
+
+fn bench_vertical(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vertical");
+    let lanes = 32;
+    let block = lanes * 32;
+    g.throughput(Throughput::Elements(block as u64));
+    for bw in [9u32, 17] {
+        let mask = (1u32 << bw) - 1;
+        let values: Vec<u32> = (0..block as u32).map(|i| i.wrapping_mul(48_271) & mask).collect();
+        g.bench_with_input(BenchmarkId::new("pack", bw), &values, |b, v| {
+            b.iter(|| vertical_pack(v, bw, lanes).len())
+        });
+        let packed = vertical_pack(&values, bw, lanes);
+        g.bench_with_input(BenchmarkId::new("unpack", bw), &packed, |b, p| {
+            b.iter(|| vertical_unpack(p, bw, lanes).len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_horizontal, bench_vertical);
+criterion_main!(benches);

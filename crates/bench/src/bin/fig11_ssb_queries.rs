@@ -1,0 +1,57 @@
+//! Figure 11 — end-to-end SSB query performance across systems.
+//!
+//! All 13 queries under OmniSci / Planner / GPU-BP / nvCOMP / GPU-* /
+//! None, plus the geomean. Paper: None is 1.35× faster than GPU-*;
+//! GPU-* beats Planner 4×, GPU-BP 2.4×, nvCOMP 2.6×, OmniSci 12×.
+
+use tlc_bench::{geomean, ms, print_table, sim_sf, PAPER_SF};
+use tlc_gpu_sim::Device;
+use tlc_ssb::{run_query, LoColumns, QueryId, SsbData, System};
+
+fn main() {
+    let sf = sim_sf();
+    let scale = PAPER_SF / sf;
+    println!("Figure 11: SSB queries (SF_sim = {sf}, scaled to SF {PAPER_SF})");
+    let data = SsbData::generate(sf);
+    let dev = Device::v100();
+
+    let mut rows = Vec::new();
+    let mut per_system: Vec<Vec<f64>> = vec![Vec::new(); System::ALL.len()];
+    for q in QueryId::ALL {
+        let mut row = vec![q.name().to_string()];
+        let mut reference: Option<Vec<(u64, u64)>> = None;
+        for (i, sys) in System::ALL.iter().enumerate() {
+            let cols = LoColumns::build(&dev, &data, *sys, q.columns());
+            dev.reset_timeline();
+            let result = run_query(&dev, &data, &cols, q);
+            let t = dev.elapsed_seconds_scaled(scale);
+            per_system[i].push(t);
+            row.push(ms(t));
+            match &reference {
+                None => reference = Some(result),
+                Some(r) => assert_eq!(&result, r, "{} under {:?} diverged", q.name(), sys),
+            }
+        }
+        rows.push(row);
+    }
+    let mut gm_row = vec!["geomean".to_string()];
+    for times in &per_system {
+        gm_row.push(ms(geomean(times)));
+    }
+    rows.push(gm_row);
+
+    let header: Vec<&str> = std::iter::once("query")
+        .chain(System::ALL.iter().map(|s| s.name()))
+        .collect();
+    print_table("Figure 11 (model ms)", &header, &rows);
+
+    let gm: Vec<f64> = per_system.iter().map(|t| geomean(t)).collect();
+    let star = gm[4];
+    println!("\nspeedup of GPU-* vs:");
+    for (i, sys) in System::ALL.iter().enumerate() {
+        if i != 4 {
+            println!("  {:8}: {:.2}x", sys.name(), gm[i] / star);
+        }
+    }
+    println!("paper: OmniSci 12x, Planner 4x, GPU-BP 2.4x, nvCOMP 2.6x slower than GPU-*; None 1.35x faster");
+}

@@ -1,0 +1,117 @@
+//! Figure 12 — GPU as a coprocessor (Section 9.5).
+//!
+//! Data starts on the CPU; each query ships its columns over 12.8 GB/s
+//! bidirectional PCIe, then decodes and executes on the GPU. Compressed
+//! transfers (GPU-*) vs uncompressed (None) on q1.1 / q2.1 / q3.1 /
+//! q4.1. Paper: 2.3× faster with compression.
+
+use tlc_bench::{geomean, ms, print_table, sim_sf, PAPER_SF};
+use tlc_gpu_sim::Device;
+use tlc_ssb::{run_query, LoColumns, QueryId, SsbData, System};
+
+fn main() {
+    let sf = sim_sf();
+    let scale = PAPER_SF / sf;
+    println!("Figure 12: coprocessor model (SF_sim = {sf}, scaled to SF {PAPER_SF})");
+    let data = SsbData::generate(sf);
+    let dev = Device::v100();
+
+    let queries = [QueryId::Q11, QueryId::Q21, QueryId::Q31, QueryId::Q41];
+    let mut rows = Vec::new();
+    let mut none_times = Vec::new();
+    let mut star_times = Vec::new();
+    for q in queries {
+        let mut row = vec![q.name().to_string()];
+        for sys in [System::None, System::GpuStar] {
+            let cols = LoColumns::build(&dev, &data, sys, q.columns());
+            dev.reset_timeline();
+            // Ship every needed column over PCIe, then run the query.
+            dev.pcie_transfer(cols.size_bytes());
+            let _ = run_query(&dev, &data, &cols, q);
+            let t = dev.elapsed_seconds_scaled(scale);
+            row.push(ms(t));
+            if sys == System::None {
+                none_times.push(t);
+            } else {
+                star_times.push(t);
+            }
+        }
+        let n = none_times.last().expect("pushed");
+        let s = star_times.last().expect("pushed");
+        row.push(format!("{:.2}x", n / s));
+        rows.push(row);
+    }
+    rows.push(vec![
+        "geomean".to_string(),
+        ms(geomean(&none_times)),
+        ms(geomean(&star_times)),
+        format!("{:.2}x", geomean(&none_times) / geomean(&star_times)),
+    ]);
+
+    print_table(
+        "Figure 12 (model ms, PCIe transfer + decompress + query)",
+        &["query", "None", "GPU-*", "speedup"],
+        &rows,
+    );
+    println!("\npaper: compression makes the coprocessor path 2.3x faster");
+
+    // Out-of-core extension (Section 8): chunked transfers overlapped
+    // with execution. The PCIe leg still dominates, so compression's
+    // advantage converges to the raw compression ratio.
+    let mut rows = Vec::new();
+    for q in queries {
+        let mut row = vec![q.name().to_string()];
+        let mut times = Vec::new();
+        for sys in [System::None, System::GpuStar] {
+            let cols = LoColumns::build(&dev, &data, sys, q.columns());
+            // Measure the pure query/decompress leg first.
+            dev.reset_timeline();
+            let _ = run_query(&dev, &data, &cols, q);
+            let compute = dev.elapsed_seconds_scaled(scale);
+            dev.reset_timeline();
+            dev.pcie_transfer_overlapped(
+                (cols.size_bytes() as f64 * scale) as u64,
+                compute,
+                16,
+            );
+            let t = dev.elapsed_seconds();
+            times.push(t);
+            row.push(ms(t));
+        }
+        row.push(format!("{:.2}x", times[0] / times[1]));
+        rows.push(row);
+    }
+    print_table(
+        "Out-of-core with overlapped (double-buffered) transfers",
+        &["query", "None", "GPU-*", "speedup"],
+        &rows,
+    );
+
+    // NVLink variant (Lutz et al. [32], Section 2.3): a ~12x faster
+    // interconnect shrinks the transfer leg; compression still helps,
+    // but the decompress/query leg starts to matter again.
+    let mut nv_params = tlc_gpu_sim::DeviceParams::v100();
+    nv_params.pcie_bw = 150.0e9;
+    let nv = tlc_gpu_sim::Device::with_params(nv_params);
+    let mut rows = Vec::new();
+    for q in [QueryId::Q11, QueryId::Q41] {
+        let mut row = vec![q.name().to_string()];
+        let mut times = Vec::new();
+        for sys in [System::None, System::GpuStar] {
+            let cols = LoColumns::build(&nv, &data, sys, q.columns());
+            nv.reset_timeline();
+            nv.pcie_transfer(cols.size_bytes());
+            let _ = run_query(&nv, &data, &cols, q);
+            let t = nv.elapsed_seconds_scaled(scale);
+            times.push(t);
+            row.push(ms(t));
+        }
+        row.push(format!("{:.2}x", times[0] / times[1]));
+        rows.push(row);
+    }
+    print_table(
+        "NVLink-class interconnect (150 GB/s)",
+        &["query", "None", "GPU-*", "speedup"],
+        &rows,
+    );
+}

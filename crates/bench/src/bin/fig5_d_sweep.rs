@@ -1,0 +1,44 @@
+//! Figure 5 — decompression performance with varying number of data
+//! blocks per thread block (`D ∈ {1, 2, 4, 8, 16, 32}`), against None.
+//!
+//! Paper shape: big win from D=1 → 4, marginal gains to D=16,
+//! significant deterioration at D=32 (occupancy + register spilling).
+
+use tlc_bench::{ms, print_table, sim_n, uniform_bits, PAPER_N_SEC4};
+use tlc_core::gpu_for::{decode_only, GpuFor};
+use tlc_core::ForDecodeOpts;
+use tlc_gpu_sim::Device;
+
+fn main() {
+    let n = sim_n();
+    let scale = PAPER_N_SEC4 as f64 / n as f64;
+    println!("Figure 5: D sweep (N_sim = {n}, scaled to {PAPER_N_SEC4})");
+
+    let values = uniform_bits(n, 16, 5);
+    let dev = Device::v100();
+    let col = GpuFor::encode(&values).to_device(&dev);
+    let plain = tlc_baselines::none::NoneDevice::upload(&dev, &values);
+
+    let mut rows = Vec::new();
+    for d in [1usize, 2, 4, 8, 16, 32] {
+        dev.reset_timeline();
+        decode_only(&dev, &col, ForDecodeOpts::with_d(d));
+        let occupancy =
+            dev.with_timeline(|t| t.events().last().map(|e| e.occupancy).unwrap_or(0.0));
+        rows.push(vec![
+            format!("GPU-FOR D={d}"),
+            ms(dev.elapsed_seconds_scaled(scale)),
+            format!("{:.0}%", occupancy * 100.0),
+        ]);
+    }
+    dev.reset_timeline();
+    tlc_baselines::none::read_only(&dev, &plain);
+    rows.push(vec![
+        "None".to_string(),
+        ms(dev.elapsed_seconds_scaled(scale)),
+        "100%".to_string(),
+    ]);
+
+    print_table("Figure 5", &["config", "model ms", "occupancy"], &rows);
+    println!("\npaper shape: ~7 / ~4 / 2.4 / 2.3 / 2.2 / ~5.5 ms; None ≈ 2.4 ms");
+}

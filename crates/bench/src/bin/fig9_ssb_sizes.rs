@@ -1,0 +1,58 @@
+//! Figure 9 — compression waterfall for the SSB lineorder columns:
+//! per-column compressed size under None / Planner / GPU-BP / nvCOMP /
+//! GPU-*, plus the mean.
+//!
+//! Paper shape: GPU-* reduces total footprint 2.8× vs None, beats
+//! GPU-BP by 50 % and Planner by 40 %, and edges nvCOMP by ~2 %.
+
+use tlc_bench::{print_table, sim_sf, PAPER_SF};
+use tlc_ssb::{LoColumn, SsbData, System};
+
+fn main() {
+    let sf = sim_sf();
+    let scale = PAPER_SF / sf;
+    println!("Figure 9: SSB column sizes (SF_sim = {sf}, scaled to SF {PAPER_SF})");
+    let data = SsbData::generate(sf);
+    let systems = [
+        System::None,
+        System::Planner,
+        System::GpuBp,
+        System::NvComp,
+        System::GpuStar,
+    ];
+
+    let mut rows = Vec::new();
+    let mut totals = vec![0u64; systems.len()];
+    for col in LoColumn::ALL {
+        let values = data.lineorder.column(col);
+        let mut row = vec![col.name().to_string()];
+        for (i, sys) in systems.iter().enumerate() {
+            let bytes = sys.column_bytes(values);
+            totals[i] += bytes;
+            row.push(format!("{:.1}", bytes as f64 * scale / 1e6));
+        }
+        rows.push(row);
+    }
+    let mut mean = vec!["mean".to_string()];
+    for t in &totals {
+        mean.push(format!("{:.1}", *t as f64 * scale / LoColumn::ALL.len() as f64 / 1e6));
+    }
+    rows.push(mean);
+
+    print_table(
+        "Figure 9 (MB, scaled to SF 20)",
+        &["column", "None", "Planner", "GPU-BP", "nvCOMP", "GPU-*"],
+        &rows,
+    );
+    let none = totals[0] as f64;
+    println!("\ntotals: None {:.0} MB", none * scale / 1e6);
+    for (i, sys) in systems.iter().enumerate().skip(1) {
+        println!(
+            "  {}: {:.0} MB  ({:.2}x smaller than None)",
+            sys.name(),
+            totals[i] as f64 * scale / 1e6,
+            none / totals[i] as f64
+        );
+    }
+    println!("paper: GPU-* 2.8x vs None; 50% better than GPU-BP; 40% better than Planner; ~2% better than nvCOMP");
+}

@@ -1,0 +1,32 @@
+//! # tlc-bitpack — bit-level integer packing primitives
+//!
+//! Pure-CPU building blocks shared by every compression scheme in the
+//! workspace:
+//!
+//! * [`width`] — effective-bitwidth computation (`⌈log2(max+1)⌉`).
+//! * [`horizontal`] — LSB-first horizontal layout: the compressed
+//!   representation of subsequent values sits in subsequent bit
+//!   positions, ignoring word boundaries (the layout of GPU-FOR /
+//!   SIMD-scan; paper Section 4.1). Extraction follows Algorithm 1's
+//!   64-bit window: `(w[i] | w[i+1] << 32) >> start_bit & mask`.
+//! * [`vertical`] — lane-striped vertical layout (SIMD-BP128 /
+//!   GPU-SIMDBP128; paper Section 4.3 and Figure 1): value `j` of a
+//!   block lives in lane `j % lanes`, and each lane's words are
+//!   interleaved so lane `l` reads words `l, l + lanes, …`.
+//!
+//! All functions are deterministic, allocation-conscious, and defined
+//! for bitwidths 0..=32 inclusive (bitwidth 0 encodes a run of zeros in
+//! zero space).
+
+pub mod horizontal;
+pub mod vertical;
+pub mod width;
+
+pub use horizontal::{extract, pack_into, pack_stream, unpack_stream, words_for};
+pub use vertical::{vertical_pack, vertical_unpack};
+pub use width::{bits_for, max_bits};
+
+/// Values per miniblock in the paper's formats: 32, so a miniblock of
+/// any bitwidth `b` occupies exactly `b` 32-bit words and always ends on
+/// a word boundary (Section 4.1).
+pub const MINIBLOCK: usize = 32;

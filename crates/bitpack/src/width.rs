@@ -1,0 +1,38 @@
+//! Effective-bitwidth computation.
+
+/// Number of bits needed to represent `v`: `⌈log2(v + 1)⌉`.
+/// `bits_for(0) == 0`, `bits_for(u32::MAX) == 32`.
+#[inline]
+pub fn bits_for(v: u32) -> u32 {
+    32 - v.leading_zeros()
+}
+
+/// Bits needed for the largest value in `values` (0 for an empty slice).
+#[inline]
+pub fn max_bits(values: &[u32]) -> u32 {
+    bits_for(values.iter().copied().max().unwrap_or(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries() {
+        assert_eq!(bits_for(0), 0);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 2);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(4), 3);
+        assert_eq!(bits_for((1 << 16) - 1), 16);
+        assert_eq!(bits_for(1 << 16), 17);
+        assert_eq!(bits_for(u32::MAX), 32);
+    }
+
+    #[test]
+    fn max_bits_of_slice() {
+        assert_eq!(max_bits(&[]), 0);
+        assert_eq!(max_bits(&[0, 0]), 0);
+        assert_eq!(max_bits(&[5, 130, 2]), 8);
+    }
+}

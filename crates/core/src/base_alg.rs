@@ -1,0 +1,108 @@
+//! The *base* Algorithm 1 of the paper, with **no** optimizations:
+//! every request — block start, reference, bitwidth word, and the
+//! 8-byte element window — goes straight to global memory, one thread
+//! per element. Kept as the first rung of the Section 4.2 ladder
+//! ("This algorithm takes 18 ms … 7.5× slower than reading the
+//! uncompressed data").
+
+use tlc_bitpack::horizontal::extract;
+use tlc_gpu_sim::{Device, KernelConfig, WARP_SIZE};
+
+use crate::format::{BLOCK, BLOCK_HEADER_WORDS};
+use crate::gpu_for::GpuForDevice;
+
+/// Decode the whole column with the unoptimized per-thread algorithm,
+/// discarding results (decode-into-registers, as in Section 4.2).
+///
+/// Traffic per warp (32 threads, all within one data block):
+/// a broadcast read of the block start, the reference and the bitwidth
+/// word, plus a gather of each thread's two window words. Without an
+/// L1-cache model the broadcasts are charged once per warp, which is
+/// what makes this ~6-8× slower than a plain read — matching the
+/// paper's observed 7.5×.
+pub fn decode_only_base(dev: &Device, col: &GpuForDevice) {
+    let blocks = col.blocks();
+    let cfg = KernelConfig::new("gpu_for_base_alg", blocks, BLOCK).regs_per_thread(30);
+    dev.launch(cfg, |ctx| {
+        let block_id = ctx.block_id();
+        let warps = BLOCK / WARP_SIZE;
+        for warp in 0..warps {
+            // Broadcast reads, one transaction each per warp.
+            let block_start =
+                ctx.warp_gather(&col.block_starts, &[block_id; WARP_SIZE])[0] as usize;
+            let reference = ctx.warp_gather(&col.data, &[block_start; WARP_SIZE])[0] as i32;
+            let bw_word = ctx.warp_gather(&col.data, &[block_start + 1; WARP_SIZE])[0];
+
+            // Each warp handles one miniblock (warp w = miniblock w);
+            // lines 8-10 of Algorithm 1 walk the bitwidth word.
+            let mut offset = 0u32;
+            let mut word = bw_word;
+            for _ in 0..warp {
+                offset += word & 0xFF;
+                word >>= 8;
+            }
+            let width = word & 0xFF;
+            // Offset loop runs redundantly on every thread: ~3 ops per
+            // iteration per thread.
+            ctx.add_int_ops((WARP_SIZE * (3 * warp + 10)) as u64);
+
+            // The 8-byte element windows: one gather of the two words.
+            let mb_start = block_start + BLOCK_HEADER_WORDS + offset as usize;
+            let idx: Vec<usize> = (0..WARP_SIZE)
+                .map(|t| mb_start + (width as usize * t) / 32)
+                .collect();
+            let lo = ctx.warp_gather(&col.data, &idx);
+            let idx2: Vec<usize> = idx.iter().map(|&i| (i + 1).min(col.data.len() - 1)).collect();
+            let hi = ctx.warp_gather(&col.data, &idx2);
+
+            for t in 0..WARP_SIZE {
+                let start_bit = (width as usize * t) % 32;
+                let words = [lo[t], hi[t]];
+                let v = extract(&words, start_bit, width);
+                let _decoded = reference.wrapping_add(v as i32);
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::ForDecodeOpts;
+    use crate::gpu_for::{decode_only, GpuFor};
+
+    #[test]
+    fn base_is_much_slower_than_optimized() {
+        // Large enough that traffic dominates the fixed launch overhead.
+        let values: Vec<i32> = (0..1 << 20).map(|i| (i * 31) % (1 << 16)).collect();
+        let enc = GpuFor::encode(&values);
+        let dev = Device::v100();
+        let dcol = enc.to_device(&dev);
+
+        dev.reset_timeline();
+        decode_only_base(&dev, &dcol);
+        let base = dev.elapsed_seconds();
+
+        dev.reset_timeline();
+        decode_only(&dev, &dcol, ForDecodeOpts::default());
+        let optimized = dev.elapsed_seconds();
+
+        assert!(
+            base > optimized * 2.5,
+            "base = {base}, optimized = {optimized}"
+        );
+    }
+
+    #[test]
+    fn base_reads_many_more_segments_than_data() {
+        let values: Vec<i32> = (0..1 << 14).map(|i| i % (1 << 16)).collect();
+        let enc = GpuFor::encode(&values);
+        let dev = Device::v100();
+        let dcol = enc.to_device(&dev);
+        dev.reset_timeline();
+        decode_only_base(&dev, &dcol);
+        let segs = dev.with_timeline(|t| t.total_traffic().global_read_segments);
+        let ideal = enc.compressed_bytes() / 128;
+        assert!(segs > ideal * 4, "segs = {segs}, ideal = {ideal}");
+    }
+}

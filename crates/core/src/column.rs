@@ -1,0 +1,294 @@
+//! Encoded columns and the GPU-* scheme chooser.
+//!
+//! Section 8 of the paper: "The rule-of-thumb when choosing a
+//! compression scheme is to use the one that has the lowest storage
+//! footprint for each column" — tile-based decompression makes every
+//! scheme decode at close to memory bandwidth, so no decompression-cost
+//! planner is needed. The hybrid that picks the smallest of GPU-FOR /
+//! GPU-DFOR / GPU-RFOR per column is what the paper calls **GPU-\***.
+//!
+//! With the default `D = 4`, all three schemes decode in uniform tiles
+//! of [`TILE`] = 512 values, which is what the Crystal integration
+//! iterates over.
+
+use tlc_gpu_sim::{BlockCtx, Device, GlobalBuffer};
+
+use crate::format::{ForDecodeOpts, BLOCK, DEFAULT_D, RFOR_BLOCK};
+use crate::gpu_dfor::{self, GpuDFor, GpuDForDevice};
+use crate::gpu_for::{self, GpuFor, GpuForDevice};
+use crate::gpu_rfor::{self, GpuRFor, GpuRForDevice};
+use crate::model::decode_config;
+
+/// Values per decode tile for every scheme at the default `D`.
+pub const TILE: usize = RFOR_BLOCK;
+
+/// Which compression scheme a column uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Frame-of-reference + bit packing.
+    GpuFor,
+    /// Delta + FOR + bit packing.
+    GpuDFor,
+    /// RLE + FOR + bit packing.
+    GpuRFor,
+}
+
+impl Scheme {
+    /// All schemes, in paper order.
+    pub const ALL: [Scheme; 3] = [Scheme::GpuFor, Scheme::GpuDFor, Scheme::GpuRFor];
+
+    /// Display name as used in the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheme::GpuFor => "GPU-FOR",
+            Scheme::GpuDFor => "GPU-DFOR",
+            Scheme::GpuRFor => "GPU-RFOR",
+        }
+    }
+}
+
+/// A host-side column encoded with one of the three schemes.
+#[derive(Debug, Clone)]
+pub enum EncodedColumn {
+    /// GPU-FOR payload.
+    For(GpuFor),
+    /// GPU-DFOR payload.
+    DFor(GpuDFor),
+    /// GPU-RFOR payload.
+    RFor(GpuRFor),
+}
+
+impl EncodedColumn {
+    /// Encode with an explicit scheme (at the default `D = 4`).
+    pub fn encode_as(values: &[i32], scheme: Scheme) -> Self {
+        match scheme {
+            Scheme::GpuFor => EncodedColumn::For(GpuFor::encode(values)),
+            Scheme::GpuDFor => EncodedColumn::DFor(GpuDFor::encode_with_d(values, DEFAULT_D)),
+            Scheme::GpuRFor => EncodedColumn::RFor(GpuRFor::encode(values)),
+        }
+    }
+
+    /// GPU-*: encode with whichever scheme yields the smallest
+    /// footprint (ties broken in paper order: FOR, DFOR, RFOR).
+    pub fn encode_best(values: &[i32]) -> Self {
+        Scheme::ALL
+            .iter()
+            .map(|&s| Self::encode_as(values, s))
+            .min_by_key(EncodedColumn::compressed_bytes)
+            .expect("at least one scheme")
+    }
+
+    /// The scheme this column uses.
+    pub fn scheme(&self) -> Scheme {
+        match self {
+            EncodedColumn::For(_) => Scheme::GpuFor,
+            EncodedColumn::DFor(_) => Scheme::GpuDFor,
+            EncodedColumn::RFor(_) => Scheme::GpuRFor,
+        }
+    }
+
+    /// Logical value count.
+    pub fn total_count(&self) -> usize {
+        match self {
+            EncodedColumn::For(c) => c.total_count,
+            EncodedColumn::DFor(c) => c.total_count,
+            EncodedColumn::RFor(c) => c.total_count,
+        }
+    }
+
+    /// Compressed footprint in bytes.
+    pub fn compressed_bytes(&self) -> u64 {
+        match self {
+            EncodedColumn::For(c) => c.compressed_bytes(),
+            EncodedColumn::DFor(c) => c.compressed_bytes(),
+            EncodedColumn::RFor(c) => c.compressed_bytes(),
+        }
+    }
+
+    /// Compression rate in bits per integer.
+    pub fn bits_per_int(&self) -> f64 {
+        self.compressed_bytes() as f64 * 8.0 / self.total_count().max(1) as f64
+    }
+
+    /// Sequential reference decoder.
+    pub fn decode_cpu(&self) -> Vec<i32> {
+        match self {
+            EncodedColumn::For(c) => c.decode_cpu(),
+            EncodedColumn::DFor(c) => c.decode_cpu(),
+            EncodedColumn::RFor(c) => c.decode_cpu(),
+        }
+    }
+
+    /// Upload to the simulated device.
+    pub fn to_device(&self, dev: &Device) -> DeviceColumn {
+        match self {
+            EncodedColumn::For(c) => DeviceColumn::For(c.to_device(dev)),
+            EncodedColumn::DFor(c) => DeviceColumn::DFor(c.to_device(dev)),
+            EncodedColumn::RFor(c) => DeviceColumn::RFor(c.to_device(dev)),
+        }
+    }
+}
+
+/// A device-resident encoded column, decodable tile by tile from inside
+/// any kernel.
+#[derive(Debug)]
+pub enum DeviceColumn {
+    /// GPU-FOR payload.
+    For(GpuForDevice),
+    /// GPU-DFOR payload.
+    DFor(GpuDForDevice),
+    /// GPU-RFOR payload.
+    RFor(GpuRForDevice),
+}
+
+impl DeviceColumn {
+    /// Logical value count.
+    pub fn total_count(&self) -> usize {
+        match self {
+            DeviceColumn::For(c) => c.total_count,
+            DeviceColumn::DFor(c) => c.total_count,
+            DeviceColumn::RFor(c) => c.total_count,
+        }
+    }
+
+    /// Number of 512-value decode tiles.
+    pub fn tiles(&self) -> usize {
+        self.total_count().div_ceil(TILE)
+    }
+
+    /// Bytes a PCIe transfer of this column would move.
+    pub fn size_bytes(&self) -> u64 {
+        match self {
+            DeviceColumn::For(c) => c.size_bytes(),
+            DeviceColumn::DFor(c) => c.size_bytes(),
+            DeviceColumn::RFor(c) => c.size_bytes(),
+        }
+    }
+
+    /// **Device function**: decode tile `tile_id` (512 values) into
+    /// `out`, dispatching to `LoadBitPack` / `LoadDBitPack` /
+    /// `LoadRBitPack`. Returns the logical value count of the tile.
+    pub fn load_tile(&self, ctx: &mut BlockCtx<'_>, tile_id: usize, out: &mut Vec<i32>) -> usize {
+        match self {
+            DeviceColumn::For(c) => {
+                gpu_for::load_tile(ctx, c, tile_id, ForDecodeOpts::default(), out)
+            }
+            DeviceColumn::DFor(c) => {
+                debug_assert_eq!(c.d * BLOCK, TILE, "DFOR tile depth must match TILE");
+                gpu_dfor::load_tile(ctx, c, tile_id, out)
+            }
+            DeviceColumn::RFor(c) => gpu_rfor::load_tile(ctx, c, tile_id, out),
+        }
+    }
+
+    /// Standalone decompression kernel: decode everything and write the
+    /// plain values back to global memory.
+    pub fn decompress(&self, dev: &Device) -> GlobalBuffer<i32> {
+        match self {
+            DeviceColumn::For(c) => gpu_for::decompress(dev, c, ForDecodeOpts::default()),
+            DeviceColumn::DFor(c) => gpu_dfor::decompress(dev, c),
+            DeviceColumn::RFor(c) => gpu_rfor::decompress(dev, c),
+        }
+    }
+
+    /// Decode-only kernel (no write-back).
+    pub fn decode_only(&self, dev: &Device) {
+        match self {
+            DeviceColumn::For(c) => gpu_for::decode_only(dev, c, ForDecodeOpts::default()),
+            DeviceColumn::DFor(c) => gpu_dfor::decode_only(dev, c),
+            DeviceColumn::RFor(c) => gpu_rfor::decode_only(dev, c),
+        }
+    }
+
+    /// Shared memory one tile-decode of this column needs inside a
+    /// fused query kernel.
+    pub fn tile_smem(&self) -> usize {
+        match self {
+            DeviceColumn::For(_) | DeviceColumn::DFor(_) => crate::model::stage_smem(DEFAULT_D),
+            DeviceColumn::RFor(_) => gpu_rfor::rfor_smem(),
+        }
+    }
+
+    /// A kernel config suitable for a per-tile kernel over this column.
+    pub fn tile_kernel_config(&self, name: &str, extra_live: usize) -> tlc_gpu_sim::KernelConfig {
+        let cfg = decode_config(name, self.tiles(), DEFAULT_D, extra_live);
+        match self {
+            DeviceColumn::RFor(_) => cfg.smem_per_block(gpu_rfor::rfor_smem()),
+            _ => cfg,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chooser_prefers_dfor_on_sorted_data() {
+        let values: Vec<i32> = (0..1 << 14).collect();
+        let col = EncodedColumn::encode_best(&values);
+        assert_eq!(col.scheme(), Scheme::GpuDFor);
+    }
+
+    #[test]
+    fn chooser_prefers_rfor_on_runs() {
+        let values: Vec<i32> = (0..1 << 14).map(|i| i / 256).collect();
+        let col = EncodedColumn::encode_best(&values);
+        assert_eq!(col.scheme(), Scheme::GpuRFor);
+    }
+
+    #[test]
+    fn chooser_prefers_for_on_uniform_random() {
+        let values: Vec<i32> = (0..1 << 14)
+            .map(|i| ((i as u64 * 2_654_435_761) % (1 << 20)) as i32)
+            .collect();
+        let col = EncodedColumn::encode_best(&values);
+        assert_eq!(col.scheme(), Scheme::GpuFor);
+    }
+
+    #[test]
+    fn chooser_is_no_worse_than_each_scheme() {
+        let datasets: Vec<Vec<i32>> = vec![
+            (0..5000).collect(),
+            (0..5000).map(|i| i / 100).collect(),
+            (0..5000).map(|i| ((i as u64 * 48_271) % 1024) as i32).collect(),
+        ];
+        for values in datasets {
+            let best = EncodedColumn::encode_best(&values).compressed_bytes();
+            for s in Scheme::ALL {
+                let alt = EncodedColumn::encode_as(&values, s).compressed_bytes();
+                assert!(best <= alt, "best {best} > {} via {:?}", alt, s);
+            }
+        }
+    }
+
+    #[test]
+    fn all_schemes_roundtrip_on_device() {
+        let values: Vec<i32> = (0..2500).map(|i| (i / 10) * 3 - 40).collect();
+        let dev = Device::v100();
+        for s in Scheme::ALL {
+            let col = EncodedColumn::encode_as(&values, s);
+            assert_eq!(col.decode_cpu(), values, "{s:?} CPU");
+            let dcol = col.to_device(&dev);
+            let out = dcol.decompress(&dev);
+            assert_eq!(out.as_slice_unaccounted(), values, "{s:?} device");
+        }
+    }
+
+    #[test]
+    fn tile_loads_match_decompress() {
+        let values: Vec<i32> = (0..3000).map(|i| i % 97).collect();
+        let dev = Device::v100();
+        for s in Scheme::ALL {
+            let dcol = EncodedColumn::encode_as(&values, s).to_device(&dev);
+            let mut collected = Vec::new();
+            let mut tile = Vec::new();
+            let cfg = dcol.tile_kernel_config("collect", 0);
+            dev.launch(cfg, |ctx| {
+                let n = dcol.load_tile(ctx, ctx.block_id(), &mut tile);
+                collected.extend_from_slice(&tile[..n]);
+            });
+            assert_eq!(collected, values, "{s:?}");
+        }
+    }
+}

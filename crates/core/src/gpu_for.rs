@@ -1,0 +1,450 @@
+//! GPU-FOR: frame-of-reference + bit packing (paper Section 4).
+//!
+//! Data format (Figure 3): values are split into blocks of 128. Each
+//! block stores, in 32-bit words:
+//!
+//! ```text
+//! [ reference (i32) | bitwidth word (4 × u8) | mb1 | mb2 | mb3 | mb4 ]
+//! ```
+//!
+//! where miniblock `i` holds 32 values packed LSB-first at its own
+//! bitwidth, so a miniblock of width `b` occupies exactly `b` words and
+//! every block starts and ends on a 32-bit boundary. A separate
+//! `block_starts` array records the word offset of every block so that
+//! thousands of thread blocks can decode in parallel.
+
+use tlc_bitpack::horizontal::{extract, pack_into};
+use tlc_bitpack::width::bits_for;
+use tlc_gpu_sim::{BlockCtx, Device, GlobalBuffer};
+
+use crate::format::{
+    blocks_for, tiles_for, ForDecodeOpts, BLOCK, BLOCK_HEADER_WORDS, MINIBLOCK,
+    MINIBLOCKS_PER_BLOCK,
+};
+use crate::model::decode_config;
+
+/// A column encoded with GPU-FOR (host-side representation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GpuFor {
+    /// Number of logical values (before padding the final block).
+    pub total_count: usize,
+    /// Word offset of each block in `data`; `blocks + 1` entries.
+    pub block_starts: Vec<u32>,
+    /// Block payloads: reference, bitwidth word, packed miniblocks.
+    pub data: Vec<u32>,
+}
+
+/// Compute one block's encoding and append it to `data`.
+///
+/// `values` must contain exactly [`BLOCK`] entries (callers pad the
+/// final block). Also used by GPU-DFOR, whose delta blocks share this
+/// exact layout.
+pub(crate) fn encode_block(values: &[i32], data: &mut Vec<u32>) {
+    debug_assert_eq!(values.len(), BLOCK);
+    let reference = *values.iter().min().expect("block is non-empty");
+    // Offsets from the reference always fit u32 because
+    // max(i32) - min(i32) <= u32::MAX.
+    let mut deltas = [0u32; BLOCK];
+    for (d, &v) in deltas.iter_mut().zip(values) {
+        *d = (v as i64 - reference as i64) as u32;
+    }
+    let mut widths = [0u32; MINIBLOCKS_PER_BLOCK];
+    for (m, w) in widths.iter_mut().enumerate() {
+        let mb = &deltas[m * MINIBLOCK..(m + 1) * MINIBLOCK];
+        *w = bits_for(mb.iter().copied().max().unwrap_or(0));
+    }
+    data.push(reference as u32);
+    data.push(widths[0] | widths[1] << 8 | widths[2] << 16 | widths[3] << 24);
+    for (m, &w) in widths.iter().enumerate() {
+        pack_into(&deltas[m * MINIBLOCK..(m + 1) * MINIBLOCK], w, data);
+    }
+}
+
+impl GpuFor {
+    /// Encode a column. The final partial block is padded with the
+    /// block minimum (zero-cost deltas); [`GpuFor::total_count`]
+    /// remembers the logical length.
+    ///
+    /// ```
+    /// // 16-bit values cost 16 bits + 0.75 bits/int of metadata.
+    /// let values: Vec<i32> = (0..100_000).map(|i| (i * 31) % (1 << 16)).collect();
+    /// let encoded = tlc_core::GpuFor::encode(&values);
+    /// assert!(encoded.bits_per_int() < 16.8);
+    /// assert_eq!(encoded.decode_cpu(), values);
+    /// ```
+    pub fn encode(values: &[i32]) -> Self {
+        let blocks = blocks_for(values.len());
+        let mut data = Vec::with_capacity(blocks * (BLOCK_HEADER_WORDS + BLOCK / 4));
+        let mut block_starts = Vec::with_capacity(blocks + 1);
+        let mut padded = [0i32; BLOCK];
+        for chunk in values.chunks(BLOCK) {
+            block_starts.push(data.len() as u32);
+            if chunk.len() == BLOCK {
+                encode_block(chunk, &mut data);
+            } else {
+                let pad = *chunk.iter().min().expect("chunk is non-empty");
+                padded[..chunk.len()].copy_from_slice(chunk);
+                padded[chunk.len()..].fill(pad);
+                encode_block(&padded, &mut data);
+            }
+        }
+        block_starts.push(data.len() as u32);
+        GpuFor { total_count: values.len(), block_starts, data }
+    }
+
+    /// Number of 128-value blocks.
+    pub fn blocks(&self) -> usize {
+        self.block_starts.len().saturating_sub(1)
+    }
+
+    /// Total compressed footprint in bytes: data + block starts +
+    /// 3-word header {total count, block size, miniblock count}.
+    pub fn compressed_bytes(&self) -> u64 {
+        (self.data.len() + self.block_starts.len() + 3) as u64 * 4
+    }
+
+    /// Compression rate in bits per integer.
+    pub fn bits_per_int(&self) -> f64 {
+        self.compressed_bytes() as f64 * 8.0 / self.total_count.max(1) as f64
+    }
+
+    /// Sequential reference decoder (used to verify the kernels).
+    pub fn decode_cpu(&self) -> Vec<i32> {
+        let mut out = Vec::with_capacity(self.total_count);
+        for b in 0..self.blocks() {
+            let start = self.block_starts[b] as usize;
+            let block = &self.data[start..];
+            let reference = block[0] as i32;
+            let bw_word = block[1];
+            let mut offset = BLOCK_HEADER_WORDS;
+            for m in 0..MINIBLOCKS_PER_BLOCK {
+                let w = (bw_word >> (8 * m)) & 0xFF;
+                for i in 0..MINIBLOCK {
+                    let v = extract(&block[offset..], i * w as usize, w);
+                    out.push(reference.wrapping_add(v as i32));
+                }
+                offset += w as usize;
+            }
+        }
+        out.truncate(self.total_count);
+        out
+    }
+
+    /// Upload to the simulated device.
+    pub fn to_device(&self, dev: &Device) -> GpuForDevice {
+        GpuForDevice {
+            total_count: self.total_count,
+            block_starts: dev.alloc_from_slice(&self.block_starts),
+            data: dev.alloc_from_slice(&self.data),
+        }
+    }
+}
+
+/// Device-resident GPU-FOR column.
+#[derive(Debug)]
+pub struct GpuForDevice {
+    /// Logical value count.
+    pub total_count: usize,
+    /// Per-block word offsets (`blocks + 1` entries).
+    pub block_starts: GlobalBuffer<u32>,
+    /// Packed block payloads.
+    pub data: GlobalBuffer<u32>,
+}
+
+impl GpuForDevice {
+    /// Number of 128-value blocks.
+    pub fn blocks(&self) -> usize {
+        self.block_starts.len().saturating_sub(1)
+    }
+
+    /// Number of `d`-block tiles.
+    pub fn tiles(&self, d: usize) -> usize {
+        tiles_for(self.total_count, d)
+    }
+
+    /// Bytes a PCIe transfer of this column would move.
+    pub fn size_bytes(&self) -> u64 {
+        self.block_starts.size_bytes() + self.data.size_bytes() + 12
+    }
+}
+
+/// Decode the miniblock offset/bitwidth table of one staged block.
+///
+/// Returns `(offset_words, width)` per miniblock, where offsets are
+/// relative to the start of the block's miniblock area.
+#[inline]
+fn miniblock_table(bw_word: u32) -> [(u32, u32); MINIBLOCKS_PER_BLOCK] {
+    let mut table = [(0u32, 0u32); MINIBLOCKS_PER_BLOCK];
+    let mut offset = 0u32;
+    for (m, entry) in table.iter_mut().enumerate() {
+        let w = (bw_word >> (8 * m)) & 0xFF;
+        *entry = (offset, w);
+        offset += w;
+    }
+    table
+}
+
+/// **Device function**: tile-based decode of tile `tile_id` (up to
+/// `opts.d` blocks of 128 values) into `out`. This is the body behind
+/// Crystal's `LoadBitPack` (paper Sections 3–4, 7):
+///
+/// 1. read the `D + 1` block starts (one warp gather),
+/// 2. stage the tile's compressed words into shared memory,
+/// 3. precompute the `4·D` miniblock offsets (Optimization 3),
+/// 4. every thread extracts its `D` values with the 64-bit window and
+///    adds the reference — results live in registers (`out`).
+///
+/// Returns the number of *logical* values decoded (the final tile may
+/// be short).
+pub fn load_tile(
+    ctx: &mut BlockCtx<'_>,
+    col: &GpuForDevice,
+    tile_id: usize,
+    opts: ForDecodeOpts,
+    out: &mut Vec<i32>,
+) -> usize {
+    out.clear();
+    let d = opts.d;
+    let blocks = col.blocks();
+    let first_block = tile_id * d;
+    let tile_blocks = d.min(blocks - first_block);
+
+    // (1) Block starts: D+1 consecutive u32 reads from one warp.
+    let starts_idx: Vec<usize> = (first_block..=first_block + tile_blocks).collect();
+    let starts = ctx.warp_gather(&col.block_starts, &starts_idx);
+    let tile_start = starts[0] as usize;
+    let tile_end = *starts.last().expect("starts is non-empty") as usize;
+
+    // (2) Stage the compressed tile into shared memory.
+    ctx.stage_to_shared(&col.data, tile_start, tile_end - tile_start, 0);
+
+    // (3) + (4): decode from shared memory.
+    for &start in starts.iter().take(tile_blocks) {
+        let block_off = start as usize - tile_start;
+        decode_block_from_shared(ctx, block_off, opts.precompute_offsets, out);
+    }
+    let logical = col.total_count - (first_block * BLOCK).min(col.total_count);
+    let decoded = (tile_blocks * BLOCK).min(logical);
+    out.truncate(decoded);
+    decoded
+}
+
+/// Decode one staged block (128 values) from shared memory into `out`.
+pub(crate) fn decode_block_from_shared(
+    ctx: &mut BlockCtx<'_>,
+    block_off: usize,
+    precompute: bool,
+    out: &mut Vec<i32>,
+) {
+    let (shared, traffic) = ctx.shared_and_traffic();
+    let block = &shared[block_off..];
+    let reference = block[0] as i32;
+    let bw_word = block[1];
+    let table = miniblock_table(bw_word);
+
+    // Shared traffic: each thread reads the 8-byte window plus the
+    // reference and its miniblock's offset/width entry (~16 B/value).
+    traffic.shared_bytes += BLOCK as u64 * 16;
+    if precompute {
+        // Optimization 3: 4·D threads compute the offsets once
+        // (bit-shift prefix sums), everyone else just reads them.
+        traffic.int_ops += MINIBLOCKS_PER_BLOCK as u64 * 8;
+        traffic.shared_bytes += MINIBLOCKS_PER_BLOCK as u64 * 8;
+    } else {
+        // All 128 threads redundantly run the offset loop
+        // (lines 8–10 of Algorithm 1): ~3 ops per loop iteration,
+        // averaging 1.5 iterations.
+        traffic.int_ops += BLOCK as u64 * 5;
+    }
+    // Window extraction: shift/mask/add per value.
+    traffic.int_ops += BLOCK as u64 * 8;
+
+    let payload = &block[BLOCK_HEADER_WORDS..];
+    for &(offset, w) in table.iter().take(MINIBLOCKS_PER_BLOCK) {
+        let mb = &payload[offset as usize..];
+        for i in 0..MINIBLOCK {
+            let v = extract(mb, i * w as usize, w);
+            out.push(reference.wrapping_add(v as i32));
+        }
+    }
+}
+
+/// Standalone decompression kernel: decode the whole column and write
+/// the plain values to a fresh device buffer (the Figure 7a
+/// measurement: read compressed, decode, write back).
+pub fn decompress(dev: &Device, col: &GpuForDevice, opts: ForDecodeOpts) -> GlobalBuffer<i32> {
+    let mut out = dev.alloc_zeroed::<i32>(col.total_count);
+    run_decode(dev, col, opts, Some(&mut out), "gpu_for_decompress");
+    out
+}
+
+/// Decode-only kernel: decode into registers and discard (the Section
+/// 4.2 measurement, where decode speed is compared against the time to
+/// *read* the uncompressed data).
+pub fn decode_only(dev: &Device, col: &GpuForDevice, opts: ForDecodeOpts) {
+    run_decode(dev, col, opts, None, "gpu_for_decode");
+}
+
+fn run_decode(
+    dev: &Device,
+    col: &GpuForDevice,
+    opts: ForDecodeOpts,
+    mut out: Option<&mut GlobalBuffer<i32>>,
+    name: &str,
+) {
+    let tiles = col.tiles(opts.d);
+    let cfg = decode_config(name, tiles, opts.d, 0);
+    let mut tile_vals: Vec<i32> = Vec::with_capacity(opts.d * BLOCK);
+    dev.launch(cfg, |ctx| {
+        let tile_id = ctx.block_id();
+        let n = load_tile(ctx, col, tile_id, opts, &mut tile_vals);
+        if let Some(out) = out.as_deref_mut() {
+            ctx.write_coalesced(out, tile_id * opts.d * BLOCK, &tile_vals[..n]);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(values: &[i32]) {
+        let enc = GpuFor::encode(values);
+        assert_eq!(enc.decode_cpu(), values, "CPU roundtrip");
+        let dev = Device::v100();
+        let dcol = enc.to_device(&dev);
+        let out = decompress(&dev, &dcol, ForDecodeOpts::default());
+        assert_eq!(out.as_slice_unaccounted(), values, "device roundtrip");
+    }
+
+    #[test]
+    fn paper_figure4_example() {
+        // 16 values from Figure 4 padded to one block; reference 99,
+        // miniblock widths 2 and 4 when grouped by 8 — our miniblocks
+        // are 32 wide, so check the roundtrip and the reference.
+        let mut values = vec![
+            100, 101, 101, 102, 101, 101, 102, 101, 99, 100, 105, 107, 114, 112, 110, 105,
+        ];
+        values.resize(16, 99);
+        let enc = GpuFor::encode(&values);
+        assert_eq!(enc.data[enc.block_starts[0] as usize] as i32, 99);
+        assert_eq!(enc.decode_cpu()[..16], values[..]);
+    }
+
+    #[test]
+    fn roundtrip_exact_blocks() {
+        let values: Vec<i32> = (0..512).map(|i| (i * 13) % 1000).collect();
+        roundtrip(&values);
+    }
+
+    #[test]
+    fn roundtrip_partial_final_block() {
+        let values: Vec<i32> = (0..300).map(|i| 1_000_000 + (i % 37)).collect();
+        roundtrip(&values);
+    }
+
+    #[test]
+    fn roundtrip_negative_values() {
+        let values: Vec<i32> = (0..256).map(|i| -500 + i * 3).collect();
+        roundtrip(&values);
+    }
+
+    #[test]
+    fn roundtrip_extremes() {
+        let mut values = vec![i32::MIN, i32::MAX, 0, -1, 1];
+        values.resize(128, 0);
+        roundtrip(&values);
+    }
+
+    #[test]
+    fn roundtrip_single_value() {
+        roundtrip(&[42]);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let enc = GpuFor::encode(&[]);
+        assert_eq!(enc.blocks(), 0);
+        assert!(enc.decode_cpu().is_empty());
+    }
+
+    #[test]
+    fn constant_column_uses_zero_width() {
+        let values = vec![7i32; 1024];
+        let enc = GpuFor::encode(&values);
+        // 2 header words per block, zero-width miniblocks.
+        assert_eq!(enc.data.len(), enc.blocks() * BLOCK_HEADER_WORDS);
+        assert_eq!(enc.decode_cpu(), values);
+    }
+
+    #[test]
+    fn overhead_matches_paper() {
+        // Paper Section 9.2: GPU-FOR overhead is 0.75 bits/int
+        // (block start + reference + bitwidth word per 128 values).
+        let n = 128 * 1024u64;
+        let values: Vec<i32> = (0..n).map(|i| ((i * 2_654_435_761) % (1 << 16)) as i32).collect();
+        let enc = GpuFor::encode(&values);
+        let overhead = enc.bits_per_int() - 16.0;
+        // Min-referencing can shave a fraction of a bit off some
+        // miniblocks, so allow a little slack below 0.75.
+        assert!(
+            overhead > 0.4 && overhead < 0.80,
+            "overhead = {overhead} bits/int"
+        );
+    }
+
+    #[test]
+    fn skew_isolated_to_one_miniblock() {
+        // One huge value inflates only its own 32-value miniblock.
+        let mut values = vec![0i32; 128];
+        values[0] = i32::MAX;
+        let enc = GpuFor::encode(&values);
+        // 2 header + 31 words (the i32::MAX offset needs 31 bits) for
+        // the skewed miniblock + 3 zero-width miniblocks.
+        assert_eq!(enc.data.len(), 2 + 31);
+        assert_eq!(enc.decode_cpu(), values);
+    }
+
+    #[test]
+    fn d_variants_agree() {
+        let values: Vec<i32> = (0..2000).map(|i| (i * i) % 4096).collect();
+        let enc = GpuFor::encode(&values);
+        let dev = Device::v100();
+        let dcol = enc.to_device(&dev);
+        for d in [1, 2, 4, 8, 16, 32] {
+            let out = decompress(&dev, &dcol, ForDecodeOpts::with_d(d));
+            assert_eq!(out.as_slice_unaccounted(), values, "D = {d}");
+        }
+    }
+
+    #[test]
+    fn higher_d_reads_fewer_segments() {
+        let values: Vec<i32> = (0..1 << 16).map(|i| i % (1 << 12)).collect();
+        let enc = GpuFor::encode(&values);
+        let dev = Device::v100();
+        let dcol = enc.to_device(&dev);
+        let segs = |d: usize| {
+            dev.reset_timeline();
+            decode_only(&dev, &dcol, ForDecodeOpts::with_d(d));
+            dev.with_timeline(|t| t.total_traffic().global_read_segments)
+        };
+        let s1 = segs(1);
+        let s4 = segs(4);
+        let s16 = segs(16);
+        assert!(s1 > s4 && s4 > s16, "s1={s1} s4={s4} s16={s16}");
+    }
+
+    #[test]
+    fn decode_without_precompute_costs_more_ops() {
+        let values: Vec<i32> = (0..4096).collect();
+        let enc = GpuFor::encode(&values);
+        let dev = Device::v100();
+        let dcol = enc.to_device(&dev);
+        let ops = |pre: bool| {
+            dev.reset_timeline();
+            decode_only(&dev, &dcol, ForDecodeOpts { d: 4, precompute_offsets: pre });
+            dev.with_timeline(|t| t.total_traffic().int_ops)
+        };
+        assert!(ops(false) > ops(true));
+    }
+}

@@ -1,0 +1,410 @@
+//! GPU-RFOR: run-length encoding + FOR + bit packing (paper Section 6).
+//!
+//! The array is partitioned into logical blocks of 512 values; RLE is
+//! applied to each block independently (runs never straddle blocks),
+//! producing a *values* array and a *run lengths* array. Both arrays
+//! are then FOR + bit-packed with 32-entry miniblocks and stored as two
+//! separate compressed streams, each with its own block-starts array.
+//! Each values block additionally records its run count.
+//!
+//! Tile-based decoding loads one compressed values block and one
+//! compressed lengths block into shared memory, bit-unpacks both, and
+//! expands the runs with the four-step routine of Fang et al. [18]:
+//! an exclusive prefix sum over the lengths (output offsets), a scatter
+//! of head flags, an inclusive prefix sum over the flags (run ids), and
+//! a gather of the values — all entirely in shared memory, fused into a
+//! single kernel pass.
+
+use tlc_bitpack::horizontal::{extract, pack_into};
+use tlc_bitpack::width::bits_for;
+use tlc_bitpack::MINIBLOCK;
+use tlc_gpu_sim::scan::{block_exclusive_scan_u32, block_inclusive_scan_u32};
+use tlc_gpu_sim::{BlockCtx, Device, GlobalBuffer, KernelConfig};
+
+use crate::format::RFOR_BLOCK;
+
+/// A column encoded with GPU-RFOR (host-side representation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GpuRFor {
+    /// Number of logical values.
+    pub total_count: usize,
+    /// Word offsets of values blocks (`blocks + 1` entries).
+    pub values_starts: Vec<u32>,
+    /// Compressed values stream.
+    pub values_data: Vec<u32>,
+    /// Word offsets of lengths blocks (`blocks + 1` entries).
+    pub lengths_starts: Vec<u32>,
+    /// Compressed run-lengths stream.
+    pub lengths_data: Vec<u32>,
+}
+
+/// Encode one FOR+bit-packed stream block (used for both values and
+/// lengths). `raw` is padded to a multiple of 32 with the reference
+/// (zero-width deltas). Layout: `[ref][bw bytes, 4/word][miniblocks]`.
+fn encode_stream_block(raw: &[i32], data: &mut Vec<u32>) {
+    let reference = *raw.iter().min().expect("stream block is non-empty");
+    let padded = raw.len().div_ceil(MINIBLOCK) * MINIBLOCK;
+    let mut deltas = vec![0u32; padded];
+    for (d, &v) in deltas.iter_mut().zip(raw) {
+        *d = (v as i64 - reference as i64) as u32;
+    }
+    let miniblocks = padded / MINIBLOCK;
+    let mut widths = vec![0u32; miniblocks];
+    for (m, w) in widths.iter_mut().enumerate() {
+        *w = bits_for(
+            deltas[m * MINIBLOCK..(m + 1) * MINIBLOCK]
+                .iter()
+                .copied()
+                .max()
+                .unwrap_or(0),
+        );
+    }
+    data.push(reference as u32);
+    for chunk in widths.chunks(4) {
+        let mut word = 0u32;
+        for (i, &w) in chunk.iter().enumerate() {
+            word |= w << (8 * i);
+        }
+        data.push(word);
+    }
+    for (m, &w) in widths.iter().enumerate() {
+        pack_into(&deltas[m * MINIBLOCK..(m + 1) * MINIBLOCK], w, data);
+    }
+}
+
+/// Decode one stream block of `count` logical entries starting at
+/// `block` (a word slice beginning at the reference word). Public so
+/// the cascaded-decompression baseline can decode the same format one
+/// layer at a time.
+pub fn decode_stream_block(block: &[u32], count: usize) -> Vec<i32> {
+    let reference = block[0] as i32;
+    let padded = count.div_ceil(MINIBLOCK) * MINIBLOCK;
+    let miniblocks = padded / MINIBLOCK;
+    let bw_words = miniblocks.div_ceil(4);
+    let mut out = Vec::with_capacity(padded);
+    let mut offset = 1 + bw_words;
+    for m in 0..miniblocks {
+        let w = (block[1 + m / 4] >> (8 * (m % 4))) & 0xFF;
+        for i in 0..MINIBLOCK {
+            out.push(reference.wrapping_add(extract(&block[offset..], i * w as usize, w) as i32));
+        }
+        offset += w as usize;
+    }
+    out.truncate(count);
+    out
+}
+
+/// Words occupied by an encoded stream block of `count` entries —
+/// helper for traffic estimates and for walking the stream layout.
+pub fn stream_block_words(block: &[u32], count: usize) -> usize {
+    let padded = count.div_ceil(MINIBLOCK) * MINIBLOCK;
+    let miniblocks = padded / MINIBLOCK;
+    let bw_words = miniblocks.div_ceil(4);
+    let mut words = 1 + bw_words;
+    for m in 0..miniblocks {
+        words += ((block[1 + m / 4] >> (8 * (m % 4))) & 0xFF) as usize;
+    }
+    words
+}
+
+impl GpuRFor {
+    /// Encode a column: RLE per 512-value block, then FOR + bit packing
+    /// on the values and lengths arrays of each block.
+    pub fn encode(values: &[i32]) -> Self {
+        let blocks = values.len().div_ceil(RFOR_BLOCK);
+        let mut enc = GpuRFor {
+            total_count: values.len(),
+            values_starts: Vec::with_capacity(blocks + 1),
+            values_data: Vec::new(),
+            lengths_starts: Vec::with_capacity(blocks + 1),
+            lengths_data: Vec::new(),
+        };
+        let mut run_values: Vec<i32> = Vec::with_capacity(RFOR_BLOCK);
+        let mut run_lengths: Vec<i32> = Vec::with_capacity(RFOR_BLOCK);
+        for chunk in values.chunks(RFOR_BLOCK) {
+            run_values.clear();
+            run_lengths.clear();
+            for &v in chunk {
+                match run_values.last() {
+                    Some(&last) if last == v => {
+                        *run_lengths.last_mut().expect("non-empty") += 1;
+                    }
+                    _ => {
+                        run_values.push(v);
+                        run_lengths.push(1);
+                    }
+                }
+            }
+            enc.values_starts.push(enc.values_data.len() as u32);
+            enc.values_data.push(run_values.len() as u32);
+            encode_stream_block(&run_values, &mut enc.values_data);
+            enc.lengths_starts.push(enc.lengths_data.len() as u32);
+            encode_stream_block(&run_lengths, &mut enc.lengths_data);
+        }
+        enc.values_starts.push(enc.values_data.len() as u32);
+        enc.lengths_starts.push(enc.lengths_data.len() as u32);
+        enc
+    }
+
+    /// Number of 512-value logical blocks.
+    pub fn blocks(&self) -> usize {
+        self.values_starts.len().saturating_sub(1)
+    }
+
+    /// Compressed footprint in bytes: both streams, both block-start
+    /// arrays, and a 3-word header.
+    pub fn compressed_bytes(&self) -> u64 {
+        (self.values_data.len()
+            + self.lengths_data.len()
+            + self.values_starts.len()
+            + self.lengths_starts.len()
+            + 3) as u64
+            * 4
+    }
+
+    /// Compression rate in bits per integer.
+    pub fn bits_per_int(&self) -> f64 {
+        self.compressed_bytes() as f64 * 8.0 / self.total_count.max(1) as f64
+    }
+
+    /// Sequential reference decoder.
+    pub fn decode_cpu(&self) -> Vec<i32> {
+        let mut out = Vec::with_capacity(self.total_count);
+        for b in 0..self.blocks() {
+            let vstart = self.values_starts[b] as usize;
+            let run_count = self.values_data[vstart] as usize;
+            let vals = decode_stream_block(&self.values_data[vstart + 1..], run_count);
+            let lstart = self.lengths_starts[b] as usize;
+            let lens = decode_stream_block(&self.lengths_data[lstart..], run_count);
+            for (v, l) in vals.iter().zip(&lens) {
+                for _ in 0..*l {
+                    out.push(*v);
+                }
+            }
+        }
+        debug_assert_eq!(out.len(), self.total_count);
+        out
+    }
+
+    /// Upload to the simulated device.
+    pub fn to_device(&self, dev: &Device) -> GpuRForDevice {
+        GpuRForDevice {
+            total_count: self.total_count,
+            values_starts: dev.alloc_from_slice(&self.values_starts),
+            values_data: dev.alloc_from_slice(&self.values_data),
+            lengths_starts: dev.alloc_from_slice(&self.lengths_starts),
+            lengths_data: dev.alloc_from_slice(&self.lengths_data),
+        }
+    }
+}
+
+/// Device-resident GPU-RFOR column.
+#[derive(Debug)]
+pub struct GpuRForDevice {
+    /// Logical value count.
+    pub total_count: usize,
+    /// Values-stream block offsets.
+    pub values_starts: GlobalBuffer<u32>,
+    /// Compressed values stream.
+    pub values_data: GlobalBuffer<u32>,
+    /// Lengths-stream block offsets.
+    pub lengths_starts: GlobalBuffer<u32>,
+    /// Compressed run-lengths stream.
+    pub lengths_data: GlobalBuffer<u32>,
+}
+
+impl GpuRForDevice {
+    /// Number of 512-value logical blocks (= decode tiles).
+    pub fn blocks(&self) -> usize {
+        self.values_starts.len().saturating_sub(1)
+    }
+
+    /// Bytes a PCIe transfer of this column would move.
+    pub fn size_bytes(&self) -> u64 {
+        self.values_starts.size_bytes()
+            + self.values_data.size_bytes()
+            + self.lengths_starts.size_bytes()
+            + self.lengths_data.size_bytes()
+            + 12
+    }
+}
+
+/// Shared memory a GPU-RFOR decode block needs: two worst-case staged
+/// stream blocks plus the 512-entry expansion buffers — "twice more
+/// resources than GPU-DFOR" (Section 6).
+pub fn rfor_smem() -> usize {
+    2 * (RFOR_BLOCK * 4 + 128) + RFOR_BLOCK * 4
+}
+
+/// Launch configuration for an RFOR decode-style kernel.
+pub fn rfor_config(name: &str, blocks: usize) -> KernelConfig {
+    KernelConfig::new(name, blocks, 128)
+        .smem_per_block(rfor_smem())
+        .regs_per_thread(38)
+}
+
+/// **Device function**: decode logical block `block_id` (512 values)
+/// with the fused unpack + 4-step RLE expansion. This is Crystal's
+/// `LoadRBitPack`. Returns the number of logical values decoded.
+pub fn load_tile(
+    ctx: &mut BlockCtx<'_>,
+    col: &GpuRForDevice,
+    block_id: usize,
+    out: &mut Vec<i32>,
+) -> usize {
+    out.clear();
+    let vstarts = ctx.warp_gather(&col.values_starts, &[block_id, block_id + 1]);
+    let lstarts = ctx.warp_gather(&col.lengths_starts, &[block_id, block_id + 1]);
+    let (vs, ve) = (vstarts[0] as usize, vstarts[1] as usize);
+    let (ls, le) = (lstarts[0] as usize, lstarts[1] as usize);
+
+    // Stage both compressed blocks: values at shared offset 0, lengths
+    // right after.
+    ctx.stage_to_shared(&col.values_data, vs, ve - vs, 0);
+    let lengths_off = ve - vs;
+    ctx.stage_to_shared(&col.lengths_data, ls, le - ls, lengths_off);
+
+    let run_count = ctx.shared()[0] as usize;
+    ctx.smem_traffic(4);
+
+    // Bit-unpack both streams (miniblock extraction, as in GPU-FOR).
+    let (vals, lens) = {
+        let shared = ctx.shared();
+        let vals = decode_stream_block(&shared[1..ve - vs], run_count);
+        let lens = decode_stream_block(&shared[lengths_off..lengths_off + (le - ls)], run_count);
+        (vals, lens)
+    };
+    let payload_words =
+        stream_block_words(&ctx.shared()[1..], run_count) + stream_block_words(&ctx.shared()[lengths_off..], run_count);
+    // Window reads for both streams.
+    ctx.smem_traffic(run_count as u64 * 2 * 12);
+    ctx.add_int_ops(run_count as u64 * 2 * 8 + payload_words as u64);
+
+    // Step 1: exclusive prefix sum over run lengths -> output offsets.
+    let mut offsets: Vec<u32> = lens.iter().map(|&l| l as u32).collect();
+    let total = block_exclusive_scan_u32(ctx, &mut offsets) as usize;
+
+    // Step 2: scatter head flags (every real run has length >= 1, so
+    // flag positions are distinct).
+    let mut flags = vec![0u32; total];
+    for i in 0..run_count {
+        flags[offsets[i] as usize] = 1;
+    }
+    ctx.smem_traffic(run_count as u64 * 4);
+
+    // Step 3: inclusive prefix sum over flags -> 1-based run ids.
+    block_inclusive_scan_u32(ctx, &mut flags);
+
+    // Step 4: gather values by run id.
+    out.extend(flags.iter().map(|&rid| vals[rid as usize - 1]));
+    ctx.smem_traffic(total as u64 * 8);
+    total
+}
+
+/// Standalone decompression kernel (decode + write back).
+pub fn decompress(dev: &Device, col: &GpuRForDevice) -> GlobalBuffer<i32> {
+    let mut out = dev.alloc_zeroed::<i32>(col.total_count);
+    run_decode(dev, col, Some(&mut out), "gpu_rfor_decompress");
+    out
+}
+
+/// Decode-only kernel (decode into registers, discard).
+pub fn decode_only(dev: &Device, col: &GpuRForDevice) {
+    run_decode(dev, col, None, "gpu_rfor_decode");
+}
+
+fn run_decode(
+    dev: &Device,
+    col: &GpuRForDevice,
+    mut out: Option<&mut GlobalBuffer<i32>>,
+    name: &str,
+) {
+    let blocks = col.blocks();
+    let cfg = rfor_config(name, blocks);
+    let mut tile_vals: Vec<i32> = Vec::with_capacity(RFOR_BLOCK);
+    dev.launch(cfg, |ctx| {
+        let block_id = ctx.block_id();
+        let n = load_tile(ctx, col, block_id, &mut tile_vals);
+        if let Some(out) = out.as_deref_mut() {
+            ctx.write_coalesced(out, block_id * RFOR_BLOCK, &tile_vals[..n]);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(values: &[i32]) {
+        let enc = GpuRFor::encode(values);
+        assert_eq!(enc.decode_cpu(), values, "CPU roundtrip");
+        let dev = Device::v100();
+        let dcol = enc.to_device(&dev);
+        let out = decompress(&dev, &dcol);
+        assert_eq!(out.as_slice_unaccounted(), values, "device roundtrip");
+    }
+
+    #[test]
+    fn roundtrip_long_runs() {
+        let values: Vec<i32> = (0..3000).map(|i| i / 100).collect();
+        roundtrip(&values);
+    }
+
+    #[test]
+    fn roundtrip_single_run() {
+        roundtrip(&vec![42i32; 2048]);
+    }
+
+    #[test]
+    fn roundtrip_all_distinct() {
+        let values: Vec<i32> = (0..1024).map(|i| i * 3 - 500).collect();
+        roundtrip(&values);
+    }
+
+    #[test]
+    fn roundtrip_partial_block() {
+        let values: Vec<i32> = (0..700).map(|i| i / 9).collect();
+        roundtrip(&values);
+    }
+
+    #[test]
+    fn roundtrip_run_straddling_block_boundary() {
+        // A run of the same value across the 512 boundary is split into
+        // two runs; decode must still be exact.
+        let mut values = vec![1i32; 500];
+        values.extend(vec![2i32; 500]);
+        roundtrip(&values);
+    }
+
+    #[test]
+    fn roundtrip_tiny() {
+        roundtrip(&[5, 5, 5]);
+        roundtrip(&[7]);
+    }
+
+    #[test]
+    fn roundtrip_negative_runs() {
+        let values: Vec<i32> = (0..2000).map(|i| -(i / 50)).collect();
+        roundtrip(&values);
+    }
+
+    #[test]
+    fn high_run_length_compresses_hard() {
+        // 512-value blocks of a single run: ~1 run per block.
+        let values: Vec<i32> = (0..1 << 16).map(|i| i / 4096).collect();
+        let enc = GpuRFor::encode(&values);
+        assert!(enc.bits_per_int() < 1.0, "bits/int = {}", enc.bits_per_int());
+    }
+
+    #[test]
+    fn random_data_costs_value_width_plus_overhead() {
+        // All runs are length 1: lengths pack at width 0, values at
+        // their natural width, ~0.8 bits/int of metadata.
+        let values: Vec<i32> = (0..1 << 16)
+            .map(|i| ((i as u64 * 2_654_435_761) % (1 << 12)) as i32)
+            .collect();
+        let enc = GpuRFor::encode(&values);
+        let bpi = enc.bits_per_int();
+        assert!(bpi > 12.0 && bpi < 13.3, "bits/int = {bpi}");
+    }
+}

@@ -1,0 +1,526 @@
+//! On-disk serialization and structural validation of the encoded
+//! formats.
+//!
+//! A downstream system persists compressed columns and ships them to
+//! the GPU verbatim, so the wire format matters: each column serializes
+//! to a little-endian word stream with a magic tag, a scheme id, and
+//! the arrays of its format (paper Figures 3 and 6). `from_bytes`
+//! validates structure (monotone block starts, in-range widths,
+//! consistent lengths) before constructing a column, so corrupted input
+//! is rejected instead of decoded into garbage.
+
+use std::fmt;
+
+use crate::column::EncodedColumn;
+use crate::format::{BLOCK, BLOCK_HEADER_WORDS, MINIBLOCKS_PER_BLOCK, RFOR_BLOCK};
+use crate::gpu_dfor::GpuDFor;
+use crate::gpu_for::GpuFor;
+use crate::gpu_rfor::GpuRFor;
+use crate::Scheme;
+
+/// Magic word at the head of every serialized column ("TLC1").
+pub const MAGIC: u32 = 0x544C_4331;
+
+/// Why a byte stream was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatError {
+    /// Not long enough to hold the fixed header.
+    Truncated,
+    /// Magic word mismatch.
+    BadMagic(u32),
+    /// Unknown scheme id.
+    UnknownScheme(u32),
+    /// Array lengths in the header exceed the payload.
+    LengthMismatch {
+        /// What the header promised, in words.
+        expected_words: usize,
+        /// What the payload holds, in words.
+        actual_words: usize,
+    },
+    /// `block_starts` is not strictly within bounds / monotone.
+    BadBlockStarts(usize),
+    /// A block's miniblock widths exceed 32 bits or overrun the block.
+    BadBlock {
+        /// Index of the offending block.
+        block: usize,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// The logical count disagrees with the block structure.
+    BadCount {
+        /// Logical count from the header.
+        count: usize,
+        /// Number of blocks found.
+        blocks: usize,
+    },
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::Truncated => write!(f, "byte stream too short for header"),
+            FormatError::BadMagic(m) => write!(f, "bad magic 0x{m:08X}"),
+            FormatError::UnknownScheme(s) => write!(f, "unknown scheme id {s}"),
+            FormatError::LengthMismatch { expected_words, actual_words } => write!(
+                f,
+                "header promises {expected_words} words, payload has {actual_words}"
+            ),
+            FormatError::BadBlockStarts(i) => write!(f, "block_starts[{i}] out of order/bounds"),
+            FormatError::BadBlock { block, reason } => write!(f, "block {block}: {reason}"),
+            FormatError::BadCount { count, blocks } => {
+                write!(f, "count {count} inconsistent with {blocks} blocks")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+fn scheme_id(s: Scheme) -> u32 {
+    match s {
+        Scheme::GpuFor => 1,
+        Scheme::GpuDFor => 2,
+        Scheme::GpuRFor => 3,
+    }
+}
+
+struct Writer {
+    words: Vec<u32>,
+}
+
+impl Writer {
+    fn new(scheme: Scheme) -> Self {
+        Writer { words: vec![MAGIC, scheme_id(scheme)] }
+    }
+
+    fn word(&mut self, w: u32) -> &mut Self {
+        self.words.push(w);
+        self
+    }
+
+    fn array(&mut self, a: &[u32]) -> &mut Self {
+        self.words.push(a.len() as u32);
+        self.words.extend_from_slice(a);
+        self
+    }
+
+    fn finish(self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.words.len() * 4);
+        for w in self.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+}
+
+struct Reader<'a> {
+    words: Vec<u32>,
+    pos: usize,
+    _raw: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Result<Self, FormatError> {
+        if !bytes.len().is_multiple_of(4) || bytes.len() < 8 {
+            return Err(FormatError::Truncated);
+        }
+        let words: Vec<u32> = bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        Ok(Reader { words, pos: 0, _raw: bytes })
+    }
+
+    fn word(&mut self) -> Result<u32, FormatError> {
+        let w = *self.words.get(self.pos).ok_or(FormatError::Truncated)?;
+        self.pos += 1;
+        Ok(w)
+    }
+
+    fn array(&mut self) -> Result<Vec<u32>, FormatError> {
+        let len = self.word()? as usize;
+        if self.pos + len > self.words.len() {
+            return Err(FormatError::LengthMismatch {
+                expected_words: len,
+                actual_words: self.words.len() - self.pos,
+            });
+        }
+        let a = self.words[self.pos..self.pos + len].to_vec();
+        self.pos += len;
+        Ok(a)
+    }
+}
+
+/// Validate a GPU-FOR-style `(block_starts, data)` pair where each
+/// block is `[ref][bw word][miniblocks]`.
+fn validate_for_layout(block_starts: &[u32], data: &[u32]) -> Result<(), FormatError> {
+    if block_starts.is_empty() {
+        return Err(FormatError::BadBlockStarts(0));
+    }
+    if *block_starts.last().expect("non-empty") as usize != data.len() {
+        return Err(FormatError::BadBlockStarts(block_starts.len() - 1));
+    }
+    for (i, w) in block_starts.windows(2).enumerate() {
+        if w[1] < w[0] || w[1] as usize > data.len() {
+            return Err(FormatError::BadBlockStarts(i + 1));
+        }
+        let start = w[0] as usize;
+        let len = (w[1] - w[0]) as usize;
+        if len < BLOCK_HEADER_WORDS {
+            return Err(FormatError::BadBlock { block: i, reason: "shorter than header" });
+        }
+        let bw_word = data[start + 1];
+        let mut payload = 0usize;
+        for m in 0..MINIBLOCKS_PER_BLOCK {
+            let width = (bw_word >> (8 * m)) & 0xFF;
+            if width > 32 {
+                return Err(FormatError::BadBlock { block: i, reason: "miniblock width > 32" });
+            }
+            payload += width as usize;
+        }
+        if payload + BLOCK_HEADER_WORDS != len {
+            return Err(FormatError::BadBlock {
+                block: i,
+                reason: "widths disagree with block length",
+            });
+        }
+    }
+    Ok(())
+}
+
+impl GpuFor {
+    /// Structural validation (cheap; no decode).
+    pub fn validate(&self) -> Result<(), FormatError> {
+        validate_for_layout(&self.block_starts, &self.data)?;
+        let blocks = self.block_starts.len() - 1;
+        if self.total_count > blocks * BLOCK || (blocks > 0 && self.total_count <= (blocks - 1) * BLOCK)
+        {
+            return Err(FormatError::BadCount { count: self.total_count, blocks });
+        }
+        Ok(())
+    }
+
+    /// Serialize to a self-describing little-endian byte stream.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new(Scheme::GpuFor);
+        w.word(self.total_count as u32);
+        w.array(&self.block_starts);
+        w.array(&self.data);
+        w.finish()
+    }
+
+    /// Parse and validate a byte stream produced by
+    /// [`GpuFor::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, FormatError> {
+        let (scheme, mut r) = read_header(bytes)?;
+        if scheme != Scheme::GpuFor {
+            return Err(FormatError::UnknownScheme(scheme_id(scheme)));
+        }
+        let total_count = r.word()? as usize;
+        let block_starts = r.array()?;
+        let data = r.array()?;
+        let col = GpuFor { total_count, block_starts, data };
+        col.validate()?;
+        Ok(col)
+    }
+}
+
+impl GpuDFor {
+    /// Structural validation (cheap; no decode).
+    pub fn validate(&self) -> Result<(), FormatError> {
+        if self.d == 0 {
+            return Err(FormatError::BadBlock { block: 0, reason: "d must be >= 1" });
+        }
+        // Every tile's first block must leave room for the first-value
+        // word before it.
+        for t in 0..self.tiles() {
+            let first = self.block_starts[t * self.d];
+            if first == 0 {
+                return Err(FormatError::BadBlock { block: t * self.d, reason: "no first-value word" });
+            }
+        }
+        // Block payloads follow the GPU-FOR layout, but each tile is
+        // preceded by one first-value word, so validate per tile.
+        let blocks = self.block_starts.len() - 1;
+        for b in 0..blocks {
+            let start = self.block_starts[b] as usize;
+            let end = if (b + 1) % self.d == 0 || b + 1 == blocks {
+                // Next word is a first-value word (or the end).
+                let next = self.block_starts[b + 1] as usize;
+                if b + 1 == blocks { next } else { next - 1 }
+            } else {
+                self.block_starts[b + 1] as usize
+            };
+            if end < start + BLOCK_HEADER_WORDS || end > self.data.len() {
+                return Err(FormatError::BadBlock { block: b, reason: "bad block bounds" });
+            }
+            let bw_word = self.data[start + 1];
+            let mut payload = 0usize;
+            for m in 0..MINIBLOCKS_PER_BLOCK {
+                let width = (bw_word >> (8 * m)) & 0xFF;
+                if width > 32 {
+                    return Err(FormatError::BadBlock { block: b, reason: "miniblock width > 32" });
+                }
+                payload += width as usize;
+            }
+            if payload + BLOCK_HEADER_WORDS != end - start {
+                return Err(FormatError::BadBlock {
+                    block: b,
+                    reason: "widths disagree with block length",
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialize to a self-describing little-endian byte stream.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new(Scheme::GpuDFor);
+        w.word(self.total_count as u32);
+        w.word(self.d as u32);
+        w.array(&self.block_starts);
+        w.array(&self.data);
+        w.finish()
+    }
+
+    /// Parse and validate a byte stream produced by
+    /// [`GpuDFor::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, FormatError> {
+        let (scheme, mut r) = read_header(bytes)?;
+        if scheme != Scheme::GpuDFor {
+            return Err(FormatError::UnknownScheme(scheme_id(scheme)));
+        }
+        let total_count = r.word()? as usize;
+        let d = r.word()? as usize;
+        let block_starts = r.array()?;
+        let data = r.array()?;
+        let col = GpuDFor { total_count, d, block_starts, data };
+        col.validate()?;
+        Ok(col)
+    }
+}
+
+impl GpuRFor {
+    /// Structural validation (cheap; no full decode).
+    pub fn validate(&self) -> Result<(), FormatError> {
+        let blocks = self.blocks();
+        if self.lengths_starts.len() != self.values_starts.len() {
+            return Err(FormatError::BadBlockStarts(self.lengths_starts.len()));
+        }
+        for (starts, data) in [
+            (&self.values_starts, &self.values_data),
+            (&self.lengths_starts, &self.lengths_data),
+        ] {
+            if starts.is_empty() || *starts.last().expect("non-empty") as usize != data.len() {
+                return Err(FormatError::BadBlockStarts(starts.len().saturating_sub(1)));
+            }
+            for (i, w) in starts.windows(2).enumerate() {
+                if w[1] < w[0] || w[1] as usize > data.len() {
+                    return Err(FormatError::BadBlockStarts(i + 1));
+                }
+            }
+        }
+        for b in 0..blocks {
+            let vstart = self.values_starts[b] as usize;
+            let run_count = self.values_data[vstart] as usize;
+            if run_count == 0 || run_count > RFOR_BLOCK {
+                return Err(FormatError::BadBlock { block: b, reason: "run count out of range" });
+            }
+        }
+        if self.total_count > blocks * RFOR_BLOCK
+            || (blocks > 0 && self.total_count <= (blocks - 1) * RFOR_BLOCK)
+        {
+            return Err(FormatError::BadCount { count: self.total_count, blocks });
+        }
+        Ok(())
+    }
+
+    /// Serialize to a self-describing little-endian byte stream.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new(Scheme::GpuRFor);
+        w.word(self.total_count as u32);
+        w.array(&self.values_starts);
+        w.array(&self.values_data);
+        w.array(&self.lengths_starts);
+        w.array(&self.lengths_data);
+        w.finish()
+    }
+
+    /// Parse and validate a byte stream produced by
+    /// [`GpuRFor::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, FormatError> {
+        let (scheme, mut r) = read_header(bytes)?;
+        if scheme != Scheme::GpuRFor {
+            return Err(FormatError::UnknownScheme(scheme_id(scheme)));
+        }
+        let total_count = r.word()? as usize;
+        let values_starts = r.array()?;
+        let values_data = r.array()?;
+        let lengths_starts = r.array()?;
+        let lengths_data = r.array()?;
+        let col = GpuRFor { total_count, values_starts, values_data, lengths_starts, lengths_data };
+        col.validate()?;
+        Ok(col)
+    }
+}
+
+fn read_header(bytes: &[u8]) -> Result<(Scheme, Reader<'_>), FormatError> {
+    let mut r = Reader::new(bytes)?;
+    let magic = r.word()?;
+    if magic != MAGIC {
+        return Err(FormatError::BadMagic(magic));
+    }
+    let scheme = match r.word()? {
+        1 => Scheme::GpuFor,
+        2 => Scheme::GpuDFor,
+        3 => Scheme::GpuRFor,
+        s => return Err(FormatError::UnknownScheme(s)),
+    };
+    Ok((scheme, r))
+}
+
+impl EncodedColumn {
+    /// Structural validation of the underlying format.
+    pub fn validate(&self) -> Result<(), FormatError> {
+        match self {
+            EncodedColumn::For(c) => c.validate(),
+            EncodedColumn::DFor(c) => c.validate(),
+            EncodedColumn::RFor(c) => c.validate(),
+        }
+    }
+
+    /// Serialize with the scheme tag embedded.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        match self {
+            EncodedColumn::For(c) => c.to_bytes(),
+            EncodedColumn::DFor(c) => c.to_bytes(),
+            EncodedColumn::RFor(c) => c.to_bytes(),
+        }
+    }
+
+    /// Parse any serialized column, dispatching on the scheme tag.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, FormatError> {
+        let (scheme, _) = read_header(bytes)?;
+        Ok(match scheme {
+            Scheme::GpuFor => EncodedColumn::For(GpuFor::from_bytes(bytes)?),
+            Scheme::GpuDFor => EncodedColumn::DFor(GpuDFor::from_bytes(bytes)?),
+            Scheme::GpuRFor => EncodedColumn::RFor(GpuRFor::from_bytes(bytes)?),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Vec<i32>> {
+        vec![
+            (0..1000).collect(),
+            (0..1000).map(|i| i / 40).collect(),
+            (0..1000u64).map(|i| ((i * 2_654_435) % 4096) as i32).collect(),
+            vec![5],
+            vec![-3; 700],
+        ]
+    }
+
+    #[test]
+    fn roundtrip_every_scheme() {
+        for values in samples() {
+            for scheme in Scheme::ALL {
+                let col = EncodedColumn::encode_as(&values, scheme);
+                col.validate().expect("fresh encoding validates");
+                let bytes = col.to_bytes();
+                let back = EncodedColumn::from_bytes(&bytes).expect("parse");
+                assert_eq!(back.scheme(), scheme);
+                assert_eq!(back.decode_cpu(), values, "{scheme:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let col = EncodedColumn::encode_best(&[1, 2, 3]);
+        let mut bytes = col.to_bytes();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            EncodedColumn::from_bytes(&bytes),
+            Err(FormatError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_scheme() {
+        let col = EncodedColumn::encode_as(&[1, 2, 3], Scheme::GpuFor);
+        let mut bytes = col.to_bytes();
+        bytes[4] = 99;
+        assert!(matches!(
+            EncodedColumn::from_bytes(&bytes),
+            Err(FormatError::UnknownScheme(99))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let col = EncodedColumn::encode_as(&(0..500).collect::<Vec<_>>(), Scheme::GpuFor);
+        let bytes = col.to_bytes();
+        for cut in [0, 4, 7, bytes.len() / 2, bytes.len() - 4] {
+            assert!(
+                EncodedColumn::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_corrupted_widths() {
+        let col = GpuFor::encode(&(0..500).collect::<Vec<_>>());
+        let mut bytes = col.to_bytes();
+        // Blast a byte in the middle of the data array; structural
+        // validation must catch widths/length inconsistencies.
+        let mid = bytes.len() / 2;
+        bytes[mid] = 0xFF;
+        // Either parse fails, or (if the flip landed in a packed
+        // payload) the structure still validates; both are acceptable,
+        // but a width corruption must never panic.
+        let _ = GpuFor::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn rejects_non_monotone_block_starts() {
+        let mut col = GpuFor::encode(&(0..500).collect::<Vec<_>>());
+        col.block_starts.swap(1, 2);
+        // Depending on block sizes this trips either the monotonicity
+        // check or the width-vs-length consistency check; both reject.
+        assert!(col.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_count() {
+        let mut col = GpuFor::encode(&(0..500).collect::<Vec<_>>());
+        col.total_count = 10_000;
+        assert!(matches!(col.validate(), Err(FormatError::BadCount { .. })));
+    }
+
+    #[test]
+    fn rfor_rejects_zero_run_count() {
+        let mut col = GpuRFor::encode(&(0..600).map(|i| i / 3).collect::<Vec<_>>());
+        let start = col.values_starts[0] as usize;
+        col.values_data[start] = 0;
+        assert!(matches!(col.validate(), Err(FormatError::BadBlock { .. })));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = FormatError::BadBlock { block: 7, reason: "demo" };
+        assert!(e.to_string().contains("block 7"));
+        let e = FormatError::BadMagic(0xDEAD_BEEF);
+        assert!(e.to_string().contains("DEADBEEF"));
+    }
+
+    #[test]
+    fn cross_scheme_parse_fails_cleanly() {
+        let f = GpuFor::encode(&[1, 2, 3]).to_bytes();
+        assert!(GpuDFor::from_bytes(&f).is_err());
+        assert!(GpuRFor::from_bytes(&f).is_err());
+    }
+}

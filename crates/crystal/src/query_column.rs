@@ -1,0 +1,108 @@
+//! Fact-table columns as seen by query kernels.
+
+use tlc_core::column::{DeviceColumn, TILE};
+use tlc_gpu_sim::{BlockCtx, Device, GlobalBuffer};
+
+/// A column a query kernel can consume tile by tile: plain (Crystal's
+/// `BlockLoad`) or compressed (the paper's `Load*BitPack` device
+/// functions). "The only required changes are to replace the load
+/// routines (BlockLoad) in Crystal with LoadBitPack" — Section 7.
+#[derive(Debug)]
+pub enum QueryColumn {
+    /// Uncompressed 4-byte integers.
+    Plain(GlobalBuffer<i32>),
+    /// Tile-decodable compressed column.
+    Encoded(DeviceColumn),
+}
+
+impl QueryColumn {
+    /// Upload a plain column.
+    pub fn plain(dev: &Device, values: &[i32]) -> Self {
+        QueryColumn::Plain(dev.alloc_from_slice(values))
+    }
+
+    /// Logical value count.
+    pub fn total_count(&self) -> usize {
+        match self {
+            QueryColumn::Plain(b) => b.len(),
+            QueryColumn::Encoded(c) => c.total_count(),
+        }
+    }
+
+    /// Number of 512-value tiles.
+    pub fn tiles(&self) -> usize {
+        self.total_count().div_ceil(TILE)
+    }
+
+    /// Bytes a PCIe transfer of this column would move.
+    pub fn size_bytes(&self) -> u64 {
+        match self {
+            QueryColumn::Plain(b) => b.size_bytes(),
+            QueryColumn::Encoded(c) => c.size_bytes(),
+        }
+    }
+
+    /// Load tile `tile_id` into `out`; returns the logical tile length.
+    /// For plain columns this is a coalesced `BlockLoad`; for encoded
+    /// columns it decompresses the tile inline.
+    pub fn load_tile(&self, ctx: &mut BlockCtx<'_>, tile_id: usize, out: &mut Vec<i32>) -> usize {
+        match self {
+            QueryColumn::Plain(b) => {
+                out.clear();
+                let lo = tile_id * TILE;
+                let len = TILE.min(b.len().saturating_sub(lo));
+                ctx.read_coalesced_with(b, lo, len, |vals| out.extend_from_slice(vals));
+                len
+            }
+            QueryColumn::Encoded(c) => c.load_tile(ctx, tile_id, out),
+        }
+    }
+
+    /// Shared memory one tile-load of this column needs.
+    pub fn tile_smem(&self) -> usize {
+        match self {
+            QueryColumn::Plain(_) => TILE * 4,
+            QueryColumn::Encoded(c) => c.tile_smem(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlc_core::EncodedColumn;
+    use tlc_gpu_sim::KernelConfig;
+
+    #[test]
+    fn plain_and_encoded_tiles_agree() {
+        let values: Vec<i32> = (0..3000).map(|i| i % 91).collect();
+        let dev = Device::v100();
+        let plain = QueryColumn::plain(&dev, &values);
+        let encoded =
+            QueryColumn::Encoded(EncodedColumn::encode_best(&values).to_device(&dev));
+        assert_eq!(plain.tiles(), encoded.tiles());
+
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        let mut all_a = Vec::new();
+        let mut all_b = Vec::new();
+        dev.launch(KernelConfig::new("t", plain.tiles(), 128).smem_per_block(8192), |ctx| {
+            let na = plain.load_tile(ctx, ctx.block_id(), &mut a);
+            let nb = encoded.load_tile(ctx, ctx.block_id(), &mut b);
+            assert_eq!(na, nb);
+            all_a.extend_from_slice(&a[..na]);
+            all_b.extend_from_slice(&b[..nb]);
+        });
+        assert_eq!(all_a, values);
+        assert_eq!(all_b, values);
+    }
+
+    #[test]
+    fn encoded_column_is_smaller_on_the_wire() {
+        let values: Vec<i32> = (0..100_000).map(|i| i / 10).collect();
+        let dev = Device::v100();
+        let plain = QueryColumn::plain(&dev, &values);
+        let enc = QueryColumn::Encoded(EncodedColumn::encode_best(&values).to_device(&dev));
+        assert!(enc.size_bytes() * 4 < plain.size_bytes());
+    }
+}

@@ -1,0 +1,418 @@
+//! The simulated device: parameters, allocator, launch entry point, and
+//! the analytic time model.
+
+use std::cell::{Cell, RefCell};
+
+use crate::kernel::{BlockCtx, KernelConfig, Occupancy};
+use crate::memory::{GlobalBuffer, Scalar, ALLOC_ALIGN};
+use crate::report::{KernelReport, Timeline, Traffic};
+
+/// Calibration constants of the simulated device.
+///
+/// Defaults model the NVIDIA V100 used in the paper's evaluation
+/// (Section 9.1): 80 SMs, 880 GB/s measured global bandwidth, shared
+/// memory an order of magnitude faster, 12.8 GB/s bidirectional PCIe 3.
+#[derive(Debug, Clone)]
+pub struct DeviceParams {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub num_sms: usize,
+    /// Global-memory bandwidth in bytes/second.
+    pub global_bw: f64,
+    /// Aggregate shared-memory bandwidth in bytes/second.
+    pub shared_bw: f64,
+    /// PCIe bandwidth in bytes/second (bidirectional, as in the paper).
+    pub pcie_bw: f64,
+    /// Integer-operation throughput in ops/second.
+    pub int_throughput: f64,
+    /// Fixed host-side cost of one kernel launch, in seconds.
+    pub kernel_launch_s: f64,
+    /// Scheduling + tail latency of one thread block, in seconds,
+    /// amortized over `num_sms * resident_blocks`. This is what makes
+    /// tiny-work-per-block grids (D = 1) slow in Figure 5.
+    pub block_latency_s: f64,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: usize,
+    /// Register file size per SM (32-bit registers).
+    pub regs_per_sm: usize,
+    /// Shared memory per SM in bytes.
+    pub smem_per_sm: usize,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: usize,
+    /// Registers per thread beyond which the compiler spills to local
+    /// (= global) memory.
+    pub spill_threshold_regs: usize,
+    /// Occupancy needed to saturate global bandwidth. Below this the
+    /// effective bandwidth degrades linearly (not enough memory-level
+    /// parallelism in flight).
+    pub bw_saturation_occupancy: f64,
+    /// Model an L1 cache: repeated accesses to a 128-byte segment from
+    /// the *same thread block* are served from cache after the first
+    /// transaction. Off by default — the paper's Section 4.2
+    /// optimizations exist precisely so the kernels never depend on
+    /// cache behaviour, and the no-cache model brackets the base
+    /// algorithm's measured penalty from above (see DESIGN.md §7).
+    pub l1_per_block: bool,
+}
+
+impl DeviceParams {
+    /// V100-class defaults (the paper's testbed).
+    pub fn v100() -> Self {
+        DeviceParams {
+            name: "V100-sim",
+            num_sms: 80,
+            global_bw: 880.0e9,
+            shared_bw: 8.8e12,
+            pcie_bw: 12.8e9,
+            int_throughput: 14.0e12,
+            kernel_launch_s: 5.0e-6,
+            block_latency_s: 1.2e-6,
+            max_threads_per_sm: 2048,
+            regs_per_sm: 65_536,
+            smem_per_sm: 96 * 1024,
+            max_blocks_per_sm: 32,
+            spill_threshold_regs: 64,
+            bw_saturation_occupancy: 0.40,
+            l1_per_block: false,
+        }
+    }
+}
+
+/// The simulated GPU. Owns the allocator cursor and the event timeline;
+/// buffers are handed out by value so kernels can borrow them naturally.
+#[derive(Debug)]
+pub struct Device {
+    params: DeviceParams,
+    alloc_cursor: Cell<u64>,
+    timeline: RefCell<Timeline>,
+}
+
+impl Device {
+    /// Create a device with V100-like parameters.
+    pub fn v100() -> Self {
+        Self::with_params(DeviceParams::v100())
+    }
+
+    /// Create a device with custom parameters.
+    pub fn with_params(params: DeviceParams) -> Self {
+        Device {
+            params,
+            // Start away from address 0 so "null" is never a valid address.
+            alloc_cursor: Cell::new(4096),
+            timeline: RefCell::new(Timeline::default()),
+        }
+    }
+
+    /// The device's calibration constants.
+    pub fn params(&self) -> &DeviceParams {
+        &self.params
+    }
+
+    /// Allocate a buffer initialized from a host slice (models
+    /// `cudaMalloc` + resident data; no transfer time is charged — use
+    /// [`Device::pcie_transfer_to_device`] to model the copy explicitly).
+    pub fn alloc_from_slice<T: Scalar>(&self, data: &[T]) -> GlobalBuffer<T> {
+        self.alloc_from_vec(data.to_vec())
+    }
+
+    /// Allocate a buffer taking ownership of `data`.
+    pub fn alloc_from_vec<T: Scalar>(&self, data: Vec<T>) -> GlobalBuffer<T> {
+        let bytes = data.len() as u64 * T::BYTES;
+        let base = self.bump(bytes);
+        GlobalBuffer::new(base, data)
+    }
+
+    /// Allocate a zero-initialized buffer of `len` elements.
+    pub fn alloc_zeroed<T: Scalar>(&self, len: usize) -> GlobalBuffer<T> {
+        self.alloc_from_vec(vec![T::default(); len])
+    }
+
+    fn bump(&self, bytes: u64) -> u64 {
+        let base = self.alloc_cursor.get();
+        let next = (base + bytes).div_ceil(ALLOC_ALIGN) * ALLOC_ALIGN;
+        self.alloc_cursor.set(next);
+        base
+    }
+
+    /// Launch a kernel: run `body` once per thread block, accumulate the
+    /// traffic it reports, convert to simulated time, and append a
+    /// [`KernelReport`] to the timeline. Returns the report.
+    pub fn launch<F>(&self, cfg: KernelConfig, mut body: F) -> KernelReport
+    where
+        F: FnMut(&mut BlockCtx<'_>),
+    {
+        let occ = self.occupancy(&cfg);
+        let mut traffic = Traffic::default();
+        for block_id in 0..cfg.grid_blocks {
+            let mut ctx =
+                BlockCtx::new(block_id, &cfg, &mut traffic, self.params.l1_per_block);
+            body(&mut ctx);
+        }
+        // Register spilling: every resident thread round-trips the
+        // spilled registers through local (= global) memory.
+        if cfg.regs_per_thread > self.params.spill_threshold_regs {
+            let spilled = (cfg.regs_per_thread - self.params.spill_threshold_regs) as u64;
+            let threads = cfg.grid_blocks as u64 * cfg.threads_per_block as u64;
+            traffic.spill_bytes += spilled * 4 * 2 * threads;
+        }
+        let report = self.time_kernel(&cfg, occ, traffic);
+        self.timeline.borrow_mut().push(report.clone());
+        report
+    }
+
+    /// Occupancy achieved by a kernel configuration on this device.
+    pub fn occupancy(&self, cfg: &KernelConfig) -> Occupancy {
+        let p = &self.params;
+        let tpb = cfg.threads_per_block.max(1);
+        let by_threads = p.max_threads_per_sm / tpb;
+        let by_smem = p
+            .smem_per_sm
+            .checked_div(cfg.smem_per_block)
+            .unwrap_or(p.max_blocks_per_sm);
+        // Spilled kernels are compiled down to the spill threshold; the
+        // excess lives in local memory and is charged as spill traffic.
+        let regs = cfg.regs_per_thread.min(p.spill_threshold_regs).max(1);
+        let by_regs = p.regs_per_sm / (regs * tpb).max(1);
+        let blocks = by_threads
+            .min(by_smem)
+            .min(by_regs)
+            .min(p.max_blocks_per_sm)
+            .max(if cfg.grid_blocks > 0 { 1 } else { 0 });
+        Occupancy {
+            resident_blocks: blocks,
+            fraction: (blocks * tpb) as f64 / p.max_threads_per_sm as f64,
+        }
+    }
+
+    fn time_kernel(&self, cfg: &KernelConfig, occ: Occupancy, traffic: Traffic) -> KernelReport {
+        let p = &self.params;
+        let bw_factor = (occ.fraction / p.bw_saturation_occupancy).clamp(0.05, 1.0);
+        let global_s = traffic.global_bytes() as f64 / (p.global_bw * bw_factor);
+        let shared_s = traffic.shared_bytes as f64 / p.shared_bw;
+        let compute_s = traffic.int_ops as f64 / p.int_throughput;
+        // Per-block scheduling/tail latency, amortized over how many
+        // blocks the machine keeps in flight.
+        let concurrency = (p.num_sms * occ.resident_blocks.max(1)) as f64;
+        let block_overhead_s = cfg.grid_blocks as f64 * p.block_latency_s / concurrency;
+
+        let legs = [
+            ("global", global_s),
+            ("shared", shared_s),
+            ("compute", compute_s),
+        ];
+        let (mut bound_by, mut dominant) = ("overhead", 0.0f64);
+        for (name, s) in legs {
+            if s > dominant {
+                dominant = s;
+                bound_by = name;
+            }
+        }
+        let seconds = p.kernel_launch_s + block_overhead_s + dominant;
+        KernelReport {
+            name: cfg.name.clone(),
+            grid_blocks: cfg.grid_blocks,
+            threads_per_block: cfg.threads_per_block,
+            occupancy: occ.fraction,
+            traffic,
+            seconds,
+            bound_by,
+        }
+    }
+
+    /// Model a host→device (or device→host) transfer of `bytes` over
+    /// PCIe and append it to the timeline. Returns the transfer time.
+    pub fn pcie_transfer(&self, bytes: u64) -> f64 {
+        let seconds = bytes as f64 / self.params.pcie_bw;
+        self.timeline.borrow_mut().push(KernelReport {
+            name: "pcie".to_string(),
+            grid_blocks: 0,
+            threads_per_block: 0,
+            occupancy: 1.0,
+            traffic: Traffic::default(),
+            seconds,
+            bound_by: "pcie",
+        });
+        seconds
+    }
+
+    /// Model an out-of-core pipeline: `bytes` stream over PCIe in
+    /// `chunks` pieces double-buffered against `compute_seconds` of GPU
+    /// work. Steady-state throughput is the slower of the two legs; the
+    /// pipeline fill costs one transfer chunk. Appends a single event
+    /// and returns the total time.
+    pub fn pcie_transfer_overlapped(&self, bytes: u64, compute_seconds: f64, chunks: usize) -> f64 {
+        let transfer = bytes as f64 / self.params.pcie_bw;
+        let fill = transfer / chunks.max(1) as f64;
+        let seconds = fill + transfer.max(compute_seconds);
+        self.timeline.borrow_mut().push(KernelReport {
+            name: "pcie".to_string(),
+            grid_blocks: 0,
+            threads_per_block: 0,
+            occupancy: 1.0,
+            traffic: Traffic::default(),
+            seconds,
+            bound_by: if transfer >= compute_seconds { "pcie" } else { "compute" },
+        });
+        seconds
+    }
+
+    /// Total simulated seconds since the last [`Device::reset_timeline`].
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.timeline.borrow().total_seconds()
+    }
+
+    /// Total simulated seconds scaled to a workload `factor` times larger
+    /// (see [`Timeline::scaled_seconds`]).
+    pub fn elapsed_seconds_scaled(&self, factor: f64) -> f64 {
+        self.timeline
+            .borrow()
+            .scaled_seconds(factor, self.params.kernel_launch_s)
+    }
+
+    /// Clear the timeline (start of a measured region).
+    pub fn reset_timeline(&self) {
+        self.timeline.borrow_mut().clear();
+    }
+
+    /// Inspect the timeline (events since last reset).
+    pub fn with_timeline<R>(&self, f: impl FnOnce(&Timeline) -> R) -> R {
+        f(&self.timeline.borrow())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_alignment_and_disjointness() {
+        let dev = Device::v100();
+        let a = dev.alloc_zeroed::<u32>(33); // 132 bytes -> next alloc 256B later
+        let b = dev.alloc_zeroed::<u8>(1);
+        assert_eq!(a.addr_of(0) % ALLOC_ALIGN, 0);
+        assert_eq!(b.addr_of(0) % ALLOC_ALIGN, 0);
+        assert!(b.addr_of(0) >= a.addr_of(0) + 132);
+    }
+
+    #[test]
+    fn occupancy_limited_by_threads() {
+        let dev = Device::v100();
+        let cfg = KernelConfig::new("k", 10, 128);
+        let occ = dev.occupancy(&cfg);
+        assert_eq!(occ.resident_blocks, 16); // 2048 / 128
+        assert!((occ.fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn occupancy_limited_by_smem() {
+        let dev = Device::v100();
+        // 16 KiB smem per block -> 6 blocks of 96 KiB SM.
+        let cfg = KernelConfig::new("k", 10, 128).smem_per_block(16 * 1024);
+        let occ = dev.occupancy(&cfg);
+        assert_eq!(occ.resident_blocks, 6);
+        assert!(occ.fraction < 0.5);
+    }
+
+    #[test]
+    fn occupancy_limited_by_registers() {
+        let dev = Device::v100();
+        // 64 regs * 512 threads = 32768 regs per block -> 2 blocks.
+        let cfg = KernelConfig::new("k", 10, 512).regs_per_thread(64);
+        let occ = dev.occupancy(&cfg);
+        assert_eq!(occ.resident_blocks, 2);
+    }
+
+    #[test]
+    fn spill_traffic_charged_above_threshold() {
+        let dev = Device::v100();
+        let cfg = KernelConfig::new("k", 4, 128).regs_per_thread(70);
+        let report = dev.launch(cfg, |_| {});
+        // 6 spilled regs * 4 B * 2 (st+ld) * 512 threads
+        assert_eq!(report.traffic.spill_bytes, 6 * 4 * 2 * 512);
+    }
+
+    #[test]
+    fn no_spill_at_threshold() {
+        let dev = Device::v100();
+        let cfg = KernelConfig::new("k", 4, 128).regs_per_thread(64);
+        let report = dev.launch(cfg, |_| {});
+        assert_eq!(report.traffic.spill_bytes, 0);
+    }
+
+    #[test]
+    fn time_scales_with_traffic() {
+        let dev = Device::v100();
+        let data: Vec<u32> = vec![7; 1 << 20];
+        let buf = dev.alloc_from_slice(&data);
+        let blocks = data.len() / 128;
+        let t1 = {
+            dev.reset_timeline();
+            dev.launch(KernelConfig::new("r1", blocks, 128), |blk| {
+                let base = blk.block_id() * 128;
+                let _ = blk.read_coalesced(&buf, base, 128);
+            });
+            dev.elapsed_seconds()
+        };
+        let t2 = {
+            dev.reset_timeline();
+            dev.launch(KernelConfig::new("r2", blocks, 128), |blk| {
+                let base = blk.block_id() * 128;
+                let _ = blk.read_coalesced(&buf, base, 128);
+                let _ = blk.read_coalesced(&buf, base, 128); // double traffic
+            });
+            dev.elapsed_seconds()
+        };
+        assert!(t2 > t1, "t1={t1} t2={t2}");
+    }
+
+    #[test]
+    fn streaming_read_bandwidth_matches_model() {
+        // Reading 2 GB at 880 GB/s with full occupancy and a grid-stride
+        // loop should take ~2.3 ms. Simulate a scaled-down 8 MB read and
+        // scale the answer by 256.
+        let dev = Device::v100();
+        let n = 2 << 20; // u32 elements = 8 MiB
+        let buf = dev.alloc_zeroed::<u32>(n);
+        let grid = 128; // grid-stride style: few blocks, lots of work each
+        let per_block = n / grid;
+        dev.reset_timeline();
+        dev.launch(KernelConfig::new("scan", grid, 128), |blk| {
+            let base = blk.block_id() * per_block;
+            let _ = blk.read_coalesced(&buf, base, per_block);
+        });
+        let t = dev.elapsed_seconds_scaled(256.0);
+        let expected = (n as f64 * 4.0 * 256.0) / 880.0e9;
+        assert!((t - expected).abs() / expected < 0.05, "t={t} expected={expected}");
+    }
+
+    #[test]
+    fn pcie_transfer_time() {
+        let dev = Device::v100();
+        let t = dev.pcie_transfer(12_800_000_000);
+        assert!((t - 1.0).abs() < 1e-9);
+        assert_eq!(dev.with_timeline(|tl| tl.kernel_launches()), 0);
+    }
+
+    #[test]
+    fn low_occupancy_degrades_bandwidth() {
+        let dev = Device::v100();
+        let n = 1 << 20;
+        let buf = dev.alloc_zeroed::<u32>(n);
+        let run = |smem: usize| {
+            dev.reset_timeline();
+            let grid = n / 128;
+            dev.launch(
+                KernelConfig::new("k", grid, 128).smem_per_block(smem),
+                |blk| {
+                    let base = blk.block_id() * 128;
+                    let _ = blk.read_coalesced(&buf, base, 128);
+                },
+            );
+            dev.elapsed_seconds()
+        };
+        let fast = run(1024); // high occupancy
+        let slow = run(48 * 1024); // 2 resident blocks -> 12.5% occupancy
+        assert!(slow > fast, "slow={slow} fast={fast}");
+    }
+}

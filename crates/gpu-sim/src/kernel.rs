@@ -1,0 +1,405 @@
+//! Kernel configuration and the per-thread-block execution context.
+
+use std::collections::HashSet;
+
+use crate::memory::{
+    gather_segments, segments_for_gather, segments_for_range, GlobalBuffer, Scalar,
+    SEGMENT_BYTES, WARP_SIZE,
+};
+use crate::report::Traffic;
+
+/// Static launch configuration of a kernel, mirroring what a CUDA
+/// programmer declares: grid size, block size, shared memory per block,
+/// and (as a modelling input) registers per thread.
+#[derive(Debug, Clone)]
+pub struct KernelConfig {
+    /// Kernel name, used in timeline reports.
+    pub name: String,
+    /// Number of thread blocks in the grid.
+    pub grid_blocks: usize,
+    /// Threads per block (32..=1024 on real hardware).
+    pub threads_per_block: usize,
+    /// Dynamic + static shared memory per block, in bytes.
+    pub smem_per_block: usize,
+    /// Registers per thread the kernel needs. Above the device's spill
+    /// threshold, the excess is charged as local-memory traffic.
+    pub regs_per_thread: usize,
+}
+
+impl KernelConfig {
+    /// A kernel with the given grid and block size; 32 registers/thread
+    /// and no shared memory by default.
+    pub fn new(name: impl Into<String>, grid_blocks: usize, threads_per_block: usize) -> Self {
+        debug_assert!((1..=1024).contains(&threads_per_block));
+        KernelConfig {
+            name: name.into(),
+            grid_blocks,
+            threads_per_block,
+            smem_per_block: 0,
+            regs_per_thread: 32,
+        }
+    }
+
+    /// Set shared-memory bytes per block.
+    pub fn smem_per_block(mut self, bytes: usize) -> Self {
+        self.smem_per_block = bytes;
+        self
+    }
+
+    /// Set registers per thread.
+    pub fn regs_per_thread(mut self, regs: usize) -> Self {
+        self.regs_per_thread = regs;
+        self
+    }
+}
+
+/// Achieved occupancy of a kernel on a device.
+#[derive(Debug, Clone, Copy)]
+pub struct Occupancy {
+    /// Blocks resident per SM.
+    pub resident_blocks: usize,
+    /// Fraction of the SM's maximum resident threads, in [0, 1].
+    pub fraction: f64,
+}
+
+/// Execution context of one thread block.
+///
+/// All *device-visible* memory access goes through these methods so the
+/// simulator can account transactions. The methods are block-collective:
+/// e.g. [`BlockCtx::read_coalesced`] models all threads of the block
+/// cooperatively loading a contiguous range (Crystal's `BlockLoad`),
+/// while [`BlockCtx::warp_gather`] models one warp issuing up to 32
+/// arbitrary addresses in one instruction.
+pub struct BlockCtx<'a> {
+    block_id: usize,
+    threads: usize,
+    shared: Vec<u32>,
+    traffic: &'a mut Traffic,
+    /// Per-block L1 model: segments already fetched by this block
+    /// (None when the device's `l1_per_block` is off).
+    l1: Option<HashSet<u64>>,
+}
+
+impl<'a> BlockCtx<'a> {
+    pub(crate) fn new(
+        block_id: usize,
+        cfg: &KernelConfig,
+        traffic: &'a mut Traffic,
+        l1_per_block: bool,
+    ) -> Self {
+        BlockCtx {
+            block_id,
+            threads: cfg.threads_per_block,
+            shared: vec![0u32; cfg.smem_per_block / 4],
+            traffic,
+            l1: l1_per_block.then(HashSet::new),
+        }
+    }
+
+    /// Charge the read transactions for a contiguous byte range,
+    /// deduplicating against the block's L1 when modeled.
+    fn charge_range_read(&mut self, addr: u64, bytes: u64) {
+        match &mut self.l1 {
+            None => self.traffic.global_read_segments += segments_for_range(addr, bytes),
+            Some(cache) => {
+                if bytes == 0 {
+                    return;
+                }
+                for seg in addr / SEGMENT_BYTES..=(addr + bytes - 1) / SEGMENT_BYTES {
+                    if cache.insert(seg) {
+                        self.traffic.global_read_segments += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Charge the read transactions for one warp's gather,
+    /// deduplicating against the block's L1 when modeled.
+    fn charge_gather_read(&mut self, addrs: &[u64], width: u64) {
+        match &mut self.l1 {
+            None => self.traffic.global_read_segments += segments_for_gather(addrs, width),
+            Some(cache) => {
+                for seg in gather_segments(addrs, width) {
+                    if cache.insert(seg) {
+                        self.traffic.global_read_segments += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Index of this thread block within the grid.
+    #[inline]
+    pub fn block_id(&self) -> usize {
+        self.block_id
+    }
+
+    /// Threads in this block.
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    // ------------------------------------------------------------------
+    // Global memory
+    // ------------------------------------------------------------------
+
+    /// Block-cooperative coalesced load of `len` contiguous elements
+    /// starting at `start`. Charges the distinct 128-byte segments the
+    /// range covers (misalignment included) and returns the values.
+    pub fn read_coalesced<T: Scalar>(
+        &mut self,
+        buf: &GlobalBuffer<T>,
+        start: usize,
+        len: usize,
+    ) -> Vec<T> {
+        self.charge_range_read(buf.addr_of(start), len as u64 * T::BYTES);
+        buf.range(start, len).to_vec()
+    }
+
+    /// Like [`BlockCtx::read_coalesced`] but invokes `f` on the borrowed
+    /// slice instead of copying (for hot decode paths).
+    pub fn read_coalesced_with<T: Scalar, R>(
+        &mut self,
+        buf: &GlobalBuffer<T>,
+        start: usize,
+        len: usize,
+        f: impl FnOnce(&[T]) -> R,
+    ) -> R {
+        self.charge_range_read(buf.addr_of(start), len as u64 * T::BYTES);
+        f(buf.range(start, len))
+    }
+
+    /// Block-cooperative coalesced store of `values` starting at `start`.
+    pub fn write_coalesced<T: Scalar>(
+        &mut self,
+        buf: &mut GlobalBuffer<T>,
+        start: usize,
+        values: &[T],
+    ) {
+        self.traffic.global_write_segments +=
+            segments_for_range(buf.addr_of(start), values.len() as u64 * T::BYTES);
+        buf.range_mut(start, values.len()).copy_from_slice(values);
+    }
+
+    /// One warp gathers up to 32 arbitrary elements in a single
+    /// instruction; transactions = distinct segments touched. Used for
+    /// hash-table probes and the `block_starts` reads of Algorithm 1.
+    pub fn warp_gather<T: Scalar>(&mut self, buf: &GlobalBuffer<T>, indices: &[usize]) -> Vec<T> {
+        let mut out = Vec::with_capacity(indices.len());
+        for chunk in indices.chunks(WARP_SIZE) {
+            let addrs: Vec<u64> = chunk.iter().map(|&i| buf.addr_of(i)).collect();
+            self.charge_gather_read(&addrs, T::BYTES);
+            out.extend(chunk.iter().map(|&i| buf.get(i)));
+        }
+        out
+    }
+
+    /// Like [`BlockCtx::warp_gather`], but each lane reads `width_bytes`
+    /// starting at its element's address (e.g. the 8-byte windows of
+    /// Algorithm 1 when decoding straight from global memory). Returns
+    /// the first element at each index; the traffic covers the full
+    /// window width.
+    pub fn warp_gather_wide<T: Scalar>(
+        &mut self,
+        buf: &GlobalBuffer<T>,
+        indices: &[usize],
+        width_bytes: u64,
+    ) -> Vec<T> {
+        let mut out = Vec::with_capacity(indices.len());
+        for chunk in indices.chunks(WARP_SIZE) {
+            let addrs: Vec<u64> = chunk.iter().map(|&i| buf.addr_of(i)).collect();
+            self.charge_gather_read(&addrs, width_bytes);
+            out.extend(chunk.iter().map(|&i| buf.get(i)));
+        }
+        out
+    }
+
+    /// One warp scatters up to 32 `(index, value)` pairs; transactions =
+    /// distinct segments touched.
+    pub fn warp_scatter<T: Scalar>(
+        &mut self,
+        buf: &mut GlobalBuffer<T>,
+        writes: &[(usize, T)],
+    ) {
+        for chunk in writes.chunks(WARP_SIZE) {
+            let addrs: Vec<u64> = chunk.iter().map(|&(i, _)| buf.addr_of(i)).collect();
+            self.traffic.global_write_segments += segments_for_gather(&addrs, T::BYTES);
+            for &(i, v) in chunk {
+                buf.put(i, v);
+            }
+        }
+    }
+
+    /// Warp-level read-modify-write of up to 32 positions (models
+    /// `atomicAdd` on global memory: a read plus a write per segment).
+    pub fn warp_atomic_add_u64(&mut self, buf: &mut GlobalBuffer<u64>, updates: &[(usize, u64)]) {
+        for chunk in updates.chunks(WARP_SIZE) {
+            let addrs: Vec<u64> = chunk.iter().map(|&(i, _)| buf.addr_of(i)).collect();
+            let segs = segments_for_gather(&addrs, 8);
+            self.traffic.global_read_segments += segs;
+            self.traffic.global_write_segments += segs;
+            for &(i, v) in chunk {
+                let cur = buf.get(i);
+                buf.put(i, cur.wrapping_add(v));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Shared memory
+    // ------------------------------------------------------------------
+
+    /// Stage a contiguous range of global words into shared memory at
+    /// word offset `smem_offset` (the tile-load of Section 3). Charges
+    /// the global read segments plus a shared write of the same size.
+    pub fn stage_to_shared(
+        &mut self,
+        buf: &GlobalBuffer<u32>,
+        start: usize,
+        len: usize,
+        smem_offset: usize,
+    ) {
+        self.charge_range_read(buf.addr_of(start), len as u64 * 4);
+        self.traffic.shared_bytes += len as u64 * 4;
+        self.shared[smem_offset..smem_offset + len].copy_from_slice(buf.range(start, len));
+    }
+
+    /// The block's shared memory (32-bit words). Functional access is
+    /// free-form; account traffic with [`BlockCtx::smem_traffic`].
+    pub fn shared(&self) -> &[u32] {
+        &self.shared
+    }
+
+    /// Mutable shared memory.
+    pub fn shared_mut(&mut self) -> &mut [u32] {
+        &mut self.shared
+    }
+
+    /// Shared memory plus the traffic counter, for decode loops that
+    /// interleave reads with accounting.
+    pub fn shared_and_traffic(&mut self) -> (&mut [u32], &mut Traffic) {
+        (&mut self.shared, self.traffic)
+    }
+
+    /// Account `bytes` of shared-memory traffic (reads and/or writes).
+    #[inline]
+    pub fn smem_traffic(&mut self, bytes: u64) {
+        self.traffic.shared_bytes += bytes;
+    }
+
+    // ------------------------------------------------------------------
+    // Compute
+    // ------------------------------------------------------------------
+
+    /// Account `n` integer/ALU operations.
+    #[inline]
+    pub fn add_int_ops(&mut self, n: u64) {
+        self.traffic.int_ops += n;
+    }
+
+    /// Current traffic counters (for tests and fine-grained harnesses).
+    pub fn traffic(&self) -> &Traffic {
+        self.traffic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Device;
+
+    #[test]
+    fn coalesced_read_counts_range_segments() {
+        let dev = Device::v100();
+        let buf = dev.alloc_zeroed::<u32>(1024);
+        let report = dev.launch(KernelConfig::new("k", 1, 128), |blk| {
+            let v = blk.read_coalesced(&buf, 0, 128); // 512 B aligned
+            assert_eq!(v.len(), 128);
+        });
+        assert_eq!(report.traffic.global_read_segments, 4);
+    }
+
+    #[test]
+    fn misaligned_read_costs_extra_segment() {
+        let dev = Device::v100();
+        let buf = dev.alloc_zeroed::<u32>(1024);
+        let report = dev.launch(KernelConfig::new("k", 1, 128), |blk| {
+            let _ = blk.read_coalesced(&buf, 1, 128); // 512 B at offset 4
+        });
+        assert_eq!(report.traffic.global_read_segments, 5);
+    }
+
+    #[test]
+    fn warp_gather_broadcast_is_cheap() {
+        let dev = Device::v100();
+        let buf = dev.alloc_zeroed::<u32>(1024);
+        let report = dev.launch(KernelConfig::new("k", 1, 32), |blk| {
+            let _ = blk.warp_gather(&buf, &[5; 32]);
+        });
+        assert_eq!(report.traffic.global_read_segments, 1);
+    }
+
+    #[test]
+    fn warp_gather_random_is_expensive() {
+        let dev = Device::v100();
+        let buf = dev.alloc_zeroed::<u32>(32 * 64);
+        let report = dev.launch(KernelConfig::new("k", 1, 32), |blk| {
+            let idx: Vec<usize> = (0..32).map(|i| i * 64).collect();
+            let _ = blk.warp_gather(&buf, &idx);
+        });
+        assert_eq!(report.traffic.global_read_segments, 32);
+    }
+
+    #[test]
+    fn stage_to_shared_counts_both_sides() {
+        let dev = Device::v100();
+        let data: Vec<u32> = (0..256).collect();
+        let buf = dev.alloc_from_slice(&data);
+        let report = dev.launch(
+            KernelConfig::new("k", 1, 128).smem_per_block(1024),
+            |blk| {
+                blk.stage_to_shared(&buf, 0, 256, 0);
+                assert_eq!(blk.shared()[255], 255);
+            },
+        );
+        assert_eq!(report.traffic.global_read_segments, 8);
+        assert_eq!(report.traffic.shared_bytes, 1024);
+    }
+
+    #[test]
+    fn writes_land_in_buffer() {
+        let dev = Device::v100();
+        let mut out = dev.alloc_zeroed::<u32>(256);
+        dev.launch(KernelConfig::new("k", 2, 128), |blk| {
+            let vals: Vec<u32> = (0..128).map(|i| (blk.block_id() * 1000 + i) as u32).collect();
+            blk.write_coalesced(&mut out, blk.block_id() * 128, &vals);
+        });
+        assert_eq!(out.as_slice_unaccounted()[0], 0);
+        assert_eq!(out.as_slice_unaccounted()[128], 1000);
+        assert_eq!(out.as_slice_unaccounted()[255], 1127);
+    }
+
+    #[test]
+    fn atomic_add_accumulates() {
+        let dev = Device::v100();
+        let mut acc = dev.alloc_zeroed::<u64>(4);
+        dev.launch(KernelConfig::new("k", 3, 32), |blk| {
+            blk.warp_atomic_add_u64(&mut acc, &[(1, 10)]);
+        });
+        assert_eq!(acc.as_slice_unaccounted()[1], 30);
+    }
+
+    #[test]
+    fn shared_memory_is_zeroed_per_block() {
+        let dev = Device::v100();
+        dev.launch(
+            KernelConfig::new("k", 3, 64).smem_per_block(256),
+            |blk| {
+                assert!(blk.shared().iter().all(|&w| w == 0));
+                blk.shared_mut()[0] = 42;
+            },
+        );
+    }
+}

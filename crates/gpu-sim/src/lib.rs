@@ -1,0 +1,65 @@
+//! # tlc-gpu-sim — a software SIMT GPU simulator
+//!
+//! This crate is the hardware substrate for the tile-based compression
+//! reproduction. No physical GPU is available, so every "kernel" in the
+//! workspace executes *functionally* on the CPU (bit-exact results,
+//! verifiable against reference implementations) while the simulator
+//! accounts the memory traffic the same code would generate on a real
+//! device:
+//!
+//! * **Global memory** accesses are grouped per warp and charged by the
+//!   number of distinct 128-byte segments touched (the coalescing rule the
+//!   paper relies on in Section 4.2, Optimization 2).
+//! * **Shared memory** traffic is counted in bytes and charged against an
+//!   order-of-magnitude-higher bandwidth (10 TB/s vs 880 GB/s on V100).
+//! * **Occupancy** is derived from threads/registers/shared-memory limits
+//!   per SM; kernels whose occupancy falls below the saturation point lose
+//!   effective bandwidth, and kernels that declare more registers per
+//!   thread than the spill threshold pay spill round-trips to global
+//!   memory — this is what makes `D = 32` deteriorate in Figure 5.
+//! * Each kernel launch pays a fixed host-side overhead, and each thread
+//!   block pays a small scheduling/tail latency amortized over the SMs;
+//!   this is what separates one-block-per-thread-block decoding (`D = 1`)
+//!   from `D = 4` in the paper's optimization ladder.
+//!
+//! Simulated time is the roofline maximum of the global-memory leg, the
+//! shared-memory leg and the integer-compute leg, plus the fixed
+//! overheads. All results in `EXPERIMENTS.md` are *model* times; the
+//! calibration constants live in [`DeviceParams`] and are documented
+//! there.
+//!
+//! The simulator is deliberately single threaded: traffic accounting is
+//! deterministic, so every figure harness is exactly reproducible.
+//!
+//! ## Example
+//!
+//! ```
+//! use tlc_gpu_sim::{Device, KernelConfig};
+//!
+//! let dev = Device::v100();
+//! let input = dev.alloc_from_slice::<u32>(&(0..1024).collect::<Vec<_>>());
+//! let mut output = dev.alloc_zeroed::<u32>(1024);
+//!
+//! let cfg = KernelConfig::new("double", 8, 128).regs_per_thread(16);
+//! dev.launch(cfg, |blk| {
+//!     let base = blk.block_id() * 128;
+//!     let vals = blk.read_coalesced(&input, base, 128);
+//!     let doubled: Vec<u32> = vals.iter().map(|v| v * 2).collect();
+//!     blk.add_int_ops(128);
+//!     blk.write_coalesced(&mut output, base, &doubled);
+//! });
+//!
+//! assert_eq!(output.as_slice_unaccounted()[10], 20);
+//! assert!(dev.elapsed_seconds() > 0.0);
+//! ```
+
+pub mod device;
+pub mod kernel;
+pub mod memory;
+pub mod report;
+pub mod scan;
+
+pub use device::{Device, DeviceParams};
+pub use kernel::{BlockCtx, KernelConfig, Occupancy};
+pub use memory::{GlobalBuffer, Scalar, SEGMENT_BYTES, WARP_SIZE};
+pub use report::{KernelReport, Timeline, Traffic};

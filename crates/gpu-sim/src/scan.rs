@@ -1,0 +1,98 @@
+//! Block-wide prefix sums (Blelloch work-efficient scan).
+//!
+//! Crystal ships a block-level scan used by the paper for delta decoding
+//! (Section 5.2) and RLE expansion (Section 6). The functional result
+//! here is an ordinary sequential scan; the *accounting* charges what the
+//! parallel tree algorithm would do: ~2·n shared-memory accesses and
+//! O(n) add operations over the up-sweep and down-sweep phases, executed
+//! in `Θ(log n)` steps [Blelloch 1989].
+
+use crate::kernel::BlockCtx;
+
+fn account_scan(ctx: &mut BlockCtx<'_>, n: usize, elem_bytes: u64) {
+    // Up-sweep + down-sweep each touch every element about twice.
+    ctx.smem_traffic(4 * n as u64 * elem_bytes);
+    ctx.add_int_ops(2 * n as u64);
+}
+
+/// In-place inclusive prefix sum over `data`, with wrap-around semantics
+/// matching 32-bit device arithmetic.
+pub fn block_inclusive_scan_i64(ctx: &mut BlockCtx<'_>, data: &mut [i64]) {
+    account_scan(ctx, data.len(), 8);
+    let mut acc = 0i64;
+    for v in data.iter_mut() {
+        acc = acc.wrapping_add(*v);
+        *v = acc;
+    }
+}
+
+/// In-place exclusive prefix sum over `data`; returns the total.
+pub fn block_exclusive_scan_u32(ctx: &mut BlockCtx<'_>, data: &mut [u32]) -> u32 {
+    account_scan(ctx, data.len(), 4);
+    let mut acc = 0u32;
+    for v in data.iter_mut() {
+        let next = acc.wrapping_add(*v);
+        *v = acc;
+        acc = next;
+    }
+    acc
+}
+
+/// In-place inclusive prefix sum over `data`; returns the total.
+pub fn block_inclusive_scan_u32(ctx: &mut BlockCtx<'_>, data: &mut [u32]) -> u32 {
+    account_scan(ctx, data.len(), 4);
+    let mut acc = 0u32;
+    for v in data.iter_mut() {
+        acc = acc.wrapping_add(*v);
+        *v = acc;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Device, KernelConfig};
+
+    #[test]
+    fn inclusive_scan_values() {
+        let dev = Device::v100();
+        dev.launch(KernelConfig::new("k", 1, 128), |blk| {
+            let mut data = vec![1i64, 2, 3, 4];
+            block_inclusive_scan_i64(blk, &mut data);
+            assert_eq!(data, vec![1, 3, 6, 10]);
+        });
+    }
+
+    #[test]
+    fn exclusive_scan_values_and_total() {
+        let dev = Device::v100();
+        dev.launch(KernelConfig::new("k", 1, 128), |blk| {
+            let mut data = vec![3u32, 1, 4, 1];
+            let total = block_exclusive_scan_u32(blk, &mut data);
+            assert_eq!(data, vec![0, 3, 4, 8]);
+            assert_eq!(total, 9);
+        });
+    }
+
+    #[test]
+    fn scan_charges_shared_traffic() {
+        let dev = Device::v100();
+        let report = dev.launch(KernelConfig::new("k", 1, 128), |blk| {
+            let mut data = vec![0u32; 512];
+            block_inclusive_scan_u32(blk, &mut data);
+        });
+        assert_eq!(report.traffic.shared_bytes, 4 * 512 * 4);
+        assert_eq!(report.traffic.int_ops, 2 * 512);
+    }
+
+    #[test]
+    fn inclusive_scan_wraps_like_device_arithmetic() {
+        let dev = Device::v100();
+        dev.launch(KernelConfig::new("k", 1, 32), |blk| {
+            let mut data = vec![u32::MAX, 2];
+            block_inclusive_scan_u32(blk, &mut data);
+            assert_eq!(data, vec![u32::MAX, 1]);
+        });
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests on the cost model: the invariants every scheme's
+//! accounting relies on.
+
+use proptest::prelude::*;
+use tlc_gpu_sim::{Device, DeviceParams, KernelConfig};
+
+proptest! {
+    /// Coalesced reads of a byte range touch at least ceil(bytes/128)
+    /// segments and at most one more (edge misalignment).
+    #[test]
+    fn range_segment_bounds(start in 0usize..10_000, len in 1usize..5_000) {
+        let dev = Device::v100();
+        let buf = dev.alloc_zeroed::<u8>(32_768);
+        let report = dev.launch(KernelConfig::new("k", 1, 128), |ctx| {
+            let _ = ctx.read_coalesced(&buf, start % 16_000, len);
+        });
+        let segs = report.traffic.global_read_segments;
+        let ideal = (len as u64).div_ceil(128);
+        prop_assert!(segs >= ideal);
+        prop_assert!(segs <= ideal + 1);
+    }
+
+    /// A gather over a subset of indices never costs more than the
+    /// full gather.
+    #[test]
+    fn gather_subset_monotone(indices in proptest::collection::vec(0usize..4_096, 1..32)) {
+        let dev = Device::v100();
+        let buf = dev.alloc_zeroed::<u32>(4_096);
+        let full = dev
+            .launch(KernelConfig::new("full", 1, 32), |ctx| {
+                let _ = ctx.warp_gather(&buf, &indices);
+            })
+            .traffic
+            .global_read_segments;
+        let half = dev
+            .launch(KernelConfig::new("half", 1, 32), |ctx| {
+                let _ = ctx.warp_gather(&buf, &indices[..indices.len() / 2 + 1]);
+            })
+            .traffic
+            .global_read_segments;
+        prop_assert!(half <= full);
+    }
+
+    /// Kernel time is monotone in traffic: more bytes never run faster.
+    #[test]
+    fn time_monotone_in_traffic(reads in 1usize..64) {
+        let dev = Device::v100();
+        let buf = dev.alloc_zeroed::<u32>(1 << 16);
+        let time = |n: usize| {
+            dev.reset_timeline();
+            dev.launch(KernelConfig::new("k", 64, 128), |ctx| {
+                for r in 0..n {
+                    let _ = ctx.read_coalesced(&buf, (r * 128) % 32_768, 128);
+                }
+            });
+            dev.elapsed_seconds()
+        };
+        prop_assert!(time(reads + 1) >= time(reads));
+    }
+
+    /// Scaled time is linear in the factor (minus the fixed launch
+    /// overhead).
+    #[test]
+    fn scaling_linearity(factor in 2.0f64..64.0) {
+        let dev = Device::v100();
+        let buf = dev.alloc_zeroed::<u32>(1 << 16);
+        dev.reset_timeline();
+        dev.launch(KernelConfig::new("k", 64, 128), |ctx| {
+            let _ = ctx.read_coalesced(&buf, 0, 1 << 15);
+        });
+        let launch = dev.params().kernel_launch_s;
+        let t1 = dev.elapsed_seconds_scaled(1.0);
+        let tf = dev.elapsed_seconds_scaled(factor);
+        let expected = launch + (t1 - launch) * factor;
+        prop_assert!((tf - expected).abs() < 1e-12);
+    }
+
+    /// Occupancy never increases when shared memory per block grows.
+    #[test]
+    fn occupancy_monotone_in_smem(smem in 0usize..96 * 1024) {
+        let dev = Device::v100();
+        let occ = |s: usize| dev.occupancy(&KernelConfig::new("k", 1, 128).smem_per_block(s)).fraction;
+        prop_assert!(occ(smem) >= occ(smem + 4096));
+    }
+}
+
+#[test]
+fn device_params_are_v100_shaped() {
+    let p = DeviceParams::v100();
+    assert_eq!(p.num_sms, 80);
+    assert!(p.shared_bw > 5.0 * p.global_bw, "shared must be ~an order faster");
+    assert!(p.pcie_bw < p.global_bw / 10.0, "PCIe is the slow interconnect");
+}
+
+#[test]
+fn timeline_survives_mixed_events() {
+    let dev = Device::v100();
+    let buf = dev.alloc_zeroed::<u32>(1024);
+    dev.launch(KernelConfig::new("a", 1, 128), |ctx| {
+        let _ = ctx.read_coalesced(&buf, 0, 1024);
+    });
+    dev.pcie_transfer(1 << 20);
+    dev.launch(KernelConfig::new("b", 1, 128), |_| {});
+    dev.with_timeline(|t| {
+        assert_eq!(t.events().len(), 3);
+        assert_eq!(t.kernel_launches(), 2);
+        assert!(t.total_seconds() > 0.0);
+    });
+    dev.reset_timeline();
+    dev.with_timeline(|t| assert!(t.events().is_empty()));
+}
+
+#[test]
+fn l1_model_dedupes_repeated_block_reads() {
+    let mut params = DeviceParams::v100();
+    params.l1_per_block = true;
+    let cached = Device::with_params(params);
+    let uncached = Device::v100();
+    let run = |dev: &Device| {
+        let buf = dev.alloc_zeroed::<u32>(1024);
+        dev.launch(KernelConfig::new("k", 1, 128), |ctx| {
+            for _ in 0..8 {
+                let _ = ctx.read_coalesced(&buf, 0, 128); // same 512 B
+            }
+        })
+        .traffic
+        .global_read_segments
+    };
+    assert_eq!(run(&uncached), 8 * 4);
+    assert_eq!(run(&cached), 4);
+}
+
+#[test]
+fn l1_does_not_cache_across_blocks() {
+    let mut params = DeviceParams::v100();
+    params.l1_per_block = true;
+    let dev = Device::with_params(params);
+    let buf = dev.alloc_zeroed::<u32>(1024);
+    let report = dev.launch(KernelConfig::new("k", 4, 128), |ctx| {
+        let _ = ctx.read_coalesced(&buf, 0, 128);
+    });
+    // Each of the 4 blocks re-fetches the 4 segments.
+    assert_eq!(report.traffic.global_read_segments, 16);
+}

@@ -1,0 +1,105 @@
+//! The paper's Section 8 guidance for choosing among GPU-FOR, GPU-DFOR
+//! and GPU-RFOR: "GPU-DFOR is suitable for sorted or semi-sorted
+//! columns with a high number of distinct values. GPU-RFOR is suitable
+//! for columns which have a low number of distinct values or columns
+//! with a high average run length. Other columns … GPU-FOR."
+//!
+//! The definitive chooser is still footprint-based
+//! ([`tlc_core::EncodedColumn::encode_best`], the paper's GPU-\*); the
+//! heuristic here avoids trial encoding when only statistics are
+//! available.
+
+use tlc_core::Scheme;
+
+use crate::stats::ColumnStats;
+
+/// Coarse classification of a column for scheme selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnKind {
+    /// Sorted (or nearly) with many distinct values → GPU-DFOR.
+    SortedHighCardinality,
+    /// Long runs or few distinct values → GPU-RFOR.
+    RunFriendly,
+    /// Everything else → GPU-FOR.
+    General,
+}
+
+/// Classify a column from its statistics.
+pub fn classify(stats: &ColumnStats) -> ColumnKind {
+    if stats.count == 0 {
+        return ColumnKind::General;
+    }
+    if stats.avg_run_length >= 4.0 || stats.distinct <= stats.count / 64 {
+        return ColumnKind::RunFriendly;
+    }
+    if stats.is_sorted && stats.distinct > stats.count / 16 {
+        return ColumnKind::SortedHighCardinality;
+    }
+    ColumnKind::General
+}
+
+/// Recommend a scheme from statistics alone (Section 8 rules).
+pub fn recommend_scheme(stats: &ColumnStats) -> Scheme {
+    match classify(stats) {
+        ColumnKind::SortedHighCardinality => Scheme::GpuDFor,
+        ColumnKind::RunFriendly => Scheme::GpuRFor,
+        ColumnKind::General => Scheme::GpuFor,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlc_core::EncodedColumn;
+
+    #[test]
+    fn sorted_unique_recommends_dfor() {
+        let values: Vec<i32> = (0..10_000).collect();
+        let stats = ColumnStats::compute(&values);
+        assert_eq!(recommend_scheme(&stats), Scheme::GpuDFor);
+    }
+
+    #[test]
+    fn runs_recommend_rfor() {
+        let values: Vec<i32> = (0..10_000).map(|i| i / 100).collect();
+        let stats = ColumnStats::compute(&values);
+        assert_eq!(recommend_scheme(&stats), Scheme::GpuRFor);
+    }
+
+    #[test]
+    fn random_recommends_for() {
+        let values: Vec<i32> = (0..10_000)
+            .map(|i| ((i as u64 * 2_654_435_761) % (1 << 16)) as i32)
+            .collect();
+        let stats = ColumnStats::compute(&values);
+        assert_eq!(recommend_scheme(&stats), Scheme::GpuFor);
+    }
+
+    #[test]
+    fn heuristic_agrees_with_footprint_chooser_on_clear_cases() {
+        fn splitmix(mut x: u64) -> u64 {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^ (x >> 31)
+        }
+        let cases: Vec<Vec<i32>> = vec![
+            (0..20_000).collect(), // sorted unique
+            // Long runs of *unsorted* values (on sorted runs GPU-DFOR
+            // and GPU-RFOR are within a few metadata bits of each other
+            // and either may win).
+            (0..20_000u64)
+                .map(|i| (splitmix(i / 500) % (1 << 16)) as i32)
+                .collect(),
+            (0..20_000u64)
+                .map(|i| (splitmix(i) % (1 << 18)) as i32)
+                .collect(), // uniform random
+        ];
+        for values in cases {
+            let stats = ColumnStats::compute(&values);
+            let heuristic = recommend_scheme(&stats);
+            let actual = EncodedColumn::encode_best(&values).scheme();
+            assert_eq!(heuristic, actual, "stats = {stats:?}");
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # tlc-ssb — the Star Schema Benchmark
+//!
+//! A Rust reproduction of SSB dbgen plus the paper's evaluation harness
+//! (Section 9.4): one fact table (`lineorder`) and four dimensions
+//! (`date`, `customer`, `supplier`, `part`) in a star schema, string
+//! attributes dictionary-encoded to integers ahead of loading (as the
+//! paper and prior work do), and the 13 SSB queries implemented on the
+//! Crystal engine with per-system column encodings.
+//!
+//! * [`gen`] — deterministic scale-factor-parameterized generator with
+//!   dbgen's column distributions: sorted `lo_orderkey` with 1–7-line
+//!   runs, per-order repeated columns (`lo_orderdate`, `lo_custkey`,
+//!   `lo_ordtotalprice`), date-dimension foreign keys, Zipf-free
+//!   uniform measures.
+//! * [`encode`] — encode the lineorder columns under each evaluated
+//!   system: None, GPU-\*, nvCOMP, GPU-BP, Planner, OmniSci.
+//! * [`queries`] — q1.1–q4.3 as fused Crystal kernels (decompressing
+//!   inline where the system supports it) and the
+//!   decompress-then-query / operator-at-a-time paths for the systems
+//!   that don't.
+//! * [`reference`] — a scalar CPU executor; every query result is
+//!   verified against it in the test suite.
+
+pub mod encode;
+pub mod fleet;
+pub mod gen;
+pub mod queries;
+pub mod reference;
+
+pub use encode::{LoColumns, System};
+pub use gen::{LoColumn, SsbData};
+pub use queries::{run_query, QueryId};

@@ -1,0 +1,624 @@
+//! The 13 SSB queries on the Crystal engine.
+//!
+//! Each query flight is one fused tile kernel (plus the dimension
+//! hash-table builds): predicates are evaluated on decoded tiles in
+//! registers, then the surviving lanes probe the dimension tables and
+//! feed the aggregate — with compressed columns decoded *inline* by the
+//! tile loads when the system supports it (Section 7). OmniSci runs the
+//! same logic operator-at-a-time with materialized intermediates.
+//!
+//! Dictionary-encoded dimension literals (regions, nations, cities,
+//! categories, brands) use fixed ids documented at each query; the
+//! selectivities match the SSB spec (e.g. one region = 1/5, one
+//! category = 1/25, eight brands = 8/1000).
+
+use tlc_crystal::exec::{fused_config, materialize};
+use tlc_crystal::{DenseTable, GroupBySum, QueryColumn, ScalarSum};
+use tlc_gpu_sim::{Device, GlobalBuffer};
+
+use crate::encode::LoColumns;
+use crate::gen::{LoColumn, SsbData, BRANDS, CITIES, FIRST_YEAR, NATIONS};
+use crate::System;
+
+/// Number of years in the date dimension.
+pub const YEARS: usize = 7;
+
+/// The 13 SSB queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum QueryId {
+    Q11, Q12, Q13,
+    Q21, Q22, Q23,
+    Q31, Q32, Q33, Q34,
+    Q41, Q42, Q43,
+}
+
+impl QueryId {
+    /// All queries in benchmark order.
+    pub const ALL: [QueryId; 13] = [
+        QueryId::Q11, QueryId::Q12, QueryId::Q13,
+        QueryId::Q21, QueryId::Q22, QueryId::Q23,
+        QueryId::Q31, QueryId::Q32, QueryId::Q33, QueryId::Q34,
+        QueryId::Q41, QueryId::Q42, QueryId::Q43,
+    ];
+
+    /// Display name ("q1.1" …).
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueryId::Q11 => "q1.1", QueryId::Q12 => "q1.2", QueryId::Q13 => "q1.3",
+            QueryId::Q21 => "q2.1", QueryId::Q22 => "q2.2", QueryId::Q23 => "q2.3",
+            QueryId::Q31 => "q3.1", QueryId::Q32 => "q3.2", QueryId::Q33 => "q3.3",
+            QueryId::Q34 => "q3.4",
+            QueryId::Q41 => "q4.1", QueryId::Q42 => "q4.2", QueryId::Q43 => "q4.3",
+        }
+    }
+
+    /// Lineorder columns the query reads.
+    pub fn columns(&self) -> &'static [LoColumn] {
+        match self {
+            QueryId::Q11 | QueryId::Q12 | QueryId::Q13 => &[
+                LoColumn::OrderDate,
+                LoColumn::Quantity,
+                LoColumn::Discount,
+                LoColumn::ExtendedPrice,
+            ],
+            QueryId::Q21 | QueryId::Q22 | QueryId::Q23 => &[
+                LoColumn::PartKey,
+                LoColumn::SuppKey,
+                LoColumn::OrderDate,
+                LoColumn::Revenue,
+            ],
+            QueryId::Q31 | QueryId::Q32 | QueryId::Q33 | QueryId::Q34 => &[
+                LoColumn::CustKey,
+                LoColumn::SuppKey,
+                LoColumn::OrderDate,
+                LoColumn::Revenue,
+            ],
+            QueryId::Q41 | QueryId::Q42 | QueryId::Q43 => &[
+                LoColumn::CustKey,
+                LoColumn::SuppKey,
+                LoColumn::PartKey,
+                LoColumn::OrderDate,
+                LoColumn::Revenue,
+                LoColumn::SupplyCost,
+            ],
+        }
+    }
+}
+
+/// Dimension-table predicates/payloads for each query, kept in one
+/// place so the fused, materialized and reference executors can't
+/// drift apart.
+pub(crate) struct QuerySpec {
+    /// Date payload: `Some(year index)` when the row qualifies.
+    pub date: fn(&SsbData, usize) -> Option<i32>,
+    /// Customer payload by row.
+    pub cust: fn(&SsbData, usize) -> Option<i32>,
+    /// Supplier payload by row.
+    pub supp: fn(&SsbData, usize) -> Option<i32>,
+    /// Part payload by row.
+    pub part: fn(&SsbData, usize) -> Option<i32>,
+    /// Fact-local quantity predicate (flight 1).
+    pub qty_pred: fn(i32) -> bool,
+    /// Fact-local discount predicate (flight 1).
+    pub disc_pred: fn(i32) -> bool,
+    /// Group count of the dense aggregate.
+    pub groups: usize,
+    /// Group index from (cust, supp, part, year) payloads.
+    pub group: fn(i32, i32, i32, i32) -> usize,
+}
+
+fn yidx(data: &SsbData, row: usize) -> i32 {
+    data.date.year[row] - FIRST_YEAR
+}
+
+pub(crate) fn spec(q: QueryId) -> QuerySpec {
+    // Dictionary ids used for literals: regions {0=AMERICA, 1=ASIA,
+    // 2=EUROPE}; nation 3 = "UNITED STATES"; cities 40/44 = "UNITED
+    // KI1"/"UNITED KI5"; category 6 = "MFGR#12"; brands 260..=267 =
+    // "MFGR#2221".."MFGR#2228"; brand 260 = "MFGR#2239"; category 3 =
+    // "MFGR#14"; mfgr {0,1} = "MFGR#1","MFGR#2".
+    match q {
+        QueryId::Q11 => QuerySpec {
+            date: |d, r| (d.date.year[r] == 1993).then_some(0),
+            cust: |_, _| Some(0),
+            supp: |_, _| Some(0),
+            part: |_, _| Some(0),
+            qty_pred: |qty| qty < 25,
+            disc_pred: |disc| (1..=3).contains(&disc),
+            groups: 1,
+            group: |_, _, _, _| 0,
+        },
+        QueryId::Q12 => QuerySpec {
+            date: |d, r| (d.date.yearmonthnum[r] == 199_401).then_some(0),
+            cust: |_, _| Some(0),
+            supp: |_, _| Some(0),
+            part: |_, _| Some(0),
+            qty_pred: |qty| (26..=35).contains(&qty),
+            disc_pred: |disc| (4..=6).contains(&disc),
+            groups: 1,
+            group: |_, _, _, _| 0,
+        },
+        QueryId::Q13 => QuerySpec {
+            date: |d, r| (d.date.weeknuminyear[r] == 6 && d.date.year[r] == 1994).then_some(0),
+            cust: |_, _| Some(0),
+            supp: |_, _| Some(0),
+            part: |_, _| Some(0),
+            qty_pred: |qty| (26..=35).contains(&qty),
+            disc_pred: |disc| (5..=7).contains(&disc),
+            groups: 1,
+            group: |_, _, _, _| 0,
+        },
+        QueryId::Q21 => QuerySpec {
+            date: |d, r| Some(yidx(d, r)),
+            cust: |_, _| Some(0),
+            supp: |d, r| (d.supplier.region[r] == 0).then_some(0),
+            part: |d, r| (d.part.category[r] == 6).then_some(d.part.brand1[r]),
+            qty_pred: |_| true,
+            disc_pred: |_| true,
+            groups: YEARS * BRANDS,
+            group: |_, _, brand, y| y as usize * BRANDS + brand as usize,
+        },
+        QueryId::Q22 => QuerySpec {
+            date: |d, r| Some(yidx(d, r)),
+            cust: |_, _| Some(0),
+            supp: |d, r| (d.supplier.region[r] == 1).then_some(0),
+            part: |d, r| {
+                (260..=267).contains(&d.part.brand1[r]).then_some(d.part.brand1[r])
+            },
+            qty_pred: |_| true,
+            disc_pred: |_| true,
+            groups: YEARS * BRANDS,
+            group: |_, _, brand, y| y as usize * BRANDS + brand as usize,
+        },
+        QueryId::Q23 => QuerySpec {
+            date: |d, r| Some(yidx(d, r)),
+            cust: |_, _| Some(0),
+            supp: |d, r| (d.supplier.region[r] == 2).then_some(0),
+            part: |d, r| (d.part.brand1[r] == 260).then_some(d.part.brand1[r]),
+            qty_pred: |_| true,
+            disc_pred: |_| true,
+            groups: YEARS * BRANDS,
+            group: |_, _, brand, y| y as usize * BRANDS + brand as usize,
+        },
+        QueryId::Q31 => QuerySpec {
+            date: |d, r| (d.date.year[r] <= 1997).then_some(yidx(d, r)),
+            cust: |d, r| (d.customer.region[r] == 1).then_some(d.customer.nation[r]),
+            supp: |d, r| (d.supplier.region[r] == 1).then_some(d.supplier.nation[r]),
+            part: |_, _| Some(0),
+            qty_pred: |_| true,
+            disc_pred: |_| true,
+            groups: NATIONS * NATIONS * YEARS,
+            group: |cn, sn, _, y| (cn as usize * NATIONS + sn as usize) * YEARS + y as usize,
+        },
+        QueryId::Q32 => QuerySpec {
+            date: |d, r| (d.date.year[r] <= 1997).then_some(yidx(d, r)),
+            cust: |d, r| (d.customer.nation[r] == 3).then_some(d.customer.city[r]),
+            supp: |d, r| (d.supplier.nation[r] == 3).then_some(d.supplier.city[r]),
+            part: |_, _| Some(0),
+            qty_pred: |_| true,
+            disc_pred: |_| true,
+            groups: CITIES * CITIES * YEARS,
+            group: |cc, sc, _, y| (cc as usize * CITIES + sc as usize) * YEARS + y as usize,
+        },
+        QueryId::Q33 => QuerySpec {
+            date: |d, r| (d.date.year[r] <= 1997).then_some(yidx(d, r)),
+            cust: |d, r| {
+                matches!(d.customer.city[r], 40 | 44).then_some(d.customer.city[r])
+            },
+            supp: |d, r| {
+                matches!(d.supplier.city[r], 40 | 44).then_some(d.supplier.city[r])
+            },
+            part: |_, _| Some(0),
+            qty_pred: |_| true,
+            disc_pred: |_| true,
+            groups: CITIES * CITIES * YEARS,
+            group: |cc, sc, _, y| (cc as usize * CITIES + sc as usize) * YEARS + y as usize,
+        },
+        QueryId::Q34 => QuerySpec {
+            date: |d, r| (d.date.yearmonthnum[r] == 199_712).then_some(yidx(d, r)),
+            cust: |d, r| {
+                matches!(d.customer.city[r], 40 | 44).then_some(d.customer.city[r])
+            },
+            supp: |d, r| {
+                matches!(d.supplier.city[r], 40 | 44).then_some(d.supplier.city[r])
+            },
+            part: |_, _| Some(0),
+            qty_pred: |_| true,
+            disc_pred: |_| true,
+            groups: CITIES * CITIES * YEARS,
+            group: |cc, sc, _, y| (cc as usize * CITIES + sc as usize) * YEARS + y as usize,
+        },
+        QueryId::Q41 => QuerySpec {
+            date: |d, r| Some(yidx(d, r)),
+            cust: |d, r| (d.customer.region[r] == 0).then_some(d.customer.nation[r]),
+            supp: |d, r| (d.supplier.region[r] == 0).then_some(0),
+            part: |d, r| matches!(d.part.mfgr[r], 0 | 1).then_some(0),
+            qty_pred: |_| true,
+            disc_pred: |_| true,
+            groups: YEARS * NATIONS,
+            group: |cn, _, _, y| y as usize * NATIONS + cn as usize,
+        },
+        QueryId::Q42 => QuerySpec {
+            date: |d, r| {
+                matches!(d.date.year[r], 1997 | 1998).then_some(yidx(d, r))
+            },
+            cust: |d, r| (d.customer.region[r] == 0).then_some(0),
+            supp: |d, r| (d.supplier.region[r] == 0).then_some(d.supplier.nation[r]),
+            part: |d, r| {
+                matches!(d.part.mfgr[r], 0 | 1).then_some(d.part.category[r])
+            },
+            qty_pred: |_| true,
+            disc_pred: |_| true,
+            groups: YEARS * NATIONS * 25,
+            group: |_, sn, cat, y| (y as usize * NATIONS + sn as usize) * 25 + cat as usize,
+        },
+        QueryId::Q43 => QuerySpec {
+            date: |d, r| {
+                matches!(d.date.year[r], 1997 | 1998).then_some(yidx(d, r))
+            },
+            cust: |d, r| (d.customer.region[r] == 0).then_some(0),
+            supp: |d, r| (d.supplier.nation[r] == 3).then_some(d.supplier.city[r]),
+            part: |d, r| (d.part.category[r] == 3).then_some(d.part.brand1[r]),
+            qty_pred: |_| true,
+            disc_pred: |_| true,
+            groups: YEARS * CITIES * BRANDS,
+            group: |_, sc, brand, y| {
+                (y as usize * CITIES + sc as usize) * BRANDS + brand as usize
+            },
+        },
+    }
+}
+
+fn is_flight1(q: QueryId) -> bool {
+    matches!(q, QueryId::Q11 | QueryId::Q12 | QueryId::Q13)
+}
+
+fn uses_cust(q: QueryId) -> bool {
+    matches!(
+        q,
+        QueryId::Q31 | QueryId::Q32 | QueryId::Q33 | QueryId::Q34
+            | QueryId::Q41 | QueryId::Q42 | QueryId::Q43
+    )
+}
+
+fn uses_part(q: QueryId) -> bool {
+    matches!(
+        q,
+        QueryId::Q21 | QueryId::Q22 | QueryId::Q23
+            | QueryId::Q41 | QueryId::Q42 | QueryId::Q43
+    )
+}
+
+fn uses_supp(q: QueryId) -> bool {
+    !is_flight1(q)
+}
+
+/// Build the dimension hash tables a query needs (counts as part of
+/// the measured query, as in Crystal).
+fn build_tables(dev: &Device, data: &SsbData, q: QueryId) -> Tables {
+    let s = spec(q);
+    let date_rows: Vec<(i32, Option<i32>)> = (0..data.date.datekey.len())
+        .map(|r| (data.date.datekey[r], (s.date)(data, r)))
+        .collect();
+    let date = DenseTable::build(
+        dev,
+        "date",
+        data.date.datekey[0],
+        *data.date.datekey.last().expect("non-empty"),
+        &date_rows,
+        data.date_dim_bytes(),
+    );
+    let cust = uses_cust(q).then(|| {
+        let rows: Vec<(i32, Option<i32>)> = (0..data.customer.city.len())
+            .map(|r| (r as i32 + 1, (s.cust)(data, r)))
+            .collect();
+        DenseTable::build(dev, "customer", 1, rows.len() as i32, &rows, data.customer_dim_bytes())
+    });
+    let supp = uses_supp(q).then(|| {
+        let rows: Vec<(i32, Option<i32>)> = (0..data.supplier.city.len())
+            .map(|r| (r as i32 + 1, (s.supp)(data, r)))
+            .collect();
+        DenseTable::build(dev, "supplier", 1, rows.len() as i32, &rows, data.supplier_dim_bytes())
+    });
+    let part = uses_part(q).then(|| {
+        let rows: Vec<(i32, Option<i32>)> = (0..data.part.mfgr.len())
+            .map(|r| (r as i32 + 1, (s.part)(data, r)))
+            .collect();
+        DenseTable::build(dev, "part", 1, rows.len() as i32, &rows, data.part_dim_bytes())
+    });
+    Tables { date, cust, supp, part }
+}
+
+struct Tables {
+    date: DenseTable,
+    cust: Option<DenseTable>,
+    supp: Option<DenseTable>,
+    part: Option<DenseTable>,
+}
+
+/// Run query `q` against `cols` and return the non-empty groups as
+/// `(group index, wrapped signed sum)` pairs, sorted by group.
+///
+/// The caller brackets this with `dev.reset_timeline()` /
+/// `dev.elapsed_seconds()` to measure; decompression kernels for
+/// non-inline systems run inside.
+pub fn run_query(
+    dev: &Device,
+    data: &SsbData,
+    cols: &LoColumns,
+    q: QueryId,
+) -> Vec<(u64, u64)> {
+    if cols.system == System::OmniSci {
+        return run_materialized(dev, data, cols, q);
+    }
+    let prepared = cols.prepare(dev, q.columns());
+    let tables = build_tables(dev, data, q);
+    let s = spec(q);
+
+    if is_flight1(q) {
+        let sum = fused_flight1(dev, &prepared, &tables, &s);
+        return if sum == 0 { vec![] } else { vec![(0, sum)] };
+    }
+    let agg = fused_join_flight(dev, q, &prepared, &tables, &s);
+    let mut out: Vec<(u64, u64)> = agg.non_zero().iter().map(|&(g, v)| (g as u64, v)).collect();
+    out.sort_unstable();
+    out
+}
+
+/// Flight 1: date join + fact predicates + scalar sum of
+/// `extendedprice * discount`.
+fn fused_flight1(dev: &Device, cols: &[QueryColumn], tables: &Tables, s: &QuerySpec) -> u64 {
+    let refs: Vec<&QueryColumn> = cols.iter().collect();
+    let cfg = fused_config("ssb_q1_fused", &refs, 4);
+    let mut sum = ScalarSum::new(dev);
+    let (mut od, mut qt, mut dc, mut ep) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    let mut hits = Vec::new();
+    dev.launch(cfg, |ctx| {
+        let t = ctx.block_id();
+        let n = cols[0].load_tile(ctx, t, &mut od);
+        cols[1].load_tile(ctx, t, &mut qt);
+        cols[2].load_tile(ctx, t, &mut dc);
+        cols[3].load_tile(ctx, t, &mut ep);
+        let sel: Vec<bool> =
+            (0..n).map(|i| (s.qty_pred)(qt[i]) && (s.disc_pred)(dc[i])).collect();
+        ctx.add_int_ops(n as u64 * 3);
+        tables.date.probe(ctx, &od[..n], &sel, &mut hits);
+        let local: u64 = (0..n)
+            .filter(|&i| hits[i].is_some())
+            .map(|i| ep[i] as u64 * dc[i] as u64)
+            .sum();
+        ctx.add_int_ops(n as u64 * 2);
+        sum.add_tile(ctx, std::iter::once(local));
+    });
+    sum.value()
+}
+
+/// Flights 2–4: dimension joins + group-by aggregation. The column
+/// layout is `[fk…, orderdate, measures…]` per [`QueryId::columns`].
+fn fused_join_flight(
+    dev: &Device,
+    q: QueryId,
+    cols: &[QueryColumn],
+    tables: &Tables,
+    s: &QuerySpec,
+) -> GroupBySum {
+    let refs: Vec<&QueryColumn> = cols.iter().collect();
+    let cfg = fused_config("ssb_join_fused", &refs, cols.len());
+    let mut agg = GroupBySum::new(dev, s.groups);
+    let is_q4 = cols.len() == 6;
+    let mut bufs: Vec<Vec<i32>> = vec![Vec::new(); cols.len()];
+    let (mut ch, mut sh, mut ph, mut dh) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    dev.launch(cfg, |ctx| {
+        let t = ctx.block_id();
+        let mut n = 0;
+        for (c, buf) in cols.iter().zip(bufs.iter_mut()) {
+            n = c.load_tile(ctx, t, buf);
+        }
+        let mut sel = vec![true; n];
+
+        // Column positions within this query's column list.
+        let cix = |c: LoColumn| {
+            q.columns().iter().position(|&x| x == c).expect("column present")
+        };
+
+        // Probe most-selective dimensions first; payload defaults cover
+        // the tables a query doesn't use.
+        let mut cpay = vec![0i32; n];
+        let mut spay = vec![0i32; n];
+        let mut ppay = vec![0i32; n];
+        if uses_cust(q) {
+            let keys = &bufs[cix(LoColumn::CustKey)][..n];
+            tables.cust.as_ref().expect("cust table").probe(ctx, keys, &sel, &mut ch);
+            for i in 0..n {
+                match ch[i] {
+                    Some(p) if sel[i] => cpay[i] = p,
+                    _ => sel[i] = false,
+                }
+            }
+        }
+        {
+            let keys = &bufs[cix(LoColumn::SuppKey)][..n];
+            tables.supp.as_ref().expect("supp table").probe(ctx, keys, &sel, &mut sh);
+            for i in 0..n {
+                match sh[i] {
+                    Some(p) if sel[i] => spay[i] = p,
+                    _ => sel[i] = false,
+                }
+            }
+        }
+        if uses_part(q) {
+            let keys = &bufs[cix(LoColumn::PartKey)][..n];
+            tables.part.as_ref().expect("part table").probe(ctx, keys, &sel, &mut ph);
+            for i in 0..n {
+                match ph[i] {
+                    Some(p) if sel[i] => ppay[i] = p,
+                    _ => sel[i] = false,
+                }
+            }
+        }
+        let dates = &bufs[cix(LoColumn::OrderDate)][..n];
+        tables.date.probe(ctx, dates, &sel, &mut dh);
+
+        let measure = &bufs[cix(LoColumn::Revenue)][..n];
+        let cost = if is_q4 { Some(&bufs[cix(LoColumn::SupplyCost)][..n]) } else { None };
+        let mut pairs = Vec::new();
+        for i in 0..n {
+            if !sel[i] {
+                continue;
+            }
+            let Some(y) = dh[i] else { continue };
+            let g = (s.group)(cpay[i], spay[i], ppay[i], y);
+            let v = match cost {
+                Some(costs) => (measure[i] as i64 - costs[i] as i64) as u64,
+                None => measure[i] as u64,
+            };
+            pairs.push((g, v));
+        }
+        ctx.add_int_ops(n as u64 * 4);
+        agg.add_tile(ctx, &pairs);
+    });
+    agg
+}
+
+/// OmniSci model: the same query logic, one materializing kernel per
+/// operator (no tiles, no inlining, no compression).
+fn run_materialized(
+    dev: &Device,
+    data: &SsbData,
+    cols: &LoColumns,
+    q: QueryId,
+) -> Vec<(u64, u64)> {
+    let prepared = cols.prepare(dev, q.columns());
+    let bufs: Vec<&GlobalBuffer<i32>> = prepared
+        .iter()
+        .map(|c| match c {
+            QueryColumn::Plain(b) => b,
+            QueryColumn::Encoded(_) => unreachable!("OmniSci stores plain columns"),
+        })
+        .collect();
+    let tables = build_tables(dev, data, q);
+    let s = spec(q);
+
+    if is_flight1(q) {
+        // filter(quantity) -> filter(discount) -> probe(date) -> agg.
+        let sel_q = materialize::filter(dev, "oms_f_qty", bufs[1], None, s.qty_pred);
+        let sel_qd = materialize::filter(dev, "oms_f_disc", bufs[2], Some(&sel_q), s.disc_pred);
+        let (_dpay, sel2) =
+            materialize::probe(dev, "oms_probe_date", bufs[0], &tables.date, Some(&sel_qd));
+        let agg = materialize::aggregate(
+            dev,
+            "oms_agg",
+            &[bufs[3], bufs[2]],
+            &sel2,
+            1,
+            |row| (0, row[0] as u64 * row[1] as u64),
+        );
+        let sum = agg.values()[0];
+        return if sum == 0 { vec![] } else { vec![(0, sum)] };
+    }
+
+    let cix = |c: LoColumn| {
+        q.columns().iter().position(|&x| x == c).expect("column present")
+    };
+    let mut sel: Option<GlobalBuffer<u8>> = None;
+    let mut cpay_buf: Option<GlobalBuffer<i32>> = None;
+    let spay_buf: GlobalBuffer<i32>;
+    let mut ppay_buf: Option<GlobalBuffer<i32>> = None;
+    if uses_cust(q) {
+        let (p, s2) = materialize::probe(
+            dev,
+            "oms_probe_cust",
+            bufs[cix(LoColumn::CustKey)],
+            tables.cust.as_ref().expect("cust"),
+            sel.as_ref(),
+        );
+        cpay_buf = Some(p);
+        // OmniSci materializes the projected intermediate after each
+        // operator: all downstream columns round-trip global memory.
+        let downstream: Vec<&GlobalBuffer<i32>> = bufs
+            .iter()
+            .copied()
+            .filter(|b| !std::ptr::eq(*b, bufs[cix(LoColumn::CustKey)]))
+            .collect();
+        let _ = materialize::project(dev, "oms_project_cust", &downstream, &s2);
+        sel = Some(s2);
+    }
+    {
+        let (p, s2) = materialize::probe(
+            dev,
+            "oms_probe_supp",
+            bufs[cix(LoColumn::SuppKey)],
+            tables.supp.as_ref().expect("supp"),
+            sel.as_ref(),
+        );
+        spay_buf = p;
+        let downstream: Vec<&GlobalBuffer<i32>> = bufs
+            .iter()
+            .copied()
+            .filter(|b| !std::ptr::eq(*b, bufs[cix(LoColumn::SuppKey)]))
+            .collect();
+        let _ = materialize::project(dev, "oms_project_supp", &downstream, &s2);
+        sel = Some(s2);
+    }
+    if uses_part(q) {
+        let (p, s2) = materialize::probe(
+            dev,
+            "oms_probe_part",
+            bufs[cix(LoColumn::PartKey)],
+            tables.part.as_ref().expect("part"),
+            sel.as_ref(),
+        );
+        ppay_buf = Some(p);
+        let downstream: Vec<&GlobalBuffer<i32>> = bufs
+            .iter()
+            .copied()
+            .filter(|b| !std::ptr::eq(*b, bufs[cix(LoColumn::PartKey)]))
+            .collect();
+        let _ = materialize::project(dev, "oms_project_part", &downstream, &s2);
+        sel = Some(s2);
+    }
+    let (dpay, seld) = materialize::probe(
+        dev,
+        "oms_probe_date",
+        bufs[cix(LoColumn::OrderDate)],
+        &tables.date,
+        sel.as_ref(),
+    );
+
+    let zero = dev.alloc_zeroed::<i32>(bufs[0].len());
+    let cpay = cpay_buf.as_ref().unwrap_or(&zero);
+    let spay = &spay_buf;
+    let ppay = ppay_buf.as_ref().unwrap_or(&zero);
+    let measure = bufs[cix(LoColumn::Revenue)];
+    let is_q4 = prepared.len() == 6;
+    let cost = if is_q4 { Some(bufs[cix(LoColumn::SupplyCost)]) } else { None };
+
+    let group = s.group;
+    let agg = match cost {
+        Some(cost) => materialize::aggregate(
+            dev,
+            "oms_agg",
+            &[cpay, spay, ppay, &dpay, measure, cost],
+            &seld,
+            s.groups,
+            move |row| {
+                (
+                    group(row[0], row[1], row[2], row[3]),
+                    (row[4] as i64 - row[5] as i64) as u64,
+                )
+            },
+        ),
+        None => materialize::aggregate(
+            dev,
+            "oms_agg",
+            &[cpay, spay, ppay, &dpay, measure],
+            &seld,
+            s.groups,
+            move |row| (group(row[0], row[1], row[2], row[3]), row[4] as u64),
+        ),
+    };
+    let mut out: Vec<(u64, u64)> = agg.non_zero().iter().map(|&(g, v)| (g as u64, v)).collect();
+    out.sort_unstable();
+    out
+}

@@ -1,0 +1,94 @@
+//! Sanity checks on query shapes: group domains, selectivity ordering,
+//! column footprint ordering — the structural facts the paper's SSB
+//! discussion relies on.
+
+use tlc_ssb::gen::{BRANDS, CITIES, NATIONS};
+use tlc_ssb::queries::YEARS;
+use tlc_ssb::reference::run_reference;
+use tlc_ssb::{LoColumn, QueryId, SsbData, System};
+
+fn data() -> SsbData {
+    SsbData::generate(0.01)
+}
+
+#[test]
+fn group_keys_stay_in_domain() {
+    let data = data();
+    let domains: &[(QueryId, u64)] = &[
+        (QueryId::Q11, 1),
+        (QueryId::Q21, (YEARS * BRANDS) as u64),
+        (QueryId::Q31, (NATIONS * NATIONS * YEARS) as u64),
+        (QueryId::Q32, (CITIES * CITIES * YEARS) as u64),
+        (QueryId::Q41, (YEARS * NATIONS) as u64),
+        (QueryId::Q43, (YEARS * CITIES * BRANDS) as u64),
+    ];
+    for &(q, domain) in domains {
+        for (g, _) in run_reference(&data, q) {
+            assert!(g < domain, "{}: group {g} out of domain {domain}", q.name());
+        }
+    }
+}
+
+#[test]
+fn flight1_narrows_with_each_variant() {
+    // q1.1 filters one year; q1.2 one month; q1.3 one week.
+    let data = data();
+    let sum = |q| run_reference(&data, q).first().map(|&(_, v)| v).unwrap_or(0);
+    let (s11, s12, s13) = (sum(QueryId::Q11), sum(QueryId::Q12), sum(QueryId::Q13));
+    assert!(s11 > s12, "year filter must pass more than month: {s11} vs {s12}");
+    assert!(s12 > s13, "month filter must pass more than week: {s12} vs {s13}");
+}
+
+#[test]
+fn flight2_narrows_with_each_variant() {
+    // q2.1 one category (40 brands); q2.2 eight brands; q2.3 one brand.
+    let data = data();
+    let groups = |q| run_reference(&data, q).len();
+    let (g21, g22, g23) = (
+        groups(QueryId::Q21),
+        groups(QueryId::Q22),
+        groups(QueryId::Q23),
+    );
+    assert!(g21 > g22, "{g21} vs {g22}");
+    assert!(g22 >= g23, "{g22} vs {g23}");
+    // q2.3 touches exactly one brand across up to 7 years.
+    assert!(g23 <= YEARS);
+}
+
+#[test]
+fn q34_subset_of_q33() {
+    let data = data();
+    let q33: std::collections::HashMap<u64, u64> =
+        run_reference(&data, QueryId::Q33).into_iter().collect();
+    for (g, v) in run_reference(&data, QueryId::Q34) {
+        let total = q33.get(&g).copied().unwrap_or(0);
+        assert!(total >= v, "q3.4 group {g} exceeds its q3.3 superset");
+    }
+}
+
+#[test]
+fn per_column_footprints_track_distributions() {
+    let data = data();
+    let star = |c: LoColumn| System::GpuStar.column_bytes(data.lineorder.column(c));
+    // Sorted/run-heavy columns compress much harder than high-entropy
+    // measures (the Figure 9 waterfall ordering).
+    assert!(star(LoColumn::OrderKey) * 4 < star(LoColumn::SupplyCost));
+    assert!(star(LoColumn::LineNumber) * 2 < star(LoColumn::ExtendedPrice));
+    // Tiny-domain columns beat 4-byte storage by a wide margin.
+    assert!(star(LoColumn::Discount) * 4 < System::None.column_bytes(data.lineorder.column(LoColumn::Discount)));
+}
+
+#[test]
+fn query_columns_cover_all_predicates() {
+    // Every query's declared column set must include the date FK (all
+    // SSB queries join date) and at least one measure.
+    for q in QueryId::ALL {
+        let cols = q.columns();
+        assert!(cols.contains(&LoColumn::OrderDate), "{}", q.name());
+        assert!(
+            cols.contains(&LoColumn::Revenue) || cols.contains(&LoColumn::ExtendedPrice),
+            "{}",
+            q.name()
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Quickstart: compress a column, decompress it on the simulated GPU
+//! in a single tile-based pass, and inspect footprint + model time.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use tlc::schemes::{EncodedColumn, Scheme};
+use tlc::sim::Device;
+
+fn main() {
+    // A semi-sorted column: sorted order keys with short runs.
+    let values: Vec<i32> = (0..2_000_000).map(|i| i / 4).collect();
+
+    // GPU-*: pick whichever of GPU-FOR / GPU-DFOR / GPU-RFOR is
+    // smallest for this column (Section 8's rule of thumb).
+    let encoded = EncodedColumn::encode_best(&values);
+    println!(
+        "encoded {} values with {:?}: {:.2} bits/int ({} KB vs {} KB uncompressed)",
+        values.len(),
+        encoded.scheme(),
+        encoded.bits_per_int(),
+        encoded.compressed_bytes() / 1024,
+        values.len() * 4 / 1024,
+    );
+
+    // Upload to the simulated V100 and decompress with the single-pass
+    // tile-based kernel.
+    let dev = Device::v100();
+    let device_col = encoded.to_device(&dev);
+    dev.reset_timeline();
+    let decoded = device_col.decompress(&dev);
+    assert_eq!(decoded.as_slice_unaccounted(), values);
+    println!(
+        "tile-based decompression: {:.3} ms (model), {} kernel launch(es), {:.1} MB of global traffic",
+        dev.elapsed_seconds() * 1e3,
+        dev.with_timeline(|t| t.kernel_launches()),
+        dev.with_timeline(|t| t.total_traffic().global_bytes()) as f64 / 1e6,
+    );
+
+    // Compare against every individual scheme.
+    for scheme in Scheme::ALL {
+        let col = EncodedColumn::encode_as(&values, scheme);
+        println!("  {:9} -> {:6.2} bits/int", scheme.name(), col.bits_per_int());
+    }
+}

@@ -1,0 +1,47 @@
+//! Run an SSB join query with decompression inlined into the query
+//! kernel (the paper's Section 7 integration), and compare against the
+//! uncompressed engine and the decompress-then-query path.
+//!
+//! ```sh
+//! cargo run --release --example ssb_query
+//! ```
+
+use tlc::sim::Device;
+use tlc::ssb::{run_query, LoColumns, QueryId, SsbData, System};
+
+fn main() {
+    let sf = 0.02;
+    println!("generating SSB at SF {sf}…");
+    let data = SsbData::generate(sf);
+    println!("lineorder rows: {}", data.lineorder.len);
+
+    let dev = Device::v100();
+    let q = QueryId::Q21;
+    println!("\nrunning {} (join part ⋈ supplier ⋈ date, group by year & brand):", q.name());
+
+    let mut reference = None;
+    for system in [System::None, System::GpuStar, System::NvComp] {
+        let cols = LoColumns::build(&dev, &data, system, q.columns());
+        dev.reset_timeline();
+        let result = run_query(&dev, &data, &cols, q);
+        let t = dev.elapsed_seconds_scaled(20.0 / sf); // model time at SF 20
+        println!(
+            "  {:7}: {:8.3} ms (model, SF 20) | {:6.1} MB resident | {} groups",
+            system.name(),
+            t * 1e3,
+            cols.size_bytes() as f64 / 1e6,
+            result.len(),
+        );
+        match &reference {
+            None => reference = Some(result),
+            Some(r) => assert_eq!(&result, r, "all systems must agree"),
+        }
+    }
+
+    // A sample of the output groups.
+    let result = reference.expect("at least one system ran");
+    println!("\nfirst groups (year-index * 1000 + brand, revenue):");
+    for (g, v) in result.iter().take(5) {
+        println!("  d_year {} brand {:4} -> {v}", 1992 + g / 1000, g % 1000);
+    }
+}

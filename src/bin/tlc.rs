@@ -1,0 +1,147 @@
+//! `tlc` — command-line front end for the compression library.
+//!
+//! Columns are flat little-endian `i32` files on the way in and the
+//! self-describing serialized format (`tlc::schemes::serialize`) on the
+//! way out.
+//!
+//! ```text
+//! tlc stats      <input.bin>
+//! tlc compress   <input.bin> <output.tlc> [--scheme auto|for|dfor|rfor] [--threads N]
+//! tlc decompress <input.tlc> <output.bin>
+//! tlc inspect    <input.tlc>
+//! ```
+
+use std::process::ExitCode;
+
+use tlc::planner::{recommend_scheme, ColumnStats};
+use tlc::schemes::{EncodedColumn, Scheme};
+
+fn read_i32_column(path: &str) -> Result<Vec<i32>, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    if bytes.len() % 4 != 0 {
+        return Err(format!("{path}: length {} is not a multiple of 4", bytes.len()));
+    }
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| i32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+fn write_i32_column(path: &str, values: &[i32]) -> Result<(), String> {
+    let mut bytes = Vec::with_capacity(values.len() * 4);
+    for v in values {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    std::fs::write(path, bytes).map_err(|e| format!("{path}: {e}"))
+}
+
+fn parse_scheme(s: &str) -> Result<Option<Scheme>, String> {
+    match s {
+        "auto" => Ok(None),
+        "for" => Ok(Some(Scheme::GpuFor)),
+        "dfor" => Ok(Some(Scheme::GpuDFor)),
+        "rfor" => Ok(Some(Scheme::GpuRFor)),
+        other => Err(format!("unknown scheme '{other}' (auto|for|dfor|rfor)")),
+    }
+}
+
+fn cmd_stats(input: &str) -> Result<(), String> {
+    let values = read_i32_column(input)?;
+    let stats = ColumnStats::compute(&values);
+    println!("rows:            {}", stats.count);
+    println!("range:           [{}, {}]", stats.min, stats.max);
+    println!("distinct:        {}", stats.distinct);
+    println!("avg run length:  {:.2}", stats.avg_run_length);
+    println!("sorted:          {}", stats.is_sorted);
+    println!("range bits:      {}", stats.range_bits());
+    println!("recommendation:  {}", recommend_scheme(&stats).name());
+    for scheme in Scheme::ALL {
+        let col = EncodedColumn::encode_as(&values, scheme);
+        println!("  {:9} -> {:8.3} bits/int", scheme.name(), col.bits_per_int());
+    }
+    Ok(())
+}
+
+fn cmd_compress(args: &[String]) -> Result<(), String> {
+    let (mut input, mut output, mut scheme, mut threads) = (None, None, None, 1usize);
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scheme" => {
+                scheme = parse_scheme(it.next().ok_or("--scheme needs a value")?)?;
+            }
+            "--threads" => {
+                threads = it
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            _ if input.is_none() => input = Some(a.clone()),
+            _ if output.is_none() => output = Some(a.clone()),
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    let input = input.ok_or("usage: tlc compress <input.bin> <output.tlc> [...]")?;
+    let output = output.ok_or("usage: tlc compress <input.bin> <output.tlc> [...]")?;
+
+    let values = read_i32_column(&input)?;
+    let col = match scheme {
+        Some(s) => EncodedColumn::encode_as_parallel(&values, s, threads),
+        None => EncodedColumn::encode_best_parallel(&values, threads),
+    };
+    col.validate().map_err(|e| e.to_string())?;
+    let bytes = col.to_bytes();
+    std::fs::write(&output, &bytes).map_err(|e| format!("{output}: {e}"))?;
+    println!(
+        "{} values -> {} via {} ({:.3} bits/int, {:.2}x)",
+        values.len(),
+        output,
+        col.scheme().name(),
+        col.bits_per_int(),
+        (values.len() as f64 * 4.0) / bytes.len() as f64,
+    );
+    Ok(())
+}
+
+fn cmd_decompress(input: &str, output: &str) -> Result<(), String> {
+    let bytes = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
+    let col = EncodedColumn::from_bytes(&bytes).map_err(|e| format!("{input}: {e}"))?;
+    let values = col.decode_cpu();
+    write_i32_column(output, &values)?;
+    println!("{} -> {} ({} values, {})", input, output, values.len(), col.scheme().name());
+    Ok(())
+}
+
+fn cmd_inspect(input: &str) -> Result<(), String> {
+    let bytes = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
+    let col = EncodedColumn::from_bytes(&bytes).map_err(|e| format!("{input}: {e}"))?;
+    println!("scheme:       {}", col.scheme().name());
+    println!("values:       {}", col.total_count());
+    println!("compressed:   {} bytes", col.compressed_bytes());
+    println!("bits per int: {:.3}", col.bits_per_int());
+    println!("validated:    ok");
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("stats") if args.len() == 2 => cmd_stats(&args[1]),
+        Some("compress") => cmd_compress(&args[1..]),
+        Some("decompress") if args.len() == 3 => cmd_decompress(&args[1], &args[2]),
+        Some("inspect") if args.len() == 2 => cmd_inspect(&args[1]),
+        _ => Err("usage: tlc <stats|compress|decompress|inspect> ... (see --help in README)"
+            .to_string()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("tlc: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # tlc — Tile-based Lightweight Integer Compression (GPU), in Rust
+//!
+//! Facade crate re-exporting the whole workspace. See the README for the
+//! architecture overview and `DESIGN.md` for the paper-reproduction map.
+//!
+//! * [`sim`] — the SIMT GPU simulator substrate ([`tlc_gpu_sim`]).
+//! * [`bitpack`] — bit-level packing primitives ([`tlc_bitpack`]).
+//! * [`schemes`] — the paper's contribution: GPU-FOR / GPU-DFOR /
+//!   GPU-RFOR with single-pass tile-based decompression ([`tlc_core`]).
+//! * [`baselines`] — every comparison scheme ([`tlc_baselines`]).
+//! * [`planner`] — the Fang-et-al. compression planner and the GPU-*
+//!   hybrid chooser ([`tlc_planner`]).
+//! * [`crystal`] — the tile-based query engine ([`tlc_crystal`]).
+//! * [`ssb`] — the Star Schema Benchmark ([`tlc_ssb`]).
+//!
+//! ## Example: compressed scan inside a query kernel
+//!
+//! ```
+//! use tlc::crystal::{select, QueryColumn};
+//! use tlc::schemes::EncodedColumn;
+//! use tlc::sim::Device;
+//!
+//! let values: Vec<i32> = (0..100_000).map(|i| i % 1000).collect();
+//! let dev = Device::v100();
+//! let col = QueryColumn::Encoded(EncodedColumn::encode_best(&values).to_device(&dev));
+//!
+//! // Fused selection: decompress tiles inline, filter, compact.
+//! let (out, count) = select(&dev, &col, |v| v < 10);
+//! assert_eq!(count, 1_000);
+//! assert!(out.as_slice_unaccounted()[..count].iter().all(|&v| v < 10));
+//! ```
+
+pub use tlc_baselines as baselines;
+pub use tlc_bitpack as bitpack;
+pub use tlc_core as schemes;
+pub use tlc_crystal as crystal;
+pub use tlc_gpu_sim as sim;
+pub use tlc_planner as planner;
+pub use tlc_ssb as ssb;

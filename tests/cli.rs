@@ -1,0 +1,115 @@
+//! End-to-end tests of the `tlc` command-line binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tlc"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("tlc_cli_test_{}_{name}", std::process::id()));
+    p
+}
+
+fn write_column(path: &PathBuf, values: &[i32]) {
+    let mut bytes = Vec::new();
+    for v in values {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    std::fs::write(path, bytes).expect("write column");
+}
+
+#[test]
+fn compress_inspect_decompress_roundtrip() {
+    let input = tmp("in.bin");
+    let packed = tmp("col.tlc");
+    let output = tmp("out.bin");
+    let values: Vec<i32> = (0..50_000).map(|i| i / 5).collect();
+    write_column(&input, &values);
+
+    let st = bin().args(["compress"]).arg(&input).arg(&packed).status().expect("run");
+    assert!(st.success());
+
+    let out = bin().args(["inspect"]).arg(&packed).output().expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("values:       50000"), "{text}");
+
+    let st = bin().args(["decompress"]).arg(&packed).arg(&output).status().expect("run");
+    assert!(st.success());
+    assert_eq!(
+        std::fs::read(&input).expect("in"),
+        std::fs::read(&output).expect("out"),
+        "bit-exact roundtrip"
+    );
+
+    for p in [input, packed, output] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn explicit_scheme_is_honored() {
+    let input = tmp("scheme_in.bin");
+    let packed = tmp("scheme.tlc");
+    write_column(&input, &(0..10_000).collect::<Vec<i32>>());
+
+    let st = bin()
+        .args(["compress"])
+        .arg(&input)
+        .arg(&packed)
+        .args(["--scheme", "rfor"])
+        .status()
+        .expect("run");
+    assert!(st.success());
+    let out = bin().args(["inspect"]).arg(&packed).output().expect("run");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("GPU-RFOR"));
+
+    let _ = std::fs::remove_file(input);
+    let _ = std::fs::remove_file(packed);
+}
+
+#[test]
+fn stats_reports_recommendation() {
+    let input = tmp("stats_in.bin");
+    write_column(&input, &(0..5_000).map(|i| i / 100).collect::<Vec<i32>>());
+    let out = bin().args(["stats"]).arg(&input).output().expect("run");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("recommendation:"), "{text}");
+    assert!(text.contains("avg run length"), "{text}");
+    let _ = std::fs::remove_file(input);
+}
+
+#[test]
+fn rejects_garbage_input() {
+    let garbage = tmp("garbage.tlc");
+    std::fs::write(&garbage, b"not a tlc file!!").expect("write");
+    let out = bin()
+        .args(["decompress"])
+        .arg(&garbage)
+        .arg(tmp("never.bin"))
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("magic"));
+    let _ = std::fs::remove_file(garbage);
+}
+
+#[test]
+fn rejects_misaligned_column() {
+    let input = tmp("odd.bin");
+    std::fs::write(&input, [1u8, 2, 3]).expect("write");
+    let out = bin().args(["stats"]).arg(&input).output().expect("run");
+    assert!(!out.status.success());
+    let _ = std::fs::remove_file(input);
+}
+
+#[test]
+fn usage_on_bad_args() {
+    let out = bin().output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}

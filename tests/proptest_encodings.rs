@@ -1,0 +1,102 @@
+//! Property tests over every encoding in the workspace: arbitrary and
+//! structured inputs must roundtrip losslessly, and footprint
+//! invariants must hold.
+
+use proptest::prelude::*;
+use tlc::baselines::{gpu_bp::GpuBp, nsf::Nsf, nsv::Nsv, rle::Rle, simdbp128::SimdBp128};
+use tlc::planner::PlannedColumn;
+use tlc::schemes::{EncodedColumn, GpuDFor, GpuFor, GpuRFor, Scheme};
+use tlc::sim::Device;
+
+/// Structured generators covering the shapes the schemes target.
+fn column() -> impl Strategy<Value = Vec<i32>> {
+    prop_oneof![
+        // Arbitrary values, arbitrary length (incl. empty).
+        proptest::collection::vec(any::<i32>(), 0..700),
+        // Sorted.
+        proptest::collection::vec(0i32..1_000_000, 0..700).prop_map(|mut v| {
+            v.sort_unstable();
+            v
+        }),
+        // Runs.
+        (proptest::collection::vec((any::<i16>(), 1usize..40), 0..60)).prop_map(|runs| {
+            runs.into_iter()
+                .flat_map(|(v, l)| std::iter::repeat_n(v as i32, l))
+                .collect()
+        }),
+        // Small domain.
+        proptest::collection::vec(0i32..16, 0..700),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gpu_for_roundtrip(values in column()) {
+        let enc = GpuFor::encode(&values);
+        prop_assert_eq!(enc.decode_cpu(), values);
+    }
+
+    #[test]
+    fn gpu_dfor_roundtrip(values in column()) {
+        let enc = GpuDFor::encode(&values);
+        prop_assert_eq!(enc.decode_cpu(), values);
+    }
+
+    #[test]
+    fn gpu_rfor_roundtrip(values in column()) {
+        let enc = GpuRFor::encode(&values);
+        prop_assert_eq!(enc.decode_cpu(), values);
+    }
+
+    #[test]
+    fn device_decompression_matches_cpu(values in column()) {
+        let dev = Device::v100();
+        for scheme in Scheme::ALL {
+            let col = EncodedColumn::encode_as(&values, scheme);
+            let out = col.to_device(&dev).decompress(&dev);
+            let expected = col.decode_cpu();
+            prop_assert_eq!(out.as_slice_unaccounted(), expected.as_slice());
+        }
+    }
+
+    #[test]
+    fn baselines_roundtrip(values in column()) {
+        prop_assert_eq!(Nsf::encode(&values).decode_cpu(), values.clone());
+        prop_assert_eq!(Nsv::encode(&values).decode_cpu(), values.clone());
+        prop_assert_eq!(Rle::encode(&values).decode_cpu(), values.clone());
+        prop_assert_eq!(GpuBp::encode(&values).decode_cpu(), values.clone());
+        prop_assert_eq!(SimdBp128::encode(&values).decode_cpu(), values.clone());
+    }
+
+    #[test]
+    fn planner_roundtrip(values in column()) {
+        prop_assert_eq!(PlannedColumn::encode(&values).decode_cpu(), values);
+    }
+
+    #[test]
+    fn footprints_are_positive_and_bounded(values in column()) {
+        // No scheme may exceed ~3x the uncompressed footprint plus one
+        // worst-case padded block (a near-empty block of 32-bit deltas
+        // costs ~550 bytes), and GPU-* must be minimal among the three.
+        let raw = (values.len() as u64 * 4).max(1);
+        let best = EncodedColumn::encode_best(&values);
+        for scheme in Scheme::ALL {
+            let c = EncodedColumn::encode_as(&values, scheme);
+            prop_assert!(c.compressed_bytes() > 0);
+            prop_assert!(c.compressed_bytes() < 3 * raw + 600, "{:?}", scheme);
+            prop_assert!(best.compressed_bytes() <= c.compressed_bytes());
+        }
+    }
+
+    #[test]
+    fn rle_runs_are_maximal(values in column()) {
+        let rle = Rle::encode(&values);
+        // Adjacent runs never share a value (maximality) and lengths
+        // sum to the input length.
+        prop_assert!(rle.values.windows(2).all(|w| w[0] != w[1]));
+        let total: u64 = rle.lengths.iter().map(|&l| l as u64).sum();
+        prop_assert_eq!(total, values.len() as u64);
+    }
+}
