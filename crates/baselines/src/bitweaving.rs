@@ -46,7 +46,10 @@ fn word_index(seg: usize, plane: usize, width: usize) -> usize {
 impl BitWeaving {
     /// Encode a column of non-negative values.
     pub fn encode(values: &[i32]) -> Self {
-        assert!(values.iter().all(|&v| v >= 0), "BitWeaving stores codes (non-negative)");
+        assert!(
+            values.iter().all(|&v| v >= 0),
+            "BitWeaving stores codes (non-negative)"
+        );
         let as_u: Vec<u32> = values.iter().map(|&v| v as u32).collect();
         let width = max_bits(&as_u).max(1);
         let segments = values.len().div_ceil(SEGMENT);
@@ -61,7 +64,11 @@ impl BitWeaving {
                 planes[word_index(seg, k as usize, width as usize)] |= bit << lane;
             }
         }
-        BitWeaving { total_count: values.len(), width, planes }
+        BitWeaving {
+            total_count: values.len(),
+            width,
+            planes,
+        }
     }
 
     /// Compressed footprint in bytes.
@@ -153,7 +160,11 @@ pub fn scan_lt(dev: &Device, col: &BitWeavingDevice, constant: i32) -> GlobalBuf
                     GROUP_SEGS,
                 );
                 ctx.add_int_ops(GROUP_SEGS as u64 * 5);
-                let c_k = if (c >> (col.width - 1 - k as u32)) & 1 == 1 { u32::MAX } else { 0 };
+                let c_k = if (c >> (col.width - 1 - k as u32)) & 1 == 1 {
+                    u32::MAX
+                } else {
+                    0
+                };
                 for (s, &x) in xs.iter().enumerate() {
                     lt[s] |= eq[s] & !x & c_k;
                     eq[s] &= !(x ^ c_k);
@@ -260,7 +271,10 @@ mod tests {
         dev.reset_timeline();
         let _ = decompress(&dev, &dcol);
         let decode_reads = dev.with_timeline(|t| t.total_traffic().global_read_segments);
-        assert!(scan_reads * 3 < decode_reads, "{scan_reads} vs {decode_reads}");
+        assert!(
+            scan_reads * 3 < decode_reads,
+            "{scan_reads} vs {decode_reads}"
+        );
     }
 
     #[test]

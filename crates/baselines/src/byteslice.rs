@@ -24,7 +24,10 @@ pub struct ByteSlice {
 impl ByteSlice {
     /// Encode a column of non-negative values.
     pub fn encode(values: &[i32]) -> Self {
-        assert!(values.iter().all(|&v| v >= 0), "ByteSlice stores codes (non-negative)");
+        assert!(
+            values.iter().all(|&v| v >= 0),
+            "ByteSlice stores codes (non-negative)"
+        );
         let max = values.iter().copied().max().unwrap_or(0) as u32;
         let width_bytes = match max {
             0..=0xFF => 1,
@@ -39,7 +42,11 @@ impl ByteSlice {
                 plane[i] = ((v as u32) >> (8 * (width_bytes - 1 - j))) as u8;
             }
         }
-        ByteSlice { total_count: values.len(), width_bytes, planes }
+        ByteSlice {
+            total_count: values.len(),
+            width_bytes,
+            planes,
+        }
     }
 
     /// Compressed footprint in bytes.
@@ -75,7 +82,11 @@ impl ByteSlice {
         ByteSliceDevice {
             total_count: self.total_count,
             width_bytes: self.width_bytes,
-            planes: self.planes.iter().map(|p| dev.alloc_from_slice(p)).collect(),
+            planes: self
+                .planes
+                .iter()
+                .map(|p| dev.alloc_from_slice(p))
+                .collect(),
         }
     }
 }
@@ -138,10 +149,7 @@ pub fn scan_lt(dev: &Device, col: &ByteSliceDevice, constant: i32) -> GlobalBuff
                 }
             }
         }
-        let mask: Vec<u8> = lt
-            .iter()
-            .map(|&b| u8::from(b && constant >= 0))
-            .collect();
+        let mask: Vec<u8> = lt.iter().map(|&b| u8::from(b && constant >= 0)).collect();
         ctx.write_coalesced(&mut out, lo, &mask);
     });
     out
@@ -202,7 +210,11 @@ mod tests {
         for constant in [0, 255, 256, 40_000, 70_000, -1] {
             let mask = scan_lt(&dev, &dcol, constant);
             let expect = enc.scan_lt_cpu(constant);
-            let got: Vec<bool> = mask.as_slice_unaccounted().iter().map(|&b| b != 0).collect();
+            let got: Vec<bool> = mask
+                .as_slice_unaccounted()
+                .iter()
+                .map(|&b| b != 0)
+                .collect();
             assert_eq!(got, expect, "constant = {constant}");
         }
     }

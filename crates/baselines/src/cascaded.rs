@@ -114,8 +114,23 @@ pub fn for_cascaded(dev: &Device, col: &GpuForDevice) -> GlobalBuffer<i32> {
     if n == 0 {
         return out;
     }
-    unpack_pass(dev, &col.block_starts, &col.data, n, &mut raw, "cascade_for_unpack");
-    add_reference_pass(dev, &col.block_starts, &col.data, &raw, n, &mut out, "cascade_for_ref");
+    unpack_pass(
+        dev,
+        &col.block_starts,
+        &col.data,
+        n,
+        &mut raw,
+        "cascade_for_unpack",
+    );
+    add_reference_pass(
+        dev,
+        &col.block_starts,
+        &col.data,
+        &raw,
+        n,
+        &mut out,
+        "cascade_for_ref",
+    );
     out
 }
 
@@ -130,7 +145,14 @@ pub fn dfor_cascaded(dev: &Device, col: &GpuDForDevice) -> GlobalBuffer<i32> {
     if n == 0 {
         return out;
     }
-    unpack_pass(dev, &col.block_starts, &col.data, blocks * BLOCK, &mut raw, "cascade_dfor_unpack");
+    unpack_pass(
+        dev,
+        &col.block_starts,
+        &col.data,
+        blocks * BLOCK,
+        &mut raw,
+        "cascade_dfor_unpack",
+    );
     add_reference_pass(
         dev,
         &col.block_starts,
@@ -201,7 +223,10 @@ pub fn rfor_cascaded(dev: &Device, col: &GpuRForDevice) -> GlobalBuffer<i32> {
     // Passes 1-4: unpack + add-reference for each stream. Modeled as
     // one unpack kernel and one reference kernel per stream, each a
     // full pass over the runs arrays.
-    for (pass, name) in [(0, "cascade_rfor_unpack_values"), (1, "cascade_rfor_unpack_lengths")] {
+    for (pass, name) in [
+        (0, "cascade_rfor_unpack_values"),
+        (1, "cascade_rfor_unpack_lengths"),
+    ] {
         let cfg = KernelConfig::new(name, blocks, 128)
             .smem_per_block(2112)
             .regs_per_thread(30);
@@ -232,24 +257,30 @@ pub fn rfor_cascaded(dev: &Device, col: &GpuRForDevice) -> GlobalBuffer<i32> {
     // Reference passes (read-modify-write over the runs arrays). The
     // unpack above already folded the reference in functionally; these
     // kernels charge the extra traffic the separate layer costs.
-    for (pass, name) in [(0, "cascade_rfor_ref_values"), (1, "cascade_rfor_ref_lengths")] {
+    for (pass, name) in [
+        (0, "cascade_rfor_ref_values"),
+        (1, "cascade_rfor_ref_lengths"),
+    ] {
         let chunk = 2048usize;
         let grid = total_runs.div_ceil(chunk).max(1);
-        dev.launch(KernelConfig::new(name, grid, 128).regs_per_thread(24), |ctx| {
-            let lo = ctx.block_id() * chunk;
-            let hi = (lo + chunk).min(total_runs);
-            if lo >= hi {
-                return;
-            }
-            ctx.add_int_ops((hi - lo) as u64);
-            if pass == 0 {
-                let v = ctx.read_coalesced(&values, lo, hi - lo);
-                ctx.write_coalesced(&mut values, lo, &v);
-            } else {
-                let l = ctx.read_coalesced(&lengths, lo, hi - lo);
-                ctx.write_coalesced(&mut lengths, lo, &l);
-            }
-        });
+        dev.launch(
+            KernelConfig::new(name, grid, 128).regs_per_thread(24),
+            |ctx| {
+                let lo = ctx.block_id() * chunk;
+                let hi = (lo + chunk).min(total_runs);
+                if lo >= hi {
+                    return;
+                }
+                ctx.add_int_ops((hi - lo) as u64);
+                if pass == 0 {
+                    let v = ctx.read_coalesced(&values, lo, hi - lo);
+                    ctx.write_coalesced(&mut values, lo, &v);
+                } else {
+                    let l = ctx.read_coalesced(&lengths, lo, hi - lo);
+                    ctx.write_coalesced(&mut lengths, lo, &l);
+                }
+            },
+        );
     }
 
     // Passes 5-8: the global RLE expansion (scan lengths, scatter

@@ -37,7 +37,11 @@ impl GpuBp {
         };
         let as_u: Vec<u32> = values.iter().map(|&v| v as u32).collect();
         let data = pack_stream(&as_u, bitwidth);
-        GpuBp { total_count: values.len(), bitwidth, data }
+        GpuBp {
+            total_count: values.len(),
+            bitwidth,
+            data,
+        }
     }
 
     /// Compressed footprint in bytes.
@@ -115,17 +119,11 @@ fn run(dev: &Device, col: &GpuBpDevice, mut out: Option<&mut GlobalBuffer<i32>>,
             // Each lane loads its 8-byte window directly from global
             // memory; neighbouring windows overlap, so the warp touches
             // more bytes than the payload it decodes.
-            let idx: Vec<usize> = (warp_lo..warp_hi)
-                .map(|i| (i * bw as usize) / 32)
-                .collect();
+            let idx: Vec<usize> = (warp_lo..warp_hi).map(|i| (i * bw as usize) / 32).collect();
             let _ = ctx.warp_gather_wide(&col.data, &idx, 8);
             ctx.add_int_ops((warp_hi - warp_lo) as u64 * 6);
             for i in warp_lo..warp_hi {
-                vals.push(extract(
-                    col.data.as_slice_unaccounted(),
-                    i * bw as usize,
-                    bw,
-                ) as i32);
+                vals.push(extract(col.data.as_slice_unaccounted(), i * bw as usize, bw) as i32);
             }
         }
         if let Some(out) = out.as_deref_mut() {
@@ -177,7 +175,8 @@ mod tests {
         // GPU-FOR on the same data with staging + D=4.
         let gf = tlc_core::GpuFor::encode(&values).to_device(&dev);
         dev.reset_timeline();
-        tlc_core::gpu_for::decode_only(&dev, &gf, tlc_core::ForDecodeOpts::default());
+        tlc_core::gpu_for::decode_only(&dev, &gf, tlc_core::ForDecodeOpts::default())
+            .expect("decode");
         let gf_segs = dev.with_timeline(|t| t.total_traffic().global_read_segments);
         assert!(bp_segs > gf_segs, "bp = {bp_segs}, gpu-for = {gf_segs}");
     }

@@ -17,7 +17,9 @@ pub struct NoneDevice {
 impl NoneDevice {
     /// Upload a plain column.
     pub fn upload(dev: &Device, values: &[i32]) -> Self {
-        NoneDevice { data: dev.alloc_from_slice(values) }
+        NoneDevice {
+            data: dev.alloc_from_slice(values),
+        }
     }
 
     /// Logical value count.

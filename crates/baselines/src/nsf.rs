@@ -55,7 +55,11 @@ impl Nsf {
         for &v in values {
             bytes.extend_from_slice(&v.to_le_bytes()[..width.bytes()]);
         }
-        Nsf { total_count: values.len(), width, bytes }
+        Nsf {
+            total_count: values.len(),
+            width,
+            bytes,
+        }
     }
 
     /// Compressed footprint in bytes (payload + 2-word header).

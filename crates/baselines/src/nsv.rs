@@ -48,7 +48,11 @@ impl Nsv {
             bytes.extend_from_slice(&v.to_le_bytes()[..l]);
             len_codes[i / 16] |= ((l - 1) as u32) << (2 * (i % 16));
         }
-        Nsv { total_count: values.len(), bytes, len_codes }
+        Nsv {
+            total_count: values.len(),
+            bytes,
+            len_codes,
+        }
     }
 
     /// Compressed footprint in bytes (payload + length stream + header).
@@ -139,75 +143,82 @@ pub fn decompress(dev: &Device, col: &NsvDevice) -> GlobalBuffer<i32> {
     let mut chunk_sums = dev.alloc_zeroed::<u32>(chunks);
 
     // Kernel 1: read the length codes, reduce per chunk.
-    dev.launch(KernelConfig::new("nsv_len_sums", chunks, 128).regs_per_thread(24), |ctx| {
-        let c = ctx.block_id();
-        let first = c * CHUNK / 16;
-        let last = (((c + 1) * CHUNK).min(n)).div_ceil(16);
-        let words = ctx.read_coalesced(&col.len_codes, first, last - first);
-        ctx.add_int_ops(words.len() as u64 * 16);
-        let sum: u32 = (c * CHUNK..((c + 1) * CHUNK).min(n))
-            .map(|i| ((words[i / 16 - first] >> (2 * (i % 16))) & 0b11) + 1)
-            .sum();
-        ctx.write_coalesced(&mut chunk_sums, c, &[sum]);
-    });
+    dev.launch(
+        KernelConfig::new("nsv_len_sums", chunks, 128).regs_per_thread(24),
+        |ctx| {
+            let c = ctx.block_id();
+            let first = c * CHUNK / 16;
+            let last = (((c + 1) * CHUNK).min(n)).div_ceil(16);
+            let words = ctx.read_coalesced(&col.len_codes, first, last - first);
+            ctx.add_int_ops(words.len() as u64 * 16);
+            let sum: u32 = (c * CHUNK..((c + 1) * CHUNK).min(n))
+                .map(|i| ((words[i / 16 - first] >> (2 * (i % 16))) & 0b11) + 1)
+                .sum();
+            ctx.write_coalesced(&mut chunk_sums, c, &[sum]);
+        },
+    );
 
     // Kernel 2: scan the chunk sums, then expand to *per-value* byte
     // offsets in global memory — random access into variable-length
     // data needs every value's offset, a full 4-byte-per-value
     // intermediate (this pass is what makes NSV slow in Figure 8f).
     let mut offsets = dev.alloc_zeroed::<u32>(n);
-    dev.launch(KernelConfig::new("nsv_scan", chunks, 128).regs_per_thread(24), |ctx| {
-        let c = ctx.block_id();
-        if c == 0 {
-            let sums = ctx.read_coalesced(&chunk_sums, 0, chunks);
-            ctx.add_int_ops(2 * chunks as u64);
-            let mut acc = 0u32;
-            for (i, &s) in sums.iter().enumerate() {
-                debug_assert_eq!(acc, col.chunk_offsets.as_slice_unaccounted()[i]);
-                acc += s;
+    dev.launch(
+        KernelConfig::new("nsv_scan", chunks, 128).regs_per_thread(24),
+        |ctx| {
+            let c = ctx.block_id();
+            if c == 0 {
+                let sums = ctx.read_coalesced(&chunk_sums, 0, chunks);
+                ctx.add_int_ops(2 * chunks as u64);
+                let mut acc = 0u32;
+                for (i, &s) in sums.iter().enumerate() {
+                    debug_assert_eq!(acc, col.chunk_offsets.as_slice_unaccounted()[i]);
+                    acc += s;
+                }
             }
-        }
-        let lo = c * CHUNK;
-        let hi = ((c + 1) * CHUNK).min(n);
-        let first = lo / 16;
-        let words = ctx.read_coalesced(&col.len_codes, first, hi.div_ceil(16) - first);
-        let mut off = col.chunk_offsets.as_slice_unaccounted()[c];
-        let offs: Vec<u32> = (lo..hi)
-            .map(|i| {
-                let o = off;
-                off += ((words[i / 16 - first] >> (2 * (i % 16))) & 0b11) + 1;
-                o
-            })
-            .collect();
-        ctx.add_int_ops((hi - lo) as u64 * 2);
-        ctx.write_coalesced(&mut offsets, lo, &offs);
-    });
+            let lo = c * CHUNK;
+            let hi = ((c + 1) * CHUNK).min(n);
+            let first = lo / 16;
+            let words = ctx.read_coalesced(&col.len_codes, first, hi.div_ceil(16) - first);
+            let mut off = col.chunk_offsets.as_slice_unaccounted()[c];
+            let offs: Vec<u32> = (lo..hi)
+                .map(|i| {
+                    let o = off;
+                    off += ((words[i / 16 - first] >> (2 * (i % 16))) & 0b11) + 1;
+                    o
+                })
+                .collect();
+            ctx.add_int_ops((hi - lo) as u64 * 2);
+            ctx.write_coalesced(&mut offsets, lo, &offs);
+        },
+    );
 
     // Kernel 3: read the per-value offsets, the codes, and the payload
     // bytes; widen to i32.
-    dev.launch(KernelConfig::new("nsv_expand", chunks, 128).regs_per_thread(28), |ctx| {
-        let c = ctx.block_id();
-        let lo = c * CHUNK;
-        let hi = ((c + 1) * CHUNK).min(n);
-        let offs = ctx.read_coalesced(&offsets, lo, hi - lo);
-        let byte_lo = offs[0] as usize;
-        let byte_hi = col
-            .chunk_offsets
-            .as_slice_unaccounted()[c + 1] as usize;
-        let first = lo / 16;
-        let words = ctx.read_coalesced(&col.len_codes, first, hi.div_ceil(16) - first);
-        let payload = ctx.read_coalesced(&col.bytes, byte_lo, byte_hi - byte_lo);
-        ctx.add_int_ops((hi - lo) as u64 * 6);
-        let mut vals = Vec::with_capacity(hi - lo);
-        for i in lo..hi {
-            let l = (((words[i / 16 - first] >> (2 * (i % 16))) & 0b11) + 1) as usize;
-            let off = (offs[i - lo] - offs[0]) as usize;
-            let mut b = [0u8; 4];
-            b[..l].copy_from_slice(&payload[off..off + l]);
-            vals.push(i32::from_le_bytes(b));
-        }
-        ctx.write_coalesced(&mut out, lo, &vals);
-    });
+    dev.launch(
+        KernelConfig::new("nsv_expand", chunks, 128).regs_per_thread(28),
+        |ctx| {
+            let c = ctx.block_id();
+            let lo = c * CHUNK;
+            let hi = ((c + 1) * CHUNK).min(n);
+            let offs = ctx.read_coalesced(&offsets, lo, hi - lo);
+            let byte_lo = offs[0] as usize;
+            let byte_hi = col.chunk_offsets.as_slice_unaccounted()[c + 1] as usize;
+            let first = lo / 16;
+            let words = ctx.read_coalesced(&col.len_codes, first, hi.div_ceil(16) - first);
+            let payload = ctx.read_coalesced(&col.bytes, byte_lo, byte_hi - byte_lo);
+            ctx.add_int_ops((hi - lo) as u64 * 6);
+            let mut vals = Vec::with_capacity(hi - lo);
+            for i in lo..hi {
+                let l = (((words[i / 16 - first] >> (2 * (i % 16))) & 0b11) + 1) as usize;
+                let off = (offs[i - lo] - offs[0]) as usize;
+                let mut b = [0u8; 4];
+                b[..l].copy_from_slice(&payload[off..off + l]);
+                vals.push(i32::from_le_bytes(b));
+            }
+            ctx.write_coalesced(&mut out, lo, &vals);
+        },
+    );
     out
 }
 

@@ -30,7 +30,9 @@ pub struct NvComp {
 impl NvComp {
     /// Encode, choosing the best cascade like nvCOMP's selector.
     pub fn encode(values: &[i32]) -> Self {
-        NvComp { inner: EncodedColumn::encode_best(values) }
+        NvComp {
+            inner: EncodedColumn::encode_best(values),
+        }
     }
 
     /// Compressed footprint in bytes (payload + nvCOMP metadata).
@@ -45,7 +47,9 @@ impl NvComp {
 
     /// Upload to the device.
     pub fn to_device(&self, dev: &Device) -> NvCompDevice {
-        NvCompDevice { inner: self.inner.to_device(dev) }
+        NvCompDevice {
+            inner: self.inner.to_device(dev),
+        }
     }
 }
 
@@ -82,10 +86,7 @@ impl NvCompDevice {
 /// nvCOMP's RLE path: one fused unpack kernel for both streams, then
 /// the global scan/scatter/scan/gather expansion (5 kernels total —
 /// lighter than the naive 8-pass cascade, still multi-pass).
-fn nv_rfor_decompress(
-    dev: &Device,
-    col: &tlc_core::gpu_rfor::GpuRForDevice,
-) -> GlobalBuffer<i32> {
+fn nv_rfor_decompress(dev: &Device, col: &tlc_core::gpu_rfor::GpuRForDevice) -> GlobalBuffer<i32> {
     let n = col.total_count;
     let blocks = col.blocks();
     if n == 0 {
@@ -129,7 +130,11 @@ fn nv_rfor_decompress(
         ctx.write_coalesced(&mut lengths, run_offsets[b], &as_u32);
     });
 
-    let rle = crate::rle::RleDevice { total_count: n, values, lengths };
+    let rle = crate::rle::RleDevice {
+        total_count: n,
+        values,
+        lengths,
+    };
     crate::rle::decompress(dev, &rle)
 }
 
@@ -151,11 +156,15 @@ mod tests {
     fn roundtrip_all_schemes() {
         let dev = Device::v100();
         let datasets: Vec<Vec<i32>> = vec![
-            (0..20_000).map(|i| ((i as u64 * 48_271) % (1 << 14)) as i32).collect(), // FOR
-            (0..20_000).collect(),                                                   // DFOR
+            (0..20_000)
+                .map(|i| ((i as u64 * 48_271) % (1 << 14)) as i32)
+                .collect(), // FOR
+            (0..20_000).collect(), // DFOR
             // Runs of 50 *random* values: delta coding sees a large jump
             // at most miniblocks, RLE sees 10 runs per 512-block.
-            (0..20_000).map(|i| ((i as u64 / 50 * 2_654_435_761) % (1 << 16)) as i32).collect(),
+            (0..20_000)
+                .map(|i| ((i as u64 / 50 * 2_654_435_761) % (1 << 16)) as i32)
+                .collect(),
         ];
         let expected = [Scheme::GpuFor, Scheme::GpuDFor, Scheme::GpuRFor];
         for (values, want) in datasets.iter().zip(expected) {

@@ -40,16 +40,23 @@ impl PFor {
         for chunk in values.chunks(PFOR_BLOCK) {
             block_starts.push(data.len() as u32);
             let reference = *chunk.iter().min().expect("chunk non-empty");
-            let mut offsets: Vec<u32> =
-                chunk.iter().map(|&v| (v as i64 - reference as i64) as u32).collect();
+            let mut offsets: Vec<u32> = chunk
+                .iter()
+                .map(|&v| (v as i64 - reference as i64) as u32)
+                .collect();
             offsets.resize(PFOR_BLOCK, 0);
 
             // Width covering COVERAGE of the values.
             let mut sorted = offsets.clone();
             sorted.sort_unstable();
-            let cover_idx = ((PFOR_BLOCK as f64 * COVERAGE).ceil() as usize - 1).min(PFOR_BLOCK - 1);
+            let cover_idx =
+                ((PFOR_BLOCK as f64 * COVERAGE).ceil() as usize - 1).min(PFOR_BLOCK - 1);
             let width = bits_for(sorted[cover_idx]);
-            let limit = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+            let limit = if width == 32 {
+                u32::MAX
+            } else {
+                (1u32 << width) - 1
+            };
 
             let mut positions = Vec::new();
             let mut exceptions = Vec::new();
@@ -68,7 +75,11 @@ impl PFor {
             data.extend_from_slice(&exceptions);
         }
         block_starts.push(data.len() as u32);
-        PFor { total_count: values.len(), block_starts, data }
+        PFor {
+            total_count: values.len(),
+            block_starts,
+            data,
+        }
     }
 
     /// Compressed footprint in bytes.
@@ -107,7 +118,9 @@ impl PFor {
     pub fn decode_cpu(&self) -> Vec<i32> {
         let mut out = Vec::with_capacity(self.total_count);
         for b in 0..self.block_starts.len() - 1 {
-            out.extend(Self::decode_block(&self.data[self.block_starts[b] as usize..]));
+            out.extend(Self::decode_block(
+                &self.data[self.block_starts[b] as usize..],
+            ));
         }
         out.truncate(self.total_count);
         out

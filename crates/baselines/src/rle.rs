@@ -41,7 +41,11 @@ impl Rle {
     /// Encode a column.
     pub fn encode(values: &[i32]) -> Self {
         let (v, l) = encode_runs(values);
-        Rle { total_count: values.len(), values: v, lengths: l }
+        Rle {
+            total_count: values.len(),
+            values: v,
+            lengths: l,
+        }
     }
 
     /// Number of runs.
@@ -111,85 +115,100 @@ pub fn decompress(dev: &Device, col: &RleDevice) -> GlobalBuffer<i32> {
     // Pass 1: exclusive prefix sum over run lengths -> output offsets.
     {
         let grid = 160.min(runs.div_ceil(128)).max(1);
-        dev.launch(KernelConfig::new("rle_scan_lengths", grid, 128).regs_per_thread(24), |ctx| {
-            if ctx.block_id() != 0 {
-                // Real scans are hierarchical; charge the traffic once
-                // on block 0 and let the other blocks model the spread.
-                return;
-            }
-            let lens = ctx.read_coalesced(&col.lengths, 0, runs);
-            ctx.add_int_ops(2 * runs as u64);
-            let mut acc = 0u32;
-            let offs: Vec<u32> = lens
-                .iter()
-                .map(|&l| {
-                    let o = acc;
-                    acc += l;
-                    o
-                })
-                .collect();
-            ctx.write_coalesced(&mut offsets, 0, &offs);
-        });
+        dev.launch(
+            KernelConfig::new("rle_scan_lengths", grid, 128).regs_per_thread(24),
+            |ctx| {
+                if ctx.block_id() != 0 {
+                    // Real scans are hierarchical; charge the traffic once
+                    // on block 0 and let the other blocks model the spread.
+                    return;
+                }
+                let lens = ctx.read_coalesced(&col.lengths, 0, runs);
+                ctx.add_int_ops(2 * runs as u64);
+                let mut acc = 0u32;
+                let offs: Vec<u32> = lens
+                    .iter()
+                    .map(|&l| {
+                        let o = acc;
+                        acc += l;
+                        o
+                    })
+                    .collect();
+                ctx.write_coalesced(&mut offsets, 0, &offs);
+            },
+        );
     }
 
     // Pass 2: scatter head flags at each run's start offset.
     {
         let grid = runs.div_ceil(CHUNK).max(1);
-        dev.launch(KernelConfig::new("rle_scatter_flags", grid, 128).regs_per_thread(24), |ctx| {
-            let lo = ctx.block_id() * CHUNK;
-            let hi = (lo + CHUNK).min(runs);
-            if lo >= hi {
-                return;
-            }
-            let offs = ctx.read_coalesced(&offsets, lo, hi - lo);
-            for chunk in offs.chunks(32) {
-                let writes: Vec<(usize, u32)> = chunk.iter().map(|&o| (o as usize, 1)).collect();
-                ctx.warp_scatter(&mut flags, &writes);
-            }
-        });
+        dev.launch(
+            KernelConfig::new("rle_scatter_flags", grid, 128).regs_per_thread(24),
+            |ctx| {
+                let lo = ctx.block_id() * CHUNK;
+                let hi = (lo + CHUNK).min(runs);
+                if lo >= hi {
+                    return;
+                }
+                let offs = ctx.read_coalesced(&offsets, lo, hi - lo);
+                for chunk in offs.chunks(32) {
+                    let writes: Vec<(usize, u32)> =
+                        chunk.iter().map(|&o| (o as usize, 1)).collect();
+                    ctx.warp_scatter(&mut flags, &writes);
+                }
+            },
+        );
     }
 
     // Pass 3: inclusive prefix sum over the flags -> 1-based run ids.
     {
         let grid = 160.min(n.div_ceil(128)).max(1);
-        dev.launch(KernelConfig::new("rle_scan_flags", grid, 128).regs_per_thread(24), |ctx| {
-            if ctx.block_id() != 0 {
-                return;
-            }
-            let f = ctx.read_coalesced(&flags, 0, n);
-            ctx.add_int_ops(2 * n as u64);
-            let mut acc = 0u32;
-            let ids: Vec<u32> = f
-                .iter()
-                .map(|&x| {
-                    acc += x;
-                    acc
-                })
-                .collect();
-            ctx.write_coalesced(&mut run_ids, 0, &ids);
-        });
+        dev.launch(
+            KernelConfig::new("rle_scan_flags", grid, 128).regs_per_thread(24),
+            |ctx| {
+                if ctx.block_id() != 0 {
+                    return;
+                }
+                let f = ctx.read_coalesced(&flags, 0, n);
+                ctx.add_int_ops(2 * n as u64);
+                let mut acc = 0u32;
+                let ids: Vec<u32> = f
+                    .iter()
+                    .map(|&x| {
+                        acc += x;
+                        acc
+                    })
+                    .collect();
+                ctx.write_coalesced(&mut run_ids, 0, &ids);
+            },
+        );
     }
 
     // Pass 4: gather run values by id.
     {
         let grid = n.div_ceil(CHUNK).max(1);
-        dev.launch(KernelConfig::new("rle_gather_values", grid, 128).regs_per_thread(24), |ctx| {
-            let lo = ctx.block_id() * CHUNK;
-            let hi = (lo + CHUNK).min(n);
-            if lo >= hi {
-                return;
-            }
-            let ids = ctx.read_coalesced(&run_ids, lo, hi - lo);
-            let first = ids[0] as usize - 1;
-            let last = *ids.last().expect("non-empty") as usize - 1;
-            // Consecutive outputs reference monotonically increasing
-            // run ids, so the value reads are a contiguous range.
-            let vals = ctx.read_coalesced(&col.values, first, last - first + 1);
-            let expanded: Vec<i32> =
-                ids.iter().map(|&id| vals[id as usize - 1 - first]).collect();
-            ctx.add_int_ops((hi - lo) as u64 * 2);
-            ctx.write_coalesced(&mut out, lo, &expanded);
-        });
+        dev.launch(
+            KernelConfig::new("rle_gather_values", grid, 128).regs_per_thread(24),
+            |ctx| {
+                let lo = ctx.block_id() * CHUNK;
+                let hi = (lo + CHUNK).min(n);
+                if lo >= hi {
+                    return;
+                }
+                let ids = ctx.read_coalesced(&run_ids, lo, hi - lo);
+                let first = ids[0] as usize - 1;
+                let last = *ids.last().expect("non-empty") as usize - 1;
+                // Consecutive outputs reference monotonically increasing
+                // run ids, so the value reads are a contiguous range.
+                let vals = ctx.read_coalesced(&col.values, first, last - first + 1);
+                let expanded: Vec<i32> = ids
+                    .iter()
+                    .map(|&id| vals[id as usize - 1 - first])
+                    .collect();
+                ctx.add_int_ops((hi - lo) as u64 * 2);
+                ctx.write_coalesced(&mut out, lo, &expanded);
+            },
+        );
     }
     out
 }

@@ -59,7 +59,11 @@ impl SimdBp128 {
             }
         }
         block_starts.push(data.len() as u32);
-        SimdBp128 { total_count: values.len(), block_starts, data }
+        SimdBp128 {
+            total_count: values.len(),
+            block_starts,
+            data,
+        }
     }
 
     /// Compressed footprint in bytes.
@@ -213,7 +217,7 @@ mod tests {
 
         let gf = GpuFor::encode(&values).to_device(&dev);
         dev.reset_timeline();
-        tlc_core::gpu_for::decode_only(&dev, &gf, ForDecodeOpts::with_d(16));
+        tlc_core::gpu_for::decode_only(&dev, &gf, ForDecodeOpts::with_d(16)).expect("decode");
         let t_gf = dev.elapsed_seconds_scaled(scale);
         let ratio = t_sb / t_gf;
         assert!(ratio > 1.8, "ratio = {ratio}");

@@ -86,7 +86,10 @@ impl Simple8b {
             words.push(word);
             pos += count.min(u.len() - pos);
         }
-        Simple8b { total_count: values.len(), words }
+        Simple8b {
+            total_count: values.len(),
+            words,
+        }
     }
 
     /// Compressed footprint in bytes.

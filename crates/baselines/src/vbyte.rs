@@ -55,7 +55,11 @@ impl VByte {
             }
         }
         block_offsets.push(bytes.len() as u32);
-        VByte { total_count: values.len(), bytes, block_offsets }
+        VByte {
+            total_count: values.len(),
+            bytes,
+            block_offsets,
+        }
     }
 
     /// Compressed footprint in bytes.

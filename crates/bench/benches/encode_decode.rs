@@ -1,62 +1,76 @@
-//! Criterion benches: real CPU time of the encoders and of a full
-//! simulated decompression pass, one group per scheme.
+//! Timing harness (plain `fn main`, no criterion — the workspace builds
+//! offline): real CPU time of the encoders and of a full simulated
+//! decompression pass, one group per scheme.
+//!
+//! Run with `cargo bench -p tlc-bench --bench encode_decode`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use tlc_bench::{sorted_unique, uniform_bits};
+use std::time::Instant;
+use tlc_bench::{print_table, sorted_unique, uniform_bits};
 use tlc_core::{EncodedColumn, Scheme};
 use tlc_gpu_sim::Device;
 
 const N: usize = 1 << 18;
+const ITERS: usize = 5;
 
-fn bench_encode(c: &mut Criterion) {
-    let mut g = c.benchmark_group("encode");
-    g.throughput(Throughput::Elements(N as u64));
+fn time_best<R>(iters: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
     let uniform = uniform_bits(N, 16, 1);
     let sorted = sorted_unique(N, 1 << 16);
     let runs: Vec<i32> = (0..N).map(|i| (i / 64) as i32).collect();
+
+    let mut rows = Vec::new();
     for (scheme, data) in [
         (Scheme::GpuFor, &uniform),
         (Scheme::GpuDFor, &sorted),
         (Scheme::GpuRFor, &runs),
     ] {
-        g.bench_with_input(BenchmarkId::new("scheme", scheme.name()), data, |b, d| {
-            b.iter(|| EncodedColumn::encode_as(d, scheme).compressed_bytes())
+        let t = time_best(ITERS, || {
+            EncodedColumn::encode_as(data, scheme).compressed_bytes()
         });
+        rows.push(vec![
+            scheme.name().to_string(),
+            format!("{:.1}", N as f64 / t / 1e6),
+        ]);
     }
-    g.finish();
-}
+    print_table("encode (best of 5)", &["scheme", "Mvals/s"], &rows);
 
-fn bench_decompress_sim(c: &mut Criterion) {
-    let mut g = c.benchmark_group("decompress_simulated");
-    g.throughput(Throughput::Elements(N as u64));
-    g.sample_size(10);
-    let uniform = uniform_bits(N, 16, 2);
+    let mut rows = Vec::new();
     for scheme in Scheme::ALL {
         let dev = Device::v100();
         let col = EncodedColumn::encode_as(&uniform, scheme).to_device(&dev);
-        g.bench_with_input(BenchmarkId::new("scheme", scheme.name()), &col, |b, col| {
-            b.iter(|| {
-                dev.reset_timeline();
-                col.decode_only(&dev);
-                dev.elapsed_seconds()
-            })
+        let t = time_best(ITERS, || {
+            dev.reset_timeline();
+            col.decode_only(&dev).expect("decode");
+            dev.elapsed_seconds()
         });
+        rows.push(vec![
+            scheme.name().to_string(),
+            format!("{:.1}", N as f64 / t / 1e6),
+        ]);
     }
-    g.finish();
-}
+    print_table(
+        "decompress_simulated (best of 5)",
+        &["scheme", "Mvals/s"],
+        &rows,
+    );
 
-fn bench_decode_cpu(c: &mut Criterion) {
-    let mut g = c.benchmark_group("decode_cpu");
-    g.throughput(Throughput::Elements(N as u64));
-    let uniform = uniform_bits(N, 16, 3);
+    let mut rows = Vec::new();
     for scheme in Scheme::ALL {
         let col = EncodedColumn::encode_as(&uniform, scheme);
-        g.bench_with_input(BenchmarkId::new("scheme", scheme.name()), &col, |b, col| {
-            b.iter(|| col.decode_cpu().len())
-        });
+        let t = time_best(ITERS, || col.decode_cpu().len());
+        rows.push(vec![
+            scheme.name().to_string(),
+            format!("{:.1}", N as f64 / t / 1e6),
+        ]);
     }
-    g.finish();
+    print_table("decode_cpu (best of 5)", &["scheme", "Mvals/s"], &rows);
 }
-
-criterion_group!(benches, bench_encode, bench_decompress_sim, bench_decode_cpu);
-criterion_main!(benches);

@@ -1,28 +1,47 @@
-//! Criterion benches: full SSB query pipelines (generation excluded),
-//! comparing the inline GPU-* path against None and nvCOMP.
+//! Timing harness (plain `fn main`, no criterion — the workspace builds
+//! offline): full SSB query pipelines (generation excluded), comparing
+//! the inline GPU-* path against None and nvCOMP.
+//!
+//! Run with `cargo bench -p tlc-bench --bench query_ssb`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+use tlc_bench::print_table;
 use tlc_gpu_sim::Device;
 use tlc_ssb::{run_query, LoColumns, QueryId, SsbData, System};
 
-fn bench_queries(c: &mut Criterion) {
+const ITERS: usize = 3;
+
+fn time_best<R>(iters: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
     let data = SsbData::generate(0.01);
-    let mut g = c.benchmark_group("ssb");
-    g.sample_size(10);
+    let mut rows = Vec::new();
     for q in [QueryId::Q11, QueryId::Q21, QueryId::Q43] {
         for sys in [System::None, System::GpuStar, System::NvComp] {
             let dev = Device::v100();
             let cols = LoColumns::build(&dev, &data, sys, q.columns());
-            g.bench_function(BenchmarkId::new(q.name(), sys.name()), |b| {
-                b.iter(|| {
-                    dev.reset_timeline();
-                    run_query(&dev, &data, &cols, q).len()
-                })
+            let t = time_best(ITERS, || {
+                dev.reset_timeline();
+                run_query(&dev, &data, &cols, q).len()
             });
+            rows.push(vec![
+                q.name().to_string(),
+                sys.name().to_string(),
+                format!("{:.2}", t * 1e3),
+            ]);
         }
     }
-    g.finish();
+    print_table(
+        "ssb query wall time (best of 3)",
+        &["query", "system", "host ms"],
+        &rows,
+    );
 }
-
-criterion_group!(benches, bench_queries);
-criterion_main!(benches);

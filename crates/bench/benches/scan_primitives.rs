@@ -1,45 +1,67 @@
-//! Criterion benches: the bit-level primitives everything is built on.
+//! Timing harness (plain `fn main`, no criterion — the workspace builds
+//! offline): the bit-level primitives everything is built on.
+//!
+//! Run with `cargo bench -p tlc-bench --bench scan_primitives`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Instant;
+use tlc_bench::print_table;
 use tlc_bitpack::{pack_stream, unpack_stream, vertical_pack, vertical_unpack};
 
 const N: usize = 1 << 16;
+const ITERS: usize = 20;
 
-fn bench_horizontal(c: &mut Criterion) {
-    let mut g = c.benchmark_group("horizontal");
-    g.throughput(Throughput::Elements(N as u64));
+fn time_best<R>(iters: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let mut rows = Vec::new();
     for bw in [5u32, 13, 21, 32] {
         let mask = if bw == 32 { u32::MAX } else { (1 << bw) - 1 };
-        let values: Vec<u32> = (0..N as u32).map(|i| i.wrapping_mul(2_654_435_761) & mask).collect();
-        g.bench_with_input(BenchmarkId::new("pack", bw), &values, |b, v| {
-            b.iter(|| pack_stream(v, bw).len())
-        });
+        let values: Vec<u32> = (0..N as u32)
+            .map(|i| i.wrapping_mul(2_654_435_761) & mask)
+            .collect();
+        let t_pack = time_best(ITERS, || pack_stream(&values, bw).len());
         let packed = pack_stream(&values, bw);
-        g.bench_with_input(BenchmarkId::new("unpack", bw), &packed, |b, p| {
-            b.iter(|| unpack_stream(p, bw, N).len())
-        });
+        let t_unpack = time_best(ITERS, || unpack_stream(&packed, bw, N).len());
+        rows.push(vec![
+            bw.to_string(),
+            format!("{:.1}", N as f64 / t_pack / 1e6),
+            format!("{:.1}", N as f64 / t_unpack / 1e6),
+        ]);
     }
-    g.finish();
-}
+    print_table(
+        "horizontal (best of 20)",
+        &["bw", "pack Mvals/s", "unpack Mvals/s"],
+        &rows,
+    );
 
-fn bench_vertical(c: &mut Criterion) {
-    let mut g = c.benchmark_group("vertical");
     let lanes = 32;
     let block = lanes * 32;
-    g.throughput(Throughput::Elements(block as u64));
+    let mut rows = Vec::new();
     for bw in [9u32, 17] {
         let mask = (1u32 << bw) - 1;
-        let values: Vec<u32> = (0..block as u32).map(|i| i.wrapping_mul(48_271) & mask).collect();
-        g.bench_with_input(BenchmarkId::new("pack", bw), &values, |b, v| {
-            b.iter(|| vertical_pack(v, bw, lanes).len())
-        });
+        let values: Vec<u32> = (0..block as u32)
+            .map(|i| i.wrapping_mul(48_271) & mask)
+            .collect();
+        let t_pack = time_best(ITERS, || vertical_pack(&values, bw, lanes).len());
         let packed = vertical_pack(&values, bw, lanes);
-        g.bench_with_input(BenchmarkId::new("unpack", bw), &packed, |b, p| {
-            b.iter(|| vertical_unpack(p, bw, lanes).len())
-        });
+        let t_unpack = time_best(ITERS, || vertical_unpack(&packed, bw, lanes).len());
+        rows.push(vec![
+            bw.to_string(),
+            format!("{:.1}", block as f64 / t_pack / 1e6),
+            format!("{:.1}", block as f64 / t_unpack / 1e6),
+        ]);
     }
-    g.finish();
+    print_table(
+        "vertical (best of 20)",
+        &["bw", "pack Mvals/s", "unpack Mvals/s"],
+        &rows,
+    );
 }
-
-criterion_group!(benches, bench_horizontal, bench_vertical);
-criterion_main!(benches);

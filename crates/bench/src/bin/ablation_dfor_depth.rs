@@ -25,7 +25,7 @@ fn main() {
         assert_eq!(enc.decode_cpu(), values, "roundtrip at D = {d}");
         let dcol = enc.to_device(&dev);
         dev.reset_timeline();
-        decode_only(&dev, &dcol);
+        decode_only(&dev, &dcol).expect("decode");
         rows.push(vec![
             d.to_string(),
             format!("{:.3}", enc.bits_per_int()),

@@ -7,8 +7,8 @@
 //! tile-vs-cascade ratio — under perturbed device parameters and
 //! reports whether the qualitative result holds.
 
-use tlc_bench::{print_table, sim_n, uniform_bits};
 use tlc_baselines::cascaded;
+use tlc_bench::{print_table, sim_n, uniform_bits};
 use tlc_core::gpu_for::{decode_only, decompress, GpuFor};
 use tlc_core::ForDecodeOpts;
 use tlc_gpu_sim::{Device, DeviceParams};
@@ -20,23 +20,41 @@ struct Variant {
 
 fn variants() -> Vec<Variant> {
     let base = DeviceParams::v100();
-    let mut v = vec![Variant { name: "baseline V100", params: base.clone() }];
+    let mut v = vec![Variant {
+        name: "baseline V100",
+        params: base.clone(),
+    }];
     let mut p = base.clone();
     p.block_latency_s *= 2.0;
-    v.push(Variant { name: "2x block latency", params: p });
+    v.push(Variant {
+        name: "2x block latency",
+        params: p,
+    });
     let mut p = base.clone();
     p.block_latency_s *= 0.5;
-    v.push(Variant { name: "0.5x block latency", params: p });
+    v.push(Variant {
+        name: "0.5x block latency",
+        params: p,
+    });
     let mut p = base.clone();
     p.bw_saturation_occupancy = 0.6;
-    v.push(Variant { name: "saturation @ 60% occ", params: p });
+    v.push(Variant {
+        name: "saturation @ 60% occ",
+        params: p,
+    });
     let mut p = base.clone();
     p.spill_threshold_regs = 96;
-    v.push(Variant { name: "96-reg spill threshold", params: p });
+    v.push(Variant {
+        name: "96-reg spill threshold",
+        params: p,
+    });
     let mut p = base.clone();
     p.global_bw = 2.0e12; // A100-class HBM
     p.shared_bw = 2.0e13;
-    v.push(Variant { name: "A100-class bandwidth", params: p });
+    v.push(Variant {
+        name: "A100-class bandwidth",
+        params: p,
+    });
     v
 }
 
@@ -52,7 +70,7 @@ fn main() {
         let col = enc.to_device(&dev);
         let t = |d: usize| {
             dev.reset_timeline();
-            decode_only(&dev, &col, ForDecodeOpts::with_d(d));
+            decode_only(&dev, &col, ForDecodeOpts::with_d(d)).expect("decode");
             dev.elapsed_seconds()
         };
         let (t1, t4, t16, t32) = (t(1), t(4), t(16), t(32));
@@ -76,7 +94,13 @@ fn main() {
     }
     print_table(
         "Sensitivity of headline shapes",
-        &["device variant", "D1/D4", "D32/D16", "knee holds", "cascade/tile"],
+        &[
+            "device variant",
+            "D1/D4",
+            "D32/D16",
+            "knee holds",
+            "cascade/tile",
+        ],
         &rows,
     );
     println!("\nexpected: every variant keeps D1/D4 > 1, D32/D16 > 1, cascade/tile > 1.5");

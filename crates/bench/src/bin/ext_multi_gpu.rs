@@ -32,7 +32,13 @@ fn main() {
     }
     print_table(
         "q2.1 latency vs shard count (model ms)",
-        &["shards", "None scan", "None merge", "GPU-* scan", "GPU-* merge"],
+        &[
+            "shards",
+            "None scan",
+            "None merge",
+            "GPU-* scan",
+            "GPU-* merge",
+        ],
         &rows,
     );
     println!("\nexpected: scan leg divides by the shard count; the merge is microseconds;");

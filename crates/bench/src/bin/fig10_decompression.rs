@@ -91,7 +91,11 @@ fn main() {
     let mut rows_b = Vec::new();
     for name in ["Planner", "GPU-BP", "nvCOMP", "GPU-*"] {
         let gm = geomean(&sys_times[name]);
-        rows_b.push(vec![name.to_string(), ms(gm), format!("{:.2}x", gm / star_gm)]);
+        rows_b.push(vec![
+            name.to_string(),
+            ms(gm),
+            format!("{:.2}x", gm / star_gm),
+        ]);
     }
     print_table(
         "Figure 10b: geomean decompression across SSB columns",

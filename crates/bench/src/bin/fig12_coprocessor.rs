@@ -69,11 +69,7 @@ fn main() {
             let _ = run_query(&dev, &data, &cols, q);
             let compute = dev.elapsed_seconds_scaled(scale);
             dev.reset_timeline();
-            dev.pcie_transfer_overlapped(
-                (cols.size_bytes() as f64 * scale) as u64,
-                compute,
-                16,
-            );
+            dev.pcie_transfer_overlapped((cols.size_bytes() as f64 * scale) as u64, compute, 16);
             let t = dev.elapsed_seconds();
             times.push(t);
             row.push(ms(t));

@@ -22,7 +22,7 @@ fn main() {
     let mut rows = Vec::new();
     for d in [1usize, 2, 4, 8, 16, 32] {
         dev.reset_timeline();
-        decode_only(&dev, &col, ForDecodeOpts::with_d(d));
+        decode_only(&dev, &col, ForDecodeOpts::with_d(d)).expect("decode");
         let occupancy =
             dev.with_timeline(|t| t.events().last().map(|e| e.occupancy).unwrap_or(0.0));
         rows.push(vec![

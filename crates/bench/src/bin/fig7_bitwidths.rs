@@ -46,7 +46,11 @@ fn main() {
             t(&|d| drop(tlc_baselines::none::copy(d, &none))),
             t(&|d| drop(tlc_baselines::nsf::decompress(d, &nsf_dev))),
             t(&|d| {
-                drop(tlc_core::gpu_for::decompress(d, &gfor_dev, tlc_core::ForDecodeOpts::default()))
+                drop(tlc_core::gpu_for::decompress(
+                    d,
+                    &gfor_dev,
+                    tlc_core::ForDecodeOpts::default(),
+                ))
             }),
             t(&|d| drop(tlc_core::gpu_dfor::decompress(d, &gdfor_dev))),
             t(&|d| drop(tlc_core::gpu_rfor::decompress(d, &grfor_dev))),
@@ -67,8 +71,15 @@ fn main() {
     print_table(
         "Figure 7a: decompression time (model ms)",
         &[
-            "bits", "None", "NSF", "GPU-FOR", "GPU-DFOR", "GPU-RFOR",
-            "FOR+BP", "Delta+FOR+BP", "RLE+FOR+BP",
+            "bits",
+            "None",
+            "NSF",
+            "GPU-FOR",
+            "GPU-DFOR",
+            "GPU-RFOR",
+            "FOR+BP",
+            "Delta+FOR+BP",
+            "RLE+FOR+BP",
         ],
         &time_rows,
     );

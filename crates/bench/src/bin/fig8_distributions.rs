@@ -18,7 +18,12 @@ struct Measured {
     decomp_ms: String,
 }
 
-fn measure_all(values: &[i32], scale: f64, with_rle: bool, with_nsv: bool) -> Vec<(String, Measured)> {
+fn measure_all(
+    values: &[i32],
+    scale: f64,
+    with_rle: bool,
+    with_nsv: bool,
+) -> Vec<(String, Measured)> {
     let dev = Device::v100();
     let mut out = Vec::new();
     let mut push = |name: &str, bpi: f64, f: &dyn Fn(&Device)| {
@@ -50,7 +55,11 @@ fn measure_all(values: &[i32], scale: f64, with_rle: bool, with_nsv: bool) -> Ve
     let gfor = GpuFor::encode(values);
     let gfor_dev = gfor.to_device(&dev);
     push("GPU-FOR", gfor.bits_per_int(), &|d| {
-        drop(tlc_core::gpu_for::decompress(d, &gfor_dev, tlc_core::ForDecodeOpts::default()))
+        drop(tlc_core::gpu_for::decompress(
+            d,
+            &gfor_dev,
+            tlc_core::ForDecodeOpts::default(),
+        ))
     });
     let gdfor = GpuDFor::encode(values);
     let gdfor_dev = gdfor.to_device(&dev);
@@ -88,8 +97,16 @@ fn report(title: &str, param_name: &str, sweeps: Vec<(String, Vec<(String, Measu
     }
     let mut header = vec![param_name];
     header.extend(schemes.iter().map(String::as_str));
-    print_table(&format!("{title}: compression rate (bits/int)"), &header, &rate_rows);
-    print_table(&format!("{title}: decompression time (model ms)"), &header, &time_rows);
+    print_table(
+        &format!("{title}: compression rate (bits/int)"),
+        &header,
+        &rate_rows,
+    );
+    print_table(
+        &format!("{title}: decompression time (model ms)"),
+        &header,
+        &time_rows,
+    );
 }
 
 fn main() {
@@ -103,7 +120,10 @@ fn main() {
         for log_u in [2u32, 5, 10, 15, 20, 22, 25, 28] {
             let unique = 1u64 << log_u;
             let values = sorted_unique(n, unique.min(n as u64 * 16));
-            sweeps.push((format!("2^{log_u}"), measure_all(&values, scale, true, false)));
+            sweeps.push((
+                format!("2^{log_u}"),
+                measure_all(&values, scale, true, false),
+            ));
         }
         report("Fig 8a-b (D1 sorted)", "unique", sweeps);
         println!("paper shape: RFOR best below ~2^22 distinct, DFOR best above; DFOR hits 1.8 bits/int at 2^28");
@@ -113,7 +133,10 @@ fn main() {
         let mut sweeps = Vec::new();
         for log_m in [8u32, 12, 16, 20, 24, 28, 30] {
             let values = normal(n, (1u64 << log_m) as f64, 800 + log_m as u64);
-            sweeps.push((format!("2^{log_m}"), measure_all(&values, scale, false, false)));
+            sweeps.push((
+                format!("2^{log_m}"),
+                measure_all(&values, scale, false, false),
+            ));
         }
         report("Fig 8c-d (D2 normal)", "mean", sweeps);
         println!("paper shape: FOR-based schemes flat at ~9 bits/int regardless of mean; NSF staircases to 32");
@@ -123,7 +146,10 @@ fn main() {
         let mut sweeps = Vec::new();
         for alpha10 in [10u32, 20, 30, 40, 50] {
             let values = zipf(n, alpha10 as f64 / 10.0, 1 << 20, 900 + alpha10 as u64);
-            sweeps.push((format!("{:.1}", alpha10 as f64 / 10.0), measure_all(&values, scale, false, true)));
+            sweeps.push((
+                format!("{:.1}", alpha10 as f64 / 10.0),
+                measure_all(&values, scale, false, true),
+            ));
         }
         report("Fig 8e-f (D3 zipf)", "alpha", sweeps);
         println!("paper shape: bit-aligned schemes adapt to skew; NSV compresses better than NSF but decodes far slower");

@@ -35,7 +35,10 @@ fn main() {
     }
     let mut mean = vec!["mean".to_string()];
     for t in &totals {
-        mean.push(format!("{:.1}", *t as f64 * scale / LoColumn::ALL.len() as f64 / 1e6));
+        mean.push(format!(
+            "{:.1}",
+            *t as f64 * scale / LoColumn::ALL.len() as f64 / 1e6
+        ));
     }
     rows.push(mean);
 

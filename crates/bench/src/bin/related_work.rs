@@ -31,31 +31,45 @@ fn main() {
 
     let gf = EncodedColumn::encode_as(&values, Scheme::GpuFor);
     let gf_dev = gf.to_device(&dev);
-    add("GPU-FOR (paper)", gf.bits_per_int(), &|d| drop(gf_dev.decompress(d)));
+    add("GPU-FOR (paper)", gf.bits_per_int(), &|d| {
+        drop(gf_dev.decompress(d))
+    });
 
     let bp = gpu_bp::GpuBp::encode(&values);
     let bp_dev = bp.to_device(&dev);
-    add("GPU-BP", bp.bits_per_int(), &|d| drop(gpu_bp::decompress(d, &bp_dev)));
+    add("GPU-BP", bp.bits_per_int(), &|d| {
+        drop(gpu_bp::decompress(d, &bp_dev))
+    });
 
     let pf = pfor::PFor::encode(&values);
     let pf_dev = pf.to_device(&dev);
-    add("PFOR", pf.bits_per_int(), &|d| drop(pfor::decompress(d, &pf_dev)));
+    add("PFOR", pf.bits_per_int(), &|d| {
+        drop(pfor::decompress(d, &pf_dev))
+    });
 
     let s8 = simple8b::Simple8b::encode(&values);
     let s8_dev = s8.to_device(&dev);
-    add("Simple-8b", s8.bits_per_int(), &|d| drop(simple8b::decompress(d, &s8_dev)));
+    add("Simple-8b", s8.bits_per_int(), &|d| {
+        drop(simple8b::decompress(d, &s8_dev))
+    });
 
     let vb = vbyte::VByte::encode(&values);
     let vb_dev = vb.to_device(&dev);
-    add("VByte", vb.bits_per_int(), &|d| drop(vbyte::decompress(d, &vb_dev)));
+    add("VByte", vb.bits_per_int(), &|d| {
+        drop(vbyte::decompress(d, &vb_dev))
+    });
 
     let ns = nsf::Nsf::encode(&values);
     let ns_dev = ns.to_device(&dev);
-    add("NSF", ns.bits_per_int(), &|d| drop(nsf::decompress(d, &ns_dev)));
+    add("NSF", ns.bits_per_int(), &|d| {
+        drop(nsf::decompress(d, &ns_dev))
+    });
 
     let nv = nsv::Nsv::encode(&values);
     let nv_dev = nv.to_device(&dev);
-    add("NSV", nv.bits_per_int(), &|d| drop(nsv::decompress(d, &nv_dev)));
+    add("NSV", nv.bits_per_int(), &|d| {
+        drop(nsv::decompress(d, &nv_dev))
+    });
 
     let bw = bitweaving::BitWeaving::encode(&values);
     let bw_dev = bw.to_device(&dev);
@@ -65,7 +79,9 @@ fn main() {
 
     let bs = byteslice::ByteSlice::encode(&values);
     let bs_dev = bs.to_device(&dev);
-    add("ByteSlice", bs.bits_per_int(), &|d| drop(byteslice::decompress(d, &bs_dev)));
+    add("ByteSlice", bs.bits_per_int(), &|d| {
+        drop(byteslice::decompress(d, &bs_dev))
+    });
 
     print_table(
         "Compression rate + full decompression",
@@ -79,7 +95,7 @@ fn main() {
 
     // Decode-then-filter path for the horizontal schemes.
     dev.reset_timeline();
-    let decoded = gf_dev.decompress(&dev);
+    let decoded = gf_dev.decompress(&dev).expect("decode");
     let _ = tlc_crystal::select(&dev, &tlc_crystal::QueryColumn::Plain(decoded), |v| {
         v < constant
     });
@@ -99,13 +115,23 @@ fn main() {
 
     dev.reset_timeline();
     let _ = bitweaving::scan_lt(&dev, &bw_dev, constant);
-    scan_rows.push(vec!["BitWeaving/V scan (no decode)".to_string(), ms(dev.elapsed_seconds_scaled(scale))]);
+    scan_rows.push(vec![
+        "BitWeaving/V scan (no decode)".to_string(),
+        ms(dev.elapsed_seconds_scaled(scale)),
+    ]);
 
     dev.reset_timeline();
     let _ = byteslice::scan_lt(&dev, &bs_dev, constant);
-    scan_rows.push(vec!["ByteSlice scan (no decode)".to_string(), ms(dev.elapsed_seconds_scaled(scale))]);
+    scan_rows.push(vec![
+        "ByteSlice scan (no decode)".to_string(),
+        ms(dev.elapsed_seconds_scaled(scale)),
+    ]);
 
-    print_table("Predicate scan: value < 1024", &["path", "model ms"], &scan_rows);
+    print_table(
+        "Predicate scan: value < 1024",
+        &["path", "model ms"],
+        &scan_rows,
+    );
     println!(
         "\nexpected: bit-aligned FOR schemes win bits/int; byte/word-aligned trade space for\n\
          simpler decode; the vertical layouts win pure scans but lose decompress-everything."

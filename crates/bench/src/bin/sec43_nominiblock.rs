@@ -20,7 +20,7 @@ fn main() {
 
     let with_mb = GpuFor::encode(&uniform).to_device(&dev);
     dev.reset_timeline();
-    tlc_core::gpu_for::decode_only(&dev, &with_mb, ForDecodeOpts::default());
+    tlc_core::gpu_for::decode_only(&dev, &with_mb, ForDecodeOpts::default()).expect("decode");
     let t_mb = dev.elapsed_seconds_scaled(scale);
 
     let without = NoMiniblock::encode(&uniform).to_device(&dev);
@@ -40,8 +40,16 @@ fn main() {
         "Section 4.3 miniblock ablation",
         &["variant", "decode ms", "skewed size MB (scaled)"],
         &[
-            vec!["4 miniblocks (GPU-FOR)".into(), ms(t_mb), format!("{:.0}", s_mb as f64 * scale / 1e6)],
-            vec!["1 width per block".into(), ms(t_nm), format!("{:.0}", s_nm as f64 * scale / 1e6)],
+            vec![
+                "4 miniblocks (GPU-FOR)".into(),
+                ms(t_mb),
+                format!("{:.0}", s_mb as f64 * scale / 1e6),
+            ],
+            vec![
+                "1 width per block".into(),
+                ms(t_nm),
+                format!("{:.0}", s_nm as f64 * scale / 1e6),
+            ],
         ],
     );
     println!("\npaper: 2.1 ms -> 2.0 ms on uniform data; miniblocks contain skew damage");

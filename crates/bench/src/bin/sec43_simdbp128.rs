@@ -4,8 +4,8 @@
 //! GPU-SIMDBP128 (2.7×); on SSB q1.1 the vertical layout is 14× slower
 //! due to register spilling with live output columns.
 
-use tlc_bench::{ms, print_table, sim_n, uniform_bits, PAPER_N_SEC4};
 use tlc_baselines::simdbp128::{self, SimdBp128, SIMDBP_BLOCK};
+use tlc_bench::{ms, print_table, sim_n, uniform_bits, PAPER_N_SEC4};
 use tlc_core::column::TILE;
 use tlc_core::gpu_for::{decode_only, GpuFor};
 use tlc_core::ForDecodeOpts;
@@ -21,7 +21,7 @@ fn main() {
 
     let gf = GpuFor::encode(&values).to_device(&dev);
     dev.reset_timeline();
-    decode_only(&dev, &gf, ForDecodeOpts::with_d(16));
+    decode_only(&dev, &gf, ForDecodeOpts::with_d(16)).expect("decode");
     let t_gf = dev.elapsed_seconds_scaled(scale);
 
     let sb = SimdBp128::encode(&values).to_device(&dev);
@@ -43,7 +43,9 @@ fn main() {
     // q1.1-style fused query: 4 columns live simultaneously. GPU-FOR
     // holds D = 4 values per column per thread; GPU-SIMDBP128 must hold
     // 32 — blowing the register file (the paper's 14x).
-    let cols_gf: Vec<_> = (0..4).map(|_| GpuFor::encode(&values).to_device(&dev)).collect();
+    let cols_gf: Vec<_> = (0..4)
+        .map(|_| GpuFor::encode(&values).to_device(&dev))
+        .collect();
     dev.reset_timeline();
     {
         let tiles = n.div_ceil(TILE);
@@ -54,7 +56,14 @@ fn main() {
         dev.launch(cfg, |ctx| {
             let mut total = 0i64;
             for (c, buf) in cols_gf.iter().zip(bufs.iter_mut()) {
-                let m = tlc_core::gpu_for::load_tile(ctx, c, ctx.block_id(), ForDecodeOpts::default(), buf);
+                let m = tlc_core::gpu_for::load_tile(
+                    ctx,
+                    c,
+                    ctx.block_id(),
+                    ForDecodeOpts::default(),
+                    buf,
+                )
+                .expect("decode");
                 total += buf[..m].iter().map(|&v| v as i64).sum::<i64>();
             }
             ctx.add_int_ops(4 * TILE as u64);
@@ -63,7 +72,9 @@ fn main() {
     }
     let t_q_gf = dev.elapsed_seconds_scaled(scale);
 
-    let cols_sb: Vec<_> = (0..4).map(|_| SimdBp128::encode(&values).to_device(&dev)).collect();
+    let cols_sb: Vec<_> = (0..4)
+        .map(|_| SimdBp128::encode(&values).to_device(&dev))
+        .collect();
     dev.reset_timeline();
     {
         let blocks = n.div_ceil(SIMDBP_BLOCK);

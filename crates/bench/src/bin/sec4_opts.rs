@@ -25,28 +25,37 @@ fn main() {
     let mut measure = |name: &str, f: &dyn Fn(&Device)| {
         dev.reset_timeline();
         f(&dev);
-        rows.push(vec![name.to_string(), ms(dev.elapsed_seconds_scaled(scale))]);
+        rows.push(vec![
+            name.to_string(),
+            ms(dev.elapsed_seconds_scaled(scale)),
+        ]);
     };
 
-    measure("base Algorithm 1 (all global)", &|d| decode_only_base(d, &col));
+    measure("base Algorithm 1 (all global)", &|d| {
+        decode_only_base(d, &col)
+    });
     measure("+ Opt1: shared-memory staging (D=1)", &|d| {
-        decode_only(d, &col, ForDecodeOpts::opt1())
+        decode_only(d, &col, ForDecodeOpts::opt1()).expect("decode")
     });
     measure("+ Opt2: D=4 blocks per thread block", &|d| {
-        decode_only(d, &col, ForDecodeOpts { d: 4, precompute_offsets: false })
+        decode_only(
+            d,
+            &col,
+            ForDecodeOpts {
+                d: 4,
+                precompute_offsets: false,
+            },
+        )
+        .expect("decode")
     });
     measure("+ Opt3: precomputed miniblock offsets", &|d| {
-        decode_only(d, &col, ForDecodeOpts::default())
+        decode_only(d, &col, ForDecodeOpts::default()).expect("decode")
     });
     measure("None: read uncompressed", &|d| {
         tlc_baselines::none::read_only(d, &plain)
     });
 
-    print_table(
-        "Section 4.2 ladder",
-        &["configuration", "model ms"],
-        &rows,
-    );
+    print_table("Section 4.2 ladder", &["configuration", "model ms"], &rows);
     println!("\npaper: 18 / 7 / 2.39 / 2.1 ms; None read = 2.4 ms");
 
     // Bracket the base algorithm with the optional L1 model: the real

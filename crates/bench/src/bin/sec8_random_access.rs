@@ -7,7 +7,6 @@
 //! segment touched ⇒ read everything) — compression wins because the
 //! data is smaller.
 
-use rand::Rng;
 use tlc_bench::{ms, print_table, rng, sim_n, uniform_bits, PAPER_N_FIG7};
 use tlc_core::random_access::{random_access_compressed, random_access_plain};
 use tlc_core::{EncodedColumn, Scheme};
@@ -25,11 +24,21 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut r = rng(88);
-    for sigma in [0.0, 1e-5, 1e-4, 1e-3, 1.0 / 512.0, 1.0 / 32.0, 0.1, 0.5, 1.0] {
-        let selected: Vec<bool> = (0..n).map(|_| r.gen::<f64>() < sigma).collect();
+    for sigma in [
+        0.0,
+        1e-5,
+        1e-4,
+        1e-3,
+        1.0 / 512.0,
+        1.0 / 32.0,
+        0.1,
+        0.5,
+        1.0,
+    ] {
+        let selected: Vec<bool> = (0..n).map(|_| r.gen_f64() < sigma).collect();
 
         dev.reset_timeline();
-        let hits_c = random_access_compressed(&dev, &compressed, &selected);
+        let hits_c = random_access_compressed(&dev, &compressed, &selected).expect("decode");
         let t_c = dev.elapsed_seconds_scaled(scale);
 
         dev.reset_timeline();
@@ -37,11 +46,7 @@ fn main() {
         let t_p = dev.elapsed_seconds_scaled(scale);
         assert_eq!(hits_c, hits_p);
 
-        rows.push(vec![
-            format!("{sigma:.5}"),
-            ms(t_c),
-            ms(t_p),
-        ]);
+        rows.push(vec![format!("{sigma:.5}"), ms(t_c), ms(t_p)]);
     }
     print_table(
         "Section 8 random access (model ms)",

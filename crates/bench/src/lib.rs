@@ -7,8 +7,7 @@
 //! scaled to the paper's dataset size — the scaling is exact for these
 //! streaming workloads (see `tlc_gpu_sim::Timeline::scaled_seconds`).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use tlc_rng::Rng;
 
 /// Datasets used in Section 9.2 have 250 M entries; Section 4.2 uses
 /// 500 M.
@@ -35,15 +34,19 @@ pub fn sim_sf() -> f64 {
 }
 
 /// Deterministic RNG for a named experiment.
-pub fn rng(tag: u64) -> SmallRng {
-    SmallRng::seed_from_u64(0xC0FFEE ^ tag)
+pub fn rng(tag: u64) -> Rng {
+    Rng::seed_from_u64(0xC0FFEE ^ tag)
 }
 
 /// `n` uniform values with exactly `bits` effective bits (the Fig. 7
 /// datasets: values uniform in `[0, 2^bits)`).
 pub fn uniform_bits(n: usize, bits: u32, tag: u64) -> Vec<i32> {
     let mut r = rng(tag);
-    let max = if bits >= 31 { i32::MAX } else { (1 << bits) - 1 };
+    let max = if bits >= 31 {
+        i32::MAX
+    } else {
+        (1 << bits) - 1
+    };
     (0..n).map(|_| r.gen_range(0..=max)).collect()
 }
 
@@ -62,7 +65,7 @@ pub fn normal(n: usize, mean: f64, tag: u64) -> Vec<i32> {
         .map(|_| {
             // Box-Muller.
             let u1: f64 = r.gen_range(f64::EPSILON..1.0);
-            let u2: f64 = r.gen::<f64>();
+            let u2: f64 = r.gen_f64();
             let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
             (mean + 20.0 * z).round().clamp(0.0, i32::MAX as f64) as i32
         })
@@ -82,7 +85,7 @@ pub fn zipf(n: usize, alpha: f64, domain: usize, tag: u64) -> Vec<i32> {
     let mut r = rng(tag);
     (0..n)
         .map(|_| {
-            let u = r.gen::<f64>() * total;
+            let u = r.gen_f64() * total;
             cdf.partition_point(|&c| c < u) as i32
         })
         .collect()
@@ -105,7 +108,10 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!("{}", fmt_row(header.iter().map(|s| s.to_string()).collect()));
+    println!(
+        "{}",
+        fmt_row(header.iter().map(|s| s.to_string()).collect())
+    );
     for row in rows {
         println!("{}", fmt_row(row.clone()));
     }
@@ -148,7 +154,10 @@ mod tests {
     fn zipf_is_skewed() {
         let v = zipf(10_000, 2.0, 1000, 7);
         let zeros = v.iter().filter(|&&x| x == 0).count();
-        assert!(zeros > 5_000, "rank 0 should dominate at alpha=2, got {zeros}");
+        assert!(
+            zeros > 5_000,
+            "rank 0 should dominate at alpha=2, got {zeros}"
+        );
     }
 
     #[test]

@@ -63,7 +63,11 @@ pub fn extract(words: &[u32], start_bit: usize, bitwidth: u32) -> u32 {
     let lo = words[idx] as u64;
     let hi = *words.get(idx + 1).unwrap_or(&0) as u64;
     let window = lo | (hi << 32);
-    let mask = if bitwidth == 32 { u64::from(u32::MAX) } else { (1u64 << bitwidth) - 1 };
+    let mask = if bitwidth == 32 {
+        u64::from(u32::MAX)
+    } else {
+        (1u64 << bitwidth) - 1
+    };
     ((window >> off) & mask) as u32
 }
 
@@ -149,7 +153,9 @@ mod tests {
     fn odd_bitwidths_roundtrip() {
         for b in [1u32, 3, 5, 11, 13, 17, 23, 29, 31] {
             let mask = if b == 32 { u32::MAX } else { (1 << b) - 1 };
-            let values: Vec<u32> = (0..64u32).map(|i| i.wrapping_mul(2654435761) & mask).collect();
+            let values: Vec<u32> = (0..64u32)
+                .map(|i| i.wrapping_mul(2654435761) & mask)
+                .collect();
             let packed = pack_stream(&values, b);
             assert_eq!(unpack_stream(&packed, b, 64), values, "bitwidth {b}");
         }

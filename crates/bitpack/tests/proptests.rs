@@ -1,12 +1,15 @@
-//! Property-based tests for the packing primitives: every layout must be
-//! a lossless bijection for values that fit the declared bitwidth.
+//! Randomized tests for the packing primitives: every layout must be a
+//! lossless bijection for values that fit the declared bitwidth.
+//!
+//! Formerly proptest-based; now seeded via the vendored `tlc-rng` so
+//! the suite runs fully offline.
 
-use proptest::prelude::*;
 use tlc_bitpack::{
     extract, max_bits, pack_stream, unpack_stream, vertical_pack, vertical_unpack, words_for,
 };
+use tlc_rng::Rng;
 
-fn values_for_width(bw: u32, len: usize) -> impl Strategy<Value = Vec<u32>> {
+fn values_for_width(rng: &mut Rng, bw: u32, len: usize) -> Vec<u32> {
     let max = if bw == 0 {
         0u32
     } else if bw == 32 {
@@ -14,55 +17,82 @@ fn values_for_width(bw: u32, len: usize) -> impl Strategy<Value = Vec<u32>> {
     } else {
         (1u32 << bw) - 1
     };
-    proptest::collection::vec(0..=max, len)
+    (0..len).map(|_| rng.gen_range(0u32..=max)).collect()
 }
 
-proptest! {
-    #[test]
-    fn horizontal_roundtrip((bw, values) in (0u32..=32, 0usize..300).prop_flat_map(|(bw, len)| {
-        values_for_width(bw, len).prop_map(move |v| (bw, v))
-    })) {
-        let len = values.len();
-        let packed = pack_stream(&values, bw);
-        prop_assert_eq!(packed.len(), words_for(len, bw));
-        prop_assert_eq!(unpack_stream(&packed, bw, len), values);
+#[test]
+fn horizontal_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0xB17_0001);
+    for bw in 0u32..=32 {
+        for _ in 0..8 {
+            let len = rng.gen_range(0usize..300);
+            let values = values_for_width(&mut rng, bw, len);
+            let packed = pack_stream(&values, bw);
+            assert_eq!(packed.len(), words_for(len, bw));
+            assert_eq!(unpack_stream(&packed, bw, len), values);
+        }
     }
+}
 
-    #[test]
-    fn horizontal_roundtrip_random_values(values in proptest::collection::vec(any::<u32>(), 0..300)) {
+#[test]
+fn horizontal_roundtrip_random_values() {
+    let mut rng = Rng::seed_from_u64(0xB17_0002);
+    for _ in 0..256 {
+        let len = rng.gen_range(0usize..300);
+        let values: Vec<u32> = (0..len).map(|_| rng.next_u32()).collect();
         let bw = max_bits(&values);
         let packed = pack_stream(&values, bw);
-        prop_assert_eq!(unpack_stream(&packed, bw, values.len()), values);
+        assert_eq!(unpack_stream(&packed, bw, values.len()), values);
     }
+}
 
-    #[test]
-    fn extract_matches_unpack(values in proptest::collection::vec(0u32..1<<13, 1..200), idx_seed in any::<usize>()) {
-        let bw = 13;
+#[test]
+fn extract_matches_unpack() {
+    let mut rng = Rng::seed_from_u64(0xB17_0003);
+    let bw = 13;
+    for _ in 0..256 {
+        let len = rng.gen_range(1usize..200);
+        let values: Vec<u32> = (0..len).map(|_| rng.gen_range(0u32..1 << 13)).collect();
         let packed = pack_stream(&values, bw);
-        let i = idx_seed % values.len();
-        prop_assert_eq!(extract(&packed, i * bw as usize, bw), values[i]);
+        let i = rng.gen_range(0usize..values.len());
+        assert_eq!(extract(&packed, i * bw as usize, bw), values[i]);
     }
+}
 
-    #[test]
-    fn vertical_roundtrip(bw in 0u32..=32, lanes_pow in 0u32..=5) {
-        let lanes = 1usize << lanes_pow;
-        let mask = if bw == 0 { 0 } else if bw == 32 { u32::MAX } else { (1u32 << bw) - 1 };
-        let values: Vec<u32> = (0..lanes * 32)
-            .map(|i| (i as u32).wrapping_mul(2_654_435_761) & mask)
-            .collect();
-        let packed = vertical_pack(&values, bw, lanes);
-        prop_assert_eq!(packed.len(), lanes * bw as usize);
-        prop_assert_eq!(vertical_unpack(&packed, bw, lanes), values);
+#[test]
+fn vertical_roundtrip() {
+    for bw in 0u32..=32 {
+        for lanes_pow in 0u32..=5 {
+            let lanes = 1usize << lanes_pow;
+            let mask = if bw == 0 {
+                0
+            } else if bw == 32 {
+                u32::MAX
+            } else {
+                (1u32 << bw) - 1
+            };
+            let values: Vec<u32> = (0..lanes * 32)
+                .map(|i| (i as u32).wrapping_mul(2_654_435_761) & mask)
+                .collect();
+            let packed = vertical_pack(&values, bw, lanes);
+            assert_eq!(packed.len(), lanes * bw as usize);
+            assert_eq!(vertical_unpack(&packed, bw, lanes), values);
+        }
     }
+}
 
-    #[test]
-    fn packed_size_is_optimal(values in proptest::collection::vec(any::<u32>(), 1..200)) {
+#[test]
+fn packed_size_is_optimal() {
+    let mut rng = Rng::seed_from_u64(0xB17_0004);
+    for _ in 0..256 {
         // The horizontal layout wastes at most 31 bits (final word pad).
+        let len = rng.gen_range(1usize..200);
+        let values: Vec<u32> = (0..len).map(|_| rng.next_u32()).collect();
         let bw = max_bits(&values);
         let packed = pack_stream(&values, bw);
         let payload_bits = values.len() as u64 * bw as u64;
         let stored_bits = packed.len() as u64 * 32;
-        prop_assert!(stored_bits >= payload_bits);
-        prop_assert!(stored_bits - payload_bits < 32);
+        assert!(stored_bits >= payload_bits);
+        assert!(stored_bits - payload_bits < 32);
     }
 }

@@ -52,7 +52,10 @@ pub fn decode_only_base(dev: &Device, col: &GpuForDevice) {
                 .map(|t| mb_start + (width as usize * t) / 32)
                 .collect();
             let lo = ctx.warp_gather(&col.data, &idx);
-            let idx2: Vec<usize> = idx.iter().map(|&i| (i + 1).min(col.data.len() - 1)).collect();
+            let idx2: Vec<usize> = idx
+                .iter()
+                .map(|&i| (i + 1).min(col.data.len() - 1))
+                .collect();
             let hi = ctx.warp_gather(&col.data, &idx2);
 
             for t in 0..WARP_SIZE {
@@ -84,7 +87,7 @@ mod tests {
         let base = dev.elapsed_seconds();
 
         dev.reset_timeline();
-        decode_only(&dev, &dcol, ForDecodeOpts::default());
+        decode_only(&dev, &dcol, ForDecodeOpts::default()).expect("decode");
         let optimized = dev.elapsed_seconds();
 
         assert!(

@@ -1,0 +1,186 @@
+//! Per-block FNV-1a checksums over the encoded word streams.
+//!
+//! Compressed columns are the state a deployment actually persists and
+//! ships between host, disk and device, so they are the state that
+//! arrives damaged. Every scheme therefore carries one 32-bit checksum
+//! per decode block, stored next to the payload (format minor version
+//! 1, see [`crate::serialize`]) and verified from shared memory right
+//! after a tile is staged — before any width is trusted.
+//!
+//! The hash is word-granular FNV-1a: `h = (h ^ word) * prime` per
+//! 32-bit word. Each step is a bijection on `u32` (xor with a constant,
+//! then multiplication by an odd constant), so *any* change confined to
+//! a single word — in particular any single bit flip — always changes
+//! the digest. Multi-word corruption is detected with probability
+//! `1 - 2^-32` per block.
+//!
+//! Checksums are **derived**, not stored in the host structs: two
+//! encodings of the same data stay bit-identical (`PartialEq`), and the
+//! metadata pinned against the paper's Section 9.2 overhead figures
+//! ([`crate::GpuFor::compressed_bytes`] et al.) is unchanged.
+
+use tlc_gpu_sim::BlockCtx;
+
+use crate::gpu_dfor::GpuDFor;
+use crate::gpu_for::GpuFor;
+use crate::gpu_rfor::GpuRFor;
+
+/// FNV-1a 32-bit offset basis.
+pub const FNV_OFFSET: u32 = 0x811C_9DC5;
+
+/// FNV-1a 32-bit prime (odd, so each mix step is invertible mod 2^32).
+pub const FNV_PRIME: u32 = 0x0100_0193;
+
+/// Continue an FNV-1a digest over `words` from `state`.
+#[inline]
+pub fn fnv1a_continue(state: u32, words: &[u32]) -> u32 {
+    let mut h = state;
+    for &w in words {
+        h = (h ^ w).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// FNV-1a digest of a word slice.
+#[inline]
+pub fn fnv1a(words: &[u32]) -> u32 {
+    fnv1a_continue(FNV_OFFSET, words)
+}
+
+/// **Device function**: digest `len` staged shared-memory words at word
+/// offset `off`, charging one shared read plus ~2 integer ops per word
+/// (xor + multiply).
+pub fn staged_checksum(ctx: &mut BlockCtx<'_>, off: usize, len: usize) -> u32 {
+    let (shared, traffic) = ctx.shared_and_traffic();
+    traffic.shared_bytes += len as u64 * 4;
+    traffic.int_ops += len as u64 * 2;
+    fnv1a(&shared[off..off + len])
+}
+
+impl GpuFor {
+    /// One checksum per 128-value block, over the block's words
+    /// `data[block_starts[b]..block_starts[b + 1]]`.
+    pub fn block_checksums(&self) -> Vec<u32> {
+        self.block_starts
+            .windows(2)
+            .map(|w| fnv1a(&self.data[w[0] as usize..w[1] as usize]))
+            .collect()
+    }
+}
+
+impl GpuDFor {
+    /// One checksum per 128-entry delta block. Block `b`'s coverage is
+    /// extended one word to the left when it heads a tile, so the
+    /// tile's first-value word is covered and the whole `data` array is
+    /// tiled exactly by the per-block ranges.
+    pub fn block_checksums(&self) -> Vec<u32> {
+        let blocks = self.blocks();
+        let cover_start =
+            |b: usize| self.block_starts[b] as usize - usize::from(b.is_multiple_of(self.d));
+        (0..blocks)
+            .map(|b| {
+                let lo = cover_start(b);
+                let hi = if b + 1 == blocks {
+                    self.data.len()
+                } else {
+                    cover_start(b + 1)
+                };
+                fnv1a(&self.data[lo..hi])
+            })
+            .collect()
+    }
+}
+
+impl GpuRFor {
+    /// One checksum per 512-value logical block, chained over the
+    /// block's values-stream words then its lengths-stream words.
+    pub fn block_checksums(&self) -> Vec<u32> {
+        (0..self.blocks())
+            .map(|b| {
+                let (vs, ve) = (
+                    self.values_starts[b] as usize,
+                    self.values_starts[b + 1] as usize,
+                );
+                let (ls, le) = (
+                    self.lengths_starts[b] as usize,
+                    self.lengths_starts[b + 1] as usize,
+                );
+                let h = fnv1a(&self.values_data[vs..ve]);
+                fnv1a_continue(h, &self.lengths_data[ls..le])
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_word_change_always_detected() {
+        // The mix step is bijective, so flipping any one word (any bit
+        // pattern) must change the digest.
+        let words: Vec<u32> = (0..256u32).map(|i| i.wrapping_mul(2_654_435_761)).collect();
+        let clean = fnv1a(&words);
+        for i in 0..words.len() {
+            for bit in [0, 7, 31] {
+                let mut dirty = words.clone();
+                dirty[i] ^= 1 << bit;
+                assert_ne!(fnv1a(&dirty), clean, "flip word {i} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_chaining() {
+        assert_eq!(fnv1a(&[]), FNV_OFFSET);
+        let words = [1u32, 2, 3, 4];
+        assert_eq!(
+            fnv1a(&words),
+            fnv1a_continue(fnv1a(&words[..2]), &words[2..])
+        );
+    }
+
+    #[test]
+    fn for_checksums_cover_every_block() {
+        let values: Vec<i32> = (0..1000).map(|i| i * 7 % 321).collect();
+        let col = GpuFor::encode(&values);
+        let sums = col.block_checksums();
+        assert_eq!(sums.len(), col.blocks());
+        // Any single-bit flip anywhere in data changes exactly the
+        // covering block's checksum.
+        let mut dirty = col.clone();
+        dirty.data[3] ^= 1 << 5;
+        let dirty_sums = dirty.block_checksums();
+        let changed: Vec<usize> = (0..sums.len())
+            .filter(|&b| sums[b] != dirty_sums[b])
+            .collect();
+        assert_eq!(changed.len(), 1);
+    }
+
+    #[test]
+    fn dfor_checksums_tile_the_data_exactly() {
+        for d in [1, 2, 4] {
+            let values: Vec<i32> = (0..2000).map(|i| i / 3).collect();
+            let col = GpuDFor::encode_with_d(&values, d);
+            let sums = col.block_checksums();
+            assert_eq!(sums.len(), col.blocks(), "d = {d}");
+            // Flipping the first word (a first-value word) must change
+            // the first block's checksum: tile heads are covered.
+            let mut dirty = col.clone();
+            dirty.data[0] ^= 1;
+            assert_ne!(dirty.block_checksums()[0], sums[0], "d = {d}");
+        }
+    }
+
+    #[test]
+    fn rfor_checksums_cover_both_streams() {
+        let values: Vec<i32> = (0..1500).map(|i| i / 40).collect();
+        let col = GpuRFor::encode(&values);
+        let sums = col.block_checksums();
+        assert_eq!(sums.len(), col.blocks());
+        let mut dirty = col.clone();
+        dirty.lengths_data[0] ^= 1 << 9;
+        assert_ne!(dirty.block_checksums()[0], sums[0]);
+    }
+}

@@ -13,6 +13,7 @@
 
 use tlc_gpu_sim::{BlockCtx, Device, GlobalBuffer};
 
+use crate::error::DecodeError;
 use crate::format::{ForDecodeOpts, BLOCK, DEFAULT_D, RFOR_BLOCK};
 use crate::gpu_dfor::{self, GpuDFor, GpuDForDevice};
 use crate::gpu_for::{self, GpuFor, GpuForDevice};
@@ -167,8 +168,14 @@ impl DeviceColumn {
 
     /// **Device function**: decode tile `tile_id` (512 values) into
     /// `out`, dispatching to `LoadBitPack` / `LoadDBitPack` /
-    /// `LoadRBitPack`. Returns the logical value count of the tile.
-    pub fn load_tile(&self, ctx: &mut BlockCtx<'_>, tile_id: usize, out: &mut Vec<i32>) -> usize {
+    /// `LoadRBitPack`. Returns the logical value count of the tile, or
+    /// a [`DecodeError`] when the tile fails verification.
+    pub fn load_tile(
+        &self,
+        ctx: &mut BlockCtx<'_>,
+        tile_id: usize,
+        out: &mut Vec<i32>,
+    ) -> Result<usize, DecodeError> {
         match self {
             DeviceColumn::For(c) => {
                 gpu_for::load_tile(ctx, c, tile_id, ForDecodeOpts::default(), out)
@@ -183,7 +190,7 @@ impl DeviceColumn {
 
     /// Standalone decompression kernel: decode everything and write the
     /// plain values back to global memory.
-    pub fn decompress(&self, dev: &Device) -> GlobalBuffer<i32> {
+    pub fn decompress(&self, dev: &Device) -> Result<GlobalBuffer<i32>, DecodeError> {
         match self {
             DeviceColumn::For(c) => gpu_for::decompress(dev, c, ForDecodeOpts::default()),
             DeviceColumn::DFor(c) => gpu_dfor::decompress(dev, c),
@@ -192,7 +199,7 @@ impl DeviceColumn {
     }
 
     /// Decode-only kernel (no write-back).
-    pub fn decode_only(&self, dev: &Device) {
+    pub fn decode_only(&self, dev: &Device) -> Result<(), DecodeError> {
         match self {
             DeviceColumn::For(c) => gpu_for::decode_only(dev, c, ForDecodeOpts::default()),
             DeviceColumn::DFor(c) => gpu_dfor::decode_only(dev, c),
@@ -251,7 +258,9 @@ mod tests {
         let datasets: Vec<Vec<i32>> = vec![
             (0..5000).collect(),
             (0..5000).map(|i| i / 100).collect(),
-            (0..5000).map(|i| ((i as u64 * 48_271) % 1024) as i32).collect(),
+            (0..5000)
+                .map(|i| ((i as u64 * 48_271) % 1024) as i32)
+                .collect(),
         ];
         for values in datasets {
             let best = EncodedColumn::encode_best(&values).compressed_bytes();
@@ -270,7 +279,7 @@ mod tests {
             let col = EncodedColumn::encode_as(&values, s);
             assert_eq!(col.decode_cpu(), values, "{s:?} CPU");
             let dcol = col.to_device(&dev);
-            let out = dcol.decompress(&dev);
+            let out = dcol.decompress(&dev).expect("decode");
             assert_eq!(out.as_slice_unaccounted(), values, "{s:?} device");
         }
     }
@@ -285,7 +294,9 @@ mod tests {
             let mut tile = Vec::new();
             let cfg = dcol.tile_kernel_config("collect", 0);
             dev.launch(cfg, |ctx| {
-                let n = dcol.load_tile(ctx, ctx.block_id(), &mut tile);
+                let n = dcol
+                    .load_tile(ctx, ctx.block_id(), &mut tile)
+                    .expect("decode");
                 collected.extend_from_slice(&tile[..n]);
             });
             assert_eq!(collected, values, "{s:?}");

@@ -1,0 +1,114 @@
+//! Typed errors for the device decode path.
+//!
+//! Tile decoding runs inside query kernels on data that may have been
+//! damaged in transit (see [`crate::checksum`]) or on a device whose
+//! launches are failing (see [`tlc_gpu_sim::FaultPlan`]). Every decode
+//! entry point returns [`DecodeError`] instead of panicking, so a query
+//! layer can quarantine a corrupt tile or retry a transient launch
+//! instead of taking the process down.
+
+use std::fmt;
+
+use tlc_gpu_sim::LaunchError;
+
+/// Why a device decode did not produce values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// A staged block's checksum did not match: the payload words were
+    /// altered after encoding. The tile must be quarantined.
+    Corrupt {
+        /// Scheme name ("GPU-FOR", "GPU-DFOR", "GPU-RFOR").
+        scheme: &'static str,
+        /// Index of the offending block.
+        block: usize,
+    },
+    /// The block metadata (starts, widths, run counts) is inconsistent;
+    /// decoding would read out of bounds.
+    Structure {
+        /// Scheme name.
+        scheme: &'static str,
+        /// Index of the offending block.
+        block: usize,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// The kernel never ran: the launch itself failed.
+    Launch(LaunchError),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Corrupt { scheme, block } => {
+                write!(
+                    f,
+                    "{scheme} block {block}: checksum mismatch (corrupt payload)"
+                )
+            }
+            DecodeError::Structure {
+                scheme,
+                block,
+                reason,
+            } => {
+                write!(f, "{scheme} block {block}: {reason}")
+            }
+            DecodeError::Launch(e) => write!(f, "decode kernel failed to launch: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DecodeError::Launch(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LaunchError> for DecodeError {
+    fn from(e: LaunchError) -> Self {
+        DecodeError::Launch(e)
+    }
+}
+
+/// True when retrying the same operation on the same device could
+/// succeed (transient launch failures); false for corruption,
+/// structural damage and dead devices.
+impl DecodeError {
+    /// Whether a bounded retry on the same device is worth attempting.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, DecodeError::Launch(LaunchError::Transient { .. }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_block() {
+        let e = DecodeError::Corrupt {
+            scheme: "GPU-FOR",
+            block: 12,
+        };
+        assert!(e.to_string().contains("block 12"));
+        let e = DecodeError::Structure {
+            scheme: "GPU-RFOR",
+            block: 3,
+            reason: "demo",
+        };
+        assert!(e.to_string().contains("demo"));
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(DecodeError::from(LaunchError::Transient { kernel: "k".into() }).is_transient());
+        assert!(!DecodeError::from(LaunchError::DeviceLost).is_transient());
+        assert!(!DecodeError::Corrupt {
+            scheme: "GPU-FOR",
+            block: 0
+        }
+        .is_transient());
+    }
+}

@@ -36,19 +36,28 @@ pub struct ForDecodeOpts {
 
 impl Default for ForDecodeOpts {
     fn default() -> Self {
-        ForDecodeOpts { d: DEFAULT_D, precompute_offsets: true }
+        ForDecodeOpts {
+            d: DEFAULT_D,
+            precompute_offsets: true,
+        }
     }
 }
 
 impl ForDecodeOpts {
     /// Opts with a given `D` and all later optimizations enabled.
     pub fn with_d(d: usize) -> Self {
-        ForDecodeOpts { d, ..Default::default() }
+        ForDecodeOpts {
+            d,
+            ..Default::default()
+        }
     }
 
     /// Optimization 1 only (staging, `D = 1`, redundant offset loops).
     pub fn opt1() -> Self {
-        ForDecodeOpts { d: 1, precompute_offsets: false }
+        ForDecodeOpts {
+            d: 1,
+            precompute_offsets: false,
+        }
     }
 }
 

@@ -17,9 +17,13 @@ use tlc_bitpack::horizontal::extract;
 use tlc_gpu_sim::scan::block_inclusive_scan_u32;
 use tlc_gpu_sim::{BlockCtx, Device, GlobalBuffer};
 
+use crate::checksum::staged_checksum;
+use crate::error::DecodeError;
 use crate::format::{blocks_for, BLOCK, BLOCK_HEADER_WORDS, DEFAULT_D};
 use crate::gpu_for;
 use crate::model::decode_config;
+
+const SCHEME: &str = "GPU-DFOR";
 
 /// A column encoded with GPU-DFOR (host-side representation).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -64,7 +68,12 @@ impl GpuDFor {
             }
         }
         block_starts.push(data.len() as u32);
-        GpuDFor { total_count: values.len(), d, block_starts, data }
+        GpuDFor {
+            total_count: values.len(),
+            d,
+            block_starts,
+            data,
+        }
     }
 
     /// Number of 128-entry blocks.
@@ -109,7 +118,8 @@ impl GpuDFor {
                     let w = (bw_word >> (8 * m)) & 0xFF;
                     for i in 0..32 {
                         let delta =
-                            reference.wrapping_add(extract(&block[offset..], i * w as usize, w) as i32);
+                            reference
+                                .wrapping_add(extract(&block[offset..], i * w as usize, w) as i32);
                         acc = acc.wrapping_add(delta);
                         out.push(acc);
                     }
@@ -121,13 +131,15 @@ impl GpuDFor {
         out
     }
 
-    /// Upload to the simulated device.
+    /// Upload to the simulated device (payload plus derived per-block
+    /// checksums).
     pub fn to_device(&self, dev: &Device) -> GpuDForDevice {
         GpuDForDevice {
             total_count: self.total_count,
             d: self.d,
             block_starts: dev.alloc_from_slice(&self.block_starts),
             data: dev.alloc_from_slice(&self.data),
+            checksums: dev.alloc_from_slice(&self.block_checksums()),
         }
     }
 }
@@ -151,6 +163,9 @@ pub struct GpuDForDevice {
     pub block_starts: GlobalBuffer<u32>,
     /// `[first value | block…] …` payloads.
     pub data: GlobalBuffer<u32>,
+    /// Per-block FNV-1a checksums (`blocks` entries); a tile-heading
+    /// block's checksum also covers the tile's first-value word.
+    pub checksums: GlobalBuffer<u32>,
 }
 
 impl GpuDForDevice {
@@ -166,7 +181,7 @@ impl GpuDForDevice {
 
     /// Bytes a PCIe transfer of this column would move.
     pub fn size_bytes(&self) -> u64 {
-        self.block_starts.size_bytes() + self.data.size_bytes() + 16
+        self.block_starts.size_bytes() + self.data.size_bytes() + self.checksums.size_bytes() + 16
     }
 }
 
@@ -174,13 +189,15 @@ impl GpuDForDevice {
 /// shared memory, then run the block-wide inclusive prefix sum and add
 /// the tile's first value. This is Crystal's `LoadDBitPack`.
 ///
-/// Returns the number of logical values decoded.
+/// Returns the number of logical values decoded, or a [`DecodeError`]
+/// when the staged tile fails its checksums or its metadata is
+/// inconsistent.
 pub fn load_tile(
     ctx: &mut BlockCtx<'_>,
     col: &GpuDForDevice,
     tile_id: usize,
     out: &mut Vec<i32>,
-) -> usize {
+) -> Result<usize, DecodeError> {
     out.clear();
     let d = col.d;
     let blocks = col.blocks();
@@ -189,6 +206,21 @@ pub fn load_tile(
 
     let starts_idx: Vec<usize> = (first_block..=first_block + tile_blocks).collect();
     let starts = ctx.warp_gather(&col.block_starts, &starts_idx);
+
+    let structure = |block: usize, reason: &'static str| DecodeError::Structure {
+        scheme: SCHEME,
+        block,
+        reason,
+    };
+    // The tile's first-value word sits one word before its first block.
+    if starts[0] == 0 {
+        return Err(structure(first_block, "missing first-value word"));
+    }
+    for (i, w) in starts.windows(2).enumerate() {
+        if w[1] < w[0] {
+            return Err(structure(first_block + i, "block starts not monotone"));
+        }
+    }
     // Stage from the first-value word through the end of the tile.
     let stage_start = starts[0] as usize - 1;
     let tile_end = if first_block + tile_blocks == blocks {
@@ -197,7 +229,57 @@ pub fn load_tile(
         // The next tile begins with its own first-value word.
         *starts.last().expect("non-empty") as usize - 1
     };
+    if tile_end < starts[tile_blocks - 1] as usize || tile_end > col.data.len() {
+        return Err(structure(first_block, "tile bounds out of range"));
+    }
+    if tile_end - stage_start > ctx.shared().len() {
+        return Err(structure(first_block, "tile larger than shared memory"));
+    }
     ctx.stage_to_shared(&col.data, stage_start, tile_end - stage_start, 0);
+
+    // Per-block coverage tiles [stage_start, tile_end) exactly: block
+    // `i` starts at its own words (extended left over the first-value
+    // word when it heads the tile) and runs to the next block's cover.
+    let cover = |i: usize| -> (usize, usize) {
+        let lo = if i == 0 {
+            stage_start
+        } else {
+            starts[i] as usize
+        };
+        let hi = if i + 1 == tile_blocks {
+            tile_end
+        } else {
+            starts[i + 1] as usize
+        };
+        (lo, hi)
+    };
+    let expected = ctx.warp_gather(&col.checksums, &starts_idx[..tile_blocks]);
+    for (i, &want) in expected.iter().enumerate() {
+        let (lo, hi) = cover(i);
+        if staged_checksum(ctx, lo - stage_start, hi - lo) != want {
+            return Err(DecodeError::Corrupt {
+                scheme: SCHEME,
+                block: first_block + i,
+            });
+        }
+    }
+    // Checksums passed; confirm each block's declared widths fill it.
+    for (i, &block_start) in starts[..tile_blocks].iter().enumerate() {
+        let (_, hi) = cover(i);
+        let start = block_start as usize;
+        let len = hi - start;
+        if len < BLOCK_HEADER_WORDS {
+            return Err(structure(first_block + i, "block shorter than its header"));
+        }
+        let bw_word = ctx.shared()[start - stage_start + 1];
+        let payload: usize = (0..4).map(|m| ((bw_word >> (8 * m)) & 0xFF) as usize).sum();
+        if payload + BLOCK_HEADER_WORDS != len {
+            return Err(structure(
+                first_block + i,
+                "miniblock widths do not fill the block",
+            ));
+        }
+    }
 
     let first = ctx.shared()[0] as i32;
     ctx.smem_traffic(4);
@@ -217,19 +299,19 @@ pub fn load_tile(
     let logical = col.total_count - (first_block * BLOCK).min(col.total_count);
     let decoded = (tile_blocks * BLOCK).min(logical);
     out.truncate(decoded);
-    decoded
+    Ok(decoded)
 }
 
 /// Standalone decompression kernel (decode + write back).
-pub fn decompress(dev: &Device, col: &GpuDForDevice) -> GlobalBuffer<i32> {
+pub fn decompress(dev: &Device, col: &GpuDForDevice) -> Result<GlobalBuffer<i32>, DecodeError> {
     let mut out = dev.alloc_zeroed::<i32>(col.total_count);
-    run_decode(dev, col, Some(&mut out), "gpu_dfor_decompress");
-    out
+    run_decode(dev, col, Some(&mut out), "gpu_dfor_decompress")?;
+    Ok(out)
 }
 
 /// Decode-only kernel (decode into registers, discard).
-pub fn decode_only(dev: &Device, col: &GpuDForDevice) {
-    run_decode(dev, col, None, "gpu_dfor_decode");
+pub fn decode_only(dev: &Device, col: &GpuDForDevice) -> Result<(), DecodeError> {
+    run_decode(dev, col, None, "gpu_dfor_decode")
 }
 
 fn run_decode(
@@ -237,17 +319,30 @@ fn run_decode(
     col: &GpuDForDevice,
     mut out: Option<&mut GlobalBuffer<i32>>,
     name: &str,
-) {
+) -> Result<(), DecodeError> {
     let tiles = col.tiles();
     let cfg = decode_config(name, tiles, col.d, 0);
     let mut tile_vals: Vec<i32> = Vec::with_capacity(col.d * BLOCK);
-    dev.launch(cfg, |ctx| {
-        let tile_id = ctx.block_id();
-        let n = load_tile(ctx, col, tile_id, &mut tile_vals);
-        if let Some(out) = out.as_deref_mut() {
-            ctx.write_coalesced(out, tile_id * col.d * BLOCK, &tile_vals[..n]);
+    let mut failed: Option<DecodeError> = None;
+    dev.try_launch(cfg, |ctx| {
+        if failed.is_some() {
+            return;
         }
-    });
+        let tile_id = ctx.block_id();
+        match load_tile(ctx, col, tile_id, &mut tile_vals) {
+            Ok(n) => {
+                if let Some(out) = out.as_deref_mut() {
+                    ctx.write_coalesced(out, tile_id * col.d * BLOCK, &tile_vals[..n]);
+                }
+            }
+            Err(e) => failed = Some(e),
+        }
+    })
+    .map_err(DecodeError::Launch)?;
+    match failed {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
 }
 
 #[cfg(test)]
@@ -260,7 +355,7 @@ mod tests {
         assert_eq!(enc.decode_cpu(), values, "CPU roundtrip");
         let dev = Device::v100();
         let dcol = enc.to_device(&dev);
-        let out = decompress(&dev, &dcol);
+        let out = decompress(&dev, &dcol).expect("decode");
         assert_eq!(out.as_slice_unaccounted(), values, "device roundtrip");
     }
 
@@ -278,7 +373,9 @@ mod tests {
 
     #[test]
     fn roundtrip_unsorted_with_negatives() {
-        let values: Vec<i32> = (0..700).map(|i| ((i * 2_654_435_761u64) % 1000) as i32 - 500).collect();
+        let values: Vec<i32> = (0..700)
+            .map(|i| ((i * 2_654_435_761u64) % 1000) as i32 - 500)
+            .collect();
         roundtrip(&values);
     }
 
@@ -337,7 +434,7 @@ mod tests {
         let cfg = decode_config("single_tile", 1, enc.d, 0);
         let mut out = Vec::new();
         dev.launch(cfg, |ctx| {
-            load_tile(ctx, &dcol, 1, &mut out);
+            load_tile(ctx, &dcol, 1, &mut out).expect("decode");
         });
         assert_eq!(out, values[512..1024].to_vec());
     }

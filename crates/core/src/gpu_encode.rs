@@ -18,6 +18,7 @@
 use tlc_bitpack::width::bits_for;
 use tlc_gpu_sim::{Device, GlobalBuffer, KernelConfig};
 
+use crate::checksum::fnv1a;
 use crate::format::{BLOCK, BLOCK_HEADER_WORDS, MINIBLOCK, MINIBLOCKS_PER_BLOCK};
 use crate::gpu_for::{self, GpuForDevice};
 
@@ -70,8 +71,10 @@ pub fn encode_on_device(dev: &Device, input: &GlobalBuffer<i32>) -> GpuForDevice
         .last()
         .expect("starts non-empty") as usize;
 
-    // Kernel 3: pack each block at its offset.
+    // Kernel 3: pack each block at its offset, digesting the packed
+    // words into the block's checksum on the way out.
     let mut data = dev.alloc_zeroed::<u32>(total_words.max(1));
+    let mut checksums = dev.alloc_zeroed::<u32>(blocks.max(1));
     let cfg = KernelConfig::new("gpu_for_encode_pack", blocks.max(1), 128)
         .smem_per_block(BLOCK * 8)
         .regs_per_thread(34);
@@ -91,10 +94,17 @@ pub fn encode_on_device(dev: &Device, input: &GlobalBuffer<i32>) -> GpuForDevice
         padded.resize(BLOCK, pad);
         let mut words = Vec::new();
         gpu_for::encode_block(&padded, &mut words);
+        ctx.add_int_ops(words.len() as u64 * 2);
         ctx.write_coalesced(&mut data, start, &words);
+        ctx.write_coalesced(&mut checksums, b, &[fnv1a(&words)]);
     });
 
-    GpuForDevice { total_count: n, block_starts, data }
+    GpuForDevice {
+        total_count: n,
+        block_starts,
+        data,
+        checksums,
+    }
 }
 
 /// Compressed words a 128-value block needs (size pass body).
@@ -126,7 +136,10 @@ mod tests {
         let plain = dev.alloc_from_slice(&values);
         let encoded = encode_on_device(&dev, &plain);
         let host = GpuFor::encode(&values);
-        assert_eq!(encoded.block_starts.as_slice_unaccounted(), host.block_starts.as_slice());
+        assert_eq!(
+            encoded.block_starts.as_slice_unaccounted(),
+            host.block_starts.as_slice()
+        );
         assert_eq!(encoded.data.as_slice_unaccounted(), host.data.as_slice());
     }
 
@@ -136,7 +149,7 @@ mod tests {
         let dev = Device::v100();
         let plain = dev.alloc_from_slice(&values);
         let encoded = encode_on_device(&dev, &plain);
-        let out = decompress(&dev, &encoded, ForDecodeOpts::default());
+        let out = decompress(&dev, &encoded, ForDecodeOpts::default()).expect("decode");
         assert_eq!(out.as_slice_unaccounted(), values);
     }
 

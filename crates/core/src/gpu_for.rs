@@ -17,11 +17,15 @@ use tlc_bitpack::horizontal::{extract, pack_into};
 use tlc_bitpack::width::bits_for;
 use tlc_gpu_sim::{BlockCtx, Device, GlobalBuffer};
 
+use crate::checksum::staged_checksum;
+use crate::error::DecodeError;
 use crate::format::{
     blocks_for, tiles_for, ForDecodeOpts, BLOCK, BLOCK_HEADER_WORDS, MINIBLOCK,
     MINIBLOCKS_PER_BLOCK,
 };
 use crate::model::decode_config;
+
+const SCHEME: &str = "GPU-FOR";
 
 /// A column encoded with GPU-FOR (host-side representation).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -89,7 +93,11 @@ impl GpuFor {
             }
         }
         block_starts.push(data.len() as u32);
-        GpuFor { total_count: values.len(), block_starts, data }
+        GpuFor {
+            total_count: values.len(),
+            block_starts,
+            data,
+        }
     }
 
     /// Number of 128-value blocks.
@@ -130,12 +138,14 @@ impl GpuFor {
         out
     }
 
-    /// Upload to the simulated device.
+    /// Upload to the simulated device (payload plus derived per-block
+    /// checksums, so decode can verify staged tiles).
     pub fn to_device(&self, dev: &Device) -> GpuForDevice {
         GpuForDevice {
             total_count: self.total_count,
             block_starts: dev.alloc_from_slice(&self.block_starts),
             data: dev.alloc_from_slice(&self.data),
+            checksums: dev.alloc_from_slice(&self.block_checksums()),
         }
     }
 }
@@ -149,6 +159,8 @@ pub struct GpuForDevice {
     pub block_starts: GlobalBuffer<u32>,
     /// Packed block payloads.
     pub data: GlobalBuffer<u32>,
+    /// Per-block FNV-1a checksums (`blocks` entries).
+    pub checksums: GlobalBuffer<u32>,
 }
 
 impl GpuForDevice {
@@ -164,7 +176,7 @@ impl GpuForDevice {
 
     /// Bytes a PCIe transfer of this column would move.
     pub fn size_bytes(&self) -> u64 {
-        self.block_starts.size_bytes() + self.data.size_bytes() + 12
+        self.block_starts.size_bytes() + self.data.size_bytes() + self.checksums.size_bytes() + 12
     }
 }
 
@@ -195,14 +207,15 @@ fn miniblock_table(bw_word: u32) -> [(u32, u32); MINIBLOCKS_PER_BLOCK] {
 ///    adds the reference — results live in registers (`out`).
 ///
 /// Returns the number of *logical* values decoded (the final tile may
-/// be short).
+/// be short), or a [`DecodeError`] when the staged tile fails its
+/// checksum or its metadata would send the decoder out of bounds.
 pub fn load_tile(
     ctx: &mut BlockCtx<'_>,
     col: &GpuForDevice,
     tile_id: usize,
     opts: ForDecodeOpts,
     out: &mut Vec<i32>,
-) -> usize {
+) -> Result<usize, DecodeError> {
     out.clear();
     let d = opts.d;
     let blocks = col.blocks();
@@ -215,8 +228,59 @@ pub fn load_tile(
     let tile_start = starts[0] as usize;
     let tile_end = *starts.last().expect("starts is non-empty") as usize;
 
+    // Structural guards before staging: nothing below may index past
+    // `data` or overflow the shared-memory tile.
+    let structure = |block: usize, reason: &'static str| DecodeError::Structure {
+        scheme: SCHEME,
+        block,
+        reason,
+    };
+    if tile_end < tile_start || tile_end > col.data.len() {
+        return Err(structure(first_block, "tile bounds out of range"));
+    }
+    if tile_end - tile_start > ctx.shared().len() {
+        return Err(structure(first_block, "tile larger than shared memory"));
+    }
+    for (i, w) in starts.windows(2).enumerate() {
+        if w[1] < w[0] {
+            return Err(structure(first_block + i, "block starts not monotone"));
+        }
+    }
+
     // (2) Stage the compressed tile into shared memory.
     ctx.stage_to_shared(&col.data, tile_start, tile_end - tile_start, 0);
+
+    // Verify every staged block against its stored checksum before any
+    // header word is trusted (one warp gather for the expected sums).
+    let expected = ctx.warp_gather(&col.checksums, &starts_idx[..tile_blocks]);
+    for (i, w) in starts.windows(2).enumerate() {
+        let (lo, hi) = (w[0] as usize, w[1] as usize);
+        if staged_checksum(ctx, lo - tile_start, hi - lo) != expected[i] {
+            return Err(DecodeError::Corrupt {
+                scheme: SCHEME,
+                block: first_block + i,
+            });
+        }
+    }
+    // Checksums passed, so the header words are exactly what the
+    // encoder wrote; confirm the declared widths fill the block.
+    for (i, w) in starts.windows(2).enumerate() {
+        let len = (w[1] - w[0]) as usize;
+        if len < BLOCK_HEADER_WORDS {
+            return Err(structure(first_block + i, "block shorter than its header"));
+        }
+        let bw_word = ctx.shared()[w[0] as usize - tile_start + 1];
+        let payload: usize = miniblock_table(bw_word)
+            .iter()
+            .map(|&(_, w)| w as usize)
+            .sum();
+        if payload + BLOCK_HEADER_WORDS != len {
+            return Err(structure(
+                first_block + i,
+                "miniblock widths do not fill the block",
+            ));
+        }
+    }
 
     // (3) + (4): decode from shared memory.
     for &start in starts.iter().take(tile_blocks) {
@@ -226,7 +290,7 @@ pub fn load_tile(
     let logical = col.total_count - (first_block * BLOCK).min(col.total_count);
     let decoded = (tile_blocks * BLOCK).min(logical);
     out.truncate(decoded);
-    decoded
+    Ok(decoded)
 }
 
 /// Decode one staged block (128 values) from shared memory into `out`.
@@ -272,17 +336,25 @@ pub(crate) fn decode_block_from_shared(
 /// Standalone decompression kernel: decode the whole column and write
 /// the plain values to a fresh device buffer (the Figure 7a
 /// measurement: read compressed, decode, write back).
-pub fn decompress(dev: &Device, col: &GpuForDevice, opts: ForDecodeOpts) -> GlobalBuffer<i32> {
+pub fn decompress(
+    dev: &Device,
+    col: &GpuForDevice,
+    opts: ForDecodeOpts,
+) -> Result<GlobalBuffer<i32>, DecodeError> {
     let mut out = dev.alloc_zeroed::<i32>(col.total_count);
-    run_decode(dev, col, opts, Some(&mut out), "gpu_for_decompress");
-    out
+    run_decode(dev, col, opts, Some(&mut out), "gpu_for_decompress")?;
+    Ok(out)
 }
 
 /// Decode-only kernel: decode into registers and discard (the Section
 /// 4.2 measurement, where decode speed is compared against the time to
 /// *read* the uncompressed data).
-pub fn decode_only(dev: &Device, col: &GpuForDevice, opts: ForDecodeOpts) {
-    run_decode(dev, col, opts, None, "gpu_for_decode");
+pub fn decode_only(
+    dev: &Device,
+    col: &GpuForDevice,
+    opts: ForDecodeOpts,
+) -> Result<(), DecodeError> {
+    run_decode(dev, col, opts, None, "gpu_for_decode")
 }
 
 fn run_decode(
@@ -291,17 +363,30 @@ fn run_decode(
     opts: ForDecodeOpts,
     mut out: Option<&mut GlobalBuffer<i32>>,
     name: &str,
-) {
+) -> Result<(), DecodeError> {
     let tiles = col.tiles(opts.d);
     let cfg = decode_config(name, tiles, opts.d, 0);
     let mut tile_vals: Vec<i32> = Vec::with_capacity(opts.d * BLOCK);
-    dev.launch(cfg, |ctx| {
-        let tile_id = ctx.block_id();
-        let n = load_tile(ctx, col, tile_id, opts, &mut tile_vals);
-        if let Some(out) = out.as_deref_mut() {
-            ctx.write_coalesced(out, tile_id * opts.d * BLOCK, &tile_vals[..n]);
+    let mut failed: Option<DecodeError> = None;
+    dev.try_launch(cfg, |ctx| {
+        if failed.is_some() {
+            return;
         }
-    });
+        let tile_id = ctx.block_id();
+        match load_tile(ctx, col, tile_id, opts, &mut tile_vals) {
+            Ok(n) => {
+                if let Some(out) = out.as_deref_mut() {
+                    ctx.write_coalesced(out, tile_id * opts.d * BLOCK, &tile_vals[..n]);
+                }
+            }
+            Err(e) => failed = Some(e),
+        }
+    })
+    .map_err(DecodeError::Launch)?;
+    match failed {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
 }
 
 #[cfg(test)]
@@ -313,7 +398,7 @@ mod tests {
         assert_eq!(enc.decode_cpu(), values, "CPU roundtrip");
         let dev = Device::v100();
         let dcol = enc.to_device(&dev);
-        let out = decompress(&dev, &dcol, ForDecodeOpts::default());
+        let out = decompress(&dev, &dcol, ForDecodeOpts::default()).expect("decode");
         assert_eq!(out.as_slice_unaccounted(), values, "device roundtrip");
     }
 
@@ -382,7 +467,9 @@ mod tests {
         // Paper Section 9.2: GPU-FOR overhead is 0.75 bits/int
         // (block start + reference + bitwidth word per 128 values).
         let n = 128 * 1024u64;
-        let values: Vec<i32> = (0..n).map(|i| ((i * 2_654_435_761) % (1 << 16)) as i32).collect();
+        let values: Vec<i32> = (0..n)
+            .map(|i| ((i * 2_654_435_761) % (1 << 16)) as i32)
+            .collect();
         let enc = GpuFor::encode(&values);
         let overhead = enc.bits_per_int() - 16.0;
         // Min-referencing can shave a fraction of a bit off some
@@ -412,7 +499,7 @@ mod tests {
         let dev = Device::v100();
         let dcol = enc.to_device(&dev);
         for d in [1, 2, 4, 8, 16, 32] {
-            let out = decompress(&dev, &dcol, ForDecodeOpts::with_d(d));
+            let out = decompress(&dev, &dcol, ForDecodeOpts::with_d(d)).expect("decode");
             assert_eq!(out.as_slice_unaccounted(), values, "D = {d}");
         }
     }
@@ -425,7 +512,7 @@ mod tests {
         let dcol = enc.to_device(&dev);
         let segs = |d: usize| {
             dev.reset_timeline();
-            decode_only(&dev, &dcol, ForDecodeOpts::with_d(d));
+            decode_only(&dev, &dcol, ForDecodeOpts::with_d(d)).expect("decode");
             dev.with_timeline(|t| t.total_traffic().global_read_segments)
         };
         let s1 = segs(1);
@@ -442,7 +529,15 @@ mod tests {
         let dcol = enc.to_device(&dev);
         let ops = |pre: bool| {
             dev.reset_timeline();
-            decode_only(&dev, &dcol, ForDecodeOpts { d: 4, precompute_offsets: pre });
+            decode_only(
+                &dev,
+                &dcol,
+                ForDecodeOpts {
+                    d: 4,
+                    precompute_offsets: pre,
+                },
+            )
+            .expect("decode");
             dev.with_timeline(|t| t.total_traffic().int_ops)
         };
         assert!(ops(false) > ops(true));

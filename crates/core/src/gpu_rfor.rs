@@ -21,7 +21,11 @@ use tlc_bitpack::MINIBLOCK;
 use tlc_gpu_sim::scan::{block_exclusive_scan_u32, block_inclusive_scan_u32};
 use tlc_gpu_sim::{BlockCtx, Device, GlobalBuffer, KernelConfig};
 
+use crate::checksum::{fnv1a, fnv1a_continue};
+use crate::error::DecodeError;
 use crate::format::RFOR_BLOCK;
+
+const SCHEME: &str = "GPU-RFOR";
 
 /// A column encoded with GPU-RFOR (host-side representation).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -107,6 +111,28 @@ pub fn stream_block_words(block: &[u32], count: usize) -> usize {
     words
 }
 
+/// Bounds-checked [`stream_block_words`]: `None` when the header does
+/// not fit, a declared width exceeds 32 bits, or the declared payload
+/// overruns `block`. Decoding a slice that passes this check cannot
+/// read out of bounds.
+pub fn checked_stream_words(block: &[u32], count: usize) -> Option<usize> {
+    let padded = count.div_ceil(MINIBLOCK) * MINIBLOCK;
+    let miniblocks = padded / MINIBLOCK;
+    let bw_words = miniblocks.div_ceil(4);
+    if block.len() < 1 + bw_words {
+        return None;
+    }
+    let mut words = 1 + bw_words;
+    for m in 0..miniblocks {
+        let w = ((block[1 + m / 4] >> (8 * (m % 4))) & 0xFF) as usize;
+        if w > 32 {
+            return None;
+        }
+        words += w;
+    }
+    (words <= block.len()).then_some(words)
+}
+
 impl GpuRFor {
     /// Encode a column: RLE per 512-value block, then FOR + bit packing
     /// on the values and lengths arrays of each block.
@@ -186,7 +212,8 @@ impl GpuRFor {
         out
     }
 
-    /// Upload to the simulated device.
+    /// Upload to the simulated device (payload plus derived per-block
+    /// checksums).
     pub fn to_device(&self, dev: &Device) -> GpuRForDevice {
         GpuRForDevice {
             total_count: self.total_count,
@@ -194,6 +221,7 @@ impl GpuRFor {
             values_data: dev.alloc_from_slice(&self.values_data),
             lengths_starts: dev.alloc_from_slice(&self.lengths_starts),
             lengths_data: dev.alloc_from_slice(&self.lengths_data),
+            checksums: dev.alloc_from_slice(&self.block_checksums()),
         }
     }
 }
@@ -211,6 +239,9 @@ pub struct GpuRForDevice {
     pub lengths_starts: GlobalBuffer<u32>,
     /// Compressed run-lengths stream.
     pub lengths_data: GlobalBuffer<u32>,
+    /// Per-block FNV-1a checksums, chained over the block's values
+    /// words then its lengths words (`blocks` entries).
+    pub checksums: GlobalBuffer<u32>,
 }
 
 impl GpuRForDevice {
@@ -225,6 +256,7 @@ impl GpuRForDevice {
             + self.values_data.size_bytes()
             + self.lengths_starts.size_bytes()
             + self.lengths_data.size_bytes()
+            + self.checksums.size_bytes()
             + 12
     }
 }
@@ -245,18 +277,36 @@ pub fn rfor_config(name: &str, blocks: usize) -> KernelConfig {
 
 /// **Device function**: decode logical block `block_id` (512 values)
 /// with the fused unpack + 4-step RLE expansion. This is Crystal's
-/// `LoadRBitPack`. Returns the number of logical values decoded.
+/// `LoadRBitPack`. Returns the number of logical values decoded, or a
+/// [`DecodeError`] when the staged block fails its checksum or either
+/// stream's metadata is inconsistent.
 pub fn load_tile(
     ctx: &mut BlockCtx<'_>,
     col: &GpuRForDevice,
     block_id: usize,
     out: &mut Vec<i32>,
-) -> usize {
+) -> Result<usize, DecodeError> {
     out.clear();
     let vstarts = ctx.warp_gather(&col.values_starts, &[block_id, block_id + 1]);
     let lstarts = ctx.warp_gather(&col.lengths_starts, &[block_id, block_id + 1]);
     let (vs, ve) = (vstarts[0] as usize, vstarts[1] as usize);
     let (ls, le) = (lstarts[0] as usize, lstarts[1] as usize);
+
+    let structure = |reason: &'static str| DecodeError::Structure {
+        scheme: SCHEME,
+        block: block_id,
+        reason,
+    };
+    // Structural guards before staging.
+    if ve < vs || ve > col.values_data.len() || le < ls || le > col.lengths_data.len() {
+        return Err(structure("stream bounds out of range"));
+    }
+    if ve - vs < 2 || le - ls < 1 {
+        return Err(structure("stream block shorter than its header"));
+    }
+    if (ve - vs) + (le - ls) > ctx.shared().len() {
+        return Err(structure("staged streams larger than shared memory"));
+    }
 
     // Stage both compressed blocks: values at shared offset 0, lengths
     // right after.
@@ -264,8 +314,39 @@ pub fn load_tile(
     let lengths_off = ve - vs;
     ctx.stage_to_shared(&col.lengths_data, ls, le - ls, lengths_off);
 
+    // Verify the chained checksum over both staged streams before any
+    // header word is trusted.
+    let expected = ctx.warp_gather(&col.checksums, &[block_id])[0];
+    let actual = {
+        let (shared, traffic) = ctx.shared_and_traffic();
+        let words = (ve - vs) + (le - ls);
+        traffic.shared_bytes += words as u64 * 4;
+        traffic.int_ops += words as u64 * 2;
+        let h = fnv1a(&shared[..ve - vs]);
+        fnv1a_continue(h, &shared[lengths_off..lengths_off + (le - ls)])
+    };
+    if actual != expected {
+        return Err(DecodeError::Corrupt {
+            scheme: SCHEME,
+            block: block_id,
+        });
+    }
+
     let run_count = ctx.shared()[0] as usize;
     ctx.smem_traffic(4);
+    if run_count == 0 || run_count > RFOR_BLOCK {
+        return Err(structure("run count out of range"));
+    }
+    // Declared widths must fit the staged slices before unpacking.
+    if checked_stream_words(&ctx.shared()[1..ve - vs], run_count).is_none()
+        || checked_stream_words(
+            &ctx.shared()[lengths_off..lengths_off + (le - ls)],
+            run_count,
+        )
+        .is_none()
+    {
+        return Err(structure("stream widths overrun the block"));
+    }
 
     // Bit-unpack both streams (miniblock extraction, as in GPU-FOR).
     let (vals, lens) = {
@@ -274,8 +355,8 @@ pub fn load_tile(
         let lens = decode_stream_block(&shared[lengths_off..lengths_off + (le - ls)], run_count);
         (vals, lens)
     };
-    let payload_words =
-        stream_block_words(&ctx.shared()[1..], run_count) + stream_block_words(&ctx.shared()[lengths_off..], run_count);
+    let payload_words = stream_block_words(&ctx.shared()[1..], run_count)
+        + stream_block_words(&ctx.shared()[lengths_off..], run_count);
     // Window reads for both streams.
     ctx.smem_traffic(run_count as u64 * 2 * 12);
     ctx.add_int_ops(run_count as u64 * 2 * 8 + payload_words as u64);
@@ -283,34 +364,48 @@ pub fn load_tile(
     // Step 1: exclusive prefix sum over run lengths -> output offsets.
     let mut offsets: Vec<u32> = lens.iter().map(|&l| l as u32).collect();
     let total = block_exclusive_scan_u32(ctx, &mut offsets) as usize;
+    if total == 0 || total > RFOR_BLOCK {
+        return Err(structure("expanded run lengths overflow the block"));
+    }
 
     // Step 2: scatter head flags (every real run has length >= 1, so
     // flag positions are distinct).
     let mut flags = vec![0u32; total];
-    for i in 0..run_count {
-        flags[offsets[i] as usize] = 1;
+    for &off_word in &offsets[..run_count] {
+        let off = off_word as usize;
+        if off >= total {
+            return Err(structure("run offset past the expanded block"));
+        }
+        flags[off] = 1;
     }
     ctx.smem_traffic(run_count as u64 * 4);
 
     // Step 3: inclusive prefix sum over flags -> 1-based run ids.
     block_inclusive_scan_u32(ctx, &mut flags);
 
-    // Step 4: gather values by run id.
-    out.extend(flags.iter().map(|&rid| vals[rid as usize - 1]));
+    // Step 4: gather values by run id (1-based after the inclusive
+    // scan; id 0 would mean a gap before the first run head).
+    for &rid in &flags {
+        let rid = rid as usize;
+        if rid == 0 || rid > vals.len() {
+            return Err(structure("run id out of range"));
+        }
+        out.push(vals[rid - 1]);
+    }
     ctx.smem_traffic(total as u64 * 8);
-    total
+    Ok(total)
 }
 
 /// Standalone decompression kernel (decode + write back).
-pub fn decompress(dev: &Device, col: &GpuRForDevice) -> GlobalBuffer<i32> {
+pub fn decompress(dev: &Device, col: &GpuRForDevice) -> Result<GlobalBuffer<i32>, DecodeError> {
     let mut out = dev.alloc_zeroed::<i32>(col.total_count);
-    run_decode(dev, col, Some(&mut out), "gpu_rfor_decompress");
-    out
+    run_decode(dev, col, Some(&mut out), "gpu_rfor_decompress")?;
+    Ok(out)
 }
 
 /// Decode-only kernel (decode into registers, discard).
-pub fn decode_only(dev: &Device, col: &GpuRForDevice) {
-    run_decode(dev, col, None, "gpu_rfor_decode");
+pub fn decode_only(dev: &Device, col: &GpuRForDevice) -> Result<(), DecodeError> {
+    run_decode(dev, col, None, "gpu_rfor_decode")
 }
 
 fn run_decode(
@@ -318,17 +413,30 @@ fn run_decode(
     col: &GpuRForDevice,
     mut out: Option<&mut GlobalBuffer<i32>>,
     name: &str,
-) {
+) -> Result<(), DecodeError> {
     let blocks = col.blocks();
     let cfg = rfor_config(name, blocks);
     let mut tile_vals: Vec<i32> = Vec::with_capacity(RFOR_BLOCK);
-    dev.launch(cfg, |ctx| {
-        let block_id = ctx.block_id();
-        let n = load_tile(ctx, col, block_id, &mut tile_vals);
-        if let Some(out) = out.as_deref_mut() {
-            ctx.write_coalesced(out, block_id * RFOR_BLOCK, &tile_vals[..n]);
+    let mut failed: Option<DecodeError> = None;
+    dev.try_launch(cfg, |ctx| {
+        if failed.is_some() {
+            return;
         }
-    });
+        let block_id = ctx.block_id();
+        match load_tile(ctx, col, block_id, &mut tile_vals) {
+            Ok(n) => {
+                if let Some(out) = out.as_deref_mut() {
+                    ctx.write_coalesced(out, block_id * RFOR_BLOCK, &tile_vals[..n]);
+                }
+            }
+            Err(e) => failed = Some(e),
+        }
+    })
+    .map_err(DecodeError::Launch)?;
+    match failed {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
 }
 
 #[cfg(test)]
@@ -340,7 +448,7 @@ mod tests {
         assert_eq!(enc.decode_cpu(), values, "CPU roundtrip");
         let dev = Device::v100();
         let dcol = enc.to_device(&dev);
-        let out = decompress(&dev, &dcol);
+        let out = decompress(&dev, &dcol).expect("decode");
         assert_eq!(out.as_slice_unaccounted(), values, "device roundtrip");
     }
 
@@ -393,7 +501,11 @@ mod tests {
         // 512-value blocks of a single run: ~1 run per block.
         let values: Vec<i32> = (0..1 << 16).map(|i| i / 4096).collect();
         let enc = GpuRFor::encode(&values);
-        assert!(enc.bits_per_int() < 1.0, "bits/int = {}", enc.bits_per_int());
+        assert!(
+            enc.bits_per_int() < 1.0,
+            "bits/int = {}",
+            enc.bits_per_int()
+        );
     }
 
     #[test]

@@ -46,9 +46,10 @@
 //! let encoded = EncodedColumn::encode_best(&values);
 //! assert!(encoded.bits_per_int() < 4.0);
 //!
-//! // Upload and decompress in a single tile-based kernel pass.
+//! // Upload and decompress in a single tile-based kernel pass. Decode
+//! // is fallible: damaged payloads surface as `DecodeError`, not UB.
 //! let dev = Device::v100();
-//! let decoded = encoded.to_device(&dev).decompress(&dev);
+//! let decoded = encoded.to_device(&dev).decompress(&dev).unwrap();
 //! assert_eq!(decoded.as_slice_unaccounted(), values);
 //!
 //! // Persist and restore through the validated byte format.
@@ -57,7 +58,9 @@
 //! ```
 
 pub mod base_alg;
+pub mod checksum;
 pub mod column;
+pub mod error;
 pub mod format;
 pub mod gpu_dfor;
 pub mod gpu_encode;
@@ -71,6 +74,7 @@ pub mod serialize;
 pub mod typed;
 
 pub use column::{EncodedColumn, Scheme};
+pub use error::DecodeError;
 pub use format::{ForDecodeOpts, BLOCK, DEFAULT_D, MINIBLOCK, MINIBLOCKS_PER_BLOCK, RFOR_BLOCK};
 pub use gpu_dfor::GpuDFor;
 pub use gpu_for::GpuFor;

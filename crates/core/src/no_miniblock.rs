@@ -43,7 +43,11 @@ impl NoMiniblock {
             pack_into(&deltas, width, &mut data);
         }
         block_starts.push(data.len() as u32);
-        NoMiniblock { total_count: values.len(), block_starts, data }
+        NoMiniblock {
+            total_count: values.len(),
+            block_starts,
+            data,
+        }
     }
 
     /// Compressed footprint in bytes (data + block starts + header).
@@ -139,7 +143,9 @@ mod tests {
         // Both store one metadata word for widths; when every miniblock
         // spans the full block range the sizes coincide exactly, and in
         // general miniblocks can only be narrower.
-        let saw: Vec<i32> = (0..4096).map(|i| if i % 2 == 0 { 0 } else { 4095 }).collect();
+        let saw: Vec<i32> = (0..4096)
+            .map(|i| if i % 2 == 0 { 0 } else { 4095 })
+            .collect();
         assert_eq!(
             NoMiniblock::encode(&saw).compressed_bytes(),
             GpuFor::encode(&saw).compressed_bytes()
@@ -172,7 +178,7 @@ mod tests {
         decode_only(&dev, &nm, ForDecodeOpts::default());
         let ops_nm = dev.with_timeline(|t| t.total_traffic().int_ops);
         dev.reset_timeline();
-        crate::gpu_for::decode_only(&dev, &fr, ForDecodeOpts::default());
+        crate::gpu_for::decode_only(&dev, &fr, ForDecodeOpts::default()).expect("decode");
         let ops_fr = dev.with_timeline(|t| t.total_traffic().int_ops);
         assert!(ops_nm < ops_fr, "ops_nm = {ops_nm}, ops_fr = {ops_fr}");
     }

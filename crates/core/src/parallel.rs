@@ -22,7 +22,9 @@ pub fn encoder_threads() -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or_else(|| {
-            std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
         })
         .max(1)
 }
@@ -52,7 +54,10 @@ fn map_chunks<E: Send>(
 ) -> Vec<E> {
     let parts = partitions(values.len(), align, threads);
     if parts.len() <= 1 {
-        return parts.into_iter().map(|(lo, hi)| encode(&values[lo..hi])).collect();
+        return parts
+            .into_iter()
+            .map(|(lo, hi)| encode(&values[lo..hi]))
+            .collect();
     }
     std::thread::scope(|scope| {
         let handles: Vec<_> = parts
@@ -62,7 +67,10 @@ fn map_chunks<E: Send>(
                 scope.spawn(move || encode(&values[lo..hi]))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("encoder thread panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("encoder thread panicked"))
+            .collect()
     })
 }
 
@@ -70,10 +78,18 @@ impl GpuFor {
     /// Encode on multiple threads; bit-identical to [`GpuFor::encode`].
     pub fn encode_parallel(values: &[i32], threads: usize) -> Self {
         let chunks = map_chunks(values, BLOCK, threads, GpuFor::encode);
-        let mut merged = GpuFor { total_count: values.len(), block_starts: vec![], data: vec![] };
+        let mut merged = GpuFor {
+            total_count: values.len(),
+            block_starts: vec![],
+            data: vec![],
+        };
         for c in chunks {
             let base = merged.data.len() as u32;
-            merged.block_starts.extend(c.block_starts[..c.block_starts.len() - 1].iter().map(|s| s + base));
+            merged.block_starts.extend(
+                c.block_starts[..c.block_starts.len() - 1]
+                    .iter()
+                    .map(|s| s + base),
+            );
             merged.data.extend_from_slice(&c.data);
         }
         merged.block_starts.push(merged.data.len() as u32);
@@ -87,11 +103,19 @@ impl GpuDFor {
     pub fn encode_parallel(values: &[i32], threads: usize) -> Self {
         let d = DEFAULT_D;
         let chunks = map_chunks(values, d * BLOCK, threads, GpuDFor::encode);
-        let mut merged =
-            GpuDFor { total_count: values.len(), d, block_starts: vec![], data: vec![] };
+        let mut merged = GpuDFor {
+            total_count: values.len(),
+            d,
+            block_starts: vec![],
+            data: vec![],
+        };
         for c in chunks {
             let base = merged.data.len() as u32;
-            merged.block_starts.extend(c.block_starts[..c.block_starts.len() - 1].iter().map(|s| s + base));
+            merged.block_starts.extend(
+                c.block_starts[..c.block_starts.len() - 1]
+                    .iter()
+                    .map(|s| s + base),
+            );
             merged.data.extend_from_slice(&c.data);
         }
         merged.block_starts.push(merged.data.len() as u32);
@@ -115,12 +139,16 @@ impl GpuRFor {
         for c in chunks {
             let vbase = merged.values_data.len() as u32;
             let lbase = merged.lengths_data.len() as u32;
-            merged
-                .values_starts
-                .extend(c.values_starts[..c.values_starts.len() - 1].iter().map(|s| s + vbase));
-            merged
-                .lengths_starts
-                .extend(c.lengths_starts[..c.lengths_starts.len() - 1].iter().map(|s| s + lbase));
+            merged.values_starts.extend(
+                c.values_starts[..c.values_starts.len() - 1]
+                    .iter()
+                    .map(|s| s + vbase),
+            );
+            merged.lengths_starts.extend(
+                c.lengths_starts[..c.lengths_starts.len() - 1]
+                    .iter()
+                    .map(|s| s + lbase),
+            );
             merged.values_data.extend_from_slice(&c.values_data);
             merged.lengths_data.extend_from_slice(&c.lengths_data);
         }

@@ -16,16 +16,25 @@
 use tlc_gpu_sim::{Device, KernelConfig, WARP_SIZE};
 
 use crate::column::{DeviceColumn, TILE};
+use crate::error::DecodeError;
 
 /// Gather the selected elements of a compressed column; returns the
 /// number selected. `selected` has one bool per logical value.
-pub fn random_access_compressed(dev: &Device, col: &DeviceColumn, selected: &[bool]) -> usize {
+pub fn random_access_compressed(
+    dev: &Device,
+    col: &DeviceColumn,
+    selected: &[bool],
+) -> Result<usize, DecodeError> {
     assert_eq!(selected.len(), col.total_count());
     let tiles = col.tiles();
     let cfg = col.tile_kernel_config("random_access_compressed", 1);
     let mut count = 0usize;
     let mut tile = Vec::with_capacity(TILE);
-    dev.launch(cfg, |ctx| {
+    let mut failed: Option<DecodeError> = None;
+    dev.try_launch(cfg, |ctx| {
+        if failed.is_some() {
+            return;
+        }
         let t = ctx.block_id();
         let lo = t * TILE;
         let hi = (lo + TILE).min(selected.len());
@@ -37,12 +46,18 @@ pub fn random_access_compressed(dev: &Device, col: &DeviceColumn, selected: &[bo
         ctx.smem_traffic(0);
         ctx.add_int_ops(bitvec_words);
         if selected[lo..hi].iter().any(|&s| s) {
-            let n = col.load_tile(ctx, t, &mut tile);
-            count += selected[lo..lo + n].iter().filter(|&&s| s).count();
+            match col.load_tile(ctx, t, &mut tile) {
+                Ok(n) => count += selected[lo..lo + n].iter().filter(|&&s| s).count(),
+                Err(e) => failed = Some(e),
+            }
         }
-    });
+    })
+    .map_err(DecodeError::Launch)?;
+    if let Some(e) = failed {
+        return Err(e);
+    }
     debug_assert_eq!(tiles, col.tiles());
-    count
+    Ok(count)
 }
 
 /// Gather the selected elements of an uncompressed column.
@@ -87,7 +102,7 @@ mod tests {
         let dev = Device::v100();
         let col = EncodedColumn::encode_best(&values).to_device(&dev);
         let sel = bitvec(values.len(), 10);
-        let c = random_access_compressed(&dev, &col, &sel);
+        let c = random_access_compressed(&dev, &col, &sel).expect("decode");
         assert_eq!(c, 1000);
         let plain = dev.alloc_from_slice(&values);
         assert_eq!(random_access_plain(&dev, &plain, &sel), 1000);
@@ -122,6 +137,9 @@ mod tests {
         let _ = random_access_plain(&dev, &plain, &bitvec(n, 32));
         let at_32 = dev.with_timeline(|t| t.total_traffic().global_read_segments);
         let full = (n as u64 * 4) / 128;
-        assert!(at_32 as f64 > full as f64 * 0.9, "at_32 = {at_32}, full = {full}");
+        assert!(
+            at_32 as f64 > full as f64 * 0.9,
+            "at_32 = {at_32}, full = {full}"
+        );
     }
 }

@@ -8,9 +8,18 @@
 //! validates structure (monotone block starts, in-range widths,
 //! consistent lengths) before constructing a column, so corrupted input
 //! is rejected instead of decoded into garbage.
+//!
+//! Format minor version 1 (the current writer) appends the per-block
+//! FNV-1a checksum array of [`crate::checksum`] and a trailing
+//! whole-stream digest word. The digest makes *every* single-byte
+//! change to a serialized column detectable (the FNV mix step is
+//! bijective per word), and the per-block array rides along to the
+//! device so decode kernels can verify staged tiles. Minor version 0
+//! streams (no checksums) are still accepted.
 
 use std::fmt;
 
+use crate::checksum::fnv1a;
 use crate::column::EncodedColumn;
 use crate::format::{BLOCK, BLOCK_HEADER_WORDS, MINIBLOCKS_PER_BLOCK, RFOR_BLOCK};
 use crate::gpu_dfor::GpuDFor;
@@ -20,6 +29,12 @@ use crate::Scheme;
 
 /// Magic word at the head of every serialized column ("TLC1").
 pub const MAGIC: u32 = 0x544C_4331;
+
+/// Format minor version written by [`EncodedColumn::to_bytes`]: the
+/// low byte of the scheme word is the scheme id, the high bytes the
+/// minor version. Minor 1 adds per-block checksums and a trailing
+/// whole-stream digest; minor 0 (no checksums) is still readable.
+pub const FORMAT_MINOR: u32 = 1;
 
 /// Why a byte stream was rejected.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,6 +68,21 @@ pub enum FormatError {
         /// Number of blocks found.
         blocks: usize,
     },
+    /// The stream declares a minor version newer than this reader.
+    UnsupportedVersion(u32),
+    /// A stored per-block checksum disagrees with the payload.
+    ChecksumMismatch {
+        /// Index of the first mismatching block.
+        block: usize,
+    },
+    /// The trailing whole-stream digest disagrees with the bytes: the
+    /// stream was altered after serialization.
+    StreamChecksum,
+    /// Words remain after the last field of the format.
+    TrailingGarbage {
+        /// How many unconsumed words follow the format.
+        extra_words: usize,
+    },
 }
 
 impl fmt::Display for FormatError {
@@ -61,7 +91,10 @@ impl fmt::Display for FormatError {
             FormatError::Truncated => write!(f, "byte stream too short for header"),
             FormatError::BadMagic(m) => write!(f, "bad magic 0x{m:08X}"),
             FormatError::UnknownScheme(s) => write!(f, "unknown scheme id {s}"),
-            FormatError::LengthMismatch { expected_words, actual_words } => write!(
+            FormatError::LengthMismatch {
+                expected_words,
+                actual_words,
+            } => write!(
                 f,
                 "header promises {expected_words} words, payload has {actual_words}"
             ),
@@ -69,6 +102,27 @@ impl fmt::Display for FormatError {
             FormatError::BadBlock { block, reason } => write!(f, "block {block}: {reason}"),
             FormatError::BadCount { count, blocks } => {
                 write!(f, "count {count} inconsistent with {blocks} blocks")
+            }
+            FormatError::UnsupportedVersion(v) => {
+                write!(f, "format minor version {v} is newer than this reader")
+            }
+            FormatError::ChecksumMismatch { block } => {
+                write!(
+                    f,
+                    "stored checksum for block {block} disagrees with the payload"
+                )
+            }
+            FormatError::StreamChecksum => {
+                write!(
+                    f,
+                    "whole-stream digest mismatch: bytes were altered after serialization"
+                )
+            }
+            FormatError::TrailingGarbage { extra_words } => {
+                write!(
+                    f,
+                    "{extra_words} unconsumed words after the end of the format"
+                )
             }
         }
     }
@@ -90,7 +144,9 @@ struct Writer {
 
 impl Writer {
     fn new(scheme: Scheme) -> Self {
-        Writer { words: vec![MAGIC, scheme_id(scheme)] }
+        Writer {
+            words: vec![MAGIC, scheme_id(scheme) | (FORMAT_MINOR << 8)],
+        }
     }
 
     fn word(&mut self, w: u32) -> &mut Self {
@@ -104,7 +160,10 @@ impl Writer {
         self
     }
 
-    fn finish(self) -> Vec<u8> {
+    /// Append the whole-stream digest word and serialize.
+    fn finish(mut self) -> Vec<u8> {
+        let digest = fnv1a(&self.words);
+        self.words.push(digest);
         let mut out = Vec::with_capacity(self.words.len() * 4);
         for w in self.words {
             out.extend_from_slice(&w.to_le_bytes());
@@ -128,7 +187,11 @@ impl<'a> Reader<'a> {
             .chunks_exact(4)
             .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
             .collect();
-        Ok(Reader { words, pos: 0, _raw: bytes })
+        Ok(Reader {
+            words,
+            pos: 0,
+            _raw: bytes,
+        })
     }
 
     fn word(&mut self) -> Result<u32, FormatError> {
@@ -149,6 +212,38 @@ impl<'a> Reader<'a> {
         self.pos += len;
         Ok(a)
     }
+
+    /// Minor >= 1 tail: read the stored per-block checksum array and
+    /// the trailing digest, require full consumption, and verify the
+    /// digest over everything before it. Returns the stored checksums.
+    fn verified_tail(&mut self) -> Result<Vec<u32>, FormatError> {
+        let stored = self.array()?;
+        let trailing = self.word()?;
+        if self.pos != self.words.len() {
+            return Err(FormatError::TrailingGarbage {
+                extra_words: self.words.len() - self.pos,
+            });
+        }
+        if fnv1a(&self.words[..self.words.len() - 1]) != trailing {
+            return Err(FormatError::StreamChecksum);
+        }
+        Ok(stored)
+    }
+}
+
+/// Compare stored per-block checksums against the derived ones.
+fn check_block_sums(stored: &[u32], derived: &[u32]) -> Result<(), FormatError> {
+    if stored.len() != derived.len() {
+        return Err(FormatError::ChecksumMismatch {
+            block: stored.len().min(derived.len()),
+        });
+    }
+    for (block, (s, d)) in stored.iter().zip(derived).enumerate() {
+        if s != d {
+            return Err(FormatError::ChecksumMismatch { block });
+        }
+    }
+    Ok(())
 }
 
 /// Validate a GPU-FOR-style `(block_starts, data)` pair where each
@@ -167,14 +262,20 @@ fn validate_for_layout(block_starts: &[u32], data: &[u32]) -> Result<(), FormatE
         let start = w[0] as usize;
         let len = (w[1] - w[0]) as usize;
         if len < BLOCK_HEADER_WORDS {
-            return Err(FormatError::BadBlock { block: i, reason: "shorter than header" });
+            return Err(FormatError::BadBlock {
+                block: i,
+                reason: "shorter than header",
+            });
         }
         let bw_word = data[start + 1];
         let mut payload = 0usize;
         for m in 0..MINIBLOCKS_PER_BLOCK {
             let width = (bw_word >> (8 * m)) & 0xFF;
             if width > 32 {
-                return Err(FormatError::BadBlock { block: i, reason: "miniblock width > 32" });
+                return Err(FormatError::BadBlock {
+                    block: i,
+                    reason: "miniblock width > 32",
+                });
             }
             payload += width as usize;
         }
@@ -193,9 +294,13 @@ impl GpuFor {
     pub fn validate(&self) -> Result<(), FormatError> {
         validate_for_layout(&self.block_starts, &self.data)?;
         let blocks = self.block_starts.len() - 1;
-        if self.total_count > blocks * BLOCK || (blocks > 0 && self.total_count <= (blocks - 1) * BLOCK)
+        if self.total_count > blocks * BLOCK
+            || (blocks > 0 && self.total_count <= (blocks - 1) * BLOCK)
         {
-            return Err(FormatError::BadCount { count: self.total_count, blocks });
+            return Err(FormatError::BadCount {
+                count: self.total_count,
+                blocks,
+            });
         }
         Ok(())
     }
@@ -206,21 +311,34 @@ impl GpuFor {
         w.word(self.total_count as u32);
         w.array(&self.block_starts);
         w.array(&self.data);
+        w.array(&self.block_checksums());
         w.finish()
     }
 
     /// Parse and validate a byte stream produced by
     /// [`GpuFor::to_bytes`].
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, FormatError> {
-        let (scheme, mut r) = read_header(bytes)?;
+        let (scheme, minor, mut r) = read_header(bytes)?;
         if scheme != Scheme::GpuFor {
             return Err(FormatError::UnknownScheme(scheme_id(scheme)));
         }
         let total_count = r.word()? as usize;
         let block_starts = r.array()?;
         let data = r.array()?;
-        let col = GpuFor { total_count, block_starts, data };
+        let stored_sums = if minor >= 1 {
+            Some(r.verified_tail()?)
+        } else {
+            None
+        };
+        let col = GpuFor {
+            total_count,
+            block_starts,
+            data,
+        };
         col.validate()?;
+        if let Some(sums) = stored_sums {
+            check_block_sums(&sums, &col.block_checksums())?;
+        }
         Ok(col)
     }
 }
@@ -229,14 +347,20 @@ impl GpuDFor {
     /// Structural validation (cheap; no decode).
     pub fn validate(&self) -> Result<(), FormatError> {
         if self.d == 0 {
-            return Err(FormatError::BadBlock { block: 0, reason: "d must be >= 1" });
+            return Err(FormatError::BadBlock {
+                block: 0,
+                reason: "d must be >= 1",
+            });
         }
         // Every tile's first block must leave room for the first-value
         // word before it.
         for t in 0..self.tiles() {
             let first = self.block_starts[t * self.d];
             if first == 0 {
-                return Err(FormatError::BadBlock { block: t * self.d, reason: "no first-value word" });
+                return Err(FormatError::BadBlock {
+                    block: t * self.d,
+                    reason: "no first-value word",
+                });
             }
         }
         // Block payloads follow the GPU-FOR layout, but each tile is
@@ -247,19 +371,29 @@ impl GpuDFor {
             let end = if (b + 1) % self.d == 0 || b + 1 == blocks {
                 // Next word is a first-value word (or the end).
                 let next = self.block_starts[b + 1] as usize;
-                if b + 1 == blocks { next } else { next - 1 }
+                if b + 1 == blocks {
+                    next
+                } else {
+                    next - 1
+                }
             } else {
                 self.block_starts[b + 1] as usize
             };
             if end < start + BLOCK_HEADER_WORDS || end > self.data.len() {
-                return Err(FormatError::BadBlock { block: b, reason: "bad block bounds" });
+                return Err(FormatError::BadBlock {
+                    block: b,
+                    reason: "bad block bounds",
+                });
             }
             let bw_word = self.data[start + 1];
             let mut payload = 0usize;
             for m in 0..MINIBLOCKS_PER_BLOCK {
                 let width = (bw_word >> (8 * m)) & 0xFF;
                 if width > 32 {
-                    return Err(FormatError::BadBlock { block: b, reason: "miniblock width > 32" });
+                    return Err(FormatError::BadBlock {
+                        block: b,
+                        reason: "miniblock width > 32",
+                    });
                 }
                 payload += width as usize;
             }
@@ -280,13 +414,14 @@ impl GpuDFor {
         w.word(self.d as u32);
         w.array(&self.block_starts);
         w.array(&self.data);
+        w.array(&self.block_checksums());
         w.finish()
     }
 
     /// Parse and validate a byte stream produced by
     /// [`GpuDFor::to_bytes`].
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, FormatError> {
-        let (scheme, mut r) = read_header(bytes)?;
+        let (scheme, minor, mut r) = read_header(bytes)?;
         if scheme != Scheme::GpuDFor {
             return Err(FormatError::UnknownScheme(scheme_id(scheme)));
         }
@@ -294,8 +429,21 @@ impl GpuDFor {
         let d = r.word()? as usize;
         let block_starts = r.array()?;
         let data = r.array()?;
-        let col = GpuDFor { total_count, d, block_starts, data };
+        let stored_sums = if minor >= 1 {
+            Some(r.verified_tail()?)
+        } else {
+            None
+        };
+        let col = GpuDFor {
+            total_count,
+            d,
+            block_starts,
+            data,
+        };
         col.validate()?;
+        if let Some(sums) = stored_sums {
+            check_block_sums(&sums, &col.block_checksums())?;
+        }
         Ok(col)
     }
 }
@@ -324,13 +472,19 @@ impl GpuRFor {
             let vstart = self.values_starts[b] as usize;
             let run_count = self.values_data[vstart] as usize;
             if run_count == 0 || run_count > RFOR_BLOCK {
-                return Err(FormatError::BadBlock { block: b, reason: "run count out of range" });
+                return Err(FormatError::BadBlock {
+                    block: b,
+                    reason: "run count out of range",
+                });
             }
         }
         if self.total_count > blocks * RFOR_BLOCK
             || (blocks > 0 && self.total_count <= (blocks - 1) * RFOR_BLOCK)
         {
-            return Err(FormatError::BadCount { count: self.total_count, blocks });
+            return Err(FormatError::BadCount {
+                count: self.total_count,
+                blocks,
+            });
         }
         Ok(())
     }
@@ -343,13 +497,14 @@ impl GpuRFor {
         w.array(&self.values_data);
         w.array(&self.lengths_starts);
         w.array(&self.lengths_data);
+        w.array(&self.block_checksums());
         w.finish()
     }
 
     /// Parse and validate a byte stream produced by
     /// [`GpuRFor::to_bytes`].
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, FormatError> {
-        let (scheme, mut r) = read_header(bytes)?;
+        let (scheme, minor, mut r) = read_header(bytes)?;
         if scheme != Scheme::GpuRFor {
             return Err(FormatError::UnknownScheme(scheme_id(scheme)));
         }
@@ -358,25 +513,44 @@ impl GpuRFor {
         let values_data = r.array()?;
         let lengths_starts = r.array()?;
         let lengths_data = r.array()?;
-        let col = GpuRFor { total_count, values_starts, values_data, lengths_starts, lengths_data };
+        let stored_sums = if minor >= 1 {
+            Some(r.verified_tail()?)
+        } else {
+            None
+        };
+        let col = GpuRFor {
+            total_count,
+            values_starts,
+            values_data,
+            lengths_starts,
+            lengths_data,
+        };
         col.validate()?;
+        if let Some(sums) = stored_sums {
+            check_block_sums(&sums, &col.block_checksums())?;
+        }
         Ok(col)
     }
 }
 
-fn read_header(bytes: &[u8]) -> Result<(Scheme, Reader<'_>), FormatError> {
+fn read_header(bytes: &[u8]) -> Result<(Scheme, u32, Reader<'_>), FormatError> {
     let mut r = Reader::new(bytes)?;
     let magic = r.word()?;
     if magic != MAGIC {
         return Err(FormatError::BadMagic(magic));
     }
-    let scheme = match r.word()? {
+    let scheme_word = r.word()?;
+    let scheme = match scheme_word & 0xFF {
         1 => Scheme::GpuFor,
         2 => Scheme::GpuDFor,
         3 => Scheme::GpuRFor,
         s => return Err(FormatError::UnknownScheme(s)),
     };
-    Ok((scheme, r))
+    let minor = scheme_word >> 8;
+    if minor > FORMAT_MINOR {
+        return Err(FormatError::UnsupportedVersion(minor));
+    }
+    Ok((scheme, minor, r))
 }
 
 impl EncodedColumn {
@@ -400,7 +574,7 @@ impl EncodedColumn {
 
     /// Parse any serialized column, dispatching on the scheme tag.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, FormatError> {
-        let (scheme, _) = read_header(bytes)?;
+        let (scheme, _, _) = read_header(bytes)?;
         Ok(match scheme {
             Scheme::GpuFor => EncodedColumn::For(GpuFor::from_bytes(bytes)?),
             Scheme::GpuDFor => EncodedColumn::DFor(GpuDFor::from_bytes(bytes)?),
@@ -417,7 +591,9 @@ mod tests {
         vec![
             (0..1000).collect(),
             (0..1000).map(|i| i / 40).collect(),
-            (0..1000u64).map(|i| ((i * 2_654_435) % 4096) as i32).collect(),
+            (0..1000u64)
+                .map(|i| ((i * 2_654_435) % 4096) as i32)
+                .collect(),
             vec![5],
             vec![-3; 700],
         ]
@@ -511,7 +687,10 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = FormatError::BadBlock { block: 7, reason: "demo" };
+        let e = FormatError::BadBlock {
+            block: 7,
+            reason: "demo",
+        };
         assert!(e.to_string().contains("block 7"));
         let e = FormatError::BadMagic(0xDEAD_BEEF);
         assert!(e.to_string().contains("DEADBEEF"));
@@ -522,5 +701,60 @@ mod tests {
         let f = GpuFor::encode(&[1, 2, 3]).to_bytes();
         assert!(GpuDFor::from_bytes(&f).is_err());
         assert!(GpuRFor::from_bytes(&f).is_err());
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_rejected() {
+        // The trailing whole-stream digest makes any one-byte change
+        // detectable: parsing must return a typed error, never succeed.
+        let values: Vec<i32> = (0..600).map(|i| i / 5).collect();
+        for scheme in Scheme::ALL {
+            let bytes = EncodedColumn::encode_as(&values, scheme).to_bytes();
+            for pos in 0..bytes.len() {
+                let mut dirty = bytes.clone();
+                dirty[pos] ^= 0x5A;
+                assert!(
+                    EncodedColumn::from_bytes(&dirty).is_err(),
+                    "{scheme:?}: flip at byte {pos} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_minor_zero_streams_still_parse() {
+        // Minor 0 carried no checksum array and no trailing digest.
+        let col = GpuFor::encode(&(0..500).collect::<Vec<_>>());
+        let mut words = vec![MAGIC, scheme_id(Scheme::GpuFor), col.total_count as u32];
+        words.push(col.block_starts.len() as u32);
+        words.extend_from_slice(&col.block_starts);
+        words.push(col.data.len() as u32);
+        words.extend_from_slice(&col.data);
+        let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let back = GpuFor::from_bytes(&bytes).expect("legacy stream parses");
+        assert_eq!(back, col);
+    }
+
+    #[test]
+    fn rejects_future_minor_version() {
+        let col = GpuFor::encode(&[1, 2, 3]);
+        let mut bytes = col.to_bytes();
+        // Bump the minor version byte (second byte of the scheme word).
+        bytes[5] = 0x7F;
+        assert!(matches!(
+            GpuFor::from_bytes(&bytes),
+            Err(FormatError::UnsupportedVersion(0x7F))
+        ));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let col = GpuFor::encode(&(0..300).collect::<Vec<_>>());
+        let mut bytes = col.to_bytes();
+        bytes.extend_from_slice(&[0, 0, 0, 0]);
+        assert!(matches!(
+            GpuFor::from_bytes(&bytes),
+            Err(FormatError::TrailingGarbage { .. })
+        ));
     }
 }

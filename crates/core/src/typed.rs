@@ -71,13 +71,20 @@ impl DecimalColumn {
             }
             mantissas.push(m);
         }
-        Ok(DecimalColumn { scale, inner: EncodedColumn::encode_best(&mantissas) })
+        Ok(DecimalColumn {
+            scale,
+            inner: EncodedColumn::encode_best(&mantissas),
+        })
     }
 
     /// Decode back to f64.
     pub fn decode(&self) -> Vec<f64> {
         let factor = 10f64.powi(self.scale as i32);
-        self.inner.decode_cpu().iter().map(|&m| m as f64 / factor).collect()
+        self.inner
+            .decode_cpu()
+            .iter()
+            .map(|&m| m as f64 / factor)
+            .collect()
     }
 
     /// Compressed footprint in bytes.
@@ -108,8 +115,7 @@ impl DictStringColumn {
     /// assert_eq!(col.decode(), vec!["ASIA", "EUROPE", "ASIA"]);
     /// ```
     pub fn encode<S: AsRef<str>>(values: &[S]) -> Self {
-        let mut dictionary: Vec<String> =
-            values.iter().map(|s| s.as_ref().to_string()).collect();
+        let mut dictionary: Vec<String> = values.iter().map(|s| s.as_ref().to_string()).collect();
         dictionary.sort_unstable();
         dictionary.dedup();
         let index: HashMap<&str, i32> = dictionary
@@ -118,12 +124,18 @@ impl DictStringColumn {
             .map(|(i, s)| (s.as_str(), i as i32))
             .collect();
         let codes: Vec<i32> = values.iter().map(|s| index[s.as_ref()]).collect();
-        DictStringColumn { dictionary, codes: EncodedColumn::encode_best(&codes) }
+        DictStringColumn {
+            dictionary,
+            codes: EncodedColumn::encode_best(&codes),
+        }
     }
 
     /// Code for a string literal, if present (for predicate rewriting).
     pub fn code_of(&self, s: &str) -> Option<i32> {
-        self.dictionary.binary_search_by(|d| d.as_str().cmp(s)).ok().map(|i| i as i32)
+        self.dictionary
+            .binary_search_by(|d| d.as_str().cmp(s))
+            .ok()
+            .map(|i| i as i32)
     }
 
     /// Decode back to strings.
@@ -196,11 +208,15 @@ mod tests {
 
     #[test]
     fn low_cardinality_strings_compress_hard() {
-        let values: Vec<String> =
-            (0..20_000).map(|i| format!("REGION_{}", i % 5)).collect();
+        let values: Vec<String> = (0..20_000).map(|i| format!("REGION_{}", i % 5)).collect();
         let col = DictStringColumn::encode(&values);
         let raw: u64 = values.iter().map(|s| s.len() as u64).sum();
-        assert!(col.compressed_bytes() * 2 < raw, "{} vs {}", col.compressed_bytes(), raw);
+        assert!(
+            col.compressed_bytes() * 2 < raw,
+            "{} vs {}",
+            col.compressed_bytes(),
+            raw
+        );
         assert_eq!(col.decode(), values);
     }
 }

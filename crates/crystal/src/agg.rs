@@ -13,7 +13,9 @@ pub struct ScalarSum {
 impl ScalarSum {
     /// Allocate a zeroed accumulator.
     pub fn new(dev: &Device) -> Self {
-        ScalarSum { acc: dev.alloc_zeroed::<u64>(1) }
+        ScalarSum {
+            acc: dev.alloc_zeroed::<u64>(1),
+        }
     }
 
     /// Block-local reduction of `values` + one global atomic.
@@ -46,7 +48,9 @@ pub struct GroupBySum {
 impl GroupBySum {
     /// Allocate `groups` zeroed slots.
     pub fn new(dev: &Device, groups: usize) -> Self {
-        GroupBySum { sums: dev.alloc_zeroed::<u64>(groups) }
+        GroupBySum {
+            sums: dev.alloc_zeroed::<u64>(groups),
+        }
     }
 
     /// Accumulate `(group, value)` pairs from one tile. Pairs are

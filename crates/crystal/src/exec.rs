@@ -13,12 +13,12 @@ use crate::TILE;
 /// for fixing `D = 4`: "each query has 3-4 output columns and choosing
 /// higher values of D leads to register spilling" (Section 4.2).
 pub fn fused_config(name: &str, columns: &[&QueryColumn], live_columns: usize) -> KernelConfig {
-    let tiles = columns
+    let tiles = columns.iter().map(|c| c.tiles()).max().unwrap_or(0);
+    let smem = columns
         .iter()
-        .map(|c| c.tiles())
+        .map(|c| c.tile_smem())
         .max()
-        .unwrap_or(0);
-    let smem = columns.iter().map(|c| c.tile_smem()).max().unwrap_or(TILE * 4);
+        .unwrap_or(TILE * 4);
     let d = 4;
     let regs = 26 + (3 * d * (1 + live_columns)).div_ceil(2);
     KernelConfig::new(name, tiles, 128)
@@ -132,7 +132,8 @@ pub mod materialize {
         sel: &GlobalBuffer<u8>,
     ) -> Vec<GlobalBuffer<i32>> {
         let n = sel.len();
-        let mut outs: Vec<GlobalBuffer<i32>> = cols.iter().map(|c| dev.alloc_zeroed(c.len())).collect();
+        let mut outs: Vec<GlobalBuffer<i32>> =
+            cols.iter().map(|c| dev.alloc_zeroed(c.len())).collect();
         let grid = n.div_ceil(CHUNK).max(1);
         dev.launch(oms_config(name, grid), |ctx| {
             let lo = ctx.block_id() * CHUNK;
@@ -203,9 +204,17 @@ mod tests {
         let dev = Device::v100();
         let col = QueryColumn::plain(&dev, &vec![0; 10_000]);
         let light = fused_config("q", &[&col], 2);
-        assert!(light.regs_per_thread <= 64, "regs = {}", light.regs_per_thread);
+        assert!(
+            light.regs_per_thread <= 64,
+            "regs = {}",
+            light.regs_per_thread
+        );
         let heavy = fused_config("q", &[&col], 8);
-        assert!(heavy.regs_per_thread > 64, "regs = {}", heavy.regs_per_thread);
+        assert!(
+            heavy.regs_per_thread > 64,
+            "regs = {}",
+            heavy.regs_per_thread
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! inside the fused fact-table kernel — the random-access pattern whose
 //! coalescing the simulator accounts faithfully.
 
-use tlc_gpu_sim::{BlockCtx, Device, GlobalBuffer, KernelConfig, WARP_SIZE};
+use tlc_gpu_sim::{BlockCtx, Device, GlobalBuffer, KernelConfig, LaunchError, WARP_SIZE};
 
 /// Sentinel slot value: dimension row absent or filtered out.
 const EMPTY: i32 = i32::MIN;
@@ -33,6 +33,21 @@ impl DenseTable {
         rows: &[(i32, Option<i32>)],
         dim_bytes_read: u64,
     ) -> DenseTable {
+        Self::try_build(dev, name, base, max_key, rows, dim_bytes_read)
+            .unwrap_or_else(|e| panic!("build_{name} failed: {e}"))
+    }
+
+    /// Fallible [`DenseTable::build`]: a device fault surfaces as a
+    /// [`LaunchError`] instead of a panic, so resilient executors can
+    /// retry or fail the shard over.
+    pub fn try_build(
+        dev: &Device,
+        name: &str,
+        base: i32,
+        max_key: i32,
+        rows: &[(i32, Option<i32>)],
+        dim_bytes_read: u64,
+    ) -> Result<DenseTable, LaunchError> {
         let len = (max_key - base + 1) as usize;
         let mut slots = dev.alloc_zeroed::<i32>(len);
         slots.as_mut_slice_unaccounted().fill(EMPTY);
@@ -43,7 +58,7 @@ impl DenseTable {
         let chunk = 2048usize;
         let grid = rows.len().div_ceil(chunk).max(1);
         let cfg = KernelConfig::new(format!("build_{name}"), grid, 128).regs_per_thread(24);
-        dev.launch(cfg, |ctx| {
+        dev.try_launch(cfg, |ctx| {
             let lo = ctx.block_id() * chunk;
             let hi = (lo + chunk).min(rows.len());
             if lo >= hi {
@@ -63,8 +78,8 @@ impl DenseTable {
             for w in writes.chunks(WARP_SIZE) {
                 ctx.warp_scatter(&mut slots, w);
             }
-        });
-        DenseTable { base, slots }
+        })?;
+        Ok(DenseTable { base, slots })
     }
 
     /// Number of slots.

@@ -1,6 +1,7 @@
 //! Fact-table columns as seen by query kernels.
 
 use tlc_core::column::{DeviceColumn, TILE};
+use tlc_core::DecodeError;
 use tlc_gpu_sim::{BlockCtx, Device, GlobalBuffer};
 
 /// A column a query kernel can consume tile by tile: plain (Crystal's
@@ -44,15 +45,21 @@ impl QueryColumn {
 
     /// Load tile `tile_id` into `out`; returns the logical tile length.
     /// For plain columns this is a coalesced `BlockLoad`; for encoded
-    /// columns it decompresses the tile inline.
-    pub fn load_tile(&self, ctx: &mut BlockCtx<'_>, tile_id: usize, out: &mut Vec<i32>) -> usize {
+    /// columns it decompresses the tile inline, failing with a
+    /// [`DecodeError`] when the tile does not verify.
+    pub fn load_tile(
+        &self,
+        ctx: &mut BlockCtx<'_>,
+        tile_id: usize,
+        out: &mut Vec<i32>,
+    ) -> Result<usize, DecodeError> {
         match self {
             QueryColumn::Plain(b) => {
                 out.clear();
                 let lo = tile_id * TILE;
                 let len = TILE.min(b.len().saturating_sub(lo));
                 ctx.read_coalesced_with(b, lo, len, |vals| out.extend_from_slice(vals));
-                len
+                Ok(len)
             }
             QueryColumn::Encoded(c) => c.load_tile(ctx, tile_id, out),
         }
@@ -78,21 +85,25 @@ mod tests {
         let values: Vec<i32> = (0..3000).map(|i| i % 91).collect();
         let dev = Device::v100();
         let plain = QueryColumn::plain(&dev, &values);
-        let encoded =
-            QueryColumn::Encoded(EncodedColumn::encode_best(&values).to_device(&dev));
+        let encoded = QueryColumn::Encoded(EncodedColumn::encode_best(&values).to_device(&dev));
         assert_eq!(plain.tiles(), encoded.tiles());
 
         let mut a = Vec::new();
         let mut b = Vec::new();
         let mut all_a = Vec::new();
         let mut all_b = Vec::new();
-        dev.launch(KernelConfig::new("t", plain.tiles(), 128).smem_per_block(8192), |ctx| {
-            let na = plain.load_tile(ctx, ctx.block_id(), &mut a);
-            let nb = encoded.load_tile(ctx, ctx.block_id(), &mut b);
-            assert_eq!(na, nb);
-            all_a.extend_from_slice(&a[..na]);
-            all_b.extend_from_slice(&b[..nb]);
-        });
+        dev.launch(
+            KernelConfig::new("t", plain.tiles(), 128).smem_per_block(8192),
+            |ctx| {
+                let na = plain.load_tile(ctx, ctx.block_id(), &mut a).expect("plain");
+                let nb = encoded
+                    .load_tile(ctx, ctx.block_id(), &mut b)
+                    .expect("decode");
+                assert_eq!(na, nb);
+                all_a.extend_from_slice(&a[..na]);
+                all_b.extend_from_slice(&b[..nb]);
+            },
+        );
         assert_eq!(all_a, values);
         assert_eq!(all_b, values);
     }

@@ -9,6 +9,7 @@
 //! tile-major — deterministic here because the simulator executes
 //! blocks in order, unordered on real hardware (as with Crystal).
 
+use tlc_core::DecodeError;
 use tlc_gpu_sim::scan::block_exclusive_scan_u32;
 use tlc_gpu_sim::{Device, GlobalBuffer};
 
@@ -21,15 +22,25 @@ pub fn select(
     dev: &Device,
     col: &QueryColumn,
     pred: impl Fn(i32) -> bool,
-) -> (GlobalBuffer<i32>, usize) {
+) -> Result<(GlobalBuffer<i32>, usize), DecodeError> {
     let n = col.total_count();
     let mut out = dev.alloc_zeroed::<i32>(n);
     let mut cursor = dev.alloc_zeroed::<u64>(1);
     let mut tile = Vec::new();
     let cfg = fused_config("select_compact", &[col], 1);
-    dev.launch(cfg, |ctx| {
+    let mut failed: Option<DecodeError> = None;
+    dev.try_launch(cfg, |ctx| {
+        if failed.is_some() {
+            return;
+        }
         let t = ctx.block_id();
-        let len = col.load_tile(ctx, t, &mut tile);
+        let len = match col.load_tile(ctx, t, &mut tile) {
+            Ok(len) => len,
+            Err(e) => {
+                failed = Some(e);
+                return;
+            }
+        };
         // BlockPred: one flag per element.
         let mut flags: Vec<u32> = tile[..len].iter().map(|&v| u32::from(pred(v))).collect();
         ctx.add_int_ops(len as u64);
@@ -42,12 +53,15 @@ pub fn select(
         let base = cursor.as_slice_unaccounted()[0] as usize;
         ctx.warp_atomic_add_u64(&mut cursor, &[(0, kept as u64)]);
         // BlockStore: coalesced write of the survivors.
-        let survivors: Vec<i32> =
-            tile[..len].iter().filter(|&&v| pred(v)).copied().collect();
+        let survivors: Vec<i32> = tile[..len].iter().filter(|&&v| pred(v)).copied().collect();
         ctx.write_coalesced(&mut out, base, &survivors);
-    });
+    })
+    .map_err(DecodeError::Launch)?;
+    if let Some(e) = failed {
+        return Err(e);
+    }
     let count = cursor.as_slice_unaccounted()[0] as usize;
-    (out, count)
+    Ok((out, count))
 }
 
 #[cfg(test)]
@@ -64,7 +78,7 @@ mod tests {
         let values: Vec<i32> = (0..5000).collect();
         let dev = Device::v100();
         let col = QueryColumn::plain(&dev, &values);
-        let (out, count) = select(&dev, &col, |v| v % 7 == 0);
+        let (out, count) = select(&dev, &col, |v| v % 7 == 0).expect("select");
         assert_eq!(
             &out.as_slice_unaccounted()[..count],
             expected(&values, |v| v % 7 == 0).as_slice()
@@ -76,7 +90,7 @@ mod tests {
         let values: Vec<i32> = (0..5000).map(|i| i / 3).collect();
         let dev = Device::v100();
         let col = QueryColumn::Encoded(EncodedColumn::encode_best(&values).to_device(&dev));
-        let (out, count) = select(&dev, &col, |v| v > 1000);
+        let (out, count) = select(&dev, &col, |v| v > 1000).expect("select");
         assert_eq!(
             &out.as_slice_unaccounted()[..count],
             expected(&values, |v| v > 1000).as_slice()
@@ -88,7 +102,7 @@ mod tests {
         let values: Vec<i32> = (0..3000).collect();
         let dev = Device::v100();
         let col = QueryColumn::plain(&dev, &values);
-        let (_, count) = select(&dev, &col, |_| false);
+        let (_, count) = select(&dev, &col, |_| false).expect("select");
         assert_eq!(count, 0);
     }
 
@@ -97,7 +111,7 @@ mod tests {
         let values: Vec<i32> = (0..3000).map(|i| i % 50).collect();
         let dev = Device::v100();
         let col = QueryColumn::plain(&dev, &values);
-        let (out, count) = select(&dev, &col, |_| true);
+        let (out, count) = select(&dev, &col, |_| true).expect("select");
         assert_eq!(count, values.len());
         assert_eq!(&out.as_slice_unaccounted()[..count], values.as_slice());
     }

@@ -22,7 +22,12 @@ fn workload() -> Workload {
     let rows: Vec<(i32, Option<i32>)> = (1..=dim)
         .map(|k| (k, (k % 3 != 0).then_some(k % 16)))
         .collect();
-    Workload { fk, measure, rows, groups: 16 }
+    Workload {
+        fk,
+        measure,
+        rows,
+        groups: 16,
+    }
 }
 
 fn reference(w: &Workload) -> Vec<u64> {
@@ -44,8 +49,8 @@ fn run_fused(dev: &Device, w: &Workload, fk: &QueryColumn, measure: &QueryColumn
     let (mut keys, mut vals, mut hits) = (Vec::new(), Vec::new(), Vec::new());
     dev.launch(cfg, |ctx| {
         let t = ctx.block_id();
-        let n = fk.load_tile(ctx, t, &mut keys);
-        measure.load_tile(ctx, t, &mut vals);
+        let n = fk.load_tile(ctx, t, &mut keys).expect("decode");
+        measure.load_tile(ctx, t, &mut vals).expect("decode");
         let sel = vec![true; n];
         table.probe(ctx, &keys[..n], &sel, &mut hits);
         let pairs: Vec<(usize, u64)> = (0..n)
@@ -143,7 +148,9 @@ fn tile_loads_handle_ragged_tail() {
         let mut tile = Vec::new();
         let cfg = fused_config("ragged", &[&col], 1);
         dev.launch(cfg, |ctx| {
-            let n = col.load_tile(ctx, ctx.block_id(), &mut tile);
+            let n = col
+                .load_tile(ctx, ctx.block_id(), &mut tile)
+                .expect("decode");
             seen.extend_from_slice(&tile[..n]);
         });
         assert_eq!(seen, values);

@@ -3,6 +3,7 @@
 
 use std::cell::{Cell, RefCell};
 
+use crate::fault::{FaultPlan, FaultState, FaultStats, LaunchError};
 use crate::kernel::{BlockCtx, KernelConfig, Occupancy};
 use crate::memory::{GlobalBuffer, Scalar, ALLOC_ALIGN};
 use crate::report::{KernelReport, Timeline, Traffic};
@@ -86,6 +87,7 @@ pub struct Device {
     params: DeviceParams,
     alloc_cursor: Cell<u64>,
     timeline: RefCell<Timeline>,
+    faults: RefCell<Option<FaultState>>,
 }
 
 impl Device {
@@ -101,7 +103,33 @@ impl Device {
             // Start away from address 0 so "null" is never a valid address.
             alloc_cursor: Cell::new(4096),
             timeline: RefCell::new(Timeline::default()),
+            faults: RefCell::new(None),
         }
+    }
+
+    /// Arm a [`FaultPlan`] on this device. Subsequent corruptible
+    /// allocations may be bit-flipped and launches may fail; see the
+    /// [`crate::fault`] module docs.
+    pub fn inject_faults(&self, plan: FaultPlan) {
+        *self.faults.borrow_mut() = Some(FaultState::new(plan));
+    }
+
+    /// Disarm fault injection (stats are discarded).
+    pub fn clear_faults(&self) {
+        *self.faults.borrow_mut() = None;
+    }
+
+    /// Tally of faults injected so far, if a plan is armed.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.faults.borrow().as_ref().map(|s| s.stats.clone())
+    }
+
+    /// False once the armed fault plan has lost the device.
+    pub fn is_alive(&self) -> bool {
+        self.faults
+            .borrow()
+            .as_ref()
+            .is_none_or(|s| !s.stats.device_lost)
     }
 
     /// The device's calibration constants.
@@ -116,8 +144,18 @@ impl Device {
         self.alloc_from_vec(data.to_vec())
     }
 
-    /// Allocate a buffer taking ownership of `data`.
-    pub fn alloc_from_vec<T: Scalar>(&self, data: Vec<T>) -> GlobalBuffer<T> {
+    /// Allocate a buffer taking ownership of `data`. When a
+    /// [`FaultPlan`] with a non-zero bit-flip rate is armed and `T` is
+    /// corruptible (`u32` word streams), seeded bit flips are applied
+    /// to the contents before the buffer is handed out.
+    pub fn alloc_from_vec<T: Scalar>(&self, mut data: Vec<T>) -> GlobalBuffer<T> {
+        if T::CORRUPTIBLE {
+            if let Some(state) = self.faults.borrow_mut().as_mut() {
+                if let Some(words) = T::as_words_mut(&mut data) {
+                    state.corrupt_words(words);
+                }
+            }
+        }
         let bytes = data.len() as u64 * T::BYTES;
         let base = self.bump(bytes);
         GlobalBuffer::new(base, data)
@@ -138,15 +176,45 @@ impl Device {
     /// Launch a kernel: run `body` once per thread block, accumulate the
     /// traffic it reports, convert to simulated time, and append a
     /// [`KernelReport`] to the timeline. Returns the report.
-    pub fn launch<F>(&self, cfg: KernelConfig, mut body: F) -> KernelReport
+    ///
+    /// Panics if an armed fault plan fails the launch — callers that
+    /// want to survive device faults use [`Device::try_launch`].
+    pub fn launch<F>(&self, cfg: KernelConfig, body: F) -> KernelReport
     where
         F: FnMut(&mut BlockCtx<'_>),
     {
+        let name = cfg.name.clone();
+        self.try_launch(cfg, body)
+            .unwrap_or_else(|e| panic!("kernel `{name}`: unhandled device fault: {e}"))
+    }
+
+    /// Fallible launch: like [`Device::launch`], but an armed
+    /// [`FaultPlan`] may fail the attempt with a typed [`LaunchError`]
+    /// (transient, or permanent device loss) instead of running the
+    /// body. Failed launches still cost the fixed launch overhead on
+    /// the timeline.
+    pub fn try_launch<F>(&self, cfg: KernelConfig, mut body: F) -> Result<KernelReport, LaunchError>
+    where
+        F: FnMut(&mut BlockCtx<'_>),
+    {
+        if let Some(state) = self.faults.borrow_mut().as_mut() {
+            if let Err(e) = state.gate_launch(&cfg.name) {
+                self.timeline.borrow_mut().push(KernelReport {
+                    name: format!("{}!fault", cfg.name),
+                    grid_blocks: cfg.grid_blocks,
+                    threads_per_block: cfg.threads_per_block,
+                    occupancy: 0.0,
+                    traffic: Traffic::default(),
+                    seconds: self.params.kernel_launch_s,
+                    bound_by: "fault",
+                });
+                return Err(e);
+            }
+        }
         let occ = self.occupancy(&cfg);
         let mut traffic = Traffic::default();
         for block_id in 0..cfg.grid_blocks {
-            let mut ctx =
-                BlockCtx::new(block_id, &cfg, &mut traffic, self.params.l1_per_block);
+            let mut ctx = BlockCtx::new(block_id, &cfg, &mut traffic, self.params.l1_per_block);
             body(&mut ctx);
         }
         // Register spilling: every resident thread round-trips the
@@ -158,7 +226,7 @@ impl Device {
         }
         let report = self.time_kernel(&cfg, occ, traffic);
         self.timeline.borrow_mut().push(report.clone());
-        report
+        Ok(report)
     }
 
     /// Occupancy achieved by a kernel configuration on this device.
@@ -187,7 +255,13 @@ impl Device {
 
     fn time_kernel(&self, cfg: &KernelConfig, occ: Occupancy, traffic: Traffic) -> KernelReport {
         let p = &self.params;
-        let bw_factor = (occ.fraction / p.bw_saturation_occupancy).clamp(0.05, 1.0);
+        // Degraded-bandwidth fault: a sick device streams slower.
+        let health = self
+            .faults
+            .borrow()
+            .as_ref()
+            .map_or(1.0, |s| s.plan.bandwidth_factor.clamp(0.01, 1.0));
+        let bw_factor = (occ.fraction / p.bw_saturation_occupancy).clamp(0.05, 1.0) * health;
         let global_s = traffic.global_bytes() as f64 / (p.global_bw * bw_factor);
         let shared_s = traffic.shared_bytes as f64 / p.shared_bw;
         let compute_s = traffic.int_ops as f64 / p.int_throughput;
@@ -252,7 +326,11 @@ impl Device {
             occupancy: 1.0,
             traffic: Traffic::default(),
             seconds,
-            bound_by: if transfer >= compute_seconds { "pcie" } else { "compute" },
+            bound_by: if transfer >= compute_seconds {
+                "pcie"
+            } else {
+                "compute"
+            },
         });
         seconds
     }
@@ -383,7 +461,10 @@ mod tests {
         });
         let t = dev.elapsed_seconds_scaled(256.0);
         let expected = (n as f64 * 4.0 * 256.0) / 880.0e9;
-        assert!((t - expected).abs() / expected < 0.05, "t={t} expected={expected}");
+        assert!(
+            (t - expected).abs() / expected < 0.05,
+            "t={t} expected={expected}"
+        );
     }
 
     #[test]

@@ -1,0 +1,245 @@
+//! Deterministic, seeded fault injection for the simulated device.
+//!
+//! A [`FaultPlan`] armed on a [`crate::Device`] models the failure
+//! modes a production multi-GPU deployment must survive:
+//!
+//! * **Bit flips in global memory** — applied at allocation time to
+//!   *corruptible* buffers (the `u32` word streams that hold encoded
+//!   columns; see [`crate::memory::Scalar::CORRUPTIBLE`]), modelling
+//!   persisted/transferred compressed data arriving damaged.
+//! * **Transient kernel-launch failures** — a seeded per-launch
+//!   Bernoulli draw, modelling ECC retirement stalls, driver hiccups
+//!   and preemption timeouts that succeed on retry.
+//! * **Whole-device loss** — after a configured number of launches the
+//!   device goes dark and every subsequent launch fails, modelling a
+//!   fallen-off-the-bus GPU (Xid 79 and friends).
+//! * **Degraded bandwidth** — a multiplier on global-memory bandwidth,
+//!   modelling thermal throttling or a sick HBM stack.
+//!
+//! Everything is driven by one xoshiro PRNG seeded from
+//! [`FaultPlan::seed`], so a campaign is exactly reproducible, and
+//! every injected fault is counted in [`FaultStats`] so tests can
+//! reconcile observed errors against injected ones.
+
+use tlc_rng::Rng;
+
+/// What faults to inject, and how often. Arm with
+/// [`crate::Device::inject_faults`].
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Seed for the fault PRNG; same seed + same workload = same faults.
+    pub seed: u64,
+    /// Probability that any given corruptible word is bit-flipped at
+    /// allocation time.
+    pub bitflip_rate: f64,
+    /// Probability that a kernel launch fails transiently.
+    pub transient_launch_rate: f64,
+    /// Lose the whole device after this many launch attempts.
+    pub kill_after_launches: Option<usize>,
+    /// Multiplier on global-memory bandwidth (1.0 = healthy).
+    pub bandwidth_factor: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            bitflip_rate: 0.0,
+            transient_launch_rate: 0.0,
+            kill_after_launches: None,
+            bandwidth_factor: 1.0,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults armed; set fields to
+    /// taste.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// Running tally of injected faults, for reconciling against observed
+/// errors.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Words bit-flipped at allocation time.
+    pub bit_flips: usize,
+    /// Launches that failed transiently.
+    pub transient_failures: usize,
+    /// Launch attempts observed (including failed ones).
+    pub launches_attempted: usize,
+    /// Whether the device has been lost.
+    pub device_lost: bool,
+}
+
+/// A kernel launch that did not run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaunchError {
+    /// The launch failed transiently; retrying may succeed.
+    Transient {
+        /// Kernel name, for diagnostics.
+        kernel: String,
+    },
+    /// The device is gone; no launch on it will ever succeed again.
+    DeviceLost,
+}
+
+impl std::fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaunchError::Transient { kernel } => {
+                write!(f, "transient launch failure in kernel `{kernel}`")
+            }
+            LaunchError::DeviceLost => write!(f, "device lost"),
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+/// Armed fault state on a device: the plan plus the PRNG and tally.
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    pub(crate) plan: FaultPlan,
+    rng: Rng,
+    pub(crate) stats: FaultStats,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan) -> Self {
+        let rng = Rng::seed_from_u64(plan.seed ^ 0xFA_17_FA_17);
+        FaultState {
+            plan,
+            rng,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Gate one launch attempt: device loss, then kill countdown, then
+    /// a transient draw.
+    pub(crate) fn gate_launch(&mut self, kernel: &str) -> Result<(), LaunchError> {
+        self.stats.launches_attempted += 1;
+        if self.stats.device_lost {
+            return Err(LaunchError::DeviceLost);
+        }
+        if let Some(k) = self.plan.kill_after_launches {
+            if self.stats.launches_attempted > k {
+                self.stats.device_lost = true;
+                return Err(LaunchError::DeviceLost);
+            }
+        }
+        if self.plan.transient_launch_rate > 0.0
+            && self.rng.gen_bool(self.plan.transient_launch_rate)
+        {
+            self.stats.transient_failures += 1;
+            return Err(LaunchError::Transient {
+                kernel: kernel.to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Flip bits in a freshly allocated corruptible word buffer,
+    /// geometric-skipping between hits so huge clean stretches cost
+    /// almost nothing.
+    pub(crate) fn corrupt_words(&mut self, words: &mut [u32]) {
+        let p = self.plan.bitflip_rate;
+        if p <= 0.0 || words.is_empty() {
+            return;
+        }
+        let mut i = if p >= 1.0 { 0 } else { self.gap(p) };
+        while i < words.len() {
+            let bit = self.rng.gen_range(0u32..32);
+            words[i] ^= 1 << bit;
+            self.stats.bit_flips += 1;
+            i += 1 + if p >= 1.0 { 0 } else { self.gap(p) };
+        }
+    }
+
+    /// Number of clean words before the next flip (geometric draw).
+    fn gap(&mut self, p: f64) -> usize {
+        let u = self.rng.gen_f64().max(f64::MIN_POSITIVE);
+        let g = u.ln() / (1.0 - p).ln();
+        if g >= usize::MAX as f64 {
+            usize::MAX
+        } else {
+            g as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flips_are_deterministic_and_counted() {
+        let plan = FaultPlan {
+            bitflip_rate: 0.01,
+            ..FaultPlan::seeded(7)
+        };
+        let run = || {
+            let mut st = FaultState::new(plan.clone());
+            let mut words = vec![0u32; 100_000];
+            st.corrupt_words(&mut words);
+            (words, st.stats.bit_flips)
+        };
+        let (a, flips_a) = run();
+        let (b, flips_b) = run();
+        assert_eq!(a, b);
+        assert_eq!(flips_a, flips_b);
+        let nonzero = a.iter().filter(|&&w| w != 0).count();
+        // Each flip touches one word; rarely two flips hit the same word.
+        assert!(nonzero >= flips_a * 9 / 10 && nonzero <= flips_a);
+        // ~1% of 100k words, loosely.
+        assert!((500..2_000).contains(&flips_a), "flips = {flips_a}");
+    }
+
+    #[test]
+    fn rate_one_flips_every_word() {
+        let mut st = FaultState::new(FaultPlan {
+            bitflip_rate: 1.0,
+            ..FaultPlan::seeded(1)
+        });
+        let mut words = vec![0u32; 64];
+        st.corrupt_words(&mut words);
+        assert!(words.iter().all(|&w| w != 0));
+        assert_eq!(st.stats.bit_flips, 64);
+    }
+
+    #[test]
+    fn kill_countdown_loses_device_permanently() {
+        let mut st = FaultState::new(FaultPlan {
+            kill_after_launches: Some(2),
+            ..FaultPlan::seeded(0)
+        });
+        assert!(st.gate_launch("a").is_ok());
+        assert!(st.gate_launch("b").is_ok());
+        assert_eq!(st.gate_launch("c"), Err(LaunchError::DeviceLost));
+        assert_eq!(st.gate_launch("d"), Err(LaunchError::DeviceLost));
+        assert!(st.stats.device_lost);
+        assert_eq!(st.stats.launches_attempted, 4);
+    }
+
+    #[test]
+    fn transient_rate_is_seeded() {
+        let plan = FaultPlan {
+            transient_launch_rate: 0.3,
+            ..FaultPlan::seeded(42)
+        };
+        let run = || {
+            let mut st = FaultState::new(plan.clone());
+            (0..100)
+                .map(|i| st.gate_launch(&format!("k{i}")).is_err())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+        let failures = run().iter().filter(|&&f| f).count();
+        assert!((10..60).contains(&failures), "failures = {failures}");
+    }
+}

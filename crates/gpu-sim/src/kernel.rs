@@ -3,8 +3,8 @@
 use std::collections::HashSet;
 
 use crate::memory::{
-    gather_segments, segments_for_gather, segments_for_range, GlobalBuffer, Scalar,
-    SEGMENT_BYTES, WARP_SIZE,
+    gather_segments, segments_for_gather, segments_for_range, GlobalBuffer, Scalar, SEGMENT_BYTES,
+    WARP_SIZE,
 };
 use crate::report::Traffic;
 
@@ -218,11 +218,7 @@ impl<'a> BlockCtx<'a> {
 
     /// One warp scatters up to 32 `(index, value)` pairs; transactions =
     /// distinct segments touched.
-    pub fn warp_scatter<T: Scalar>(
-        &mut self,
-        buf: &mut GlobalBuffer<T>,
-        writes: &[(usize, T)],
-    ) {
+    pub fn warp_scatter<T: Scalar>(&mut self, buf: &mut GlobalBuffer<T>, writes: &[(usize, T)]) {
         for chunk in writes.chunks(WARP_SIZE) {
             let addrs: Vec<u64> = chunk.iter().map(|&(i, _)| buf.addr_of(i)).collect();
             self.traffic.global_write_segments += segments_for_gather(&addrs, T::BYTES);
@@ -357,13 +353,10 @@ mod tests {
         let dev = Device::v100();
         let data: Vec<u32> = (0..256).collect();
         let buf = dev.alloc_from_slice(&data);
-        let report = dev.launch(
-            KernelConfig::new("k", 1, 128).smem_per_block(1024),
-            |blk| {
-                blk.stage_to_shared(&buf, 0, 256, 0);
-                assert_eq!(blk.shared()[255], 255);
-            },
-        );
+        let report = dev.launch(KernelConfig::new("k", 1, 128).smem_per_block(1024), |blk| {
+            blk.stage_to_shared(&buf, 0, 256, 0);
+            assert_eq!(blk.shared()[255], 255);
+        });
         assert_eq!(report.traffic.global_read_segments, 8);
         assert_eq!(report.traffic.shared_bytes, 1024);
     }
@@ -373,7 +366,9 @@ mod tests {
         let dev = Device::v100();
         let mut out = dev.alloc_zeroed::<u32>(256);
         dev.launch(KernelConfig::new("k", 2, 128), |blk| {
-            let vals: Vec<u32> = (0..128).map(|i| (blk.block_id() * 1000 + i) as u32).collect();
+            let vals: Vec<u32> = (0..128)
+                .map(|i| (blk.block_id() * 1000 + i) as u32)
+                .collect();
             blk.write_coalesced(&mut out, blk.block_id() * 128, &vals);
         });
         assert_eq!(out.as_slice_unaccounted()[0], 0);
@@ -394,12 +389,9 @@ mod tests {
     #[test]
     fn shared_memory_is_zeroed_per_block() {
         let dev = Device::v100();
-        dev.launch(
-            KernelConfig::new("k", 3, 64).smem_per_block(256),
-            |blk| {
-                assert!(blk.shared().iter().all(|&w| w == 0));
-                blk.shared_mut()[0] = 42;
-            },
-        );
+        dev.launch(KernelConfig::new("k", 3, 64).smem_per_block(256), |blk| {
+            assert!(blk.shared().iter().all(|&w| w == 0));
+            blk.shared_mut()[0] = 42;
+        });
     }
 }

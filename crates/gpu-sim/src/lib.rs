@@ -54,12 +54,14 @@
 //! ```
 
 pub mod device;
+pub mod fault;
 pub mod kernel;
 pub mod memory;
 pub mod report;
 pub mod scan;
 
 pub use device::{Device, DeviceParams};
+pub use fault::{FaultPlan, FaultStats, LaunchError};
 pub use kernel::{BlockCtx, KernelConfig, Occupancy};
 pub use memory::{GlobalBuffer, Scalar, SEGMENT_BYTES, WARP_SIZE};
 pub use report::{KernelReport, Timeline, Traffic};

@@ -28,6 +28,19 @@ pub const ALLOC_ALIGN: u64 = 256;
 pub trait Scalar: Copy + Default + 'static {
     /// Size of the scalar in bytes on the device.
     const BYTES: u64;
+
+    /// Whether the fault injector may bit-flip buffers of this type.
+    /// Only `u32` — the word streams that carry encoded columns, the
+    /// persisted state a deployment actually ships around — is
+    /// corruptible; plain working buffers stay clean so fault campaigns
+    /// exercise *detection* rather than trivially corrupting outputs.
+    const CORRUPTIBLE: bool = false;
+
+    /// View a buffer of this type as raw 32-bit words for fault
+    /// injection; `None` for non-corruptible types.
+    fn as_words_mut(_data: &mut [Self]) -> Option<&mut [u32]> {
+        None
+    }
 }
 
 macro_rules! impl_scalar {
@@ -35,7 +48,16 @@ macro_rules! impl_scalar {
         $(impl Scalar for $t { const BYTES: u64 = std::mem::size_of::<$t>() as u64; })*
     };
 }
-impl_scalar!(u8, i8, u16, i16, u32, i32, u64, i64, f32, f64);
+impl_scalar!(u8, i8, u16, i16, i32, u64, i64, f32, f64);
+
+impl Scalar for u32 {
+    const BYTES: u64 = 4;
+    const CORRUPTIBLE: bool = true;
+
+    fn as_words_mut(data: &mut [Self]) -> Option<&mut [u32]> {
+        Some(data)
+    }
+}
 
 /// A typed allocation in simulated global memory.
 ///
@@ -53,7 +75,11 @@ pub struct GlobalBuffer<T: Scalar> {
 impl<T: Scalar> GlobalBuffer<T> {
     pub(crate) fn new(base: u64, data: Vec<T>) -> Self {
         debug_assert_eq!(base % ALLOC_ALIGN, 0, "device allocations are 256B-aligned");
-        Self { base, data, _marker: PhantomData }
+        Self {
+            base,
+            data,
+            _marker: PhantomData,
+        }
     }
 
     /// Number of elements.

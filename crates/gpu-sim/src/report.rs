@@ -126,7 +126,10 @@ mod tests {
             grid_blocks: 1,
             threads_per_block: 128,
             occupancy: 1.0,
-            traffic: Traffic { global_read_segments: 10, ..Default::default() },
+            traffic: Traffic {
+                global_read_segments: 10,
+                ..Default::default()
+            },
             seconds: secs,
             bound_by: "global",
         }

@@ -1,31 +1,42 @@
-//! Property tests on the cost model: the invariants every scheme's
+//! Randomized tests on the cost model: the invariants every scheme's
 //! accounting relies on.
+//!
+//! Formerly proptest-based; now seeded via the vendored `tlc-rng` so
+//! the suite runs fully offline.
 
-use proptest::prelude::*;
 use tlc_gpu_sim::{Device, DeviceParams, KernelConfig};
+use tlc_rng::Rng;
 
-proptest! {
-    /// Coalesced reads of a byte range touch at least ceil(bytes/128)
-    /// segments and at most one more (edge misalignment).
-    #[test]
-    fn range_segment_bounds(start in 0usize..10_000, len in 1usize..5_000) {
-        let dev = Device::v100();
-        let buf = dev.alloc_zeroed::<u8>(32_768);
+/// Coalesced reads of a byte range touch at least ceil(bytes/128)
+/// segments and at most one more (edge misalignment).
+#[test]
+fn range_segment_bounds() {
+    let mut rng = Rng::seed_from_u64(0x51B_0001);
+    let dev = Device::v100();
+    let buf = dev.alloc_zeroed::<u8>(32_768);
+    for _ in 0..128 {
+        let start = rng.gen_range(0usize..10_000);
+        let len = rng.gen_range(1usize..5_000);
         let report = dev.launch(KernelConfig::new("k", 1, 128), |ctx| {
             let _ = ctx.read_coalesced(&buf, start % 16_000, len);
         });
         let segs = report.traffic.global_read_segments;
         let ideal = (len as u64).div_ceil(128);
-        prop_assert!(segs >= ideal);
-        prop_assert!(segs <= ideal + 1);
+        assert!(segs >= ideal);
+        assert!(segs <= ideal + 1);
     }
+}
 
-    /// A gather over a subset of indices never costs more than the
-    /// full gather.
-    #[test]
-    fn gather_subset_monotone(indices in proptest::collection::vec(0usize..4_096, 1..32)) {
-        let dev = Device::v100();
-        let buf = dev.alloc_zeroed::<u32>(4_096);
+/// A gather over a subset of indices never costs more than the full
+/// gather.
+#[test]
+fn gather_subset_monotone() {
+    let mut rng = Rng::seed_from_u64(0x51B_0002);
+    let dev = Device::v100();
+    let buf = dev.alloc_zeroed::<u32>(4_096);
+    for _ in 0..128 {
+        let n = rng.gen_range(1usize..32);
+        let indices: Vec<usize> = (0..n).map(|_| rng.gen_range(0usize..4_096)).collect();
         let full = dev
             .launch(KernelConfig::new("full", 1, 32), |ctx| {
                 let _ = ctx.warp_gather(&buf, &indices);
@@ -38,32 +49,40 @@ proptest! {
             })
             .traffic
             .global_read_segments;
-        prop_assert!(half <= full);
+        assert!(half <= full);
     }
+}
 
-    /// Kernel time is monotone in traffic: more bytes never run faster.
-    #[test]
-    fn time_monotone_in_traffic(reads in 1usize..64) {
-        let dev = Device::v100();
-        let buf = dev.alloc_zeroed::<u32>(1 << 16);
-        let time = |n: usize| {
-            dev.reset_timeline();
-            dev.launch(KernelConfig::new("k", 64, 128), |ctx| {
-                for r in 0..n {
-                    let _ = ctx.read_coalesced(&buf, (r * 128) % 32_768, 128);
-                }
-            });
-            dev.elapsed_seconds()
-        };
-        prop_assert!(time(reads + 1) >= time(reads));
+/// Kernel time is monotone in traffic: more bytes never run faster.
+#[test]
+fn time_monotone_in_traffic() {
+    let mut rng = Rng::seed_from_u64(0x51B_0003);
+    let dev = Device::v100();
+    let buf = dev.alloc_zeroed::<u32>(1 << 16);
+    let time = |n: usize| {
+        dev.reset_timeline();
+        dev.launch(KernelConfig::new("k", 64, 128), |ctx| {
+            for r in 0..n {
+                let _ = ctx.read_coalesced(&buf, (r * 128) % 32_768, 128);
+            }
+        });
+        dev.elapsed_seconds()
+    };
+    for _ in 0..32 {
+        let reads = rng.gen_range(1usize..64);
+        assert!(time(reads + 1) >= time(reads));
     }
+}
 
-    /// Scaled time is linear in the factor (minus the fixed launch
-    /// overhead).
-    #[test]
-    fn scaling_linearity(factor in 2.0f64..64.0) {
-        let dev = Device::v100();
-        let buf = dev.alloc_zeroed::<u32>(1 << 16);
+/// Scaled time is linear in the factor (minus the fixed launch
+/// overhead).
+#[test]
+fn scaling_linearity() {
+    let mut rng = Rng::seed_from_u64(0x51B_0004);
+    let dev = Device::v100();
+    let buf = dev.alloc_zeroed::<u32>(1 << 16);
+    for _ in 0..64 {
+        let factor = rng.gen_range(2.0f64..64.0);
         dev.reset_timeline();
         dev.launch(KernelConfig::new("k", 64, 128), |ctx| {
             let _ = ctx.read_coalesced(&buf, 0, 1 << 15);
@@ -72,15 +91,22 @@ proptest! {
         let t1 = dev.elapsed_seconds_scaled(1.0);
         let tf = dev.elapsed_seconds_scaled(factor);
         let expected = launch + (t1 - launch) * factor;
-        prop_assert!((tf - expected).abs() < 1e-12);
+        assert!((tf - expected).abs() < 1e-12);
     }
+}
 
-    /// Occupancy never increases when shared memory per block grows.
-    #[test]
-    fn occupancy_monotone_in_smem(smem in 0usize..96 * 1024) {
-        let dev = Device::v100();
-        let occ = |s: usize| dev.occupancy(&KernelConfig::new("k", 1, 128).smem_per_block(s)).fraction;
-        prop_assert!(occ(smem) >= occ(smem + 4096));
+/// Occupancy never increases when shared memory per block grows.
+#[test]
+fn occupancy_monotone_in_smem() {
+    let mut rng = Rng::seed_from_u64(0x51B_0005);
+    let dev = Device::v100();
+    let occ = |s: usize| {
+        dev.occupancy(&KernelConfig::new("k", 1, 128).smem_per_block(s))
+            .fraction
+    };
+    for _ in 0..256 {
+        let smem = rng.gen_range(0usize..96 * 1024);
+        assert!(occ(smem) >= occ(smem + 4096));
     }
 }
 
@@ -88,8 +114,14 @@ proptest! {
 fn device_params_are_v100_shaped() {
     let p = DeviceParams::v100();
     assert_eq!(p.num_sms, 80);
-    assert!(p.shared_bw > 5.0 * p.global_bw, "shared must be ~an order faster");
-    assert!(p.pcie_bw < p.global_bw / 10.0, "PCIe is the slow interconnect");
+    assert!(
+        p.shared_bw > 5.0 * p.global_bw,
+        "shared must be ~an order faster"
+    );
+    assert!(
+        p.pcie_bw < p.global_bw / 10.0,
+        "PCIe is the slow interconnect"
+    );
 }
 
 #[test]

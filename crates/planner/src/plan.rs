@@ -48,10 +48,18 @@ impl Plan {
         let mut plans = Vec::with_capacity(24);
         for rle in [false, true] {
             for delta in [false, true] {
-                for transform in [ValueTransform::None, ValueTransform::For, ValueTransform::Dict]
-                {
+                for transform in [
+                    ValueTransform::None,
+                    ValueTransform::For,
+                    ValueTransform::Dict,
+                ] {
                     for physical in [Physical::Nsf, Physical::Nsv] {
-                        plans.push(Plan { rle, delta, transform, physical });
+                        plans.push(Plan {
+                            rle,
+                            delta,
+                            transform,
+                            physical,
+                        });
                     }
                 }
             }
@@ -140,7 +148,13 @@ impl Stream {
             Physical::Nsf => PhysPayload::Nsf(Nsf::encode(&cur)),
             Physical::Nsv => PhysPayload::Nsv(Nsv::encode(&cur)),
         };
-        Stream { count: values.len(), delta_first, for_ref, dict, phys }
+        Stream {
+            count: values.len(),
+            delta_first,
+            for_ref,
+            dict,
+            phys,
+        }
     }
 
     fn compressed_bytes(&self) -> u64 {
@@ -149,8 +163,8 @@ impl Stream {
             PhysPayload::Nsv(e) => e.compressed_bytes(),
         };
         let dict = self.dict.as_ref().map_or(0, |t| t.len() as u64 * 4);
-        let scalars = u64::from(self.delta_first.is_some()) * 4
-            + u64::from(self.for_ref.is_some()) * 4;
+        let scalars =
+            u64::from(self.delta_first.is_some()) * 4 + u64::from(self.for_ref.is_some()) * 4;
         phys + dict + scalars
     }
 
@@ -312,30 +326,34 @@ impl PlannedDevice {
             };
             let grid = 160.min(entries.div_ceil(128)).max(1);
             let per_block = entries.div_ceil(grid);
-            dev.launch(KernelConfig::new(name, grid, 128).regs_per_thread(26), |ctx| {
-                let lo = ctx.block_id() * per_block;
-                let len = per_block.min(entries.saturating_sub(lo));
-                if len == 0 {
-                    return;
-                }
-                if p == 0 {
-                    // Physical pass: read compressed bytes proportional
-                    // to this block's share.
-                    let bytes = self.compressed.len();
-                    let blo = lo * bytes / entries;
-                    let bhi = ((lo + len) * bytes / entries).min(bytes);
-                    if bhi > blo {
-                        let _ = ctx.read_coalesced(&self.compressed, blo, bhi - blo);
+            dev.launch(
+                KernelConfig::new(name, grid, 128).regs_per_thread(26),
+                |ctx| {
+                    let lo = ctx.block_id() * per_block;
+                    let len = per_block.min(entries.saturating_sub(lo));
+                    if len == 0 {
+                        return;
                     }
-                } else {
-                    let _ = ctx.read_coalesced(&intermediate, lo, len);
-                }
-                ctx.add_int_ops(len as u64 * 2);
-                let vals = vec![0i32; len];
-                ctx.write_coalesced(&mut intermediate, lo, &vals);
-            });
+                    if p == 0 {
+                        // Physical pass: read compressed bytes proportional
+                        // to this block's share.
+                        let bytes = self.compressed.len();
+                        let blo = lo * bytes / entries;
+                        let bhi = ((lo + len) * bytes / entries).min(bytes);
+                        if bhi > blo {
+                            let _ = ctx.read_coalesced(&self.compressed, blo, bhi - blo);
+                        }
+                    } else {
+                        let _ = ctx.read_coalesced(&intermediate, lo, len);
+                    }
+                    ctx.add_int_ops(len as u64 * 2);
+                    let vals = vec![0i32; len];
+                    ctx.write_coalesced(&mut intermediate, lo, &vals);
+                },
+            );
         }
-        out.as_mut_slice_unaccounted().copy_from_slice(&self.decoded);
+        out.as_mut_slice_unaccounted()
+            .copy_from_slice(&self.decoded);
         // Final pass already wrote the output; move the values in.
         let _ = intermediate;
         out
@@ -351,7 +369,9 @@ mod tests {
         let datasets: Vec<Vec<i32>> = vec![
             (0..10_000).collect(),
             (0..10_000).map(|i| i / 100).collect(),
-            (0..10_000).map(|i| ((i as u64 * 48_271) % 250) as i32).collect(),
+            (0..10_000)
+                .map(|i| ((i as u64 * 48_271) % 250) as i32)
+                .collect(),
         ];
         for values in datasets {
             let planned = PlannedColumn::encode(&values);
@@ -385,7 +405,7 @@ mod tests {
     }
 
     #[test]
-    fn cannot_beat_bitpacking_on_high_entropy(){
+    fn cannot_beat_bitpacking_on_high_entropy() {
         // Large random integers: the planner's byte-aligned vocabulary
         // bottoms out at whole bytes; GPU-FOR packs to the bit. Use a
         // real mixer — a multiplicative pattern has constant deltas,

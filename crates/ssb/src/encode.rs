@@ -172,7 +172,9 @@ impl LoColumns {
                     _ => unreachable!(),
                 },
                 StoredColumn::NvComp(payload) => QueryColumn::Plain(payload.decompress(dev)),
-                StoredColumn::GpuBp(payload) => QueryColumn::Plain(gpu_bp::decompress(dev, payload)),
+                StoredColumn::GpuBp(payload) => {
+                    QueryColumn::Plain(gpu_bp::decompress(dev, payload))
+                }
                 StoredColumn::Planner(payload) => QueryColumn::Plain(payload.decompress(dev)),
             })
             .collect()
@@ -193,12 +195,14 @@ fn reclone_device_column(
             total_count: c.total_count,
             block_starts: dev.alloc_from_slice(c.block_starts.as_slice_unaccounted()),
             data: dev.alloc_from_slice(c.data.as_slice_unaccounted()),
+            checksums: dev.alloc_from_slice(c.checksums.as_slice_unaccounted()),
         }),
         D::DFor(c) => D::DFor(tlc_core::gpu_dfor::GpuDForDevice {
             total_count: c.total_count,
             d: c.d,
             block_starts: dev.alloc_from_slice(c.block_starts.as_slice_unaccounted()),
             data: dev.alloc_from_slice(c.data.as_slice_unaccounted()),
+            checksums: dev.alloc_from_slice(c.checksums.as_slice_unaccounted()),
         }),
         D::RFor(c) => D::RFor(tlc_core::gpu_rfor::GpuRForDevice {
             total_count: c.total_count,
@@ -206,6 +210,7 @@ fn reclone_device_column(
             values_data: dev.alloc_from_slice(c.values_data.as_slice_unaccounted()),
             lengths_starts: dev.alloc_from_slice(c.lengths_starts.as_slice_unaccounted()),
             lengths_data: dev.alloc_from_slice(c.lengths_data.as_slice_unaccounted()),
+            checksums: dev.alloc_from_slice(c.checksums.as_slice_unaccounted()),
         }),
     }
 }
@@ -255,7 +260,10 @@ mod tests {
             );
             match &prepared[0] {
                 QueryColumn::Plain(b) => {
-                    assert_eq!(b.as_slice_unaccounted(), data.lineorder.column(LoColumn::Quantity));
+                    assert_eq!(
+                        b.as_slice_unaccounted(),
+                        data.lineorder.column(LoColumn::Quantity)
+                    );
                 }
                 QueryColumn::Encoded(_) => panic!("{system:?} should be plain after prepare"),
             }

@@ -15,8 +15,7 @@
 //!   repeat across a run of lines — the run structure Figure 9's
 //!   compression waterfall depends on.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use tlc_rng::Rng;
 
 /// Number of regions after dictionary encoding.
 pub const REGIONS: usize = 5;
@@ -247,7 +246,7 @@ fn make_dates() -> DateDim {
     d
 }
 
-fn make_geo(n: usize, rng: &mut SmallRng) -> GeoDim {
+fn make_geo(n: usize, rng: &mut Rng) -> GeoDim {
     let mut g = GeoDim::default();
     for _ in 0..n {
         let nation = rng.gen_range(0..NATIONS as i32);
@@ -259,7 +258,7 @@ fn make_geo(n: usize, rng: &mut SmallRng) -> GeoDim {
     g
 }
 
-fn make_parts(n: usize, rng: &mut SmallRng) -> PartDim {
+fn make_parts(n: usize, rng: &mut Rng) -> PartDim {
     let mut p = PartDim::default();
     for _ in 0..n {
         let mfgr = rng.gen_range(0..5);
@@ -276,7 +275,7 @@ impl SsbData {
     /// Generate a database at scale factor `sf` (SF 1 ≈ 6 M lineorder
     /// rows). Deterministic for a given `sf`.
     pub fn generate(sf: f64) -> Self {
-        let mut rng = SmallRng::seed_from_u64(0x55B_2022);
+        let mut rng = Rng::seed_from_u64(0x55B_2022);
         let date = make_dates();
         let n_cust = ((30_000.0 * sf) as usize).max(100);
         let n_supp = ((2_000.0 * sf) as usize).max(20);
@@ -312,7 +311,8 @@ impl SsbData {
                 lo.tax.push(rng.gen_range(0..=8));
                 let discount = rng.gen_range(0..=10);
                 lo.discount.push(discount);
-                let commit_idx = (date_idx + rng.gen_range(30..=90)).min(date.datekey.len() - 1);
+                let commit_idx =
+                    (date_idx + rng.gen_range(30usize..=90)).min(date.datekey.len() - 1);
                 lo.commitdate.push(date.datekey[commit_idx]);
                 let extendedprice = rng.gen_range(90_000..=5_500_000) / 100;
                 lo.extendedprice.push(extendedprice);
@@ -321,7 +321,14 @@ impl SsbData {
             }
         }
         lo.len = lo.orderkey.len();
-        SsbData { sf, lineorder: lo, date, customer, supplier, part }
+        SsbData {
+            sf,
+            lineorder: lo,
+            date,
+            customer,
+            supplier,
+            part,
+        }
     }
 
     /// Date-dimension byte footprint read when building its hash table.
@@ -395,8 +402,16 @@ mod tests {
             }
             col.len() as f64 / r as f64
         };
-        assert!(runs(&lo.orderkey) > 3.0, "orderkey ARL = {}", runs(&lo.orderkey));
-        assert!(runs(&lo.quantity) < 1.5, "quantity ARL = {}", runs(&lo.quantity));
+        assert!(
+            runs(&lo.orderkey) > 3.0,
+            "orderkey ARL = {}",
+            runs(&lo.orderkey)
+        );
+        assert!(
+            runs(&lo.quantity) < 1.5,
+            "quantity ARL = {}",
+            runs(&lo.quantity)
+        );
     }
 
     #[test]
@@ -421,9 +436,18 @@ mod tests {
     fn fk_ranges_valid() {
         let data = SsbData::generate(0.01);
         let lo = &data.lineorder;
-        assert!(lo.custkey.iter().all(|&k| k >= 1 && k as usize <= data.customer.city.len()));
-        assert!(lo.suppkey.iter().all(|&k| k >= 1 && k as usize <= data.supplier.city.len()));
-        assert!(lo.partkey.iter().all(|&k| k >= 1 && k as usize <= data.part.mfgr.len()));
+        assert!(lo
+            .custkey
+            .iter()
+            .all(|&k| k >= 1 && k as usize <= data.customer.city.len()));
+        assert!(lo
+            .suppkey
+            .iter()
+            .all(|&k| k >= 1 && k as usize <= data.supplier.city.len()));
+        assert!(lo
+            .partkey
+            .iter()
+            .all(|&k| k >= 1 && k as usize <= data.part.mfgr.len()));
         let dates: std::collections::HashSet<i32> = data.date.datekey.iter().copied().collect();
         assert!(lo.orderdate.iter().all(|d| dates.contains(d)));
         assert!(lo.commitdate.iter().all(|d| dates.contains(d)));
@@ -439,15 +463,35 @@ mod tests {
 
 /// dbgen's 25 nations, in dictionary-id order.
 pub const NATION_NAMES: [&str; NATIONS] = [
-    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY",
-    "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE",
-    "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "ALGERIA",
+    "ARGENTINA",
+    "BRAZIL",
+    "CANADA",
+    "EGYPT",
+    "ETHIOPIA",
+    "FRANCE",
+    "GERMANY",
+    "INDIA",
+    "INDONESIA",
+    "IRAN",
+    "IRAQ",
+    "JAPAN",
+    "JORDAN",
+    "KENYA",
+    "MOROCCO",
+    "MOZAMBIQUE",
+    "PERU",
+    "CHINA",
+    "ROMANIA",
+    "SAUDI ARABIA",
+    "VIETNAM",
+    "RUSSIA",
+    "UNITED KINGDOM",
     "UNITED STATES",
 ];
 
 /// The five regions, in dictionary-id order.
-pub const REGION_NAMES: [&str; REGIONS] =
-    ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+pub const REGION_NAMES: [&str; REGIONS] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
 
 /// Render a nation id as its dbgen string.
 pub fn nation_name(id: i32) -> &'static str {
@@ -507,8 +551,12 @@ mod string_tests {
         // The full load path the paper describes: render strings,
         // dictionary-encode them, compress the codes, decode back.
         let data = SsbData::generate(0.01);
-        let strings: Vec<&str> =
-            data.supplier.nation.iter().map(|&n| nation_name(n)).collect();
+        let strings: Vec<&str> = data
+            .supplier
+            .nation
+            .iter()
+            .map(|&n| nation_name(n))
+            .collect();
         let col = DictStringColumn::encode(&strings);
         assert_eq!(col.decode(), strings);
         // Predicate rewriting: every literal resolves to exactly one code.

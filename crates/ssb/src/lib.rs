@@ -20,13 +20,19 @@
 //!   that don't.
 //! * [`reference`] — a scalar CPU executor; every query result is
 //!   verified against it in the test suite.
+//! * [`resilience`] — bounded retries, shard failover and CPU fallback
+//!   over the fault model in [`tlc_gpu_sim::FaultPlan`], with a
+//!   [`resilience::ResilienceReport`] reconciling injected faults
+//!   against recovery actions.
 
 pub mod encode;
 pub mod fleet;
 pub mod gen;
 pub mod queries;
 pub mod reference;
+pub mod resilience;
 
 pub use encode::{LoColumns, System};
 pub use gen::{LoColumn, SsbData};
-pub use queries::{run_query, QueryId};
+pub use queries::{run_query, try_run_query, QueryId};
+pub use resilience::{run_query_sharded_resilient, ResilienceReport, ResilientRun};

@@ -12,6 +12,7 @@
 //! selectivities match the SSB spec (e.g. one region = 1/5, one
 //! category = 1/25, eight brands = 8/1000).
 
+use tlc_core::DecodeError;
 use tlc_crystal::exec::{fused_config, materialize};
 use tlc_crystal::{DenseTable, GroupBySum, QueryColumn, ScalarSum};
 use tlc_gpu_sim::{Device, GlobalBuffer};
@@ -27,29 +28,55 @@ pub const YEARS: usize = 7;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum QueryId {
-    Q11, Q12, Q13,
-    Q21, Q22, Q23,
-    Q31, Q32, Q33, Q34,
-    Q41, Q42, Q43,
+    Q11,
+    Q12,
+    Q13,
+    Q21,
+    Q22,
+    Q23,
+    Q31,
+    Q32,
+    Q33,
+    Q34,
+    Q41,
+    Q42,
+    Q43,
 }
 
 impl QueryId {
     /// All queries in benchmark order.
     pub const ALL: [QueryId; 13] = [
-        QueryId::Q11, QueryId::Q12, QueryId::Q13,
-        QueryId::Q21, QueryId::Q22, QueryId::Q23,
-        QueryId::Q31, QueryId::Q32, QueryId::Q33, QueryId::Q34,
-        QueryId::Q41, QueryId::Q42, QueryId::Q43,
+        QueryId::Q11,
+        QueryId::Q12,
+        QueryId::Q13,
+        QueryId::Q21,
+        QueryId::Q22,
+        QueryId::Q23,
+        QueryId::Q31,
+        QueryId::Q32,
+        QueryId::Q33,
+        QueryId::Q34,
+        QueryId::Q41,
+        QueryId::Q42,
+        QueryId::Q43,
     ];
 
     /// Display name ("q1.1" …).
     pub fn name(&self) -> &'static str {
         match self {
-            QueryId::Q11 => "q1.1", QueryId::Q12 => "q1.2", QueryId::Q13 => "q1.3",
-            QueryId::Q21 => "q2.1", QueryId::Q22 => "q2.2", QueryId::Q23 => "q2.3",
-            QueryId::Q31 => "q3.1", QueryId::Q32 => "q3.2", QueryId::Q33 => "q3.3",
+            QueryId::Q11 => "q1.1",
+            QueryId::Q12 => "q1.2",
+            QueryId::Q13 => "q1.3",
+            QueryId::Q21 => "q2.1",
+            QueryId::Q22 => "q2.2",
+            QueryId::Q23 => "q2.3",
+            QueryId::Q31 => "q3.1",
+            QueryId::Q32 => "q3.2",
+            QueryId::Q33 => "q3.3",
             QueryId::Q34 => "q3.4",
-            QueryId::Q41 => "q4.1", QueryId::Q42 => "q4.2", QueryId::Q43 => "q4.3",
+            QueryId::Q41 => "q4.1",
+            QueryId::Q42 => "q4.2",
+            QueryId::Q43 => "q4.3",
         }
     }
 
@@ -164,7 +191,9 @@ pub(crate) fn spec(q: QueryId) -> QuerySpec {
             cust: |_, _| Some(0),
             supp: |d, r| (d.supplier.region[r] == 1).then_some(0),
             part: |d, r| {
-                (260..=267).contains(&d.part.brand1[r]).then_some(d.part.brand1[r])
+                (260..=267)
+                    .contains(&d.part.brand1[r])
+                    .then_some(d.part.brand1[r])
             },
             qty_pred: |_| true,
             disc_pred: |_| true,
@@ -203,12 +232,8 @@ pub(crate) fn spec(q: QueryId) -> QuerySpec {
         },
         QueryId::Q33 => QuerySpec {
             date: |d, r| (d.date.year[r] <= 1997).then_some(yidx(d, r)),
-            cust: |d, r| {
-                matches!(d.customer.city[r], 40 | 44).then_some(d.customer.city[r])
-            },
-            supp: |d, r| {
-                matches!(d.supplier.city[r], 40 | 44).then_some(d.supplier.city[r])
-            },
+            cust: |d, r| matches!(d.customer.city[r], 40 | 44).then_some(d.customer.city[r]),
+            supp: |d, r| matches!(d.supplier.city[r], 40 | 44).then_some(d.supplier.city[r]),
             part: |_, _| Some(0),
             qty_pred: |_| true,
             disc_pred: |_| true,
@@ -217,12 +242,8 @@ pub(crate) fn spec(q: QueryId) -> QuerySpec {
         },
         QueryId::Q34 => QuerySpec {
             date: |d, r| (d.date.yearmonthnum[r] == 199_712).then_some(yidx(d, r)),
-            cust: |d, r| {
-                matches!(d.customer.city[r], 40 | 44).then_some(d.customer.city[r])
-            },
-            supp: |d, r| {
-                matches!(d.supplier.city[r], 40 | 44).then_some(d.supplier.city[r])
-            },
+            cust: |d, r| matches!(d.customer.city[r], 40 | 44).then_some(d.customer.city[r]),
+            supp: |d, r| matches!(d.supplier.city[r], 40 | 44).then_some(d.supplier.city[r]),
             part: |_, _| Some(0),
             qty_pred: |_| true,
             disc_pred: |_| true,
@@ -240,32 +261,24 @@ pub(crate) fn spec(q: QueryId) -> QuerySpec {
             group: |cn, _, _, y| y as usize * NATIONS + cn as usize,
         },
         QueryId::Q42 => QuerySpec {
-            date: |d, r| {
-                matches!(d.date.year[r], 1997 | 1998).then_some(yidx(d, r))
-            },
+            date: |d, r| matches!(d.date.year[r], 1997 | 1998).then_some(yidx(d, r)),
             cust: |d, r| (d.customer.region[r] == 0).then_some(0),
             supp: |d, r| (d.supplier.region[r] == 0).then_some(d.supplier.nation[r]),
-            part: |d, r| {
-                matches!(d.part.mfgr[r], 0 | 1).then_some(d.part.category[r])
-            },
+            part: |d, r| matches!(d.part.mfgr[r], 0 | 1).then_some(d.part.category[r]),
             qty_pred: |_| true,
             disc_pred: |_| true,
             groups: YEARS * NATIONS * 25,
             group: |_, sn, cat, y| (y as usize * NATIONS + sn as usize) * 25 + cat as usize,
         },
         QueryId::Q43 => QuerySpec {
-            date: |d, r| {
-                matches!(d.date.year[r], 1997 | 1998).then_some(yidx(d, r))
-            },
+            date: |d, r| matches!(d.date.year[r], 1997 | 1998).then_some(yidx(d, r)),
             cust: |d, r| (d.customer.region[r] == 0).then_some(0),
             supp: |d, r| (d.supplier.nation[r] == 3).then_some(d.supplier.city[r]),
             part: |d, r| (d.part.category[r] == 3).then_some(d.part.brand1[r]),
             qty_pred: |_| true,
             disc_pred: |_| true,
             groups: YEARS * CITIES * BRANDS,
-            group: |_, sc, brand, y| {
-                (y as usize * CITIES + sc as usize) * BRANDS + brand as usize
-            },
+            group: |_, sc, brand, y| (y as usize * CITIES + sc as usize) * BRANDS + brand as usize,
         },
     }
 }
@@ -277,16 +290,20 @@ fn is_flight1(q: QueryId) -> bool {
 fn uses_cust(q: QueryId) -> bool {
     matches!(
         q,
-        QueryId::Q31 | QueryId::Q32 | QueryId::Q33 | QueryId::Q34
-            | QueryId::Q41 | QueryId::Q42 | QueryId::Q43
+        QueryId::Q31
+            | QueryId::Q32
+            | QueryId::Q33
+            | QueryId::Q34
+            | QueryId::Q41
+            | QueryId::Q42
+            | QueryId::Q43
     )
 }
 
 fn uses_part(q: QueryId) -> bool {
     matches!(
         q,
-        QueryId::Q21 | QueryId::Q22 | QueryId::Q23
-            | QueryId::Q41 | QueryId::Q42 | QueryId::Q43
+        QueryId::Q21 | QueryId::Q22 | QueryId::Q23 | QueryId::Q41 | QueryId::Q42 | QueryId::Q43
     )
 }
 
@@ -296,38 +313,70 @@ fn uses_supp(q: QueryId) -> bool {
 
 /// Build the dimension hash tables a query needs (counts as part of
 /// the measured query, as in Crystal).
-fn build_tables(dev: &Device, data: &SsbData, q: QueryId) -> Tables {
+fn build_tables(dev: &Device, data: &SsbData, q: QueryId) -> Result<Tables, DecodeError> {
     let s = spec(q);
     let date_rows: Vec<(i32, Option<i32>)> = (0..data.date.datekey.len())
         .map(|r| (data.date.datekey[r], (s.date)(data, r)))
         .collect();
-    let date = DenseTable::build(
+    let date = DenseTable::try_build(
         dev,
         "date",
         data.date.datekey[0],
         *data.date.datekey.last().expect("non-empty"),
         &date_rows,
         data.date_dim_bytes(),
-    );
-    let cust = uses_cust(q).then(|| {
+    )?;
+    let cust = if uses_cust(q) {
         let rows: Vec<(i32, Option<i32>)> = (0..data.customer.city.len())
             .map(|r| (r as i32 + 1, (s.cust)(data, r)))
             .collect();
-        DenseTable::build(dev, "customer", 1, rows.len() as i32, &rows, data.customer_dim_bytes())
-    });
-    let supp = uses_supp(q).then(|| {
+        Some(DenseTable::try_build(
+            dev,
+            "customer",
+            1,
+            rows.len() as i32,
+            &rows,
+            data.customer_dim_bytes(),
+        )?)
+    } else {
+        None
+    };
+    let supp = if uses_supp(q) {
         let rows: Vec<(i32, Option<i32>)> = (0..data.supplier.city.len())
             .map(|r| (r as i32 + 1, (s.supp)(data, r)))
             .collect();
-        DenseTable::build(dev, "supplier", 1, rows.len() as i32, &rows, data.supplier_dim_bytes())
-    });
-    let part = uses_part(q).then(|| {
+        Some(DenseTable::try_build(
+            dev,
+            "supplier",
+            1,
+            rows.len() as i32,
+            &rows,
+            data.supplier_dim_bytes(),
+        )?)
+    } else {
+        None
+    };
+    let part = if uses_part(q) {
         let rows: Vec<(i32, Option<i32>)> = (0..data.part.mfgr.len())
             .map(|r| (r as i32 + 1, (s.part)(data, r)))
             .collect();
-        DenseTable::build(dev, "part", 1, rows.len() as i32, &rows, data.part_dim_bytes())
-    });
-    Tables { date, cust, supp, part }
+        Some(DenseTable::try_build(
+            dev,
+            "part",
+            1,
+            rows.len() as i32,
+            &rows,
+            data.part_dim_bytes(),
+        )?)
+    } else {
+        None
+    };
+    Ok(Tables {
+        date,
+        cust,
+        supp,
+        part,
+    })
 }
 
 struct Tables {
@@ -343,45 +392,70 @@ struct Tables {
 /// The caller brackets this with `dev.reset_timeline()` /
 /// `dev.elapsed_seconds()` to measure; decompression kernels for
 /// non-inline systems run inside.
-pub fn run_query(
+pub fn run_query(dev: &Device, data: &SsbData, cols: &LoColumns, q: QueryId) -> Vec<(u64, u64)> {
+    try_run_query(dev, data, cols, q).unwrap_or_else(|e| panic!("{} failed: {e}", q.name()))
+}
+
+/// Fallible variant of [`run_query`]: tile corruption or a device
+/// fault surfaces as a typed [`DecodeError`] instead of a panic. The
+/// resilient executor ([`crate::resilience`]) builds on this.
+pub fn try_run_query(
     dev: &Device,
     data: &SsbData,
     cols: &LoColumns,
     q: QueryId,
-) -> Vec<(u64, u64)> {
+) -> Result<Vec<(u64, u64)>, DecodeError> {
     if cols.system == System::OmniSci {
-        return run_materialized(dev, data, cols, q);
+        return Ok(run_materialized(dev, data, cols, q));
     }
     let prepared = cols.prepare(dev, q.columns());
-    let tables = build_tables(dev, data, q);
+    let tables = build_tables(dev, data, q)?;
     let s = spec(q);
 
     if is_flight1(q) {
-        let sum = fused_flight1(dev, &prepared, &tables, &s);
-        return if sum == 0 { vec![] } else { vec![(0, sum)] };
+        let sum = fused_flight1(dev, &prepared, &tables, &s)?;
+        return Ok(if sum == 0 { vec![] } else { vec![(0, sum)] });
     }
-    let agg = fused_join_flight(dev, q, &prepared, &tables, &s);
+    let agg = fused_join_flight(dev, q, &prepared, &tables, &s)?;
     let mut out: Vec<(u64, u64)> = agg.non_zero().iter().map(|&(g, v)| (g as u64, v)).collect();
     out.sort_unstable();
-    out
+    Ok(out)
 }
 
 /// Flight 1: date join + fact predicates + scalar sum of
 /// `extendedprice * discount`.
-fn fused_flight1(dev: &Device, cols: &[QueryColumn], tables: &Tables, s: &QuerySpec) -> u64 {
+fn fused_flight1(
+    dev: &Device,
+    cols: &[QueryColumn],
+    tables: &Tables,
+    s: &QuerySpec,
+) -> Result<u64, DecodeError> {
     let refs: Vec<&QueryColumn> = cols.iter().collect();
     let cfg = fused_config("ssb_q1_fused", &refs, 4);
     let mut sum = ScalarSum::new(dev);
     let (mut od, mut qt, mut dc, mut ep) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
     let mut hits = Vec::new();
-    dev.launch(cfg, |ctx| {
+    let mut failed: Option<DecodeError> = None;
+    dev.try_launch(cfg, |ctx| {
+        if failed.is_some() {
+            return;
+        }
         let t = ctx.block_id();
-        let n = cols[0].load_tile(ctx, t, &mut od);
-        cols[1].load_tile(ctx, t, &mut qt);
-        cols[2].load_tile(ctx, t, &mut dc);
-        cols[3].load_tile(ctx, t, &mut ep);
-        let sel: Vec<bool> =
-            (0..n).map(|i| (s.qty_pred)(qt[i]) && (s.disc_pred)(dc[i])).collect();
+        let loads = cols[0]
+            .load_tile(ctx, t, &mut od)
+            .and_then(|n| cols[1].load_tile(ctx, t, &mut qt).map(|_| n))
+            .and_then(|n| cols[2].load_tile(ctx, t, &mut dc).map(|_| n))
+            .and_then(|n| cols[3].load_tile(ctx, t, &mut ep).map(|_| n));
+        let n = match loads {
+            Ok(n) => n,
+            Err(e) => {
+                failed = Some(e);
+                return;
+            }
+        };
+        let sel: Vec<bool> = (0..n)
+            .map(|i| (s.qty_pred)(qt[i]) && (s.disc_pred)(dc[i]))
+            .collect();
         ctx.add_int_ops(n as u64 * 3);
         tables.date.probe(ctx, &od[..n], &sel, &mut hits);
         let local: u64 = (0..n)
@@ -390,8 +464,12 @@ fn fused_flight1(dev: &Device, cols: &[QueryColumn], tables: &Tables, s: &QueryS
             .sum();
         ctx.add_int_ops(n as u64 * 2);
         sum.add_tile(ctx, std::iter::once(local));
-    });
-    sum.value()
+    })
+    .map_err(DecodeError::Launch)?;
+    if let Some(e) = failed {
+        return Err(e);
+    }
+    Ok(sum.value())
 }
 
 /// Flights 2–4: dimension joins + group-by aggregation. The column
@@ -402,24 +480,37 @@ fn fused_join_flight(
     cols: &[QueryColumn],
     tables: &Tables,
     s: &QuerySpec,
-) -> GroupBySum {
+) -> Result<GroupBySum, DecodeError> {
     let refs: Vec<&QueryColumn> = cols.iter().collect();
     let cfg = fused_config("ssb_join_fused", &refs, cols.len());
     let mut agg = GroupBySum::new(dev, s.groups);
     let is_q4 = cols.len() == 6;
     let mut bufs: Vec<Vec<i32>> = vec![Vec::new(); cols.len()];
     let (mut ch, mut sh, mut ph, mut dh) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
-    dev.launch(cfg, |ctx| {
+    let mut failed: Option<DecodeError> = None;
+    dev.try_launch(cfg, |ctx| {
+        if failed.is_some() {
+            return;
+        }
         let t = ctx.block_id();
         let mut n = 0;
         for (c, buf) in cols.iter().zip(bufs.iter_mut()) {
-            n = c.load_tile(ctx, t, buf);
+            match c.load_tile(ctx, t, buf) {
+                Ok(len) => n = len,
+                Err(e) => {
+                    failed = Some(e);
+                    return;
+                }
+            }
         }
         let mut sel = vec![true; n];
 
         // Column positions within this query's column list.
         let cix = |c: LoColumn| {
-            q.columns().iter().position(|&x| x == c).expect("column present")
+            q.columns()
+                .iter()
+                .position(|&x| x == c)
+                .expect("column present")
         };
 
         // Probe most-selective dimensions first; payload defaults cover
@@ -429,7 +520,11 @@ fn fused_join_flight(
         let mut ppay = vec![0i32; n];
         if uses_cust(q) {
             let keys = &bufs[cix(LoColumn::CustKey)][..n];
-            tables.cust.as_ref().expect("cust table").probe(ctx, keys, &sel, &mut ch);
+            tables
+                .cust
+                .as_ref()
+                .expect("cust table")
+                .probe(ctx, keys, &sel, &mut ch);
             for i in 0..n {
                 match ch[i] {
                     Some(p) if sel[i] => cpay[i] = p,
@@ -439,7 +534,11 @@ fn fused_join_flight(
         }
         {
             let keys = &bufs[cix(LoColumn::SuppKey)][..n];
-            tables.supp.as_ref().expect("supp table").probe(ctx, keys, &sel, &mut sh);
+            tables
+                .supp
+                .as_ref()
+                .expect("supp table")
+                .probe(ctx, keys, &sel, &mut sh);
             for i in 0..n {
                 match sh[i] {
                     Some(p) if sel[i] => spay[i] = p,
@@ -449,7 +548,11 @@ fn fused_join_flight(
         }
         if uses_part(q) {
             let keys = &bufs[cix(LoColumn::PartKey)][..n];
-            tables.part.as_ref().expect("part table").probe(ctx, keys, &sel, &mut ph);
+            tables
+                .part
+                .as_ref()
+                .expect("part table")
+                .probe(ctx, keys, &sel, &mut ph);
             for i in 0..n {
                 match ph[i] {
                     Some(p) if sel[i] => ppay[i] = p,
@@ -461,7 +564,11 @@ fn fused_join_flight(
         tables.date.probe(ctx, dates, &sel, &mut dh);
 
         let measure = &bufs[cix(LoColumn::Revenue)][..n];
-        let cost = if is_q4 { Some(&bufs[cix(LoColumn::SupplyCost)][..n]) } else { None };
+        let cost = if is_q4 {
+            Some(&bufs[cix(LoColumn::SupplyCost)][..n])
+        } else {
+            None
+        };
         let mut pairs = Vec::new();
         for i in 0..n {
             if !sel[i] {
@@ -477,18 +584,17 @@ fn fused_join_flight(
         }
         ctx.add_int_ops(n as u64 * 4);
         agg.add_tile(ctx, &pairs);
-    });
-    agg
+    })
+    .map_err(DecodeError::Launch)?;
+    if let Some(e) = failed {
+        return Err(e);
+    }
+    Ok(agg)
 }
 
 /// OmniSci model: the same query logic, one materializing kernel per
 /// operator (no tiles, no inlining, no compression).
-fn run_materialized(
-    dev: &Device,
-    data: &SsbData,
-    cols: &LoColumns,
-    q: QueryId,
-) -> Vec<(u64, u64)> {
+fn run_materialized(dev: &Device, data: &SsbData, cols: &LoColumns, q: QueryId) -> Vec<(u64, u64)> {
     let prepared = cols.prepare(dev, q.columns());
     let bufs: Vec<&GlobalBuffer<i32>> = prepared
         .iter()
@@ -497,7 +603,9 @@ fn run_materialized(
             QueryColumn::Encoded(_) => unreachable!("OmniSci stores plain columns"),
         })
         .collect();
-    let tables = build_tables(dev, data, q);
+    // OmniSci's operator-at-a-time path models a healthy device; a
+    // fault here is unrecoverable by design.
+    let tables = build_tables(dev, data, q).expect("OmniSci table build");
     let s = spec(q);
 
     if is_flight1(q) {
@@ -506,20 +614,18 @@ fn run_materialized(
         let sel_qd = materialize::filter(dev, "oms_f_disc", bufs[2], Some(&sel_q), s.disc_pred);
         let (_dpay, sel2) =
             materialize::probe(dev, "oms_probe_date", bufs[0], &tables.date, Some(&sel_qd));
-        let agg = materialize::aggregate(
-            dev,
-            "oms_agg",
-            &[bufs[3], bufs[2]],
-            &sel2,
-            1,
-            |row| (0, row[0] as u64 * row[1] as u64),
-        );
+        let agg = materialize::aggregate(dev, "oms_agg", &[bufs[3], bufs[2]], &sel2, 1, |row| {
+            (0, row[0] as u64 * row[1] as u64)
+        });
         let sum = agg.values()[0];
         return if sum == 0 { vec![] } else { vec![(0, sum)] };
     }
 
     let cix = |c: LoColumn| {
-        q.columns().iter().position(|&x| x == c).expect("column present")
+        q.columns()
+            .iter()
+            .position(|&x| x == c)
+            .expect("column present")
     };
     let mut sel: Option<GlobalBuffer<u8>> = None;
     let mut cpay_buf: Option<GlobalBuffer<i32>> = None;
@@ -592,7 +698,11 @@ fn run_materialized(
     let ppay = ppay_buf.as_ref().unwrap_or(&zero);
     let measure = bufs[cix(LoColumn::Revenue)];
     let is_q4 = prepared.len() == 6;
-    let cost = if is_q4 { Some(bufs[cix(LoColumn::SupplyCost)]) } else { None };
+    let cost = if is_q4 {
+        Some(bufs[cix(LoColumn::SupplyCost)])
+    } else {
+        None
+    };
 
     let group = s.group;
     let agg = match cost {

@@ -29,7 +29,9 @@ pub fn run_reference(data: &SsbData, q: QueryId) -> Vec<(u64, u64)> {
     let flight1 = matches!(q, QueryId::Q11 | QueryId::Q12 | QueryId::Q13);
     for i in 0..lo.len {
         let date_row = date_by_key[&lo.orderdate[i]];
-        let Some(y) = (s.date)(data, date_row) else { continue };
+        let Some(y) = (s.date)(data, date_row) else {
+            continue;
+        };
         if flight1 {
             if !(s.qty_pred)(lo.quantity[i]) || !(s.disc_pred)(lo.discount[i]) {
                 continue;
@@ -37,25 +39,32 @@ pub fn run_reference(data: &SsbData, q: QueryId) -> Vec<(u64, u64)> {
             *sums.entry(0).or_insert(0) += lo.extendedprice[i] as u64 * lo.discount[i] as u64;
             continue;
         }
-        let Some(spay) = (s.supp)(data, (lo.suppkey[i] - 1) as usize) else { continue };
+        let Some(spay) = (s.supp)(data, (lo.suppkey[i] - 1) as usize) else {
+            continue;
+        };
         let cpay = match q {
-            QueryId::Q31 | QueryId::Q32 | QueryId::Q33 | QueryId::Q34
-            | QueryId::Q41 | QueryId::Q42 | QueryId::Q43 => {
-                match (s.cust)(data, (lo.custkey[i] - 1) as usize) {
-                    Some(p) => p,
-                    None => continue,
-                }
-            }
+            QueryId::Q31
+            | QueryId::Q32
+            | QueryId::Q33
+            | QueryId::Q34
+            | QueryId::Q41
+            | QueryId::Q42
+            | QueryId::Q43 => match (s.cust)(data, (lo.custkey[i] - 1) as usize) {
+                Some(p) => p,
+                None => continue,
+            },
             _ => 0,
         };
         let ppay = match q {
-            QueryId::Q21 | QueryId::Q22 | QueryId::Q23
-            | QueryId::Q41 | QueryId::Q42 | QueryId::Q43 => {
-                match (s.part)(data, (lo.partkey[i] - 1) as usize) {
-                    Some(p) => p,
-                    None => continue,
-                }
-            }
+            QueryId::Q21
+            | QueryId::Q22
+            | QueryId::Q23
+            | QueryId::Q41
+            | QueryId::Q42
+            | QueryId::Q43 => match (s.part)(data, (lo.partkey[i] - 1) as usize) {
+                Some(p) => p,
+                None => continue,
+            },
             _ => 0,
         };
         let g = (s.group)(cpay, spay, ppay, y) as u64;

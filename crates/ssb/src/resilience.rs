@@ -1,0 +1,281 @@
+//! Retry, shard failover and CPU fallback for the sharded query path.
+//!
+//! The fault model ([`tlc_gpu_sim::FaultPlan`]) injects bit flips into
+//! encoded column words, transient kernel-launch failures and whole
+//! device loss. This module is the recovery side: every failure a query
+//! can hit surfaces as a typed [`DecodeError`] (never a panic, never a
+//! silently wrong answer — per-tile checksums reject corrupt data
+//! before any decoded value is trusted), and the executor recovers by
+//!
+//! 1. **retrying** transient launch failures in place (bounded by
+//!    [`MAX_TRANSIENT_RETRIES`]),
+//! 2. **failing the shard over** to a fresh device rebuilt from host
+//!    data when the device is lost or its resident columns are corrupt,
+//! 3. **falling back to the CPU reference executor** for the shard if
+//!    even the replacement device cannot complete the query.
+//!
+//! Every injected fault and every recovery action is tallied in a
+//! [`ResilienceReport`] so campaigns can reconcile observed errors
+//! against injected ones.
+
+use std::collections::BTreeMap;
+
+use tlc_core::DecodeError;
+use tlc_gpu_sim::{Device, FaultPlan};
+
+use crate::encode::LoColumns;
+use crate::gen::SsbData;
+use crate::queries::{try_run_query, QueryId};
+use crate::reference::run_reference;
+use crate::System;
+
+/// In-place retries before a transient failure is treated as fatal for
+/// the attempt (mirrors the usual "3 strikes" driver policy).
+pub const MAX_TRANSIENT_RETRIES: usize = 3;
+
+/// Tally of injected faults (harvested from each armed device's
+/// [`tlc_gpu_sim::FaultStats`]) and of the recovery actions taken.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResilienceReport {
+    /// Words bit-flipped at allocation time across all armed devices.
+    pub bit_flips_injected: usize,
+    /// Transient launch failures injected across all armed devices.
+    pub transient_failures_injected: usize,
+    /// Devices that went dark during the run.
+    pub devices_lost: usize,
+    /// Query attempts re-run after a transient launch failure.
+    pub transient_retries: usize,
+    /// Typed corruption rejections (checksum mismatch or malformed
+    /// structure) observed while decoding tiles.
+    pub corrupt_tiles_detected: usize,
+    /// Shards re-run on a fresh replacement device.
+    pub shards_failed_over: usize,
+    /// Shards answered by the CPU reference executor.
+    pub cpu_fallbacks: usize,
+}
+
+impl ResilienceReport {
+    /// Fold a device's injected-fault tally into the report.
+    pub fn absorb_device(&mut self, dev: &Device) {
+        if let Some(stats) = dev.fault_stats() {
+            self.bit_flips_injected += stats.bit_flips;
+            self.transient_failures_injected += stats.transient_failures;
+            self.devices_lost += usize::from(stats.device_lost);
+        }
+    }
+
+    /// Total faults injected (for "did anything actually happen in this
+    /// campaign" assertions).
+    pub fn faults_injected(&self) -> usize {
+        self.bit_flips_injected + self.transient_failures_injected + self.devices_lost
+    }
+
+    /// Total recovery actions taken.
+    pub fn recoveries(&self) -> usize {
+        self.transient_retries + self.shards_failed_over + self.cpu_fallbacks
+    }
+}
+
+impl std::fmt::Display for ResilienceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "injected: {} bit flips, {} transients, {} device(s) lost; \
+             recovered: {} retries, {} corrupt tiles detected, \
+             {} shard failovers, {} CPU fallbacks",
+            self.bit_flips_injected,
+            self.transient_failures_injected,
+            self.devices_lost,
+            self.transient_retries,
+            self.corrupt_tiles_detected,
+            self.shards_failed_over,
+            self.cpu_fallbacks,
+        )
+    }
+}
+
+/// Run `q` with bounded in-place retries on transient launch failures.
+/// Non-transient errors (corruption, device loss) are returned to the
+/// caller, who decides whether to fail over.
+pub fn run_query_checked(
+    dev: &Device,
+    data: &SsbData,
+    cols: &LoColumns,
+    q: QueryId,
+    report: &mut ResilienceReport,
+) -> Result<Vec<(u64, u64)>, DecodeError> {
+    let mut retries = 0;
+    loop {
+        match try_run_query(dev, data, cols, q) {
+            Ok(result) => return Ok(result),
+            Err(e) if e.is_transient() && retries < MAX_TRANSIENT_RETRIES => {
+                retries += 1;
+                report.transient_retries += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Result of a resilient sharded query.
+#[derive(Debug)]
+pub struct ResilientRun {
+    /// Merged `(group, sum)` pairs — identical to a fault-free run
+    /// whenever recovery succeeded.
+    pub result: Vec<(u64, u64)>,
+    /// Slowest shard's simulated time (including retries/failovers).
+    pub slowest_shard_s: f64,
+    /// Merge transfer time.
+    pub merge_s: f64,
+    /// What was injected and what it took to recover.
+    pub report: ResilienceReport,
+}
+
+/// Run `q` sharded across `shards` devices, arming shard `s`'s device
+/// with `plans[s]` (missing/`None` entries run clean), recovering per
+/// the module policy. The merged result matches the fault-free
+/// [`crate::fleet::run_query_sharded`] result whenever recovery
+/// succeeds — which it always does here, because host data stays clean
+/// and the CPU reference path cannot fail.
+pub fn run_query_sharded_resilient(
+    data: &SsbData,
+    system: System,
+    q: QueryId,
+    shards: usize,
+    scale: f64,
+    plans: &[Option<FaultPlan>],
+) -> ResilientRun {
+    let parts = data.shard(shards);
+    let mut report = ResilienceReport::default();
+    let mut merged: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut slowest = 0.0f64;
+    let mut merge_bytes = 0u64;
+    for (s, part) in parts.iter().enumerate() {
+        let plan = plans.get(s).and_then(Clone::clone);
+        let result = run_shard(part, system, q, plan, scale, &mut slowest, &mut report);
+        merge_bytes += result.len() as u64 * 16;
+        for (g, v) in result {
+            let e = merged.entry(g).or_insert(0);
+            *e = e.wrapping_add(v);
+        }
+    }
+    let merge_dev = Device::v100();
+    let merge_s = merge_dev.pcie_transfer(merge_bytes);
+    ResilientRun {
+        result: merged.into_iter().filter(|&(_, v)| v != 0).collect(),
+        slowest_shard_s: slowest,
+        merge_s,
+        report,
+    }
+}
+
+/// One shard: armed attempt, then failover to a fresh device, then CPU.
+fn run_shard(
+    part: &SsbData,
+    system: System,
+    q: QueryId,
+    plan: Option<FaultPlan>,
+    scale: f64,
+    slowest: &mut f64,
+    report: &mut ResilienceReport,
+) -> Vec<(u64, u64)> {
+    let dev = Device::v100();
+    if let Some(p) = plan {
+        dev.inject_faults(p);
+    }
+    let cols = LoColumns::build(&dev, part, system, q.columns());
+    dev.reset_timeline();
+    let outcome = run_query_checked(&dev, part, &cols, q, report);
+    *slowest = slowest.max(dev.elapsed_seconds_scaled(scale));
+    report.absorb_device(&dev);
+    let err = match outcome {
+        Ok(result) => return result,
+        Err(e) => e,
+    };
+    if matches!(
+        err,
+        DecodeError::Corrupt { .. } | DecodeError::Structure { .. }
+    ) {
+        report.corrupt_tiles_detected += 1;
+    }
+
+    // Failover: rebuild the shard's columns from (clean) host data on a
+    // fresh device and re-run.
+    report.shards_failed_over += 1;
+    let fresh = Device::v100();
+    let cols = LoColumns::build(&fresh, part, system, q.columns());
+    fresh.reset_timeline();
+    match run_query_checked(&fresh, part, &cols, q, report) {
+        Ok(result) => {
+            *slowest = slowest.max(fresh.elapsed_seconds_scaled(scale));
+            result
+        }
+        Err(_) => {
+            // Last resort: answer the shard on the CPU.
+            report.cpu_fallbacks += 1;
+            run_reference(part, q)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::run_query_sharded;
+
+    #[test]
+    fn clean_run_matches_fleet_and_reports_nothing() {
+        let data = SsbData::generate(0.01);
+        let clean = run_query_sharded(&data, System::GpuStar, QueryId::Q21, 2, 1.0);
+        let run = run_query_sharded_resilient(&data, System::GpuStar, QueryId::Q21, 2, 1.0, &[]);
+        assert_eq!(run.result, clean.result);
+        assert_eq!(run.report, ResilienceReport::default());
+    }
+
+    #[test]
+    fn transient_failures_are_retried_in_place() {
+        let data = SsbData::generate(0.01);
+        let clean = run_query_sharded(&data, System::GpuStar, QueryId::Q11, 2, 1.0);
+        let plans = vec![Some(FaultPlan {
+            transient_launch_rate: 0.2,
+            ..FaultPlan::seeded(3)
+        })];
+        let run = run_query_sharded_resilient(&data, System::GpuStar, QueryId::Q11, 2, 1.0, &plans);
+        assert_eq!(run.result, clean.result);
+        assert!(run.report.transient_failures_injected > 0);
+        assert!(run.report.transient_retries > 0);
+    }
+
+    #[test]
+    fn dead_shard_fails_over_to_fresh_device() {
+        let data = SsbData::generate(0.01);
+        let clean = run_query_sharded(&data, System::GpuStar, QueryId::Q21, 3, 1.0);
+        let plans = vec![
+            None,
+            Some(FaultPlan {
+                kill_after_launches: Some(1),
+                ..FaultPlan::seeded(0)
+            }),
+        ];
+        let run = run_query_sharded_resilient(&data, System::GpuStar, QueryId::Q21, 3, 1.0, &plans);
+        assert_eq!(run.result, clean.result);
+        assert_eq!(run.report.devices_lost, 1);
+        assert_eq!(run.report.shards_failed_over, 1);
+        assert_eq!(run.report.cpu_fallbacks, 0);
+    }
+
+    #[test]
+    fn corrupt_columns_are_detected_and_failed_over() {
+        let data = SsbData::generate(0.01);
+        let clean = run_query_sharded(&data, System::GpuStar, QueryId::Q41, 2, 1.0);
+        let plans = vec![Some(FaultPlan {
+            bitflip_rate: 1e-3,
+            ..FaultPlan::seeded(9)
+        })];
+        let run = run_query_sharded_resilient(&data, System::GpuStar, QueryId::Q41, 2, 1.0, &plans);
+        assert_eq!(run.result, clean.result);
+        assert!(run.report.bit_flips_injected > 0);
+        assert_eq!(run.report.corrupt_tiles_detected, 1);
+        assert_eq!(run.report.shards_failed_over, 1);
+    }
+}

@@ -33,10 +33,21 @@ fn group_keys_stay_in_domain() {
 fn flight1_narrows_with_each_variant() {
     // q1.1 filters one year; q1.2 one month; q1.3 one week.
     let data = data();
-    let sum = |q| run_reference(&data, q).first().map(|&(_, v)| v).unwrap_or(0);
+    let sum = |q| {
+        run_reference(&data, q)
+            .first()
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    };
     let (s11, s12, s13) = (sum(QueryId::Q11), sum(QueryId::Q12), sum(QueryId::Q13));
-    assert!(s11 > s12, "year filter must pass more than month: {s11} vs {s12}");
-    assert!(s12 > s13, "month filter must pass more than week: {s12} vs {s13}");
+    assert!(
+        s11 > s12,
+        "year filter must pass more than month: {s11} vs {s12}"
+    );
+    assert!(
+        s12 > s13,
+        "month filter must pass more than week: {s12} vs {s13}"
+    );
 }
 
 #[test]
@@ -75,7 +86,10 @@ fn per_column_footprints_track_distributions() {
     assert!(star(LoColumn::OrderKey) * 4 < star(LoColumn::SupplyCost));
     assert!(star(LoColumn::LineNumber) * 2 < star(LoColumn::ExtendedPrice));
     // Tiny-domain columns beat 4-byte storage by a wide margin.
-    assert!(star(LoColumn::Discount) * 4 < System::None.column_bytes(data.lineorder.column(LoColumn::Discount)));
+    assert!(
+        star(LoColumn::Discount) * 4
+            < System::None.column_bytes(data.lineorder.column(LoColumn::Discount))
+    );
 }
 
 #[test]

@@ -38,14 +38,18 @@ fn main() {
     let n = 500_000usize;
     let mut state = 0x9E37_79B9_u64;
     let mut next = || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (state >> 33) as i32
     };
 
     analyze("sorted primary key", &(0..n as i32).collect::<Vec<_>>());
     analyze(
         "timestamps with runs",
-        &(0..n).map(|i| 1_600_000_000 + (i / 32) as i32).collect::<Vec<_>>(),
+        &(0..n)
+            .map(|i| 1_600_000_000 + (i / 32) as i32)
+            .collect::<Vec<_>>(),
     );
     analyze(
         "uniform random 20-bit",

@@ -29,7 +29,7 @@ fn main() {
     let dev = Device::v100();
     let device_col = encoded.to_device(&dev);
     dev.reset_timeline();
-    let decoded = device_col.decompress(&dev);
+    let decoded = device_col.decompress(&dev).expect("decode");
     assert_eq!(decoded.as_slice_unaccounted(), values);
     println!(
         "tile-based decompression: {:.3} ms (model), {} kernel launch(es), {:.1} MB of global traffic",
@@ -41,6 +41,10 @@ fn main() {
     // Compare against every individual scheme.
     for scheme in Scheme::ALL {
         let col = EncodedColumn::encode_as(&values, scheme);
-        println!("  {:9} -> {:6.2} bits/int", scheme.name(), col.bits_per_int());
+        println!(
+            "  {:9} -> {:6.2} bits/int",
+            scheme.name(),
+            col.bits_per_int()
+        );
     }
 }

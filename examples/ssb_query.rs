@@ -17,7 +17,10 @@ fn main() {
 
     let dev = Device::v100();
     let q = QueryId::Q21;
-    println!("\nrunning {} (join part ⋈ supplier ⋈ date, group by year & brand):", q.name());
+    println!(
+        "\nrunning {} (join part ⋈ supplier ⋈ date, group by year & brand):",
+        q.name()
+    );
 
     let mut reference = None;
     for system in [System::None, System::GpuStar, System::NvComp] {

@@ -12,7 +12,9 @@ use tlc::schemes::EncodedColumn;
 fn main() {
     // Decimal prices: fixed-point at 2 fractional digits. (Generated
     // the way a loader would parse them: integer cents / 100.)
-    let prices: Vec<f64> = (0..1_000_000).map(|i| (1999 + (i % 500) * 5) as f64 / 100.0).collect();
+    let prices: Vec<f64> = (0..1_000_000)
+        .map(|i| (1999 + (i % 500) * 5) as f64 / 100.0)
+        .collect();
     let price_col = DecimalColumn::encode(&prices, 2).expect("exact at scale 2");
     assert_eq!(price_col.decode(), prices);
     println!(
@@ -25,7 +27,9 @@ fn main() {
 
     // String attributes: dictionary-encode, compress the codes.
     let nations = ["ARGENTINA", "BRAZIL", "CANADA", "CHINA", "FRANCE"];
-    let column: Vec<&str> = (0..1_000_000).map(|i| nations[(i / 7) % nations.len()]).collect();
+    let column: Vec<&str> = (0..1_000_000)
+        .map(|i| nations[(i / 7) % nations.len()])
+        .collect();
     let nation_col = DictStringColumn::encode(&column);
     println!(
         "nation strings: dict of {} entries, codes via {:?}, {:.2} bits/value",
@@ -51,5 +55,8 @@ fn main() {
     // Corruption is rejected, not decoded into garbage.
     let mut corrupt = bytes.clone();
     corrupt[0] ^= 0xFF;
-    println!("corrupted stream -> {}", EncodedColumn::from_bytes(&corrupt).unwrap_err());
+    println!(
+        "corrupted stream -> {}",
+        EncodedColumn::from_bytes(&corrupt).unwrap_err()
+    );
 }

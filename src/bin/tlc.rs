@@ -9,17 +9,32 @@
 //! tlc compress   <input.bin> <output.tlc> [--scheme auto|for|dfor|rfor] [--threads N]
 //! tlc decompress <input.tlc> <output.bin>
 //! tlc inspect    <input.tlc>
+//! tlc verify     <input.tlc>
+//! tlc faultsim   [--seed N]
 //! ```
+//!
+//! `verify` checks a serialized column end to end (stream digest,
+//! per-block checksums, structural validation, then a full device-side
+//! decode with tile verification) and exits non-zero on any damage.
+//! `faultsim` runs the seeded fault-injection campaign: sharded SSB
+//! queries with bit flips, transient launch failures and a killed
+//! device, asserting the recovered answers match a fault-free run.
 
 use std::process::ExitCode;
 
 use tlc::planner::{recommend_scheme, ColumnStats};
 use tlc::schemes::{EncodedColumn, Scheme};
+use tlc::sim::{Device, FaultPlan};
+use tlc::ssb::fleet::run_query_sharded;
+use tlc::ssb::{run_query_sharded_resilient, QueryId, SsbData, System};
 
 fn read_i32_column(path: &str) -> Result<Vec<i32>, String> {
     let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
     if bytes.len() % 4 != 0 {
-        return Err(format!("{path}: length {} is not a multiple of 4", bytes.len()));
+        return Err(format!(
+            "{path}: length {} is not a multiple of 4",
+            bytes.len()
+        ));
     }
     Ok(bytes
         .chunks_exact(4)
@@ -57,7 +72,11 @@ fn cmd_stats(input: &str) -> Result<(), String> {
     println!("recommendation:  {}", recommend_scheme(&stats).name());
     for scheme in Scheme::ALL {
         let col = EncodedColumn::encode_as(&values, scheme);
-        println!("  {:9} -> {:8.3} bits/int", scheme.name(), col.bits_per_int());
+        println!(
+            "  {:9} -> {:8.3} bits/int",
+            scheme.name(),
+            col.bits_per_int()
+        );
     }
     Ok(())
 }
@@ -109,7 +128,13 @@ fn cmd_decompress(input: &str, output: &str) -> Result<(), String> {
     let col = EncodedColumn::from_bytes(&bytes).map_err(|e| format!("{input}: {e}"))?;
     let values = col.decode_cpu();
     write_i32_column(output, &values)?;
-    println!("{} -> {} ({} values, {})", input, output, values.len(), col.scheme().name());
+    println!(
+        "{} -> {} ({} values, {})",
+        input,
+        output,
+        values.len(),
+        col.scheme().name()
+    );
     Ok(())
 }
 
@@ -124,6 +149,94 @@ fn cmd_inspect(input: &str) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_verify(input: &str) -> Result<(), String> {
+    let bytes = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
+    // Parsing already verifies the stream digest, the per-block
+    // checksum array and the structural invariants.
+    let col = EncodedColumn::from_bytes(&bytes).map_err(|e| format!("{input}: {e}"))?;
+    // Then decode every tile on the simulated device, which re-verifies
+    // each block checksum from shared memory before trusting any width.
+    let dev = Device::v100();
+    let decoded = col
+        .to_device(&dev)
+        .decompress(&dev)
+        .map_err(|e| format!("{input}: {e}"))?;
+    let n = decoded.as_slice_unaccounted().len();
+    println!(
+        "{input}: ok ({n} values, {}, {} bytes, stream digest + per-block checksums verified)",
+        col.scheme().name(),
+        col.compressed_bytes(),
+    );
+    Ok(())
+}
+
+fn cmd_faultsim(args: &[String]) -> Result<(), String> {
+    let mut seeds: Vec<u64> = (0..8).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                let s: u64 = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+                seeds = vec![s];
+            }
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+
+    const SHARDS: usize = 4;
+    let data = SsbData::generate(0.01);
+    let queries = [QueryId::Q11, QueryId::Q21, QueryId::Q41];
+    let clean: Vec<Vec<(u64, u64)>> = queries
+        .iter()
+        .map(|&q| run_query_sharded(&data, System::GpuStar, q, SHARDS, 1.0).result)
+        .collect();
+
+    let mut mismatches = 0usize;
+    for &seed in &seeds {
+        for (qi, &q) in queries.iter().enumerate() {
+            // Every shard sees bit flips and transient launch failures;
+            // one of the four devices dies mid-query.
+            let killed = (seed as usize) % SHARDS;
+            let plans: Vec<Option<FaultPlan>> = (0..SHARDS)
+                .map(|s| {
+                    Some(FaultPlan {
+                        bitflip_rate: 5e-4,
+                        transient_launch_rate: 0.02,
+                        kill_after_launches: (s == killed).then_some(2),
+                        ..FaultPlan::seeded(seed ^ (s as u64) << 32)
+                    })
+                })
+                .collect();
+            let run = run_query_sharded_resilient(&data, System::GpuStar, q, SHARDS, 1.0, &plans);
+            let ok = run.result == clean[qi];
+            if !ok {
+                mismatches += 1;
+            }
+            println!(
+                "seed {seed} {}: {} — {}",
+                q.name(),
+                if ok {
+                    "result matches fault-free run"
+                } else {
+                    "RESULT MISMATCH"
+                },
+                run.report,
+            );
+        }
+    }
+    if mismatches > 0 {
+        return Err(format!(
+            "{mismatches} recovered result(s) diverged from the fault-free run"
+        ));
+    }
+    println!("faultsim: all recovered results match the fault-free run");
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -131,8 +244,13 @@ fn run() -> Result<(), String> {
         Some("compress") => cmd_compress(&args[1..]),
         Some("decompress") if args.len() == 3 => cmd_decompress(&args[1], &args[2]),
         Some("inspect") if args.len() == 2 => cmd_inspect(&args[1]),
-        _ => Err("usage: tlc <stats|compress|decompress|inspect> ... (see --help in README)"
-            .to_string()),
+        Some("verify") if args.len() == 2 => cmd_verify(&args[1]),
+        Some("faultsim") => cmd_faultsim(&args[1..]),
+        _ => Err(
+            "usage: tlc <stats|compress|decompress|inspect|verify|faultsim> ... \
+             (see --help in README)"
+                .to_string(),
+        ),
     }
 }
 

@@ -25,7 +25,9 @@
 //! let col = QueryColumn::Encoded(EncodedColumn::encode_best(&values).to_device(&dev));
 //!
 //! // Fused selection: decompress tiles inline, filter, compact.
-//! let (out, count) = select(&dev, &col, |v| v < 10);
+//! // Tile checksums are verified as part of every load; a corrupt or
+//! // truncated tile surfaces as a typed `DecodeError`, never a panic.
+//! let (out, count) = select(&dev, &col, |v| v < 10).expect("column verifies");
 //! assert_eq!(count, 1_000);
 //! assert!(out.as_slice_unaccounted()[..count].iter().all(|&v| v < 10));
 //! ```

@@ -29,7 +29,12 @@ fn compress_inspect_decompress_roundtrip() {
     let values: Vec<i32> = (0..50_000).map(|i| i / 5).collect();
     write_column(&input, &values);
 
-    let st = bin().args(["compress"]).arg(&input).arg(&packed).status().expect("run");
+    let st = bin()
+        .args(["compress"])
+        .arg(&input)
+        .arg(&packed)
+        .status()
+        .expect("run");
     assert!(st.success());
 
     let out = bin().args(["inspect"]).arg(&packed).output().expect("run");
@@ -37,7 +42,12 @@ fn compress_inspect_decompress_roundtrip() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("values:       50000"), "{text}");
 
-    let st = bin().args(["decompress"]).arg(&packed).arg(&output).status().expect("run");
+    let st = bin()
+        .args(["decompress"])
+        .arg(&packed)
+        .arg(&output)
+        .status()
+        .expect("run");
     assert!(st.success());
     assert_eq!(
         std::fs::read(&input).expect("in"),

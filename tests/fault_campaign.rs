@@ -1,0 +1,149 @@
+//! Seeded fault-injection campaign (tier-1 acceptance).
+//!
+//! Invariant under any injected fault: a decode either returns the
+//! bit-exact original values or a typed [`DecodeError`] — never a
+//! panic, never a silently wrong answer — and the sharded executor
+//! recovers to the fault-free result while its report accounts for
+//! every injected fault.
+
+use tlc::schemes::{DecodeError, EncodedColumn, Scheme};
+use tlc::sim::{Device, FaultPlan};
+use tlc::ssb::fleet::run_query_sharded;
+use tlc::ssb::{run_query_sharded_resilient, QueryId, SsbData, System};
+
+fn campaign_values(seed: u64) -> Vec<i32> {
+    // Mixed shape: runs, ramps and noise, so all three schemes see
+    // non-trivial structure.
+    (0..40_000)
+        .map(|i| {
+            let x = (i as u64).wrapping_mul(0x9E37_79B9).wrapping_add(seed) >> 7;
+            match i % 3 {
+                0 => i / 50,
+                1 => (x % 97) as i32,
+                _ => i % 1000,
+            }
+        })
+        .collect()
+}
+
+/// Device-side bit flips: every outcome is Ok-and-bit-exact or a typed
+/// error. The flip rate is set so well over 1% of tiles take a hit.
+#[test]
+fn device_bit_flips_never_panic_and_never_decode_wrong() {
+    let mut corrupt_rejections = 0usize;
+    let mut flips_total = 0usize;
+    for seed in 0..8u64 {
+        let values = campaign_values(seed);
+        for scheme in Scheme::ALL {
+            let col = EncodedColumn::encode_as(&values, scheme);
+            let dev = Device::v100();
+            dev.inject_faults(FaultPlan {
+                // ~1 flip per 500 words ≈ several flips per tile's
+                // worth of encoded data.
+                bitflip_rate: 2e-3,
+                ..FaultPlan::seeded(seed)
+            });
+            let device_col = col.to_device(&dev);
+            let stats = dev.fault_stats().expect("plan armed");
+            flips_total += stats.bit_flips;
+            match device_col.decompress(&dev) {
+                Ok(out) => assert_eq!(
+                    out.as_slice_unaccounted(),
+                    values,
+                    "seed {seed} {scheme:?}: decode succeeded but values differ"
+                ),
+                Err(e) => {
+                    assert!(
+                        matches!(
+                            e,
+                            DecodeError::Corrupt { .. } | DecodeError::Structure { .. }
+                        ),
+                        "seed {seed} {scheme:?}: unexpected error kind {e}"
+                    );
+                    corrupt_rejections += 1;
+                }
+            }
+        }
+    }
+    assert!(flips_total > 0, "campaign injected nothing");
+    // At this rate corruption lands in payload words essentially every
+    // run; the campaign must actually exercise the rejection path.
+    assert!(
+        corrupt_rejections >= 12,
+        "only {corrupt_rejections} rejections across 24 runs"
+    );
+}
+
+/// Serialized-stream byte flips: `from_bytes` rejects every flipped
+/// stream with a typed error (the whole-stream digest guarantees it).
+#[test]
+fn serialized_byte_flips_are_always_rejected() {
+    let values = campaign_values(3);
+    for scheme in Scheme::ALL {
+        let bytes = EncodedColumn::encode_as(&values, scheme).to_bytes();
+        // Sampled positions (serialize.rs covers every byte exhaustively
+        // on smaller columns): header, checksum array, payload, digest.
+        for pos in (0..bytes.len()).step_by(997).chain([bytes.len() - 1]) {
+            let mut dirty = bytes.clone();
+            dirty[pos] ^= 0x40;
+            assert!(
+                EncodedColumn::from_bytes(&dirty).is_err(),
+                "{scheme:?}: flip at byte {pos} was accepted"
+            );
+        }
+    }
+}
+
+/// The acceptance campaign: bit flips on every shard, transient launch
+/// failures, one of four devices killed, seeds 0..8. The recovered
+/// result must equal the fault-free result and the report must account
+/// for the injected faults.
+#[test]
+fn sharded_campaign_recovers_to_fault_free_results() {
+    const SHARDS: usize = 4;
+    let data = SsbData::generate(0.01);
+    let queries = [QueryId::Q11, QueryId::Q21, QueryId::Q41];
+    let clean: Vec<_> = queries
+        .iter()
+        .map(|&q| run_query_sharded(&data, System::GpuStar, q, SHARDS, 1.0).result)
+        .collect();
+
+    for seed in 0..8u64 {
+        let killed = (seed as usize) % SHARDS;
+        for (qi, &q) in queries.iter().enumerate() {
+            let plans: Vec<Option<FaultPlan>> = (0..SHARDS)
+                .map(|s| {
+                    Some(FaultPlan {
+                        bitflip_rate: 5e-4,
+                        transient_launch_rate: 0.02,
+                        kill_after_launches: (s == killed).then_some(2),
+                        ..FaultPlan::seeded(seed ^ (s as u64) << 32)
+                    })
+                })
+                .collect();
+            let run = run_query_sharded_resilient(&data, System::GpuStar, q, SHARDS, 1.0, &plans);
+            assert_eq!(
+                run.result,
+                clean[qi],
+                "seed {seed} {}: recovered result diverged",
+                q.name()
+            );
+            let r = &run.report;
+            assert!(
+                r.faults_injected() > 0,
+                "seed {seed} {}: no faults",
+                q.name()
+            );
+            // Whatever was injected was handled: every failed shard was
+            // re-run somewhere, and nothing needed more than the
+            // replacement device (host data is clean).
+            assert!(
+                r.recoveries() >= r.devices_lost + r.corrupt_tiles_detected,
+                "seed {seed} {}: report does not cover the injected faults: {r}",
+                q.name()
+            );
+            assert!(r.shards_failed_over <= SHARDS);
+            assert_eq!(r.cpu_fallbacks, 0, "replacement devices are clean");
+        }
+    }
+}

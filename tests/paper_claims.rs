@@ -28,14 +28,17 @@ fn decode_close_to_memory_bandwidth() {
     let plain = NoneDevice::upload(&dev, &values);
 
     dev.reset_timeline();
-    gpu_for::decode_only(&dev, &col, ForDecodeOpts::default());
+    gpu_for::decode_only(&dev, &col, ForDecodeOpts::default()).expect("decode");
     let t_decode = dev.elapsed_seconds_scaled(500.0);
 
     dev.reset_timeline();
     tlc::baselines::none::read_only(&dev, &plain);
     let t_read = dev.elapsed_seconds_scaled(500.0);
 
-    assert!(t_decode < t_read * 1.35, "decode {t_decode} vs read {t_read}");
+    assert!(
+        t_decode < t_read * 1.35,
+        "decode {t_decode} vs read {t_read}"
+    );
 }
 
 /// Section 4.2: the base algorithm is many times slower than reading
@@ -66,7 +69,7 @@ fn d_sweep_shape() {
     let col = GpuFor::encode(&values).to_device(&dev);
     let t = |d: usize| {
         dev.reset_timeline();
-        gpu_for::decode_only(&dev, &col, ForDecodeOpts::with_d(d));
+        gpu_for::decode_only(&dev, &col, ForDecodeOpts::with_d(d)).expect("decode");
         dev.elapsed_seconds_scaled(500.0)
     };
     let (t1, t4, t16, t32) = (t(1), t(4), t(16), t(32));
@@ -89,7 +92,10 @@ fn tile_based_beats_cascading() {
     let _ = cascaded::for_cascaded(&dev, &f);
     let t_casc = dev.elapsed_seconds_scaled(250.0);
     let r_for = t_casc / t_tile;
-    assert!((1.8..3.5).contains(&r_for), "FOR cascade ratio {r_for}, paper 2.6");
+    assert!(
+        (1.8..3.5).contains(&r_for),
+        "FOR cascade ratio {r_for}, paper 2.6"
+    );
 
     let d = GpuDFor::encode(&values).to_device(&dev);
     dev.reset_timeline();
@@ -99,7 +105,10 @@ fn tile_based_beats_cascading() {
     let _ = cascaded::dfor_cascaded(&dev, &d);
     let t_casc = dev.elapsed_seconds_scaled(250.0);
     let r_dfor = t_casc / t_tile;
-    assert!((2.5..5.0).contains(&r_dfor), "DFOR cascade ratio {r_dfor}, paper 4");
+    assert!(
+        (2.5..5.0).contains(&r_dfor),
+        "DFOR cascade ratio {r_dfor}, paper 4"
+    );
 }
 
 /// Figure 9: GPU-* compresses SSB at least 2x, and nvCOMP lands within
@@ -118,7 +127,10 @@ fn ssb_compression_ratios() {
     }
     assert!(none as f64 / star as f64 > 2.0, "paper: 2.8x");
     let nv_gap = nv as f64 / star as f64;
-    assert!((1.0..1.05).contains(&nv_gap), "paper: ~2% gap, got {nv_gap}");
+    assert!(
+        (1.0..1.05).contains(&nv_gap),
+        "paper: ~2% gap, got {nv_gap}"
+    );
 }
 
 /// Figure 11: GPU-* query time beats nvCOMP / Planner / GPU-BP /

@@ -1,102 +1,143 @@
-//! Property tests over every encoding in the workspace: arbitrary and
-//! structured inputs must roundtrip losslessly, and footprint
-//! invariants must hold.
+//! Randomized property tests over every encoding in the workspace:
+//! arbitrary and structured inputs must roundtrip losslessly, and
+//! footprint invariants must hold.
+//!
+//! Formerly proptest-based; now driven by the vendored deterministic
+//! `tlc-rng` so the suite runs fully offline. Each property is checked
+//! against 64 structured random columns per seed-stable run.
 
-use proptest::prelude::*;
 use tlc::baselines::{gpu_bp::GpuBp, nsf::Nsf, nsv::Nsv, rle::Rle, simdbp128::SimdBp128};
 use tlc::planner::PlannedColumn;
 use tlc::schemes::{EncodedColumn, GpuDFor, GpuFor, GpuRFor, Scheme};
 use tlc::sim::Device;
+use tlc_rng::Rng;
 
-/// Structured generators covering the shapes the schemes target.
-fn column() -> impl Strategy<Value = Vec<i32>> {
-    prop_oneof![
+const CASES: usize = 64;
+
+/// Structured generator covering the shapes the schemes target:
+/// arbitrary, sorted, run-heavy, and small-domain columns (including
+/// empty ones).
+fn column(rng: &mut Rng) -> Vec<i32> {
+    match rng.gen_range(0u32..4) {
         // Arbitrary values, arbitrary length (incl. empty).
-        proptest::collection::vec(any::<i32>(), 0..700),
+        0 => {
+            let len = rng.gen_range(0usize..700);
+            (0..len).map(|_| rng.next_u32() as i32).collect()
+        }
         // Sorted.
-        proptest::collection::vec(0i32..1_000_000, 0..700).prop_map(|mut v| {
+        1 => {
+            let len = rng.gen_range(0usize..700);
+            let mut v: Vec<i32> = (0..len).map(|_| rng.gen_range(0i32..1_000_000)).collect();
             v.sort_unstable();
             v
-        }),
+        }
         // Runs.
-        (proptest::collection::vec((any::<i16>(), 1usize..40), 0..60)).prop_map(|runs| {
-            runs.into_iter()
-                .flat_map(|(v, l)| std::iter::repeat_n(v as i32, l))
-                .collect()
-        }),
+        2 => {
+            let runs = rng.gen_range(0usize..60);
+            let mut v = Vec::new();
+            for _ in 0..runs {
+                let val = rng.next_u32() as u16 as i16 as i32;
+                let len = rng.gen_range(1usize..40);
+                v.extend(std::iter::repeat_n(val, len));
+            }
+            v
+        }
         // Small domain.
-        proptest::collection::vec(0i32..16, 0..700),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn gpu_for_roundtrip(values in column()) {
-        let enc = GpuFor::encode(&values);
-        prop_assert_eq!(enc.decode_cpu(), values);
-    }
-
-    #[test]
-    fn gpu_dfor_roundtrip(values in column()) {
-        let enc = GpuDFor::encode(&values);
-        prop_assert_eq!(enc.decode_cpu(), values);
-    }
-
-    #[test]
-    fn gpu_rfor_roundtrip(values in column()) {
-        let enc = GpuRFor::encode(&values);
-        prop_assert_eq!(enc.decode_cpu(), values);
-    }
-
-    #[test]
-    fn device_decompression_matches_cpu(values in column()) {
-        let dev = Device::v100();
-        for scheme in Scheme::ALL {
-            let col = EncodedColumn::encode_as(&values, scheme);
-            let out = col.to_device(&dev).decompress(&dev);
-            let expected = col.decode_cpu();
-            prop_assert_eq!(out.as_slice_unaccounted(), expected.as_slice());
+        _ => {
+            let len = rng.gen_range(0usize..700);
+            (0..len).map(|_| rng.gen_range(0i32..16)).collect()
         }
     }
+}
 
-    #[test]
-    fn baselines_roundtrip(values in column()) {
-        prop_assert_eq!(Nsf::encode(&values).decode_cpu(), values.clone());
-        prop_assert_eq!(Nsv::encode(&values).decode_cpu(), values.clone());
-        prop_assert_eq!(Rle::encode(&values).decode_cpu(), values.clone());
-        prop_assert_eq!(GpuBp::encode(&values).decode_cpu(), values.clone());
-        prop_assert_eq!(SimdBp128::encode(&values).decode_cpu(), values.clone());
+fn for_each_case(tag: u64, mut check: impl FnMut(&[i32])) {
+    let mut rng = Rng::seed_from_u64(0x9E0D ^ tag);
+    for _ in 0..CASES {
+        let values = column(&mut rng);
+        check(&values);
     }
+}
 
-    #[test]
-    fn planner_roundtrip(values in column()) {
-        prop_assert_eq!(PlannedColumn::encode(&values).decode_cpu(), values);
-    }
+#[test]
+fn gpu_for_roundtrip() {
+    for_each_case(1, |values| {
+        let enc = GpuFor::encode(values);
+        assert_eq!(enc.decode_cpu(), values);
+    });
+}
 
-    #[test]
-    fn footprints_are_positive_and_bounded(values in column()) {
+#[test]
+fn gpu_dfor_roundtrip() {
+    for_each_case(2, |values| {
+        let enc = GpuDFor::encode(values);
+        assert_eq!(enc.decode_cpu(), values);
+    });
+}
+
+#[test]
+fn gpu_rfor_roundtrip() {
+    for_each_case(3, |values| {
+        let enc = GpuRFor::encode(values);
+        assert_eq!(enc.decode_cpu(), values);
+    });
+}
+
+#[test]
+fn device_decompression_matches_cpu() {
+    for_each_case(4, |values| {
+        let dev = Device::v100();
+        for scheme in Scheme::ALL {
+            let col = EncodedColumn::encode_as(values, scheme);
+            let out = col.to_device(&dev).decompress(&dev).expect("decode");
+            let expected = col.decode_cpu();
+            assert_eq!(out.as_slice_unaccounted(), expected.as_slice());
+        }
+    });
+}
+
+#[test]
+fn baselines_roundtrip() {
+    for_each_case(5, |values| {
+        assert_eq!(Nsf::encode(values).decode_cpu(), values);
+        assert_eq!(Nsv::encode(values).decode_cpu(), values);
+        assert_eq!(Rle::encode(values).decode_cpu(), values);
+        assert_eq!(GpuBp::encode(values).decode_cpu(), values);
+        assert_eq!(SimdBp128::encode(values).decode_cpu(), values);
+    });
+}
+
+#[test]
+fn planner_roundtrip() {
+    for_each_case(6, |values| {
+        assert_eq!(PlannedColumn::encode(values).decode_cpu(), values);
+    });
+}
+
+#[test]
+fn footprints_are_positive_and_bounded() {
+    for_each_case(7, |values| {
         // No scheme may exceed ~3x the uncompressed footprint plus one
         // worst-case padded block (a near-empty block of 32-bit deltas
         // costs ~550 bytes), and GPU-* must be minimal among the three.
         let raw = (values.len() as u64 * 4).max(1);
-        let best = EncodedColumn::encode_best(&values);
+        let best = EncodedColumn::encode_best(values);
         for scheme in Scheme::ALL {
-            let c = EncodedColumn::encode_as(&values, scheme);
-            prop_assert!(c.compressed_bytes() > 0);
-            prop_assert!(c.compressed_bytes() < 3 * raw + 600, "{:?}", scheme);
-            prop_assert!(best.compressed_bytes() <= c.compressed_bytes());
+            let c = EncodedColumn::encode_as(values, scheme);
+            assert!(c.compressed_bytes() > 0);
+            assert!(c.compressed_bytes() < 3 * raw + 600, "{scheme:?}");
+            assert!(best.compressed_bytes() <= c.compressed_bytes());
         }
-    }
+    });
+}
 
-    #[test]
-    fn rle_runs_are_maximal(values in column()) {
-        let rle = Rle::encode(&values);
+#[test]
+fn rle_runs_are_maximal() {
+    for_each_case(8, |values| {
+        let rle = Rle::encode(values);
         // Adjacent runs never share a value (maximality) and lengths
         // sum to the input length.
-        prop_assert!(rle.values.windows(2).all(|w| w[0] != w[1]));
+        assert!(rle.values.windows(2).all(|w| w[0] != w[1]));
         let total: u64 = rle.lengths.iter().map(|&l| l as u64).sum();
-        prop_assert_eq!(total, values.len() as u64);
-    }
+        assert_eq!(total, values.len() as u64);
+    });
 }

@@ -11,7 +11,9 @@ use tlc::sim::Device;
 fn datasets() -> Vec<(&'static str, Vec<i32>)> {
     let mut state = 1u64;
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (state >> 33) as i32
     };
     vec![
@@ -41,8 +43,12 @@ fn paper_schemes_roundtrip_cpu_and_device() {
         for scheme in Scheme::ALL {
             let col = EncodedColumn::encode_as(&values, scheme);
             assert_eq!(col.decode_cpu(), values, "{name} / {scheme:?} CPU");
-            let out = col.to_device(&dev).decompress(&dev);
-            assert_eq!(out.as_slice_unaccounted(), values, "{name} / {scheme:?} device");
+            let out = col.to_device(&dev).decompress(&dev).expect("decode");
+            assert_eq!(
+                out.as_slice_unaccounted(),
+                values,
+                "{name} / {scheme:?} device"
+            );
         }
     }
 }
