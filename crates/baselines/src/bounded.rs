@@ -1,0 +1,258 @@
+//! Bounded decode for untrusted baseline columns.
+//!
+//! The baseline codecs ship no byte format of their own, but a system
+//! that reconstructs them from network or disk input faces the same
+//! trust boundary as `tlc_core::validate`: a hostile `Rle` can declare
+//! a run length of four billion, a hostile `VByte` stream can hold a
+//! continuation chain that never terminates, a hostile `Nsv` length
+//! stream can walk the payload pointer past the end. The
+//! `decode_cpu_bounded` entry points here validate the declared
+//! structure against [`Limits`] *before* sizing any output buffer and
+//! return [`DecodeError::Hostile`] instead of panicking or
+//! over-allocating. The happy path is bit-identical to `decode_cpu`.
+
+use tlc_core::{DecodeError, Limits};
+
+use crate::nsf::Nsf;
+use crate::nsv::Nsv;
+use crate::rle::Rle;
+use crate::simple8b::Simple8b;
+use crate::vbyte::VByte;
+
+fn hostile(scheme: &'static str, reason: &'static str) -> DecodeError {
+    DecodeError::Hostile {
+        scheme,
+        block: 0,
+        reason,
+    }
+}
+
+fn check_count(scheme: &'static str, count: usize, limits: &Limits) -> Result<(), DecodeError> {
+    if count > limits.max_values {
+        return Err(hostile(scheme, "declared value count exceeds the cap"));
+    }
+    Ok(())
+}
+
+impl Rle {
+    /// Decode an untrusted column: run lengths are summed (in u64, no
+    /// overflow) and checked against both the declared count and the
+    /// cap before the output is sized.
+    pub fn decode_cpu_bounded(&self, limits: &Limits) -> Result<Vec<i32>, DecodeError> {
+        const SCHEME: &str = "RLE";
+        check_count(SCHEME, self.total_count, limits)?;
+        if self.values.len() != self.lengths.len() {
+            return Err(hostile(SCHEME, "values and lengths disagree in run count"));
+        }
+        let expanded: u64 = self.lengths.iter().map(|&l| l as u64).sum();
+        if expanded != self.total_count as u64 {
+            return Err(hostile(SCHEME, "run lengths disagree with the value count"));
+        }
+        Ok(self.decode_cpu())
+    }
+}
+
+impl VByte {
+    /// Decode an untrusted column: the output is capped at the declared
+    /// count, continuation chains are bounded to 5 bytes (32 payload
+    /// bits), and the stream must produce exactly `total_count` values.
+    pub fn decode_cpu_bounded(&self, limits: &Limits) -> Result<Vec<i32>, DecodeError> {
+        const SCHEME: &str = "VByte";
+        check_count(SCHEME, self.total_count, limits)?;
+        let mut out = Vec::with_capacity(self.total_count);
+        let mut u = 0u32;
+        let mut shift = 0u32;
+        for &b in &self.bytes {
+            if shift >= 35 {
+                return Err(hostile(SCHEME, "continuation chain longer than 32 bits"));
+            }
+            u |= ((b & 0x7F) as u32) << shift.min(31);
+            if b & 0x80 == 0 {
+                if out.len() == self.total_count {
+                    return Err(hostile(SCHEME, "stream holds more values than declared"));
+                }
+                out.push(unzigzag32(u));
+                u = 0;
+                shift = 0;
+            } else {
+                shift += 7;
+            }
+        }
+        if shift != 0 {
+            return Err(hostile(SCHEME, "stream ends inside a continuation chain"));
+        }
+        if out.len() != self.total_count {
+            return Err(hostile(SCHEME, "stream holds fewer values than declared"));
+        }
+        Ok(out)
+    }
+}
+
+#[inline]
+fn unzigzag32(u: u32) -> i32 {
+    ((u >> 1) as i32) ^ -((u & 1) as i32)
+}
+
+impl Nsv {
+    /// Decode an untrusted column: the length-code stream must cover
+    /// the declared count and the walking byte offset must never pass
+    /// the end of the payload.
+    pub fn decode_cpu_bounded(&self, limits: &Limits) -> Result<Vec<i32>, DecodeError> {
+        const SCHEME: &str = "NSV";
+        check_count(SCHEME, self.total_count, limits)?;
+        if self.len_codes.len() < self.total_count.div_ceil(16) {
+            return Err(hostile(SCHEME, "length-code stream shorter than the count"));
+        }
+        let mut out = Vec::with_capacity(self.total_count);
+        let mut off = 0usize;
+        for i in 0..self.total_count {
+            let l = ((self.len_codes[i / 16] >> (2 * (i % 16))) & 0b11) as usize + 1;
+            if off + l > self.bytes.len() {
+                return Err(hostile(SCHEME, "payload offset past the end of the stream"));
+            }
+            let mut b = [0u8; 4];
+            b[..l].copy_from_slice(&self.bytes[off..off + l]);
+            out.push(i32::from_le_bytes(b));
+            off += l;
+        }
+        Ok(out)
+    }
+}
+
+impl Nsf {
+    /// Decode an untrusted column: the payload must hold exactly
+    /// `total_count` fixed-width entries.
+    pub fn decode_cpu_bounded(&self, limits: &Limits) -> Result<Vec<i32>, DecodeError> {
+        const SCHEME: &str = "NSF";
+        check_count(SCHEME, self.total_count, limits)?;
+        if self.bytes.len() != self.total_count * self.width.bytes() {
+            return Err(hostile(SCHEME, "payload length disagrees with the count"));
+        }
+        Ok(self.decode_cpu())
+    }
+}
+
+impl Simple8b {
+    /// Decode an untrusted column: pushes are capped at the declared
+    /// count and the words must cover it exactly.
+    pub fn decode_cpu_bounded(&self, limits: &Limits) -> Result<Vec<i32>, DecodeError> {
+        const SCHEME: &str = "Simple-8b";
+        check_count(SCHEME, self.total_count, limits)?;
+        // Same walk as `decode_cpu`, but clamped to the declared count
+        // (its debug assertion would abort on a short word stream).
+        let mut out = Vec::with_capacity(self.total_count);
+        for &word in &self.words {
+            let remaining = self.total_count - out.len();
+            if remaining == 0 {
+                break;
+            }
+            out.extend(crate::simple8b::unpack_word(word).take(remaining));
+        }
+        if out.len() != self.total_count {
+            return Err(hostile(
+                SCHEME,
+                "word stream holds fewer values than declared",
+            ));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<i32> {
+        (0..900).map(|i| i / 7 - 30).collect()
+    }
+
+    #[test]
+    fn bounded_matches_plain_on_honest_columns() {
+        let values = sample();
+        let limits = Limits::strict();
+        assert_eq!(
+            Rle::encode(&values).decode_cpu_bounded(&limits).unwrap(),
+            values
+        );
+        assert_eq!(
+            VByte::encode(&values).decode_cpu_bounded(&limits).unwrap(),
+            values
+        );
+        assert_eq!(
+            Nsv::encode(&values).decode_cpu_bounded(&limits).unwrap(),
+            values
+        );
+        assert_eq!(
+            Simple8b::encode(&values)
+                .decode_cpu_bounded(&limits)
+                .unwrap(),
+            values
+        );
+        let non_negative: Vec<i32> = values.iter().map(|v| v.abs()).collect();
+        assert_eq!(
+            Nsf::encode(&non_negative)
+                .decode_cpu_bounded(&limits)
+                .unwrap(),
+            non_negative
+        );
+    }
+
+    #[test]
+    fn rle_inflated_length_is_rejected_before_allocation() {
+        let mut col = Rle::encode(&sample());
+        col.lengths[0] = u32::MAX;
+        assert!(matches!(
+            col.decode_cpu_bounded(&Limits::strict()),
+            Err(DecodeError::Hostile { .. })
+        ));
+    }
+
+    #[test]
+    fn rle_count_over_cap_is_rejected() {
+        let mut col = Rle::encode(&sample());
+        col.total_count = usize::MAX;
+        assert!(col.decode_cpu_bounded(&Limits::strict()).is_err());
+    }
+
+    #[test]
+    fn vbyte_truncated_and_overlong_streams_are_rejected() {
+        let mut col = VByte::encode(&sample());
+        col.bytes.pop();
+        assert!(col.decode_cpu_bounded(&Limits::strict()).is_err());
+
+        let mut col = VByte::encode(&sample());
+        // An endless continuation chain must not spin or shift past 32.
+        col.bytes = vec![0x80; 64];
+        assert!(col.decode_cpu_bounded(&Limits::strict()).is_err());
+    }
+
+    #[test]
+    fn nsv_offset_overrun_is_rejected_not_indexed() {
+        let mut col = Nsv::encode(&sample());
+        // Force every length code to 4 bytes: the walk runs off the end.
+        for w in &mut col.len_codes {
+            *w = u32::MAX;
+        }
+        assert!(matches!(
+            col.decode_cpu_bounded(&Limits::strict()),
+            Err(DecodeError::Hostile { .. })
+        ));
+    }
+
+    #[test]
+    fn nsf_payload_mismatch_is_rejected() {
+        let mut col = Nsf::encode(&[1, 2, 3, 4]);
+        col.total_count = 4096;
+        assert!(col.decode_cpu_bounded(&Limits::strict()).is_err());
+    }
+
+    #[test]
+    fn simple8b_short_word_stream_is_rejected() {
+        let mut col = Simple8b::encode(&sample());
+        col.words.truncate(1);
+        assert!(matches!(
+            col.decode_cpu_bounded(&Limits::strict()),
+            Err(DecodeError::Hostile { .. })
+        ));
+    }
+}

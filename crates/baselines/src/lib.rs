@@ -34,6 +34,7 @@
 //! * [`byteslice`] — ByteSlice byte-planes with decode-free scans.
 
 pub mod bitweaving;
+pub mod bounded;
 pub mod byteslice;
 pub mod cascaded;
 pub mod gpu_bp;

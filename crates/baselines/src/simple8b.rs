@@ -51,6 +51,20 @@ fn unzigzag(u: u64) -> i32 {
     (((u >> 1) as i64) ^ -((u & 1) as i64)) as i32
 }
 
+/// Iterate the decoded values of one packed word (selector + lanes).
+pub(crate) fn unpack_word(word: u64) -> impl Iterator<Item = i32> {
+    let sel = (word >> 60) as usize;
+    let (count, bits) = SELECTORS[sel];
+    (0..count).map(move |i| {
+        let x = if bits == 0 {
+            0
+        } else {
+            (word >> (i as u32 * bits)) & ((1u64 << bits) - 1)
+        };
+        unzigzag(x)
+    })
+}
+
 impl Simple8b {
     /// Encode a column.
     pub fn encode(values: &[i32]) -> Self {
@@ -106,17 +120,8 @@ impl Simple8b {
     pub fn decode_cpu(&self) -> Vec<i32> {
         let mut out = Vec::with_capacity(self.total_count);
         for &word in &self.words {
-            let sel = (word >> 60) as usize;
-            let (count, bits) = SELECTORS[sel];
             let remaining = self.total_count - out.len();
-            for i in 0..count.min(remaining) {
-                let x = if bits == 0 {
-                    0
-                } else {
-                    (word >> (i as u32 * bits)) & ((1u64 << bits) - 1)
-                };
-                out.push(unzigzag(x));
-            }
+            out.extend(unpack_word(word).take(remaining));
         }
         debug_assert_eq!(out.len(), self.total_count);
         out

@@ -34,6 +34,24 @@ pub enum DecodeError {
     },
     /// The kernel never ran: the launch itself failed.
     Launch(LaunchError),
+    /// The stream is *adversarially* malformed: it may carry perfectly
+    /// valid checksums yet declare metadata (lengths, counts, widths)
+    /// that would over-allocate output, spin the decoder past its fuel
+    /// budget, or otherwise exceed the configured
+    /// [`crate::validate::Limits`]. Distinct from [`DecodeError::Corrupt`]
+    /// (random damage caught by checksums) and
+    /// [`DecodeError::Structure`] (inconsistent metadata): a `Hostile`
+    /// stream is internally consistent but demands more resources than
+    /// the trust boundary allows.
+    Hostile {
+        /// Scheme name ("GPU-FOR", "GPU-DFOR", "GPU-RFOR", or a
+        /// baseline codec name).
+        scheme: &'static str,
+        /// Index of the offending block (0 for whole-stream limits).
+        block: usize,
+        /// Which resource bound was violated.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for DecodeError {
@@ -53,6 +71,16 @@ impl fmt::Display for DecodeError {
                 write!(f, "{scheme} block {block}: {reason}")
             }
             DecodeError::Launch(e) => write!(f, "decode kernel failed to launch: {e}"),
+            DecodeError::Hostile {
+                scheme,
+                block,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "{scheme} block {block}: hostile stream rejected: {reason}"
+                )
+            }
         }
     }
 }
@@ -99,6 +127,18 @@ mod tests {
             reason: "demo",
         };
         assert!(e.to_string().contains("demo"));
+    }
+
+    #[test]
+    fn hostile_display_names_the_bound() {
+        let e = DecodeError::Hostile {
+            scheme: "GPU-RFOR",
+            block: 9,
+            reason: "decode fuel exhausted",
+        };
+        assert!(e.to_string().contains("hostile"));
+        assert!(e.to_string().contains("fuel"));
+        assert!(!e.is_transient());
     }
 
     #[test]

@@ -227,13 +227,26 @@ pub fn load_tile(
         col.data.len()
     } else {
         // The next tile begins with its own first-value word.
-        *starts.last().expect("non-empty") as usize - 1
+        match starts.last() {
+            Some(&w) if w >= 1 => w as usize - 1,
+            _ => return Err(structure(first_block, "missing next first-value word")),
+        }
     };
     if tile_end < starts[tile_blocks - 1] as usize || tile_end > col.data.len() {
         return Err(structure(first_block, "tile bounds out of range"));
     }
     if tile_end - stage_start > ctx.shared().len() {
         return Err(structure(first_block, "tile larger than shared memory"));
+    }
+    // Fuel: staging, unpacking, and the tile-wide scan are linear in
+    // the tile's words and values (see `crate::validate`).
+    let work = (tile_end - stage_start) as u64 + 2 * (tile_blocks * BLOCK) as u64;
+    if !ctx.consume_fuel(work) {
+        return Err(DecodeError::Hostile {
+            scheme: SCHEME,
+            block: first_block,
+            reason: "decode fuel exhausted",
+        });
     }
     ctx.stage_to_shared(&col.data, stage_start, tile_end - stage_start, 0);
 

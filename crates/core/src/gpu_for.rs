@@ -225,8 +225,6 @@ pub fn load_tile(
     // (1) Block starts: D+1 consecutive u32 reads from one warp.
     let starts_idx: Vec<usize> = (first_block..=first_block + tile_blocks).collect();
     let starts = ctx.warp_gather(&col.block_starts, &starts_idx);
-    let tile_start = starts[0] as usize;
-    let tile_end = *starts.last().expect("starts is non-empty") as usize;
 
     // Structural guards before staging: nothing below may index past
     // `data` or overflow the shared-memory tile.
@@ -235,8 +233,24 @@ pub fn load_tile(
         block,
         reason,
     };
+    let (&tile_start, &tile_end) = match (starts.first(), starts.last()) {
+        (Some(a), Some(b)) => (a, b),
+        _ => return Err(structure(first_block, "empty tile")),
+    };
+    let (tile_start, tile_end) = (tile_start as usize, tile_end as usize);
     if tile_end < tile_start || tile_end > col.data.len() {
         return Err(structure(first_block, "tile bounds out of range"));
+    }
+    // Fuel: staging + decode work is linear in the tile's words and
+    // values; a stream that demands more than the per-block budget is
+    // hostile by construction (see `crate::validate`).
+    let work = (tile_end - tile_start) as u64 + (tile_blocks * BLOCK) as u64;
+    if !ctx.consume_fuel(work) {
+        return Err(DecodeError::Hostile {
+            scheme: SCHEME,
+            block: first_block,
+            reason: "decode fuel exhausted",
+        });
     }
     if tile_end - tile_start > ctx.shared().len() {
         return Err(structure(first_block, "tile larger than shared memory"));

@@ -268,11 +268,13 @@ pub fn rfor_smem() -> usize {
     2 * (RFOR_BLOCK * 4 + 128) + RFOR_BLOCK * 4
 }
 
-/// Launch configuration for an RFOR decode-style kernel.
+/// Launch configuration for an RFOR decode-style kernel, armed with
+/// the default per-tile decode fuel budget (see [`crate::validate`]).
 pub fn rfor_config(name: &str, blocks: usize) -> KernelConfig {
     KernelConfig::new(name, blocks, 128)
         .smem_per_block(rfor_smem())
         .regs_per_thread(38)
+        .fuel_per_block(crate::validate::DEFAULT_TILE_FUEL)
 }
 
 /// **Device function**: decode logical block `block_id` (512 values)
@@ -306,6 +308,17 @@ pub fn load_tile(
     }
     if (ve - vs) + (le - ls) > ctx.shared().len() {
         return Err(structure("staged streams larger than shared memory"));
+    }
+    // Fuel: staging + checksum + unpack + the two scans + expansion are
+    // all linear in the staged words and the 512-value expansion
+    // (see `crate::validate`).
+    let work = ((ve - vs) + (le - ls)) as u64 + 3 * RFOR_BLOCK as u64;
+    if !ctx.consume_fuel(work) {
+        return Err(DecodeError::Hostile {
+            scheme: SCHEME,
+            block: block_id,
+            reason: "decode fuel exhausted",
+        });
     }
 
     // Stage both compressed blocks: values at shared offset 0, lengths

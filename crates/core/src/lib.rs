@@ -41,6 +41,7 @@
 //! use tlc_core::EncodedColumn;
 //! use tlc_gpu_sim::Device;
 //!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // GPU-*: pick the smallest of the three schemes for this column.
 //! let values: Vec<i32> = (0..10_000).map(|i| i / 4).collect();
 //! let encoded = EncodedColumn::encode_best(&values);
@@ -49,12 +50,14 @@
 //! // Upload and decompress in a single tile-based kernel pass. Decode
 //! // is fallible: damaged payloads surface as `DecodeError`, not UB.
 //! let dev = Device::v100();
-//! let decoded = encoded.to_device(&dev).decompress(&dev).unwrap();
+//! let decoded = encoded.to_device(&dev).decompress(&dev)?;
 //! assert_eq!(decoded.as_slice_unaccounted(), values);
 //!
 //! // Persist and restore through the validated byte format.
-//! let restored = EncodedColumn::from_bytes(&encoded.to_bytes()).unwrap();
+//! let restored = EncodedColumn::from_bytes(&encoded.to_bytes())?;
 //! assert_eq!(restored.decode_cpu(), values);
+//! # Ok(())
+//! # }
 //! ```
 
 pub mod base_alg;
@@ -72,6 +75,7 @@ pub mod parallel;
 pub mod random_access;
 pub mod serialize;
 pub mod typed;
+pub mod validate;
 
 pub use column::{EncodedColumn, Scheme};
 pub use error::DecodeError;
@@ -81,3 +85,4 @@ pub use gpu_for::GpuFor;
 pub use gpu_rfor::GpuRFor;
 pub use serialize::FormatError;
 pub use typed::{DecimalColumn, DictStringColumn, TypedError};
+pub use validate::{Limits, DEFAULT_TILE_FUEL};

@@ -9,6 +9,7 @@
 use tlc_gpu_sim::KernelConfig;
 
 use crate::format::BLOCK;
+use crate::validate::DEFAULT_TILE_FUEL;
 
 /// Registers per thread for a decode kernel holding `d` output values
 /// live, plus `extra_live` additional live words per thread (used by
@@ -28,11 +29,15 @@ pub fn stage_smem(d: usize) -> usize {
 }
 
 /// Launch configuration for a tile-based decode kernel over `tiles`
-/// thread blocks with `d` data blocks each.
+/// thread blocks with `d` data blocks each. Decode kernels always run
+/// under the default per-tile fuel budget: a hostile stream that
+/// demands unbounded work per tile trips the budget instead of
+/// spinning the simulator (see [`crate::validate`]).
 pub fn decode_config(name: &str, tiles: usize, d: usize, extra_live: usize) -> KernelConfig {
     KernelConfig::new(name, tiles, BLOCK)
         .smem_per_block(stage_smem(d))
         .regs_per_thread(decode_regs(d, extra_live))
+        .fuel_per_block(DEFAULT_TILE_FUEL)
 }
 
 /// Launch configuration for a simple streaming kernel (grid-stride

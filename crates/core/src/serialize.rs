@@ -25,6 +25,7 @@ use crate::format::{BLOCK, BLOCK_HEADER_WORDS, MINIBLOCKS_PER_BLOCK, RFOR_BLOCK}
 use crate::gpu_dfor::GpuDFor;
 use crate::gpu_for::GpuFor;
 use crate::gpu_rfor::GpuRFor;
+use crate::validate::Limits;
 use crate::Scheme;
 
 /// Magic word at the head of every serialized column ("TLC1").
@@ -83,6 +84,18 @@ pub enum FormatError {
         /// How many unconsumed words follow the format.
         extra_words: usize,
     },
+    /// The stream declares a resource demand past the configured
+    /// [`crate::validate::Limits`] — it may be internally consistent
+    /// (even correctly checksummed), but decoding it would allocate or
+    /// work beyond what the trust boundary allows.
+    CapExceeded {
+        /// Which resource bound was violated.
+        what: &'static str,
+        /// What the stream demands.
+        requested: u64,
+        /// The configured cap.
+        cap: u64,
+    },
 }
 
 impl fmt::Display for FormatError {
@@ -124,6 +137,16 @@ impl fmt::Display for FormatError {
                     "{extra_words} unconsumed words after the end of the format"
                 )
             }
+            FormatError::CapExceeded {
+                what,
+                requested,
+                cap,
+            } => {
+                write!(
+                    f,
+                    "hostile stream rejected: {what} of {requested} exceeds the cap of {cap}"
+                )
+            }
         }
     }
 }
@@ -144,8 +167,12 @@ struct Writer {
 
 impl Writer {
     fn new(scheme: Scheme) -> Self {
+        Self::with_minor(scheme, FORMAT_MINOR)
+    }
+
+    fn with_minor(scheme: Scheme, minor: u32) -> Self {
         Writer {
-            words: vec![MAGIC, scheme_id(scheme) | (FORMAT_MINOR << 8)],
+            words: vec![MAGIC, scheme_id(scheme) | (minor << 8)],
         }
     }
 
@@ -164,6 +191,11 @@ impl Writer {
     fn finish(mut self) -> Vec<u8> {
         let digest = fnv1a(&self.words);
         self.words.push(digest);
+        self.finish_raw()
+    }
+
+    /// Serialize without a trailing digest (minor version 0 layout).
+    fn finish_raw(self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.words.len() * 4);
         for w in self.words {
             out.extend_from_slice(&w.to_le_bytes());
@@ -249,11 +281,12 @@ fn check_block_sums(stored: &[u32], derived: &[u32]) -> Result<(), FormatError> 
 /// Validate a GPU-FOR-style `(block_starts, data)` pair where each
 /// block is `[ref][bw word][miniblocks]`.
 fn validate_for_layout(block_starts: &[u32], data: &[u32]) -> Result<(), FormatError> {
-    if block_starts.is_empty() {
-        return Err(FormatError::BadBlockStarts(0));
-    }
-    if *block_starts.last().expect("non-empty") as usize != data.len() {
-        return Err(FormatError::BadBlockStarts(block_starts.len() - 1));
+    match block_starts.last() {
+        None => return Err(FormatError::BadBlockStarts(0)),
+        Some(&last) if last as usize != data.len() => {
+            return Err(FormatError::BadBlockStarts(block_starts.len() - 1));
+        }
+        Some(_) => {}
     }
     for (i, w) in block_starts.windows(2).enumerate() {
         if w[1] < w[0] || w[1] as usize > data.len() {
@@ -315,14 +348,34 @@ impl GpuFor {
         w.finish()
     }
 
+    /// Serialize in the legacy minor-0 layout: no per-block checksum
+    /// array, no trailing digest. Used by compatibility and
+    /// fault-campaign tests — on a minor-0 stream the structural
+    /// validator is the *only* line of defense.
+    pub fn to_bytes_minor0(&self) -> Vec<u8> {
+        let mut w = Writer::with_minor(Scheme::GpuFor, 0);
+        w.word(self.total_count as u32);
+        w.array(&self.block_starts);
+        w.array(&self.data);
+        w.finish_raw()
+    }
+
     /// Parse and validate a byte stream produced by
-    /// [`GpuFor::to_bytes`].
+    /// [`GpuFor::to_bytes`] (default [`Limits`]).
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, FormatError> {
+        Self::from_bytes_with_limits(bytes, &Limits::default())
+    }
+
+    /// Parse an *untrusted* byte stream: resource caps are enforced
+    /// before any output-sized buffer exists, and deep structural
+    /// validation proves the column decodes safely.
+    pub fn from_bytes_with_limits(bytes: &[u8], limits: &Limits) -> Result<Self, FormatError> {
         let (scheme, minor, mut r) = read_header(bytes)?;
         if scheme != Scheme::GpuFor {
             return Err(FormatError::UnknownScheme(scheme_id(scheme)));
         }
         let total_count = r.word()? as usize;
+        limits.check_values(total_count)?;
         let block_starts = r.array()?;
         let data = r.array()?;
         let stored_sums = if minor >= 1 {
@@ -335,7 +388,7 @@ impl GpuFor {
             block_starts,
             data,
         };
-        col.validate()?;
+        col.validate_deep(limits)?;
         if let Some(sums) = stored_sums {
             check_block_sums(&sums, &col.block_checksums())?;
         }
@@ -418,14 +471,32 @@ impl GpuDFor {
         w.finish()
     }
 
+    /// Serialize in the legacy minor-0 layout (no checksums, no
+    /// digest); see [`GpuFor::to_bytes_minor0`].
+    pub fn to_bytes_minor0(&self) -> Vec<u8> {
+        let mut w = Writer::with_minor(Scheme::GpuDFor, 0);
+        w.word(self.total_count as u32);
+        w.word(self.d as u32);
+        w.array(&self.block_starts);
+        w.array(&self.data);
+        w.finish_raw()
+    }
+
     /// Parse and validate a byte stream produced by
-    /// [`GpuDFor::to_bytes`].
+    /// [`GpuDFor::to_bytes`] (default [`Limits`]).
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, FormatError> {
+        Self::from_bytes_with_limits(bytes, &Limits::default())
+    }
+
+    /// Parse an untrusted byte stream under explicit [`Limits`]; see
+    /// [`GpuFor::from_bytes_with_limits`].
+    pub fn from_bytes_with_limits(bytes: &[u8], limits: &Limits) -> Result<Self, FormatError> {
         let (scheme, minor, mut r) = read_header(bytes)?;
         if scheme != Scheme::GpuDFor {
             return Err(FormatError::UnknownScheme(scheme_id(scheme)));
         }
         let total_count = r.word()? as usize;
+        limits.check_values(total_count)?;
         let d = r.word()? as usize;
         let block_starts = r.array()?;
         let data = r.array()?;
@@ -440,7 +511,7 @@ impl GpuDFor {
             block_starts,
             data,
         };
-        col.validate()?;
+        col.validate_deep(limits)?;
         if let Some(sums) = stored_sums {
             check_block_sums(&sums, &col.block_checksums())?;
         }
@@ -459,7 +530,7 @@ impl GpuRFor {
             (&self.values_starts, &self.values_data),
             (&self.lengths_starts, &self.lengths_data),
         ] {
-            if starts.is_empty() || *starts.last().expect("non-empty") as usize != data.len() {
+            if starts.last().map(|&w| w as usize) != Some(data.len()) {
                 return Err(FormatError::BadBlockStarts(starts.len().saturating_sub(1)));
             }
             for (i, w) in starts.windows(2).enumerate() {
@@ -470,6 +541,15 @@ impl GpuRFor {
         }
         for b in 0..blocks {
             let vstart = self.values_starts[b] as usize;
+            let vend = self.values_starts[b + 1] as usize;
+            // A block must hold at least [run count][bw word]; indexing
+            // vstart on an empty block would read out of bounds.
+            if vend - vstart < 2 {
+                return Err(FormatError::BadBlock {
+                    block: b,
+                    reason: "values block shorter than its header",
+                });
+            }
             let run_count = self.values_data[vstart] as usize;
             if run_count == 0 || run_count > RFOR_BLOCK {
                 return Err(FormatError::BadBlock {
@@ -501,14 +581,33 @@ impl GpuRFor {
         w.finish()
     }
 
+    /// Serialize in the legacy minor-0 layout (no checksums, no
+    /// digest); see [`GpuFor::to_bytes_minor0`].
+    pub fn to_bytes_minor0(&self) -> Vec<u8> {
+        let mut w = Writer::with_minor(Scheme::GpuRFor, 0);
+        w.word(self.total_count as u32);
+        w.array(&self.values_starts);
+        w.array(&self.values_data);
+        w.array(&self.lengths_starts);
+        w.array(&self.lengths_data);
+        w.finish_raw()
+    }
+
     /// Parse and validate a byte stream produced by
-    /// [`GpuRFor::to_bytes`].
+    /// [`GpuRFor::to_bytes`] (default [`Limits`]).
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, FormatError> {
+        Self::from_bytes_with_limits(bytes, &Limits::default())
+    }
+
+    /// Parse an untrusted byte stream under explicit [`Limits`]; see
+    /// [`GpuFor::from_bytes_with_limits`].
+    pub fn from_bytes_with_limits(bytes: &[u8], limits: &Limits) -> Result<Self, FormatError> {
         let (scheme, minor, mut r) = read_header(bytes)?;
         if scheme != Scheme::GpuRFor {
             return Err(FormatError::UnknownScheme(scheme_id(scheme)));
         }
         let total_count = r.word()? as usize;
+        limits.check_values(total_count)?;
         let values_starts = r.array()?;
         let values_data = r.array()?;
         let lengths_starts = r.array()?;
@@ -525,7 +624,7 @@ impl GpuRFor {
             lengths_starts,
             lengths_data,
         };
-        col.validate()?;
+        col.validate_deep(limits)?;
         if let Some(sums) = stored_sums {
             check_block_sums(&sums, &col.block_checksums())?;
         }
@@ -563,6 +662,16 @@ impl EncodedColumn {
         }
     }
 
+    /// Deep validation under explicit [`Limits`]; see
+    /// [`GpuFor::validate_deep`].
+    pub fn validate_deep(&self, limits: &Limits) -> Result<(), FormatError> {
+        match self {
+            EncodedColumn::For(c) => c.validate_deep(limits),
+            EncodedColumn::DFor(c) => c.validate_deep(limits),
+            EncodedColumn::RFor(c) => c.validate_deep(limits),
+        }
+    }
+
     /// Serialize with the scheme tag embedded.
     pub fn to_bytes(&self) -> Vec<u8> {
         match self {
@@ -572,13 +681,29 @@ impl EncodedColumn {
         }
     }
 
-    /// Parse any serialized column, dispatching on the scheme tag.
+    /// Serialize in the legacy minor-0 layout (no checksums, no
+    /// digest); see [`GpuFor::to_bytes_minor0`].
+    pub fn to_bytes_minor0(&self) -> Vec<u8> {
+        match self {
+            EncodedColumn::For(c) => c.to_bytes_minor0(),
+            EncodedColumn::DFor(c) => c.to_bytes_minor0(),
+            EncodedColumn::RFor(c) => c.to_bytes_minor0(),
+        }
+    }
+
+    /// Parse any serialized column, dispatching on the scheme tag
+    /// (default [`Limits`]).
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, FormatError> {
+        Self::from_bytes_with_limits(bytes, &Limits::default())
+    }
+
+    /// Parse any untrusted serialized column under explicit [`Limits`].
+    pub fn from_bytes_with_limits(bytes: &[u8], limits: &Limits) -> Result<Self, FormatError> {
         let (scheme, _, _) = read_header(bytes)?;
         Ok(match scheme {
-            Scheme::GpuFor => EncodedColumn::For(GpuFor::from_bytes(bytes)?),
-            Scheme::GpuDFor => EncodedColumn::DFor(GpuDFor::from_bytes(bytes)?),
-            Scheme::GpuRFor => EncodedColumn::RFor(GpuRFor::from_bytes(bytes)?),
+            Scheme::GpuFor => EncodedColumn::For(GpuFor::from_bytes_with_limits(bytes, limits)?),
+            Scheme::GpuDFor => EncodedColumn::DFor(GpuDFor::from_bytes_with_limits(bytes, limits)?),
+            Scheme::GpuRFor => EncodedColumn::RFor(GpuRFor::from_bytes_with_limits(bytes, limits)?),
         })
     }
 }

@@ -1,0 +1,96 @@
+//! The checked-in regression corpus.
+//!
+//! Every file under `crates/fuzz/corpus/` is one minimized stream that
+//! historically crashed, over-allocated, or diverged — plus hand-built
+//! boundary cases (bad magic, truncations, future versions). Files are
+//! hex text: `#` starts a comment line, whitespace is ignored. The
+//! corpus runs on every `tlc fuzz` invocation and in tier-1 tests, so
+//! a regression in the validator trips immediately.
+
+use std::path::PathBuf;
+
+/// Render bytes as corpus hex (32 bytes per line).
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2 + bytes.len() / 16);
+    for (i, b) in bytes.iter().enumerate() {
+        if i > 0 && i % 32 == 0 {
+            out.push('\n');
+        }
+        out.push_str(&format!("{b:02x}"));
+    }
+    out.push('\n');
+    out
+}
+
+/// Parse corpus hex: `#` comments and all whitespace are ignored.
+pub fn from_hex(text: &str) -> Result<Vec<u8>, String> {
+    let mut nibbles = Vec::new();
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("");
+        for c in line.chars().filter(|c| !c.is_whitespace()) {
+            nibbles.push(
+                c.to_digit(16)
+                    .ok_or_else(|| format!("bad hex char {c:?}"))? as u8,
+            );
+        }
+    }
+    if nibbles.len() % 2 != 0 {
+        return Err("odd number of hex digits".to_string());
+    }
+    Ok(nibbles
+        .chunks_exact(2)
+        .map(|p| (p[0] << 4) | p[1])
+        .collect())
+}
+
+/// Directory holding the checked-in corpus.
+pub fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus")
+}
+
+/// Load every corpus case as `(file name, bytes)`, sorted by name.
+pub fn load_corpus() -> Result<Vec<(String, Vec<u8>)>, String> {
+    let dir = corpus_dir();
+    let entries = std::fs::read_dir(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut cases = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("hex") {
+            continue;
+        }
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("?")
+            .to_string();
+        let text = std::fs::read_to_string(&path).map_err(|e| format!("{name}: {e}"))?;
+        cases.push((
+            name.clone(),
+            from_hex(&text).map_err(|e| format!("{name}: {e}"))?,
+        ));
+    }
+    cases.sort();
+    Ok(cases)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_roundtrip() {
+        let bytes: Vec<u8> = (0u8..=255).collect();
+        assert_eq!(from_hex(&to_hex(&bytes)).unwrap(), bytes);
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_ignored() {
+        assert_eq!(
+            from_hex("# header\n de ad\nbe ef # trailing\n").unwrap(),
+            vec![0xDE, 0xAD, 0xBE, 0xEF]
+        );
+        assert!(from_hex("abc").is_err());
+        assert!(from_hex("zz").is_err());
+    }
+}

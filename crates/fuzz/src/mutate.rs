@@ -1,0 +1,218 @@
+//! Structure-aware mutation of serialized column streams.
+//!
+//! Random byte flips almost always die at the whole-stream digest, so
+//! they only exercise one error path. To reach the *structural*
+//! validator — the actual trust boundary for adversarial input — most
+//! mutations here re-fix the trailing digest after rewriting words, so
+//! the stream arrives "correctly signed" and deep validation is the
+//! only line of defense. The mutator walks the serialized layout
+//! (magic, scheme word, count, length-prefixed arrays) to aim rewrites
+//! at the fields that size buffers: counts, array lengths, block
+//! starts, bit widths, and run lengths.
+
+use tlc_core::checksum::fnv1a;
+use tlc_rng::Rng;
+
+/// Reinterpret a byte stream as little-endian words (trailing partial
+/// word dropped, as the reader would reject it anyway).
+pub fn to_words(bytes: &[u8]) -> Vec<u32> {
+    bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
+/// Serialize words back to little-endian bytes.
+pub fn to_bytes(words: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(words.len() * 4);
+    for w in words {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    out
+}
+
+/// Format minor version declared by a word stream (None when the
+/// header is too short to say).
+fn minor_of(words: &[u32]) -> Option<u32> {
+    words.get(1).map(|w| w >> 8)
+}
+
+/// Recompute the trailing whole-stream digest so a structural mutation
+/// survives the digest check. Minor-0 streams carry no digest; they are
+/// left alone.
+pub fn refix_digest(words: &mut [u32]) {
+    if minor_of(words) >= Some(1) {
+        if let [head @ .., last] = words {
+            *last = fnv1a(head);
+        }
+    }
+}
+
+/// Word positions of every array-length prefix in a well-formed
+/// stream, derived by walking the layout: `[magic][scheme][count]`
+/// (+`[d]` for DFOR), then length-prefixed arrays to the end. Stops at
+/// the first inconsistency, so it also works on partially mutated
+/// input.
+pub fn array_len_positions(words: &[u32]) -> Vec<usize> {
+    let mut out = Vec::new();
+    let Some(&scheme_word) = words.get(1) else {
+        return out;
+    };
+    // Skip the fixed head: magic, scheme, count (+ d for DFOR).
+    let mut pos = if scheme_word & 0xFF == 2 { 4 } else { 3 };
+    while pos < words.len() {
+        let len = words[pos] as usize;
+        out.push(pos);
+        match pos.checked_add(1 + len) {
+            Some(next) if next <= words.len() => pos = next,
+            _ => break,
+        }
+    }
+    out
+}
+
+/// One mutation pass over a serialized stream. Returns the mutated
+/// bytes; the original is never modified.
+pub fn mutate(bytes: &[u8], rng: &mut Rng) -> Vec<u8> {
+    if bytes.len() < 8 {
+        // Nothing structured to aim at; grow or flip.
+        let mut out = bytes.to_vec();
+        out.push(rng.next_u32() as u8);
+        return out;
+    }
+    match rng.gen_range(0u32..7) {
+        // Truncate at an arbitrary byte boundary (also produces
+        // non-word-aligned lengths).
+        0 => bytes[..rng.gen_range(0..bytes.len())].to_vec(),
+        // Raw bit flip, digest NOT re-fixed: exercises the
+        // damage-detection path.
+        1 => {
+            let mut out = bytes.to_vec();
+            let i = rng.gen_range(0..out.len());
+            out[i] ^= 1 << rng.gen_range(0u32..8);
+            out
+        }
+        // Header-field rewrite with digest re-fix: count word, d word,
+        // or scheme word.
+        2 => {
+            let mut words = to_words(bytes);
+            let i = rng.gen_range(1..4usize.min(words.len()));
+            words[i] = hostile_value(rng, words.len());
+            refix_digest(&mut words);
+            to_bytes(&words)
+        }
+        // Length inflation: rewrite an array-length prefix, re-fix.
+        3 => {
+            let mut words = to_words(bytes);
+            let lens = array_len_positions(&words);
+            if let Some(&pos) = pick(&lens, rng) {
+                words[pos] = hostile_value(rng, words.len());
+            }
+            refix_digest(&mut words);
+            to_bytes(&words)
+        }
+        // Random word rewrite anywhere, re-fixed: reaches block starts,
+        // bit-width words, packed run lengths.
+        4 => {
+            let mut words = to_words(bytes);
+            let i = rng.gen_range(0..words.len());
+            words[i] = hostile_value(rng, words.len());
+            refix_digest(&mut words);
+            to_bytes(&words)
+        }
+        // Splice: copy one word range over another, re-fixed.
+        5 => {
+            let mut words = to_words(bytes);
+            let n = words.len();
+            let len = rng.gen_range(1..=8usize.min(n));
+            let src = rng.gen_range(0..=n - len);
+            let dst = rng.gen_range(0..=n - len);
+            let chunk: Vec<u32> = words[src..src + len].to_vec();
+            words[dst..dst + len].copy_from_slice(&chunk);
+            refix_digest(&mut words);
+            to_bytes(&words)
+        }
+        // Extend: append garbage words, re-fixed (trailing garbage with
+        // a valid digest).
+        _ => {
+            let mut words = to_words(bytes);
+            for _ in 0..rng.gen_range(1..4u32) {
+                words.push(rng.next_u32());
+            }
+            refix_digest(&mut words);
+            to_bytes(&words)
+        }
+    }
+}
+
+/// Values adversarial streams like to carry: boundary counts, huge
+/// lengths, all-ones width bytes, plausible in-range offsets.
+fn hostile_value(rng: &mut Rng, stream_words: usize) -> u32 {
+    match rng.gen_range(0u32..6) {
+        0 => 0,
+        1 => 1,
+        2 => u32::MAX,
+        3 => rng.gen_range(0..=stream_words as u32),
+        4 => 0xFFFF_FFFF >> rng.gen_range(0u32..24),
+        _ => rng.next_u32(),
+    }
+}
+
+fn pick<'a, T>(slice: &'a [T], rng: &mut Rng) -> Option<&'a T> {
+    if slice.is_empty() {
+        None
+    } else {
+        slice.get(rng.gen_range(0..slice.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlc_core::{EncodedColumn, Scheme};
+
+    #[test]
+    fn refixed_header_rewrite_survives_the_digest() {
+        // A count rewrite with digest re-fix must NOT be rejected as
+        // StreamChecksum — it has to reach the structural validator.
+        let bytes =
+            EncodedColumn::encode_as(&(0..500).collect::<Vec<_>>(), Scheme::GpuFor).to_bytes();
+        let mut words = to_words(&bytes);
+        words[2] = u32::MAX;
+        refix_digest(&mut words);
+        let err = EncodedColumn::from_bytes(&to_bytes(&words)).unwrap_err();
+        assert!(
+            !matches!(err, tlc_core::FormatError::StreamChecksum),
+            "digest re-fix failed: {err}"
+        );
+    }
+
+    #[test]
+    fn layout_walk_finds_every_array() {
+        let values: Vec<i32> = (0..900).map(|i| i / 5).collect();
+        // minor-1 arrays per scheme: FOR 3, DFOR 3, RFOR 5 (incl. sums).
+        for (scheme, arrays) in [
+            (Scheme::GpuFor, 3),
+            (Scheme::GpuDFor, 3),
+            (Scheme::GpuRFor, 5),
+        ] {
+            let words = to_words(&EncodedColumn::encode_as(&values, scheme).to_bytes());
+            // The walk also consumes the trailing digest word as if it
+            // were a length prefix; accept arrays or arrays + 1.
+            let found = array_len_positions(&words).len();
+            assert!(
+                found == arrays || found == arrays + 1,
+                "{scheme:?}: found {found} arrays"
+            );
+        }
+    }
+
+    #[test]
+    fn mutation_is_deterministic_per_seed() {
+        let bytes =
+            EncodedColumn::encode_as(&(0..300).collect::<Vec<_>>(), Scheme::GpuFor).to_bytes();
+        let a = mutate(&bytes, &mut Rng::seed_from_u64(11));
+        let b = mutate(&bytes, &mut Rng::seed_from_u64(11));
+        assert_eq!(a, b);
+    }
+}

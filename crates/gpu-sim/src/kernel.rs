@@ -24,6 +24,13 @@ pub struct KernelConfig {
     /// Registers per thread the kernel needs. Above the device's spill
     /// threshold, the excess is charged as local-memory traffic.
     pub regs_per_thread: usize,
+    /// Decode "fuel" budget per thread block, in abstract work units
+    /// (roughly: words staged + values produced). `None` means
+    /// unlimited. Kernels that process *untrusted* data consume fuel via
+    /// [`BlockCtx::consume_fuel`] so a hostile stream can bound neither
+    /// the simulator's time nor its memory: once the budget is spent the
+    /// decode path bails out with a typed error instead of spinning.
+    pub fuel_per_block: Option<u64>,
 }
 
 impl KernelConfig {
@@ -37,6 +44,7 @@ impl KernelConfig {
             threads_per_block,
             smem_per_block: 0,
             regs_per_thread: 32,
+            fuel_per_block: None,
         }
     }
 
@@ -49,6 +57,13 @@ impl KernelConfig {
     /// Set registers per thread.
     pub fn regs_per_thread(mut self, regs: usize) -> Self {
         self.regs_per_thread = regs;
+        self
+    }
+
+    /// Set the per-block decode fuel budget (see
+    /// [`KernelConfig::fuel_per_block`]).
+    pub fn fuel_per_block(mut self, units: u64) -> Self {
+        self.fuel_per_block = Some(units);
         self
     }
 }
@@ -78,6 +93,8 @@ pub struct BlockCtx<'a> {
     /// Per-block L1 model: segments already fetched by this block
     /// (None when the device's `l1_per_block` is off).
     l1: Option<HashSet<u64>>,
+    /// Remaining decode fuel (None = unlimited).
+    fuel: Option<u64>,
 }
 
 impl<'a> BlockCtx<'a> {
@@ -93,7 +110,33 @@ impl<'a> BlockCtx<'a> {
             shared: vec![0u32; cfg.smem_per_block / 4],
             traffic,
             l1: l1_per_block.then(HashSet::new),
+            fuel: cfg.fuel_per_block,
         }
+    }
+
+    /// Consume `units` of the block's decode fuel budget. Returns
+    /// `false` once the budget is exhausted — the caller must abandon
+    /// the block with a typed error. With no budget armed this always
+    /// returns `true`.
+    #[must_use]
+    pub fn consume_fuel(&mut self, units: u64) -> bool {
+        match &mut self.fuel {
+            None => true,
+            Some(rem) => {
+                if *rem >= units {
+                    *rem -= units;
+                    true
+                } else {
+                    *rem = 0;
+                    false
+                }
+            }
+        }
+    }
+
+    /// Remaining decode fuel, if a budget is armed.
+    pub fn fuel_remaining(&self) -> Option<u64> {
+        self.fuel
     }
 
     /// Charge the read transactions for a contiguous byte range,
@@ -384,6 +427,32 @@ mod tests {
             blk.warp_atomic_add_u64(&mut acc, &[(1, 10)]);
         });
         assert_eq!(acc.as_slice_unaccounted()[1], 30);
+    }
+
+    #[test]
+    fn fuel_budget_is_per_block_and_exhausts() {
+        let dev = Device::v100();
+        let mut exhausted = 0usize;
+        dev.launch(KernelConfig::new("k", 3, 64).fuel_per_block(10), |blk| {
+            assert_eq!(blk.fuel_remaining(), Some(10));
+            assert!(blk.consume_fuel(6));
+            assert!(blk.consume_fuel(4));
+            if !blk.consume_fuel(1) {
+                exhausted += 1;
+            }
+            assert_eq!(blk.fuel_remaining(), Some(0));
+        });
+        assert_eq!(exhausted, 3);
+    }
+
+    #[test]
+    fn no_fuel_budget_means_unlimited() {
+        let dev = Device::v100();
+        dev.launch(KernelConfig::new("k", 1, 64), |blk| {
+            assert!(blk.consume_fuel(u64::MAX));
+            assert!(blk.consume_fuel(u64::MAX));
+            assert_eq!(blk.fuel_remaining(), None);
+        });
     }
 
     #[test]

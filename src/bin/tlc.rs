@@ -11,19 +11,37 @@
 //! tlc inspect    <input.tlc>
 //! tlc verify     <input.tlc>
 //! tlc faultsim   [--seed N]
+//! tlc fuzz       [--seed N | --seed A..B] [--iters M]
 //! ```
 //!
 //! `verify` checks a serialized column end to end (stream digest,
 //! per-block checksums, structural validation, then a full device-side
-//! decode with tile verification) and exits non-zero on any damage.
+//! decode with tile verification). Its exit code classifies the damage
+//! so scripts can react without parsing stderr:
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0    | stream verified |
+//! | 1    | I/O or usage error |
+//! | 2    | integrity damage (stream digest / block checksum mismatch) |
+//! | 3    | structural or hostile stream (malformed / over-limit metadata) |
+//! | 4    | kernel launch failure |
+//!
 //! `faultsim` runs the seeded fault-injection campaign: sharded SSB
 //! queries with bit flips, transient launch failures and a killed
 //! device, asserting the recovered answers match a fault-free run.
+//! `fuzz` runs the offline differential fuzzer (`tlc::fuzz`): honest
+//! streams are structurally mutated and every mutant must decode
+//! identically on CPU and GPU-sim or die with a typed error — never a
+//! panic, never past the allocation cap. `--seed A..B` runs one
+//! campaign per seed in the (Rust-style, exclusive) range. The
+//! checked-in regression corpus runs on every invocation.
 
 use std::process::ExitCode;
 
+use tlc::fuzz::{run_corpus, run_fuzz, FuzzConfig};
 use tlc::planner::{recommend_scheme, ColumnStats};
-use tlc::schemes::{EncodedColumn, Scheme};
+use tlc::schemes::{DecodeError, EncodedColumn, FormatError, Limits, Scheme};
 use tlc::sim::{Device, FaultPlan};
 use tlc::ssb::fleet::run_query_sharded;
 use tlc::ssb::{run_query_sharded_resilient, QueryId, SsbData, System};
@@ -149,23 +167,148 @@ fn cmd_inspect(input: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_verify(input: &str) -> Result<(), String> {
+/// A CLI failure carrying its process exit code. `verify` uses the
+/// distinct codes documented in the module header; everything else
+/// reports code 1.
+struct CliError {
+    code: u8,
+    message: String,
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError { code: 1, message }
+    }
+}
+
+/// Exit code for a parse-time failure: integrity damage (digest /
+/// checksum mismatch) is distinguishable from random structural or
+/// hostile malformation.
+fn format_error_code(e: &FormatError) -> u8 {
+    match e {
+        FormatError::StreamChecksum | FormatError::ChecksumMismatch { .. } => 2,
+        _ => 3,
+    }
+}
+
+/// Exit code for a device-side decode failure.
+fn decode_error_code(e: &DecodeError) -> u8 {
+    match e {
+        DecodeError::Corrupt { .. } => 2,
+        DecodeError::Structure { .. } | DecodeError::Hostile { .. } => 3,
+        DecodeError::Launch(_) => 4,
+    }
+}
+
+fn cmd_verify(input: &str) -> Result<(), CliError> {
     let bytes = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
     // Parsing already verifies the stream digest, the per-block
-    // checksum array and the structural invariants.
-    let col = EncodedColumn::from_bytes(&bytes).map_err(|e| format!("{input}: {e}"))?;
+    // checksum array, the structural invariants and the resource caps.
+    let col = EncodedColumn::from_bytes(&bytes).map_err(|e| CliError {
+        code: format_error_code(&e),
+        message: format!("{input}: {e}"),
+    })?;
     // Then decode every tile on the simulated device, which re-verifies
     // each block checksum from shared memory before trusting any width.
     let dev = Device::v100();
-    let decoded = col
-        .to_device(&dev)
-        .decompress(&dev)
-        .map_err(|e| format!("{input}: {e}"))?;
+    let decoded = col.to_device(&dev).decompress(&dev).map_err(|e| CliError {
+        code: decode_error_code(&e),
+        message: format!("{input}: {e}"),
+    })?;
     let n = decoded.as_slice_unaccounted().len();
     println!(
         "{input}: ok ({n} values, {}, {} bytes, stream digest + per-block checksums verified)",
         col.scheme().name(),
         col.compressed_bytes(),
+    );
+    Ok(())
+}
+
+/// Parse `--seed` for `fuzz`: a single seed (`7`) or a Rust-style
+/// range (`0..4` exclusive, `0..=4` inclusive).
+fn parse_seed_spec(s: &str) -> Result<Vec<u64>, String> {
+    let parse_one =
+        |t: &str| -> Result<u64, String> { t.parse().map_err(|e| format!("--seed '{s}': {e}")) };
+    if let Some((a, b)) = s.split_once("..=") {
+        let (a, b) = (parse_one(a)?, parse_one(b)?);
+        Ok((a..=b).collect())
+    } else if let Some((a, b)) = s.split_once("..") {
+        let (a, b) = (parse_one(a)?, parse_one(b)?);
+        Ok((a..b).collect())
+    } else {
+        Ok(vec![parse_one(s)?])
+    }
+}
+
+fn cmd_fuzz(args: &[String]) -> Result<(), String> {
+    let mut seeds: Vec<u64> = vec![0];
+    let mut iters = 1000usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                seeds = parse_seed_spec(it.next().ok_or("--seed needs a value")?)?;
+            }
+            "--iters" => {
+                iters = it
+                    .next()
+                    .ok_or("--iters needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--iters: {e}"))?;
+            }
+            other => return Err(format!("unexpected argument '{other}'")),
+        }
+    }
+    if seeds.is_empty() {
+        return Err("--seed range is empty".to_string());
+    }
+
+    let limits = Limits::strict();
+    let mut findings = 0usize;
+    for &seed in &seeds {
+        let report = run_fuzz(&FuzzConfig {
+            seed,
+            iters,
+            limits,
+        });
+        println!("seed {seed}: {report}");
+        for f in &report.findings {
+            findings += 1;
+            println!(
+                "  FINDING (seed {seed}, iter {}): {:?}\n  reproducer ({} bytes): {}",
+                f.iter,
+                f.verdict,
+                f.bytes.len(),
+                f.bytes
+                    .iter()
+                    .map(|b| format!("{b:02x}"))
+                    .collect::<String>(),
+            );
+        }
+    }
+
+    // The checked-in regression corpus runs on every invocation, so a
+    // validator regression trips even with few iterations.
+    let dirty = run_corpus(&limits)?;
+    for (name, verdict) in &dirty {
+        println!("  CORPUS REGRESSION {name}: {verdict:?}");
+    }
+    println!(
+        "corpus: {} cases {}",
+        tlc::fuzz::corpus::load_corpus()?.len(),
+        if dirty.is_empty() { "clean" } else { "DIRTY" },
+    );
+    if findings + dirty.len() > 0 {
+        return Err(format!(
+            "{} finding(s), {} corpus regression(s)",
+            findings,
+            dirty.len()
+        ));
+    }
+    println!(
+        "fuzz: {} campaign(s) x {iters} mutants, no panics, no over-cap \
+         allocations, no CPU/GPU-sim divergence",
+        seeds.len()
     );
     Ok(())
 }
@@ -237,20 +380,23 @@ fn cmd_faultsim(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<(), CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("stats") if args.len() == 2 => cmd_stats(&args[1]),
-        Some("compress") => cmd_compress(&args[1..]),
-        Some("decompress") if args.len() == 3 => cmd_decompress(&args[1], &args[2]),
-        Some("inspect") if args.len() == 2 => cmd_inspect(&args[1]),
+        Some("stats") if args.len() == 2 => cmd_stats(&args[1]).map_err(CliError::from),
+        Some("compress") => cmd_compress(&args[1..]).map_err(CliError::from),
+        Some("decompress") if args.len() == 3 => {
+            cmd_decompress(&args[1], &args[2]).map_err(CliError::from)
+        }
+        Some("inspect") if args.len() == 2 => cmd_inspect(&args[1]).map_err(CliError::from),
         Some("verify") if args.len() == 2 => cmd_verify(&args[1]),
-        Some("faultsim") => cmd_faultsim(&args[1..]),
-        _ => Err(
-            "usage: tlc <stats|compress|decompress|inspect|verify|faultsim> ... \
+        Some("faultsim") => cmd_faultsim(&args[1..]).map_err(CliError::from),
+        Some("fuzz") => cmd_fuzz(&args[1..]).map_err(CliError::from),
+        _ => Err(CliError::from(
+            "usage: tlc <stats|compress|decompress|inspect|verify|faultsim|fuzz> ... \
              (see --help in README)"
                 .to_string(),
-        ),
+        )),
     }
 }
 
@@ -258,8 +404,8 @@ fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("tlc: {e}");
-            ExitCode::FAILURE
+            eprintln!("tlc: {}", e.message);
+            ExitCode::from(e.code)
         }
     }
 }

@@ -12,6 +12,10 @@
 //!   hybrid chooser ([`tlc_planner`]).
 //! * [`crystal`] — the tile-based query engine ([`tlc_crystal`]).
 //! * [`ssb`] — the Star Schema Benchmark ([`tlc_ssb`]).
+//! * [`fuzz`] — offline differential fuzzing of the serialized formats
+//!   ([`tlc_fuzz`]): structure-aware mutation, a
+//!   panic/allocation/divergence oracle, a checked-in regression
+//!   corpus.
 //!
 //! ## Example: compressed scan inside a query kernel
 //!
@@ -36,6 +40,7 @@ pub use tlc_baselines as baselines;
 pub use tlc_bitpack as bitpack;
 pub use tlc_core as schemes;
 pub use tlc_crystal as crystal;
+pub use tlc_fuzz as fuzz;
 pub use tlc_gpu_sim as sim;
 pub use tlc_planner as planner;
 pub use tlc_ssb as ssb;

@@ -123,3 +123,74 @@ fn usage_on_bad_args() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
 }
+
+/// `verify` classifies failures into distinct exit codes: 1 I/O, 2
+/// integrity damage, 3 structural/hostile malformation.
+#[test]
+fn verify_exit_codes_classify_the_failure() {
+    let input = tmp("verify_in.bin");
+    let packed = tmp("verify.tlc");
+    write_column(&input, &(0..20_000).map(|i| i / 7).collect::<Vec<i32>>());
+    let st = bin()
+        .args(["compress"])
+        .arg(&input)
+        .arg(&packed)
+        .status()
+        .expect("run");
+    assert!(st.success());
+
+    // Clean stream: exit 0.
+    let st = bin().args(["verify"]).arg(&packed).status().expect("run");
+    assert_eq!(st.code(), Some(0));
+
+    // Payload byte flip: the whole-stream digest catches it -> exit 2.
+    let bytes = std::fs::read(&packed).expect("read");
+    let damaged = tmp("verify_damaged.tlc");
+    let mut dirty = bytes.clone();
+    let mid = dirty.len() / 2;
+    dirty[mid] ^= 0xFF;
+    std::fs::write(&damaged, &dirty).expect("write");
+    let st = bin().args(["verify"]).arg(&damaged).status().expect("run");
+    assert_eq!(st.code(), Some(2), "digest damage must exit 2");
+
+    // Truncation: structural rejection -> exit 3.
+    let truncated = tmp("verify_trunc.tlc");
+    std::fs::write(&truncated, &bytes[..9]).expect("write");
+    let st = bin()
+        .args(["verify"])
+        .arg(&truncated)
+        .status()
+        .expect("run");
+    assert_eq!(st.code(), Some(3), "truncation must exit 3");
+
+    // Missing file: I/O error -> exit 1.
+    let st = bin()
+        .args(["verify"])
+        .arg(tmp("verify_missing.tlc"))
+        .status()
+        .expect("run");
+    assert_eq!(st.code(), Some(1), "missing file must exit 1");
+
+    for p in [input, packed, damaged, truncated] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+/// A tiny `fuzz` campaign through the binary: exercises arg parsing
+/// (including the range syntax), the corpus runner and the exit path.
+#[test]
+fn fuzz_subcommand_runs_a_bounded_campaign() {
+    let out = bin()
+        .args(["fuzz", "--seed", "0..2", "--iters", "50"])
+        .output()
+        .expect("run");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "fuzz failed: {text}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(text.contains("seed 0:"), "{text}");
+    assert!(text.contains("seed 1:"), "{text}");
+    assert!(text.contains("corpus:"), "{text}");
+}

@@ -94,6 +94,40 @@ fn serialized_byte_flips_are_always_rejected() {
     }
 }
 
+/// Legacy minor-0 streams carry no digest and no per-block checksums,
+/// so a byte flip is *allowed* to decode silently — but it must still
+/// never panic, never out-allocate, and never make the CPU reference
+/// and the GPU-sim path disagree. The differential oracle checks all
+/// three.
+#[test]
+fn minor0_byte_flips_uphold_the_panic_free_contract() {
+    use tlc::fuzz::oracle::{check_stream, Verdict};
+    use tlc::schemes::Limits;
+
+    let limits = Limits::strict();
+    let mut silently_decoded = 0usize;
+    let mut rejected = 0usize;
+    for seed in 0..4u64 {
+        let values = campaign_values(seed);
+        for scheme in Scheme::ALL {
+            let bytes = EncodedColumn::encode_as(&values, scheme).to_bytes_minor0();
+            for pos in (0..bytes.len()).step_by(1499).chain([bytes.len() - 1]) {
+                let mut dirty = bytes.clone();
+                dirty[pos] ^= 1 << (seed % 8);
+                match check_stream(&dirty, &limits) {
+                    Verdict::Decoded { .. } => silently_decoded += 1,
+                    Verdict::TypedError { .. } => rejected += 1,
+                    v => panic!("seed {seed} {scheme:?} flip at {pos}: {v:?}"),
+                }
+            }
+        }
+    }
+    // The campaign must exercise both outcomes: structural rejections
+    // and (checksum-free) silent successes.
+    assert!(rejected > 0, "no flip was ever rejected");
+    assert!(silently_decoded > 0, "no flip ever decoded");
+}
+
 /// The acceptance campaign: bit flips on every shard, transient launch
 /// failures, one of four devices killed, seeds 0..8. The recovered
 /// result must equal the fault-free result and the report must account
