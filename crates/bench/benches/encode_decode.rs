@@ -1,15 +1,22 @@
 //! Timing harness (plain `fn main`, no criterion — the workspace builds
 //! offline): real CPU time of the encoders and of a full simulated
-//! decompression pass, one group per scheme.
+//! decompression pass, one group per scheme — the decode pass timed on
+//! both the serial and the multi-core simulator backend.
+//!
+//! Alongside the printed tables the run writes
+//! `BENCH_encode_decode.json` (to `TLC_BENCH_DIR` or the current
+//! directory): wall-clock throughput per scheme, the analytic model
+//! time of the simulated decode (worker-count-invariant), and the
+//! worker counts used. Size: `TLC_N`, default 2^18.
 //!
 //! Run with `cargo bench -p tlc-bench --bench encode_decode`.
 
 use std::time::Instant;
-use tlc_bench::{print_table, sorted_unique, uniform_bits};
+use tlc_bench::{print_table, sorted_unique, uniform_bits, write_bench_json, Json};
+use tlc_core::parallel::encoder_threads;
 use tlc_core::{EncodedColumn, Scheme};
-use tlc_gpu_sim::Device;
+use tlc_gpu_sim::{set_sim_threads_override, sim_threads, Device};
 
-const N: usize = 1 << 18;
 const ITERS: usize = 5;
 
 fn time_best<R>(iters: usize, mut f: impl FnMut() -> R) -> f64 {
@@ -23,9 +30,16 @@ fn time_best<R>(iters: usize, mut f: impl FnMut() -> R) -> f64 {
 }
 
 fn main() {
-    let uniform = uniform_bits(N, 16, 1);
-    let sorted = sorted_unique(N, 1 << 16);
-    let runs: Vec<i32> = (0..N).map(|i| (i / 64) as i32).collect();
+    let n = std::env::var("TLC_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1 << 18);
+    let workers = sim_threads();
+    let uniform = uniform_bits(n, 16, 1);
+    let sorted = sorted_unique(n, 1 << 16);
+    let runs: Vec<i32> = (0..n).map(|i| (i / 64) as i32).collect();
+    let mvals = |t: f64| n as f64 / t / 1e6;
+    let mut json_rows = Vec::new();
 
     let mut rows = Vec::new();
     for (scheme, data) in [
@@ -36,30 +50,53 @@ fn main() {
         let t = time_best(ITERS, || {
             EncodedColumn::encode_as(data, scheme).compressed_bytes()
         });
-        rows.push(vec![
-            scheme.name().to_string(),
-            format!("{:.1}", N as f64 / t / 1e6),
-        ]);
+        rows.push(vec![scheme.name().to_string(), format!("{:.1}", mvals(t))]);
+        json_rows.push(Json::Obj(vec![
+            ("scheme", Json::Str(scheme.name().to_string())),
+            ("op", Json::Str("encode".to_string())),
+            ("wall_s", Json::Num(t)),
+            ("mvals_per_s", Json::Num(mvals(t))),
+        ]));
     }
-    print_table("encode (best of 5)", &["scheme", "Mvals/s"], &rows);
+    print_table(
+        &format!("encode (best of {ITERS})"),
+        &["scheme", "Mvals/s"],
+        &rows,
+    );
 
     let mut rows = Vec::new();
     for scheme in Scheme::ALL {
         let dev = Device::v100();
         let col = EncodedColumn::encode_as(&uniform, scheme).to_device(&dev);
-        let t = time_best(ITERS, || {
+        let run = || {
             dev.reset_timeline();
             col.decode_only(&dev).expect("decode");
             dev.elapsed_seconds()
-        });
+        };
+        set_sim_threads_override(Some(1));
+        let wall_serial = time_best(ITERS, run);
+        set_sim_threads_override(Some(workers));
+        let wall_parallel = time_best(ITERS, run);
+        set_sim_threads_override(None);
+        let modelled = dev.elapsed_seconds();
         rows.push(vec![
             scheme.name().to_string(),
-            format!("{:.1}", N as f64 / t / 1e6),
+            format!("{:.1}", mvals(wall_serial)),
+            format!("{:.1}", mvals(wall_parallel)),
+            format!("{:.3}", modelled * 1e3),
         ]);
+        json_rows.push(Json::Obj(vec![
+            ("scheme", Json::Str(scheme.name().to_string())),
+            ("op", Json::Str("decode_sim".to_string())),
+            ("wall_serial_s", Json::Num(wall_serial)),
+            ("wall_parallel_s", Json::Num(wall_parallel)),
+            ("speedup", Json::Num(wall_serial / wall_parallel)),
+            ("modelled_s", Json::Num(modelled)),
+        ]));
     }
     print_table(
-        "decompress_simulated (best of 5)",
-        &["scheme", "Mvals/s"],
+        &format!("decompress_simulated (best of {ITERS}, {workers} worker(s))"),
+        &["scheme", "serial Mvals/s", "parallel Mvals/s", "model ms"],
         &rows,
     );
 
@@ -67,10 +104,30 @@ fn main() {
     for scheme in Scheme::ALL {
         let col = EncodedColumn::encode_as(&uniform, scheme);
         let t = time_best(ITERS, || col.decode_cpu().len());
-        rows.push(vec![
-            scheme.name().to_string(),
-            format!("{:.1}", N as f64 / t / 1e6),
-        ]);
+        rows.push(vec![scheme.name().to_string(), format!("{:.1}", mvals(t))]);
+        json_rows.push(Json::Obj(vec![
+            ("scheme", Json::Str(scheme.name().to_string())),
+            ("op", Json::Str("decode_cpu".to_string())),
+            ("wall_s", Json::Num(t)),
+            ("mvals_per_s", Json::Num(mvals(t))),
+        ]));
     }
-    print_table("decode_cpu (best of 5)", &["scheme", "Mvals/s"], &rows);
+    print_table(
+        &format!("decode_cpu (best of {ITERS})"),
+        &["scheme", "Mvals/s"],
+        &rows,
+    );
+
+    let doc = Json::Obj(vec![
+        ("bench", Json::Str("encode_decode".to_string())),
+        ("n", Json::Int(n as u64)),
+        ("workers", Json::Int(workers as u64)),
+        ("encode_threads", Json::Int(encoder_threads() as u64)),
+        ("iters", Json::Int(ITERS as u64)),
+        ("rows", Json::Arr(json_rows)),
+    ]);
+    match write_bench_json("BENCH_encode_decode.json", &doc) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write BENCH_encode_decode.json: {e}"),
+    }
 }

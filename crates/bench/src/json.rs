@@ -1,0 +1,152 @@
+//! Machine-readable bench artifacts (`BENCH_*.json`).
+//!
+//! The workspace builds offline, so this is a deliberately tiny JSON
+//! writer instead of a serde dependency: enough to emit flat objects,
+//! arrays and numbers with stable formatting, so the perf trajectory of
+//! the repo can be diffed file-against-file across commits.
+//!
+//! Artifacts land in `TLC_BENCH_DIR` (default: the current directory).
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A JSON value. Numbers render with `{:?}` (shortest roundtrip form),
+/// so equal inputs always serialize identically.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// JSON number from an f64 (must be finite).
+    Num(f64),
+    /// JSON number from an unsigned integer.
+    Int(u64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Arr(Vec<Json>),
+    /// JSON object; keys render in insertion order.
+    Obj(Vec<(&'static str, Json)>),
+}
+
+impl Json {
+    /// Serialize with two-space indentation and a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        let pad = |out: &mut String, d: usize| {
+            for _ in 0..d {
+                out.push_str("  ");
+            }
+        };
+        match self {
+            Json::Num(v) => {
+                assert!(v.is_finite(), "JSON numbers must be finite, got {v}");
+                out.push_str(&format!("{v:?}"));
+            }
+            Json::Int(v) => out.push_str(&v.to_string()),
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    pad(out, depth + 1);
+                    item.write(out, depth + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                pad(out, depth);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    pad(out, depth + 1);
+                    out.push_str(&format!("\"{key}\": "));
+                    value.write(out, depth + 1);
+                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                }
+                pad(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Directory the artifacts are written to: `TLC_BENCH_DIR` or `.`.
+pub fn bench_dir() -> PathBuf {
+    std::env::var_os("TLC_BENCH_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// Write `value` to `<bench_dir>/<file>` and return the path.
+pub fn write_bench_json(file: &str, value: &Json) -> io::Result<PathBuf> {
+    let dir = bench_dir();
+    if !Path::new(&dir).exists() {
+        std::fs::create_dir_all(&dir)?;
+    }
+    let path = dir.join(file);
+    std::fs::write(&path, value.render())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_object() {
+        let j = Json::Obj(vec![
+            ("bench", Json::Str("demo".into())),
+            ("workers", Json::Int(4)),
+            ("seconds", Json::Num(0.25)),
+            (
+                "rows",
+                Json::Arr(vec![Json::Obj(vec![("q", Json::Str("q1.1".into()))])]),
+            ),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        let s = j.render();
+        assert!(s.contains("\"bench\": \"demo\""));
+        assert!(s.contains("\"workers\": 4"));
+        assert!(s.contains("\"seconds\": 0.25"));
+        assert!(s.contains("\"empty\": []"));
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let j = Json::Str("a\"b\\c\nd".into());
+        assert_eq!(j.render(), "\"a\\\"b\\\\c\\nd\"\n");
+    }
+
+    #[test]
+    fn float_formatting_roundtrips() {
+        // {:?} prints the shortest string that parses back exactly.
+        let j = Json::Num(1.0e-6);
+        assert_eq!(j.render().trim(), "1e-6");
+        let j = Json::Num(3.0);
+        assert_eq!(j.render().trim(), "3.0");
+    }
+}

@@ -9,6 +9,10 @@
 
 use tlc_rng::Rng;
 
+pub mod json;
+
+pub use json::{write_bench_json, Json};
+
 /// Datasets used in Section 9.2 have 250 M entries; Section 4.2 uses
 /// 500 M.
 pub const PAPER_N_FIG7: usize = 250_000_000;

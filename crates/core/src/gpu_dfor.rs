@@ -335,22 +335,29 @@ fn run_decode(
 ) -> Result<(), DecodeError> {
     let tiles = col.tiles();
     let cfg = decode_config(name, tiles, col.d, 0);
-    let mut tile_vals: Vec<i32> = Vec::with_capacity(col.d * BLOCK);
+    // Tiles decode on workers; the serial merge writes in tile order
+    // and keeps the first error in block order (see `gpu_for`).
     let mut failed: Option<DecodeError> = None;
-    dev.try_launch(cfg, |ctx| {
-        if failed.is_some() {
-            return;
-        }
-        let tile_id = ctx.block_id();
-        match load_tile(ctx, col, tile_id, &mut tile_vals) {
-            Ok(n) => {
-                if let Some(out) = out.as_deref_mut() {
-                    ctx.write_coalesced(out, tile_id * col.d * BLOCK, &tile_vals[..n]);
+    dev.try_launch_par(
+        cfg,
+        |ctx| {
+            let tile_id = ctx.block_id();
+            let mut tile_vals: Vec<i32> = Vec::with_capacity(col.d * BLOCK);
+            load_tile(ctx, col, tile_id, &mut tile_vals).map(|_| tile_vals)
+        },
+        |ctx, tile_id, result| match result {
+            Ok(tile_vals) => {
+                if failed.is_none() {
+                    if let Some(out) = out.as_deref_mut() {
+                        ctx.write_coalesced(out, tile_id * col.d * BLOCK, &tile_vals);
+                    }
                 }
             }
-            Err(e) => failed = Some(e),
-        }
-    })
+            Err(e) => {
+                failed.get_or_insert(e);
+            }
+        },
+    )
     .map_err(DecodeError::Launch)?;
     match failed {
         Some(e) => Err(e),

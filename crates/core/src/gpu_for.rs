@@ -380,22 +380,31 @@ fn run_decode(
 ) -> Result<(), DecodeError> {
     let tiles = col.tiles(opts.d);
     let cfg = decode_config(name, tiles, opts.d, 0);
-    let mut tile_vals: Vec<i32> = Vec::with_capacity(opts.d * BLOCK);
+    // Every tile decodes on a worker (as every thread block would run
+    // on a real GPU); the serial merge writes results in tile order and
+    // keeps the first error in block order, which on a clean stream is
+    // byte-identical to the old serial loop.
     let mut failed: Option<DecodeError> = None;
-    dev.try_launch(cfg, |ctx| {
-        if failed.is_some() {
-            return;
-        }
-        let tile_id = ctx.block_id();
-        match load_tile(ctx, col, tile_id, opts, &mut tile_vals) {
-            Ok(n) => {
-                if let Some(out) = out.as_deref_mut() {
-                    ctx.write_coalesced(out, tile_id * opts.d * BLOCK, &tile_vals[..n]);
+    dev.try_launch_par(
+        cfg,
+        |ctx| {
+            let tile_id = ctx.block_id();
+            let mut tile_vals: Vec<i32> = Vec::with_capacity(opts.d * BLOCK);
+            load_tile(ctx, col, tile_id, opts, &mut tile_vals).map(|_| tile_vals)
+        },
+        |ctx, tile_id, result| match result {
+            Ok(tile_vals) => {
+                if failed.is_none() {
+                    if let Some(out) = out.as_deref_mut() {
+                        ctx.write_coalesced(out, tile_id * opts.d * BLOCK, &tile_vals);
+                    }
                 }
             }
-            Err(e) => failed = Some(e),
-        }
-    })
+            Err(e) => {
+                failed.get_or_insert(e);
+            }
+        },
+    )
     .map_err(DecodeError::Launch)?;
     match failed {
         Some(e) => Err(e),

@@ -429,22 +429,29 @@ fn run_decode(
 ) -> Result<(), DecodeError> {
     let blocks = col.blocks();
     let cfg = rfor_config(name, blocks);
-    let mut tile_vals: Vec<i32> = Vec::with_capacity(RFOR_BLOCK);
+    // RLE blocks decode on workers; the serial merge writes in block
+    // order and keeps the first error in block order (see `gpu_for`).
     let mut failed: Option<DecodeError> = None;
-    dev.try_launch(cfg, |ctx| {
-        if failed.is_some() {
-            return;
-        }
-        let block_id = ctx.block_id();
-        match load_tile(ctx, col, block_id, &mut tile_vals) {
-            Ok(n) => {
-                if let Some(out) = out.as_deref_mut() {
-                    ctx.write_coalesced(out, block_id * RFOR_BLOCK, &tile_vals[..n]);
+    dev.try_launch_par(
+        cfg,
+        |ctx| {
+            let block_id = ctx.block_id();
+            let mut tile_vals: Vec<i32> = Vec::with_capacity(RFOR_BLOCK);
+            load_tile(ctx, col, block_id, &mut tile_vals).map(|_| tile_vals)
+        },
+        |ctx, block_id, result| match result {
+            Ok(tile_vals) => {
+                if failed.is_none() {
+                    if let Some(out) = out.as_deref_mut() {
+                        ctx.write_coalesced(out, block_id * RFOR_BLOCK, &tile_vals);
+                    }
                 }
             }
-            Err(e) => failed = Some(e),
-        }
-    })
+            Err(e) => {
+                failed.get_or_insert(e);
+            }
+        },
+    )
     .map_err(DecodeError::Launch)?;
     match failed {
         Some(e) => Err(e),

@@ -7,7 +7,7 @@
 //! `std::thread::scope` workers, then splice the outputs, rebasing each
 //! chunk's `block_starts` by the words that precede it.
 
-use std::num::NonZeroUsize;
+use tlc_gpu_sim::threads::{partitions, threads_from_env};
 
 use crate::format::{BLOCK, DEFAULT_D, RFOR_BLOCK};
 use crate::gpu_dfor::GpuDFor;
@@ -16,34 +16,11 @@ use crate::gpu_rfor::GpuRFor;
 use crate::{EncodedColumn, Scheme};
 
 /// Number of encoder threads: `TLC_ENCODE_THREADS` or available
-/// parallelism (the paper's box had 6 cores).
+/// parallelism (the paper's box had 6 cores). Shares its resolver (and
+/// the aligned range splitter) with the simulator's `TLC_SIM_THREADS`
+/// — see [`tlc_gpu_sim::threads`].
 pub fn encoder_threads() -> usize {
-    std::env::var("TLC_ENCODE_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(NonZeroUsize::get)
-                .unwrap_or(1)
-        })
-        .max(1)
-}
-
-/// Split `n` values into per-thread ranges aligned to `align`.
-fn partitions(n: usize, align: usize, threads: usize) -> Vec<(usize, usize)> {
-    if n == 0 {
-        return vec![];
-    }
-    let chunks = n.div_ceil(align);
-    let per_thread = chunks.div_ceil(threads).max(1) * align;
-    let mut out = Vec::new();
-    let mut lo = 0;
-    while lo < n {
-        let hi = (lo + per_thread).min(n);
-        out.push((lo, hi));
-        lo = hi;
-    }
-    out
+    threads_from_env("TLC_ENCODE_THREADS")
 }
 
 fn map_chunks<E: Send>(

@@ -197,6 +197,124 @@ impl Device {
     where
         F: FnMut(&mut BlockCtx<'_>),
     {
+        self.gate_launch(&cfg)?;
+        let occ = self.occupancy(&cfg);
+        let mut traffic = Traffic::default();
+        for block_id in 0..cfg.grid_blocks {
+            let mut ctx = BlockCtx::new(block_id, &cfg, &mut traffic, self.params.l1_per_block);
+            body(&mut ctx);
+        }
+        Ok(self.finish_launch(cfg, occ, traffic))
+    }
+
+    /// Parallel launch: like [`Device::launch`], but thread blocks
+    /// execute on host worker threads. Panics on an unhandled device
+    /// fault; see [`Device::try_launch_par`] for the execution model.
+    pub fn launch_par<R, B, M>(&self, cfg: KernelConfig, body: B, merge: M) -> KernelReport
+    where
+        R: Send,
+        B: Fn(&mut BlockCtx<'_>) -> R + Sync,
+        M: FnMut(&mut BlockCtx<'_>, usize, R),
+    {
+        let name = cfg.name.clone();
+        self.try_launch_par(cfg, body, merge)
+            .unwrap_or_else(|e| panic!("kernel `{name}`: unhandled device fault: {e}"))
+    }
+
+    /// Fallible parallel launch. The grid is split into contiguous
+    /// block ranges by [`crate::threads::partitions`], one range per
+    /// worker (worker count from [`crate::threads::sim_threads`], i.e.
+    /// `TLC_SIM_THREADS` or available parallelism).
+    ///
+    /// Execution is two-phase, mirroring how a real GPU kernel keeps
+    /// per-block state private until a final reduction:
+    ///
+    /// 1. **body** runs once per block on a worker thread with a
+    ///    worker-local [`Traffic`] accumulator and returns a per-block
+    ///    result `R` (decoded values, a partial aggregate, an error).
+    ///    It must not capture mutable state — the `Fn + Sync` bound
+    ///    enforces this.
+    /// 2. **merge** runs on the calling thread, serially, **in block
+    ///    order**, with a fresh [`BlockCtx`] whose traffic also counts
+    ///    toward the kernel. This is where output buffers are written
+    ///    and accumulators updated.
+    ///
+    /// Determinism: all traffic counters are integers, per-block work
+    /// is independent of the partitioning, and merge order equals block
+    /// order — so the returned [`KernelReport`] (and everything derived
+    /// from it) is bit-identical for any worker count, including the
+    /// single-partition serial path. Fault gating happens once, on the
+    /// calling thread, before any block runs, exactly as in
+    /// [`Device::try_launch`].
+    pub fn try_launch_par<R, B, M>(
+        &self,
+        cfg: KernelConfig,
+        body: B,
+        mut merge: M,
+    ) -> Result<KernelReport, LaunchError>
+    where
+        R: Send,
+        B: Fn(&mut BlockCtx<'_>) -> R + Sync,
+        M: FnMut(&mut BlockCtx<'_>, usize, R),
+    {
+        self.gate_launch(&cfg)?;
+        let occ = self.occupancy(&cfg);
+        let l1 = self.params.l1_per_block;
+        let mut traffic = Traffic::default();
+        let parts = crate::threads::partitions(cfg.grid_blocks, 1, crate::threads::sim_threads());
+        if parts.len() <= 1 {
+            // Serial path: same body-then-merge structure, one block at
+            // a time. Traffic sums are commutative, so this is
+            // bit-identical to the worker path by construction.
+            for block_id in 0..cfg.grid_blocks {
+                let result = {
+                    let mut ctx = BlockCtx::new(block_id, &cfg, &mut traffic, l1);
+                    body(&mut ctx)
+                };
+                let mut ctx = BlockCtx::new(block_id, &cfg, &mut traffic, l1);
+                merge(&mut ctx, block_id, result);
+            }
+        } else {
+            let worker_out: Vec<(Traffic, Vec<R>)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = parts
+                    .iter()
+                    .map(|&(lo, hi)| {
+                        let cfg = &cfg;
+                        let body = &body;
+                        scope.spawn(move || {
+                            let mut local = Traffic::default();
+                            let mut results = Vec::with_capacity(hi - lo);
+                            for block_id in lo..hi {
+                                let mut ctx = BlockCtx::new(block_id, cfg, &mut local, l1);
+                                results.push(body(&mut ctx));
+                            }
+                            (local, results)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("simulator worker panicked"))
+                    .collect()
+            });
+            // Partitions are contiguous and ordered, so concatenating
+            // worker results in partition order visits blocks 0..grid.
+            let mut block_id = 0;
+            for (local, results) in worker_out {
+                traffic = traffic.merge(&local);
+                for result in results {
+                    let mut ctx = BlockCtx::new(block_id, &cfg, &mut traffic, l1);
+                    merge(&mut ctx, block_id, result);
+                    block_id += 1;
+                }
+            }
+        }
+        Ok(self.finish_launch(cfg, occ, traffic))
+    }
+
+    /// Consult the armed fault plan before running any block; a failed
+    /// launch still costs the fixed launch overhead on the timeline.
+    fn gate_launch(&self, cfg: &KernelConfig) -> Result<(), LaunchError> {
         if let Some(state) = self.faults.borrow_mut().as_mut() {
             if let Err(e) = state.gate_launch(&cfg.name) {
                 self.timeline.borrow_mut().push(KernelReport {
@@ -211,12 +329,17 @@ impl Device {
                 return Err(e);
             }
         }
-        let occ = self.occupancy(&cfg);
-        let mut traffic = Traffic::default();
-        for block_id in 0..cfg.grid_blocks {
-            let mut ctx = BlockCtx::new(block_id, &cfg, &mut traffic, self.params.l1_per_block);
-            body(&mut ctx);
-        }
+        Ok(())
+    }
+
+    /// Shared tail of every launch: charge register spills, convert
+    /// traffic to modelled time, record the report.
+    fn finish_launch(
+        &self,
+        cfg: KernelConfig,
+        occ: Occupancy,
+        mut traffic: Traffic,
+    ) -> KernelReport {
         // Register spilling: every resident thread round-trips the
         // spilled registers through local (= global) memory.
         if cfg.regs_per_thread > self.params.spill_threshold_regs {
@@ -226,7 +349,7 @@ impl Device {
         }
         let report = self.time_kernel(&cfg, occ, traffic);
         self.timeline.borrow_mut().push(report.clone());
-        Ok(report)
+        report
     }
 
     /// Occupancy achieved by a kernel configuration on this device.
@@ -465,6 +588,46 @@ mod tests {
             (t - expected).abs() / expected < 0.05,
             "t={t} expected={expected}"
         );
+    }
+
+    #[test]
+    fn launch_par_matches_serial_launch_exactly() {
+        // The parallel backend must produce the same report (traffic,
+        // occupancy, seconds) as the serial loop, for every worker
+        // count — including the merge-phase traffic.
+        let _guard = crate::threads::TEST_OVERRIDE_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let n = 1 << 16;
+        let run = |threads: usize| {
+            crate::threads::set_sim_threads_override(Some(threads));
+            let dev = Device::v100();
+            let buf = dev.alloc_from_slice::<u32>(&(0..n as u32).collect::<Vec<_>>());
+            let mut out = dev.alloc_zeroed::<u32>(n);
+            let grid = n / 128;
+            let report = dev.launch_par(
+                KernelConfig::new("par", grid, 128).regs_per_thread(70),
+                |blk| {
+                    let base = blk.block_id() * 128;
+                    let vals = blk.read_coalesced(&buf, base, 128);
+                    blk.add_int_ops(128);
+                    vals.iter().map(|&v| v * 2).collect::<Vec<u32>>()
+                },
+                |blk, block_id, doubled| {
+                    blk.write_coalesced(&mut out, block_id * 128, &doubled);
+                },
+            );
+            crate::threads::set_sim_threads_override(None);
+            (report, out.as_slice_unaccounted().to_vec())
+        };
+        let (serial_report, serial_out) = run(1);
+        for threads in [2, 3, 8] {
+            let (report, out) = run(threads);
+            assert_eq!(report, serial_report, "threads = {threads}");
+            assert_eq!(out, serial_out, "threads = {threads}");
+        }
+        assert_eq!(serial_out[5], 10);
+        assert!(serial_report.traffic.spill_bytes > 0);
     }
 
     #[test]

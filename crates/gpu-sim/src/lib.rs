@@ -28,8 +28,17 @@
 //! calibration constants live in [`DeviceParams`] and are documented
 //! there.
 //!
-//! The simulator is deliberately single threaded: traffic accounting is
-//! deterministic, so every figure harness is exactly reproducible.
+//! Execution is multi-core on the host: [`Device::launch_par`] and
+//! [`Device::try_launch_par`] partition the grid across
+//! `std::thread::scope` workers (`TLC_SIM_THREADS`, default
+//! `available_parallelism`), each accumulating its own [`Traffic`], and
+//! merge the per-block results on the host in block order. Because
+//! traffic counters are integers and the time model is a pure function
+//! of their sums, every analytic output — traffic, modelled time,
+//! occupancy, fault statistics — is **bit-identical** for any worker
+//! count, including 1, so every figure harness remains exactly
+//! reproducible (the determinism contract is spelled out in
+//! DESIGN.md §11). Worker count changes host wall-clock time only.
 //!
 //! ## Example
 //!
@@ -59,9 +68,11 @@ pub mod kernel;
 pub mod memory;
 pub mod report;
 pub mod scan;
+pub mod threads;
 
 pub use device::{Device, DeviceParams};
 pub use fault::{FaultPlan, FaultStats, LaunchError};
 pub use kernel::{BlockCtx, KernelConfig, Occupancy};
 pub use memory::{GlobalBuffer, Scalar, SEGMENT_BYTES, WARP_SIZE};
 pub use report::{KernelReport, Timeline, Traffic};
+pub use threads::{partitions, set_sim_threads_override, sim_threads, threads_from_env};

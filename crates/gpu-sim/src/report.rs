@@ -35,7 +35,11 @@ impl Traffic {
 }
 
 /// What one simulated event (kernel launch or PCIe transfer) cost.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field, floats included, with no epsilon:
+/// the determinism contract (DESIGN.md §11) promises bit-identical
+/// reports across worker counts, and the tests hold it to that.
+#[derive(Debug, Clone, PartialEq)]
 pub struct KernelReport {
     /// Kernel name (or `"pcie"` for transfers).
     pub name: String,

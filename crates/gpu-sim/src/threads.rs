@@ -1,0 +1,153 @@
+//! Host-side worker-thread plumbing shared by every parallel subsystem
+//! in the workspace.
+//!
+//! Two independent knobs exist because encoding and simulation are
+//! different workloads with different sweet spots:
+//!
+//! * `TLC_ENCODE_THREADS` — host-side compression workers
+//!   (`tlc-core::parallel`).
+//! * `TLC_SIM_THREADS` — simulator execution workers: thread blocks of a
+//!   kernel launch, fleet shards, and fuzz seed campaigns.
+//!
+//! Both resolve through [`threads_from_env`]: the environment variable if
+//! it parses to a positive integer, otherwise
+//! [`std::thread::available_parallelism`]. [`sim_threads`] additionally
+//! honours a process-global override ([`set_sim_threads_override`]) so
+//! tests and benches can pin the worker count without the data race that
+//! `std::env::set_var` would cause under the multi-threaded test runner.
+//!
+//! Determinism contract: the simulator's analytic outputs (traffic,
+//! modelled time, occupancy, fault statistics) are **bit-identical** for
+//! every worker count, including 1. Worker counts change wall-clock time
+//! only. See `DESIGN.md` §11.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolve a worker count from the environment variable `var`, falling
+/// back to [`std::thread::available_parallelism`]. Always at least 1.
+pub fn threads_from_env(var: &str) -> usize {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+        .max(1)
+}
+
+/// 0 = no override (consult the environment).
+static SIM_THREADS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Pin the simulator worker count for this process, overriding
+/// `TLC_SIM_THREADS`. `None` restores environment resolution. Intended
+/// for tests and benches; racing `std::env::set_var` against a
+/// multi-threaded test runner is UB-adjacent, an atomic is not.
+pub fn set_sim_threads_override(threads: Option<usize>) {
+    SIM_THREADS_OVERRIDE.store(threads.unwrap_or(0), Ordering::SeqCst);
+}
+
+/// Number of simulator execution workers: the process-global override if
+/// set, else `TLC_SIM_THREADS`, else available parallelism.
+pub fn sim_threads() -> usize {
+    match SIM_THREADS_OVERRIDE.load(Ordering::SeqCst) {
+        0 => threads_from_env("TLC_SIM_THREADS"),
+        n => n,
+    }
+}
+
+/// Split `n` work items into contiguous per-worker ranges whose
+/// boundaries fall on multiples of `align` (except the final end, which
+/// is `n`). Ranges are returned in order, cover `[0, n)` exactly, and
+/// never overlap — so a fold over them in index order visits every item
+/// in the same order a serial loop would.
+pub fn partitions(n: usize, align: usize, threads: usize) -> Vec<(usize, usize)> {
+    if n == 0 {
+        return vec![];
+    }
+    let align = align.max(1);
+    let chunks = n.div_ceil(align);
+    let per_thread = chunks.div_ceil(threads.max(1)).max(1) * align;
+    let mut out = Vec::new();
+    let mut lo = 0;
+    while lo < n {
+        let hi = (lo + per_thread).min(n);
+        out.push((lo, hi));
+        lo = hi;
+    }
+    out
+}
+
+/// Serializes unit tests that touch the process-global override (the
+/// test runner is itself multi-threaded).
+#[cfg(test)]
+pub(crate) static TEST_OVERRIDE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitions_empty_input() {
+        assert!(partitions(0, 512, 4).is_empty());
+        assert!(partitions(0, 1, 1).is_empty());
+    }
+
+    #[test]
+    fn partitions_smaller_than_align() {
+        // n < align: one partition covering everything.
+        assert_eq!(partitions(100, 512, 4), vec![(0, 100)]);
+        assert_eq!(partitions(1, 512, 8), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn partitions_more_threads_than_chunks() {
+        // 3 chunks of 512, 16 threads: one chunk per partition, never
+        // an empty range.
+        let parts = partitions(3 * 512, 512, 16);
+        assert_eq!(parts, vec![(0, 512), (512, 1024), (1024, 1536)]);
+        for &(lo, hi) in &parts {
+            assert!(lo < hi);
+        }
+    }
+
+    #[test]
+    fn partitions_cover_and_align() {
+        for (n, align, threads) in [(10_000, 512, 4), (8191, 1, 3), (512, 512, 2), (7, 2, 9)] {
+            let parts = partitions(n, align, threads);
+            assert_eq!(parts.first().expect("non-empty").0, 0);
+            assert_eq!(parts.last().expect("non-empty").1, n);
+            for w in parts.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "contiguous");
+                assert_eq!(w[0].1 % align, 0, "interior boundary aligned");
+            }
+            assert!(
+                parts.len() <= threads.max(1),
+                "n={n} align={align} threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn partitions_zero_align_treated_as_one() {
+        let parts = partitions(10, 0, 3);
+        assert_eq!(parts.last().expect("non-empty").1, 10);
+    }
+
+    #[test]
+    fn threads_from_env_ignores_garbage() {
+        // Variable unset / unparsable falls back to >= 1.
+        assert!(threads_from_env("TLC_NO_SUCH_VAR_EVER") >= 1);
+    }
+
+    #[test]
+    fn sim_threads_override_wins() {
+        let _guard = TEST_OVERRIDE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_sim_threads_override(Some(3));
+        assert_eq!(sim_threads(), 3);
+        set_sim_threads_override(None);
+        assert!(sim_threads() >= 1);
+    }
+}

@@ -75,6 +75,34 @@ impl ShardedRun {
     }
 }
 
+/// Map `f` over shards on `tlc_gpu_sim::sim_threads()` host workers,
+/// returning results **in shard order** (each shard owns its simulated
+/// device, so shards share no state; callers fold the ordered results
+/// serially, which keeps every sharded report deterministic for any
+/// worker count). Also used by [`crate::resilience`].
+pub(crate) fn map_shards<T: Send>(
+    parts: &[SsbData],
+    f: impl Fn(usize, &SsbData) -> T + Sync,
+) -> Vec<T> {
+    let ranges = tlc_gpu_sim::partitions(parts.len(), 1, tlc_gpu_sim::sim_threads());
+    if ranges.len() <= 1 {
+        return parts.iter().enumerate().map(|(i, p)| f(i, p)).collect();
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|&(lo, hi)| {
+                let f = &f;
+                scope.spawn(move || (lo..hi).map(|i| f(i, &parts[i])).collect::<Vec<T>>())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    })
+}
+
 /// Run `q` sharded across `shards` simulated devices under `system`.
 /// `scale` linearly scales each shard's traffic-proportional time (for
 /// reporting a larger SF), exactly like `Device::elapsed_seconds_scaled`.
@@ -86,15 +114,18 @@ pub fn run_query_sharded(
     scale: f64,
 ) -> ShardedRun {
     let parts = data.shard(shards);
-    let mut merged: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
-    let mut slowest = 0.0f64;
-    let mut merge_bytes = 0u64;
-    for part in &parts {
+    let shard_runs = map_shards(&parts, |_, part| {
         let dev = Device::v100();
         let cols = LoColumns::build(&dev, part, system, q.columns());
         dev.reset_timeline();
         let result = run_query(&dev, part, &cols, q);
-        slowest = slowest.max(dev.elapsed_seconds_scaled(scale));
+        (result, dev.elapsed_seconds_scaled(scale))
+    });
+    let mut merged: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    let mut slowest = 0.0f64;
+    let mut merge_bytes = 0u64;
+    for (result, shard_s) in shard_runs {
+        slowest = slowest.max(shard_s);
         merge_bytes += result.len() as u64 * 16; // (group, sum) pairs
         for (g, v) in result {
             let e = merged.entry(g).or_insert(0);

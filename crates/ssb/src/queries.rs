@@ -433,38 +433,44 @@ fn fused_flight1(
     let refs: Vec<&QueryColumn> = cols.iter().collect();
     let cfg = fused_config("ssb_q1_fused", &refs, 4);
     let mut sum = ScalarSum::new(dev);
-    let (mut od, mut qt, mut dc, mut ep) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
-    let mut hits = Vec::new();
+    // Each tile decodes, filters and probes on a worker and returns its
+    // partial sum; the serial merge adds partials to the device
+    // accumulator in tile order (the atomic-add traffic lives there).
     let mut failed: Option<DecodeError> = None;
-    dev.try_launch(cfg, |ctx| {
-        if failed.is_some() {
-            return;
-        }
-        let t = ctx.block_id();
-        let loads = cols[0]
-            .load_tile(ctx, t, &mut od)
-            .and_then(|n| cols[1].load_tile(ctx, t, &mut qt).map(|_| n))
-            .and_then(|n| cols[2].load_tile(ctx, t, &mut dc).map(|_| n))
-            .and_then(|n| cols[3].load_tile(ctx, t, &mut ep).map(|_| n));
-        let n = match loads {
-            Ok(n) => n,
-            Err(e) => {
-                failed = Some(e);
-                return;
+    dev.try_launch_par(
+        cfg,
+        |ctx| -> Result<u64, DecodeError> {
+            let t = ctx.block_id();
+            let (mut od, mut qt, mut dc, mut ep) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+            let n = cols[0]
+                .load_tile(ctx, t, &mut od)
+                .and_then(|n| cols[1].load_tile(ctx, t, &mut qt).map(|_| n))
+                .and_then(|n| cols[2].load_tile(ctx, t, &mut dc).map(|_| n))
+                .and_then(|n| cols[3].load_tile(ctx, t, &mut ep).map(|_| n))?;
+            let sel: Vec<bool> = (0..n)
+                .map(|i| (s.qty_pred)(qt[i]) && (s.disc_pred)(dc[i]))
+                .collect();
+            ctx.add_int_ops(n as u64 * 3);
+            let mut hits = Vec::new();
+            tables.date.probe(ctx, &od[..n], &sel, &mut hits);
+            let local: u64 = (0..n)
+                .filter(|&i| hits[i].is_some())
+                .map(|i| ep[i] as u64 * dc[i] as u64)
+                .sum();
+            ctx.add_int_ops(n as u64 * 2);
+            Ok(local)
+        },
+        |ctx, _t, result| match result {
+            Ok(local) => {
+                if failed.is_none() {
+                    sum.add_tile(ctx, std::iter::once(local));
+                }
             }
-        };
-        let sel: Vec<bool> = (0..n)
-            .map(|i| (s.qty_pred)(qt[i]) && (s.disc_pred)(dc[i]))
-            .collect();
-        ctx.add_int_ops(n as u64 * 3);
-        tables.date.probe(ctx, &od[..n], &sel, &mut hits);
-        let local: u64 = (0..n)
-            .filter(|&i| hits[i].is_some())
-            .map(|i| ep[i] as u64 * dc[i] as u64)
-            .sum();
-        ctx.add_int_ops(n as u64 * 2);
-        sum.add_tile(ctx, std::iter::once(local));
-    })
+            Err(e) => {
+                failed.get_or_insert(e);
+            }
+        },
+    )
     .map_err(DecodeError::Launch)?;
     if let Some(e) = failed {
         return Err(e);
@@ -485,106 +491,113 @@ fn fused_join_flight(
     let cfg = fused_config("ssb_join_fused", &refs, cols.len());
     let mut agg = GroupBySum::new(dev, s.groups);
     let is_q4 = cols.len() == 6;
-    let mut bufs: Vec<Vec<i32>> = vec![Vec::new(); cols.len()];
-    let (mut ch, mut sh, mut ph, mut dh) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    // Tiles decode, filter and probe on workers, each returning its
+    // (group, value) pairs; the serial merge scatters them into the
+    // device group-by table in tile order.
     let mut failed: Option<DecodeError> = None;
-    dev.try_launch(cfg, |ctx| {
-        if failed.is_some() {
-            return;
-        }
-        let t = ctx.block_id();
-        let mut n = 0;
-        for (c, buf) in cols.iter().zip(bufs.iter_mut()) {
-            match c.load_tile(ctx, t, buf) {
-                Ok(len) => n = len,
-                Err(e) => {
-                    failed = Some(e);
-                    return;
-                }
+    dev.try_launch_par(
+        cfg,
+        |ctx| -> Result<Vec<(usize, u64)>, DecodeError> {
+            let t = ctx.block_id();
+            let mut bufs: Vec<Vec<i32>> = vec![Vec::new(); cols.len()];
+            let (mut ch, mut sh, mut ph, mut dh) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+            let mut n = 0;
+            for (c, buf) in cols.iter().zip(bufs.iter_mut()) {
+                n = c.load_tile(ctx, t, buf)?;
             }
-        }
-        let mut sel = vec![true; n];
+            let mut sel = vec![true; n];
 
-        // Column positions within this query's column list.
-        let cix = |c: LoColumn| {
-            q.columns()
-                .iter()
-                .position(|&x| x == c)
-                .expect("column present")
-        };
-
-        // Probe most-selective dimensions first; payload defaults cover
-        // the tables a query doesn't use.
-        let mut cpay = vec![0i32; n];
-        let mut spay = vec![0i32; n];
-        let mut ppay = vec![0i32; n];
-        if uses_cust(q) {
-            let keys = &bufs[cix(LoColumn::CustKey)][..n];
-            tables
-                .cust
-                .as_ref()
-                .expect("cust table")
-                .probe(ctx, keys, &sel, &mut ch);
-            for i in 0..n {
-                match ch[i] {
-                    Some(p) if sel[i] => cpay[i] = p,
-                    _ => sel[i] = false,
-                }
-            }
-        }
-        {
-            let keys = &bufs[cix(LoColumn::SuppKey)][..n];
-            tables
-                .supp
-                .as_ref()
-                .expect("supp table")
-                .probe(ctx, keys, &sel, &mut sh);
-            for i in 0..n {
-                match sh[i] {
-                    Some(p) if sel[i] => spay[i] = p,
-                    _ => sel[i] = false,
-                }
-            }
-        }
-        if uses_part(q) {
-            let keys = &bufs[cix(LoColumn::PartKey)][..n];
-            tables
-                .part
-                .as_ref()
-                .expect("part table")
-                .probe(ctx, keys, &sel, &mut ph);
-            for i in 0..n {
-                match ph[i] {
-                    Some(p) if sel[i] => ppay[i] = p,
-                    _ => sel[i] = false,
-                }
-            }
-        }
-        let dates = &bufs[cix(LoColumn::OrderDate)][..n];
-        tables.date.probe(ctx, dates, &sel, &mut dh);
-
-        let measure = &bufs[cix(LoColumn::Revenue)][..n];
-        let cost = if is_q4 {
-            Some(&bufs[cix(LoColumn::SupplyCost)][..n])
-        } else {
-            None
-        };
-        let mut pairs = Vec::new();
-        for i in 0..n {
-            if !sel[i] {
-                continue;
-            }
-            let Some(y) = dh[i] else { continue };
-            let g = (s.group)(cpay[i], spay[i], ppay[i], y);
-            let v = match cost {
-                Some(costs) => (measure[i] as i64 - costs[i] as i64) as u64,
-                None => measure[i] as u64,
+            // Column positions within this query's column list.
+            let cix = |c: LoColumn| {
+                q.columns()
+                    .iter()
+                    .position(|&x| x == c)
+                    .expect("column present")
             };
-            pairs.push((g, v));
-        }
-        ctx.add_int_ops(n as u64 * 4);
-        agg.add_tile(ctx, &pairs);
-    })
+
+            // Probe most-selective dimensions first; payload defaults cover
+            // the tables a query doesn't use.
+            let mut cpay = vec![0i32; n];
+            let mut spay = vec![0i32; n];
+            let mut ppay = vec![0i32; n];
+            if uses_cust(q) {
+                let keys = &bufs[cix(LoColumn::CustKey)][..n];
+                tables
+                    .cust
+                    .as_ref()
+                    .expect("cust table")
+                    .probe(ctx, keys, &sel, &mut ch);
+                for i in 0..n {
+                    match ch[i] {
+                        Some(p) if sel[i] => cpay[i] = p,
+                        _ => sel[i] = false,
+                    }
+                }
+            }
+            {
+                let keys = &bufs[cix(LoColumn::SuppKey)][..n];
+                tables
+                    .supp
+                    .as_ref()
+                    .expect("supp table")
+                    .probe(ctx, keys, &sel, &mut sh);
+                for i in 0..n {
+                    match sh[i] {
+                        Some(p) if sel[i] => spay[i] = p,
+                        _ => sel[i] = false,
+                    }
+                }
+            }
+            if uses_part(q) {
+                let keys = &bufs[cix(LoColumn::PartKey)][..n];
+                tables
+                    .part
+                    .as_ref()
+                    .expect("part table")
+                    .probe(ctx, keys, &sel, &mut ph);
+                for i in 0..n {
+                    match ph[i] {
+                        Some(p) if sel[i] => ppay[i] = p,
+                        _ => sel[i] = false,
+                    }
+                }
+            }
+            let dates = &bufs[cix(LoColumn::OrderDate)][..n];
+            tables.date.probe(ctx, dates, &sel, &mut dh);
+
+            let measure = &bufs[cix(LoColumn::Revenue)][..n];
+            let cost = if is_q4 {
+                Some(&bufs[cix(LoColumn::SupplyCost)][..n])
+            } else {
+                None
+            };
+            let mut pairs = Vec::new();
+            for i in 0..n {
+                if !sel[i] {
+                    continue;
+                }
+                let Some(y) = dh[i] else { continue };
+                let g = (s.group)(cpay[i], spay[i], ppay[i], y);
+                let v = match cost {
+                    Some(costs) => (measure[i] as i64 - costs[i] as i64) as u64,
+                    None => measure[i] as u64,
+                };
+                pairs.push((g, v));
+            }
+            ctx.add_int_ops(n as u64 * 4);
+            Ok(pairs)
+        },
+        |ctx, _t, result| match result {
+            Ok(pairs) => {
+                if failed.is_none() {
+                    agg.add_tile(ctx, &pairs);
+                }
+            }
+            Err(e) => {
+                failed.get_or_insert(e);
+            }
+        },
+    )
     .map_err(DecodeError::Launch)?;
     if let Some(e) = failed {
         return Err(e);

@@ -74,6 +74,19 @@ impl ResilienceReport {
     pub fn recoveries(&self) -> usize {
         self.transient_retries + self.shards_failed_over + self.cpu_fallbacks
     }
+
+    /// Fold another report (one shard's tally) into this one. Counter
+    /// addition is commutative, but campaign folds still run in shard
+    /// order so the whole report is reproduced field-for-field.
+    pub fn absorb(&mut self, other: &ResilienceReport) {
+        self.bit_flips_injected += other.bit_flips_injected;
+        self.transient_failures_injected += other.transient_failures_injected;
+        self.devices_lost += other.devices_lost;
+        self.transient_retries += other.transient_retries;
+        self.corrupt_tiles_detected += other.corrupt_tiles_detected;
+        self.shards_failed_over += other.shards_failed_over;
+        self.cpu_fallbacks += other.cpu_fallbacks;
+    }
 }
 
 impl std::fmt::Display for ResilienceReport {
@@ -146,13 +159,20 @@ pub fn run_query_sharded_resilient(
     plans: &[Option<FaultPlan>],
 ) -> ResilientRun {
     let parts = data.shard(shards);
+    // Shards run concurrently (each armed device is shard-private, so
+    // its fault RNG draws exactly what it would serially); tallies and
+    // partial sums fold in shard order below.
+    let shard_runs = crate::fleet::map_shards(&parts, |s, part| {
+        let plan = plans.get(s).and_then(Clone::clone);
+        run_shard(part, system, q, plan, scale)
+    });
     let mut report = ResilienceReport::default();
     let mut merged: BTreeMap<u64, u64> = BTreeMap::new();
     let mut slowest = 0.0f64;
     let mut merge_bytes = 0u64;
-    for (s, part) in parts.iter().enumerate() {
-        let plan = plans.get(s).and_then(Clone::clone);
-        let result = run_shard(part, system, q, plan, scale, &mut slowest, &mut report);
+    for (result, shard_s, shard_report) in shard_runs {
+        slowest = slowest.max(shard_s);
+        report.absorb(&shard_report);
         merge_bytes += result.len() as u64 * 16;
         for (g, v) in result {
             let e = merged.entry(g).or_insert(0);
@@ -170,26 +190,28 @@ pub fn run_query_sharded_resilient(
 }
 
 /// One shard: armed attempt, then failover to a fresh device, then CPU.
+/// Returns the shard's result, its simulated time, and its own fault /
+/// recovery tally (so shards can run concurrently and fold in order).
 fn run_shard(
     part: &SsbData,
     system: System,
     q: QueryId,
     plan: Option<FaultPlan>,
     scale: f64,
-    slowest: &mut f64,
-    report: &mut ResilienceReport,
-) -> Vec<(u64, u64)> {
+) -> (Vec<(u64, u64)>, f64, ResilienceReport) {
+    let mut report = ResilienceReport::default();
+    let mut slowest = 0.0f64;
     let dev = Device::v100();
     if let Some(p) = plan {
         dev.inject_faults(p);
     }
     let cols = LoColumns::build(&dev, part, system, q.columns());
     dev.reset_timeline();
-    let outcome = run_query_checked(&dev, part, &cols, q, report);
-    *slowest = slowest.max(dev.elapsed_seconds_scaled(scale));
+    let outcome = run_query_checked(&dev, part, &cols, q, &mut report);
+    slowest = slowest.max(dev.elapsed_seconds_scaled(scale));
     report.absorb_device(&dev);
     let err = match outcome {
-        Ok(result) => return result,
+        Ok(result) => return (result, slowest, report),
         Err(e) => e,
     };
     if matches!(
@@ -205,9 +227,9 @@ fn run_shard(
     let fresh = Device::v100();
     let cols = LoColumns::build(&fresh, part, system, q.columns());
     fresh.reset_timeline();
-    match run_query_checked(&fresh, part, &cols, q, report) {
+    let result = match run_query_checked(&fresh, part, &cols, q, &mut report) {
         Ok(result) => {
-            *slowest = slowest.max(fresh.elapsed_seconds_scaled(scale));
+            slowest = slowest.max(fresh.elapsed_seconds_scaled(scale));
             result
         }
         Err(_) => {
@@ -215,7 +237,8 @@ fn run_shard(
             report.cpu_fallbacks += 1;
             run_reference(part, q)
         }
-    }
+    };
+    (result, slowest, report)
 }
 
 #[cfg(test)]

@@ -264,13 +264,49 @@ fn cmd_fuzz(args: &[String]) -> Result<(), String> {
     }
 
     let limits = Limits::strict();
+    // Each seed is an independent campaign with its own RNG and device,
+    // so campaigns run on `TLC_SIM_THREADS` workers; reports print in
+    // seed order, so output and verdicts match a serial sweep exactly.
+    let reports: Vec<_> = {
+        let ranges = tlc::sim::partitions(seeds.len(), 1, tlc::sim::sim_threads());
+        let run_range = |lo: usize, hi: usize| {
+            seeds[lo..hi]
+                .iter()
+                .map(|&seed| {
+                    (
+                        seed,
+                        run_fuzz(&FuzzConfig {
+                            seed,
+                            iters,
+                            limits,
+                        }),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        if ranges.len() <= 1 {
+            ranges
+                .iter()
+                .flat_map(|&(lo, hi)| run_range(lo, hi))
+                .collect()
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = ranges
+                    .iter()
+                    .map(|&(lo, hi)| {
+                        let run_range = &run_range;
+                        scope.spawn(move || run_range(lo, hi))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("fuzz worker panicked"))
+                    .collect()
+            })
+        }
+    };
     let mut findings = 0usize;
-    for &seed in &seeds {
-        let report = run_fuzz(&FuzzConfig {
-            seed,
-            iters,
-            limits,
-        });
+    for (seed, report) in &reports {
         println!("seed {seed}: {report}");
         for f in &report.findings {
             findings += 1;

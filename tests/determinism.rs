@@ -1,0 +1,146 @@
+//! Worker-count invariance (tier-1 acceptance for the multi-core
+//! backend).
+//!
+//! The contract (DESIGN.md §11): everything the simulator *reports* —
+//! kernel timelines, fault tallies, fuzz verdicts — is a pure function
+//! of the workload, never of `TLC_SIM_THREADS`. These tests hold the
+//! full SSB suite, the sharded fault campaigns and the fuzz oracle to
+//! bit-identical output at 1 worker vs 4.
+//!
+//! The override is process-global, so every test here serializes on
+//! one mutex; the cargo test runner may interleave them otherwise.
+
+use std::sync::{Mutex, MutexGuard};
+
+use tlc::fuzz::{run_fuzz, FuzzConfig};
+use tlc::sim::{set_sim_threads_override, Device, FaultPlan, KernelReport};
+use tlc::ssb::{
+    run_query, run_query_sharded_resilient, LoColumns, QueryId, ResilientRun, SsbData, System,
+};
+
+static OVERRIDE: Mutex<()> = Mutex::new(());
+
+fn with_workers<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    set_sim_threads_override(Some(threads));
+    let out = f();
+    set_sim_threads_override(None);
+    out
+}
+
+fn lock() -> MutexGuard<'static, ()> {
+    OVERRIDE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// One query run's observables: group sums and the complete kernel
+/// timeline, in launch order.
+type QueryTrace = (Vec<(u64, u64)>, Vec<KernelReport>);
+
+/// One run of every SSB query under every system.
+fn ssb_suite(data: &SsbData) -> Vec<QueryTrace> {
+    let mut out = Vec::new();
+    for q in QueryId::ALL {
+        for sys in [System::None, System::GpuStar, System::NvComp] {
+            let dev = Device::v100();
+            let cols = LoColumns::build(&dev, data, sys, q.columns());
+            dev.reset_timeline();
+            let result = run_query(&dev, data, &cols, q);
+            let events = dev.with_timeline(|t| t.events().to_vec());
+            out.push((result, events));
+        }
+    }
+    out
+}
+
+/// `KernelReport` derives exact `PartialEq` (floats included); the
+/// whole suite must compare equal event-by-event across worker counts.
+#[test]
+fn ssb_suite_timelines_are_bit_identical_across_worker_counts() {
+    let _guard = lock();
+    let data = SsbData::generate(0.01);
+    let serial = with_workers(1, || ssb_suite(&data));
+    let parallel = with_workers(4, || ssb_suite(&data));
+    assert_eq!(serial.len(), parallel.len());
+    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(s.0, p.0, "run {i}: query results diverged");
+        assert_eq!(
+            s.1.len(),
+            p.1.len(),
+            "run {i}: different number of simulated events"
+        );
+        for (e1, e4) in s.1.iter().zip(&p.1) {
+            assert_eq!(e1, e4, "run {i}: event {} diverged", e1.name);
+        }
+    }
+}
+
+fn resilient_campaign(data: &SsbData) -> Vec<ResilientRun> {
+    const SHARDS: usize = 4;
+    (0..8u64)
+        .map(|seed| {
+            let plans: Vec<Option<FaultPlan>> = (0..SHARDS)
+                .map(|s| {
+                    Some(FaultPlan {
+                        bitflip_rate: 5e-4,
+                        transient_launch_rate: 0.02,
+                        kill_after_launches: (s == (seed as usize) % SHARDS).then_some(2),
+                        ..FaultPlan::seeded(seed ^ (s as u64) << 32)
+                    })
+                })
+                .collect();
+            run_query_sharded_resilient(data, System::GpuStar, QueryId::Q21, SHARDS, 1.0, &plans)
+        })
+        .collect()
+}
+
+/// Fault injection draws from shard-private RNGs gated before any block
+/// runs, so the seeded campaigns must tally identically whether the
+/// shards (and the blocks inside them) run serially or concurrently.
+#[test]
+fn seeded_fault_campaigns_report_identically_across_worker_counts() {
+    let _guard = lock();
+    let data = SsbData::generate(0.01);
+    let serial = with_workers(1, || resilient_campaign(&data));
+    let parallel = with_workers(4, || resilient_campaign(&data));
+    for (seed, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(s.result, p.result, "seed {seed}: recovered result diverged");
+        assert_eq!(s.report, p.report, "seed {seed}: fault tallies diverged");
+        assert_eq!(
+            s.slowest_shard_s.to_bits(),
+            p.slowest_shard_s.to_bits(),
+            "seed {seed}: modelled shard time diverged"
+        );
+        assert_eq!(
+            s.merge_s.to_bits(),
+            p.merge_s.to_bits(),
+            "seed {seed}: merge time diverged"
+        );
+    }
+}
+
+/// The differential fuzz oracle decodes mutants on the simulated GPU
+/// path; its verdict stream for a given seed must not depend on the
+/// backend. `FuzzReport` has no `PartialEq`, so compare the full Debug
+/// rendering (tallies, findings, minimized reproducer bytes).
+#[test]
+fn fuzz_verdicts_are_identical_across_worker_counts() {
+    let _guard = lock();
+    let campaign = || {
+        (0..8u64)
+            .map(|seed| {
+                format!(
+                    "{:?}",
+                    run_fuzz(&FuzzConfig {
+                        seed,
+                        iters: 60,
+                        ..FuzzConfig::default()
+                    })
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    let serial = with_workers(1, campaign);
+    let parallel = with_workers(4, campaign);
+    for (seed, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(s, p, "seed {seed}: fuzz verdicts diverged");
+    }
+}
