@@ -11,13 +11,15 @@
 //!
 //! Alongside the printed table the run writes `BENCH_query_ssb.json`
 //! (to `TLC_BENCH_DIR` or the current directory) so the perf trajectory
-//! is machine-readable. Scale factor: `TLC_SF`, default 0.01.
+//! is machine-readable; each row embeds a `tlc-profile/v1` phase
+//! profile of its query. Scale factor: `TLC_SF`, default 0.01.
 //!
 //! Run with `cargo bench -p tlc-bench --bench query_ssb`.
 
 use std::time::Instant;
 use tlc_bench::{print_table, write_bench_json, Json};
 use tlc_gpu_sim::{set_sim_threads_override, sim_threads, Device};
+use tlc_profile::Profile;
 use tlc_ssb::{run_query, LoColumns, QueryId, SsbData, System};
 
 const ITERS: usize = 3;
@@ -55,6 +57,9 @@ fn main() {
             let wall_parallel = time_best(ITERS, run);
             set_sim_threads_override(None);
             let modelled = dev.elapsed_seconds();
+            // Phase profile of the last (timed) run — deterministic, so
+            // identical to every other iteration's timeline.
+            let profile = dev.with_timeline(|tl| Profile::from_reports(tl.events(), dev.params()));
             rows.push(vec![
                 q.name().to_string(),
                 sys.name().to_string(),
@@ -69,6 +74,7 @@ fn main() {
                 ("wall_parallel_s", Json::Num(wall_parallel)),
                 ("speedup", Json::Num(wall_serial / wall_parallel)),
                 ("modelled_s", Json::Num(modelled)),
+                ("profile", profile.to_json()),
             ]));
         }
     }

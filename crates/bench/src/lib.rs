@@ -9,7 +9,12 @@
 
 use tlc_rng::Rng;
 
-pub mod json;
+/// Re-export of the tiny JSON writer, which lives in
+/// [`tlc_profile::json`] since the profiler emits the same artifacts.
+/// Kept under the old `tlc_bench::json` path for compatibility.
+pub mod json {
+    pub use tlc_profile::json::*;
+}
 
 pub use json::{write_bench_json, Json};
 

@@ -18,6 +18,8 @@
 //! for bitwidths 0..=32 inclusive (bitwidth 0 encodes a run of zeros in
 //! zero space).
 
+#![warn(missing_docs)]
+
 pub mod horizontal;
 pub mod vertical;
 pub mod width;

@@ -15,7 +15,7 @@
 
 use tlc_bitpack::horizontal::extract;
 use tlc_gpu_sim::scan::block_inclusive_scan_u32;
-use tlc_gpu_sim::{BlockCtx, Device, GlobalBuffer};
+use tlc_gpu_sim::{BlockCtx, Counter, Device, GlobalBuffer, Phase};
 
 use crate::checksum::staged_checksum;
 use crate::error::DecodeError;
@@ -204,6 +204,7 @@ pub fn load_tile(
     let first_block = tile_id * d;
     let tile_blocks = d.min(blocks - first_block);
 
+    ctx.set_phase(Phase::GlobalLoad);
     let starts_idx: Vec<usize> = (first_block..=first_block + tile_blocks).collect();
     let starts = ctx.warp_gather(&col.block_starts, &starts_idx);
 
@@ -248,6 +249,10 @@ pub fn load_tile(
             reason: "decode fuel exhausted",
         });
     }
+    // The single fetch of this tile's compressed payload (first-value
+    // word included) from global memory.
+    ctx.set_phase(Phase::SharedStage);
+    ctx.bump(Counter::EncodedTileReads, 1);
     ctx.stage_to_shared(&col.data, stage_start, tile_end - stage_start, 0);
 
     // Per-block coverage tiles [stage_start, tile_end) exactly: block
@@ -298,6 +303,7 @@ pub fn load_tile(
     ctx.smem_traffic(4);
 
     // Unpack deltas (same inner routine as GPU-FOR, on shared memory).
+    ctx.set_phase(Phase::Unpack);
     let mut deltas: Vec<i32> = Vec::with_capacity(tile_blocks * BLOCK);
     for &start in starts.iter().take(tile_blocks) {
         let block_off = start as usize - stage_start;
@@ -305,6 +311,7 @@ pub fn load_tile(
     }
 
     // Fused delta decode: block-wide inclusive scan over the tile.
+    ctx.set_phase(Phase::Expand);
     let mut scan: Vec<u32> = deltas.iter().map(|&v| v as u32).collect();
     block_inclusive_scan_u32(ctx, &mut scan);
     out.extend(scan.iter().map(|&s| first.wrapping_add(s as i32)));
@@ -312,6 +319,8 @@ pub fn load_tile(
     let logical = col.total_count - (first_block * BLOCK).min(col.total_count);
     let decoded = (tile_blocks * BLOCK).min(logical);
     out.truncate(decoded);
+    ctx.bump(Counter::TilesDecoded, 1);
+    ctx.bump(Counter::ValuesProduced, decoded as u64);
     Ok(decoded)
 }
 
@@ -349,6 +358,7 @@ fn run_decode(
             Ok(tile_vals) => {
                 if failed.is_none() {
                     if let Some(out) = out.as_deref_mut() {
+                        ctx.set_phase(Phase::Writeback);
                         ctx.write_coalesced(out, tile_id * col.d * BLOCK, &tile_vals);
                     }
                 }

@@ -15,7 +15,7 @@
 
 use tlc_bitpack::horizontal::{extract, pack_into};
 use tlc_bitpack::width::bits_for;
-use tlc_gpu_sim::{BlockCtx, Device, GlobalBuffer};
+use tlc_gpu_sim::{BlockCtx, Counter, Device, GlobalBuffer, Phase};
 
 use crate::checksum::staged_checksum;
 use crate::error::DecodeError;
@@ -223,6 +223,7 @@ pub fn load_tile(
     let tile_blocks = d.min(blocks - first_block);
 
     // (1) Block starts: D+1 consecutive u32 reads from one warp.
+    ctx.set_phase(Phase::GlobalLoad);
     let starts_idx: Vec<usize> = (first_block..=first_block + tile_blocks).collect();
     let starts = ctx.warp_gather(&col.block_starts, &starts_idx);
 
@@ -261,7 +262,11 @@ pub fn load_tile(
         }
     }
 
-    // (2) Stage the compressed tile into shared memory.
+    // (2) Stage the compressed tile into shared memory. This is the
+    // one and only fetch of the tile's compressed payload from global
+    // memory — the counter makes that a checkable invariant.
+    ctx.set_phase(Phase::SharedStage);
+    ctx.bump(Counter::EncodedTileReads, 1);
     ctx.stage_to_shared(&col.data, tile_start, tile_end - tile_start, 0);
 
     // Verify every staged block against its stored checksum before any
@@ -297,6 +302,7 @@ pub fn load_tile(
     }
 
     // (3) + (4): decode from shared memory.
+    ctx.set_phase(Phase::Unpack);
     for &start in starts.iter().take(tile_blocks) {
         let block_off = start as usize - tile_start;
         decode_block_from_shared(ctx, block_off, opts.precompute_offsets, out);
@@ -304,6 +310,8 @@ pub fn load_tile(
     let logical = col.total_count - (first_block * BLOCK).min(col.total_count);
     let decoded = (tile_blocks * BLOCK).min(logical);
     out.truncate(decoded);
+    ctx.bump(Counter::TilesDecoded, 1);
+    ctx.bump(Counter::ValuesProduced, decoded as u64);
     Ok(decoded)
 }
 
@@ -314,6 +322,7 @@ pub(crate) fn decode_block_from_shared(
     precompute: bool,
     out: &mut Vec<i32>,
 ) {
+    ctx.bump(Counter::MiniblocksUnpacked, MINIBLOCKS_PER_BLOCK as u64);
     let (shared, traffic) = ctx.shared_and_traffic();
     let block = &shared[block_off..];
     let reference = block[0] as i32;
@@ -396,6 +405,7 @@ fn run_decode(
             Ok(tile_vals) => {
                 if failed.is_none() {
                     if let Some(out) = out.as_deref_mut() {
+                        ctx.set_phase(Phase::Writeback);
                         ctx.write_coalesced(out, tile_id * opts.d * BLOCK, &tile_vals);
                     }
                 }

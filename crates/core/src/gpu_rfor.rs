@@ -9,7 +9,7 @@
 //!
 //! Tile-based decoding loads one compressed values block and one
 //! compressed lengths block into shared memory, bit-unpacks both, and
-//! expands the runs with the four-step routine of Fang et al. [18]:
+//! expands the runs with the four-step routine of Fang et al. \[18\]:
 //! an exclusive prefix sum over the lengths (output offsets), a scatter
 //! of head flags, an inclusive prefix sum over the flags (run ids), and
 //! a gather of the values — all entirely in shared memory, fused into a
@@ -19,7 +19,7 @@ use tlc_bitpack::horizontal::{extract, pack_into};
 use tlc_bitpack::width::bits_for;
 use tlc_bitpack::MINIBLOCK;
 use tlc_gpu_sim::scan::{block_exclusive_scan_u32, block_inclusive_scan_u32};
-use tlc_gpu_sim::{BlockCtx, Device, GlobalBuffer, KernelConfig};
+use tlc_gpu_sim::{BlockCtx, Counter, Device, GlobalBuffer, KernelConfig, Phase};
 
 use crate::checksum::{fnv1a, fnv1a_continue};
 use crate::error::DecodeError;
@@ -289,6 +289,7 @@ pub fn load_tile(
     out: &mut Vec<i32>,
 ) -> Result<usize, DecodeError> {
     out.clear();
+    ctx.set_phase(Phase::GlobalLoad);
     let vstarts = ctx.warp_gather(&col.values_starts, &[block_id, block_id + 1]);
     let lstarts = ctx.warp_gather(&col.lengths_starts, &[block_id, block_id + 1]);
     let (vs, ve) = (vstarts[0] as usize, vstarts[1] as usize);
@@ -322,7 +323,10 @@ pub fn load_tile(
     }
 
     // Stage both compressed blocks: values at shared offset 0, lengths
-    // right after.
+    // right after. One staging per tile: both streams of the tile's
+    // compressed payload are fetched from global memory exactly once.
+    ctx.set_phase(Phase::SharedStage);
+    ctx.bump(Counter::EncodedTileReads, 1);
     ctx.stage_to_shared(&col.values_data, vs, ve - vs, 0);
     let lengths_off = ve - vs;
     ctx.stage_to_shared(&col.lengths_data, ls, le - ls, lengths_off);
@@ -362,6 +366,11 @@ pub fn load_tile(
     }
 
     // Bit-unpack both streams (miniblock extraction, as in GPU-FOR).
+    ctx.set_phase(Phase::Unpack);
+    ctx.bump(
+        Counter::MiniblocksUnpacked,
+        2 * run_count.div_ceil(MINIBLOCK) as u64,
+    );
     let (vals, lens) = {
         let shared = ctx.shared();
         let vals = decode_stream_block(&shared[1..ve - vs], run_count);
@@ -375,6 +384,7 @@ pub fn load_tile(
     ctx.add_int_ops(run_count as u64 * 2 * 8 + payload_words as u64);
 
     // Step 1: exclusive prefix sum over run lengths -> output offsets.
+    ctx.set_phase(Phase::Expand);
     let mut offsets: Vec<u32> = lens.iter().map(|&l| l as u32).collect();
     let total = block_exclusive_scan_u32(ctx, &mut offsets) as usize;
     if total == 0 || total > RFOR_BLOCK {
@@ -406,6 +416,9 @@ pub fn load_tile(
         out.push(vals[rid - 1]);
     }
     ctx.smem_traffic(total as u64 * 8);
+    ctx.bump(Counter::TilesDecoded, 1);
+    ctx.bump(Counter::RunsExpanded, run_count as u64);
+    ctx.bump(Counter::ValuesProduced, total as u64);
     Ok(total)
 }
 
@@ -443,6 +456,7 @@ fn run_decode(
             Ok(tile_vals) => {
                 if failed.is_none() {
                     if let Some(out) = out.as_deref_mut() {
+                        ctx.set_phase(Phase::Writeback);
                         ctx.write_coalesced(out, block_id * RFOR_BLOCK, &tile_vals);
                     }
                 }

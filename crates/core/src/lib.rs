@@ -21,7 +21,7 @@
 //!   optimization ladder.
 //! * [`no_miniblock`] — the Section 4.3 ablation: one bitwidth per
 //!   128-integer block instead of four miniblocks.
-//! * [`column`] — [`column::EncodedColumn`]: a column encoded with any
+//! * [`mod@column`] — [`column::EncodedColumn`]: a column encoded with any
 //!   of the three schemes, plus the GPU-* chooser that picks whichever
 //!   compresses best (Section 8).
 //!
@@ -59,6 +59,8 @@
 //! # Ok(())
 //! # }
 //! ```
+
+#![warn(missing_docs)]
 
 pub mod base_alg;
 pub mod checksum;

@@ -1,6 +1,6 @@
 //! Aggregation primitives.
 
-use tlc_gpu_sim::{BlockCtx, Device, GlobalBuffer, WARP_SIZE};
+use tlc_gpu_sim::{BlockCtx, Device, GlobalBuffer, Phase, WARP_SIZE};
 
 /// A single running sum: each thread block reduces its tile locally
 /// (shared-memory tree) and issues one atomic to global memory —
@@ -20,6 +20,7 @@ impl ScalarSum {
 
     /// Block-local reduction of `values` + one global atomic.
     pub fn add_tile(&mut self, ctx: &mut BlockCtx<'_>, values: impl Iterator<Item = u64>) {
+        ctx.set_phase(Phase::Aggregate);
         let mut local = 0u64;
         let mut n = 0u64;
         for v in values {
@@ -57,6 +58,7 @@ impl GroupBySum {
     /// applied warp-wise; colliding groups within a warp coalesce into
     /// the same transaction, as on hardware.
     pub fn add_tile(&mut self, ctx: &mut BlockCtx<'_>, pairs: &[(usize, u64)]) {
+        ctx.set_phase(Phase::Aggregate);
         for chunk in pairs.chunks(WARP_SIZE) {
             ctx.warp_atomic_add_u64(&mut self.sums, chunk);
         }

@@ -7,7 +7,7 @@
 //! inside the fused fact-table kernel — the random-access pattern whose
 //! coalescing the simulator accounts faithfully.
 
-use tlc_gpu_sim::{BlockCtx, Device, GlobalBuffer, KernelConfig, LaunchError, WARP_SIZE};
+use tlc_gpu_sim::{BlockCtx, Device, GlobalBuffer, KernelConfig, LaunchError, Phase, WARP_SIZE};
 
 /// Sentinel slot value: dimension row absent or filtered out.
 const EMPTY: i32 = i32::MIN;
@@ -105,6 +105,7 @@ impl DenseTable {
         out: &mut Vec<Option<i32>>,
     ) {
         debug_assert_eq!(keys.len(), selected.len());
+        ctx.set_phase(Phase::Predicate);
         out.clear();
         out.reserve(keys.len());
         for (kw, sw) in keys.chunks(WARP_SIZE).zip(selected.chunks(WARP_SIZE)) {

@@ -2,7 +2,7 @@
 
 use tlc_core::column::{DeviceColumn, TILE};
 use tlc_core::DecodeError;
-use tlc_gpu_sim::{BlockCtx, Device, GlobalBuffer};
+use tlc_gpu_sim::{BlockCtx, Device, GlobalBuffer, Phase};
 
 /// A column a query kernel can consume tile by tile: plain (Crystal's
 /// `BlockLoad`) or compressed (the paper's `Load*BitPack` device
@@ -56,6 +56,7 @@ impl QueryColumn {
         match self {
             QueryColumn::Plain(b) => {
                 out.clear();
+                ctx.set_phase(Phase::GlobalLoad);
                 let lo = tile_id * TILE;
                 let len = TILE.min(b.len().saturating_sub(lo));
                 ctx.read_coalesced_with(b, lo, len, |vals| out.extend_from_slice(vals));

@@ -6,7 +6,8 @@ use std::cell::{Cell, RefCell};
 use crate::fault::{FaultPlan, FaultState, FaultStats, LaunchError};
 use crate::kernel::{BlockCtx, KernelConfig, Occupancy};
 use crate::memory::{GlobalBuffer, Scalar, ALLOC_ALIGN};
-use crate::report::{KernelReport, Timeline, Traffic};
+use crate::profile::ProfileSink;
+use crate::report::{KernelReport, Phase, PhaseSpans, Timeline, Traffic};
 
 /// Calibration constants of the simulated device.
 ///
@@ -88,6 +89,7 @@ pub struct Device {
     alloc_cursor: Cell<u64>,
     timeline: RefCell<Timeline>,
     faults: RefCell<Option<FaultState>>,
+    sink: RefCell<Option<Box<dyn ProfileSink>>>,
 }
 
 impl Device {
@@ -104,7 +106,28 @@ impl Device {
             alloc_cursor: Cell::new(4096),
             timeline: RefCell::new(Timeline::default()),
             faults: RefCell::new(None),
+            sink: RefCell::new(None),
         }
+    }
+
+    /// Install a [`ProfileSink`] that observes every event as it is
+    /// recorded (replacing any previous sink). Sinks are observers
+    /// only; installing one never changes the reports.
+    pub fn set_profile_sink(&self, sink: Box<dyn ProfileSink>) {
+        *self.sink.borrow_mut() = Some(sink);
+    }
+
+    /// Remove the installed [`ProfileSink`], if any.
+    pub fn clear_profile_sink(&self) {
+        *self.sink.borrow_mut() = None;
+    }
+
+    /// Append an event to the timeline and notify the sink.
+    fn record_event(&self, report: KernelReport) {
+        if let Some(sink) = self.sink.borrow_mut().as_mut() {
+            sink.record(&report);
+        }
+        self.timeline.borrow_mut().push(report);
     }
 
     /// Arm a [`FaultPlan`] on this device. Subsequent corruptible
@@ -139,7 +162,7 @@ impl Device {
 
     /// Allocate a buffer initialized from a host slice (models
     /// `cudaMalloc` + resident data; no transfer time is charged — use
-    /// [`Device::pcie_transfer_to_device`] to model the copy explicitly).
+    /// [`Device::pcie_transfer`] to model the copy explicitly).
     pub fn alloc_from_slice<T: Scalar>(&self, data: &[T]) -> GlobalBuffer<T> {
         self.alloc_from_vec(data.to_vec())
     }
@@ -199,12 +222,12 @@ impl Device {
     {
         self.gate_launch(&cfg)?;
         let occ = self.occupancy(&cfg);
-        let mut traffic = Traffic::default();
+        let mut spans = PhaseSpans::default();
         for block_id in 0..cfg.grid_blocks {
-            let mut ctx = BlockCtx::new(block_id, &cfg, &mut traffic, self.params.l1_per_block);
+            let mut ctx = BlockCtx::new(block_id, &cfg, &mut spans, self.params.l1_per_block);
             body(&mut ctx);
         }
-        Ok(self.finish_launch(cfg, occ, traffic))
+        Ok(self.finish_launch(cfg, occ, spans))
     }
 
     /// Parallel launch: like [`Device::launch`], but thread blocks
@@ -260,29 +283,29 @@ impl Device {
         self.gate_launch(&cfg)?;
         let occ = self.occupancy(&cfg);
         let l1 = self.params.l1_per_block;
-        let mut traffic = Traffic::default();
+        let mut spans = PhaseSpans::default();
         let parts = crate::threads::partitions(cfg.grid_blocks, 1, crate::threads::sim_threads());
         if parts.len() <= 1 {
             // Serial path: same body-then-merge structure, one block at
-            // a time. Traffic sums are commutative, so this is
+            // a time. Span sums are commutative, so this is
             // bit-identical to the worker path by construction.
             for block_id in 0..cfg.grid_blocks {
                 let result = {
-                    let mut ctx = BlockCtx::new(block_id, &cfg, &mut traffic, l1);
+                    let mut ctx = BlockCtx::new(block_id, &cfg, &mut spans, l1);
                     body(&mut ctx)
                 };
-                let mut ctx = BlockCtx::new(block_id, &cfg, &mut traffic, l1);
+                let mut ctx = BlockCtx::new(block_id, &cfg, &mut spans, l1);
                 merge(&mut ctx, block_id, result);
             }
         } else {
-            let worker_out: Vec<(Traffic, Vec<R>)> = std::thread::scope(|scope| {
+            let worker_out: Vec<(PhaseSpans, Vec<R>)> = std::thread::scope(|scope| {
                 let handles: Vec<_> = parts
                     .iter()
                     .map(|&(lo, hi)| {
                         let cfg = &cfg;
                         let body = &body;
                         scope.spawn(move || {
-                            let mut local = Traffic::default();
+                            let mut local = PhaseSpans::default();
                             let mut results = Vec::with_capacity(hi - lo);
                             for block_id in lo..hi {
                                 let mut ctx = BlockCtx::new(block_id, cfg, &mut local, l1);
@@ -301,33 +324,37 @@ impl Device {
             // worker results in partition order visits blocks 0..grid.
             let mut block_id = 0;
             for (local, results) in worker_out {
-                traffic = traffic.merge(&local);
+                spans = spans.merge(&local);
                 for result in results {
-                    let mut ctx = BlockCtx::new(block_id, &cfg, &mut traffic, l1);
+                    let mut ctx = BlockCtx::new(block_id, &cfg, &mut spans, l1);
                     merge(&mut ctx, block_id, result);
                     block_id += 1;
                 }
             }
         }
-        Ok(self.finish_launch(cfg, occ, traffic))
+        Ok(self.finish_launch(cfg, occ, spans))
     }
 
     /// Consult the armed fault plan before running any block; a failed
     /// launch still costs the fixed launch overhead on the timeline.
     fn gate_launch(&self, cfg: &KernelConfig) -> Result<(), LaunchError> {
-        if let Some(state) = self.faults.borrow_mut().as_mut() {
-            if let Err(e) = state.gate_launch(&cfg.name) {
-                self.timeline.borrow_mut().push(KernelReport {
-                    name: format!("{}!fault", cfg.name),
-                    grid_blocks: cfg.grid_blocks,
-                    threads_per_block: cfg.threads_per_block,
-                    occupancy: 0.0,
-                    traffic: Traffic::default(),
-                    seconds: self.params.kernel_launch_s,
-                    bound_by: "fault",
-                });
-                return Err(e);
-            }
+        let gate = self
+            .faults
+            .borrow_mut()
+            .as_mut()
+            .map_or(Ok(()), |state| state.gate_launch(&cfg.name));
+        if let Err(e) = gate {
+            self.record_event(KernelReport {
+                name: format!("{}!fault", cfg.name),
+                grid_blocks: cfg.grid_blocks,
+                threads_per_block: cfg.threads_per_block,
+                occupancy: 0.0,
+                traffic: Traffic::default(),
+                spans: PhaseSpans::default(),
+                seconds: self.params.kernel_launch_s,
+                bound_by: "fault",
+            });
+            return Err(e);
         }
         Ok(())
     }
@@ -338,17 +365,18 @@ impl Device {
         &self,
         cfg: KernelConfig,
         occ: Occupancy,
-        mut traffic: Traffic,
+        mut spans: PhaseSpans,
     ) -> KernelReport {
         // Register spilling: every resident thread round-trips the
-        // spilled registers through local (= global) memory.
+        // spilled registers through local (= global) memory. Charged at
+        // launch granularity, so it lands in the catch-all phase.
         if cfg.regs_per_thread > self.params.spill_threshold_regs {
             let spilled = (cfg.regs_per_thread - self.params.spill_threshold_regs) as u64;
             let threads = cfg.grid_blocks as u64 * cfg.threads_per_block as u64;
-            traffic.spill_bytes += spilled * 4 * 2 * threads;
+            spans.phase_mut(Phase::Other).spill_bytes += spilled * 4 * 2 * threads;
         }
-        let report = self.time_kernel(&cfg, occ, traffic);
-        self.timeline.borrow_mut().push(report.clone());
+        let report = self.time_kernel(&cfg, occ, spans);
+        self.record_event(report.clone());
         report
     }
 
@@ -376,8 +404,9 @@ impl Device {
         }
     }
 
-    fn time_kernel(&self, cfg: &KernelConfig, occ: Occupancy, traffic: Traffic) -> KernelReport {
+    fn time_kernel(&self, cfg: &KernelConfig, occ: Occupancy, spans: PhaseSpans) -> KernelReport {
         let p = &self.params;
+        let traffic = spans.total();
         // Degraded-bandwidth fault: a sick device streams slower.
         let health = self
             .faults
@@ -412,6 +441,7 @@ impl Device {
             threads_per_block: cfg.threads_per_block,
             occupancy: occ.fraction,
             traffic,
+            spans,
             seconds,
             bound_by,
         }
@@ -421,12 +451,13 @@ impl Device {
     /// PCIe and append it to the timeline. Returns the transfer time.
     pub fn pcie_transfer(&self, bytes: u64) -> f64 {
         let seconds = bytes as f64 / self.params.pcie_bw;
-        self.timeline.borrow_mut().push(KernelReport {
+        self.record_event(KernelReport {
             name: "pcie".to_string(),
             grid_blocks: 0,
             threads_per_block: 0,
             occupancy: 1.0,
             traffic: Traffic::default(),
+            spans: PhaseSpans::default(),
             seconds,
             bound_by: "pcie",
         });
@@ -442,12 +473,13 @@ impl Device {
         let transfer = bytes as f64 / self.params.pcie_bw;
         let fill = transfer / chunks.max(1) as f64;
         let seconds = fill + transfer.max(compute_seconds);
-        self.timeline.borrow_mut().push(KernelReport {
+        self.record_event(KernelReport {
             name: "pcie".to_string(),
             grid_blocks: 0,
             threads_per_block: 0,
             occupancy: 1.0,
             traffic: Traffic::default(),
+            spans: PhaseSpans::default(),
             seconds,
             bound_by: if transfer >= compute_seconds {
                 "pcie"

@@ -6,7 +6,7 @@ use crate::memory::{
     gather_segments, segments_for_gather, segments_for_range, GlobalBuffer, Scalar, SEGMENT_BYTES,
     WARP_SIZE,
 };
-use crate::report::Traffic;
+use crate::report::{Counter, Phase, PhaseSpans, Traffic};
 
 /// Static launch configuration of a kernel, mirroring what a CUDA
 /// programmer declares: grid size, block size, shared memory per block,
@@ -89,7 +89,12 @@ pub struct BlockCtx<'a> {
     block_id: usize,
     threads: usize,
     shared: Vec<u32>,
-    traffic: &'a mut Traffic,
+    /// Per-phase traffic spans + semantic counters; every charge lands
+    /// in the span of the current `phase`.
+    spans: &'a mut PhaseSpans,
+    /// Phase the block is currently attributed to (starts at
+    /// [`Phase::Other`] each block).
+    phase: Phase,
     /// Per-block L1 model: segments already fetched by this block
     /// (None when the device's `l1_per_block` is off).
     l1: Option<HashSet<u64>>,
@@ -101,17 +106,43 @@ impl<'a> BlockCtx<'a> {
     pub(crate) fn new(
         block_id: usize,
         cfg: &KernelConfig,
-        traffic: &'a mut Traffic,
+        spans: &'a mut PhaseSpans,
         l1_per_block: bool,
     ) -> Self {
         BlockCtx {
             block_id,
             threads: cfg.threads_per_block,
             shared: vec![0u32; cfg.smem_per_block / 4],
-            traffic,
+            spans,
+            phase: Phase::Other,
             l1: l1_per_block.then(HashSet::new),
             fuel: cfg.fuel_per_block,
         }
+    }
+
+    /// Set the phase subsequent traffic is attributed to; returns the
+    /// previous phase. Phase attribution never changes totals — only
+    /// how they are broken down — so uninstrumented code is free to
+    /// ignore it (everything lands in [`Phase::Other`]).
+    pub fn set_phase(&mut self, phase: Phase) -> Phase {
+        std::mem::replace(&mut self.phase, phase)
+    }
+
+    /// Phase currently being attributed.
+    pub fn current_phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Increment a semantic [`Counter`] by `n` (free: counters carry no
+    /// modelled cost).
+    pub fn bump(&mut self, counter: Counter, n: u64) {
+        self.spans.bump(counter, n);
+    }
+
+    /// The traffic span of the current phase.
+    #[inline]
+    fn traffic(&mut self) -> &mut Traffic {
+        self.spans.phase_mut(self.phase)
     }
 
     /// Consume `units` of the block's decode fuel budget. Returns
@@ -142,34 +173,31 @@ impl<'a> BlockCtx<'a> {
     /// Charge the read transactions for a contiguous byte range,
     /// deduplicating against the block's L1 when modeled.
     fn charge_range_read(&mut self, addr: u64, bytes: u64) {
-        match &mut self.l1 {
-            None => self.traffic.global_read_segments += segments_for_range(addr, bytes),
+        let segs = match &mut self.l1 {
+            None => segments_for_range(addr, bytes),
             Some(cache) => {
                 if bytes == 0 {
                     return;
                 }
-                for seg in addr / SEGMENT_BYTES..=(addr + bytes - 1) / SEGMENT_BYTES {
-                    if cache.insert(seg) {
-                        self.traffic.global_read_segments += 1;
-                    }
-                }
+                (addr / SEGMENT_BYTES..=(addr + bytes - 1) / SEGMENT_BYTES)
+                    .filter(|&seg| cache.insert(seg))
+                    .count() as u64
             }
-        }
+        };
+        self.traffic().global_read_segments += segs;
     }
 
     /// Charge the read transactions for one warp's gather,
     /// deduplicating against the block's L1 when modeled.
     fn charge_gather_read(&mut self, addrs: &[u64], width: u64) {
-        match &mut self.l1 {
-            None => self.traffic.global_read_segments += segments_for_gather(addrs, width),
-            Some(cache) => {
-                for seg in gather_segments(addrs, width) {
-                    if cache.insert(seg) {
-                        self.traffic.global_read_segments += 1;
-                    }
-                }
-            }
-        }
+        let segs = match &mut self.l1 {
+            None => segments_for_gather(addrs, width),
+            Some(cache) => gather_segments(addrs, width)
+                .into_iter()
+                .filter(|&seg| cache.insert(seg))
+                .count() as u64,
+        };
+        self.traffic().global_read_segments += segs;
     }
 
     /// Index of this thread block within the grid.
@@ -221,8 +249,8 @@ impl<'a> BlockCtx<'a> {
         start: usize,
         values: &[T],
     ) {
-        self.traffic.global_write_segments +=
-            segments_for_range(buf.addr_of(start), values.len() as u64 * T::BYTES);
+        let segs = segments_for_range(buf.addr_of(start), values.len() as u64 * T::BYTES);
+        self.traffic().global_write_segments += segs;
         buf.range_mut(start, values.len()).copy_from_slice(values);
     }
 
@@ -264,7 +292,7 @@ impl<'a> BlockCtx<'a> {
     pub fn warp_scatter<T: Scalar>(&mut self, buf: &mut GlobalBuffer<T>, writes: &[(usize, T)]) {
         for chunk in writes.chunks(WARP_SIZE) {
             let addrs: Vec<u64> = chunk.iter().map(|&(i, _)| buf.addr_of(i)).collect();
-            self.traffic.global_write_segments += segments_for_gather(&addrs, T::BYTES);
+            self.traffic().global_write_segments += segments_for_gather(&addrs, T::BYTES);
             for &(i, v) in chunk {
                 buf.put(i, v);
             }
@@ -277,8 +305,9 @@ impl<'a> BlockCtx<'a> {
         for chunk in updates.chunks(WARP_SIZE) {
             let addrs: Vec<u64> = chunk.iter().map(|&(i, _)| buf.addr_of(i)).collect();
             let segs = segments_for_gather(&addrs, 8);
-            self.traffic.global_read_segments += segs;
-            self.traffic.global_write_segments += segs;
+            let traffic = self.traffic();
+            traffic.global_read_segments += segs;
+            traffic.global_write_segments += segs;
             for &(i, v) in chunk {
                 let cur = buf.get(i);
                 buf.put(i, cur.wrapping_add(v));
@@ -301,7 +330,7 @@ impl<'a> BlockCtx<'a> {
         smem_offset: usize,
     ) {
         self.charge_range_read(buf.addr_of(start), len as u64 * 4);
-        self.traffic.shared_bytes += len as u64 * 4;
+        self.traffic().shared_bytes += len as u64 * 4;
         self.shared[smem_offset..smem_offset + len].copy_from_slice(buf.range(start, len));
     }
 
@@ -316,16 +345,16 @@ impl<'a> BlockCtx<'a> {
         &mut self.shared
     }
 
-    /// Shared memory plus the traffic counter, for decode loops that
-    /// interleave reads with accounting.
+    /// Shared memory plus the current phase's traffic span, for decode
+    /// loops that interleave reads with accounting.
     pub fn shared_and_traffic(&mut self) -> (&mut [u32], &mut Traffic) {
-        (&mut self.shared, self.traffic)
+        (&mut self.shared, self.spans.phase_mut(self.phase))
     }
 
     /// Account `bytes` of shared-memory traffic (reads and/or writes).
     #[inline]
     pub fn smem_traffic(&mut self, bytes: u64) {
-        self.traffic.shared_bytes += bytes;
+        self.traffic().shared_bytes += bytes;
     }
 
     // ------------------------------------------------------------------
@@ -335,12 +364,14 @@ impl<'a> BlockCtx<'a> {
     /// Account `n` integer/ALU operations.
     #[inline]
     pub fn add_int_ops(&mut self, n: u64) {
-        self.traffic.int_ops += n;
+        self.traffic().int_ops += n;
     }
 
-    /// Current traffic counters (for tests and fine-grained harnesses).
-    pub fn traffic(&self) -> &Traffic {
-        self.traffic
+    /// Phase spans and counters accumulated so far (for tests and
+    /// fine-grained harnesses). Totals across phases via
+    /// [`PhaseSpans::total`].
+    pub fn spans(&self) -> &PhaseSpans {
+        self.spans
     }
 }
 

@@ -40,6 +40,18 @@
 //! reproducible (the determinism contract is spelled out in
 //! DESIGN.md §11). Worker count changes host wall-clock time only.
 //!
+//! ## Observability
+//!
+//! Traffic is attributed to logical kernel [`Phase`]s (global load →
+//! shared staging → unpack → expand → predicate/aggregate →
+//! writeback): instrumented kernels call [`BlockCtx::set_phase`] at
+//! phase boundaries and [`BlockCtx::bump`] on semantic events, and
+//! every [`KernelReport`] carries the resulting [`PhaseSpans`].
+//! A [`ProfileSink`] registered via [`Device::set_profile_sink`]
+//! observes each report as it lands, so tests can assert invariants on
+//! [`Counter`]s (see [`CounterSink`]); the `tlc-profile` crate turns
+//! timelines into roofline-utilization profiles.
+//!
 //! ## Example
 //!
 //! ```
@@ -62,10 +74,13 @@
 //! assert!(dev.elapsed_seconds() > 0.0);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod device;
 pub mod fault;
 pub mod kernel;
 pub mod memory;
+pub mod profile;
 pub mod report;
 pub mod scan;
 pub mod threads;
@@ -74,5 +89,6 @@ pub use device::{Device, DeviceParams};
 pub use fault::{FaultPlan, FaultStats, LaunchError};
 pub use kernel::{BlockCtx, KernelConfig, Occupancy};
 pub use memory::{GlobalBuffer, Scalar, SEGMENT_BYTES, WARP_SIZE};
-pub use report::{KernelReport, Timeline, Traffic};
+pub use profile::{CounterSink, ProfileSink};
+pub use report::{Counter, KernelReport, Phase, PhaseSpans, Timeline, Traffic};
 pub use threads::{partitions, set_sim_threads_override, sim_threads, threads_from_env};

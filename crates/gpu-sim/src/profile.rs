@@ -1,0 +1,135 @@
+//! Observability hooks: the [`ProfileSink`] trait and a counting sink.
+//!
+//! A sink registered with [`crate::Device::set_profile_sink`] observes
+//! every [`KernelReport`] the moment it lands on the timeline — kernel
+//! launches, faulted launches, and PCIe transfers alike. Tests and the
+//! fuzzer use sinks to assert on semantic counters (e.g. "each encoded
+//! tile is read from global memory exactly once per decode") without
+//! re-walking timelines; harnesses can stream reports out as they
+//! happen instead of snapshotting at the end.
+//!
+//! Sinks observe; they must not steer. Nothing a sink does can change
+//! the reports themselves, so the determinism contract (DESIGN.md §11)
+//! is unaffected by whether one is installed.
+
+use std::cell::RefCell;
+use std::fmt::Debug;
+use std::rc::Rc;
+
+use crate::report::{Counter, KernelReport, Phase, PhaseSpans, Traffic};
+
+/// Observer of simulated events as they are recorded.
+///
+/// Implementations must be cheap and side-effect-free with respect to
+/// the simulation: the device calls [`ProfileSink::record`] exactly
+/// once per timeline event, on the thread that owns the device.
+pub trait ProfileSink: Debug {
+    /// Called once for every event appended to the device timeline.
+    fn record(&mut self, report: &KernelReport);
+}
+
+/// A [`ProfileSink`] that accumulates phase spans and counters across
+/// all recorded events.
+///
+/// The handle is cheaply cloneable (shared interior), so tests keep a
+/// clone after handing one to [`crate::Device::set_profile_sink`]:
+///
+/// ```
+/// use tlc_gpu_sim::{CounterSink, Device};
+///
+/// let dev = Device::v100();
+/// let sink = CounterSink::new();
+/// dev.set_profile_sink(Box::new(sink.clone()));
+/// // ... launch kernels ...
+/// assert_eq!(sink.events(), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CounterSink {
+    inner: Rc<RefCell<CounterSinkState>>,
+}
+
+#[derive(Debug, Default)]
+struct CounterSinkState {
+    events: usize,
+    spans: PhaseSpans,
+}
+
+impl CounterSink {
+    /// A fresh sink with all tallies at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of events recorded so far.
+    pub fn events(&self) -> usize {
+        self.inner.borrow().events
+    }
+
+    /// Aggregate value of a semantic counter across all events.
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.inner.borrow().spans.counter(counter)
+    }
+
+    /// Aggregate traffic attributed to `phase` across all events.
+    pub fn phase(&self, phase: Phase) -> Traffic {
+        *self.inner.borrow().spans.phase(phase)
+    }
+
+    /// Aggregate spans over all recorded events.
+    pub fn spans(&self) -> PhaseSpans {
+        self.inner.borrow().spans.clone()
+    }
+
+    /// Reset all tallies to zero.
+    pub fn reset(&self) {
+        *self.inner.borrow_mut() = CounterSinkState::default();
+    }
+}
+
+impl ProfileSink for CounterSink {
+    fn record(&mut self, report: &KernelReport) {
+        let mut state = self.inner.borrow_mut();
+        state.events += 1;
+        state.spans = state.spans.merge(&report.spans);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Device, KernelConfig};
+
+    #[test]
+    fn counter_sink_accumulates_phases_and_counters() {
+        let dev = Device::v100();
+        let sink = CounterSink::new();
+        dev.set_profile_sink(Box::new(sink.clone()));
+        let buf = dev.alloc_zeroed::<u32>(1024);
+        dev.launch(KernelConfig::new("k", 2, 128), |blk| {
+            blk.set_phase(Phase::GlobalLoad);
+            let _ = blk.read_coalesced(&buf, 0, 128);
+            blk.set_phase(Phase::Unpack);
+            blk.add_int_ops(100);
+            blk.bump(Counter::TilesDecoded, 1);
+        });
+        assert_eq!(sink.events(), 1);
+        assert_eq!(sink.counter(Counter::TilesDecoded), 2);
+        assert_eq!(sink.phase(Phase::GlobalLoad).global_read_segments, 8);
+        assert_eq!(sink.phase(Phase::Unpack).int_ops, 200);
+        assert_eq!(sink.phase(Phase::Other), Traffic::default());
+        sink.reset();
+        assert_eq!(sink.events(), 0);
+    }
+
+    #[test]
+    fn sink_sees_pcie_events_and_survives_clear() {
+        let dev = Device::v100();
+        let sink = CounterSink::new();
+        dev.set_profile_sink(Box::new(sink.clone()));
+        dev.pcie_transfer(1 << 20);
+        assert_eq!(sink.events(), 1);
+        dev.clear_profile_sink();
+        dev.pcie_transfer(1 << 20);
+        assert_eq!(sink.events(), 1);
+    }
+}

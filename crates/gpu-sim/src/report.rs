@@ -1,4 +1,193 @@
-//! Traffic counters and per-kernel execution reports.
+//! Traffic counters, per-phase spans, and per-kernel execution reports.
+
+/// A logical phase of a decode/query kernel, used to attribute traffic.
+///
+/// Every [`crate::BlockCtx`] carries a *current phase*; all traffic the
+/// block charges lands in that phase's [`Traffic`] span. Kernels opt in
+/// by calling [`crate::BlockCtx::set_phase`] at phase boundaries —
+/// uninstrumented kernels simply accumulate everything under
+/// [`Phase::Other`], so the per-kernel totals are always exact
+/// regardless of instrumentation coverage.
+///
+/// The phases follow the life of a tile in the paper's Algorithm 1 and
+/// the Crystal query pipeline: gather the tile's block offsets from
+/// global memory, stage the compressed words into shared memory (with
+/// checksum verification), unpack the miniblocks, expand deltas/runs,
+/// evaluate predicates and join probes, aggregate, and write decoded
+/// output back to global memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Gathering tile/block metadata (offsets, checksums) from global
+    /// memory, and uncompressed column loads.
+    GlobalLoad,
+    /// Staging compressed words into shared memory, including checksum
+    /// verification and structural validation of the staged tile.
+    SharedStage,
+    /// Bit-unpacking miniblocks from shared memory into registers.
+    Unpack,
+    /// Cascade expansion: delta prefix-scan (DFOR) or run-length
+    /// expansion (RFOR).
+    Expand,
+    /// Predicate evaluation and hash-table probes.
+    Predicate,
+    /// Aggregation: block-local reductions and global atomics.
+    Aggregate,
+    /// Writing decoded values or materialized results back to global
+    /// memory.
+    Writeback,
+    /// Everything not attributed to a named phase (including register
+    /// spill traffic, which is charged at launch granularity).
+    Other,
+}
+
+impl Phase {
+    /// Number of phases (the length of [`Phase::ALL`]).
+    pub const COUNT: usize = 8;
+
+    /// Every phase, in pipeline order.
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::GlobalLoad,
+        Phase::SharedStage,
+        Phase::Unpack,
+        Phase::Expand,
+        Phase::Predicate,
+        Phase::Aggregate,
+        Phase::Writeback,
+        Phase::Other,
+    ];
+
+    /// Stable snake_case name (used in JSON artifacts).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::GlobalLoad => "global_load",
+            Phase::SharedStage => "shared_stage",
+            Phase::Unpack => "unpack",
+            Phase::Expand => "expand",
+            Phase::Predicate => "predicate",
+            Phase::Aggregate => "aggregate",
+            Phase::Writeback => "writeback",
+            Phase::Other => "other",
+        }
+    }
+
+    /// Index into [`Phase::ALL`] (and into [`PhaseSpans`] storage).
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// A semantic event counter, incremented by instrumented kernels via
+/// [`crate::BlockCtx::bump`].
+///
+/// Unlike [`Traffic`], which measures *cost*, counters measure *what
+/// happened*, so tests can state invariants such as "each encoded tile
+/// is read from global memory exactly once per decode".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Counter {
+    /// Times a tile's compressed payload was fetched from global
+    /// memory (once per [`Phase::SharedStage`] staging, per tile).
+    EncodedTileReads,
+    /// Tiles fully decoded.
+    TilesDecoded,
+    /// 32-value miniblocks bit-unpacked.
+    MiniblocksUnpacked,
+    /// Decoded values materialized (after cascade expansion).
+    ValuesProduced,
+    /// RLE runs expanded (RFOR only).
+    RunsExpanded,
+}
+
+impl Counter {
+    /// Number of counters (the length of [`Counter::ALL`]).
+    pub const COUNT: usize = 5;
+
+    /// Every counter.
+    pub const ALL: [Counter; Counter::COUNT] = [
+        Counter::EncodedTileReads,
+        Counter::TilesDecoded,
+        Counter::MiniblocksUnpacked,
+        Counter::ValuesProduced,
+        Counter::RunsExpanded,
+    ];
+
+    /// Stable snake_case name (used in JSON artifacts).
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::EncodedTileReads => "encoded_tile_reads",
+            Counter::TilesDecoded => "tiles_decoded",
+            Counter::MiniblocksUnpacked => "miniblocks_unpacked",
+            Counter::ValuesProduced => "values_produced",
+            Counter::RunsExpanded => "runs_expanded",
+        }
+    }
+
+    /// Index into [`Counter::ALL`] (and into [`PhaseSpans`] storage).
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Per-phase traffic spans plus semantic counters for one kernel.
+///
+/// Everything here is an integer accumulated with commutative sums, so
+/// the determinism contract (DESIGN.md §11) extends to phase spans:
+/// they are bit-identical for any `TLC_SIM_THREADS` worker count.
+/// `PartialEq` is exact, and the determinism tests compare span by
+/// span.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PhaseSpans {
+    phases: [Traffic; Phase::COUNT],
+    counters: [u64; Counter::COUNT],
+}
+
+impl PhaseSpans {
+    /// Traffic attributed to `phase`.
+    pub fn phase(&self, phase: Phase) -> &Traffic {
+        &self.phases[phase.index()]
+    }
+
+    /// Mutable traffic span for `phase`.
+    pub(crate) fn phase_mut(&mut self, phase: Phase) -> &mut Traffic {
+        &mut self.phases[phase.index()]
+    }
+
+    /// Value of a semantic counter.
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters[counter.index()]
+    }
+
+    /// Increment a semantic counter by `n`.
+    pub(crate) fn bump(&mut self, counter: Counter, n: u64) {
+        self.counters[counter.index()] += n;
+    }
+
+    /// Sum of all phase spans — the kernel's total [`Traffic`].
+    pub fn total(&self) -> Traffic {
+        self.phases
+            .iter()
+            .fold(Traffic::default(), |acc, t| acc.merge(t))
+    }
+
+    /// Element-wise sum of two span sets.
+    pub fn merge(&self, other: &PhaseSpans) -> PhaseSpans {
+        let mut out = self.clone();
+        for p in Phase::ALL {
+            out.phases[p.index()] = out.phases[p.index()].merge(other.phase(p));
+        }
+        for c in Counter::ALL {
+            out.counters[c.index()] += other.counter(c);
+        }
+        out
+    }
+
+    /// Phases with any recorded traffic, in pipeline order.
+    pub fn active_phases(&self) -> impl Iterator<Item = (Phase, &Traffic)> {
+        Phase::ALL
+            .iter()
+            .map(|&p| (p, self.phase(p)))
+            .filter(|(_, t)| **t != Traffic::default())
+    }
+}
 
 /// Raw traffic counters accumulated while a kernel executes.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -49,8 +238,11 @@ pub struct KernelReport {
     pub threads_per_block: usize,
     /// Achieved occupancy, in [0, 1] (1.0 for transfers).
     pub occupancy: f64,
-    /// Traffic counters.
+    /// Traffic counters (sum over all phase spans).
     pub traffic: Traffic,
+    /// Per-phase spans and semantic counters. Empty (all defaults) for
+    /// PCIe transfers and faulted launches.
+    pub spans: PhaseSpans,
     /// Simulated execution time in seconds.
     pub seconds: f64,
     /// Which roofline leg dominated: "global", "shared", "compute",
@@ -94,6 +286,13 @@ impl Timeline {
             .fold(Traffic::default(), |acc, e| acc.merge(&e.traffic))
     }
 
+    /// Aggregate phase spans and counters over all events.
+    pub fn total_spans(&self) -> PhaseSpans {
+        self.events
+            .iter()
+            .fold(PhaseSpans::default(), |acc, e| acc.merge(&e.spans))
+    }
+
     /// Simulated time under linear scaling of the workload by `factor`.
     ///
     /// Traffic-proportional legs (memory, compute, per-block overhead)
@@ -125,15 +324,16 @@ mod tests {
     use super::*;
 
     fn report(name: &str, secs: f64) -> KernelReport {
+        let mut spans = PhaseSpans::default();
+        spans.phase_mut(Phase::GlobalLoad).global_read_segments = 10;
+        spans.bump(Counter::TilesDecoded, 1);
         KernelReport {
             name: name.to_string(),
             grid_blocks: 1,
             threads_per_block: 128,
             occupancy: 1.0,
-            traffic: Traffic {
-                global_read_segments: 10,
-                ..Default::default()
-            },
+            traffic: spans.total(),
+            spans,
             seconds: secs,
             bound_by: "global",
         }
@@ -147,6 +347,28 @@ mod tests {
         assert_eq!(t.total_seconds(), 3.0);
         assert_eq!(t.kernel_launches(), 2);
         assert_eq!(t.total_traffic().global_read_segments, 20);
+        let spans = t.total_spans();
+        assert_eq!(spans.phase(Phase::GlobalLoad).global_read_segments, 20);
+        assert_eq!(spans.counter(Counter::TilesDecoded), 2);
+        assert_eq!(spans.total(), t.total_traffic());
+    }
+
+    #[test]
+    fn phase_spans_merge_and_active() {
+        let mut a = PhaseSpans::default();
+        a.phase_mut(Phase::Unpack).int_ops = 5;
+        a.bump(Counter::ValuesProduced, 128);
+        let mut b = PhaseSpans::default();
+        b.phase_mut(Phase::Unpack).int_ops = 7;
+        b.phase_mut(Phase::Expand).shared_bytes = 64;
+        let m = a.merge(&b);
+        assert_eq!(m.phase(Phase::Unpack).int_ops, 12);
+        assert_eq!(m.phase(Phase::Expand).shared_bytes, 64);
+        assert_eq!(m.counter(Counter::ValuesProduced), 128);
+        let active: Vec<Phase> = m.active_phases().map(|(p, _)| p).collect();
+        assert_eq!(active, vec![Phase::Unpack, Phase::Expand]);
+        assert_eq!(m.total().int_ops, 12);
+        assert_eq!(m.total().shared_bytes, 64);
     }
 
     #[test]

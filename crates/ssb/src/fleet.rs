@@ -8,7 +8,7 @@
 //! merge transfer — compression helps twice, by fitting more shard per
 //! device and by shrinking any cross-device spill.
 
-use tlc_gpu_sim::Device;
+use tlc_gpu_sim::{Device, KernelReport};
 
 use crate::encode::LoColumns;
 use crate::gen::{LineOrder, SsbData};
@@ -66,6 +66,10 @@ pub struct ShardedRun {
     pub slowest_shard_s: f64,
     /// Merge transfer time (partial aggregates over the interconnect).
     pub merge_s: f64,
+    /// Every kernel report each shard's device emitted, in shard order.
+    /// Deterministic for any `TLC_SIM_THREADS`; feed a shard's reports
+    /// to `tlc-profile` to break its run down phase by phase.
+    pub shard_timelines: Vec<Vec<KernelReport>>,
 }
 
 impl ShardedRun {
@@ -119,12 +123,15 @@ pub fn run_query_sharded(
         let cols = LoColumns::build(&dev, part, system, q.columns());
         dev.reset_timeline();
         let result = run_query(&dev, part, &cols, q);
-        (result, dev.elapsed_seconds_scaled(scale))
+        let timeline = dev.with_timeline(|tl| tl.events().to_vec());
+        (result, dev.elapsed_seconds_scaled(scale), timeline)
     });
     let mut merged: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
     let mut slowest = 0.0f64;
     let mut merge_bytes = 0u64;
-    for (result, shard_s) in shard_runs {
+    let mut shard_timelines = Vec::with_capacity(shards);
+    for (result, shard_s, timeline) in shard_runs {
+        shard_timelines.push(timeline);
         slowest = slowest.max(shard_s);
         merge_bytes += result.len() as u64 * 16; // (group, sum) pairs
         for (g, v) in result {
@@ -139,6 +146,7 @@ pub fn run_query_sharded(
         result: merged.into_iter().filter(|&(_, v)| v != 0).collect(),
         slowest_shard_s: slowest,
         merge_s,
+        shard_timelines,
     }
 }
 

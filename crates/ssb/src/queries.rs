@@ -15,7 +15,7 @@
 use tlc_core::DecodeError;
 use tlc_crystal::exec::{fused_config, materialize};
 use tlc_crystal::{DenseTable, GroupBySum, QueryColumn, ScalarSum};
-use tlc_gpu_sim::{Device, GlobalBuffer};
+use tlc_gpu_sim::{Device, GlobalBuffer, Phase};
 
 use crate::encode::LoColumns;
 use crate::gen::{LoColumn, SsbData, BRANDS, CITIES, FIRST_YEAR, NATIONS};
@@ -447,12 +447,14 @@ fn fused_flight1(
                 .and_then(|n| cols[1].load_tile(ctx, t, &mut qt).map(|_| n))
                 .and_then(|n| cols[2].load_tile(ctx, t, &mut dc).map(|_| n))
                 .and_then(|n| cols[3].load_tile(ctx, t, &mut ep).map(|_| n))?;
+            ctx.set_phase(Phase::Predicate);
             let sel: Vec<bool> = (0..n)
                 .map(|i| (s.qty_pred)(qt[i]) && (s.disc_pred)(dc[i]))
                 .collect();
             ctx.add_int_ops(n as u64 * 3);
             let mut hits = Vec::new();
             tables.date.probe(ctx, &od[..n], &sel, &mut hits);
+            ctx.set_phase(Phase::Aggregate);
             let local: u64 = (0..n)
                 .filter(|&i| hits[i].is_some())
                 .map(|i| ep[i] as u64 * dc[i] as u64)
@@ -571,6 +573,7 @@ fn fused_join_flight(
             } else {
                 None
             };
+            ctx.set_phase(Phase::Aggregate);
             let mut pairs = Vec::new();
             for i in 0..n {
                 if !sel[i] {

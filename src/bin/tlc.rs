@@ -12,6 +12,7 @@
 //! tlc verify     <input.tlc>
 //! tlc faultsim   [--seed N]
 //! tlc fuzz       [--seed N | --seed A..B] [--iters M]
+//! tlc profile    (<input.tlc> | --query <q>) [--sf N] [--system S] [--json PATH]
 //! ```
 //!
 //! `verify` checks a serialized column end to end (stream digest,
@@ -36,15 +37,27 @@
 //! panic, never past the allocation cap. `--seed A..B` runs one
 //! campaign per seed in the (Rust-style, exclusive) range. The
 //! checked-in regression corpus runs on every invocation.
+//!
+//! `profile` runs a workload on the simulated V100 and reports where
+//! the modelled time went, phase by phase (global load → shared staging
+//! → unpack → expand → predicate → aggregate → writeback), with
+//! achieved vs. modelled bandwidth and roofline utilization. Column
+//! mode (`tlc profile col.tlc`) profiles a full device-side decode;
+//! query mode (`tlc profile --query q2.1`) profiles an SSB query
+//! (`--sf` scale factor, default 0.01; `--system` one of
+//! `none|gpu-star|nvcomp|gpu-bp|planner|omnisci`, default `gpu-star`).
+//! A `tlc-profile/v1` JSON artifact is written to `--json` (default
+//! `PROFILE.json`); see docs/PROFILING.md.
 
 use std::process::ExitCode;
 
 use tlc::fuzz::{run_corpus, run_fuzz, FuzzConfig};
 use tlc::planner::{recommend_scheme, ColumnStats};
+use tlc::profile::Profile;
 use tlc::schemes::{DecodeError, EncodedColumn, FormatError, Limits, Scheme};
 use tlc::sim::{Device, FaultPlan};
 use tlc::ssb::fleet::run_query_sharded;
-use tlc::ssb::{run_query_sharded_resilient, QueryId, SsbData, System};
+use tlc::ssb::{run_query, run_query_sharded_resilient, LoColumns, QueryId, SsbData, System};
 
 fn read_i32_column(path: &str) -> Result<Vec<i32>, String> {
     let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
@@ -178,6 +191,15 @@ struct CliError {
 impl From<String> for CliError {
     fn from(message: String) -> Self {
         CliError { code: 1, message }
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> Self {
+        CliError {
+            code: 1,
+            message: message.to_string(),
+        }
     }
 }
 
@@ -416,6 +438,113 @@ fn cmd_faultsim(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse `--system` for `profile`.
+fn parse_system(s: &str) -> Result<System, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "none" => Ok(System::None),
+        "gpu-star" | "gpu*" | "gpu-*" | "star" => Ok(System::GpuStar),
+        "nvcomp" => Ok(System::NvComp),
+        "gpu-bp" | "gpubp" => Ok(System::GpuBp),
+        "planner" => Ok(System::Planner),
+        "omnisci" => Ok(System::OmniSci),
+        other => Err(format!(
+            "unknown system '{other}' (none|gpu-star|nvcomp|gpu-bp|planner|omnisci)"
+        )),
+    }
+}
+
+/// Parse `--query` for `profile`: any SSB flight name, e.g. `q2.1`.
+fn parse_query(s: &str) -> Result<QueryId, String> {
+    QueryId::ALL
+        .iter()
+        .copied()
+        .find(|q| q.name().eq_ignore_ascii_case(s))
+        .ok_or_else(|| {
+            let names: Vec<&str> = QueryId::ALL.iter().map(|q| q.name()).collect();
+            format!("unknown query '{s}' (one of: {})", names.join(", "))
+        })
+}
+
+fn cmd_profile(args: &[String]) -> Result<(), CliError> {
+    let mut input: Option<String> = None;
+    let mut query: Option<QueryId> = None;
+    let mut sf = 0.01f64;
+    let mut system = System::GpuStar;
+    let mut json_path = "PROFILE.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--query" => {
+                query = Some(parse_query(it.next().ok_or("--query needs a value")?)?);
+            }
+            "--sf" => {
+                sf = it
+                    .next()
+                    .ok_or("--sf needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--sf: {e}"))?;
+            }
+            "--system" => {
+                system = parse_system(it.next().ok_or("--system needs a value")?)?;
+            }
+            "--json" => {
+                json_path = it.next().ok_or("--json needs a value")?.clone();
+            }
+            _ if input.is_none() && !a.starts_with("--") => input = Some(a.clone()),
+            other => return Err(format!("unexpected argument '{other}'").into()),
+        }
+    }
+
+    let dev = Device::v100();
+    match (&input, query) {
+        (Some(path), None) => {
+            // Column mode: profile a full device-side decode.
+            let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+            let col = EncodedColumn::from_bytes(&bytes).map_err(|e| CliError {
+                code: format_error_code(&e),
+                message: format!("{path}: {e}"),
+            })?;
+            let dcol = col.to_device(&dev);
+            dev.reset_timeline();
+            let decoded = dcol.decompress(&dev).map_err(|e| CliError {
+                code: decode_error_code(&e),
+                message: format!("{path}: {e}"),
+            })?;
+            println!(
+                "{path}: decoded {} values ({})",
+                decoded.as_slice_unaccounted().len(),
+                col.scheme().name(),
+            );
+        }
+        (None, Some(q)) => {
+            // Query mode: profile one SSB flight end to end.
+            let data = SsbData::generate(sf);
+            let cols = LoColumns::build(&dev, &data, system, q.columns());
+            dev.reset_timeline();
+            let result = run_query(&dev, &data, &cols, q);
+            println!(
+                "{} under {} at SF {sf}: {} result group(s)",
+                q.name(),
+                system.name(),
+                result.len(),
+            );
+        }
+        _ => {
+            return Err(CliError::from(
+                "usage: tlc profile (<input.tlc> | --query <q>) [--sf N] [--system S] \
+                 [--json PATH]"
+                    .to_string(),
+            ))
+        }
+    }
+    let profile = dev.with_timeline(|tl| Profile::from_reports(tl.events(), dev.params()));
+    print!("{}", profile.render_text());
+    std::fs::write(&json_path, profile.to_json().render())
+        .map_err(|e| format!("{json_path}: {e}"))?;
+    println!("\nwrote {json_path}");
+    Ok(())
+}
+
 fn run() -> Result<(), CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -428,8 +557,9 @@ fn run() -> Result<(), CliError> {
         Some("verify") if args.len() == 2 => cmd_verify(&args[1]),
         Some("faultsim") => cmd_faultsim(&args[1..]).map_err(CliError::from),
         Some("fuzz") => cmd_fuzz(&args[1..]).map_err(CliError::from),
+        Some("profile") => cmd_profile(&args[1..]),
         _ => Err(CliError::from(
-            "usage: tlc <stats|compress|decompress|inspect|verify|faultsim|fuzz> ... \
+            "usage: tlc <stats|compress|decompress|inspect|verify|faultsim|fuzz|profile> ... \
              (see --help in README)"
                 .to_string(),
         )),

@@ -16,6 +16,9 @@
 //!   ([`tlc_fuzz`]): structure-aware mutation, a
 //!   panic/allocation/divergence oracle, a checked-in regression
 //!   corpus.
+//! * [`profile`] — the kernel-phase profiler ([`tlc_profile`]):
+//!   per-phase time attribution, roofline utilization, and the stable
+//!   `tlc-profile/v1` JSON artifact format.
 //!
 //! ## Example: compressed scan inside a query kernel
 //!
@@ -43,4 +46,5 @@ pub use tlc_crystal as crystal;
 pub use tlc_fuzz as fuzz;
 pub use tlc_gpu_sim as sim;
 pub use tlc_planner as planner;
+pub use tlc_profile as profile;
 pub use tlc_ssb as ssb;

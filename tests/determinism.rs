@@ -13,7 +13,8 @@
 use std::sync::{Mutex, MutexGuard};
 
 use tlc::fuzz::{run_fuzz, FuzzConfig};
-use tlc::sim::{set_sim_threads_override, Device, FaultPlan, KernelReport};
+use tlc::profile::Profile;
+use tlc::sim::{set_sim_threads_override, Device, FaultPlan, KernelReport, Phase};
 use tlc::ssb::{
     run_query, run_query_sharded_resilient, LoColumns, QueryId, ResilientRun, SsbData, System,
 };
@@ -71,6 +72,49 @@ fn ssb_suite_timelines_are_bit_identical_across_worker_counts() {
             assert_eq!(e1, e4, "run {i}: event {} diverged", e1.name);
         }
     }
+}
+
+/// A profiled SSB run must be reproducible down to the derived
+/// artifacts: per-kernel phase spans, attributed phase seconds
+/// (compared bit-for-bit), and the rendered `tlc-profile/v1` JSON and
+/// text reports.
+#[test]
+fn profiled_ssb_run_is_identical_across_worker_counts() {
+    let _guard = lock();
+    let data = SsbData::generate(0.01);
+    let profile_run = |data: &SsbData| {
+        let dev = Device::v100();
+        let cols = LoColumns::build(&dev, data, System::GpuStar, QueryId::Q21.columns());
+        dev.reset_timeline();
+        run_query(&dev, data, &cols, QueryId::Q21);
+        dev.with_timeline(|tl| Profile::from_reports(tl.events(), dev.params()))
+    };
+    let serial = with_workers(1, || profile_run(&data));
+    let parallel = with_workers(4, || profile_run(&data));
+    assert_eq!(
+        serial.spans, parallel.spans,
+        "aggregate phase spans diverged"
+    );
+    assert_eq!(serial.kernels.len(), parallel.kernels.len());
+    for (ks, kp) in serial.kernels.iter().zip(&parallel.kernels) {
+        assert_eq!(ks.name, kp.name, "kernel order diverged");
+        assert_eq!(ks.spans, kp.spans, "kernel {}: spans diverged", ks.name);
+        for ph in Phase::ALL {
+            assert_eq!(
+                ks.phase_seconds(ph).to_bits(),
+                kp.phase_seconds(ph).to_bits(),
+                "kernel {}: {} seconds diverged",
+                ks.name,
+                ph.name()
+            );
+        }
+    }
+    assert_eq!(
+        serial.to_json().render(),
+        parallel.to_json().render(),
+        "rendered JSON artifact diverged"
+    );
+    assert_eq!(serial.render_text(), parallel.render_text());
 }
 
 fn resilient_campaign(data: &SsbData) -> Vec<ResilientRun> {
