@@ -5,7 +5,8 @@
 //! `Delta+FOR+BitPack` and `RLE+FOR+BitPack` baselines of Figure 7a —
 //! the ablation that isolates the benefit of tile-based decompression.
 
-use tlc_bitpack::horizontal::extract;
+use tlc_bitpack::unpack::unpack_miniblock;
+use tlc_bitpack::MINIBLOCK;
 use tlc_core::gpu_dfor::GpuDForDevice;
 use tlc_core::gpu_for::GpuForDevice;
 use tlc_core::gpu_rfor::{decode_stream_block, GpuRForDevice};
@@ -18,12 +19,12 @@ fn unpack_block_raw(block: &[u32]) -> (i32, [u32; BLOCK]) {
     let reference = block[0] as i32;
     let bw_word = block[1];
     let mut out = [0u32; BLOCK];
+    let mut scratch = [0u32; MINIBLOCK];
     let mut offset = 2usize;
-    for m in 0..4 {
+    for m in 0..BLOCK / MINIBLOCK {
         let w = (bw_word >> (8 * m)) & 0xFF;
-        for i in 0..32 {
-            out[m * 32 + i] = extract(&block[offset..], i * w as usize, w);
-        }
+        unpack_miniblock(&block[offset..], w, &mut scratch);
+        out[m * MINIBLOCK..(m + 1) * MINIBLOCK].copy_from_slice(&scratch);
         offset += w as usize;
     }
     (reference, out)

@@ -7,7 +7,9 @@
 //! overlapping un-staged window reads straight from global memory.
 
 use tlc_bitpack::horizontal::{extract, pack_stream};
+use tlc_bitpack::unpack::{unpack_miniblock, unpack_stream_into};
 use tlc_bitpack::width::max_bits;
+use tlc_bitpack::MINIBLOCK;
 use tlc_gpu_sim::{Device, GlobalBuffer, KernelConfig, WARP_SIZE};
 
 /// Values handled per thread block during decode (the published kernel
@@ -54,11 +56,14 @@ impl GpuBp {
         self.compressed_bytes() as f64 * 8.0 / self.total_count.max(1) as f64
     }
 
-    /// Sequential reference decoder.
+    /// Sequential reference decoder. A contiguously packed stream is
+    /// word-aligned at every 32-value boundary, so the monomorphized
+    /// [`unpack_miniblock`] table drives the full miniblocks and the
+    /// generic window `extract` only handles the tail.
     pub fn decode_cpu(&self) -> Vec<i32> {
-        (0..self.total_count)
-            .map(|i| extract(&self.data, i * self.bitwidth as usize, self.bitwidth) as i32)
-            .collect()
+        let mut raw = Vec::with_capacity(self.total_count);
+        unpack_stream_into(&self.data, self.bitwidth, self.total_count, &mut raw);
+        raw.into_iter().map(|v| v as i32).collect()
     }
 
     /// Upload to the device.
@@ -114,6 +119,7 @@ fn run(dev: &Device, col: &GpuBpDevice, mut out: Option<&mut GlobalBuffer<i32>>,
         let lo = ctx.block_id() * CHUNK;
         let hi = (lo + CHUNK).min(n);
         let mut vals = Vec::with_capacity(hi - lo);
+        let mut scratch = [0u32; MINIBLOCK];
         for warp_lo in (lo..hi).step_by(WARP_SIZE) {
             let warp_hi = (warp_lo + WARP_SIZE).min(hi);
             // Each lane loads its 8-byte window directly from global
@@ -122,8 +128,15 @@ fn run(dev: &Device, col: &GpuBpDevice, mut out: Option<&mut GlobalBuffer<i32>>,
             let idx: Vec<usize> = (warp_lo..warp_hi).map(|i| (i * bw as usize) / 32).collect();
             let _ = ctx.warp_gather_wide(&col.data, &idx, 8);
             ctx.add_int_ops((warp_hi - warp_lo) as u64 * 6);
-            for i in warp_lo..warp_hi {
-                vals.push(extract(col.data.as_slice_unaccounted(), i * bw as usize, bw) as i32);
+            let data = col.data.as_slice_unaccounted();
+            if warp_hi - warp_lo == MINIBLOCK {
+                // A full warp is a word-aligned 32-value miniblock.
+                unpack_miniblock(&data[warp_lo * bw as usize / 32..], bw, &mut scratch);
+                vals.extend(scratch.iter().map(|&v| v as i32));
+            } else {
+                for i in warp_lo..warp_hi {
+                    vals.push(extract(data, i * bw as usize, bw) as i32);
+                }
             }
         }
         if let Some(out) = out.as_deref_mut() {

@@ -7,7 +7,8 @@
 //! `BENCH_encode_decode.json` (to `TLC_BENCH_DIR` or the current
 //! directory): wall-clock throughput per scheme, the analytic model
 //! time of the simulated decode (worker-count-invariant), and the
-//! worker counts used. Size: `TLC_N`, default 2^18.
+//! worker counts used. Size: `TLC_N`, default 2^18; best-of iteration
+//! count: `TLC_ITERS`, default 5.
 //!
 //! Run with `cargo bench -p tlc-bench --bench encode_decode`.
 
@@ -17,7 +18,12 @@ use tlc_core::parallel::encoder_threads;
 use tlc_core::{EncodedColumn, Scheme};
 use tlc_gpu_sim::{set_sim_threads_override, sim_threads, Device};
 
-const ITERS: usize = 5;
+fn iters() -> usize {
+    std::env::var("TLC_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5)
+}
 
 fn time_best<R>(iters: usize, mut f: impl FnMut() -> R) -> f64 {
     let mut best = f64::INFINITY;
@@ -34,6 +40,7 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(1 << 18);
+    let iters = iters();
     let workers = sim_threads();
     let uniform = uniform_bits(n, 16, 1);
     let sorted = sorted_unique(n, 1 << 16);
@@ -47,7 +54,7 @@ fn main() {
         (Scheme::GpuDFor, &sorted),
         (Scheme::GpuRFor, &runs),
     ] {
-        let t = time_best(ITERS, || {
+        let t = time_best(iters, || {
             EncodedColumn::encode_as(data, scheme).compressed_bytes()
         });
         rows.push(vec![scheme.name().to_string(), format!("{:.1}", mvals(t))]);
@@ -59,7 +66,7 @@ fn main() {
         ]));
     }
     print_table(
-        &format!("encode (best of {ITERS})"),
+        &format!("encode (best of {iters})"),
         &["scheme", "Mvals/s"],
         &rows,
     );
@@ -74,9 +81,9 @@ fn main() {
             dev.elapsed_seconds()
         };
         set_sim_threads_override(Some(1));
-        let wall_serial = time_best(ITERS, run);
+        let wall_serial = time_best(iters, run);
         set_sim_threads_override(Some(workers));
-        let wall_parallel = time_best(ITERS, run);
+        let wall_parallel = time_best(iters, run);
         set_sim_threads_override(None);
         let modelled = dev.elapsed_seconds();
         rows.push(vec![
@@ -95,15 +102,22 @@ fn main() {
         ]));
     }
     print_table(
-        &format!("decompress_simulated (best of {ITERS}, {workers} worker(s))"),
+        &format!("decompress_simulated (best of {iters}, {workers} worker(s))"),
         &["scheme", "serial Mvals/s", "parallel Mvals/s", "model ms"],
         &rows,
     );
 
     let mut rows = Vec::new();
+    let mut decoded = Vec::new();
     for scheme in Scheme::ALL {
         let col = EncodedColumn::encode_as(&uniform, scheme);
-        let t = time_best(ITERS, || col.decode_cpu().len());
+        // Reuse one output buffer across iterations: decode_cpu_into
+        // overwrites it in place, so the timing captures the decode
+        // kernels rather than a 4 MB allocation + zeroing per call.
+        let t = time_best(iters, || {
+            col.decode_cpu_into(&mut decoded);
+            decoded.len()
+        });
         rows.push(vec![scheme.name().to_string(), format!("{:.1}", mvals(t))]);
         json_rows.push(Json::Obj(vec![
             ("scheme", Json::Str(scheme.name().to_string())),
@@ -113,7 +127,7 @@ fn main() {
         ]));
     }
     print_table(
-        &format!("decode_cpu (best of {ITERS})"),
+        &format!("decode_cpu (best of {iters})"),
         &["scheme", "Mvals/s"],
         &rows,
     );
@@ -123,7 +137,7 @@ fn main() {
         ("n", Json::Int(n as u64)),
         ("workers", Json::Int(workers as u64)),
         ("encode_threads", Json::Int(encoder_threads() as u64)),
-        ("iters", Json::Int(ITERS as u64)),
+        ("iters", Json::Int(iters as u64)),
         ("rows", Json::Arr(json_rows)),
     ]);
     match write_bench_json("BENCH_encode_decode.json", &doc) {

@@ -71,11 +71,18 @@ pub fn extract(words: &[u32], start_bit: usize, bitwidth: u32) -> u32 {
     ((window >> off) & mask) as u32
 }
 
-/// Unpack `count` values of `bitwidth` bits from the start of `words`.
+/// Unpack `count` values of `bitwidth` bits from the start of `words`
+/// into a fresh vector.
+///
+/// Note: allocates per call. Hot decode paths should prefer
+/// [`unpack_stream_into`](crate::unpack::unpack_stream_into) with a
+/// reused buffer, or [`unpack_miniblock`](crate::unpack::unpack_miniblock)
+/// with stack scratch; this wrapper remains for convenience and as the
+/// oracle-backed reference entry point.
 pub fn unpack_stream(words: &[u32], bitwidth: u32, count: usize) -> Vec<u32> {
-    (0..count)
-        .map(|i| extract(words, i * bitwidth as usize, bitwidth))
-        .collect()
+    let mut out = Vec::with_capacity(count);
+    crate::unpack::unpack_stream_into(words, bitwidth, count, &mut out);
+    out
 }
 
 #[cfg(test)]

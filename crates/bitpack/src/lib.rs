@@ -13,6 +13,10 @@
 //!   GPU-SIMDBP128; paper Section 4.3 and Figure 1): value `j` of a
 //!   block lives in lane `j % lanes`, and each lane's words are
 //!   interleaved so lane `l` reads words `l, l + lanes, …`.
+//! * [`unpack`] — monomorphized per-width miniblock unpackers (paper
+//!   Section 4.4): one branch-free routine per bitwidth 0..=32,
+//!   dispatched through the [`UNPACKERS`] table, with the generic
+//!   [`extract`] kept as the partial-tail fallback and test oracle.
 //!
 //! All functions are deterministic, allocation-conscious, and defined
 //! for bitwidths 0..=32 inclusive (bitwidth 0 encodes a run of zeros in
@@ -21,10 +25,18 @@
 #![warn(missing_docs)]
 
 pub mod horizontal;
+pub mod unpack;
 pub mod vertical;
 pub mod width;
 
 pub use horizontal::{extract, pack_into, pack_stream, unpack_stream, words_for};
+pub use unpack::{
+    unpack128_ref, unpack128_scan, unpack32, unpack32_ref, unpack32_scan, unpack_block_ref,
+    unpack_block_scan, unpack_miniblock, unpack_miniblock_ref, unpack_miniblock_scan,
+    unpack_stream_into, BlockUnpackerRef, BlockUnpackerScan, Unpacker, UnpackerRef, UnpackerScan,
+    BLOCK_UNPACKERS_REF, BLOCK_UNPACKERS_SCAN, BLOCK_VALUES, UNPACKERS, UNPACKERS_REF,
+    UNPACKERS_SCAN,
+};
 pub use vertical::{vertical_pack, vertical_unpack};
 pub use width::{bits_for, max_bits};
 

@@ -8,7 +8,8 @@
 //! on a GPU, thread `l` of a warp streams through words `l, l+lanes, …`
 //! with fully coalesced accesses.
 
-use crate::horizontal::{pack_stream, unpack_stream};
+use crate::horizontal::pack_stream;
+use crate::unpack::unpack_miniblock;
 use crate::MINIBLOCK;
 
 /// Pack `values` (length must be `lanes * 32`) at `bitwidth` bits in the
@@ -37,10 +38,13 @@ pub fn vertical_unpack(words: &[u32], bitwidth: u32, lanes: usize) -> Vec<u32> {
     assert_eq!(words.len(), lanes * bitwidth as usize);
     let mut out = vec![0u32; lanes * MINIBLOCK];
     let mut lane_words = Vec::with_capacity(bitwidth as usize);
+    let mut vals = [0u32; MINIBLOCK];
     for l in 0..lanes {
         lane_words.clear();
         lane_words.extend((0..bitwidth as usize).map(|w| words[w * lanes + l]));
-        let vals = unpack_stream(&lane_words, bitwidth, MINIBLOCK);
+        // A de-interleaved lane is exactly one full miniblock — take the
+        // monomorphized fast path.
+        unpack_miniblock(&lane_words, bitwidth, &mut vals);
         for (p, &v) in vals.iter().enumerate() {
             out[p * lanes + l] = v;
         }

@@ -1,0 +1,112 @@
+//! Differential tests for the monomorphized per-width unpackers.
+//!
+//! Every `unpack32::<B>` — reached directly and through the
+//! `UNPACKERS` dispatch table — must agree with the generic window
+//! `extract` oracle on random miniblocks for all widths 0..=32
+//! (including `u32::MAX` payloads at width 32), and
+//! `unpack_stream_into` must agree on streams whose partial tails span
+//! word boundaries. `extract` is the slow, per-value reference the
+//! fast path is measured against; any disagreement is a bug in the
+//! fast path by definition.
+
+use tlc_bitpack::{
+    extract, pack_stream, unpack32, unpack_miniblock, unpack_stream_into, MINIBLOCK, UNPACKERS,
+};
+use tlc_rng::Rng;
+
+fn values_for_width(rng: &mut Rng, bw: u32, len: usize) -> Vec<u32> {
+    let max = if bw == 0 {
+        0u32
+    } else if bw == 32 {
+        u32::MAX
+    } else {
+        (1u32 << bw) - 1
+    };
+    (0..len).map(|_| rng.gen_range(0u32..=max)).collect()
+}
+
+#[test]
+fn dispatch_table_matches_extract_on_random_miniblocks() {
+    let mut rng = Rng::seed_from_u64(0xD1F_0001);
+    for bw in 0u32..=32 {
+        for _ in 0..32 {
+            let values = values_for_width(&mut rng, bw, MINIBLOCK);
+            let packed = pack_stream(&values, bw);
+            let mut out = [0u32; MINIBLOCK];
+            UNPACKERS[bw as usize](&packed, &mut out);
+            for (i, &got) in out.iter().enumerate() {
+                assert_eq!(
+                    got,
+                    extract(&packed, i * bw as usize, bw),
+                    "width {bw}, lane {i}"
+                );
+            }
+            assert_eq!(out.as_slice(), values.as_slice(), "width {bw}");
+        }
+    }
+}
+
+#[test]
+fn width_32_carries_u32_max() {
+    let values = [u32::MAX; MINIBLOCK];
+    let packed = pack_stream(&values, 32);
+    let mut out = [0u32; MINIBLOCK];
+    unpack32::<32>(&packed, &mut out);
+    assert_eq!(out, values);
+    for (i, &got) in out.iter().enumerate() {
+        assert_eq!(got, extract(&packed, i * 32, 32));
+    }
+}
+
+#[test]
+fn direct_instantiations_match_the_table() {
+    // Spot-check that the const-generic entry points and the table
+    // dispatch are the same functions (widths around word boundaries).
+    let mut rng = Rng::seed_from_u64(0xD1F_0002);
+    macro_rules! check {
+        ($($b:literal),*) => {$({
+            let values = values_for_width(&mut rng, $b, MINIBLOCK);
+            let packed = pack_stream(&values, $b);
+            let (mut direct, mut table) = ([0u32; MINIBLOCK], [0u32; MINIBLOCK]);
+            unpack32::<$b>(&packed, &mut direct);
+            UNPACKERS[$b as usize](&packed, &mut table);
+            assert_eq!(direct, table, "width {}", $b);
+        })*};
+    }
+    check!(0, 1, 7, 8, 13, 16, 17, 24, 31, 32);
+}
+
+#[test]
+fn stream_partial_tails_match_extract() {
+    // Tail lengths chosen so the final partial miniblock's windows
+    // straddle word boundaries at almost every width.
+    let mut rng = Rng::seed_from_u64(0xD1F_0003);
+    for bw in 0u32..=32 {
+        for tail in [1usize, 7, 13, 31] {
+            let count = MINIBLOCK * 3 + tail;
+            let values = values_for_width(&mut rng, bw, count);
+            let packed = pack_stream(&values, bw);
+            let mut out = Vec::new();
+            unpack_stream_into(&packed, bw, count, &mut out);
+            assert_eq!(out, values, "width {bw}, tail {tail}");
+            for (i, &got) in out.iter().enumerate() {
+                assert_eq!(got, extract(&packed, i * bw as usize, bw));
+            }
+        }
+    }
+}
+
+#[test]
+fn unpack_miniblock_dispatch_matches_extract() {
+    // The runtime-width wrapper used by the decode kernels.
+    let mut rng = Rng::seed_from_u64(0xD1F_0004);
+    for bw in 0u32..=32 {
+        let values = values_for_width(&mut rng, bw, MINIBLOCK);
+        let packed = pack_stream(&values, bw);
+        let mut out = [0u32; MINIBLOCK];
+        unpack_miniblock(&packed, bw, &mut out);
+        for (i, &got) in out.iter().enumerate() {
+            assert_eq!(got, extract(&packed, i * bw as usize, bw), "width {bw}");
+        }
+    }
+}

@@ -11,7 +11,7 @@
 //! of [`TILE`] = 512 values, which is what the Crystal integration
 //! iterates over.
 
-use tlc_gpu_sim::{BlockCtx, Device, GlobalBuffer};
+use tlc_gpu_sim::{BlockCtx, Device, GlobalBuffer, Phase};
 
 use crate::error::DecodeError;
 use crate::format::{ForDecodeOpts, BLOCK, DEFAULT_D, RFOR_BLOCK};
@@ -120,6 +120,17 @@ impl EncodedColumn {
         }
     }
 
+    /// Decode into a caller-provided buffer, replacing its contents.
+    /// Repeated decodes into one reused buffer skip the per-call output
+    /// allocation (and, for the FOR-family schemes, the zeroing pass).
+    pub fn decode_cpu_into(&self, out: &mut Vec<i32>) {
+        match self {
+            EncodedColumn::For(c) => c.decode_cpu_into(out),
+            EncodedColumn::DFor(c) => c.decode_cpu_into(out),
+            EncodedColumn::RFor(c) => c.decode_cpu_into(out),
+        }
+    }
+
     /// Upload to the simulated device.
     pub fn to_device(&self, dev: &Device) -> DeviceColumn {
         match self {
@@ -188,6 +199,48 @@ impl DeviceColumn {
         }
     }
 
+    /// **Device function**: fused decode→predicate over tile `tile_id`.
+    /// Decoded values stay in registers (`out`); `sel` receives the
+    /// fused selection bitmap (`sel_in ∧ pred`), and nothing is written
+    /// back to global memory.
+    ///
+    /// GPU-FOR evaluates the predicate miniblock by miniblock as it
+    /// unpacks and skips miniblocks whose 32 lanes are all dead in
+    /// `sel_in` (see [`gpu_for::load_tile_select`]); skipped lanes carry
+    /// unspecified filler values, so callers must only consume selected
+    /// lanes. GPU-DFOR and GPU-RFOR must expand their full cascade first
+    /// (the delta prefix-scan and run expansion are tile-wide data
+    /// dependencies), then fuse the predicate over the in-register
+    /// values.
+    #[allow(clippy::too_many_arguments)]
+    pub fn load_tile_select(
+        &self,
+        ctx: &mut BlockCtx<'_>,
+        tile_id: usize,
+        pred: &dyn Fn(i32) -> bool,
+        sel_in: Option<&[bool]>,
+        sel: &mut Vec<bool>,
+        out: &mut Vec<i32>,
+    ) -> Result<usize, DecodeError> {
+        match self {
+            DeviceColumn::For(c) => gpu_for::load_tile_select(
+                ctx,
+                c,
+                tile_id,
+                ForDecodeOpts::default(),
+                pred,
+                sel_in,
+                sel,
+                out,
+            ),
+            _ => {
+                let n = self.load_tile(ctx, tile_id, out)?;
+                fused_predicate(ctx, &out[..n], pred, sel_in, sel);
+                Ok(n)
+            }
+        }
+    }
+
     /// Standalone decompression kernel: decode everything and write the
     /// plain values back to global memory.
     pub fn decompress(&self, dev: &Device) -> Result<GlobalBuffer<i32>, DecodeError> {
@@ -223,6 +276,31 @@ impl DeviceColumn {
             DeviceColumn::RFor(_) => cfg.smem_per_block(gpu_rfor::rfor_smem()),
             _ => cfg,
         }
+    }
+}
+
+/// Evaluate `pred` over in-register tile values, fusing with an
+/// optional incoming bitmap (lanes past the end of `sel_in` are dead).
+/// Used by the cascaded schemes after full tile expansion, and by
+/// callers fusing a predicate over plain (uncompressed) tile loads.
+pub fn fused_predicate(
+    ctx: &mut BlockCtx<'_>,
+    vals: &[i32],
+    pred: &dyn Fn(i32) -> bool,
+    sel_in: Option<&[bool]>,
+    sel: &mut Vec<bool>,
+) {
+    ctx.set_phase(Phase::Predicate);
+    ctx.add_int_ops(vals.len() as u64 * 2);
+    sel.clear();
+    sel.reserve(vals.len());
+    match sel_in {
+        Some(s) => sel.extend(
+            vals.iter()
+                .enumerate()
+                .map(|(i, &v)| s.get(i).copied().unwrap_or(false) && pred(v)),
+        ),
+        None => sel.extend(vals.iter().map(|&v| pred(v))),
     }
 }
 
@@ -281,6 +359,56 @@ mod tests {
             let dcol = col.to_device(&dev);
             let out = dcol.decompress(&dev).expect("decode");
             assert_eq!(out.as_slice_unaccounted(), values, "{s:?} device");
+        }
+    }
+
+    #[test]
+    fn fused_select_matches_decode_then_filter() {
+        let values: Vec<i32> = (0..3000).map(|i| (i * 37) % 211).collect();
+        let dev = Device::v100();
+        let pred = |v: i32| v < 50;
+        for s in Scheme::ALL {
+            let dcol = EncodedColumn::encode_as(&values, s).to_device(&dev);
+            let mut got: Vec<i32> = Vec::new();
+            let (mut tile, mut sel) = (Vec::new(), Vec::new());
+            let cfg = dcol.tile_kernel_config("fused_select", 1);
+            dev.launch(cfg, |ctx| {
+                let n = dcol
+                    .load_tile_select(ctx, ctx.block_id(), &pred, None, &mut sel, &mut tile)
+                    .expect("decode");
+                assert_eq!(sel.len(), n, "{s:?} bitmap length");
+                got.extend((0..n).filter(|&i| sel[i]).map(|i| tile[i]));
+            });
+            let want: Vec<i32> = values.iter().copied().filter(|&v| pred(v)).collect();
+            assert_eq!(got, want, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn fused_select_chains_incoming_bitmap() {
+        // Chain two fused predicates; dead lanes from the first must
+        // stay dead, and values on surviving lanes must be exact even
+        // though the FOR path skips all-dead miniblocks.
+        let values: Vec<i32> = (0..2048).map(|i| i % 640).collect();
+        let dev = Device::v100();
+        let p1 = |v: i32| v >= 512; // kills whole 32-value miniblocks of the i%640 ramp
+        let p2 = |v: i32| v % 2 == 0;
+        for s in Scheme::ALL {
+            let dcol = EncodedColumn::encode_as(&values, s).to_device(&dev);
+            let mut got: Vec<i32> = Vec::new();
+            let (mut tile, mut sel1, mut sel2) = (Vec::new(), Vec::new(), Vec::new());
+            let cfg = dcol.tile_kernel_config("fused_chain", 2);
+            dev.launch(cfg, |ctx| {
+                let t = ctx.block_id();
+                dcol.load_tile_select(ctx, t, &p1, None, &mut sel1, &mut tile)
+                    .expect("first select");
+                let n = dcol
+                    .load_tile_select(ctx, t, &p2, Some(&sel1), &mut sel2, &mut tile)
+                    .expect("second select");
+                got.extend((0..n).filter(|&i| sel2[i]).map(|i| tile[i]));
+            });
+            let want: Vec<i32> = values.iter().copied().filter(|&v| p1(v) && p2(v)).collect();
+            assert_eq!(got, want, "{s:?}");
         }
     }
 

@@ -13,13 +13,13 @@
 //! Deltas use wrapping 32-bit arithmetic so arbitrary `i32` input
 //! (including descending sequences) round-trips exactly.
 
-use tlc_bitpack::horizontal::extract;
+use tlc_bitpack::unpack::{unpack_block_scan, unpack_miniblock_scan};
 use tlc_gpu_sim::scan::block_inclusive_scan_u32;
 use tlc_gpu_sim::{BlockCtx, Counter, Device, GlobalBuffer, Phase};
 
 use crate::checksum::staged_checksum;
 use crate::error::DecodeError;
-use crate::format::{blocks_for, BLOCK, BLOCK_HEADER_WORDS, DEFAULT_D};
+use crate::format::{blocks_for, BLOCK, BLOCK_HEADER_WORDS, DEFAULT_D, MINIBLOCK};
 use crate::gpu_for;
 use crate::model::decode_config;
 
@@ -98,37 +98,65 @@ impl GpuDFor {
     }
 
     /// Sequential reference decoder.
+    ///
+    /// Allocates a fresh output vector; loops that decode repeatedly
+    /// should prefer [`GpuDFor::decode_cpu_into`] with a reused buffer.
     pub fn decode_cpu(&self) -> Vec<i32> {
-        let mut out = Vec::with_capacity(self.total_count);
+        let mut out = Vec::new();
+        self.decode_cpu_into(&mut out);
+        out
+    }
+
+    /// Decode into a caller-provided buffer, replacing its contents.
+    ///
+    /// The buffer is resized without clearing first: every slot is
+    /// overwritten by the fused unpack+scan kernels, so a reused buffer
+    /// of the right length skips the zeroing pass that a fresh
+    /// `vec![0; n]` pays.
+    pub fn decode_cpu_into(&self, out: &mut Vec<i32>) {
+        let blocks = self.blocks();
+        out.resize(blocks * BLOCK, 0);
         for t in 0..self.tiles() {
             let first_block = t * self.d;
-            let tile_blocks = self.d.min(self.blocks() - first_block);
+            let tile_blocks = self.d.min(blocks - first_block);
             let first = self.data[self.block_starts[first_block] as usize - 1] as i32;
+            let tile_out = &mut out[first_block * BLOCK..(first_block + tile_blocks) * BLOCK];
             // Entry 0 of the tile is the zero pad, so starting the
             // accumulator at `first` reproduces v₀ = first on the first
-            // iteration and v_i = v_{i-1} + δ_i afterwards.
+            // lane and v_i = v_{i-1} + δ_i afterwards. The fused scan
+            // kernel does unpack + reference add + segmented prefix sum
+            // in one pass; only the carried accumulator is serial.
             let mut acc = first;
-            for b in 0..tile_blocks {
+            for (b, block_out) in tile_out.chunks_exact_mut(BLOCK).enumerate() {
                 let start = self.block_starts[first_block + b] as usize;
                 let block = &self.data[start..];
                 let reference = block[0] as i32;
                 let bw_word = block[1];
+                let w0 = bw_word & 0xFF;
+                if bw_word == w0.wrapping_mul(0x0101_0101) {
+                    // All four miniblocks share a width (the common
+                    // case on homogeneous data): decode the whole
+                    // block through one monomorphized kernel.
+                    let block_out: &mut [i32; BLOCK] = block_out.try_into().expect("exact block");
+                    acc = unpack_block_scan(
+                        &block[BLOCK_HEADER_WORDS..],
+                        w0,
+                        reference,
+                        acc,
+                        block_out,
+                    );
+                    continue;
+                }
                 let mut offset = BLOCK_HEADER_WORDS;
-                for m in 0..4 {
+                for (m, mb_out) in block_out.chunks_exact_mut(MINIBLOCK).enumerate() {
                     let w = (bw_word >> (8 * m)) & 0xFF;
-                    for i in 0..32 {
-                        let delta =
-                            reference
-                                .wrapping_add(extract(&block[offset..], i * w as usize, w) as i32);
-                        acc = acc.wrapping_add(delta);
-                        out.push(acc);
-                    }
+                    let mb_out: &mut [i32; MINIBLOCK] = mb_out.try_into().expect("exact chunk");
+                    acc = unpack_miniblock_scan(&block[offset..], w, reference, acc, mb_out);
                     offset += w as usize;
                 }
             }
         }
         out.truncate(self.total_count);
-        out
     }
 
     /// Upload to the simulated device (payload plus derived per-block
@@ -290,6 +318,9 @@ pub fn load_tile(
             return Err(structure(first_block + i, "block shorter than its header"));
         }
         let bw_word = ctx.shared()[start - stage_start + 1];
+        if (0..4).any(|m| (bw_word >> (8 * m)) & 0xFF > 32) {
+            return Err(structure(first_block + i, "miniblock width exceeds 32"));
+        }
         let payload: usize = (0..4).map(|m| ((bw_word >> (8 * m)) & 0xFF) as usize).sum();
         if payload + BLOCK_HEADER_WORDS != len {
             return Err(structure(

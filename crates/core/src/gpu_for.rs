@@ -13,7 +13,8 @@
 //! `block_starts` array records the word offset of every block so that
 //! thousands of thread blocks can decode in parallel.
 
-use tlc_bitpack::horizontal::{extract, pack_into};
+use tlc_bitpack::horizontal::pack_into;
+use tlc_bitpack::unpack::{unpack_block_ref, unpack_miniblock, unpack_miniblock_ref};
 use tlc_bitpack::width::bits_for;
 use tlc_gpu_sim::{BlockCtx, Counter, Device, GlobalBuffer, Phase};
 
@@ -117,25 +118,50 @@ impl GpuFor {
     }
 
     /// Sequential reference decoder (used to verify the kernels).
+    ///
+    /// Allocates a fresh output vector; loops that decode repeatedly
+    /// should prefer [`GpuFor::decode_cpu_into`] with a reused buffer.
     pub fn decode_cpu(&self) -> Vec<i32> {
-        let mut out = Vec::with_capacity(self.total_count);
-        for b in 0..self.blocks() {
+        let mut out = Vec::new();
+        self.decode_cpu_into(&mut out);
+        out
+    }
+
+    /// Decode into a caller-provided buffer, replacing its contents.
+    ///
+    /// Every miniblock in the format is full (the encoder pads the
+    /// final block), so the whole decode runs on the monomorphized
+    /// per-width fast path — no per-miniblock allocation, no per-value
+    /// offset arithmetic. The buffer is resized without clearing
+    /// first: every slot is overwritten by the unpack kernels, so a
+    /// reused buffer of the right length skips the zeroing pass that a
+    /// fresh `vec![0; n]` pays — at these throughputs that pass is a
+    /// measurable fraction of the whole decode.
+    pub fn decode_cpu_into(&self, out: &mut Vec<i32>) {
+        out.resize(self.blocks() * BLOCK, 0);
+        for (b, block_out) in out.chunks_exact_mut(BLOCK).enumerate() {
             let start = self.block_starts[b] as usize;
             let block = &self.data[start..];
             let reference = block[0] as i32;
             let bw_word = block[1];
+            let w0 = bw_word & 0xFF;
+            if bw_word == w0.wrapping_mul(0x0101_0101) {
+                // All four miniblocks share a width (the common case on
+                // homogeneous data): decode the whole block through one
+                // monomorphized kernel, amortizing dispatch overhead.
+                let block_out: &mut [i32; BLOCK] = block_out.try_into().expect("exact block");
+                unpack_block_ref(&block[BLOCK_HEADER_WORDS..], w0, reference, block_out);
+                continue;
+            }
             let mut offset = BLOCK_HEADER_WORDS;
-            for m in 0..MINIBLOCKS_PER_BLOCK {
+            for (m, mb_out) in block_out.chunks_exact_mut(MINIBLOCK).enumerate() {
                 let w = (bw_word >> (8 * m)) & 0xFF;
-                for i in 0..MINIBLOCK {
-                    let v = extract(&block[offset..], i * w as usize, w);
-                    out.push(reference.wrapping_add(v as i32));
-                }
+                let mb_out: &mut [i32; MINIBLOCK] = mb_out.try_into().expect("exact chunk");
+                unpack_miniblock_ref(&block[offset..], w, reference, mb_out);
                 offset += w as usize;
             }
         }
         out.truncate(self.total_count);
-        out
     }
 
     /// Upload to the simulated device (payload plus derived per-block
@@ -196,28 +222,30 @@ fn miniblock_table(bw_word: u32) -> [(u32, u32); MINIBLOCKS_PER_BLOCK] {
     table
 }
 
-/// **Device function**: tile-based decode of tile `tile_id` (up to
-/// `opts.d` blocks of 128 values) into `out`. This is the body behind
-/// Crystal's `LoadBitPack` (paper Sections 3–4, 7):
-///
-/// 1. read the `D + 1` block starts (one warp gather),
-/// 2. stage the tile's compressed words into shared memory,
-/// 3. precompute the `4·D` miniblock offsets (Optimization 3),
-/// 4. every thread extracts its `D` values with the 64-bit window and
-///    adds the reference — results live in registers (`out`).
-///
-/// Returns the number of *logical* values decoded (the final tile may
-/// be short), or a [`DecodeError`] when the staged tile fails its
-/// checksum or its metadata would send the decoder out of bounds.
-pub fn load_tile(
+/// A tile staged into shared memory with all structural checks passed:
+/// block starts gathered, payload staged, checksums verified, declared
+/// miniblock widths validated against each block's extent.
+pub(crate) struct StagedTile {
+    /// Word offsets of the tile's blocks (`tile_blocks + 1` entries).
+    pub starts: Vec<u32>,
+    /// Word offset of the tile in the column payload.
+    pub tile_start: usize,
+    /// Blocks in this tile (the final tile may be short).
+    pub tile_blocks: usize,
+    /// Logical values this tile decodes to (strips final-block padding).
+    pub decoded: usize,
+}
+
+/// Steps (1)–(2) of the tile decode shared by [`load_tile`] and
+/// [`load_tile_select`]: gather block starts, run the structural
+/// guards, stage the compressed tile into shared memory, and verify
+/// checksums and declared widths.
+pub(crate) fn stage_tile(
     ctx: &mut BlockCtx<'_>,
     col: &GpuForDevice,
     tile_id: usize,
-    opts: ForDecodeOpts,
-    out: &mut Vec<i32>,
-) -> Result<usize, DecodeError> {
-    out.clear();
-    let d = opts.d;
+    d: usize,
+) -> Result<StagedTile, DecodeError> {
     let blocks = col.blocks();
     let first_block = tile_id * d;
     let tile_blocks = d.min(blocks - first_block);
@@ -282,17 +310,20 @@ pub fn load_tile(
         }
     }
     // Checksums passed, so the header words are exactly what the
-    // encoder wrote; confirm the declared widths fill the block.
+    // encoder wrote; confirm the declared widths are representable and
+    // fill the block (the monomorphized unpackers are only defined for
+    // widths 0..=32).
     for (i, w) in starts.windows(2).enumerate() {
         let len = (w[1] - w[0]) as usize;
         if len < BLOCK_HEADER_WORDS {
             return Err(structure(first_block + i, "block shorter than its header"));
         }
         let bw_word = ctx.shared()[w[0] as usize - tile_start + 1];
-        let payload: usize = miniblock_table(bw_word)
-            .iter()
-            .map(|&(_, w)| w as usize)
-            .sum();
+        let table = miniblock_table(bw_word);
+        if table.iter().any(|&(_, w)| w > 32) {
+            return Err(structure(first_block + i, "miniblock width exceeds 32"));
+        }
+        let payload: usize = table.iter().map(|&(_, w)| w as usize).sum();
         if payload + BLOCK_HEADER_WORDS != len {
             return Err(structure(
                 first_block + i,
@@ -301,18 +332,130 @@ pub fn load_tile(
         }
     }
 
-    // (3) + (4): decode from shared memory.
-    ctx.set_phase(Phase::Unpack);
-    for &start in starts.iter().take(tile_blocks) {
-        let block_off = start as usize - tile_start;
-        decode_block_from_shared(ctx, block_off, opts.precompute_offsets, out);
-    }
     let logical = col.total_count - (first_block * BLOCK).min(col.total_count);
     let decoded = (tile_blocks * BLOCK).min(logical);
-    out.truncate(decoded);
+    Ok(StagedTile {
+        starts,
+        tile_start,
+        tile_blocks,
+        decoded,
+    })
+}
+
+/// **Device function**: tile-based decode of tile `tile_id` (up to
+/// `opts.d` blocks of 128 values) into `out`. This is the body behind
+/// Crystal's `LoadBitPack` (paper Sections 3–4, 7):
+///
+/// 1. read the `D + 1` block starts (one warp gather),
+/// 2. stage the tile's compressed words into shared memory,
+/// 3. precompute the `4·D` miniblock offsets (Optimization 3),
+/// 4. every thread unpacks its `D` values via the monomorphized
+///    per-width unpackers (paper Section 4.4) and adds the reference —
+///    results live in registers (`out`).
+///
+/// Returns the number of *logical* values decoded (the final tile may
+/// be short), or a [`DecodeError`] when the staged tile fails its
+/// checksum or its metadata would send the decoder out of bounds.
+pub fn load_tile(
+    ctx: &mut BlockCtx<'_>,
+    col: &GpuForDevice,
+    tile_id: usize,
+    opts: ForDecodeOpts,
+    out: &mut Vec<i32>,
+) -> Result<usize, DecodeError> {
+    out.clear();
+    let tile = stage_tile(ctx, col, tile_id, opts.d)?;
+
+    // (3) + (4): decode from shared memory.
+    ctx.set_phase(Phase::Unpack);
+    for &start in tile.starts.iter().take(tile.tile_blocks) {
+        let block_off = start as usize - tile.tile_start;
+        decode_block_from_shared(ctx, block_off, opts.precompute_offsets, out);
+    }
+    out.truncate(tile.decoded);
     ctx.bump(Counter::TilesDecoded, 1);
-    ctx.bump(Counter::ValuesProduced, decoded as u64);
-    Ok(decoded)
+    ctx.bump(Counter::ValuesProduced, tile.decoded as u64);
+    Ok(tile.decoded)
+}
+
+/// **Device function**: fused decode→predicate over tile `tile_id`
+/// (the `LoadBitPackSelect` shape from the data-path-fusion line of
+/// work): unpack each miniblock into registers, evaluate `pred`
+/// immediately, and emit only the selection bitmap plus the in-register
+/// values — the decompressed tile is never written back to memory.
+///
+/// `sel_in` is an optional incoming bitmap over the tile's values (from
+/// an earlier fused predicate); a miniblock whose 32 lanes are all dead
+/// in `sel_in` is skipped without unpacking (its output lanes are
+/// zero/false fillers — callers must only consume selected lanes).
+/// Lanes past the end of `sel_in` count as dead.
+///
+/// `out` receives the tile's values (selected lanes exact, dead lanes
+/// unspecified filler) and `sel` the fused bitmap; both are truncated
+/// to the tile's logical length, which is also returned.
+#[allow(clippy::too_many_arguments)]
+pub fn load_tile_select(
+    ctx: &mut BlockCtx<'_>,
+    col: &GpuForDevice,
+    tile_id: usize,
+    opts: ForDecodeOpts,
+    pred: &dyn Fn(i32) -> bool,
+    sel_in: Option<&[bool]>,
+    sel: &mut Vec<bool>,
+    out: &mut Vec<i32>,
+) -> Result<usize, DecodeError> {
+    out.clear();
+    sel.clear();
+    let tile = stage_tile(ctx, col, tile_id, opts.d)?;
+    let mut scratch = [0u32; MINIBLOCK];
+    for (b, &start) in tile.starts.iter().take(tile.tile_blocks).enumerate() {
+        let block_off = start as usize - tile.tile_start;
+        let (reference, table) = {
+            let shared = ctx.shared();
+            (
+                shared[block_off] as i32,
+                miniblock_table(shared[block_off + 1]),
+            )
+        };
+        for (m, &(offset, w)) in table.iter().enumerate() {
+            let pos = b * BLOCK + m * MINIBLOCK;
+            let live =
+                |lane: usize| sel_in.is_none_or(|s| s.get(pos + lane).copied().unwrap_or(false));
+            if (0..MINIBLOCK).all(|lane| !live(lane)) {
+                // Every lane is already dead: skip the unpack entirely.
+                // The two header reads and the all-dead test are the
+                // only cost; no shared-memory payload traffic.
+                ctx.bump(Counter::MiniblocksSkipped, 1);
+                ctx.add_int_ops(4);
+                out.resize(out.len() + MINIBLOCK, 0);
+                sel.resize(sel.len() + MINIBLOCK, false);
+                continue;
+            }
+            ctx.set_phase(Phase::Unpack);
+            ctx.bump(Counter::MiniblocksUnpacked, 1);
+            {
+                let (shared, traffic) = ctx.shared_and_traffic();
+                let payload = &shared[block_off + BLOCK_HEADER_WORDS..];
+                unpack_miniblock(&payload[offset as usize..], w, &mut scratch);
+                // Monomorphized unpack reads each staged payload word
+                // once plus the 8-byte block header share.
+                traffic.shared_bytes += w as u64 * 4 + 8;
+                traffic.int_ops += MINIBLOCK as u64 * 4;
+            }
+            ctx.set_phase(Phase::Predicate);
+            ctx.add_int_ops(MINIBLOCK as u64 * 2);
+            for (lane, &delta) in scratch.iter().enumerate() {
+                let v = reference.wrapping_add(delta as i32);
+                out.push(v);
+                sel.push(live(lane) && pred(v));
+            }
+        }
+    }
+    out.truncate(tile.decoded);
+    sel.truncate(tile.decoded);
+    ctx.bump(Counter::TilesDecoded, 1);
+    ctx.bump(Counter::ValuesProduced, tile.decoded as u64);
+    Ok(tile.decoded)
 }
 
 /// Decode one staged block (128 values) from shared memory into `out`.
@@ -328,10 +471,11 @@ pub(crate) fn decode_block_from_shared(
     let reference = block[0] as i32;
     let bw_word = block[1];
     let table = miniblock_table(bw_word);
+    let payload_words: u64 = table.iter().map(|&(_, w)| w as u64).sum();
 
-    // Shared traffic: each thread reads the 8-byte window plus the
-    // reference and its miniblock's offset/width entry (~16 B/value).
-    traffic.shared_bytes += BLOCK as u64 * 16;
+    // Shared traffic: the monomorphized unpacker streams each staged
+    // payload word exactly once, plus the 8-byte block header.
+    traffic.shared_bytes += payload_words * 4 + BLOCK_HEADER_WORDS as u64 * 4;
     if precompute {
         // Optimization 3: 4·D threads compute the offsets once
         // (bit-shift prefix sums), everyone else just reads them.
@@ -343,14 +487,17 @@ pub(crate) fn decode_block_from_shared(
         // averaging 1.5 iterations.
         traffic.int_ops += BLOCK as u64 * 5;
     }
-    // Window extraction: shift/mask/add per value.
-    traffic.int_ops += BLOCK as u64 * 8;
+    // Monomorphized per-width unpack (paper Section 4.4): the word
+    // index / shift / mask constants fold away, leaving ~4 shift/or/
+    // and/add ops per value instead of Algorithm 1's ~8.
+    traffic.int_ops += BLOCK as u64 * 4;
 
     let payload = &block[BLOCK_HEADER_WORDS..];
+    out.reserve(BLOCK);
+    let mut scratch = [0u32; MINIBLOCK];
     for &(offset, w) in table.iter().take(MINIBLOCKS_PER_BLOCK) {
-        let mb = &payload[offset as usize..];
-        for i in 0..MINIBLOCK {
-            let v = extract(mb, i * w as usize, w);
+        unpack_miniblock(&payload[offset as usize..], w, &mut scratch);
+        for &v in &scratch {
             out.push(reference.wrapping_add(v as i32));
         }
     }

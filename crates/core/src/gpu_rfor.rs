@@ -15,7 +15,8 @@
 //! a gather of the values — all entirely in shared memory, fused into a
 //! single kernel pass.
 
-use tlc_bitpack::horizontal::{extract, pack_into};
+use tlc_bitpack::horizontal::pack_into;
+use tlc_bitpack::unpack::unpack_miniblock_ref;
 use tlc_bitpack::width::bits_for;
 use tlc_bitpack::MINIBLOCK;
 use tlc_gpu_sim::scan::{block_exclusive_scan_u32, block_inclusive_scan_u32};
@@ -77,24 +78,38 @@ fn encode_stream_block(raw: &[i32], data: &mut Vec<u32>) {
 }
 
 /// Decode one stream block of `count` logical entries starting at
-/// `block` (a word slice beginning at the reference word). Public so
-/// the cascaded-decompression baseline can decode the same format one
-/// layer at a time.
-pub fn decode_stream_block(block: &[u32], count: usize) -> Vec<i32> {
+/// `block` (a word slice beginning at the reference word) into `out`,
+/// which is cleared first. Every stream miniblock is full (the encoder
+/// pads with zero-width deltas), so the whole decode runs on the
+/// monomorphized [`unpack_miniblock_ref`] fast path — callers reuse
+/// `out` across blocks to avoid per-block allocation.
+///
+/// Declared widths must be `<= 32` and fit inside `block`; run
+/// [`checked_stream_words`] first on untrusted input.
+pub fn decode_stream_block_into(block: &[u32], count: usize, out: &mut Vec<i32>) {
+    out.clear();
     let reference = block[0] as i32;
     let padded = count.div_ceil(MINIBLOCK) * MINIBLOCK;
     let miniblocks = padded / MINIBLOCK;
     let bw_words = miniblocks.div_ceil(4);
-    let mut out = Vec::with_capacity(padded);
+    out.resize(padded, 0);
     let mut offset = 1 + bw_words;
-    for m in 0..miniblocks {
+    for (m, mb_out) in out.chunks_exact_mut(MINIBLOCK).enumerate() {
         let w = (block[1 + m / 4] >> (8 * (m % 4))) & 0xFF;
-        for i in 0..MINIBLOCK {
-            out.push(reference.wrapping_add(extract(&block[offset..], i * w as usize, w) as i32));
-        }
+        let mb_out: &mut [i32; MINIBLOCK] = mb_out.try_into().expect("exact chunk");
+        unpack_miniblock_ref(&block[offset..], w, reference, mb_out);
         offset += w as usize;
     }
     out.truncate(count);
+}
+
+/// Allocating wrapper around [`decode_stream_block_into`]. Public so
+/// the cascaded-decompression baseline can decode the same format one
+/// layer at a time; hot paths should reuse a buffer via the `_into`
+/// variant instead.
+pub fn decode_stream_block(block: &[u32], count: usize) -> Vec<i32> {
+    let mut out = Vec::new();
+    decode_stream_block_into(block, count, &mut out);
     out
 }
 
@@ -193,23 +208,39 @@ impl GpuRFor {
         self.compressed_bytes() as f64 * 8.0 / self.total_count.max(1) as f64
     }
 
-    /// Sequential reference decoder.
+    /// Sequential reference decoder. Both stream decodes reuse one
+    /// buffer each across blocks, and run expansion is a slice fill.
     pub fn decode_cpu(&self) -> Vec<i32> {
-        let mut out = Vec::with_capacity(self.total_count);
+        let mut out = Vec::new();
+        self.decode_cpu_into(&mut out);
+        out
+    }
+
+    /// Decode into a caller-provided buffer, replacing its contents.
+    /// Loops that decode repeatedly should pass a reused buffer to
+    /// amortize the output allocation across calls.
+    pub fn decode_cpu_into(&self, out: &mut Vec<i32>) {
+        out.clear();
+        out.reserve(self.total_count);
+        let mut vals: Vec<i32> = Vec::new();
+        let mut lens: Vec<i32> = Vec::new();
         for b in 0..self.blocks() {
             let vstart = self.values_starts[b] as usize;
             let run_count = self.values_data[vstart] as usize;
-            let vals = decode_stream_block(&self.values_data[vstart + 1..], run_count);
+            decode_stream_block_into(&self.values_data[vstart + 1..], run_count, &mut vals);
             let lstart = self.lengths_starts[b] as usize;
-            let lens = decode_stream_block(&self.lengths_data[lstart..], run_count);
-            for (v, l) in vals.iter().zip(&lens) {
-                for _ in 0..*l {
-                    out.push(*v);
+            decode_stream_block_into(&self.lengths_data[lstart..], run_count, &mut lens);
+            if lens.iter().all(|&l| l == 1) {
+                // Incompressible block: the RLE layer is the identity
+                // and the values stream is the output verbatim.
+                out.extend_from_slice(&vals);
+            } else {
+                for (&v, &l) in vals.iter().zip(&lens) {
+                    out.resize(out.len() + l as usize, v);
                 }
             }
         }
         debug_assert_eq!(out.len(), self.total_count);
-        out
     }
 
     /// Upload to the simulated device (payload plus derived per-block
@@ -365,23 +396,29 @@ pub fn load_tile(
         return Err(structure("stream widths overrun the block"));
     }
 
-    // Bit-unpack both streams (miniblock extraction, as in GPU-FOR).
+    // Bit-unpack both streams (monomorphized miniblock unpackers, as in
+    // GPU-FOR). The two buffers are per-tile, reused across miniblocks.
     ctx.set_phase(Phase::Unpack);
     ctx.bump(
         Counter::MiniblocksUnpacked,
         2 * run_count.div_ceil(MINIBLOCK) as u64,
     );
-    let (vals, lens) = {
+    let (mut vals, mut lens) = (Vec::new(), Vec::new());
+    {
         let shared = ctx.shared();
-        let vals = decode_stream_block(&shared[1..ve - vs], run_count);
-        let lens = decode_stream_block(&shared[lengths_off..lengths_off + (le - ls)], run_count);
-        (vals, lens)
-    };
+        decode_stream_block_into(&shared[1..ve - vs], run_count, &mut vals);
+        decode_stream_block_into(
+            &shared[lengths_off..lengths_off + (le - ls)],
+            run_count,
+            &mut lens,
+        );
+    }
     let payload_words = stream_block_words(&ctx.shared()[1..], run_count)
         + stream_block_words(&ctx.shared()[lengths_off..], run_count);
-    // Window reads for both streams.
-    ctx.smem_traffic(run_count as u64 * 2 * 12);
-    ctx.add_int_ops(run_count as u64 * 2 * 8 + payload_words as u64);
+    // The monomorphized unpackers stream each staged payload word once;
+    // ~4 shift/or/and/add ops per entry across both streams.
+    ctx.smem_traffic(payload_words as u64 * 4);
+    ctx.add_int_ops(run_count as u64 * 2 * 4 + payload_words as u64);
 
     // Step 1: exclusive prefix sum over run lengths -> output offsets.
     ctx.set_phase(Phase::Expand);

@@ -26,6 +26,20 @@ pub fn fused_config(name: &str, columns: &[&QueryColumn], live_columns: usize) -
         .regs_per_thread(regs)
 }
 
+/// Launch configuration for a fused decode→predicate kernel
+/// ([`QueryColumn::load_tile_select`]): each tile is consumed as a
+/// selection bitmap plus in-register values and never staged back, so
+/// instead of `D` decoded values per thread only the running bitmap
+/// word and one live value stay resident. The lower register count
+/// buys occupancy back relative to [`fused_config`] over the same
+/// columns — the saved writeback is what the data-path-fusion line of
+/// work measures.
+pub fn fused_select_config(name: &str, columns: &[&QueryColumn]) -> KernelConfig {
+    let d = 4usize;
+    let regs = 26 + (3 * d).div_ceil(2) + 2;
+    fused_config(name, columns, 1).regs_per_thread(regs)
+}
+
 /// Operator-at-a-time building blocks (the OmniSci model): every
 /// operator is its own kernel and materializes its full output to
 /// global memory before the next operator starts.
@@ -214,6 +228,22 @@ mod tests {
             heavy.regs_per_thread > 64,
             "regs = {}",
             heavy.regs_per_thread
+        );
+    }
+
+    #[test]
+    fn fused_select_is_lighter_than_fused_load() {
+        // The bitmap pipeline keeps fewer values live than a full fused
+        // kernel over the same column, so its blocks are cheaper.
+        let dev = Device::v100();
+        let col = QueryColumn::plain(&dev, &vec![0; 10_000]);
+        let select = fused_select_config("s", &[&col]);
+        let load = fused_config("s", &[&col], 1);
+        assert!(
+            select.regs_per_thread < load.regs_per_thread,
+            "select {} >= load {}",
+            select.regs_per_thread,
+            load.regs_per_thread
         );
     }
 

@@ -66,6 +66,37 @@ impl QueryColumn {
         }
     }
 
+    /// **Device function**: fused decode→predicate over tile `tile_id`
+    /// (the compressed-scan counterpart of Crystal's
+    /// `BlockLoad` + `BlockPred`). Values stay in registers (`out`) and
+    /// `sel` receives the fused bitmap (`sel_in ∧ pred`); the
+    /// decompressed tile is never written back to global memory.
+    ///
+    /// For encoded columns this dispatches to
+    /// [`DeviceColumn::load_tile_select`], which for GPU-FOR skips
+    /// miniblocks whose lanes are all dead in `sel_in` (those lanes
+    /// carry filler values — consume only selected lanes). Plain
+    /// columns do a coalesced `BlockLoad` then evaluate the predicate
+    /// in registers.
+    pub fn load_tile_select(
+        &self,
+        ctx: &mut BlockCtx<'_>,
+        tile_id: usize,
+        pred: &dyn Fn(i32) -> bool,
+        sel_in: Option<&[bool]>,
+        sel: &mut Vec<bool>,
+        out: &mut Vec<i32>,
+    ) -> Result<usize, DecodeError> {
+        match self {
+            QueryColumn::Plain(_) => {
+                let len = self.load_tile(ctx, tile_id, out)?;
+                tlc_core::column::fused_predicate(ctx, &out[..len], pred, sel_in, sel);
+                Ok(len)
+            }
+            QueryColumn::Encoded(c) => c.load_tile_select(ctx, tile_id, pred, sel_in, sel, out),
+        }
+    }
+
     /// Shared memory one tile-load of this column needs.
     pub fn tile_smem(&self) -> usize {
         match self {

@@ -11,13 +11,18 @@
 
 use tlc_core::DecodeError;
 use tlc_gpu_sim::scan::block_exclusive_scan_u32;
-use tlc_gpu_sim::{Device, GlobalBuffer};
+use tlc_gpu_sim::{Device, GlobalBuffer, Phase};
 
-use crate::exec::fused_config;
+use crate::exec::fused_select_config;
 use crate::query_column::QueryColumn;
 
 /// Select the values of `col` satisfying `pred` into a compacted
 /// device buffer; returns `(output, count)`.
+///
+/// Decode and predicate are fused via
+/// [`QueryColumn::load_tile_select`]: the predicate is evaluated as
+/// miniblocks unpack and only the survivors are ever written to global
+/// memory — a tile with no survivors incurs zero writeback traffic.
 pub fn select(
     dev: &Device,
     col: &QueryColumn,
@@ -27,24 +32,25 @@ pub fn select(
     let mut out = dev.alloc_zeroed::<i32>(n);
     let mut cursor = dev.alloc_zeroed::<u64>(1);
     let mut tile = Vec::new();
-    let cfg = fused_config("select_compact", &[col], 1);
+    let mut sel = Vec::new();
+    let cfg = fused_select_config("select_compact", &[col]);
     let mut failed: Option<DecodeError> = None;
     dev.try_launch(cfg, |ctx| {
         if failed.is_some() {
             return;
         }
         let t = ctx.block_id();
-        let len = match col.load_tile(ctx, t, &mut tile) {
+        // BlockPred fused into the tile load: decode straight into the
+        // selection bitmap.
+        let len = match col.load_tile_select(ctx, t, &pred, None, &mut sel, &mut tile) {
             Ok(len) => len,
             Err(e) => {
                 failed = Some(e);
                 return;
             }
         };
-        // BlockPred: one flag per element.
-        let mut flags: Vec<u32> = tile[..len].iter().map(|&v| u32::from(pred(v))).collect();
-        ctx.add_int_ops(len as u64);
         // BlockScan: exclusive scan -> local write offsets + total.
+        let mut flags: Vec<u32> = sel[..len].iter().map(|&s| u32::from(s)).collect();
         let kept = block_exclusive_scan_u32(ctx, &mut flags) as usize;
         if kept == 0 {
             return;
@@ -52,8 +58,14 @@ pub fn select(
         // One atomic claims the block's output region.
         let base = cursor.as_slice_unaccounted()[0] as usize;
         ctx.warp_atomic_add_u64(&mut cursor, &[(0, kept as u64)]);
-        // BlockStore: coalesced write of the survivors.
-        let survivors: Vec<i32> = tile[..len].iter().filter(|&&v| pred(v)).copied().collect();
+        // BlockStore: coalesced write of the survivors only.
+        ctx.set_phase(Phase::Writeback);
+        let survivors: Vec<i32> = tile[..len]
+            .iter()
+            .zip(&sel[..len])
+            .filter(|&(_, &s)| s)
+            .map(|(&v, _)| v)
+            .collect();
         ctx.write_coalesced(&mut out, base, &survivors);
     })
     .map_err(DecodeError::Launch)?;

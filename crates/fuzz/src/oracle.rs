@@ -16,6 +16,15 @@
 //! is always an acceptable outcome; silent success on garbage is fine
 //! too as long as both decoders agree (minor-0 streams carry no
 //! integrity words, so mutations there can legally "succeed").
+//!
+//! Both decoders run on the monomorphized per-width unpack fast path
+//! (`tlc_bitpack::unpack`), so every corpus replay exercises it
+//! against hostile streams. Under `cargo test` the dispatch wrapper
+//! `unpack_miniblock` additionally cross-checks each miniblock against
+//! the generic `extract` window reads (the test profile keeps debug
+//! assertions on), making each oracle run a differential test of the
+//! fast path itself; the release-mode fuzz CI job runs the fast path
+//! with the cross-check compiled out.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 

@@ -91,6 +91,10 @@ pub enum Counter {
     TilesDecoded,
     /// 32-value miniblocks bit-unpacked.
     MiniblocksUnpacked,
+    /// 32-value miniblocks skipped outright by the fused
+    /// decode→predicate path because every lane was already dead in the
+    /// incoming selection bitmap.
+    MiniblocksSkipped,
     /// Decoded values materialized (after cascade expansion).
     ValuesProduced,
     /// RLE runs expanded (RFOR only).
@@ -99,13 +103,14 @@ pub enum Counter {
 
 impl Counter {
     /// Number of counters (the length of [`Counter::ALL`]).
-    pub const COUNT: usize = 5;
+    pub const COUNT: usize = 6;
 
     /// Every counter.
     pub const ALL: [Counter; Counter::COUNT] = [
         Counter::EncodedTileReads,
         Counter::TilesDecoded,
         Counter::MiniblocksUnpacked,
+        Counter::MiniblocksSkipped,
         Counter::ValuesProduced,
         Counter::RunsExpanded,
     ];
@@ -116,6 +121,7 @@ impl Counter {
             Counter::EncodedTileReads => "encoded_tile_reads",
             Counter::TilesDecoded => "tiles_decoded",
             Counter::MiniblocksUnpacked => "miniblocks_unpacked",
+            Counter::MiniblocksSkipped => "miniblocks_skipped",
             Counter::ValuesProduced => "values_produced",
             Counter::RunsExpanded => "runs_expanded",
         }

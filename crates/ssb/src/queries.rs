@@ -424,6 +424,14 @@ pub fn try_run_query(
 
 /// Flight 1: date join + fact predicates + scalar sum of
 /// `extendedprice * discount`.
+///
+/// The predicate columns run through the fused decode→predicate path
+/// ([`QueryColumn::load_tile_select`]): each decodes straight into a
+/// selection bitmap ANDed with the previous column's bitmap, so
+/// downstream columns skip miniblocks whose lanes are already dead and
+/// no decompressed tile is ever staged back to memory. Only the
+/// discount and price values are live at the aggregate, which is what
+/// the reduced `live_columns` models.
 fn fused_flight1(
     dev: &Device,
     cols: &[QueryColumn],
@@ -431,7 +439,7 @@ fn fused_flight1(
     s: &QuerySpec,
 ) -> Result<u64, DecodeError> {
     let refs: Vec<&QueryColumn> = cols.iter().collect();
-    let cfg = fused_config("ssb_q1_fused", &refs, 4);
+    let cfg = fused_config("ssb_q1_fused", &refs, 2);
     let mut sum = ScalarSum::new(dev);
     // Each tile decodes, filters and probes on a worker and returns its
     // partial sum; the serial merge adds partials to the device
@@ -442,21 +450,21 @@ fn fused_flight1(
         |ctx| -> Result<u64, DecodeError> {
             let t = ctx.block_id();
             let (mut od, mut qt, mut dc, mut ep) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
-            let n = cols[0]
-                .load_tile(ctx, t, &mut od)
-                .and_then(|n| cols[1].load_tile(ctx, t, &mut qt).map(|_| n))
-                .and_then(|n| cols[2].load_tile(ctx, t, &mut dc).map(|_| n))
-                .and_then(|n| cols[3].load_tile(ctx, t, &mut ep).map(|_| n))?;
-            ctx.set_phase(Phase::Predicate);
-            let sel: Vec<bool> = (0..n)
-                .map(|i| (s.qty_pred)(qt[i]) && (s.disc_pred)(dc[i]))
-                .collect();
-            ctx.add_int_ops(n as u64 * 3);
+            let (mut sel_q, mut sel_qd, mut sel_od, mut sel_hit) =
+                (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+            // quantity → discount → orderdate, each chaining the bitmap.
+            let n = cols[1].load_tile_select(ctx, t, &s.qty_pred, None, &mut sel_q, &mut qt)?;
+            cols[2].load_tile_select(ctx, t, &s.disc_pred, Some(&sel_q), &mut sel_qd, &mut dc)?;
+            cols[0].load_tile_select(ctx, t, &|_| true, Some(&sel_qd), &mut sel_od, &mut od)?;
             let mut hits = Vec::new();
-            tables.date.probe(ctx, &od[..n], &sel, &mut hits);
+            tables.date.probe(ctx, &od[..n], &sel_od, &mut hits);
+            // Price decodes against the post-probe selection: a tile
+            // with no date hits unpacks nothing from this column.
+            let keep: Vec<bool> = (0..n).map(|i| sel_od[i] && hits[i].is_some()).collect();
+            cols[3].load_tile_select(ctx, t, &|_| true, Some(&keep), &mut sel_hit, &mut ep)?;
             ctx.set_phase(Phase::Aggregate);
             let local: u64 = (0..n)
-                .filter(|&i| hits[i].is_some())
+                .filter(|&i| sel_hit[i])
                 .map(|i| ep[i] as u64 * dc[i] as u64)
                 .sum();
             ctx.add_int_ops(n as u64 * 2);
@@ -503,11 +511,6 @@ fn fused_join_flight(
             let t = ctx.block_id();
             let mut bufs: Vec<Vec<i32>> = vec![Vec::new(); cols.len()];
             let (mut ch, mut sh, mut ph, mut dh) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
-            let mut n = 0;
-            for (c, buf) in cols.iter().zip(bufs.iter_mut()) {
-                n = c.load_tile(ctx, t, buf)?;
-            }
-            let mut sel = vec![true; n];
 
             // Column positions within this query's column list.
             let cix = |c: LoColumn| {
@@ -516,6 +519,20 @@ fn fused_join_flight(
                     .position(|&x| x == c)
                     .expect("column present")
             };
+            let rev_ix = cix(LoColumn::Revenue);
+            let cost_ix = is_q4.then(|| cix(LoColumn::SupplyCost));
+
+            // Key columns load eagerly (the probes need every lane); the
+            // measure columns wait until the joins have pruned the tile
+            // and then decode fused against the surviving bitmap.
+            let mut n = 0;
+            for (i, (c, buf)) in cols.iter().zip(bufs.iter_mut()).enumerate() {
+                if i == rev_ix || Some(i) == cost_ix {
+                    continue;
+                }
+                n = c.load_tile(ctx, t, buf)?;
+            }
+            let mut sel = vec![true; n];
 
             // Probe most-selective dimensions first; payload defaults cover
             // the tables a query doesn't use.
@@ -567,23 +584,34 @@ fn fused_join_flight(
             let dates = &bufs[cix(LoColumn::OrderDate)][..n];
             tables.date.probe(ctx, dates, &sel, &mut dh);
 
-            let measure = &bufs[cix(LoColumn::Revenue)][..n];
-            let cost = if is_q4 {
-                Some(&bufs[cix(LoColumn::SupplyCost)][..n])
-            } else {
-                None
-            };
+            // Fused decode→select for the measures: only miniblocks with
+            // a surviving lane unpack, and the decompressed values never
+            // round-trip global memory.
+            let keep: Vec<bool> = (0..n).map(|i| sel[i] && dh[i].is_some()).collect();
+            let (mut msel, mut measure, mut costs) = (Vec::new(), Vec::new(), Vec::new());
+            cols[rev_ix].load_tile_select(
+                ctx,
+                t,
+                &|_| true,
+                Some(&keep),
+                &mut msel,
+                &mut measure,
+            )?;
+            if let Some(ci) = cost_ix {
+                cols[ci].load_tile_select(ctx, t, &|_| true, Some(&keep), &mut msel, &mut costs)?;
+            }
             ctx.set_phase(Phase::Aggregate);
             let mut pairs = Vec::new();
             for i in 0..n {
-                if !sel[i] {
+                if !keep[i] {
                     continue;
                 }
                 let Some(y) = dh[i] else { continue };
                 let g = (s.group)(cpay[i], spay[i], ppay[i], y);
-                let v = match cost {
-                    Some(costs) => (measure[i] as i64 - costs[i] as i64) as u64,
-                    None => measure[i] as u64,
+                let v = if cost_ix.is_some() {
+                    (measure[i] as i64 - costs[i] as i64) as u64
+                } else {
+                    measure[i] as u64
                 };
                 pairs.push((g, v));
             }

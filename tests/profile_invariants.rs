@@ -79,6 +79,34 @@ fn fused_query_path_also_reads_each_tile_once() {
 }
 
 #[test]
+fn fused_select_writes_back_only_survivors() {
+    // The fused decode→predicate path never stages decompressed tiles
+    // back to global memory: with a never-matching predicate the
+    // writeback phase issues zero global writes even though every
+    // encoded tile was read and fully decoded exactly once.
+    let values = sample(40_000);
+    let tiles = values.len().div_ceil(TILE) as u64;
+    let dev = Device::v100();
+    let col = QueryColumn::Encoded(EncodedColumn::encode_best(&values).to_device(&dev));
+    let sink = CounterSink::new();
+    dev.set_profile_sink(Box::new(sink.clone()));
+    let (_, count) = select(&dev, &col, |_| false).expect("column verifies");
+    assert_eq!(count, 0);
+    assert_eq!(
+        sink.counter(Counter::EncodedTileReads),
+        tiles,
+        "every encoded tile is read exactly once"
+    );
+    assert_eq!(sink.counter(Counter::ValuesProduced), values.len() as u64);
+    assert_eq!(
+        sink.phase(Phase::Writeback).global_write_segments,
+        0,
+        "no survivors must mean zero writeback traffic for decoded values"
+    );
+    assert_eq!(sink.phase(Phase::Writeback).int_ops, 0);
+}
+
+#[test]
 fn decode_traffic_lands_in_named_phases() {
     let values = sample(30_000);
     let dev = Device::v100();
