@@ -23,6 +23,38 @@
 
 use tlc_rng::Rng;
 
+/// Storage-level fault injection for out-of-core execution. The
+/// simulated device never interprets these — they are directions to a
+/// streaming executor (`tlc-ssb::stream`) for damaging the on-disk
+/// shard a query is about to read, or killing the device that owns a
+/// partition mid-query. Faults are keyed by **partition index**, not
+/// by worker, so an injected campaign is bit-identical at any
+/// `TLC_SIM_THREADS`: whichever worker happens to pick the partition
+/// up hits exactly the same fault.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StorageFaults {
+    /// Kill the device processing this partition mid-query (after its
+    /// first tile launch), modelling a shard worker dying with work in
+    /// flight.
+    pub kill_shard_at_partition: Option<usize>,
+    /// Truncate this partition's first queried column file at a
+    /// seed-derived byte before it is read, modelling a torn write
+    /// surfacing mid-query.
+    pub truncate_at_partition: Option<usize>,
+    /// Flip a seed-derived bit in this partition's first queried
+    /// column file before it is read, modelling bit rot at rest.
+    pub flip_bit_at_partition: Option<usize>,
+}
+
+impl StorageFaults {
+    /// True when no storage fault is armed.
+    pub fn is_empty(&self) -> bool {
+        self.kill_shard_at_partition.is_none()
+            && self.truncate_at_partition.is_none()
+            && self.flip_bit_at_partition.is_none()
+    }
+}
+
 /// What faults to inject, and how often. Arm with
 /// [`crate::Device::inject_faults`].
 #[derive(Debug, Clone)]
@@ -38,6 +70,9 @@ pub struct FaultPlan {
     pub kill_after_launches: Option<usize>,
     /// Multiplier on global-memory bandwidth (1.0 = healthy).
     pub bandwidth_factor: f64,
+    /// Out-of-core storage faults (interpreted by the streaming
+    /// executor, not the device; see [`StorageFaults`]).
+    pub storage: StorageFaults,
 }
 
 impl Default for FaultPlan {
@@ -48,6 +83,7 @@ impl Default for FaultPlan {
             transient_launch_rate: 0.0,
             kill_after_launches: None,
             bandwidth_factor: 1.0,
+            storage: StorageFaults::default(),
         }
     }
 }

@@ -86,7 +86,7 @@ pub mod scan;
 pub mod threads;
 
 pub use device::{Device, DeviceParams};
-pub use fault::{FaultPlan, FaultStats, LaunchError};
+pub use fault::{FaultPlan, FaultStats, LaunchError, StorageFaults};
 pub use kernel::{BlockCtx, KernelConfig, Occupancy};
 pub use memory::{GlobalBuffer, Scalar, SEGMENT_BYTES, WARP_SIZE};
 pub use profile::{CounterSink, ProfileSink};

@@ -136,6 +136,30 @@ impl LoColumns {
         LoColumns { system, cols }
     }
 
+    /// Upload already-encoded GPU-* columns (e.g. loaded from a
+    /// `tlc-store` partition) without touching any host row data. The
+    /// out-of-core streaming executor uses this so a partition's
+    /// columns go disk → device with exactly one decode — the inline
+    /// one inside the fused query kernel.
+    pub fn from_encoded<'a>(
+        dev: &Device,
+        cols: impl IntoIterator<Item = (LoColumn, &'a EncodedColumn)>,
+    ) -> Self {
+        let cols = cols
+            .into_iter()
+            .map(|(c, e)| {
+                (
+                    c,
+                    StoredColumn::Star(QueryColumn::Encoded(e.to_device(dev))),
+                )
+            })
+            .collect();
+        LoColumns {
+            system: System::GpuStar,
+            cols,
+        }
+    }
+
     /// Total device footprint of the stored columns.
     pub fn size_bytes(&self) -> u64 {
         self.cols.values().map(StoredColumn::size_bytes).sum()

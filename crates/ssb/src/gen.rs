@@ -176,6 +176,25 @@ pub struct LineOrder {
 }
 
 impl LineOrder {
+    /// Append all of `other`'s rows to `self` (column-wise concat).
+    pub fn extend_from(&mut self, other: &LineOrder) {
+        self.orderkey.extend_from_slice(&other.orderkey);
+        self.orderdate.extend_from_slice(&other.orderdate);
+        self.ordtotalprice.extend_from_slice(&other.ordtotalprice);
+        self.custkey.extend_from_slice(&other.custkey);
+        self.partkey.extend_from_slice(&other.partkey);
+        self.suppkey.extend_from_slice(&other.suppkey);
+        self.linenumber.extend_from_slice(&other.linenumber);
+        self.quantity.extend_from_slice(&other.quantity);
+        self.tax.extend_from_slice(&other.tax);
+        self.discount.extend_from_slice(&other.discount);
+        self.commitdate.extend_from_slice(&other.commitdate);
+        self.extendedprice.extend_from_slice(&other.extendedprice);
+        self.revenue.extend_from_slice(&other.revenue);
+        self.supplycost.extend_from_slice(&other.supplycost);
+        self.len = self.orderkey.len();
+    }
+
     /// Borrow one column by id.
     pub fn column(&self, c: LoColumn) -> &[i32] {
         match c {
@@ -271,20 +290,67 @@ fn make_parts(n: usize, rng: &mut Rng) -> PartDim {
     p
 }
 
+/// Dimension cardinalities at scale factor `sf` (dbgen's formulas):
+/// `(n_cust, n_supp, n_part)`.
+fn dim_counts(sf: f64) -> (usize, usize, usize) {
+    let n_cust = ((30_000.0 * sf) as usize).max(100);
+    let n_supp = ((2_000.0 * sf) as usize).max(20);
+    // dbgen: 200k * ceil(1 + log2(SF)) parts; scaled down for SF<1.
+    let n_part = if sf >= 1.0 {
+        200_000 * (1.0 + sf.log2().max(0.0)).ceil() as usize
+    } else {
+        ((200_000.0 * sf) as usize).max(200)
+    };
+    (n_cust, n_supp, n_part)
+}
+
+/// Generate one order (1–7 lines) into `lo`, consuming `rng` draws in
+/// the fixed dbgen order. Shared by the bulk generator and the
+/// chunked [`StreamSpec`] generator so their row distributions cannot
+/// drift apart.
+fn push_order(
+    lo: &mut LineOrder,
+    rng: &mut Rng,
+    orderkey: i32,
+    date: &DateDim,
+    n_cust: usize,
+    n_supp: usize,
+    n_part: usize,
+) {
+    let lines = rng.gen_range(1..=7);
+    let date_idx = rng.gen_range(0..date.datekey.len());
+    let orderdate = date.datekey[date_idx];
+    let custkey = rng.gen_range(1..=n_cust as i32);
+    let ordtotalprice = rng.gen_range(50_000..=500_000);
+    for line in 1..=lines {
+        lo.orderkey.push(orderkey);
+        lo.orderdate.push(orderdate);
+        lo.ordtotalprice.push(ordtotalprice);
+        lo.custkey.push(custkey);
+        lo.partkey.push(rng.gen_range(1..=n_part as i32));
+        lo.suppkey.push(rng.gen_range(1..=n_supp as i32));
+        lo.linenumber.push(line);
+        let quantity = rng.gen_range(1..=50);
+        lo.quantity.push(quantity);
+        lo.tax.push(rng.gen_range(0..=8));
+        let discount = rng.gen_range(0..=10);
+        lo.discount.push(discount);
+        let commit_idx = (date_idx + rng.gen_range(30usize..=90)).min(date.datekey.len() - 1);
+        lo.commitdate.push(date.datekey[commit_idx]);
+        let extendedprice = rng.gen_range(90_000..=5_500_000) / 100;
+        lo.extendedprice.push(extendedprice);
+        lo.revenue.push(extendedprice * (100 - discount) / 100);
+        lo.supplycost.push(rng.gen_range(10_000..=100_000));
+    }
+}
+
 impl SsbData {
     /// Generate a database at scale factor `sf` (SF 1 ≈ 6 M lineorder
     /// rows). Deterministic for a given `sf`.
     pub fn generate(sf: f64) -> Self {
         let mut rng = Rng::seed_from_u64(0x55B_2022);
         let date = make_dates();
-        let n_cust = ((30_000.0 * sf) as usize).max(100);
-        let n_supp = ((2_000.0 * sf) as usize).max(20);
-        // dbgen: 200k * ceil(1 + log2(SF)) parts; scaled down for SF<1.
-        let n_part = if sf >= 1.0 {
-            200_000 * (1.0 + sf.log2().max(0.0)).ceil() as usize
-        } else {
-            ((200_000.0 * sf) as usize).max(200)
-        };
+        let (n_cust, n_supp, n_part) = dim_counts(sf);
         let customer = make_geo(n_cust, &mut rng);
         let supplier = make_geo(n_supp, &mut rng);
         let part = make_parts(n_part, &mut rng);
@@ -292,33 +358,15 @@ impl SsbData {
         let n_orders = (1_500_000.0 * sf) as usize;
         let mut lo = LineOrder::default();
         for o in 0..n_orders {
-            let lines = rng.gen_range(1..=7);
-            let orderkey = o as i32 + 1;
-            let date_idx = rng.gen_range(0..date.datekey.len());
-            let orderdate = date.datekey[date_idx];
-            let custkey = rng.gen_range(1..=n_cust as i32);
-            let ordtotalprice = rng.gen_range(50_000..=500_000);
-            for line in 1..=lines {
-                lo.orderkey.push(orderkey);
-                lo.orderdate.push(orderdate);
-                lo.ordtotalprice.push(ordtotalprice);
-                lo.custkey.push(custkey);
-                lo.partkey.push(rng.gen_range(1..=n_part as i32));
-                lo.suppkey.push(rng.gen_range(1..=n_supp as i32));
-                lo.linenumber.push(line);
-                let quantity = rng.gen_range(1..=50);
-                lo.quantity.push(quantity);
-                lo.tax.push(rng.gen_range(0..=8));
-                let discount = rng.gen_range(0..=10);
-                lo.discount.push(discount);
-                let commit_idx =
-                    (date_idx + rng.gen_range(30usize..=90)).min(date.datekey.len() - 1);
-                lo.commitdate.push(date.datekey[commit_idx]);
-                let extendedprice = rng.gen_range(90_000..=5_500_000) / 100;
-                lo.extendedprice.push(extendedprice);
-                lo.revenue.push(extendedprice * (100 - discount) / 100);
-                lo.supplycost.push(rng.gen_range(10_000..=100_000));
-            }
+            push_order(
+                &mut lo,
+                &mut rng,
+                o as i32 + 1,
+                &date,
+                n_cust,
+                n_supp,
+                n_part,
+            );
         }
         lo.len = lo.orderkey.len();
         SsbData {
@@ -349,6 +397,185 @@ impl SsbData {
     /// Part-dimension byte footprint (key + 3 columns).
     pub fn part_dim_bytes(&self) -> u64 {
         self.part.mfgr.len() as u64 * 4 * 4
+    }
+}
+
+/// Chunked, restartable lineorder generation for out-of-core scale.
+///
+/// [`SsbData::generate`] draws every order from one sequential RNG, so
+/// producing row 499 million requires generating everything before it —
+/// useless for regenerating a single lost partition. A `StreamSpec`
+/// instead seeds an **independent RNG per chunk** (`seed` mixed with
+/// the chunk index), so [`chunk`] is `O(chunk)` regardless of where it
+/// sits in the table, and a store partition lost to a torn write or a
+/// dead shard can be re-created (and byte-identically re-encoded)
+/// without touching its neighbours. Per-order line generation is the
+/// shared [`push_order`] path, so chunked output has exactly the bulk
+/// generator's distributions (sorted `lo_orderkey`, 1–7-line runs,
+/// per-order repeated columns).
+///
+/// [`chunk`]: StreamSpec::chunk
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamSpec {
+    /// Base seed; chunk `c` derives its RNG from `seed` and `c`.
+    pub seed: u64,
+    /// Orders per chunk (each order expands to 1–7 lineorder rows).
+    pub orders_per_chunk: usize,
+    /// Number of chunks.
+    pub chunks: usize,
+    /// Customer-dimension cardinality.
+    pub n_cust: usize,
+    /// Supplier-dimension cardinality.
+    pub n_supp: usize,
+    /// Part-dimension cardinality.
+    pub n_part: usize,
+}
+
+impl StreamSpec {
+    /// Spec targeting roughly `target_rows` lineorder rows (orders
+    /// average 4 lines), with dimension cardinalities at the implied
+    /// scale factor.
+    pub fn for_rows(seed: u64, target_rows: u64, orders_per_chunk: usize) -> Self {
+        assert!(orders_per_chunk >= 1);
+        let orders = (target_rows / 4).max(1) as usize;
+        let chunks = orders.div_ceil(orders_per_chunk).max(1);
+        let sf = orders as f64 / 1_500_000.0;
+        let (n_cust, n_supp, n_part) = dim_counts(sf);
+        StreamSpec {
+            seed,
+            orders_per_chunk,
+            chunks,
+            n_cust,
+            n_supp,
+            n_part,
+        }
+    }
+
+    /// Implied scale factor (for reporting).
+    pub fn sf(&self) -> f64 {
+        (self.orders_per_chunk * self.chunks) as f64 / 1_500_000.0
+    }
+
+    /// The dimension tables (and an **empty** fact table): everything a
+    /// fused query needs besides the streamed lineorder columns. Built
+    /// from one RNG seeded by `seed`, independent of any chunk RNG.
+    pub fn dims(&self) -> SsbData {
+        let mut rng = Rng::seed_from_u64(self.seed);
+        let date = make_dates();
+        let customer = make_geo(self.n_cust, &mut rng);
+        let supplier = make_geo(self.n_supp, &mut rng);
+        let part = make_parts(self.n_part, &mut rng);
+        SsbData {
+            sf: self.sf(),
+            lineorder: LineOrder::default(),
+            date,
+            customer,
+            supplier,
+            part,
+        }
+    }
+
+    /// Generate chunk `c` — `orders_per_chunk` orders with globally
+    /// consecutive order keys — from its own seeded RNG. `O(chunk)`
+    /// regardless of `c`, and bit-identical on every call.
+    pub fn chunk(&self, c: usize) -> LineOrder {
+        assert!(c < self.chunks, "chunk {c} out of {}", self.chunks);
+        // SplitMix64-style mix so adjacent chunk seeds share no
+        // structure with each other or with the dims RNG.
+        let mixed = (self.seed ^ (c as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        let mut rng = Rng::seed_from_u64(mixed);
+        let date = make_dates();
+        let base = c * self.orders_per_chunk;
+        let mut lo = LineOrder::default();
+        for o in 0..self.orders_per_chunk {
+            push_order(
+                &mut lo,
+                &mut rng,
+                (base + o) as i32 + 1,
+                &date,
+                self.n_cust,
+                self.n_supp,
+                self.n_part,
+            );
+        }
+        lo.len = lo.orderkey.len();
+        lo
+    }
+
+    /// Materialize the whole spec in memory (dims + all chunks
+    /// concatenated). Small-scale only; the streamed executor never
+    /// calls this.
+    pub fn materialize(&self) -> SsbData {
+        let mut data = self.dims();
+        for c in 0..self.chunks {
+            data.lineorder.extend_from(&self.chunk(c));
+        }
+        data
+    }
+}
+
+#[cfg(test)]
+mod stream_spec_tests {
+    use super::*;
+
+    #[test]
+    fn chunks_are_independent_and_deterministic() {
+        let spec = StreamSpec::for_rows(7, 40_000, 2_000);
+        assert!(spec.chunks >= 5);
+        let last = spec.chunks - 1;
+        // Chunk c regenerates identically without touching c-1.
+        assert_eq!(spec.chunk(last).revenue, spec.chunk(last).revenue);
+        assert_ne!(spec.chunk(0).revenue, spec.chunk(1).revenue);
+    }
+
+    #[test]
+    fn orderkeys_are_globally_sorted_across_chunks() {
+        let spec = StreamSpec::for_rows(3, 24_000, 1_000);
+        let data = spec.materialize();
+        let keys = &data.lineorder.orderkey;
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(keys[0], 1);
+        assert_eq!(
+            *keys.last().expect("rows"),
+            (spec.orders_per_chunk * spec.chunks) as i32
+        );
+    }
+
+    #[test]
+    fn chunked_rows_have_the_bulk_distributions() {
+        let spec = StreamSpec::for_rows(0, 60_000, 5_000);
+        let data = spec.materialize();
+        let lo = &data.lineorder;
+        let runs = |col: &[i32]| {
+            let mut r = 1;
+            for w in col.windows(2) {
+                if w[0] != w[1] {
+                    r += 1;
+                }
+            }
+            col.len() as f64 / r as f64
+        };
+        // Same run structure the compression waterfall depends on.
+        assert!(runs(&lo.orderkey) > 3.0);
+        assert!(runs(&lo.quantity) < 1.5);
+        assert!(lo.quantity.iter().all(|&q| (1..=50).contains(&q)));
+        assert!(lo
+            .custkey
+            .iter()
+            .all(|&k| k >= 1 && k as usize <= spec.n_cust));
+        let dates: std::collections::HashSet<i32> = data.date.datekey.iter().copied().collect();
+        assert!(lo.orderdate.iter().all(|d| dates.contains(d)));
+    }
+
+    #[test]
+    fn dims_match_materialized_dims() {
+        let spec = StreamSpec::for_rows(11, 8_000, 1_000);
+        let dims = spec.dims();
+        let full = spec.materialize();
+        assert_eq!(dims.customer.city, full.customer.city);
+        assert_eq!(dims.part.brand1, full.part.brand1);
+        assert!(dims.lineorder.len == 0);
     }
 }
 

@@ -24,6 +24,12 @@
 //!   over the fault model in [`tlc_gpu_sim::FaultPlan`], with a
 //!   [`resilience::ResilienceReport`] reconciling injected faults
 //!   against recovery actions.
+//! * [`stream`] — paper-scale out-of-core execution: the fact table
+//!   persisted as a `tlc-store` partitioned compressed store
+//!   ([`stream::SsbStore`]), streamed through a bounded
+//!   partition-memory budget, with storage-fault recovery
+//!   (quarantine → regenerate → heal) layered under the device-fault
+//!   ladder.
 
 pub mod encode;
 pub mod fleet;
@@ -31,8 +37,10 @@ pub mod gen;
 pub mod queries;
 pub mod reference;
 pub mod resilience;
+pub mod stream;
 
 pub use encode::{LoColumns, System};
-pub use gen::{LoColumn, SsbData};
+pub use gen::{LoColumn, SsbData, StreamSpec};
 pub use queries::{run_query, try_run_query, QueryId};
 pub use resilience::{run_query_sharded_resilient, ResilienceReport, ResilientRun};
+pub use stream::{run_query_streamed, SsbStore, StreamOptions, StreamedRun};

@@ -52,6 +52,12 @@ pub struct ResilienceReport {
     pub shards_failed_over: usize,
     /// Shards answered by the CPU reference executor.
     pub cpu_fallbacks: usize,
+    /// Store partitions whose on-disk files were found damaged (torn,
+    /// missing or bit-rotted) and moved aside (out-of-core path only).
+    pub partitions_quarantined: usize,
+    /// Store partitions regenerated from the chunked generator and
+    /// healed back into the store (out-of-core path only).
+    pub partitions_regenerated: usize,
 }
 
 impl ResilienceReport {
@@ -72,7 +78,10 @@ impl ResilienceReport {
 
     /// Total recovery actions taken.
     pub fn recoveries(&self) -> usize {
-        self.transient_retries + self.shards_failed_over + self.cpu_fallbacks
+        self.transient_retries
+            + self.shards_failed_over
+            + self.cpu_fallbacks
+            + self.partitions_regenerated
     }
 
     /// Fold another report (one shard's tally) into this one. Counter
@@ -86,6 +95,8 @@ impl ResilienceReport {
         self.corrupt_tiles_detected += other.corrupt_tiles_detected;
         self.shards_failed_over += other.shards_failed_over;
         self.cpu_fallbacks += other.cpu_fallbacks;
+        self.partitions_quarantined += other.partitions_quarantined;
+        self.partitions_regenerated += other.partitions_regenerated;
     }
 }
 
@@ -95,7 +106,8 @@ impl std::fmt::Display for ResilienceReport {
             f,
             "injected: {} bit flips, {} transients, {} device(s) lost; \
              recovered: {} retries, {} corrupt tiles detected, \
-             {} shard failovers, {} CPU fallbacks",
+             {} shard failovers, {} CPU fallbacks, \
+             {} partitions quarantined, {} regenerated",
             self.bit_flips_injected,
             self.transient_failures_injected,
             self.devices_lost,
@@ -103,6 +115,8 @@ impl std::fmt::Display for ResilienceReport {
             self.corrupt_tiles_detected,
             self.shards_failed_over,
             self.cpu_fallbacks,
+            self.partitions_quarantined,
+            self.partitions_regenerated,
         )
     }
 }

@@ -1,0 +1,648 @@
+//! Out-of-core streamed execution over a `tlc-store` shard store.
+//!
+//! Paper-scale SSB (Section 4.2's 500 M-row runs) does not fit in
+//! memory, so the fact table lives on disk as a [`tlc_store::Store`] of
+//! fixed-size compressed partitions and streams through a **bounded
+//! partition-memory budget**: at most `workers` partitions are resident
+//! at once, where `workers` is capped by both `TLC_SIM_THREADS` and
+//! `budget_bytes / largest-partition-working-set`.
+//!
+//! Each partition is dispatched to its own simulated device, so the
+//! recovery ladder of [`crate::resilience`] applies per partition:
+//! bounded transient retries, failover to a fresh device, CPU
+//! reference fallback. Underneath that sits the storage ladder this
+//! module adds: a partition whose on-disk files are torn, missing or
+//! bit-rotted is **quarantined and regenerated** from the chunked
+//! generator ([`StreamSpec`]) — regeneration is deterministic, so the
+//! healed file is byte-identical to the committed one and the store
+//! repairs itself in place.
+//!
+//! Determinism contract: injected faults ([`StorageFaults`], and the
+//! per-partition fault PRNG seed) are keyed by **partition index**, and
+//! partial aggregates fold in partition order, so the query result and
+//! the full [`ResilienceReport`] are bit-identical at any worker count
+//! and any fault seed. Only host wall-clock and the worker-assignment
+//! time fields vary with `TLC_SIM_THREADS`.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use tlc_core::{DecodeError, EncodedColumn};
+use tlc_gpu_sim::{Device, FaultPlan, StorageFaults};
+use tlc_rng::Rng;
+use tlc_store::{damage, CompactReport, Ingest, RecoveryReport, Store, StoreError};
+
+use crate::encode::LoColumns;
+use crate::gen::{LineOrder, LoColumn, SsbData, StreamSpec};
+use crate::queries::QueryId;
+use crate::reference::run_reference;
+use crate::resilience::{run_query_checked, ResilienceReport};
+
+/// Manifest metadata keys that persist the [`StreamSpec`] so a store
+/// reopened by a later process can regenerate any partition.
+const META_SEED: &str = "ssb.seed";
+const META_ORDERS_PER_CHUNK: &str = "ssb.orders_per_chunk";
+const META_CHUNKS: &str = "ssb.chunks";
+const META_CHUNK_FACTOR: &str = "ssb.chunk_factor";
+const META_N_CUST: &str = "ssb.n_cust";
+const META_N_SUPP: &str = "ssb.n_supp";
+const META_N_PART: &str = "ssb.n_part";
+
+/// An SSB fact table persisted as a partitioned compressed store, plus
+/// the generation spec that can re-create any partition from scratch.
+#[derive(Debug)]
+pub struct SsbStore {
+    store: Store,
+    spec: StreamSpec,
+    /// Generator chunks per store partition (1 after ingest; multiplied
+    /// by every compaction).
+    factor: usize,
+}
+
+impl SsbStore {
+    /// Ingest `spec` into `dir`: one store partition per generator
+    /// chunk, all 14 lineorder columns GPU-*-encoded, committed by the
+    /// manifest's atomic rename. Memory use is bounded by one chunk.
+    pub fn ingest(dir: &Path, spec: &StreamSpec) -> Result<SsbStore, StoreError> {
+        let names: Vec<&str> = LoColumn::ALL.iter().map(|c| c.name()).collect();
+        let mut ing = Ingest::create(dir, &names)?;
+        ing.set_meta(META_SEED, spec.seed);
+        ing.set_meta(META_ORDERS_PER_CHUNK, spec.orders_per_chunk as u64);
+        ing.set_meta(META_CHUNKS, spec.chunks as u64);
+        ing.set_meta(META_CHUNK_FACTOR, 1);
+        ing.set_meta(META_N_CUST, spec.n_cust as u64);
+        ing.set_meta(META_N_SUPP, spec.n_supp as u64);
+        ing.set_meta(META_N_PART, spec.n_part as u64);
+        for c in 0..spec.chunks {
+            let lo = spec.chunk(c);
+            let cols: Vec<EncodedColumn> = LoColumn::ALL
+                .iter()
+                .map(|col| EncodedColumn::encode_best(lo.column(*col)))
+                .collect();
+            ing.append_partition(&cols)?;
+        }
+        let store = ing.commit()?;
+        Ok(SsbStore {
+            store,
+            spec: spec.clone(),
+            factor: 1,
+        })
+    }
+
+    /// Open an existing store with crash recovery (torn-tmp/stale
+    /// sweep, length scan, quarantine) and re-derive the generation
+    /// spec from the manifest metadata.
+    pub fn open(dir: &Path) -> Result<(SsbStore, RecoveryReport), StoreError> {
+        let (store, report) = Store::open(dir)?;
+        Ok((SsbStore::from_store(store)?, report))
+    }
+
+    /// [`SsbStore::open`] plus a whole-file digest re-read of every
+    /// partition file, catching bit rot that leaves lengths intact.
+    pub fn open_deep(dir: &Path) -> Result<(SsbStore, RecoveryReport), StoreError> {
+        let (store, report) = Store::open_deep(dir)?;
+        Ok((SsbStore::from_store(store)?, report))
+    }
+
+    fn from_store(store: Store) -> Result<SsbStore, StoreError> {
+        let meta = |key: &str| {
+            store
+                .manifest()
+                .meta_u64(key)
+                .ok_or_else(|| StoreError::ManifestStructure {
+                    reason: format!("missing metadata key `{key}`"),
+                })
+        };
+        let spec = StreamSpec {
+            seed: meta(META_SEED)?,
+            orders_per_chunk: meta(META_ORDERS_PER_CHUNK)? as usize,
+            chunks: meta(META_CHUNKS)? as usize,
+            n_cust: meta(META_N_CUST)? as usize,
+            n_supp: meta(META_N_SUPP)? as usize,
+            n_part: meta(META_N_PART)? as usize,
+        };
+        let factor = meta(META_CHUNK_FACTOR)? as usize;
+        if factor == 0 || spec.orders_per_chunk == 0 {
+            return Err(StoreError::ManifestStructure {
+                reason: "zero chunk factor or orders per chunk".to_string(),
+            });
+        }
+        let expect = spec.chunks.div_ceil(factor);
+        if store.partition_count() != expect {
+            return Err(StoreError::ManifestStructure {
+                reason: format!(
+                    "{} partitions but spec implies {expect} ({} chunks / factor {factor})",
+                    store.partition_count(),
+                    spec.chunks
+                ),
+            });
+        }
+        Ok(SsbStore {
+            store,
+            spec,
+            factor,
+        })
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// The generation spec.
+    pub fn spec(&self) -> &StreamSpec {
+        &self.spec
+    }
+
+    /// Generator chunks per store partition.
+    pub fn chunk_factor(&self) -> usize {
+        self.factor
+    }
+
+    /// Regenerate partition `p`'s rows from the chunked generator —
+    /// `O(partition)`, independent of every other partition, and
+    /// bit-identical on every call (which is what lets
+    /// [`tlc_store::Store::heal_column`] verify a healed file against
+    /// the committed digest).
+    pub fn regenerate_partition(&self, p: usize) -> LineOrder {
+        let lo_chunk = p * self.factor;
+        let hi_chunk = ((p + 1) * self.factor).min(self.spec.chunks);
+        let mut lo = LineOrder::default();
+        for c in lo_chunk..hi_chunk {
+            lo.extend_from(&self.spec.chunk(c));
+        }
+        lo
+    }
+
+    /// Re-encode the named columns of a regenerated partition exactly
+    /// as ingest/compact did (deterministic `encode_best`).
+    fn encode_partition(
+        &self,
+        lo: &LineOrder,
+        needed: &[LoColumn],
+    ) -> Vec<(LoColumn, EncodedColumn)> {
+        needed
+            .iter()
+            .map(|&c| (c, EncodedColumn::encode_best(lo.column(c))))
+            .collect()
+    }
+}
+
+/// Merge `merge` adjacent partitions at a time (re-encoding each merged
+/// column) and keep the regeneration mapping in step by multiplying the
+/// persisted chunk factor.
+pub fn compact(dir: &Path, merge: usize) -> Result<(SsbStore, CompactReport), StoreError> {
+    let (store, report) = tlc_store::ingest::compact(dir, merge, |meta| {
+        if let Some(e) = meta.iter_mut().find(|(k, _)| k == META_CHUNK_FACTOR) {
+            e.1 *= merge as u64;
+        }
+    })?;
+    Ok((SsbStore::from_store(store)?, report))
+}
+
+/// Knobs for a streamed query run.
+#[derive(Debug, Clone)]
+pub struct StreamOptions {
+    /// Partition-memory budget: at most
+    /// `budget_bytes / largest-partition-working-set` partitions are
+    /// resident (decoded on a device) at once.
+    pub budget_bytes: u64,
+    /// Linear scale on each partition's simulated time (as
+    /// `Device::elapsed_seconds_scaled`).
+    pub scale: f64,
+    /// Fault campaign to run under, if any. Storage faults
+    /// ([`StorageFaults`]) damage the named partitions on disk before
+    /// they are read; device-level rates arm each partition's device
+    /// with a PRNG seeded by `plan.seed` mixed with the partition
+    /// index, so the campaign is identical at any worker count.
+    pub plan: Option<FaultPlan>,
+}
+
+impl Default for StreamOptions {
+    fn default() -> Self {
+        StreamOptions {
+            budget_bytes: 256 << 20,
+            scale: 1.0,
+            plan: None,
+        }
+    }
+}
+
+/// Result of a streamed out-of-core query.
+#[derive(Debug)]
+pub struct StreamedRun {
+    /// Merged `(group, sum)` pairs — identical to an in-memory run of
+    /// the same data, and to the fault-free streamed run whenever
+    /// recovery succeeded.
+    pub result: Vec<(u64, u64)>,
+    /// Total fact rows streamed.
+    pub rows: u64,
+    /// Partitions executed.
+    pub partitions: usize,
+    /// Host workers used (= resident-partition cap).
+    pub workers: usize,
+    /// Deterministic upper bound on resident compressed bytes:
+    /// `workers × largest partition working set` for the query's
+    /// columns.
+    pub peak_resident_bytes: u64,
+    /// Sum of per-partition simulated device time (worker-count
+    /// independent; the serial-device total).
+    pub device_s: f64,
+    /// Slowest worker's summed simulated time under the actual
+    /// partition assignment (depends on worker count).
+    pub slowest_worker_s: f64,
+    /// Merge transfer time for the partial aggregates.
+    pub merge_s: f64,
+    /// Injected faults and recovery actions, folded in partition order.
+    pub report: ResilienceReport,
+}
+
+impl StreamedRun {
+    /// End-to-end modelled latency.
+    pub fn total_s(&self) -> f64 {
+        self.slowest_worker_s + self.merge_s
+    }
+}
+
+/// Run `q` against every partition of `store`, streaming under
+/// `opts.budget_bytes`, recovering per the module policy, and merging
+/// partial aggregates in partition order.
+pub fn run_query_streamed(
+    store: &SsbStore,
+    q: QueryId,
+    opts: &StreamOptions,
+) -> Result<StreamedRun, StoreError> {
+    let n = store.store().partition_count();
+    let needed = q.columns();
+    let dims = store.spec().dims();
+
+    // Working set of one resident partition: the compressed bytes of
+    // the queried columns (the device decodes inline; nothing else is
+    // materialized host-side).
+    let col_idx: Vec<usize> = needed
+        .iter()
+        .map(|c| {
+            store
+                .store()
+                .manifest()
+                .column_index(c.name())
+                .expect("ALL columns are in the layout")
+        })
+        .collect();
+    let part_working_set = |p: usize| -> u64 {
+        let files = &store.store().manifest().partitions[p].files;
+        col_idx.iter().map(|&c| files[c].bytes as u64).sum()
+    };
+    let max_working_set = (0..n).map(part_working_set).max().unwrap_or(0);
+    let budget_cap = opts
+        .budget_bytes
+        .checked_div(max_working_set)
+        .map_or(usize::MAX, |cap| cap.max(1) as usize);
+    let workers = tlc_gpu_sim::sim_threads().min(budget_cap).min(n.max(1));
+
+    let outcomes = map_partitions(n, workers, |p| process_partition(store, &dims, p, q, opts));
+
+    let mut report = ResilienceReport::default();
+    let mut merged: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut merge_bytes = 0u64;
+    let mut device_s = 0.0f64;
+    let mut part_times = Vec::with_capacity(n);
+    for outcome in outcomes {
+        let (result, part_s, part_report) = outcome?;
+        device_s += part_s;
+        part_times.push(part_s);
+        report.absorb(&part_report);
+        merge_bytes += result.len() as u64 * 16;
+        for (g, v) in result {
+            let e = merged.entry(g).or_insert(0);
+            *e = e.wrapping_add(v);
+        }
+    }
+    let ranges = tlc_gpu_sim::partitions(n, 1, workers);
+    let slowest_worker_s = ranges
+        .iter()
+        .map(|&(lo, hi)| part_times[lo..hi].iter().sum::<f64>())
+        .fold(0.0f64, f64::max);
+    let merge_dev = Device::v100();
+    let merge_s = merge_dev.pcie_transfer(merge_bytes);
+    Ok(StreamedRun {
+        result: merged.into_iter().filter(|&(_, v)| v != 0).collect(),
+        rows: (0..n).map(|p| store.store().rows(p)).sum(),
+        partitions: n,
+        workers,
+        peak_resident_bytes: workers as u64 * max_working_set,
+        device_s,
+        slowest_worker_s,
+        merge_s,
+        report,
+    })
+}
+
+/// Damage partition `p`'s first queried column on disk per the armed
+/// [`StorageFaults`]. Positions are drawn from a PRNG seeded by the
+/// plan seed and the partition index, so a campaign is byte-exact
+/// reproducible and independent of worker scheduling.
+fn apply_storage_faults(
+    store: &SsbStore,
+    p: usize,
+    q: QueryId,
+    plan: &FaultPlan,
+) -> Result<(), StoreError> {
+    let storage = &plan.storage;
+    let target = q.columns()[0].name();
+    let committed = store.store().manifest().partitions[p].files[store
+        .store()
+        .manifest()
+        .column_index(target)
+        .expect("queried columns are in the layout")]
+    .bytes as u64;
+    let path = store.store().path_of(p, target);
+    let mut rng = Rng::seed_from_u64(plan.seed ^ 0x57_0F_A1_75 ^ (p as u64) << 8);
+    if storage.truncate_at_partition == Some(p) {
+        let cut = rng.gen_range(0..committed.max(1) as usize) as u64;
+        damage::truncate_at(&path, cut).map_err(|e| StoreError::Io {
+            path: path.clone(),
+            source: e,
+        })?;
+    }
+    if storage.flip_bit_at_partition == Some(p) {
+        let bit = rng.gen_range(0..(committed.max(1) * 8) as usize) as u64;
+        damage::flip_bit(&path, bit).map_err(|e| StoreError::Io {
+            path: path.clone(),
+            source: e,
+        })?;
+    }
+    Ok(())
+}
+
+/// Load partition `p`'s queried columns, regenerating and healing the
+/// partition if any file is damaged; then run the query on a (possibly
+/// fault-armed) partition-private device with the full recovery ladder.
+#[allow(clippy::type_complexity)]
+fn process_partition(
+    store: &SsbStore,
+    dims: &SsbData,
+    p: usize,
+    q: QueryId,
+    opts: &StreamOptions,
+) -> Result<(Vec<(u64, u64)>, f64, ResilienceReport), StoreError> {
+    let mut report = ResilienceReport::default();
+    let needed = q.columns();
+
+    if let Some(plan) = &opts.plan {
+        if !plan.storage.is_empty() {
+            apply_storage_faults(store, p, q, plan)?;
+        }
+    }
+
+    // Storage ladder: load; on damage, quarantine is automatic, then
+    // regenerate the partition from the chunked generator and heal the
+    // store in place (byte-identical by determinism of the generator
+    // and of `encode_best`).
+    let mut cols: Vec<(LoColumn, EncodedColumn)> = Vec::with_capacity(needed.len());
+    let mut damaged = false;
+    for &c in needed {
+        match store.store().load_column(p, c.name()) {
+            Ok(col) => cols.push((c, col)),
+            Err(e) if matches!(e, StoreError::Io { .. } | StoreError::UnknownColumn { .. }) => {
+                return Err(e);
+            }
+            Err(_) => {
+                damaged = true;
+                break;
+            }
+        }
+    }
+    if damaged {
+        report.partitions_quarantined += 1;
+        let lo = store.regenerate_partition(p);
+        cols = store.encode_partition(&lo, needed);
+        for (c, col) in &cols {
+            if store.store().damage(p, c.name()).is_some() {
+                store.store().heal_column(p, c.name(), col)?;
+            }
+        }
+        report.partitions_regenerated += 1;
+    }
+
+    // Device ladder: partition-private device, fault PRNG keyed by the
+    // partition index (not the worker), kill armed only when this
+    // partition is the campaign's victim.
+    let dev = Device::v100();
+    let dev_plan = opts.plan.as_ref().map(|plan| FaultPlan {
+        seed: plan.seed ^ (p as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        bitflip_rate: plan.bitflip_rate,
+        transient_launch_rate: plan.transient_launch_rate,
+        // Die after the first launch: the dimension build lands, then
+        // the fused fact scan is lost mid-query.
+        kill_after_launches: (plan.storage.kill_shard_at_partition == Some(p)).then_some(1),
+        bandwidth_factor: plan.bandwidth_factor,
+        storage: StorageFaults::default(),
+    });
+    if let Some(dp) = dev_plan {
+        let armed = dp.bitflip_rate > 0.0
+            || dp.transient_launch_rate > 0.0
+            || dp.kill_after_launches.is_some()
+            || dp.bandwidth_factor != 1.0;
+        if armed {
+            dev.inject_faults(dp);
+        }
+    }
+    let lo_cols = LoColumns::from_encoded(&dev, cols.iter().map(|(c, e)| (*c, e)));
+    dev.reset_timeline();
+    let outcome = run_query_checked(&dev, dims, &lo_cols, q, &mut report);
+    let mut part_s = dev.elapsed_seconds_scaled(opts.scale);
+    report.absorb_device(&dev);
+    let err = match outcome {
+        Ok(result) => return Ok((result, part_s, report)),
+        Err(e) => e,
+    };
+    if matches!(
+        err,
+        DecodeError::Corrupt { .. } | DecodeError::Structure { .. }
+    ) {
+        report.corrupt_tiles_detected += 1;
+    }
+
+    // Failover: the host-side encoded columns are clean (loaded and
+    // digest-verified, or freshly regenerated), so rebuild on a fresh
+    // device and re-run.
+    report.shards_failed_over += 1;
+    let fresh = Device::v100();
+    let lo_cols = LoColumns::from_encoded(&fresh, cols.iter().map(|(c, e)| (*c, e)));
+    fresh.reset_timeline();
+    let result = match run_query_checked(&fresh, dims, &lo_cols, q, &mut report) {
+        Ok(result) => {
+            part_s = part_s.max(fresh.elapsed_seconds_scaled(opts.scale));
+            result
+        }
+        Err(_) => {
+            // Last resort: regenerate the partition's rows and answer
+            // on the CPU.
+            report.cpu_fallbacks += 1;
+            let mut part_data = dims.clone();
+            part_data.lineorder = store.regenerate_partition(p);
+            run_reference(&part_data, q)
+        }
+    };
+    Ok((result, part_s, report))
+}
+
+/// Map `f` over partition indices on `workers` host threads, returning
+/// results **in partition order** (mirrors `fleet::map_shards`; callers
+/// fold the ordered results serially, keeping every streamed report
+/// deterministic for any worker count).
+fn map_partitions<T: Send>(n: usize, workers: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let ranges = tlc_gpu_sim::partitions(n, 1, workers);
+    if ranges.len() <= 1 {
+        return (0..n).map(f).collect();
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|&(lo, hi)| {
+                let f = &f;
+                scope.spawn(move || (lo..hi).map(f).collect::<Vec<T>>())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("partition worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("tlc_ssb_stream_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_spec() -> StreamSpec {
+        StreamSpec::for_rows(5, 16_000, 1_000)
+    }
+
+    #[test]
+    fn streamed_clean_run_matches_reference() {
+        let dir = tmp_dir("clean");
+        let spec = small_spec();
+        let store = SsbStore::ingest(&dir, &spec).expect("ingest");
+        let run =
+            run_query_streamed(&store, QueryId::Q11, &StreamOptions::default()).expect("stream");
+        assert_eq!(run.result, run_reference(&spec.materialize(), QueryId::Q11));
+        assert_eq!(run.report, ResilienceReport::default());
+        assert_eq!(run.partitions, spec.chunks);
+        assert!(run.rows > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopened_store_streams_identically() {
+        let dir = tmp_dir("reopen");
+        let spec = small_spec();
+        let store = SsbStore::ingest(&dir, &spec).expect("ingest");
+        let a = run_query_streamed(&store, QueryId::Q12, &StreamOptions::default())
+            .expect("stream")
+            .result;
+        drop(store);
+        let (reopened, recovery) = SsbStore::open(&dir).expect("open");
+        assert!(recovery.is_clean());
+        let b = run_query_streamed(&reopened, QueryId::Q12, &StreamOptions::default())
+            .expect("stream")
+            .result;
+        assert_eq!(a, b);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn storage_faults_are_recovered_and_the_store_self_heals() {
+        let dir = tmp_dir("faults");
+        let spec = small_spec();
+        let store = SsbStore::ingest(&dir, &spec).expect("ingest");
+        let clean = run_query_streamed(&store, QueryId::Q11, &StreamOptions::default())
+            .expect("stream")
+            .result;
+        let plan = FaultPlan {
+            storage: StorageFaults {
+                kill_shard_at_partition: Some(0),
+                truncate_at_partition: Some(1),
+                flip_bit_at_partition: Some(2),
+            },
+            ..FaultPlan::seeded(9)
+        };
+        let opts = StreamOptions {
+            plan: Some(plan),
+            ..StreamOptions::default()
+        };
+        let run = run_query_streamed(&store, QueryId::Q11, &opts).expect("stream");
+        assert_eq!(
+            run.result, clean,
+            "recovery must reproduce the clean result"
+        );
+        assert_eq!(run.report.partitions_quarantined, 2);
+        assert_eq!(run.report.partitions_regenerated, 2);
+        assert_eq!(run.report.devices_lost, 1);
+        assert_eq!(run.report.shards_failed_over, 1);
+        assert_eq!(run.report.cpu_fallbacks, 0);
+        // The damaged files were healed byte-identically in place.
+        store
+            .store()
+            .verify()
+            .expect("store verifies clean after healing");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn budget_caps_resident_partitions() {
+        let dir = tmp_dir("budget");
+        let spec = small_spec();
+        let store = SsbStore::ingest(&dir, &spec).expect("ingest");
+        let opts = StreamOptions {
+            budget_bytes: 1, // smaller than any partition: serial streaming
+            ..StreamOptions::default()
+        };
+        let run = run_query_streamed(&store, QueryId::Q13, &opts).expect("stream");
+        assert_eq!(run.workers, 1);
+        assert_eq!(run.result, run_reference(&spec.materialize(), QueryId::Q13));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_preserves_results_and_regeneration() {
+        let dir = tmp_dir("compact");
+        let spec = small_spec();
+        let store = SsbStore::ingest(&dir, &spec).expect("ingest");
+        let before = run_query_streamed(&store, QueryId::Q11, &StreamOptions::default())
+            .expect("stream")
+            .result;
+        drop(store);
+        let (compacted, report) = compact(&dir, 2).expect("compact");
+        assert_eq!(report.partitions_after, spec.chunks.div_ceil(2));
+        assert_eq!(compacted.chunk_factor(), 2);
+        let after = run_query_streamed(&compacted, QueryId::Q11, &StreamOptions::default())
+            .expect("stream")
+            .result;
+        assert_eq!(before, after);
+        // A damaged merged partition still regenerates byte-identically.
+        let plan = FaultPlan {
+            storage: StorageFaults {
+                truncate_at_partition: Some(0),
+                ..StorageFaults::default()
+            },
+            ..FaultPlan::seeded(3)
+        };
+        let opts = StreamOptions {
+            plan: Some(plan),
+            ..StreamOptions::default()
+        };
+        let run = run_query_streamed(&compacted, QueryId::Q11, &opts).expect("stream");
+        assert_eq!(run.result, before);
+        assert_eq!(run.report.partitions_regenerated, 1);
+        compacted.store().verify().expect("healed after compaction");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,57 @@
+//! Deterministic storage-fault injection helpers.
+//!
+//! The chaos campaigns (`tlc chaos`, `tests/store_recovery.rs`) damage
+//! store files the same way a dying machine would: tearing a write
+//! short or flipping a bit at rest. These helpers are the single
+//! implementation both use, so an injected fault is always byte-exact
+//! reproducible from its seed.
+
+use std::path::Path;
+
+/// Truncate `path` to `len` bytes, modelling a torn write that stopped
+/// mid-file (including torn to a non-word boundary).
+pub fn truncate_at(path: &Path, len: u64) -> std::io::Result<()> {
+    let f = std::fs::OpenOptions::new().write(true).open(path)?;
+    f.set_len(len)?;
+    f.sync_all()
+}
+
+/// Flip one bit of `path` in place, modelling bit rot at rest.
+/// `bit_index` counts from the start of the file (bit 0 = LSB of byte
+/// 0) and is taken modulo the file's size in bits.
+pub fn flip_bit(path: &Path, bit_index: u64) -> std::io::Result<()> {
+    let mut bytes = std::fs::read(path)?;
+    if bytes.is_empty() {
+        return Ok(());
+    }
+    let bit = bit_index % (bytes.len() as u64 * 8);
+    bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+    std::fs::write(path, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_is_involutive() {
+        let path =
+            std::env::temp_dir().join(format!("tlc_store_damage_{}.bin", std::process::id()));
+        std::fs::write(&path, [0u8; 16]).expect("write");
+        flip_bit(&path, 37).expect("flip");
+        assert_eq!(std::fs::read(&path).expect("read")[4], 1 << 5);
+        flip_bit(&path, 37).expect("flip back");
+        assert!(std::fs::read(&path).expect("read").iter().all(|&b| b == 0));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncate_shrinks() {
+        let path =
+            std::env::temp_dir().join(format!("tlc_store_damage_trunc_{}.bin", std::process::id()));
+        std::fs::write(&path, [7u8; 64]).expect("write");
+        truncate_at(&path, 13).expect("truncate");
+        assert_eq!(std::fs::metadata(&path).expect("md").len(), 13);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,231 @@
+//! # tlc-store — crash-safe out-of-core partitioned column store
+//!
+//! Paper-scale datasets (500 M rows, Section 4.2) do not fit a single
+//! device, so the fact table lives on disk as fixed-size **partitions**
+//! of compressed columns — one serialized [`EncodedColumn`] stream per
+//! `(partition, column)` — and streams through bounded memory at query
+//! time (`tlc-ssb::stream`). A partition is the shard unit: small
+//! enough to re-read, re-verify or re-dispatch cheaply when a worker
+//! dies mid-query, and self-validating end to end because every stream
+//! carries per-block FNV-1a checksums plus a whole-stream digest
+//! (`tlc-core::serialize`).
+//!
+//! The store directory is:
+//!
+//! ```text
+//! store/
+//!   MANIFEST.tlcm            # committed by temp-file + atomic rename
+//!   p00000-orderdate.g0.tlc  # partition 0, column "orderdate", generation 0
+//!   p00000-quantity.g0.tlc
+//!   ...
+//!   quarantine/              # damaged files moved here at recovery
+//! ```
+//!
+//! **Crash-safety protocol** (DESIGN.md §13): every file — partition
+//! streams and the manifest alike — is written to a `*.tmp` sibling,
+//! flushed, and renamed into place. The manifest rename is the single
+//! commit point: it names every live file with its exact byte length
+//! and whole-file digest, so after a crash [`Store::open`] can classify
+//! every on-disk state:
+//!
+//! * leftover `*.tmp` files → torn writes from a dead ingest/compact,
+//!   deleted;
+//! * files not named by the manifest → stale generations from a
+//!   compact that committed but didn't finish cleanup, deleted;
+//! * named files that are missing, short, long or (in
+//!   [`Store::open_deep`]) fail their digest → quarantined, reported,
+//!   and re-creatable by the caller ([`Store::heal_column`]).
+//!
+//! Nothing in this crate panics on hostile bytes: damage surfaces as a
+//! typed [`StoreError`] and the damaged file is moved aside, never
+//! trusted.
+
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+
+pub use tlc_core::serialize::FormatError;
+pub use tlc_core::EncodedColumn;
+
+pub mod damage;
+pub mod ingest;
+pub mod manifest;
+pub mod store;
+
+pub use ingest::{compact, CompactReport, Ingest};
+pub use manifest::{FileEntry, Manifest, PartitionEntry, MANIFEST_NAME};
+pub use store::{DamageCause, Quarantined, RecoveryReport, Store};
+
+/// Every way the store can fail. I/O errors keep their path; damage is
+/// classified so callers (notably `tlc verify --manifest`) can map it
+/// onto the CLI exit-code contract: I/O = 1, integrity = 2,
+/// structural = 3.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure (missing directory, permission, short write).
+    Io {
+        /// Path the operation touched.
+        path: PathBuf,
+        /// Underlying error.
+        source: std::io::Error,
+    },
+    /// The manifest's trailing digest does not cover its bytes: a torn
+    /// or tampered manifest write.
+    ManifestIntegrity {
+        /// What the digest check observed.
+        reason: String,
+    },
+    /// The manifest parsed words fine but violated a structural
+    /// invariant (bad magic, truncated stream, over-cap counts).
+    ManifestStructure {
+        /// Which invariant broke.
+        reason: String,
+    },
+    /// A partition column file named by the manifest is missing
+    /// entirely (treated as I/O: the name is gone, not damaged).
+    PartitionMissing {
+        /// Partition index.
+        partition: usize,
+        /// Column name.
+        column: String,
+        /// Expected path.
+        path: PathBuf,
+    },
+    /// A partition column file exists but its byte length disagrees
+    /// with the manifest: a torn or truncated write.
+    PartitionLength {
+        /// Partition index.
+        partition: usize,
+        /// Column name.
+        column: String,
+        /// Length the manifest committed.
+        expected: u64,
+        /// Length found on disk.
+        actual: u64,
+    },
+    /// A partition column file has the committed length but its
+    /// whole-file digest disagrees with the manifest: bit rot.
+    PartitionDigest {
+        /// Partition index.
+        partition: usize,
+        /// Column name.
+        column: String,
+    },
+    /// The serialized stream inside a partition file failed to parse
+    /// (its own stream digest, per-block checksums or structure).
+    PartitionFormat {
+        /// Partition index.
+        partition: usize,
+        /// Column name.
+        column: String,
+        /// The format-level failure.
+        source: FormatError,
+    },
+    /// The column name is not in this store's manifest.
+    UnknownColumn {
+        /// The name that failed to resolve.
+        column: String,
+    },
+    /// A healed (regenerated) column did not reproduce the committed
+    /// digest — the regeneration is not deterministic or targets the
+    /// wrong partition; the store refuses to commit it.
+    HealMismatch {
+        /// Partition index.
+        partition: usize,
+        /// Column name.
+        column: String,
+    },
+}
+
+impl StoreError {
+    /// True when the failure is integrity damage (digest / checksum
+    /// mismatch) rather than structural malformation or I/O.
+    pub fn is_integrity(&self) -> bool {
+        matches!(
+            self,
+            StoreError::ManifestIntegrity { .. }
+                | StoreError::PartitionDigest { .. }
+                | StoreError::PartitionFormat {
+                    source: FormatError::StreamChecksum | FormatError::ChecksumMismatch { .. },
+                    ..
+                }
+        )
+    }
+
+    /// Exit code under the CLI contract: 1 I/O, 2 integrity, 3
+    /// structural.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            StoreError::Io { .. } | StoreError::PartitionMissing { .. } => 1,
+            e if e.is_integrity() => 2,
+            _ => 3,
+        }
+    }
+
+    fn io(path: impl Into<PathBuf>, source: std::io::Error) -> Self {
+        StoreError::Io {
+            path: path.into(),
+            source,
+        }
+    }
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { path, source } => write!(f, "{}: {source}", path.display()),
+            StoreError::ManifestIntegrity { reason } => {
+                write!(f, "manifest integrity: {reason}")
+            }
+            StoreError::ManifestStructure { reason } => {
+                write!(f, "manifest structure: {reason}")
+            }
+            StoreError::PartitionMissing {
+                partition,
+                column,
+                path,
+            } => write!(
+                f,
+                "partition {partition} column `{column}`: missing file {}",
+                path.display()
+            ),
+            StoreError::PartitionLength {
+                partition,
+                column,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "partition {partition} column `{column}`: torn write \
+                 ({actual} bytes on disk, manifest committed {expected})"
+            ),
+            StoreError::PartitionDigest { partition, column } => write!(
+                f,
+                "partition {partition} column `{column}`: file digest mismatch (bit rot)"
+            ),
+            StoreError::PartitionFormat {
+                partition,
+                column,
+                source,
+            } => write!(f, "partition {partition} column `{column}`: {source}"),
+            StoreError::UnknownColumn { column } => {
+                write!(f, "column `{column}` is not in the manifest")
+            }
+            StoreError::HealMismatch { partition, column } => write!(
+                f,
+                "partition {partition} column `{column}`: healed bytes do not \
+                 reproduce the committed digest"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            StoreError::PartitionFormat { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,406 @@
+//! The store manifest: a little-endian `u32` word stream with a
+//! trailing FNV-1a digest, the same integrity idiom as the column
+//! format (`tlc-core::serialize`), committed by temp-file + atomic
+//! rename.
+//!
+//! The manifest is the store's commit record: it names every live
+//! partition file with its exact byte length and whole-file digest.
+//! Parsing is hostile-input safe — every count is capped before any
+//! allocation, every read is bounds-checked, and the digest is
+//! verified before any field is trusted, so a torn manifest write is
+//! always a typed [`StoreError`], never a panic and never a
+//! half-believed store.
+
+use std::path::Path;
+
+use tlc_core::checksum::fnv1a;
+
+use crate::StoreError;
+
+/// Manifest magic word ("TLCM" as little-endian bytes).
+pub const MAGIC: u32 = 0x4D43_4C54;
+/// Manifest format version.
+pub const VERSION: u32 = 1;
+/// File name of the committed manifest inside a store directory.
+pub const MANIFEST_NAME: &str = "MANIFEST.tlcm";
+
+/// Hostile-input caps, mirroring `tlc-core::Limits`: reject absurd
+/// counts before sizing any buffer.
+const MAX_PARTITIONS: u32 = 1 << 24;
+const MAX_COLUMNS: u32 = 1 << 10;
+const MAX_META: u32 = 1 << 10;
+const MAX_NAME_BYTES: u32 = 256;
+
+/// One partition file's commit record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileEntry {
+    /// Exact byte length of the committed file.
+    pub bytes: u32,
+    /// FNV-1a digest over the file's little-endian words.
+    pub digest: u32,
+}
+
+/// One partition: its row count and one file per store column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionEntry {
+    /// Rows in this partition.
+    pub rows: u32,
+    /// Parallel to [`Manifest::columns`].
+    pub files: Vec<FileEntry>,
+}
+
+/// The parsed (and digest-verified) manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Generation counter; bumped by compaction so old and new files
+    /// never share a name.
+    pub generation: u64,
+    /// Total rows across all partitions.
+    pub total_rows: u64,
+    /// Column names, in file-layout order.
+    pub columns: Vec<String>,
+    /// Application metadata (`tlc-ssb` records its generator
+    /// parameters here so lost partitions can be regenerated).
+    pub meta: Vec<(String, u64)>,
+    /// Per-partition commit records.
+    pub partitions: Vec<PartitionEntry>,
+}
+
+impl Manifest {
+    /// Look up a metadata value by key.
+    pub fn meta_u64(&self, key: &str) -> Option<u64> {
+        self.meta.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
+
+    /// Index of a column name in the file layout.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// File name of one partition column under this generation.
+    pub fn file_name(&self, partition: usize, column: &str) -> String {
+        file_name(self.generation, partition, column)
+    }
+
+    /// Serialize to the word stream (with trailing digest) as bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w: Vec<u32> = Vec::new();
+        w.push(MAGIC);
+        w.push(VERSION);
+        push_u64(&mut w, self.generation);
+        push_u64(&mut w, self.total_rows);
+        w.push(self.partitions.len() as u32);
+        w.push(self.columns.len() as u32);
+        for name in &self.columns {
+            push_str(&mut w, name);
+        }
+        w.push(self.meta.len() as u32);
+        for (key, value) in &self.meta {
+            push_str(&mut w, key);
+            push_u64(&mut w, *value);
+        }
+        for part in &self.partitions {
+            debug_assert_eq!(part.files.len(), self.columns.len());
+            w.push(part.rows);
+            for f in &part.files {
+                w.push(f.bytes);
+                w.push(f.digest);
+            }
+        }
+        let digest = fnv1a(&w);
+        w.push(digest);
+        let mut bytes = Vec::with_capacity(w.len() * 4);
+        for word in &w {
+            bytes.extend_from_slice(&word.to_le_bytes());
+        }
+        bytes
+    }
+
+    /// Parse and verify a manifest. The trailing digest is checked
+    /// before any field is believed; all counts are capped.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, StoreError> {
+        if !bytes.len().is_multiple_of(4) {
+            return Err(structure(format!(
+                "length {} is not a multiple of 4 (torn write)",
+                bytes.len()
+            )));
+        }
+        let words: Vec<u32> = bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        // Shortest possible manifest: header (8 words) + meta count +
+        // digest.
+        if words.len() < 10 {
+            return Err(structure(format!("only {} words", words.len())));
+        }
+        let (body, tail) = words.split_at(words.len() - 1);
+        if fnv1a(body) != tail[0] {
+            return Err(StoreError::ManifestIntegrity {
+                reason: "trailing digest mismatch".to_string(),
+            });
+        }
+        let mut r = Reader { words: body, at: 0 };
+        if r.word()? != MAGIC {
+            return Err(structure("bad magic".to_string()));
+        }
+        let version = r.word()?;
+        if version != VERSION {
+            return Err(structure(format!("unsupported version {version}")));
+        }
+        let generation = r.u64()?;
+        let total_rows = r.u64()?;
+        let n_parts = r.word()?;
+        if n_parts > MAX_PARTITIONS {
+            return Err(structure(format!("{n_parts} partitions exceeds cap")));
+        }
+        let n_cols = r.word()?;
+        if n_cols == 0 || n_cols > MAX_COLUMNS {
+            return Err(structure(format!("{n_cols} columns (cap {MAX_COLUMNS})")));
+        }
+        let mut columns = Vec::with_capacity(n_cols as usize);
+        for _ in 0..n_cols {
+            columns.push(r.string()?);
+        }
+        let n_meta = r.word()?;
+        if n_meta > MAX_META {
+            return Err(structure(format!("{n_meta} meta entries exceeds cap")));
+        }
+        let mut meta = Vec::with_capacity(n_meta as usize);
+        for _ in 0..n_meta {
+            let key = r.string()?;
+            let value = r.u64()?;
+            meta.push((key, value));
+        }
+        // Remaining words must be exactly the partition table.
+        let per_part = 1 + 2 * n_cols as usize;
+        let remaining = r.remaining();
+        if remaining != n_parts as usize * per_part {
+            return Err(structure(format!(
+                "partition table has {remaining} words, expected {}",
+                n_parts as usize * per_part
+            )));
+        }
+        let mut partitions = Vec::with_capacity(n_parts as usize);
+        let mut rows_sum = 0u64;
+        for _ in 0..n_parts {
+            let rows = r.word()?;
+            rows_sum += rows as u64;
+            let mut files = Vec::with_capacity(n_cols as usize);
+            for _ in 0..n_cols {
+                let bytes = r.word()?;
+                let digest = r.word()?;
+                files.push(FileEntry { bytes, digest });
+            }
+            partitions.push(PartitionEntry { rows, files });
+        }
+        if rows_sum != total_rows {
+            return Err(structure(format!(
+                "partition rows sum to {rows_sum}, header says {total_rows}"
+            )));
+        }
+        Ok(Manifest {
+            generation,
+            total_rows,
+            columns,
+            meta,
+            partitions,
+        })
+    }
+
+    /// Commit this manifest into `dir` via temp-file + atomic rename.
+    pub fn commit(&self, dir: &Path) -> Result<(), StoreError> {
+        write_atomic(dir, MANIFEST_NAME, &self.to_bytes())
+    }
+}
+
+/// File name of one partition column: `p{part:05}-{column}.g{gen}.tlc`.
+pub fn file_name(generation: u64, partition: usize, column: &str) -> String {
+    format!("p{partition:05}-{column}.g{generation}.tlc")
+}
+
+/// Write `bytes` to `dir/name` crash-safely: write a `name.tmp`
+/// sibling, flush it to disk, then rename over the final name. A crash
+/// before the rename leaves only the `.tmp`, which recovery deletes; a
+/// crash after leaves the complete file. (The directory entry itself
+/// is not fsync'd — see DESIGN.md §13 for what the simulator does and
+/// doesn't model.)
+pub fn write_atomic(dir: &Path, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
+    let tmp = dir.join(format!("{name}.tmp"));
+    let fin = dir.join(name);
+    {
+        use std::io::Write;
+        let mut f = std::fs::File::create(&tmp).map_err(|e| StoreError::io(&tmp, e))?;
+        f.write_all(bytes).map_err(|e| StoreError::io(&tmp, e))?;
+        f.sync_all().map_err(|e| StoreError::io(&tmp, e))?;
+    }
+    std::fs::rename(&tmp, &fin).map_err(|e| StoreError::io(&fin, e))
+}
+
+fn structure(reason: String) -> StoreError {
+    StoreError::ManifestStructure { reason }
+}
+
+fn push_u64(w: &mut Vec<u32>, v: u64) {
+    w.push(v as u32);
+    w.push((v >> 32) as u32);
+}
+
+fn push_str(w: &mut Vec<u32>, s: &str) {
+    let bytes = s.as_bytes();
+    assert!(bytes.len() as u32 <= MAX_NAME_BYTES, "name too long");
+    w.push(bytes.len() as u32);
+    for chunk in bytes.chunks(4) {
+        let mut word = [0u8; 4];
+        word[..chunk.len()].copy_from_slice(chunk);
+        w.push(u32::from_le_bytes(word));
+    }
+}
+
+/// Bounds-checked word reader over the digest-verified body.
+struct Reader<'a> {
+    words: &'a [u32],
+    at: usize,
+}
+
+impl Reader<'_> {
+    fn word(&mut self) -> Result<u32, StoreError> {
+        let w = self
+            .words
+            .get(self.at)
+            .copied()
+            .ok_or_else(|| structure("truncated word stream".to_string()))?;
+        self.at += 1;
+        Ok(w)
+    }
+
+    fn u64(&mut self) -> Result<u64, StoreError> {
+        let lo = self.word()? as u64;
+        let hi = self.word()? as u64;
+        Ok(lo | (hi << 32))
+    }
+
+    fn string(&mut self) -> Result<String, StoreError> {
+        let len = self.word()?;
+        if len > MAX_NAME_BYTES {
+            return Err(structure(format!("name of {len} bytes exceeds cap")));
+        }
+        let n_words = (len as usize).div_ceil(4);
+        let mut bytes = Vec::with_capacity(n_words * 4);
+        for _ in 0..n_words {
+            bytes.extend_from_slice(&self.word()?.to_le_bytes());
+        }
+        bytes.truncate(len as usize);
+        String::from_utf8(bytes).map_err(|_| structure("name is not UTF-8".to_string()))
+    }
+
+    fn remaining(&self) -> usize {
+        self.words.len() - self.at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            generation: 3,
+            total_rows: 700,
+            columns: vec!["orderdate".to_string(), "quantity".to_string()],
+            meta: vec![("ssb.seed".to_string(), 0x55B_2022)],
+            partitions: vec![
+                PartitionEntry {
+                    rows: 400,
+                    files: vec![
+                        FileEntry {
+                            bytes: 1024,
+                            digest: 0xDEAD_BEEF,
+                        },
+                        FileEntry {
+                            bytes: 512,
+                            digest: 0x1234_5678,
+                        },
+                    ],
+                },
+                PartitionEntry {
+                    rows: 300,
+                    files: vec![
+                        FileEntry {
+                            bytes: 900,
+                            digest: 1,
+                        },
+                        FileEntry {
+                            bytes: 48,
+                            digest: 2,
+                        },
+                    ],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let m = sample();
+        let parsed = Manifest::from_bytes(&m.to_bytes()).expect("parses");
+        assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let bytes = sample().to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                Manifest::from_bytes(&bytes[..cut]).is_err(),
+                "prefix of {cut}/{} bytes was accepted",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn every_byte_flip_is_a_typed_error() {
+        let bytes = sample().to_bytes();
+        for pos in 0..bytes.len() {
+            for bit in [0x01u8, 0x80] {
+                let mut dirty = bytes.clone();
+                dirty[pos] ^= bit;
+                assert!(
+                    Manifest::from_bytes(&dirty).is_err(),
+                    "flip at byte {pos} was accepted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn digest_damage_is_integrity_not_structure() {
+        let bytes = sample().to_bytes();
+        let mut dirty = bytes.clone();
+        let mid = dirty.len() / 2;
+        dirty[mid] ^= 0x10;
+        match Manifest::from_bytes(&dirty) {
+            Err(e) => assert!(e.is_integrity(), "{e}"),
+            Ok(_) => panic!("accepted"),
+        }
+    }
+
+    #[test]
+    fn hostile_counts_are_capped() {
+        // A manifest claiming 2^30 partitions must be rejected without
+        // allocating. Build header words directly with a valid digest.
+        let mut w = vec![MAGIC, VERSION, 0, 0, 0, 0, 1 << 30, 1, 0];
+        w.push(fnv1a(&w));
+        let bytes: Vec<u8> = w.iter().flat_map(|x| x.to_le_bytes()).collect();
+        match Manifest::from_bytes(&bytes) {
+            Err(StoreError::ManifestStructure { reason }) => {
+                assert!(
+                    reason.contains("cap") || reason.contains("exceeds"),
+                    "{reason}"
+                )
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

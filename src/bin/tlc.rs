@@ -10,6 +10,10 @@
 //! tlc decompress <input.tlc> <output.bin>
 //! tlc inspect    <input.tlc>
 //! tlc verify     <input.tlc>
+//! tlc verify     --manifest <store-dir>
+//! tlc ingest     <store-dir> [--rows N] [--orders-per-chunk N] [--seed S]
+//! tlc compact    <store-dir> [--merge K]
+//! tlc chaos      [--seed N | --seed A..B] [--rows N]
 //! tlc faultsim   [--seed N]
 //! tlc fuzz       [--seed N | --seed A..B] [--iters M]
 //! tlc profile    (<input.tlc> | --query <q>) [--sf N] [--system S] [--json PATH]
@@ -27,6 +31,19 @@
 //! | 2    | integrity damage (stream digest / block checksum mismatch) |
 //! | 3    | structural or hostile stream (malformed / over-limit metadata) |
 //! | 4    | kernel launch failure |
+//!
+//! `verify --manifest` applies the same contract to a whole `tlc-store`
+//! directory: deep-open recovery (torn-tmp sweep, stale sweep,
+//! whole-file digest scan), then a full walk verifying every
+//! partition's stream digest and per-block checksums, then a
+//! device-side decode of partition 0 to exercise the launch path.
+//!
+//! `ingest` generates an SSB fact table chunk by chunk (bounded
+//! memory) into a crash-safe store; `compact` merges adjacent
+//! partitions under a bumped generation; `chaos` runs the out-of-core
+//! fault campaign — kill-shard, torn partition and flipped bit per
+//! seed — asserting the streamed result and recovery report are
+//! bit-identical at 1 and 4 workers and that the store self-heals.
 //!
 //! `faultsim` runs the seeded fault-injection campaign: sharded SSB
 //! queries with bit flips, transient launch failures and a killed
@@ -51,13 +68,19 @@
 
 use std::process::ExitCode;
 
+use std::path::Path;
+
 use tlc::fuzz::{run_corpus, run_fuzz, FuzzConfig};
 use tlc::planner::{recommend_scheme, ColumnStats};
 use tlc::profile::Profile;
 use tlc::schemes::{DecodeError, EncodedColumn, FormatError, Limits, Scheme};
-use tlc::sim::{Device, FaultPlan};
+use tlc::sim::{set_sim_threads_override, Device, FaultPlan, StorageFaults};
 use tlc::ssb::fleet::run_query_sharded;
-use tlc::ssb::{run_query, run_query_sharded_resilient, LoColumns, QueryId, SsbData, System};
+use tlc::ssb::{
+    run_query, run_query_sharded_resilient, run_query_streamed, LoColumns, QueryId, SsbData,
+    SsbStore, StreamOptions, StreamSpec, System,
+};
+use tlc::store::{Store, StoreError};
 
 fn read_i32_column(path: &str) -> Result<Vec<i32>, String> {
     let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
@@ -242,6 +265,240 @@ fn cmd_verify(input: &str) -> Result<(), CliError> {
         "{input}: ok ({n} values, {}, {} bytes, stream digest + per-block checksums verified)",
         col.scheme().name(),
         col.compressed_bytes(),
+    );
+    Ok(())
+}
+
+/// Map a store failure onto the CLI exit-code contract.
+fn store_err(e: StoreError) -> CliError {
+    CliError {
+        code: e.exit_code(),
+        message: e.to_string(),
+    }
+}
+
+/// `tlc verify --manifest <dir>`: deep-open recovery, full-store walk
+/// (manifest lengths, whole-file digests, stream digests, per-block
+/// checksums), then a device-side decode of partition 0's columns so a
+/// launch-layer failure surfaces as exit code 4.
+fn cmd_verify_manifest(dir: &str) -> Result<(), CliError> {
+    let (store, recovery) = Store::open_deep(Path::new(dir)).map_err(store_err)?;
+    if !recovery.is_clean() {
+        println!("{dir}: recovery: {recovery}");
+        for q in &recovery.quarantined {
+            println!(
+                "  quarantined p{:05} `{}`: {:?}",
+                q.partition, q.column, q.cause
+            );
+        }
+    }
+    let stats = store.verify().map_err(store_err)?;
+    if store.partition_count() > 0 {
+        let dev = Device::v100();
+        for column in &store.manifest().columns {
+            let col = store.load_column(0, column).map_err(store_err)?;
+            col.to_device(&dev).decompress(&dev).map_err(|e| CliError {
+                code: decode_error_code(&e),
+                message: format!("{dir}: partition 0 `{column}`: {e}"),
+            })?;
+        }
+    }
+    println!(
+        "{dir}: ok (generation {}, {} partition(s), {} file(s), {} rows, {} compressed bytes; \
+         every stream digest + per-block checksum verified, partition 0 decoded on device)",
+        store.manifest().generation,
+        stats.partitions,
+        stats.files,
+        stats.rows,
+        stats.bytes,
+    );
+    Ok(())
+}
+
+/// `tlc ingest <dir> [--rows N] [--orders-per-chunk N] [--seed S]`:
+/// generate and commit an SSB fact-table store chunk by chunk.
+fn cmd_ingest(args: &[String]) -> Result<(), CliError> {
+    let mut dir: Option<String> = None;
+    let mut rows: u64 = 1_000_000;
+    let mut orders_per_chunk: usize = 50_000;
+    let mut seed: u64 = 0x55B_2022;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--rows" => {
+                rows = it
+                    .next()
+                    .ok_or("--rows needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--rows: {e}"))?;
+            }
+            "--orders-per-chunk" => {
+                orders_per_chunk = it
+                    .next()
+                    .ok_or("--orders-per-chunk needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--orders-per-chunk: {e}"))?;
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            _ if dir.is_none() && !a.starts_with("--") => dir = Some(a.clone()),
+            other => return Err(format!("unexpected argument '{other}'").into()),
+        }
+    }
+    let dir = dir.ok_or("usage: tlc ingest <store-dir> [--rows N] [...]")?;
+    let spec = StreamSpec::for_rows(seed, rows, orders_per_chunk);
+    let store = SsbStore::ingest(Path::new(&dir), &spec).map_err(store_err)?;
+    let total_rows = store.store().manifest().total_rows;
+    let bytes: u64 = (0..store.store().partition_count())
+        .map(|p| store.store().partition_bytes(p))
+        .sum();
+    println!(
+        "{dir}: committed {} partition(s), {} rows, {} compressed bytes \
+         ({:.3} bytes/row vs 56 plain)",
+        store.store().partition_count(),
+        total_rows,
+        bytes,
+        bytes as f64 / total_rows.max(1) as f64,
+    );
+    Ok(())
+}
+
+/// `tlc compact <dir> [--merge K]`: merge adjacent partitions under a
+/// bumped generation, then sweep the stale files.
+fn cmd_compact(args: &[String]) -> Result<(), CliError> {
+    let mut dir: Option<String> = None;
+    let mut merge: usize = 2;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--merge" => {
+                merge = it
+                    .next()
+                    .ok_or("--merge needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--merge: {e}"))?;
+                if merge == 0 {
+                    return Err("--merge must be >= 1".into());
+                }
+            }
+            _ if dir.is_none() && !a.starts_with("--") => dir = Some(a.clone()),
+            other => return Err(format!("unexpected argument '{other}'").into()),
+        }
+    }
+    let dir = dir.ok_or("usage: tlc compact <store-dir> [--merge K]")?;
+    let (store, report) = tlc::ssb::stream::compact(Path::new(&dir), merge).map_err(store_err)?;
+    println!(
+        "{dir}: {} -> {} partition(s) (generation {}), {} -> {} bytes, \
+         {} stale file(s) swept",
+        report.partitions_before,
+        report.partitions_after,
+        store.store().manifest().generation,
+        report.bytes_before,
+        report.bytes_after,
+        report.stale_files_removed,
+    );
+    Ok(())
+}
+
+/// `tlc chaos [--seed N | --seed A..B] [--rows N]`: the out-of-core
+/// fault campaign. Per seed, one partition's shard is killed mid-query,
+/// one partition file is torn and one is bit-flipped; the streamed
+/// result and recovery report must be bit-identical to the fault-free
+/// run at both 1 and 4 workers, and the store must verify clean (the
+/// damaged files healed in place) afterwards.
+fn cmd_chaos(args: &[String]) -> Result<(), CliError> {
+    let mut seeds: Vec<u64> = (0..4).collect();
+    let mut rows: u64 = 120_000;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                seeds = parse_seed_spec(it.next().ok_or("--seed needs a value")?)?;
+            }
+            "--rows" => {
+                rows = it
+                    .next()
+                    .ok_or("--rows needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--rows: {e}"))?;
+            }
+            other => return Err(format!("unexpected argument '{other}'").into()),
+        }
+    }
+    if seeds.is_empty() {
+        return Err("--seed range is empty".into());
+    }
+
+    let dir = std::env::temp_dir().join(format!("tlc_chaos_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = StreamSpec::for_rows(1, rows, ((rows / 4).max(4) as usize).div_ceil(6));
+    let store = SsbStore::ingest(&dir, &spec).map_err(store_err)?;
+    let n = store.store().partition_count();
+    let q = QueryId::Q11;
+
+    let run_at = |w: usize, plan: Option<FaultPlan>| {
+        set_sim_threads_override(Some(w));
+        let opts = StreamOptions {
+            plan,
+            ..StreamOptions::default()
+        };
+        let run = run_query_streamed(&store, q, &opts).map_err(store_err);
+        set_sim_threads_override(None);
+        run
+    };
+
+    let clean = run_at(1, None)?;
+    let clean4 = run_at(4, None)?;
+    let mut mismatches = 0usize;
+    if clean4.result != clean.result {
+        mismatches += 1;
+        println!("clean: RESULT DIVERGES between 1 and 4 workers");
+    }
+    for &seed in &seeds {
+        let plan = FaultPlan {
+            transient_launch_rate: 0.02,
+            storage: StorageFaults {
+                kill_shard_at_partition: Some(seed as usize % n),
+                truncate_at_partition: Some((seed as usize + 1) % n),
+                flip_bit_at_partition: Some((seed as usize + 2) % n),
+            },
+            ..FaultPlan::seeded(seed)
+        };
+        let one = run_at(1, Some(plan.clone()))?;
+        let four = run_at(4, Some(plan))?;
+        let ok =
+            one.result == clean.result && four.result == clean.result && one.report == four.report;
+        if !ok {
+            mismatches += 1;
+        }
+        println!(
+            "seed {seed}: {} — {}",
+            if ok {
+                "bit-identical at 1 and 4 workers"
+            } else {
+                "MISMATCH"
+            },
+            one.report,
+        );
+        store.store().verify().map_err(|e| CliError {
+            code: e.exit_code(),
+            message: format!("store failed to self-heal after seed {seed}: {e}"),
+        })?;
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    if mismatches > 0 {
+        return Err(format!("{mismatches} campaign(s) diverged from the fault-free run").into());
+    }
+    println!(
+        "chaos: {} seed(s) x {} partition(s), every recovered run bit-identical, \
+         store verified clean after every campaign",
+        seeds.len(),
+        n
     );
     Ok(())
 }
@@ -554,13 +811,19 @@ fn run() -> Result<(), CliError> {
             cmd_decompress(&args[1], &args[2]).map_err(CliError::from)
         }
         Some("inspect") if args.len() == 2 => cmd_inspect(&args[1]).map_err(CliError::from),
+        Some("verify") if args.len() == 3 && args[1] == "--manifest" => {
+            cmd_verify_manifest(&args[2])
+        }
         Some("verify") if args.len() == 2 => cmd_verify(&args[1]),
+        Some("ingest") => cmd_ingest(&args[1..]),
+        Some("compact") => cmd_compact(&args[1..]),
+        Some("chaos") => cmd_chaos(&args[1..]),
         Some("faultsim") => cmd_faultsim(&args[1..]).map_err(CliError::from),
         Some("fuzz") => cmd_fuzz(&args[1..]).map_err(CliError::from),
         Some("profile") => cmd_profile(&args[1..]),
         _ => Err(CliError::from(
-            "usage: tlc <stats|compress|decompress|inspect|verify|faultsim|fuzz|profile> ... \
-             (see --help in README)"
+            "usage: tlc <stats|compress|decompress|inspect|verify|ingest|compact|chaos|\
+             faultsim|fuzz|profile> ... (see --help in README)"
                 .to_string(),
         )),
     }

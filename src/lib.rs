@@ -12,6 +12,9 @@
 //!   hybrid chooser ([`tlc_planner`]).
 //! * [`crystal`] — the tile-based query engine ([`tlc_crystal`]).
 //! * [`ssb`] — the Star Schema Benchmark ([`tlc_ssb`]).
+//! * [`store`] — the crash-safe out-of-core partitioned column store
+//!   ([`tlc_store`]): checksummed manifest with atomic-rename commits,
+//!   torn-write/bit-rot quarantine, generation-tagged compaction.
 //! * [`fuzz`] — offline differential fuzzing of the serialized formats
 //!   ([`tlc_fuzz`]): structure-aware mutation, a
 //!   panic/allocation/divergence oracle, a checked-in regression
@@ -48,3 +51,4 @@ pub use tlc_gpu_sim as sim;
 pub use tlc_planner as planner;
 pub use tlc_profile as profile;
 pub use tlc_ssb as ssb;
+pub use tlc_store as store;
