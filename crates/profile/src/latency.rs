@@ -1,0 +1,213 @@
+//! Latency-percentile aggregation for the serving layer.
+//!
+//! The query service (`tlc-serve`) reports tail latency, not just
+//! means: under overload the p50 can look healthy while the p999 blows
+//! through every deadline. [`LatencyHistogram`] collects per-query
+//! latencies (simulated device seconds or wall milliseconds — the unit
+//! is the caller's) and summarizes them as the standard serving
+//! percentiles p50/p90/p99/p999 plus min/max/mean.
+//!
+//! Percentiles use the **nearest-rank** method on the sorted sample
+//! (`ceil(q * n)`-th smallest): exact, monotone in `q`, and — because
+//! it never interpolates — bit-identical for any accumulation order of
+//! the same multiset of samples. That keeps serving benchmarks
+//! diffable across `TLC_SIM_THREADS` worker counts like every other
+//! artifact in this workspace.
+
+use crate::Json;
+
+/// Collects latency samples and derives percentile summaries.
+///
+/// Samples are kept exactly (no bucketing); serving benchmarks record
+/// at most a few hundred thousand queries, and exactness is what makes
+/// the summary reproducible across runs and thread counts.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyHistogram {
+    samples: Vec<f64>,
+}
+
+/// The percentile summary of one latency population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Smallest sample (0 when empty).
+    pub min: f64,
+    /// Largest sample (0 when empty).
+    pub max: f64,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Median (nearest-rank p50).
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// 99.9th percentile.
+    pub p999: f64,
+}
+
+impl LatencyHistogram {
+    /// New empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one latency sample. Non-finite samples are rejected so a
+    /// poisoned measurement cannot silently corrupt every percentile.
+    pub fn record(&mut self, latency: f64) {
+        if latency.is_finite() {
+            self.samples.push(latency);
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Merge another histogram's samples into this one.
+    pub fn absorb(&mut self, other: &LatencyHistogram) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+
+    /// Nearest-rank percentile `q` in `[0, 1]`: the `ceil(q*n)`-th
+    /// smallest sample (the smallest for `q = 0`). Returns 0 when
+    /// empty.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        sorted[rank - 1]
+    }
+
+    /// Summarize the population (single sort, all percentiles).
+    pub fn summary(&self) -> LatencySummary {
+        if self.samples.is_empty() {
+            return LatencySummary {
+                count: 0,
+                min: 0.0,
+                max: 0.0,
+                mean: 0.0,
+                p50: 0.0,
+                p90: 0.0,
+                p99: 0.0,
+                p999: 0.0,
+            };
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        let rank = |q: f64| sorted[((q * n as f64).ceil() as usize).clamp(1, n) - 1];
+        LatencySummary {
+            count: n,
+            min: sorted[0],
+            max: sorted[n - 1],
+            mean: sorted.iter().sum::<f64>() / n as f64,
+            p50: rank(0.50),
+            p90: rank(0.90),
+            p99: rank(0.99),
+            p999: rank(0.999),
+        }
+    }
+}
+
+impl LatencySummary {
+    /// Serialize as a JSON object fragment (`count`, `min`, `max`,
+    /// `mean`, `p50`, `p90`, `p99`, `p999`) for bench artifacts.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("count", Json::Int(self.count as u64)),
+            ("min", Json::Num(self.min)),
+            ("max", Json::Num(self.max)),
+            ("mean", Json::Num(self.mean)),
+            ("p50", Json::Num(self.p50)),
+            ("p90", Json::Num(self.p90)),
+            ("p99", Json::Num(self.p99)),
+            ("p999", Json::Num(self.p999)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_is_exact_on_small_samples() {
+        let mut h = LatencyHistogram::new();
+        for v in [5.0, 1.0, 4.0, 2.0, 3.0] {
+            h.record(v);
+        }
+        // n=5: p50 -> ceil(2.5)=3rd smallest = 3; p99 -> 5th = 5.
+        assert_eq!(h.percentile(0.50), 3.0);
+        assert_eq!(h.percentile(0.99), 5.0);
+        assert_eq!(h.percentile(0.0), 1.0);
+        assert_eq!(h.percentile(1.0), 5.0);
+        let s = h.summary();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.p50, 3.0);
+        assert_eq!(s.p999, 5.0);
+    }
+
+    #[test]
+    fn order_independent() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let vals: Vec<f64> = (0..1000).map(|i| ((i * 7919) % 1000) as f64).collect();
+        for &v in &vals {
+            a.record(v);
+        }
+        for &v in vals.iter().rev() {
+            b.record(v);
+        }
+        assert_eq!(a.summary(), b.summary());
+    }
+
+    #[test]
+    fn absorb_merges_populations() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(1.0);
+        b.record(2.0);
+        b.record(3.0);
+        a.absorb(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.summary().max, 3.0);
+    }
+
+    #[test]
+    fn empty_and_nonfinite_are_safe() {
+        let mut h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.summary(), LatencyHistogram::new().summary());
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert!(h.is_empty());
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p999, 0.0);
+    }
+
+    #[test]
+    fn json_fragment_has_percentile_keys() {
+        let mut h = LatencyHistogram::new();
+        h.record(1.5);
+        let rendered = h.summary().to_json().render();
+        for key in ["\"count\"", "\"p50\"", "\"p99\"", "\"p999\""] {
+            assert!(rendered.contains(key), "missing {key} in {rendered}");
+        }
+    }
+}

@@ -45,8 +45,10 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod latency;
 
 pub use json::{bench_dir, write_bench_json, Json};
+pub use latency::{LatencyHistogram, LatencySummary};
 
 use tlc_gpu_sim::{Counter, DeviceParams, KernelReport, Phase, PhaseSpans, Traffic};
 

@@ -1,0 +1,275 @@
+//! Per-shard circuit breakers.
+//!
+//! A store partition ("shard") that repeatedly needs recovery — its
+//! device attempts exhaust the transient-retry budget, its files keep
+//! failing digests — is a liability to every query that touches it:
+//! each one pays the full recovery ladder again. The breaker bank
+//! watches the streaming layer's `recovered_partitions` feedback and,
+//! after [`BreakerConfig::failure_threshold`] consecutive recoveries
+//! on one shard, **opens** that shard's breaker: subsequent queries
+//! route around it (the shard is answered by the CPU reference
+//! executor from regenerated rows, via
+//! `StreamOptions::force_cpu_partitions`) instead of re-probing a sick
+//! device path.
+//!
+//! An open breaker cools down for [`BreakerConfig::cooldown_queries`]
+//! completed queries, then goes **half-open**: the next query sends
+//! that one shard down the normal device path as a trial. A clean
+//! trial closes the breaker; another recovery re-opens it for a fresh
+//! cooldown. The classic three-state machine, with "time" measured in
+//! completed queries so the whole bank is deterministic.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Breaker policy knobs.
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Consecutive recoveries on one shard that trip its breaker.
+    /// `usize::MAX` disables breakers entirely (used by tests that
+    /// need the routing to stay static).
+    pub failure_threshold: usize,
+    /// Completed queries an open breaker waits before half-opening.
+    pub cooldown_queries: usize,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown_queries: 8,
+        }
+    }
+}
+
+impl BreakerConfig {
+    /// A bank that never trips (static routing).
+    pub fn disabled() -> Self {
+        BreakerConfig {
+            failure_threshold: usize::MAX,
+            cooldown_queries: usize::MAX,
+        }
+    }
+}
+
+/// One shard's breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal device path; counts consecutive recoveries.
+    Closed {
+        /// Consecutive queries that needed recovery on this shard.
+        consecutive_failures: usize,
+    },
+    /// Routed around; counts down completed queries to half-open.
+    Open {
+        /// Completed queries remaining before a trial is allowed.
+        remaining_cooldown: usize,
+    },
+    /// Next query runs this shard on the device path as a trial.
+    HalfOpen,
+}
+
+/// The bank of per-shard breakers a service instance owns.
+#[derive(Debug)]
+pub struct BreakerBank {
+    cfg: BreakerConfig,
+    shards: BTreeMap<usize, BreakerState>,
+    /// Total trips (Closed/HalfOpen → Open), for metrics.
+    trips: usize,
+    /// Total closes (HalfOpen → Closed), for metrics.
+    closes: usize,
+}
+
+impl BreakerBank {
+    /// Empty bank under `cfg`.
+    pub fn new(cfg: BreakerConfig) -> BreakerBank {
+        BreakerBank {
+            cfg,
+            shards: BTreeMap::new(),
+            trips: 0,
+            closes: 0,
+        }
+    }
+
+    /// Shards the next query must route around (open breakers). Shards
+    /// in half-open state are *not* listed: the next query is their
+    /// trial.
+    pub fn open_partitions(&self) -> BTreeSet<usize> {
+        self.shards
+            .iter()
+            .filter(|(_, s)| matches!(s, BreakerState::Open { .. }))
+            .map(|(&p, _)| p)
+            .collect()
+    }
+
+    /// State of shard `p` (Closed with zero failures if never seen).
+    pub fn state(&self, p: usize) -> BreakerState {
+        *self.shards.get(&p).unwrap_or(&BreakerState::Closed {
+            consecutive_failures: 0,
+        })
+    }
+
+    /// Trips so far (for metrics).
+    pub fn trips(&self) -> usize {
+        self.trips
+    }
+
+    /// Half-open trials that closed a breaker (for metrics).
+    pub fn closes(&self) -> usize {
+        self.closes
+    }
+
+    /// Fold one completed query's shard feedback into the bank:
+    /// `recovered` lists the shards that needed a recovery action,
+    /// `routed` the shards this query was told to route around (their
+    /// breakers don't tick failure or success — they weren't probed).
+    /// Every other shard in `0..partitions` counts as a success. Open
+    /// breakers tick one cooldown step per completed query.
+    pub fn observe(&mut self, partitions: usize, recovered: &[usize], routed: &BTreeSet<usize>) {
+        if self.cfg.failure_threshold == usize::MAX {
+            return;
+        }
+        let recovered: BTreeSet<usize> = recovered.iter().copied().collect();
+        for p in 0..partitions {
+            let state = self.state(p);
+            let next = if routed.contains(&p) {
+                // Not probed: only the cooldown clock moves.
+                match state {
+                    BreakerState::Open {
+                        remaining_cooldown: 0,
+                    } => BreakerState::HalfOpen,
+                    BreakerState::Open { remaining_cooldown } => BreakerState::Open {
+                        remaining_cooldown: remaining_cooldown - 1,
+                    },
+                    other => other,
+                }
+            } else if recovered.contains(&p) {
+                match state {
+                    BreakerState::Closed {
+                        consecutive_failures,
+                    } if consecutive_failures + 1 >= self.cfg.failure_threshold => {
+                        self.trips += 1;
+                        BreakerState::Open {
+                            remaining_cooldown: self.cfg.cooldown_queries,
+                        }
+                    }
+                    BreakerState::Closed {
+                        consecutive_failures,
+                    } => BreakerState::Closed {
+                        consecutive_failures: consecutive_failures + 1,
+                    },
+                    // Failed trial: back to open, fresh cooldown.
+                    BreakerState::HalfOpen | BreakerState::Open { .. } => {
+                        self.trips += 1;
+                        BreakerState::Open {
+                            remaining_cooldown: self.cfg.cooldown_queries,
+                        }
+                    }
+                }
+            } else {
+                match state {
+                    BreakerState::HalfOpen => {
+                        self.closes += 1;
+                        BreakerState::Closed {
+                            consecutive_failures: 0,
+                        }
+                    }
+                    BreakerState::Open {
+                        remaining_cooldown: 0,
+                    } => BreakerState::HalfOpen,
+                    BreakerState::Open { remaining_cooldown } => BreakerState::Open {
+                        remaining_cooldown: remaining_cooldown - 1,
+                    },
+                    BreakerState::Closed { .. } => BreakerState::Closed {
+                        consecutive_failures: 0,
+                    },
+                }
+            };
+            if next
+                != (BreakerState::Closed {
+                    consecutive_failures: 0,
+                })
+            {
+                self.shards.insert(p, next);
+            } else {
+                self.shards.remove(&p);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bank(threshold: usize, cooldown: usize) -> BreakerBank {
+        BreakerBank::new(BreakerConfig {
+            failure_threshold: threshold,
+            cooldown_queries: cooldown,
+        })
+    }
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures() {
+        let mut b = bank(3, 2);
+        let routed = BTreeSet::new();
+        b.observe(4, &[1], &routed);
+        b.observe(4, &[1], &routed);
+        assert!(b.open_partitions().is_empty());
+        b.observe(4, &[1], &routed);
+        assert_eq!(b.open_partitions(), BTreeSet::from([1]));
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let mut b = bank(3, 2);
+        let routed = BTreeSet::new();
+        b.observe(2, &[0], &routed);
+        b.observe(2, &[0], &routed);
+        b.observe(2, &[], &routed); // clean query resets
+        b.observe(2, &[0], &routed);
+        b.observe(2, &[0], &routed);
+        assert!(b.open_partitions().is_empty());
+    }
+
+    #[test]
+    fn cooldown_then_trial_closes_or_reopens() {
+        let mut b = bank(1, 1);
+        b.observe(1, &[0], &BTreeSet::new());
+        assert_eq!(b.open_partitions(), BTreeSet::from([0]));
+        // One routed-around query burns the cooldown…
+        let routed = BTreeSet::from([0]);
+        b.observe(1, &[], &routed);
+        // …the next ticks Open{0} → HalfOpen (still routed this query).
+        b.observe(1, &[], &routed);
+        assert_eq!(b.state(0), BreakerState::HalfOpen);
+        assert!(b.open_partitions().is_empty()); // trial allowed
+                                                 // Clean trial closes it.
+        b.observe(1, &[], &BTreeSet::new());
+        assert_eq!(
+            b.state(0),
+            BreakerState::Closed {
+                consecutive_failures: 0
+            }
+        );
+        assert_eq!(b.closes(), 1);
+        // Trip again; failed trial re-opens with a fresh cooldown.
+        b.observe(1, &[0], &BTreeSet::new());
+        b.observe(1, &[], &routed);
+        b.observe(1, &[], &routed);
+        assert_eq!(b.state(0), BreakerState::HalfOpen);
+        b.observe(1, &[0], &BTreeSet::new());
+        assert!(matches!(b.state(0), BreakerState::Open { .. }));
+        assert_eq!(b.trips(), 3);
+    }
+
+    #[test]
+    fn disabled_bank_never_trips() {
+        let mut b = BreakerBank::new(BreakerConfig::disabled());
+        for _ in 0..100 {
+            b.observe(2, &[0, 1], &BTreeSet::new());
+        }
+        assert!(b.open_partitions().is_empty());
+        assert_eq!(b.trips(), 0);
+    }
+}

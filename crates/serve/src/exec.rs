@@ -1,0 +1,364 @@
+//! The service-side query executor: one [`QuerySpec`] against an
+//! [`SsbStore`], with the full recovery ladder and deadline contract.
+//!
+//! SSB flight queries go straight to the streaming engine
+//! ([`run_query_streamed_bounded`]). Point filters and scans — the
+//! short lookups and long sequential reads in the serving mix — use a
+//! per-partition loop in this module over the same ladders:
+//!
+//! * **storage**: a damaged column file is quarantined by the store on
+//!   load, regenerated from the chunked generator and healed in place;
+//! * **device**: decompress on a partition-private device, fail over
+//!   to a fresh device once, then fall back to the CPU decoder;
+//! * **deadline**: the cumulative simulated device time is checked
+//!   between partitions in partition order (same rule as the
+//!   streaming engine), so a deadline cut is bit-identical at any
+//!   worker count;
+//! * **routing**: partitions in
+//!   [`StreamOptions::force_cpu_partitions`] never touch the disk
+//!   files or a device — they are answered from regenerated rows,
+//!   which is how the breaker bank quarantines a sick shard.
+//!
+//! Scalar aggregation (count + wrapping sum) happens host-side after
+//! the decompress kernel; its cost is negligible next to the decode
+//! and is not separately modelled.
+
+use tlc_core::EncodedColumn;
+use tlc_gpu_sim::Device;
+use tlc_ssb::stream::DeadlinePartial;
+use tlc_ssb::{
+    run_query_streamed_bounded, LoColumn, ResilienceReport, SsbStore, StreamError, StreamOptions,
+};
+use tlc_store::StoreError;
+
+use crate::QuerySpec;
+
+/// The answer payload of a completed query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryAnswer {
+    /// Grouped aggregate rows from a flight query.
+    Groups(Vec<(u64, u64)>),
+    /// Count and wrapping sum from a scan or point filter.
+    Scalar {
+        /// Values matched (scan: all values).
+        count: u64,
+        /// Wrapping sum of the matched values.
+        sum: i64,
+    },
+}
+
+/// Everything a completed execution reports upward to the service.
+#[derive(Debug, Clone)]
+pub struct ExecOutcome {
+    /// The answer.
+    pub answer: QueryAnswer,
+    /// Fact rows covered.
+    pub rows: u64,
+    /// Partitions executed.
+    pub partitions: usize,
+    /// Total simulated device seconds (worker-count independent).
+    pub device_s: f64,
+    /// Faults observed and recovery actions taken.
+    pub report: ResilienceReport,
+    /// Partitions that needed a recovery action, in partition order
+    /// (breaker feedback; forced-CPU partitions are not listed).
+    pub recovered_partitions: Vec<usize>,
+}
+
+/// Execute `spec` under `opts`. Every path terminates: a full
+/// [`ExecOutcome`], a typed deadline rejection with partial progress,
+/// or an unrecoverable storage error.
+pub fn execute(
+    store: &SsbStore,
+    spec: &QuerySpec,
+    opts: &StreamOptions,
+) -> Result<ExecOutcome, StreamError> {
+    match spec {
+        QuerySpec::Flight(q) => {
+            let run = run_query_streamed_bounded(store, *q, opts)?;
+            Ok(ExecOutcome {
+                answer: QueryAnswer::Groups(run.result),
+                rows: run.rows,
+                partitions: run.partitions,
+                device_s: run.device_s,
+                report: run.report,
+                recovered_partitions: run.recovered_partitions,
+            })
+        }
+        QuerySpec::PointFilter { column, value } => {
+            scalar_query(store, *column, Some(*value), opts)
+        }
+        QuerySpec::Scan { column } => scalar_query(store, *column, None, opts),
+    }
+}
+
+/// Count + wrapping sum over `column`, keeping only values equal to
+/// `filter` when set. Sequential over partitions (a serving worker is
+/// one lane; concurrency comes from queries in flight, not from inside
+/// one scalar query).
+fn scalar_query(
+    store: &SsbStore,
+    column: LoColumn,
+    filter: Option<i32>,
+    opts: &StreamOptions,
+) -> Result<ExecOutcome, StreamError> {
+    let n = store.store().partition_count();
+    let mut report = ResilienceReport::default();
+    let mut recovered_partitions = Vec::new();
+    let mut device_s = 0.0f64;
+    let mut rows = 0u64;
+    let mut count = 0u64;
+    let mut sum = 0i64;
+
+    let fold = |values: &[i32], count: &mut u64, sum: &mut i64| {
+        for &v in values {
+            if filter.is_none_or(|want| v == want) {
+                *count += 1;
+                *sum = sum.wrapping_add(v as i64);
+            }
+        }
+    };
+
+    for p in 0..n {
+        let mut part_report = ResilienceReport::default();
+        let (values, part_s, recovered) = scan_partition(store, column, p, opts, &mut part_report)?;
+        if let Some(deadline) = opts.deadline_device_s {
+            if device_s + part_s > deadline {
+                return Err(StreamError::DeadlineExceeded(Box::new(DeadlinePartial {
+                    partitions_completed: p,
+                    partitions: n,
+                    rows_scanned: rows,
+                    device_s,
+                    deadline_device_s: deadline,
+                    report,
+                })));
+            }
+        }
+        device_s += part_s;
+        rows += store.store().rows(p);
+        report.absorb(&part_report);
+        if recovered {
+            recovered_partitions.push(p);
+        }
+        fold(&values, &mut count, &mut sum);
+    }
+
+    Ok(ExecOutcome {
+        answer: QueryAnswer::Scalar { count, sum },
+        rows,
+        partitions: n,
+        device_s,
+        report,
+        recovered_partitions,
+    })
+}
+
+/// One partition of a scalar query: storage ladder, then device
+/// ladder, returning `(values, device_seconds, needed_recovery)`.
+fn scan_partition(
+    store: &SsbStore,
+    column: LoColumn,
+    p: usize,
+    opts: &StreamOptions,
+    report: &mut ResilienceReport,
+) -> Result<(Vec<i32>, f64, bool), StreamError> {
+    if opts.force_cpu_partitions.contains(&p) {
+        report.cpu_fallbacks += 1;
+        let lo = store.regenerate_partition(p);
+        return Ok((lo.column(column).to_vec(), 0.0, false));
+    }
+
+    // Storage ladder (same policy as the streaming engine): damage is
+    // quarantined by the store on load; regenerate deterministically
+    // and heal in place.
+    let mut damaged = false;
+    let enc = match store.store().load_column(p, column.name()) {
+        Ok(enc) => enc,
+        Err(e) if matches!(e, StoreError::Io { .. } | StoreError::UnknownColumn { .. }) => {
+            return Err(e.into());
+        }
+        Err(_) => {
+            damaged = true;
+            report.partitions_quarantined += 1;
+            let lo = store.regenerate_partition(p);
+            let enc = EncodedColumn::encode_best(lo.column(column));
+            if store.store().damage(p, column.name()).is_some() {
+                store.store().heal_column(p, column.name(), &enc)?;
+            }
+            report.partitions_regenerated += 1;
+            enc
+        }
+    };
+
+    // Device ladder: decompress on a partition-private device, fail
+    // over to a fresh device once, fall back to the CPU decoder last.
+    let dev = Device::v100();
+    let dc = enc.to_device(&dev);
+    dev.reset_timeline();
+    if let Ok(buf) = dc.decompress(&dev) {
+        let part_s = dev.elapsed_seconds_scaled(opts.scale);
+        return Ok((buf.as_slice_unaccounted().to_vec(), part_s, damaged));
+    }
+    let mut part_s = dev.elapsed_seconds_scaled(opts.scale);
+    report.shards_failed_over += 1;
+    let fresh = Device::v100();
+    let dc = enc.to_device(&fresh);
+    fresh.reset_timeline();
+    let values = match dc.decompress(&fresh) {
+        Ok(buf) => {
+            part_s = part_s.max(fresh.elapsed_seconds_scaled(opts.scale));
+            buf.as_slice_unaccounted().to_vec()
+        }
+        Err(_) => {
+            report.cpu_fallbacks += 1;
+            enc.decode_cpu()
+        }
+    };
+    Ok((values, part_s, true))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+    use tlc_ssb::StreamSpec;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("tlc_serve_exec_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_store(tag: &str) -> SsbStore {
+        SsbStore::ingest(&tmp_dir(tag), &StreamSpec::for_rows(7, 12_000, 1_000)).expect("ingest")
+    }
+
+    fn cpu_reference(store: &SsbStore, column: LoColumn, filter: Option<i32>) -> (u64, i64) {
+        let mut count = 0u64;
+        let mut sum = 0i64;
+        for p in 0..store.store().partition_count() {
+            for &v in store.regenerate_partition(p).column(column) {
+                if filter.is_none_or(|want| v == want) {
+                    count += 1;
+                    sum = sum.wrapping_add(v as i64);
+                }
+            }
+        }
+        (count, sum)
+    }
+
+    #[test]
+    fn scan_matches_cpu_reference() {
+        let store = small_store("scan");
+        let out = execute(
+            &store,
+            &QuerySpec::Scan {
+                column: LoColumn::Quantity,
+            },
+            &StreamOptions::default(),
+        )
+        .expect("scan");
+        let (count, sum) = cpu_reference(&store, LoColumn::Quantity, None);
+        assert_eq!(out.answer, QueryAnswer::Scalar { count, sum });
+        assert_eq!(out.rows, count);
+        assert!(out.device_s > 0.0);
+        assert!(out.recovered_partitions.is_empty());
+    }
+
+    #[test]
+    fn point_filter_matches_cpu_reference() {
+        let store = small_store("point");
+        let out = execute(
+            &store,
+            &QuerySpec::PointFilter {
+                column: LoColumn::Discount,
+                value: 3,
+            },
+            &StreamOptions::default(),
+        )
+        .expect("point");
+        let (count, sum) = cpu_reference(&store, LoColumn::Discount, Some(3));
+        assert!(count > 0, "fixture must match something");
+        assert_eq!(out.answer, QueryAnswer::Scalar { count, sum });
+    }
+
+    #[test]
+    fn forced_cpu_routing_changes_cost_not_answer() {
+        let store = small_store("route");
+        let spec = QuerySpec::Scan {
+            column: LoColumn::Tax,
+        };
+        let normal = execute(&store, &spec, &StreamOptions::default()).expect("device path");
+        let all: BTreeSet<usize> = (0..store.store().partition_count()).collect();
+        let routed = execute(
+            &store,
+            &spec,
+            &StreamOptions {
+                force_cpu_partitions: all.clone(),
+                ..StreamOptions::default()
+            },
+        )
+        .expect("cpu path");
+        assert_eq!(routed.answer, normal.answer);
+        assert_eq!(routed.device_s, 0.0);
+        assert_eq!(routed.report.cpu_fallbacks, all.len());
+        assert!(routed.recovered_partitions.is_empty());
+    }
+
+    #[test]
+    fn deadline_cuts_scan_deterministically() {
+        let store = small_store("deadline");
+        let spec = QuerySpec::Scan {
+            column: LoColumn::Revenue,
+        };
+        let full = execute(&store, &spec, &StreamOptions::default()).expect("full");
+        let opts = StreamOptions {
+            deadline_device_s: Some(full.device_s * 0.4),
+            ..StreamOptions::default()
+        };
+        match execute(&store, &spec, &opts) {
+            Err(StreamError::DeadlineExceeded(partial)) => {
+                assert!(partial.partitions_completed < full.partitions);
+                assert!(partial.device_s <= partial.deadline_device_s);
+                // The cut is a pure prefix rule: re-running reproduces
+                // it exactly.
+                match execute(&store, &spec, &opts) {
+                    Err(StreamError::DeadlineExceeded(again)) => {
+                        assert_eq!(again.partitions_completed, partial.partitions_completed);
+                        assert_eq!(again.rows_scanned, partial.rows_scanned);
+                        assert_eq!(again.device_s, partial.device_s);
+                    }
+                    other => panic!("expected deadline again, got {other:?}"),
+                }
+            }
+            other => panic!("expected deadline cut, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bit_rot_heals_and_answer_is_unchanged() {
+        let dir = tmp_dir("rot");
+        let spec = StreamSpec::for_rows(11, 12_000, 1_000);
+        let store = SsbStore::ingest(&dir, &spec).expect("ingest");
+        let q = QuerySpec::Scan {
+            column: LoColumn::Quantity,
+        };
+        let clean = execute(&store, &q, &StreamOptions::default()).expect("clean");
+
+        // Rot one committed file, then reopen deep so the damage is
+        // quarantined at open.
+        let path = store.store().path_of(1, "quantity");
+        drop(store);
+        tlc_store::damage::flip_bit(&path, 99).expect("flip");
+        let (store, report) = SsbStore::open_deep(&dir).expect("reopen");
+        assert_eq!(report.quarantined.len(), 1);
+
+        let healed = execute(&store, &q, &StreamOptions::default()).expect("healed run");
+        assert_eq!(healed.answer, clean.answer);
+        assert_eq!(healed.report.partitions_regenerated, 1);
+        assert_eq!(healed.recovered_partitions, vec![1]);
+        // Healed in place: a second run is clean.
+        let again = execute(&store, &q, &StreamOptions::default()).expect("after heal");
+        assert_eq!(again.report, ResilienceReport::default());
+    }
+}

@@ -1,0 +1,435 @@
+//! Open-loop workload generation and tail-latency reporting.
+//!
+//! An **open-loop** generator fires requests on a Poisson arrival
+//! clock regardless of whether earlier requests finished — the
+//! arrival pattern that actually produces overload, unlike a
+//! closed-loop "wait for the answer, then ask again" driver whose
+//! offered load self-throttles to the service's capacity.
+//!
+//! Everything is measured in *simulated* time, in two phases:
+//!
+//! 1. **Measure** — every generated request is executed through a real
+//!    [`Service`] (deterministic configuration: breakers and tiers
+//!    pinned) to obtain its service time `device_s + backoff_s` and
+//!    terminal outcome. Service times are a pure function of the
+//!    request and the store, so this phase is reproducible at any
+//!    `TLC_SIM_THREADS`.
+//! 2. **Queue model** — a deterministic FIFO simulation replays the
+//!    arrival sequence against [`LoadgenConfig::servers`] virtual
+//!    lanes and the service's admission bound
+//!    ([`LoadgenConfig::queue_capacity`]): a request that arrives with
+//!    the waiting line full is shed as `Rejected::Overloaded`, exactly
+//!    the live admission rule. Sojourn latency is queue wait plus
+//!    service time.
+//!
+//! Splitting measurement from queueing keeps the reported
+//! p50/p99/p999 bit-identical across runs and host thread counts —
+//! real thread interleaving never leaks into the artifact — while
+//! still exercising the full service path (admission, retries,
+//! executors) for every request.
+
+use std::sync::Arc;
+
+use tlc_profile::{Json, LatencyHistogram, LatencySummary};
+use tlc_rng::Rng;
+use tlc_ssb::{LoColumn, QueryId, SsbStore};
+
+use crate::service::{ServeConfig, Service};
+use crate::{Outcome, QuerySpec, Request};
+
+/// Workload class weights (any non-negative integers; all zero falls
+/// back to scans only).
+#[derive(Debug, Clone, Copy)]
+pub struct Mix {
+    /// SSB flight-1 queries (q1.1–q1.3).
+    pub flight: u32,
+    /// Point filters on low-cardinality columns.
+    pub point: u32,
+    /// Full-column scans.
+    pub scan: u32,
+}
+
+impl Default for Mix {
+    fn default() -> Self {
+        Mix {
+            flight: 2,
+            point: 5,
+            scan: 3,
+        }
+    }
+}
+
+/// Load-generator knobs.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// PRNG seed for arrivals and the workload mix.
+    pub seed: u64,
+    /// Requests to generate.
+    pub requests: usize,
+    /// Offered arrival rate, queries per simulated second.
+    pub arrival_rate_qps: f64,
+    /// Virtual service lanes in the queue model (the live service's
+    /// worker count).
+    pub servers: usize,
+    /// Admission bound in the queue model (the live service's
+    /// `queue_capacity`).
+    pub queue_capacity: usize,
+    /// Device-time budget attached to every request (`None`: no
+    /// deadlines in the workload).
+    pub deadline_device_s: Option<f64>,
+    /// Class weights.
+    pub mix: Mix,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            seed: 7,
+            requests: 200,
+            arrival_rate_qps: 50.0,
+            servers: 2,
+            queue_capacity: 16,
+            deadline_device_s: None,
+            mix: Mix::default(),
+        }
+    }
+}
+
+/// Latency summary of one workload class.
+#[derive(Debug, Clone)]
+pub struct ClassReport {
+    /// Class label ("flight", "point", "scan").
+    pub class: String,
+    /// Sojourn-latency summary of the class's admitted terminals.
+    pub latency: LatencySummary,
+}
+
+/// The full report of one load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Requests generated.
+    pub requests: usize,
+    /// Offered arrival rate (config echo).
+    pub offered_qps: f64,
+    /// Requests shed by the admission bound in the queue model.
+    pub rejected_overloaded: usize,
+    /// Admitted requests that completed.
+    pub completed: usize,
+    /// Admitted requests cut by their deadline.
+    pub deadline_exceeded: usize,
+    /// Admitted requests that exhausted retries.
+    pub failed: usize,
+    /// Terminals per simulated second of makespan — the saturation
+    /// throughput the service actually sustained.
+    pub saturation_qps: f64,
+    /// Sojourn latency (queue wait + service) over admitted terminals.
+    pub latency: LatencySummary,
+    /// Service time only (no queue wait), same population.
+    pub service: LatencySummary,
+    /// Per-class sojourn latency.
+    pub per_class: Vec<ClassReport>,
+}
+
+impl LoadgenReport {
+    /// Serialize as the `tlc-serving/v1` bench artifact:
+    /// percentile rows keyed by `workload`, latencies in simulated
+    /// seconds (lower is better — `scripts/bench_compare` knows).
+    pub fn to_json(&self) -> Json {
+        let row = |label: &str, s: &LatencySummary| {
+            Json::Obj(vec![
+                ("workload", Json::Str(label.to_string())),
+                ("count", Json::Int(s.count as u64)),
+                ("mean", Json::Num(s.mean)),
+                ("p50", Json::Num(s.p50)),
+                ("p90", Json::Num(s.p90)),
+                ("p99", Json::Num(s.p99)),
+                ("p999", Json::Num(s.p999)),
+            ])
+        };
+        let mut rows = vec![row("all", &self.latency), row("service", &self.service)];
+        for c in &self.per_class {
+            rows.push(row(&c.class, &c.latency));
+        }
+        Json::Obj(vec![
+            ("schema", Json::Str("tlc-serving/v1".to_string())),
+            ("requests", Json::Int(self.requests as u64)),
+            ("offered_qps", Json::Num(self.offered_qps)),
+            (
+                "rejected_overloaded",
+                Json::Int(self.rejected_overloaded as u64),
+            ),
+            ("completed", Json::Int(self.completed as u64)),
+            (
+                "deadline_exceeded",
+                Json::Int(self.deadline_exceeded as u64),
+            ),
+            ("failed", Json::Int(self.failed as u64)),
+            ("saturation_qps", Json::Num(self.saturation_qps)),
+            ("rows", Json::Arr(rows)),
+        ])
+    }
+}
+
+/// One generated request with its virtual arrival time.
+struct GenRequest {
+    arrival_s: f64,
+    class: &'static str,
+    req: Request,
+}
+
+/// Deterministically generate the arrival sequence and workload mix.
+fn generate(cfg: &LoadgenConfig) -> Vec<GenRequest> {
+    let mut rng = Rng::seed_from_u64(cfg.seed ^ 0x10AD_6E4E);
+    let mut t = 0.0f64;
+    let total_w = (cfg.mix.flight + cfg.mix.point + cfg.mix.scan).max(1);
+    // Low-cardinality columns where equality filters select something.
+    const POINT_COLS: [(LoColumn, i32, i32); 3] = [
+        (LoColumn::Discount, 0, 11),
+        (LoColumn::Quantity, 1, 51),
+        (LoColumn::Tax, 0, 9),
+    ];
+    const SCAN_COLS: [LoColumn; 4] = [
+        LoColumn::Revenue,
+        LoColumn::ExtendedPrice,
+        LoColumn::Quantity,
+        LoColumn::SupplyCost,
+    ];
+    const FLIGHT1: [QueryId; 3] = [QueryId::Q11, QueryId::Q12, QueryId::Q13];
+    (0..cfg.requests)
+        .map(|i| {
+            // Exponential interarrival (Poisson process).
+            let u = rng.gen_f64();
+            t += -(1.0 - u).ln() / cfg.arrival_rate_qps.max(1e-9);
+            let draw = rng.bounded_u64(total_w as u64) as u32;
+            let (class, query) = if draw < cfg.mix.flight {
+                (
+                    "flight",
+                    QuerySpec::Flight(FLIGHT1[rng.bounded_u64(FLIGHT1.len() as u64) as usize]),
+                )
+            } else if draw < cfg.mix.flight + cfg.mix.point {
+                let (col, lo, hi) = POINT_COLS[rng.bounded_u64(POINT_COLS.len() as u64) as usize];
+                (
+                    "point",
+                    QuerySpec::PointFilter {
+                        column: col,
+                        value: rng.gen_range(lo..hi),
+                    },
+                )
+            } else {
+                (
+                    "scan",
+                    QuerySpec::Scan {
+                        column: SCAN_COLS[rng.bounded_u64(SCAN_COLS.len() as u64) as usize],
+                    },
+                )
+            };
+            let mut req = Request::new(i as u64, query);
+            req.deadline_device_s = cfg.deadline_device_s;
+            GenRequest {
+                arrival_s: t,
+                class,
+                req,
+            }
+        })
+        .collect()
+}
+
+/// Run the generator against `store` and report tail latency.
+pub fn run_loadgen(store: &Arc<SsbStore>, cfg: &LoadgenConfig) -> LoadgenReport {
+    let gen = generate(cfg);
+
+    // Phase 1: measure service time + outcome for every request
+    // through a real (deterministically configured) service.
+    let svc = Service::start(
+        Arc::clone(store),
+        ServeConfig {
+            queue_capacity: cfg.requests.max(1),
+            ..ServeConfig::deterministic()
+        },
+    );
+    let mut measured = Vec::with_capacity(gen.len());
+    for g in &gen {
+        let ticket = svc.submit(g.req.clone()).expect("measurement queue sized");
+        let resp = ticket.wait();
+        measured.push((resp.latency_s(), resp.outcome));
+    }
+    svc.shutdown();
+
+    // Phase 2: deterministic k-server FIFO queue with the admission
+    // bound, over the virtual arrival clock.
+    let k = cfg.servers.max(1);
+    let mut server_free = vec![0.0f64; k];
+    let mut admitted_starts: Vec<f64> = Vec::new();
+    let mut rejected_overloaded = 0usize;
+    let (mut completed, mut deadline_exceeded, mut failed) = (0usize, 0usize, 0usize);
+    let mut latency = LatencyHistogram::new();
+    let mut service_only = LatencyHistogram::new();
+    let mut per_class: Vec<(&'static str, LatencyHistogram)> = vec![
+        ("flight", LatencyHistogram::new()),
+        ("point", LatencyHistogram::new()),
+        ("scan", LatencyHistogram::new()),
+    ];
+    let mut last_finish = 0.0f64;
+
+    for (g, (service_s, outcome)) in gen.iter().zip(&measured) {
+        // Waiting line at this arrival: admitted jobs that have not
+        // started yet. Shed when it is at capacity — the live
+        // service's admission rule.
+        let waiting = admitted_starts.iter().filter(|&&s| s > g.arrival_s).count();
+        if waiting >= cfg.queue_capacity {
+            rejected_overloaded += 1;
+            continue;
+        }
+        // Earliest-free lane; FIFO start.
+        let lane = server_free
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .expect("k >= 1");
+        let start = server_free[lane].max(g.arrival_s);
+        let finish = start + service_s;
+        server_free[lane] = finish;
+        admitted_starts.push(start);
+        last_finish = last_finish.max(finish);
+
+        match outcome {
+            Outcome::Completed(_) => completed += 1,
+            Outcome::DeadlineExceeded(_) => deadline_exceeded += 1,
+            Outcome::Failed { .. } => failed += 1,
+        }
+        let sojourn = (start - g.arrival_s) + service_s;
+        latency.record(sojourn);
+        service_only.record(*service_s);
+        if let Some((_, h)) = per_class.iter_mut().find(|(c, _)| *c == g.class) {
+            h.record(sojourn);
+        }
+    }
+
+    let terminals = completed + deadline_exceeded + failed;
+    let makespan = last_finish.max(f64::EPSILON);
+    LoadgenReport {
+        requests: cfg.requests,
+        offered_qps: cfg.arrival_rate_qps,
+        rejected_overloaded,
+        completed,
+        deadline_exceeded,
+        failed,
+        saturation_qps: terminals as f64 / makespan,
+        latency: latency.summary(),
+        service: service_only.summary(),
+        per_class: per_class
+            .into_iter()
+            .filter(|(_, h)| !h.is_empty())
+            .map(|(c, h)| ClassReport {
+                class: c.to_string(),
+                latency: h.summary(),
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlc_ssb::StreamSpec;
+
+    fn small_store(tag: &str) -> Arc<SsbStore> {
+        let dir =
+            std::env::temp_dir().join(format!("tlc_serve_loadgen_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Arc::new(SsbStore::ingest(&dir, &StreamSpec::for_rows(3, 12_000, 1_000)).expect("ingest"))
+    }
+
+    #[test]
+    fn arrivals_are_deterministic_and_mixed() {
+        let cfg = LoadgenConfig {
+            requests: 64,
+            ..LoadgenConfig::default()
+        };
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.len(), 64);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.arrival_s, y.arrival_s);
+            assert_eq!(x.req.query, y.req.query);
+        }
+        assert!(a.windows(2).all(|w| w[0].arrival_s < w[1].arrival_s));
+        for class in ["flight", "point", "scan"] {
+            assert!(
+                a.iter().any(|g| g.class == class),
+                "mix must include {class}"
+            );
+        }
+    }
+
+    #[test]
+    fn report_is_reproducible_and_balanced() {
+        let store = small_store("repro");
+        let cfg = LoadgenConfig {
+            requests: 24,
+            arrival_rate_qps: 2_000.0,
+            queue_capacity: 4,
+            ..LoadgenConfig::default()
+        };
+        let a = run_loadgen(&store, &cfg);
+        let b = run_loadgen(&store, &cfg);
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(a.rejected_overloaded, b.rejected_overloaded);
+        assert_eq!(a.saturation_qps, b.saturation_qps);
+        assert_eq!(
+            a.completed + a.deadline_exceeded + a.failed + a.rejected_overloaded,
+            cfg.requests
+        );
+        assert!(a.latency.p999 >= a.latency.p50);
+        assert!(a.saturation_qps > 0.0);
+    }
+
+    #[test]
+    fn overload_sheds_and_waits_grow_with_offered_load() {
+        let store = small_store("overload");
+        let slow = run_loadgen(
+            &store,
+            &LoadgenConfig {
+                requests: 32,
+                arrival_rate_qps: 0.01, // idle: no queueing
+                queue_capacity: 2,
+                ..LoadgenConfig::default()
+            },
+        );
+        let fast = run_loadgen(
+            &store,
+            &LoadgenConfig {
+                requests: 32,
+                arrival_rate_qps: 1e6, // instantaneous burst
+                queue_capacity: 2,
+                ..LoadgenConfig::default()
+            },
+        );
+        assert_eq!(slow.rejected_overloaded, 0);
+        assert!(fast.rejected_overloaded > 0, "burst must shed");
+        assert!(fast.latency.p99 >= slow.latency.p99);
+    }
+
+    #[test]
+    fn json_artifact_has_percentile_rows() {
+        let store = small_store("json");
+        let r = run_loadgen(
+            &store,
+            &LoadgenConfig {
+                requests: 12,
+                ..LoadgenConfig::default()
+            },
+        );
+        let rendered = r.to_json().render();
+        for key in [
+            "tlc-serving/v1",
+            "\"workload\": \"all\"",
+            "\"workload\": \"service\"",
+            "\"p999\"",
+            "\"saturation_qps\"",
+        ] {
+            assert!(rendered.contains(key), "missing {key} in:\n{rendered}");
+        }
+    }
+}

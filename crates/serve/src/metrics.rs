@@ -1,0 +1,164 @@
+//! Service observability: terminal-state counters and tail latency.
+//!
+//! Counters are lock-free atomics bumped on the worker paths; the
+//! latency population lives behind a mutex and feeds
+//! [`tlc_profile::LatencyHistogram`], so a snapshot renders the same
+//! p50/p90/p99/p999 summary (and the same JSON fragment) as every
+//! other bench artifact in the workspace. Counter semantics follow the
+//! terminal-state contract: `admitted = completed + deadline_exceeded
+//! + failed` once the service has drained, and
+//! `submitted = admitted + rejected_overloaded + rejected_shutdown`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use tlc_profile::{Json, LatencyHistogram, LatencySummary};
+
+/// Live counters owned by a running service (shared with its workers).
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests offered to `submit`.
+    pub submitted: AtomicU64,
+    /// Requests that entered the queue.
+    pub admitted: AtomicU64,
+    /// Typed `Rejected::Overloaded` sheds.
+    pub rejected_overloaded: AtomicU64,
+    /// Typed `Rejected::ShuttingDown` refusals.
+    pub rejected_shutdown: AtomicU64,
+    /// Terminal `Outcome::Completed`.
+    pub completed: AtomicU64,
+    /// Terminal `Outcome::DeadlineExceeded`.
+    pub deadline_exceeded: AtomicU64,
+    /// Terminal `Outcome::Failed` (retry budget exhausted).
+    pub failed: AtomicU64,
+    /// Re-executions after a storage error (attempts beyond the first).
+    pub retries: AtomicU64,
+    /// Circuit-breaker trips (shard taken off the device path).
+    pub breaker_trips: AtomicU64,
+    /// Breakers closed again after a clean half-open trial.
+    pub breaker_closes: AtomicU64,
+    /// Degradation-tier transitions (either direction).
+    pub tier_transitions: AtomicU64,
+    /// Latency population of terminal queries (simulated seconds).
+    pub latency: Mutex<LatencyHistogram>,
+}
+
+impl Metrics {
+    /// Record one terminal query latency.
+    pub fn record_latency(&self, latency_s: f64) {
+        self.latency.lock().expect("metrics lock").record(latency_s);
+    }
+
+    /// Point-in-time copy of every counter plus the latency summary.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            submitted: load(&self.submitted),
+            admitted: load(&self.admitted),
+            rejected_overloaded: load(&self.rejected_overloaded),
+            rejected_shutdown: load(&self.rejected_shutdown),
+            completed: load(&self.completed),
+            deadline_exceeded: load(&self.deadline_exceeded),
+            failed: load(&self.failed),
+            retries: load(&self.retries),
+            breaker_trips: load(&self.breaker_trips),
+            breaker_closes: load(&self.breaker_closes),
+            tier_transitions: load(&self.tier_transitions),
+            latency: self.latency.lock().expect("metrics lock").summary(),
+        }
+    }
+}
+
+/// Frozen view of [`Metrics`] for reporting and assertions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Requests offered to `submit`.
+    pub submitted: u64,
+    /// Requests that entered the queue.
+    pub admitted: u64,
+    /// Typed overload sheds.
+    pub rejected_overloaded: u64,
+    /// Typed shutdown refusals.
+    pub rejected_shutdown: u64,
+    /// Terminal completions.
+    pub completed: u64,
+    /// Terminal deadline rejections.
+    pub deadline_exceeded: u64,
+    /// Terminal failures.
+    pub failed: u64,
+    /// Retry attempts beyond the first execution.
+    pub retries: u64,
+    /// Breaker trips.
+    pub breaker_trips: u64,
+    /// Breaker closes.
+    pub breaker_closes: u64,
+    /// Tier transitions.
+    pub tier_transitions: u64,
+    /// Latency percentiles over terminal queries.
+    pub latency: LatencySummary,
+}
+
+impl MetricsSnapshot {
+    /// Terminal outcomes accounted for.
+    pub fn terminals(&self) -> u64 {
+        self.completed + self.deadline_exceeded + self.failed
+    }
+
+    /// True when every admitted query reached exactly one terminal
+    /// state and every submission is accounted for — the invariant the
+    /// chaos-under-load test pins.
+    pub fn is_balanced(&self) -> bool {
+        self.admitted == self.terminals()
+            && self.submitted == self.admitted + self.rejected_overloaded + self.rejected_shutdown
+    }
+
+    /// JSON object for bench artifacts and `tlc serve` output.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("submitted", Json::Int(self.submitted)),
+            ("admitted", Json::Int(self.admitted)),
+            ("rejected_overloaded", Json::Int(self.rejected_overloaded)),
+            ("rejected_shutdown", Json::Int(self.rejected_shutdown)),
+            ("completed", Json::Int(self.completed)),
+            ("deadline_exceeded", Json::Int(self.deadline_exceeded)),
+            ("failed", Json::Int(self.failed)),
+            ("retries", Json::Int(self.retries)),
+            ("breaker_trips", Json::Int(self.breaker_trips)),
+            ("breaker_closes", Json::Int(self.breaker_closes)),
+            ("tier_transitions", Json::Int(self.tier_transitions)),
+            ("latency", self.latency.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_balances_and_renders() {
+        let m = Metrics::default();
+        m.submitted.store(5, Ordering::Relaxed);
+        m.admitted.store(3, Ordering::Relaxed);
+        m.rejected_overloaded.store(2, Ordering::Relaxed);
+        m.completed.store(2, Ordering::Relaxed);
+        m.deadline_exceeded.store(1, Ordering::Relaxed);
+        m.record_latency(0.25);
+        let s = m.snapshot();
+        assert!(s.is_balanced());
+        assert_eq!(s.terminals(), 3);
+        let rendered = s.to_json().render();
+        for key in ["\"admitted\"", "\"rejected_overloaded\"", "\"p999\""] {
+            assert!(rendered.contains(key), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn unbalanced_books_are_detected() {
+        let m = Metrics::default();
+        m.submitted.store(2, Ordering::Relaxed);
+        m.admitted.store(2, Ordering::Relaxed);
+        m.completed.store(1, Ordering::Relaxed);
+        assert!(!m.snapshot().is_balanced());
+    }
+}

@@ -1,0 +1,589 @@
+//! The concurrent service: bounded admission queue, worker pool,
+//! retry/backoff, and the wiring between executor feedback and the
+//! breaker bank / health machine.
+//!
+//! Concurrency is plain std: the queue is a `Mutex<VecDeque>` with a
+//! `Condvar`, workers are OS threads, and each admitted request owns a
+//! one-shot `mpsc` channel that delivers its single [`Response`].
+//! There is deliberately no async runtime — the workspace has no
+//! dependency budget for one, and a worker pool over a bounded queue
+//! *is* the admission-control story: the queue bound is the only
+//! backpressure mechanism, and it sheds typed rejections instead of
+//! building an unbounded backlog.
+//!
+//! **Exactly-one-response invariant**: `submit` either returns a typed
+//! [`Rejected`] (the request never entered the system) or enqueues a
+//! job whose worker sends exactly one [`Response`] on every code path
+//! — completion, deadline, or retry exhaustion. [`Service::shutdown`]
+//! first stops admissions, then wakes the workers to drain what is
+//! already queued, then joins them; nothing admitted is ever dropped.
+//!
+//! Backoff is *simulated*: a retry adds jittered exponential seconds
+//! to the query's reported latency instead of sleeping the worker
+//! (device time is simulated everywhere else in the workspace, and a
+//! real sleep would add nondeterministic wall time to a deterministic
+//! quantity). The jitter PRNG is keyed by request id and attempt, so a
+//! replayed request reports a bit-identical backoff schedule.
+
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use tlc_rng::Rng;
+use tlc_ssb::{SsbStore, StreamError, StreamOptions};
+
+use crate::breaker::{BreakerBank, BreakerConfig};
+use crate::exec::execute;
+use crate::health::{HealthConfig, HealthMachine, Tier};
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::{Outcome, Rejected, Request, Response};
+
+/// Service policy knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads executing queries.
+    pub workers: usize,
+    /// Bounded admission queue: requests arriving with this many jobs
+    /// already waiting are shed with [`Rejected::Overloaded`].
+    pub queue_capacity: usize,
+    /// Re-executions allowed after a storage error (0: fail fast).
+    pub max_retries: usize,
+    /// First backoff step in simulated seconds; step `k` waits
+    /// `base * 2^(k-1)`, scaled by jitter.
+    pub backoff_base_s: f64,
+    /// Jitter fraction in `[0, 1]`: step `k` is multiplied by
+    /// `1 + jitter * u` with `u` uniform in `[0, 1)` from the
+    /// request-keyed PRNG.
+    pub backoff_jitter: f64,
+    /// Per-shard circuit-breaker policy.
+    pub breaker: BreakerConfig,
+    /// Degradation-tier policy.
+    pub health: HealthConfig,
+    /// Base streaming options (budget, scale). Deadlines, fault plans
+    /// and forced-CPU routing are layered on per request.
+    pub stream: StreamOptions,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 64,
+            max_retries: 2,
+            backoff_base_s: 0.010,
+            backoff_jitter: 0.5,
+            breaker: BreakerConfig::default(),
+            health: HealthConfig::default(),
+            stream: StreamOptions::default(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// A configuration whose adaptive feedback (breakers, tiers) is
+    /// pinned off, so routing is static and every response depends
+    /// only on its own request — what determinism tests want.
+    pub fn deterministic() -> Self {
+        ServeConfig {
+            breaker: BreakerConfig::disabled(),
+            health: HealthConfig::disabled(),
+            ..ServeConfig::default()
+        }
+    }
+}
+
+/// One admitted job: the request plus its response channel.
+struct Job {
+    req: Request,
+    tx: mpsc::Sender<Response>,
+}
+
+/// Queue state guarded by the mutex half of the condvar pair.
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutting_down: bool,
+}
+
+/// Everything shared between the handle and the workers.
+struct Shared {
+    store: Arc<SsbStore>,
+    cfg: ServeConfig,
+    queue: Mutex<QueueState>,
+    cv: Condvar,
+    breakers: Mutex<BreakerBank>,
+    health: Mutex<HealthMachine>,
+    metrics: Metrics,
+}
+
+/// Receipt for one admitted request; redeem with [`Ticket::wait`].
+pub struct Ticket {
+    rx: mpsc::Receiver<Response>,
+}
+
+impl Ticket {
+    /// Block until the query's single terminal [`Response`] arrives.
+    pub fn wait(self) -> Response {
+        self.rx.recv().expect("worker always sends one response")
+    }
+}
+
+/// A running query service over one [`SsbStore`].
+pub struct Service {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Service {
+    /// Start `cfg.workers` worker threads over `store`.
+    pub fn start(store: Arc<SsbStore>, cfg: ServeConfig) -> Service {
+        let shared = Arc::new(Shared {
+            store,
+            breakers: Mutex::new(BreakerBank::new(cfg.breaker.clone())),
+            health: Mutex::new(HealthMachine::new(cfg.health.clone())),
+            metrics: Metrics::default(),
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutting_down: false,
+            }),
+            cv: Condvar::new(),
+            cfg,
+        });
+        let workers = (0..shared.cfg.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Service { shared, workers }
+    }
+
+    /// Offer a request to the admission gate. `Ok` means a worker now
+    /// owes exactly one [`Response`] on the returned ticket; `Err` is
+    /// the request's typed terminal state (it never entered the queue).
+    pub fn submit(&self, req: Request) -> Result<Ticket, Rejected> {
+        let m = &self.shared.metrics;
+        m.submitted.fetch_add(1, Ordering::Relaxed);
+        let mut q = self.shared.queue.lock().expect("queue lock");
+        if q.shutting_down {
+            m.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+            return Err(Rejected::ShuttingDown);
+        }
+        if q.jobs.len() >= self.shared.cfg.queue_capacity {
+            m.rejected_overloaded.fetch_add(1, Ordering::Relaxed);
+            return Err(Rejected::Overloaded {
+                queue_depth: q.jobs.len(),
+                capacity: self.shared.cfg.queue_capacity,
+            });
+        }
+        m.admitted.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        q.jobs.push_back(Job { req, tx });
+        drop(q);
+        self.shared.cv.notify_one();
+        Ok(Ticket { rx })
+    }
+
+    /// Jobs currently waiting (diagnostics; racy by nature).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.lock().expect("queue lock").jobs.len()
+    }
+
+    /// Current degradation tier.
+    pub fn tier(&self) -> Tier {
+        self.shared.health.lock().expect("health lock").tier()
+    }
+
+    /// Shards currently routed around by open breakers.
+    pub fn routed_around(&self) -> BTreeSet<usize> {
+        self.shared
+            .breakers
+            .lock()
+            .expect("breaker lock")
+            .open_partitions()
+    }
+
+    /// Counter snapshot (callable while serving).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Stop admissions, drain every queued job, join the workers, and
+    /// return the final counter snapshot. Every admitted request has
+    /// received its response when this returns.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        {
+            let mut q = self.shared.queue.lock().expect("queue lock");
+            q.shutting_down = true;
+        }
+        self.shared.cv.notify_all();
+        for h in self.workers.drain(..) {
+            h.join().expect("worker panicked");
+        }
+        self.shared.metrics.snapshot()
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        if self.workers.is_empty() {
+            return; // shutdown() already joined
+        }
+        {
+            let mut q = self.shared.queue.lock().expect("queue lock");
+            q.shutting_down = true;
+        }
+        self.shared.cv.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Jittered exponential backoff for retry step `attempt` (1-based),
+/// deterministic in `(request id, attempt)`.
+fn backoff_s(cfg: &ServeConfig, req_id: u64, attempt: usize) -> f64 {
+    let exp = cfg.backoff_base_s * (1u64 << (attempt - 1).min(10)) as f64;
+    let mut rng = Rng::seed_from_u64(req_id ^ 0xBACC_0FF5 ^ (attempt as u64) << 32);
+    exp * (1.0 + cfg.backoff_jitter.clamp(0.0, 1.0) * rng.gen_f64())
+}
+
+/// Worker: pop → execute with retries → send the one response. Exits
+/// when shutdown is flagged and the queue is drained.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break job;
+                }
+                if q.shutting_down {
+                    return;
+                }
+                q = shared.cv.wait(q).expect("queue lock");
+            }
+        };
+        let response = run_job(shared, job.req);
+        record_terminal(shared, &response);
+        // A caller that dropped its ticket just doesn't read the
+        // response; the terminal state is still counted above.
+        let _ = job.tx.send(response);
+    }
+}
+
+/// Count the terminal outcome and its latency.
+fn record_terminal(shared: &Shared, r: &Response) {
+    let m = &shared.metrics;
+    match &r.outcome {
+        Outcome::Completed(_) => m.completed.fetch_add(1, Ordering::Relaxed),
+        Outcome::DeadlineExceeded(_) => m.deadline_exceeded.fetch_add(1, Ordering::Relaxed),
+        Outcome::Failed { .. } => m.failed.fetch_add(1, Ordering::Relaxed),
+    };
+    m.record_latency(r.latency_s());
+}
+
+/// Execute one request to its single terminal state.
+fn run_job(shared: &Shared, req: Request) -> Response {
+    let cfg = &shared.cfg;
+    let mut attempts = 0usize;
+    let mut backoff_total = 0.0f64;
+    let mut last_report = Default::default();
+    loop {
+        attempts += 1;
+
+        // Route and degrade per current feedback state.
+        let routed = shared
+            .breakers
+            .lock()
+            .expect("breaker lock")
+            .open_partitions();
+        let (tier, budget) = {
+            let h = shared.health.lock().expect("health lock");
+            (h.tier(), h.effective_budget(cfg.stream.budget_bytes))
+        };
+        let mut force_cpu = cfg.stream.force_cpu_partitions.clone();
+        force_cpu.extend(routed.iter().copied());
+        if tier == Tier::CpuOnly {
+            force_cpu.extend(0..shared.store.store().partition_count());
+        }
+        let opts = StreamOptions {
+            budget_bytes: budget,
+            scale: cfg.stream.scale,
+            plan: req.plan.clone(),
+            deadline_device_s: req.deadline_device_s,
+            force_cpu_partitions: force_cpu,
+        };
+
+        match execute(&shared.store, &req.query, &opts) {
+            Ok(out) => {
+                feed_back(shared, out.partitions, &out.recovered_partitions, &routed);
+                return Response {
+                    id: req.id,
+                    outcome: Outcome::Completed(out),
+                    attempts,
+                    backoff_s: backoff_total,
+                    tier,
+                    routed_around: routed,
+                };
+            }
+            Err(StreamError::DeadlineExceeded(partial)) => {
+                // A deadline is a terminal contract with the caller,
+                // not a fault: no retry, no breaker feedback (the
+                // completed prefix ran clean or its recoveries are in
+                // the partial report).
+                let struck = partial.report.recoveries() > 0;
+                shared.health.lock().expect("health lock").observe(struck);
+                return Response {
+                    id: req.id,
+                    outcome: Outcome::DeadlineExceeded(partial),
+                    attempts,
+                    backoff_s: backoff_total,
+                    tier,
+                    routed_around: routed,
+                };
+            }
+            Err(StreamError::Store(e)) => {
+                let h = &shared.metrics;
+                let transitions_before = {
+                    let mut health = shared.health.lock().expect("health lock");
+                    let before = health.transitions();
+                    health.observe(true);
+                    before
+                };
+                bump_transitions(shared, transitions_before);
+                if attempts > cfg.max_retries {
+                    return Response {
+                        id: req.id,
+                        outcome: Outcome::Failed {
+                            error: e.to_string(),
+                            report: std::mem::take(&mut last_report),
+                        },
+                        attempts,
+                        backoff_s: backoff_total,
+                        tier,
+                        routed_around: routed,
+                    };
+                }
+                h.retries.fetch_add(1, Ordering::Relaxed);
+                backoff_total += backoff_s(cfg, req.id, attempts);
+            }
+        }
+    }
+}
+
+/// Fold executor feedback into the breaker bank and health machine,
+/// keeping the trip/transition counters in the metrics current.
+fn feed_back(shared: &Shared, partitions: usize, recovered: &[usize], routed: &BTreeSet<usize>) {
+    {
+        let mut bank = shared.breakers.lock().expect("breaker lock");
+        let (trips0, closes0) = (bank.trips(), bank.closes());
+        bank.observe(partitions, recovered, routed);
+        let m = &shared.metrics;
+        m.breaker_trips
+            .fetch_add((bank.trips() - trips0) as u64, Ordering::Relaxed);
+        m.breaker_closes
+            .fetch_add((bank.closes() - closes0) as u64, Ordering::Relaxed);
+    }
+    let transitions_before = {
+        let mut health = shared.health.lock().expect("health lock");
+        let before = health.transitions();
+        health.observe(!recovered.is_empty());
+        before
+    };
+    bump_transitions(shared, transitions_before);
+}
+
+/// Publish any new tier transitions to the metrics.
+fn bump_transitions(shared: &Shared, before: usize) {
+    let after = shared.health.lock().expect("health lock").transitions();
+    shared
+        .metrics
+        .tier_transitions
+        .fetch_add((after - before) as u64, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{QueryAnswer, QuerySpec};
+    use tlc_ssb::{LoColumn, QueryId, StreamSpec};
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("tlc_serve_service_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_store(tag: &str) -> Arc<SsbStore> {
+        Arc::new(
+            SsbStore::ingest(&tmp_dir(tag), &StreamSpec::for_rows(7, 12_000, 1_000))
+                .expect("ingest"),
+        )
+    }
+
+    #[test]
+    fn serves_a_mixed_batch_with_balanced_books() {
+        let store = small_store("mixed");
+        let svc = Service::start(Arc::clone(&store), ServeConfig::deterministic());
+        let mut tickets = Vec::new();
+        for id in 0..6u64 {
+            let query = match id % 3 {
+                0 => QuerySpec::Flight(QueryId::Q11),
+                1 => QuerySpec::PointFilter {
+                    column: LoColumn::Discount,
+                    value: 4,
+                },
+                _ => QuerySpec::Scan {
+                    column: LoColumn::Quantity,
+                },
+            };
+            tickets.push(svc.submit(Request::new(id, query)).expect("admitted"));
+        }
+        for t in tickets {
+            let r = t.wait();
+            assert!(
+                matches!(r.outcome, Outcome::Completed(_)),
+                "{:?}",
+                r.outcome
+            );
+            assert_eq!(r.attempts, 1);
+            assert_eq!(r.backoff_s, 0.0);
+        }
+        let m = svc.shutdown();
+        assert!(m.is_balanced(), "{m:?}");
+        assert_eq!(m.completed, 6);
+        assert_eq!(m.latency.count, 6);
+    }
+
+    #[test]
+    fn full_queue_sheds_typed_overload() {
+        let store = small_store("shed");
+        let cfg = ServeConfig {
+            workers: 1,
+            queue_capacity: 1,
+            ..ServeConfig::deterministic()
+        };
+        let svc = Service::start(Arc::clone(&store), cfg);
+        // Saturate: the worker takes one job, one waits, the rest shed.
+        let mut tickets = Vec::new();
+        let mut sheds = 0usize;
+        for id in 0..16u64 {
+            match svc.submit(Request::new(
+                id,
+                QuerySpec::Scan {
+                    column: LoColumn::Tax,
+                },
+            )) {
+                Ok(t) => tickets.push(t),
+                Err(Rejected::Overloaded {
+                    queue_depth,
+                    capacity,
+                }) => {
+                    assert_eq!(capacity, 1);
+                    assert!(queue_depth >= capacity);
+                    sheds += 1;
+                }
+                Err(other) => panic!("unexpected rejection {other:?}"),
+            }
+        }
+        assert!(sheds > 0, "submitting 16 jobs against capacity 1 must shed");
+        for t in tickets {
+            t.wait();
+        }
+        let m = svc.shutdown();
+        assert!(m.is_balanced(), "{m:?}");
+        assert_eq!(m.rejected_overloaded, sheds as u64);
+    }
+
+    #[test]
+    fn shutdown_drains_admitted_jobs_then_refuses() {
+        let store = small_store("drain");
+        let svc = Service::start(Arc::clone(&store), ServeConfig::deterministic());
+        let t = svc
+            .submit(Request::new(
+                1,
+                QuerySpec::Scan {
+                    column: LoColumn::LineNumber,
+                },
+            ))
+            .expect("admitted");
+        let m = svc.shutdown();
+        assert_eq!(m.completed, 1);
+        let r = t.wait();
+        assert!(matches!(r.outcome, Outcome::Completed(_)));
+    }
+
+    #[test]
+    fn deadline_query_terminates_with_partial_progress() {
+        let store = small_store("deadline");
+        let svc = Service::start(Arc::clone(&store), ServeConfig::deterministic());
+        let mut req = Request::new(
+            9,
+            QuerySpec::Scan {
+                column: LoColumn::Revenue,
+            },
+        );
+        req.deadline_device_s = Some(1e-9);
+        let r = svc.submit(req).expect("admitted").wait();
+        match &r.outcome {
+            Outcome::DeadlineExceeded(p) => {
+                assert_eq!(p.partitions_completed, 0);
+                assert!(p.deadline_device_s <= 1e-9);
+            }
+            other => panic!("expected deadline, got {other:?}"),
+        }
+        let m = svc.shutdown();
+        assert_eq!(m.deadline_exceeded, 1);
+        assert!(m.is_balanced());
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_bounded() {
+        let cfg = ServeConfig::default();
+        let mut total = 0.0;
+        for attempt in 1..=cfg.max_retries {
+            let a = backoff_s(&cfg, 42, attempt);
+            let b = backoff_s(&cfg, 42, attempt);
+            assert_eq!(a, b, "same (id, attempt) must replay the same jitter");
+            assert!(a >= cfg.backoff_base_s * (1 << (attempt - 1)) as f64);
+            assert!(a <= cfg.backoff_base_s * (1 << (attempt - 1)) as f64 * 2.0);
+            total += a;
+        }
+        // Closed-form bound: sum base*2^k*(1+jitter) over the budget.
+        let bound = cfg.backoff_base_s * ((1 << cfg.max_retries) - 1) as f64 * 2.0;
+        assert!(total <= bound);
+        // Different ids draw different jitter.
+        assert_ne!(backoff_s(&cfg, 1, 1), backoff_s(&cfg, 2, 1));
+    }
+
+    #[test]
+    fn identical_requests_get_identical_answers_across_workers() {
+        let store = small_store("det");
+        let spec = QuerySpec::Flight(QueryId::Q11);
+        let answer_of = |workers: usize| {
+            let cfg = ServeConfig {
+                workers,
+                ..ServeConfig::deterministic()
+            };
+            let svc = Service::start(Arc::clone(&store), cfg);
+            let tickets: Vec<Ticket> = (0..4)
+                .map(|id| svc.submit(Request::new(id, spec.clone())).expect("admit"))
+                .collect();
+            let answers: Vec<QueryAnswer> = tickets
+                .into_iter()
+                .map(|t| match t.wait().outcome {
+                    Outcome::Completed(out) => out.answer,
+                    other => panic!("expected completion, got {other:?}"),
+                })
+                .collect();
+            svc.shutdown();
+            answers
+        };
+        let one = answer_of(1);
+        let four = answer_of(4);
+        assert_eq!(one, four);
+        assert!(one.windows(2).all(|w| w[0] == w[1]));
+    }
+}

@@ -42,5 +42,10 @@ pub mod stream;
 pub use encode::{LoColumns, System};
 pub use gen::{LoColumn, SsbData, StreamSpec};
 pub use queries::{run_query, try_run_query, QueryId};
-pub use resilience::{run_query_sharded_resilient, ResilienceReport, ResilientRun};
-pub use stream::{run_query_streamed, SsbStore, StreamOptions, StreamedRun};
+pub use resilience::{
+    run_query_sharded_resilient, ResilienceReport, ResilientRun, MAX_TRANSIENT_RETRIES,
+};
+pub use stream::{
+    run_query_streamed, run_query_streamed_bounded, DeadlinePartial, SsbStore, StreamError,
+    StreamOptions, StreamedRun,
+};

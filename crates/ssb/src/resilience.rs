@@ -45,6 +45,15 @@ pub struct ResilienceReport {
     pub devices_lost: usize,
     /// Query attempts re-run after a transient launch failure.
     pub transient_retries: usize,
+    /// Attempts abandoned because the transient-retry budget
+    /// ([`MAX_TRANSIENT_RETRIES`]) ran out while the launch was still
+    /// failing. This is a **stable terminal reason**: serving-layer
+    /// policy (circuit breakers, degradation tiers) keys on this
+    /// counter instead of string-matching the returned error, and it is
+    /// distinct from a *persistent* fault (corruption / device loss),
+    /// which surfaces through `corrupt_tiles_detected` /
+    /// `devices_lost` instead.
+    pub retries_exhausted: usize,
     /// Typed corruption rejections (checksum mismatch or malformed
     /// structure) observed while decoding tiles.
     pub corrupt_tiles_detected: usize,
@@ -92,6 +101,7 @@ impl ResilienceReport {
         self.transient_failures_injected += other.transient_failures_injected;
         self.devices_lost += other.devices_lost;
         self.transient_retries += other.transient_retries;
+        self.retries_exhausted += other.retries_exhausted;
         self.corrupt_tiles_detected += other.corrupt_tiles_detected;
         self.shards_failed_over += other.shards_failed_over;
         self.cpu_fallbacks += other.cpu_fallbacks;
@@ -105,13 +115,14 @@ impl std::fmt::Display for ResilienceReport {
         write!(
             f,
             "injected: {} bit flips, {} transients, {} device(s) lost; \
-             recovered: {} retries, {} corrupt tiles detected, \
+             recovered: {} retries ({} exhausted), {} corrupt tiles detected, \
              {} shard failovers, {} CPU fallbacks, \
              {} partitions quarantined, {} regenerated",
             self.bit_flips_injected,
             self.transient_failures_injected,
             self.devices_lost,
             self.transient_retries,
+            self.retries_exhausted,
             self.corrupt_tiles_detected,
             self.shards_failed_over,
             self.cpu_fallbacks,
@@ -139,7 +150,17 @@ pub fn run_query_checked(
                 retries += 1;
                 report.transient_retries += 1;
             }
-            Err(e) => return Err(e),
+            Err(e) => {
+                // Record the terminal reason in the report so callers
+                // (notably the serving layer's circuit breaker) can
+                // tell "the retry budget ran out on a still-transient
+                // fault" apart from "the fault persisted" without
+                // inspecting the error text.
+                if e.is_transient() {
+                    report.retries_exhausted += 1;
+                }
+                return Err(e);
+            }
         }
     }
 }

@@ -23,8 +23,24 @@
 //! the full [`ResilienceReport`] are bit-identical at any worker count
 //! and any fault seed. Only host wall-clock and the worker-assignment
 //! time fields vary with `TLC_SIM_THREADS`.
+//!
+//! **Deadlines** (the serving layer's latency contract): a query can
+//! carry a *device-time budget* ([`StreamOptions::deadline_device_s`]).
+//! The partition loop checks the budget **between partitions**, in
+//! partition order, against the cumulative simulated device time — so
+//! the cut point is a pure function of the data and the fault plan,
+//! bit-identical at any worker count — and returns a typed
+//! [`StreamError::DeadlineExceeded`] carrying the partial-progress
+//! stats ([`DeadlinePartial`], reusing [`ResilienceReport`]) instead of
+//! a result. A query with no deadline behaves exactly as before.
+//!
+//! **Routing around shards**: the serving layer's per-shard circuit
+//! breaker can take partitions off the device path entirely
+//! ([`StreamOptions::force_cpu_partitions`]); those partitions are
+//! answered by the CPU reference executor from regenerated rows,
+//! without touching the (possibly damaged) on-disk files or a device.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
 
 use tlc_core::{DecodeError, EncodedColumn};
@@ -105,43 +121,58 @@ impl SsbStore {
     }
 
     fn from_store(store: Store) -> Result<SsbStore, StoreError> {
-        let meta = |key: &str| {
-            store
-                .manifest()
-                .meta_u64(key)
-                .ok_or_else(|| StoreError::ManifestStructure {
-                    reason: format!("missing metadata key `{key}`"),
-                })
-        };
-        let spec = StreamSpec {
-            seed: meta(META_SEED)?,
-            orders_per_chunk: meta(META_ORDERS_PER_CHUNK)? as usize,
-            chunks: meta(META_CHUNKS)? as usize,
-            n_cust: meta(META_N_CUST)? as usize,
-            n_supp: meta(META_N_SUPP)? as usize,
-            n_part: meta(META_N_PART)? as usize,
-        };
-        let factor = meta(META_CHUNK_FACTOR)? as usize;
-        if factor == 0 || spec.orders_per_chunk == 0 {
-            return Err(StoreError::ManifestStructure {
-                reason: "zero chunk factor or orders per chunk".to_string(),
-            });
+        SsbStore::from_open(store).map_err(|e| e.1)
+    }
+
+    /// Wrap an already-opened [`Store`] whose manifest carries the
+    /// generation spec. On failure the store is handed back untouched
+    /// (boxed, to keep the error variant small), so a caller (e.g.
+    /// `tlc verify --manifest`) can fall back to the generic,
+    /// non-regenerable walk without re-running recovery.
+    pub fn from_open(store: Store) -> Result<SsbStore, Box<(Store, StoreError)>> {
+        let parsed = (|| -> Result<(StreamSpec, usize), StoreError> {
+            let meta = |key: &str| {
+                store
+                    .manifest()
+                    .meta_u64(key)
+                    .ok_or_else(|| StoreError::ManifestStructure {
+                        reason: format!("missing metadata key `{key}`"),
+                    })
+            };
+            let spec = StreamSpec {
+                seed: meta(META_SEED)?,
+                orders_per_chunk: meta(META_ORDERS_PER_CHUNK)? as usize,
+                chunks: meta(META_CHUNKS)? as usize,
+                n_cust: meta(META_N_CUST)? as usize,
+                n_supp: meta(META_N_SUPP)? as usize,
+                n_part: meta(META_N_PART)? as usize,
+            };
+            let factor = meta(META_CHUNK_FACTOR)? as usize;
+            if factor == 0 || spec.orders_per_chunk == 0 {
+                return Err(StoreError::ManifestStructure {
+                    reason: "zero chunk factor or orders per chunk".to_string(),
+                });
+            }
+            let expect = spec.chunks.div_ceil(factor);
+            if store.partition_count() != expect {
+                return Err(StoreError::ManifestStructure {
+                    reason: format!(
+                        "{} partitions but spec implies {expect} ({} chunks / factor {factor})",
+                        store.partition_count(),
+                        spec.chunks
+                    ),
+                });
+            }
+            Ok((spec, factor))
+        })();
+        match parsed {
+            Ok((spec, factor)) => Ok(SsbStore {
+                store,
+                spec,
+                factor,
+            }),
+            Err(e) => Err(Box::new((store, e))),
         }
-        let expect = spec.chunks.div_ceil(factor);
-        if store.partition_count() != expect {
-            return Err(StoreError::ManifestStructure {
-                reason: format!(
-                    "{} partitions but spec implies {expect} ({} chunks / factor {factor})",
-                    store.partition_count(),
-                    spec.chunks
-                ),
-            });
-        }
-        Ok(SsbStore {
-            store,
-            spec,
-            factor,
-        })
     }
 
     /// The underlying store.
@@ -172,6 +203,41 @@ impl SsbStore {
             lo.extend_from(&self.spec.chunk(c));
         }
         lo
+    }
+
+    /// Regenerate and heal every column currently in the store's
+    /// damage ledger (quarantined at open or on a failed read),
+    /// returning the number of files healed. Because regeneration is
+    /// deterministic, every healed file reproduces the committed
+    /// digest exactly — a store that heals here verifies clean
+    /// afterwards, which is why `tlc verify --manifest` exits 0 for a
+    /// quarantine-and-healed run.
+    pub fn heal_damaged(&self) -> Result<usize, StoreError> {
+        let damaged = self.store.damaged_entries();
+        if damaged.is_empty() {
+            return Ok(0);
+        }
+        let mut by_partition: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+        for d in damaged {
+            by_partition.entry(d.partition).or_default().push(d.column);
+        }
+        let mut healed = 0usize;
+        for (p, columns) in by_partition {
+            let lo = self.regenerate_partition(p);
+            for name in columns {
+                let col = LoColumn::ALL
+                    .iter()
+                    .copied()
+                    .find(|c| c.name() == name)
+                    .ok_or_else(|| StoreError::UnknownColumn {
+                        column: name.clone(),
+                    })?;
+                let encoded = EncodedColumn::encode_best(lo.column(col));
+                self.store.heal_column(p, &name, &encoded)?;
+                healed += 1;
+            }
+        }
+        Ok(healed)
     }
 
     /// Re-encode the named columns of a regenerated partition exactly
@@ -216,6 +282,19 @@ pub struct StreamOptions {
     /// with a PRNG seeded by `plan.seed` mixed with the partition
     /// index, so the campaign is identical at any worker count.
     pub plan: Option<FaultPlan>,
+    /// Device-time budget for the whole query, in simulated seconds.
+    /// Checked between partitions in partition order against the
+    /// cumulative per-partition device time, so the cut point is
+    /// bit-identical at any worker count. `None` (the default) means
+    /// no deadline.
+    pub deadline_device_s: Option<f64>,
+    /// Partitions the caller wants answered by the CPU reference
+    /// executor from regenerated rows, without touching a device or
+    /// the on-disk files — the serving layer's circuit breaker routes
+    /// around a sick shard this way. Each hit counts as a
+    /// `cpu_fallbacks` recovery in the report and contributes zero
+    /// device seconds to the deadline budget.
+    pub force_cpu_partitions: BTreeSet<usize>,
 }
 
 impl Default for StreamOptions {
@@ -224,6 +303,8 @@ impl Default for StreamOptions {
             budget_bytes: 256 << 20,
             scale: 1.0,
             plan: None,
+            deadline_device_s: None,
+            force_cpu_partitions: BTreeSet::new(),
         }
     }
 }
@@ -255,6 +336,13 @@ pub struct StreamedRun {
     pub merge_s: f64,
     /// Injected faults and recovery actions, folded in partition order.
     pub report: ResilienceReport,
+    /// Partition indices that needed any recovery action (storage
+    /// quarantine/regeneration, device failover or CPU fallback), in
+    /// partition order. The serving layer's per-shard circuit breaker
+    /// feeds on this; forced-CPU partitions
+    /// ([`StreamOptions::force_cpu_partitions`]) are *not* listed —
+    /// being routed around is policy, not a new failure.
+    pub recovered_partitions: Vec<usize>,
 }
 
 impl StreamedRun {
@@ -264,14 +352,110 @@ impl StreamedRun {
     }
 }
 
+/// Partial-progress stats carried by a typed deadline rejection: what
+/// the query got through before its device-time budget ran out.
+#[derive(Debug, Clone)]
+pub struct DeadlinePartial {
+    /// Partitions fully executed and folded before the cut.
+    pub partitions_completed: usize,
+    /// Partitions the full query would have covered.
+    pub partitions: usize,
+    /// Fact rows covered by the completed partitions.
+    pub rows_scanned: u64,
+    /// Cumulative simulated device seconds over the completed
+    /// partitions (the budget consumed).
+    pub device_s: f64,
+    /// The budget that was exceeded.
+    pub deadline_device_s: f64,
+    /// Faults and recovery actions over the completed partitions.
+    pub report: ResilienceReport,
+}
+
+/// A streamed query that did not produce a full result: either the
+/// store failed in a way the recovery ladder cannot absorb, or the
+/// query's device-time deadline fired between partitions.
+#[derive(Debug)]
+pub enum StreamError {
+    /// Unrecoverable storage failure.
+    Store(StoreError),
+    /// The per-query deadline fired; partial-progress stats attached.
+    DeadlineExceeded(Box<DeadlinePartial>),
+}
+
+impl From<StoreError> for StreamError {
+    fn from(e: StoreError) -> Self {
+        StreamError::Store(e)
+    }
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Store(e) => write!(f, "{e}"),
+            StreamError::DeadlineExceeded(p) => write!(
+                f,
+                "deadline exceeded after {}/{} partition(s) ({} rows, \
+                 {:.6}s of {:.6}s device budget)",
+                p.partitions_completed,
+                p.partitions,
+                p.rows_scanned,
+                p.device_s,
+                p.deadline_device_s,
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Store(e) => Some(e),
+            StreamError::DeadlineExceeded(_) => None,
+        }
+    }
+}
+
 /// Run `q` against every partition of `store`, streaming under
 /// `opts.budget_bytes`, recovering per the module policy, and merging
-/// partial aggregates in partition order.
+/// partial aggregates in partition order. Deadline-free compatibility
+/// wrapper around [`run_query_streamed_bounded`].
 pub fn run_query_streamed(
     store: &SsbStore,
     q: QueryId,
     opts: &StreamOptions,
 ) -> Result<StreamedRun, StoreError> {
+    match run_query_streamed_bounded(store, q, opts) {
+        Ok(run) => Ok(run),
+        Err(StreamError::Store(e)) => Err(e),
+        Err(StreamError::DeadlineExceeded(p)) => {
+            // Callers of the legacy signature cannot express a
+            // deadline response; they also cannot set a deadline
+            // through this path, so this arm is unreachable unless
+            // opts carried one anyway — surface it as a structural
+            // error rather than losing it.
+            Err(StoreError::ManifestStructure {
+                reason: format!("deadline exceeded in deadline-free wrapper: {p:?}"),
+            })
+        }
+    }
+}
+
+/// [`run_query_streamed`] with the full terminal-state surface: a
+/// complete [`StreamedRun`], a typed [`StreamError::DeadlineExceeded`]
+/// with partial-progress stats, or an unrecoverable storage error.
+///
+/// With a deadline armed, partitions are processed in **waves** of at
+/// most `workers`; the budget check runs between partitions in
+/// partition order over per-partition simulated device time, which is
+/// worker-count independent — so the set of completed partitions, the
+/// partial stats and any full result are bit-identical at any
+/// `TLC_SIM_THREADS`. (Work already in flight past the cut inside the
+/// final wave is discarded deterministically.)
+pub fn run_query_streamed_bounded(
+    store: &SsbStore,
+    q: QueryId,
+    opts: &StreamOptions,
+) -> Result<StreamedRun, StreamError> {
     let n = store.store().partition_count();
     let needed = q.columns();
     let dims = store.spec().dims();
@@ -300,23 +484,60 @@ pub fn run_query_streamed(
         .map_or(usize::MAX, |cap| cap.max(1) as usize);
     let workers = tlc_gpu_sim::sim_threads().min(budget_cap).min(n.max(1));
 
-    let outcomes = map_partitions(n, workers, |p| process_partition(store, &dims, p, q, opts));
-
     let mut report = ResilienceReport::default();
     let mut merged: BTreeMap<u64, u64> = BTreeMap::new();
     let mut merge_bytes = 0u64;
     let mut device_s = 0.0f64;
+    let mut rows_scanned = 0u64;
     let mut part_times = Vec::with_capacity(n);
-    for outcome in outcomes {
-        let (result, part_s, part_report) = outcome?;
-        device_s += part_s;
-        part_times.push(part_s);
-        report.absorb(&part_report);
-        merge_bytes += result.len() as u64 * 16;
-        for (g, v) in result {
-            let e = merged.entry(g).or_insert(0);
-            *e = e.wrapping_add(v);
+    let mut recovered_partitions = Vec::new();
+
+    let mut next = 0usize;
+    while next < n {
+        // Without a deadline, one wave covers everything (identical to
+        // the pre-deadline executor); with one, waves of `workers` keep
+        // the between-partition budget check close to the work.
+        let hi = if opts.deadline_device_s.is_some() {
+            (next + workers).min(n)
+        } else {
+            n
+        };
+        let outcomes = map_partitions(next, hi, workers, |p| {
+            process_partition(store, &dims, p, q, opts)
+        });
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            let p = next + i;
+            let (result, part_s, part_report, recovered) = outcome?;
+            if let Some(deadline) = opts.deadline_device_s {
+                if device_s + part_s > deadline {
+                    // The cut partition (and any wave siblings past
+                    // it) are discarded: partial progress covers
+                    // exactly the partitions whose cumulative device
+                    // time fits the budget, at any worker count.
+                    return Err(StreamError::DeadlineExceeded(Box::new(DeadlinePartial {
+                        partitions_completed: p,
+                        partitions: n,
+                        rows_scanned,
+                        device_s,
+                        deadline_device_s: deadline,
+                        report,
+                    })));
+                }
+            }
+            device_s += part_s;
+            rows_scanned += store.store().rows(p);
+            part_times.push(part_s);
+            report.absorb(&part_report);
+            if recovered {
+                recovered_partitions.push(p);
+            }
+            merge_bytes += result.len() as u64 * 16;
+            for (g, v) in result {
+                let e = merged.entry(g).or_insert(0);
+                *e = e.wrapping_add(v);
+            }
         }
+        next = hi;
     }
     let ranges = tlc_gpu_sim::partitions(n, 1, workers);
     let slowest_worker_s = ranges
@@ -335,6 +556,7 @@ pub fn run_query_streamed(
         slowest_worker_s,
         merge_s,
         report,
+        recovered_partitions,
     })
 }
 
@@ -385,9 +607,21 @@ fn process_partition(
     p: usize,
     q: QueryId,
     opts: &StreamOptions,
-) -> Result<(Vec<(u64, u64)>, f64, ResilienceReport), StoreError> {
+) -> Result<(Vec<(u64, u64)>, f64, ResilienceReport, bool), StoreError> {
     let mut report = ResilienceReport::default();
     let needed = q.columns();
+
+    // Degraded-mode routing: a partition whose shard is marked
+    // CPU-only (circuit open, device tier lost) skips the device
+    // entirely and answers from regenerated rows on the host. Zero
+    // device time; not counted as "recovered" — nothing failed here,
+    // the service chose the route.
+    if opts.force_cpu_partitions.contains(&p) {
+        report.cpu_fallbacks += 1;
+        let mut part_data = dims.clone();
+        part_data.lineorder = store.regenerate_partition(p);
+        return Ok((run_reference(&part_data, q), 0.0, report, false));
+    }
 
     if let Some(plan) = &opts.plan {
         if !plan.storage.is_empty() {
@@ -454,7 +688,7 @@ fn process_partition(
     let mut part_s = dev.elapsed_seconds_scaled(opts.scale);
     report.absorb_device(&dev);
     let err = match outcome {
-        Ok(result) => return Ok((result, part_s, report)),
+        Ok(result) => return Ok((result, part_s, report, damaged)),
         Err(e) => e,
     };
     if matches!(
@@ -485,17 +719,26 @@ fn process_partition(
             run_reference(&part_data, q)
         }
     };
-    Ok((result, part_s, report))
+    Ok((result, part_s, report, true))
 }
 
-/// Map `f` over partition indices on `workers` host threads, returning
-/// results **in partition order** (mirrors `fleet::map_shards`; callers
-/// fold the ordered results serially, keeping every streamed report
-/// deterministic for any worker count).
-fn map_partitions<T: Send>(n: usize, workers: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
-    let ranges = tlc_gpu_sim::partitions(n, 1, workers);
+/// Map `f` over partition indices `lo..hi` on `workers` host threads,
+/// returning results **in partition order** (mirrors
+/// `fleet::map_shards`; callers fold the ordered results serially,
+/// keeping every streamed report deterministic for any worker count).
+fn map_partitions<T: Send>(
+    lo: usize,
+    hi: usize,
+    workers: usize,
+    f: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
+    let n = hi - lo;
+    let ranges: Vec<(usize, usize)> = tlc_gpu_sim::partitions(n, 1, workers)
+        .into_iter()
+        .map(|(a, b)| (lo + a, lo + b))
+        .collect();
     if ranges.len() <= 1 {
-        return (0..n).map(f).collect();
+        return (lo..hi).map(f).collect();
     }
     std::thread::scope(|scope| {
         let handles: Vec<_> = ranges

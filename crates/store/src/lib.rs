@@ -145,6 +145,7 @@ impl StoreError {
             self,
             StoreError::ManifestIntegrity { .. }
                 | StoreError::PartitionDigest { .. }
+                | StoreError::HealMismatch { .. }
                 | StoreError::PartitionFormat {
                     source: FormatError::StreamChecksum | FormatError::ChecksumMismatch { .. },
                     ..

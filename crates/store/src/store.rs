@@ -234,6 +234,21 @@ impl Store {
         self.damaged_lock().len()
     }
 
+    /// Snapshot of the damage ledger as `(partition, column, cause)`
+    /// triples in `(partition, column)` order — the work list a healing
+    /// pass (e.g. `tlc-ssb`'s regenerate-and-heal) walks to bring a
+    /// recovered store back to a clean verify.
+    pub fn damaged_entries(&self) -> Vec<Quarantined> {
+        self.damaged_lock()
+            .iter()
+            .map(|(&(partition, c), cause)| Quarantined {
+                partition,
+                column: self.manifest.columns[c].clone(),
+                cause: cause.clone(),
+            })
+            .collect()
+    }
+
     fn damaged_lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<(usize, usize), DamageCause>> {
         self.damaged.lock().unwrap_or_else(|e| e.into_inner())
     }

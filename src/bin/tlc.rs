@@ -17,6 +17,8 @@
 //! tlc faultsim   [--seed N]
 //! tlc fuzz       [--seed N | --seed A..B] [--iters M]
 //! tlc profile    (<input.tlc> | --query <q>) [--sf N] [--system S] [--json PATH]
+//! tlc serve      <store-dir> [--workers N] [--queue N] [--requests N] [--seed S] [--kill-shard P]
+//! tlc loadgen    [--rows N] [--requests N] [--rate QPS] [--servers K] [--queue N] [--seed S]
 //! ```
 //!
 //! `verify` checks a serialized column end to end (stream digest,
@@ -36,7 +38,12 @@
 //! directory: deep-open recovery (torn-tmp sweep, stale sweep,
 //! whole-file digest scan), then a full walk verifying every
 //! partition's stream digest and per-block checksums, then a
-//! device-side decode of partition 0 to exercise the launch path.
+//! device-side decode of partition 0 to exercise the launch path. A
+//! store that carries its generation spec (any `tlc ingest` store)
+//! **self-heals** first: files quarantined at open are regenerated
+//! deterministically and verified against the committed digests, so a
+//! quarantine-and-healed store exits 0 — integrity exit codes are for
+//! damage the store could *not* repair.
 //!
 //! `ingest` generates an SSB fact table chunk by chunk (bounded
 //! memory) into a crash-safe store; `compact` merges adjacent
@@ -55,6 +62,17 @@
 //! campaign per seed in the (Rust-style, exclusive) range. The
 //! checked-in regression corpus runs on every invocation.
 //!
+//! `serve` runs the overload-safe concurrent query service
+//! (`tlc::serve`) over an ingested store: a deterministic mixed batch
+//! (SSB flight 1, point filters, scans) is offered to a bounded
+//! admission queue and executed by a worker pool with retries,
+//! per-shard circuit breakers and degradation tiers; the terminal
+//! counters and latency percentiles are printed as JSON. `loadgen`
+//! drives an open-loop Poisson workload against a freshly ingested
+//! store and writes the `tlc-serving/v1` bench artifact
+//! (`BENCH_serving.json`, p50/p99/p999 + saturation throughput) to
+//! `TLC_BENCH_DIR`; see docs/PROFILING.md.
+//!
 //! `profile` runs a workload on the simulated V100 and reports where
 //! the modelled time went, phase by phase (global load → shared staging
 //! → unpack → expand → predicate → aggregate → writeback), with
@@ -70,15 +88,18 @@ use std::process::ExitCode;
 
 use std::path::Path;
 
+use std::sync::Arc;
+
 use tlc::fuzz::{run_corpus, run_fuzz, FuzzConfig};
 use tlc::planner::{recommend_scheme, ColumnStats};
-use tlc::profile::Profile;
+use tlc::profile::{write_bench_json, Profile};
 use tlc::schemes::{DecodeError, EncodedColumn, FormatError, Limits, Scheme};
+use tlc::serve::{run_loadgen, LoadgenConfig, QuerySpec, Rejected, Request, ServeConfig, Service};
 use tlc::sim::{set_sim_threads_override, Device, FaultPlan, StorageFaults};
 use tlc::ssb::fleet::run_query_sharded;
 use tlc::ssb::{
-    run_query, run_query_sharded_resilient, run_query_streamed, LoColumns, QueryId, SsbData,
-    SsbStore, StreamOptions, StreamSpec, System,
+    run_query, run_query_sharded_resilient, run_query_streamed, LoColumn, LoColumns, QueryId,
+    SsbData, SsbStore, StreamOptions, StreamSpec, System,
 };
 use tlc::store::{Store, StoreError};
 
@@ -277,10 +298,17 @@ fn store_err(e: StoreError) -> CliError {
     }
 }
 
-/// `tlc verify --manifest <dir>`: deep-open recovery, full-store walk
-/// (manifest lengths, whole-file digests, stream digests, per-block
-/// checksums), then a device-side decode of partition 0's columns so a
-/// launch-layer failure surfaces as exit code 4.
+/// `tlc verify --manifest <dir>`: deep-open recovery, self-heal of
+/// quarantined files when the store carries its generation spec, then
+/// a full-store walk (manifest lengths, whole-file digests, stream
+/// digests, per-block checksums) and a device-side decode of partition
+/// 0's columns so a launch-layer failure surfaces as exit code 4.
+///
+/// Exit-code contract: a quarantine that **healed** is a recovered
+/// store, and a recovered store is a healthy store — it exits 0. The
+/// integrity code 2 is reserved for damage that could not be repaired
+/// (no generation spec, or the healed bytes failed the committed
+/// digest).
 fn cmd_verify_manifest(dir: &str) -> Result<(), CliError> {
     let (store, recovery) = Store::open_deep(Path::new(dir)).map_err(store_err)?;
     if !recovery.is_clean() {
@@ -292,6 +320,27 @@ fn cmd_verify_manifest(dir: &str) -> Result<(), CliError> {
             );
         }
     }
+    // A store whose manifest carries the SSB generation spec can
+    // regenerate every quarantined file deterministically; stores
+    // without one fall through to the plain (non-regenerable) walk.
+    enum Opened {
+        Ssb(SsbStore),
+        Plain(Store),
+    }
+    let opened = match SsbStore::from_open(store) {
+        Ok(ssb) => Opened::Ssb(ssb),
+        Err(back) => Opened::Plain(back.0),
+    };
+    if let Opened::Ssb(ssb) = &opened {
+        let healed = ssb.heal_damaged().map_err(store_err)?;
+        if healed > 0 {
+            println!("{dir}: healed {healed} quarantined file(s) from the generation spec");
+        }
+    }
+    let store: &Store = match &opened {
+        Opened::Ssb(ssb) => ssb.store(),
+        Opened::Plain(store) => store,
+    };
     let stats = store.verify().map_err(store_err)?;
     if store.partition_count() > 0 {
         let dev = Device::v100();
@@ -802,6 +851,202 @@ fn cmd_profile(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `tlc serve <store-dir> [--workers N] [--queue N] [--requests N]
+/// [--seed S] [--kill-shard P]`: offer a deterministic mixed batch
+/// (flight 1, point filters, scans) to the concurrent query service
+/// and print the terminal counters and latency percentiles as JSON.
+/// `--kill-shard P` arms a kill-shard fault at partition P on every
+/// flight query, exercising the failover path under live traffic; the
+/// command still requires every admitted query to reach exactly one
+/// terminal state.
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let mut dir: Option<String> = None;
+    let mut workers = 2usize;
+    let mut queue = 64usize;
+    let mut requests = 32usize;
+    let mut seed = 7u64;
+    let mut kill_shard: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut num = |flag: &str| -> Result<usize, String> {
+            it.next()
+                .ok_or(format!("{flag} needs a value"))?
+                .parse()
+                .map_err(|e| format!("{flag}: {e}"))
+        };
+        match a.as_str() {
+            "--workers" => workers = num("--workers")?.max(1),
+            "--queue" => queue = num("--queue")?,
+            "--requests" => requests = num("--requests")?,
+            "--kill-shard" => kill_shard = Some(num("--kill-shard")?),
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            _ if dir.is_none() && !a.starts_with("--") => dir = Some(a.clone()),
+            other => return Err(format!("unexpected argument '{other}'").into()),
+        }
+    }
+    let dir = dir.ok_or(
+        "usage: tlc serve <store-dir> [--workers N] [--queue N] [--requests N] \
+         [--seed S] [--kill-shard P]",
+    )?;
+
+    let (store, _recovery) = SsbStore::open_deep(Path::new(&dir)).map_err(store_err)?;
+    let healed = store.heal_damaged().map_err(store_err)?;
+    if healed > 0 {
+        println!("{dir}: healed {healed} quarantined file(s) before serving");
+    }
+    let store = Arc::new(store);
+    let svc = Service::start(
+        Arc::clone(&store),
+        ServeConfig {
+            workers,
+            queue_capacity: queue,
+            ..ServeConfig::default()
+        },
+    );
+
+    // Deterministic mixed batch: flights, point filters and scans in a
+    // fixed rotation, parameterized by the seed.
+    let mut tickets = Vec::new();
+    let mut shed = 0usize;
+    for i in 0..requests {
+        let v = seed.wrapping_add(i as u64);
+        let query = match v % 6 {
+            0 => QuerySpec::Flight(QueryId::Q11),
+            1 => QuerySpec::PointFilter {
+                column: LoColumn::Discount,
+                value: (v % 11) as i32,
+            },
+            2 => QuerySpec::Scan {
+                column: LoColumn::Revenue,
+            },
+            3 => QuerySpec::Flight(QueryId::Q12),
+            4 => QuerySpec::PointFilter {
+                column: LoColumn::Quantity,
+                value: 1 + (v % 50) as i32,
+            },
+            _ => QuerySpec::Scan {
+                column: LoColumn::Quantity,
+            },
+        };
+        let mut req = Request::new(i as u64, query);
+        if let Some(p) = kill_shard {
+            if matches!(req.query, QuerySpec::Flight(_)) {
+                req.plan = Some(FaultPlan {
+                    storage: StorageFaults {
+                        kill_shard_at_partition: Some(p),
+                        ..StorageFaults::default()
+                    },
+                    ..FaultPlan::seeded(seed)
+                });
+            }
+        }
+        match svc.submit(req) {
+            Ok(t) => tickets.push(t),
+            Err(Rejected::Overloaded { .. } | Rejected::ShuttingDown) => shed += 1,
+        }
+    }
+    for t in tickets {
+        // Every ticket resolves: the terminal-state contract says each
+        // admitted query gets exactly one response.
+        let _ = t.wait();
+    }
+    let snap = svc.shutdown();
+    println!("{}", snap.to_json().render());
+    if !snap.is_balanced() {
+        return Err(format!(
+            "terminal-state books do not balance: {} admitted, {} terminal",
+            snap.admitted,
+            snap.terminals(),
+        )
+        .into());
+    }
+    println!(
+        "serve: {} submitted, {} admitted, {} shed, {} completed / {} deadline / {} failed — \
+         books balance",
+        snap.submitted, snap.admitted, shed, snap.completed, snap.deadline_exceeded, snap.failed,
+    );
+    Ok(())
+}
+
+/// `tlc loadgen [--rows N] [--requests N] [--rate QPS] [--servers K]
+/// [--queue N] [--seed S]`: ingest a scratch store, drive the
+/// open-loop Poisson workload through the service, print the tail
+/// latency report and write the `tlc-serving/v1` bench artifact
+/// (`BENCH_serving.json`) to `TLC_BENCH_DIR`.
+fn cmd_loadgen(args: &[String]) -> Result<(), CliError> {
+    let mut rows = 120_000u64;
+    let mut cfg = LoadgenConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |flag: &str| -> Result<String, String> {
+            Ok(it.next().ok_or(format!("{flag} needs a value"))?.clone())
+        };
+        match a.as_str() {
+            "--rows" => rows = val("--rows")?.parse().map_err(|e| format!("--rows: {e}"))?,
+            "--requests" => {
+                cfg.requests = val("--requests")?
+                    .parse()
+                    .map_err(|e| format!("--requests: {e}"))?;
+            }
+            "--rate" => {
+                cfg.arrival_rate_qps =
+                    val("--rate")?.parse().map_err(|e| format!("--rate: {e}"))?;
+            }
+            "--servers" => {
+                cfg.servers = val("--servers")?
+                    .parse()
+                    .map_err(|e| format!("--servers: {e}"))?;
+            }
+            "--queue" => {
+                cfg.queue_capacity = val("--queue")?
+                    .parse()
+                    .map_err(|e| format!("--queue: {e}"))?;
+            }
+            "--seed" => cfg.seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            other => return Err(format!("unexpected argument '{other}'").into()),
+        }
+    }
+
+    let dir = std::env::temp_dir().join(format!("tlc_loadgen_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec = StreamSpec::for_rows(1, rows, ((rows / 4).max(4) as usize).div_ceil(6));
+    let store = Arc::new(SsbStore::ingest(&dir, &spec).map_err(store_err)?);
+    let report = run_loadgen(&store, &cfg);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    println!(
+        "loadgen: {} request(s) at {} qps offered over {} partition(s)",
+        report.requests,
+        report.offered_qps,
+        store.store().partition_count(),
+    );
+    println!(
+        "  terminals: {} completed / {} deadline / {} failed, {} shed by admission",
+        report.completed, report.deadline_exceeded, report.failed, report.rejected_overloaded,
+    );
+    println!("  saturation: {:.1} qps sustained", report.saturation_qps);
+    let l = &report.latency;
+    println!(
+        "  sojourn latency (simulated): p50 {:.6}s  p90 {:.6}s  p99 {:.6}s  p999 {:.6}s",
+        l.p50, l.p90, l.p99, l.p999,
+    );
+    let s = &report.service;
+    println!(
+        "  service time only:          p50 {:.6}s  p90 {:.6}s  p99 {:.6}s  p999 {:.6}s",
+        s.p50, s.p90, s.p99, s.p999,
+    );
+    let path = write_bench_json("BENCH_serving.json", &report.to_json())
+        .map_err(|e| format!("BENCH_serving.json: {e}"))?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
 fn run() -> Result<(), CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -821,9 +1066,11 @@ fn run() -> Result<(), CliError> {
         Some("faultsim") => cmd_faultsim(&args[1..]).map_err(CliError::from),
         Some("fuzz") => cmd_fuzz(&args[1..]).map_err(CliError::from),
         Some("profile") => cmd_profile(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("loadgen") => cmd_loadgen(&args[1..]),
         _ => Err(CliError::from(
             "usage: tlc <stats|compress|decompress|inspect|verify|ingest|compact|chaos|\
-             faultsim|fuzz|profile> ... (see --help in README)"
+             faultsim|fuzz|profile|serve|loadgen> ... (see --help in README)"
                 .to_string(),
         )),
     }

@@ -22,6 +22,11 @@
 //! * [`profile`] — the kernel-phase profiler ([`tlc_profile`]):
 //!   per-phase time attribution, roofline utilization, and the stable
 //!   `tlc-profile/v1` JSON artifact format.
+//! * [`serve`] — the overload-safe concurrent query service
+//!   ([`tlc_serve`]): bounded admission queue with typed load
+//!   shedding, per-query device-time deadlines, retry/backoff with
+//!   per-shard circuit breakers, graceful degradation tiers, and an
+//!   open-loop load generator reporting p50/p99/p999.
 //!
 //! ## Example: compressed scan inside a query kernel
 //!
@@ -50,5 +55,6 @@ pub use tlc_fuzz as fuzz;
 pub use tlc_gpu_sim as sim;
 pub use tlc_planner as planner;
 pub use tlc_profile as profile;
+pub use tlc_serve as serve;
 pub use tlc_ssb as ssb;
 pub use tlc_store as store;

@@ -176,6 +176,143 @@ fn verify_exit_codes_classify_the_failure() {
     }
 }
 
+/// `verify --manifest` exit-code contract (DESIGN.md §14 companion):
+/// a store that carries its generation spec self-heals quarantined
+/// files before verifying, so bit-rot on disk is **exit 0** — the
+/// integrity exit code is reserved for damage the store cannot repair.
+#[test]
+fn verify_manifest_heals_regenerable_bitrot_and_exits_zero() {
+    use tlc::ssb::{SsbStore, StreamSpec};
+
+    let dir = tmp("heal_store");
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = SsbStore::ingest(&dir, &StreamSpec::for_rows(3, 12_800, 800)).expect("ingest");
+    let rotted = store.store().path_of(1, "quantity");
+    drop(store);
+    tlc::store::damage::flip_bit(&rotted, 77).expect("rot");
+
+    let out = bin()
+        .args(["verify", "--manifest"])
+        .arg(&dir)
+        .output()
+        .expect("run");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "healed store must exit 0: {text}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(text.contains("healed 1 quarantined file(s)"), "{text}");
+    assert!(text.contains("ok ("), "{text}");
+
+    // And the heal is durable: a second verify is clean with no healing.
+    let out = bin()
+        .args(["verify", "--manifest"])
+        .arg(&dir)
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(!text.contains("healed"), "{text}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A store with no generation spec cannot regenerate, so bit-rot stays
+/// an integrity failure: exit 2, unchanged from the old contract.
+#[test]
+fn verify_manifest_still_fails_on_non_regenerable_damage() {
+    use tlc::schemes::EncodedColumn;
+    use tlc::store::Ingest;
+
+    let dir = tmp("plain_store");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut ing = Ingest::create(&dir, &["vals"]).expect("create");
+    let col = EncodedColumn::encode_best(&(0..4_000).map(|i| i % 97).collect::<Vec<i32>>());
+    ing.append_partition(std::slice::from_ref(&col))
+        .expect("append");
+    let store = ing.commit().expect("commit");
+    let rotted = store.path_of(0, "vals");
+    drop(store);
+    tlc::store::damage::flip_bit(&rotted, 77).expect("rot");
+
+    let out = bin()
+        .args(["verify", "--manifest"])
+        .arg(&dir)
+        .output()
+        .expect("run");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "non-regenerable damage must keep exit 2: {}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `serve` end to end through the binary: mixed batch, kill-shard
+/// injection, JSON metrics, balanced terminal books.
+#[test]
+fn serve_subcommand_balances_its_books_under_injected_faults() {
+    use tlc::ssb::{SsbStore, StreamSpec};
+
+    let dir = tmp("serve_store");
+    let _ = std::fs::remove_dir_all(&dir);
+    SsbStore::ingest(&dir, &StreamSpec::for_rows(3, 12_800, 800)).expect("ingest");
+
+    let out = bin()
+        .args(["serve"])
+        .arg(&dir)
+        .args(["--requests", "12", "--kill-shard", "1"])
+        .output()
+        .expect("run");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "serve failed: {text}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(text.contains("\"submitted\": 12"), "{text}");
+    assert!(text.contains("books balance"), "{text}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `loadgen` end to end: writes the `tlc-serving/v1` artifact with
+/// percentile rows into `TLC_BENCH_DIR`.
+#[test]
+fn loadgen_subcommand_writes_the_serving_artifact() {
+    let bench_dir = tmp("bench_dir");
+    let _ = std::fs::remove_dir_all(&bench_dir);
+    let out = bin()
+        .args([
+            "loadgen",
+            "--rows",
+            "12800",
+            "--requests",
+            "16",
+            "--rate",
+            "500",
+        ])
+        .env("TLC_BENCH_DIR", &bench_dir)
+        .output()
+        .expect("run");
+    assert!(
+        out.status.success(),
+        "loadgen failed: {}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let artifact = std::fs::read_to_string(bench_dir.join("BENCH_serving.json")).expect("artifact");
+    for key in ["tlc-serving/v1", "\"workload\": \"all\"", "\"p999\""] {
+        assert!(artifact.contains(key), "missing {key} in {artifact}");
+    }
+    let _ = std::fs::remove_dir_all(&bench_dir);
+}
+
 /// A tiny `fuzz` campaign through the binary: exercises arg parsing
 /// (including the range syntax), the corpus runner and the exit path.
 #[test]

@@ -9,7 +9,7 @@
 use tlc::schemes::{DecodeError, EncodedColumn, Scheme};
 use tlc::sim::{Device, FaultPlan};
 use tlc::ssb::fleet::run_query_sharded;
-use tlc::ssb::{run_query_sharded_resilient, QueryId, SsbData, System};
+use tlc::ssb::{run_query_sharded_resilient, QueryId, SsbData, System, MAX_TRANSIENT_RETRIES};
 
 fn campaign_values(seed: u64) -> Vec<i32> {
     // Mixed shape: runs, ramps and noise, so all three schemes see
@@ -178,6 +178,39 @@ fn sharded_campaign_recovers_to_fault_free_results() {
             );
             assert!(r.shards_failed_over <= SHARDS);
             assert_eq!(r.cpu_fallbacks, 0, "replacement devices are clean");
+            // Every exhaustion was preceded by a full in-place retry
+            // budget; the counters must stay consistent with that.
+            assert!(
+                r.transient_retries >= r.retries_exhausted * MAX_TRANSIENT_RETRIES,
+                "seed {seed} {}: {} exhaustion(s) but only {} retries",
+                q.name(),
+                r.retries_exhausted,
+                r.transient_retries,
+            );
         }
     }
+}
+
+/// A launch that *never* succeeds on the armed device must exhaust the
+/// bounded retry budget and surface the stable terminal reason
+/// (`retries_exhausted`) — not spin, and not be misfiled as corruption
+/// or device loss. The failover device is clean, so the shard still
+/// recovers without a CPU fallback.
+#[test]
+fn always_transient_shard_exhausts_retries_with_stable_reason() {
+    let data = SsbData::generate(0.01);
+    let clean = run_query_sharded(&data, System::GpuStar, QueryId::Q11, 2, 1.0);
+    let plans = vec![Some(FaultPlan {
+        transient_launch_rate: 1.0,
+        ..FaultPlan::seeded(5)
+    })];
+    let run = run_query_sharded_resilient(&data, System::GpuStar, QueryId::Q11, 2, 1.0, &plans);
+    assert_eq!(run.result, clean.result);
+    let r = &run.report;
+    assert_eq!(r.transient_retries, MAX_TRANSIENT_RETRIES);
+    assert_eq!(r.retries_exhausted, 1, "exactly one attempt exhausted");
+    assert_eq!(r.shards_failed_over, 1);
+    assert_eq!(r.cpu_fallbacks, 0);
+    assert_eq!(r.corrupt_tiles_detected, 0, "exhaustion is not corruption");
+    assert_eq!(r.devices_lost, 0);
 }
