@@ -13,7 +13,7 @@
 //! Run with `cargo bench -p tlc-bench --bench encode_decode`.
 
 use std::time::Instant;
-use tlc_bench::{print_table, sorted_unique, uniform_bits, write_bench_json, Json};
+use tlc_bench::{machine_meta, print_table, sorted_unique, uniform_bits, write_bench_json, Json};
 use tlc_core::parallel::encoder_threads;
 use tlc_core::{EncodedColumn, Scheme};
 use tlc_gpu_sim::{set_sim_threads_override, sim_threads, Device};
@@ -49,13 +49,16 @@ fn main() {
     let mut json_rows = Vec::new();
 
     let mut rows = Vec::new();
+    let threads = encoder_threads();
     for (scheme, data) in [
         (Scheme::GpuFor, &uniform),
         (Scheme::GpuDFor, &sorted),
         (Scheme::GpuRFor, &runs),
     ] {
+        // The multi-threaded chunked encoder (bit-identical to the
+        // serial auto-layout path; degenerates to it at one thread).
         let t = time_best(iters, || {
-            EncodedColumn::encode_as(data, scheme).compressed_bytes()
+            EncodedColumn::encode_as_parallel(data, scheme, threads).compressed_bytes()
         });
         rows.push(vec![scheme.name().to_string(), format!("{:.1}", mvals(t))]);
         json_rows.push(Json::Obj(vec![
@@ -132,14 +135,16 @@ fn main() {
         &rows,
     );
 
-    let doc = Json::Obj(vec![
+    let mut fields = vec![
         ("bench", Json::Str("encode_decode".to_string())),
         ("n", Json::Int(n as u64)),
         ("workers", Json::Int(workers as u64)),
-        ("encode_threads", Json::Int(encoder_threads() as u64)),
+        ("encode_threads", Json::Int(threads as u64)),
         ("iters", Json::Int(iters as u64)),
-        ("rows", Json::Arr(json_rows)),
-    ]);
+    ];
+    fields.extend(machine_meta());
+    fields.push(("rows", Json::Arr(json_rows)));
+    let doc = Json::Obj(fields);
     match write_bench_json("BENCH_encode_decode.json", &doc) {
         Ok(path) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("\nfailed to write BENCH_encode_decode.json: {e}"),

@@ -83,13 +83,15 @@ fn main() {
         &["query", "system", "serial ms", "parallel ms", "model ms"],
         &rows,
     );
-    let doc = Json::Obj(vec![
+    let mut fields = vec![
         ("bench", Json::Str("query_ssb".to_string())),
         ("scale_factor", Json::Num(sf)),
         ("workers", Json::Int(workers as u64)),
         ("iters", Json::Int(ITERS as u64)),
-        ("rows", Json::Arr(json_rows)),
-    ]);
+    ];
+    fields.extend(tlc_bench::machine_meta());
+    fields.push(("rows", Json::Arr(json_rows)));
+    let doc = Json::Obj(fields);
     match write_bench_json("BENCH_query_ssb.json", &doc) {
         Ok(path) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("\nfailed to write BENCH_query_ssb.json: {e}"),

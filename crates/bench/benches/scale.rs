@@ -181,7 +181,7 @@ fn main() {
         &table,
     );
 
-    let doc = Json::Obj(vec![
+    let mut fields = vec![
         ("bench", Json::Str("scale".to_string())),
         ("total_rows", Json::Int(total_rows)),
         ("partitions", Json::Int(n_parts as u64)),
@@ -193,8 +193,10 @@ fn main() {
             Json::Num(disk_bytes as f64 / total_rows as f64),
         ),
         ("wall_ingest_s", Json::Num(wall_ingest)),
-        ("rows", Json::Arr(json_rows)),
-    ]);
+    ];
+    fields.extend(tlc_bench::machine_meta());
+    fields.push(("rows", Json::Arr(json_rows)));
+    let doc = Json::Obj(fields);
     match write_bench_json("BENCH_scale.json", &doc) {
         Ok(path) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("\nfailed to write BENCH_scale.json: {e}"),

@@ -18,6 +18,22 @@ pub mod json {
 
 pub use json::{write_bench_json, Json};
 
+/// Machine-attribution metadata fields shared by every JSON-writing
+/// harness: CPU architecture, the detected SIMD feature flags, and the
+/// kernel dispatch level in effect. Throughput rows are only
+/// comparable between runs whose machine fields match —
+/// `scripts/bench_compare` warns when they differ.
+pub fn machine_meta() -> Vec<(&'static str, Json)> {
+    vec![
+        ("target_arch", Json::Str(std::env::consts::ARCH.to_string())),
+        ("cpu_features", Json::Str(tlc_bitpack::cpu_features())),
+        (
+            "simd_level",
+            Json::Str(format!("{:?}", tlc_bitpack::simd_level())),
+        ),
+    ]
+}
+
 /// Datasets used in Section 9.2 have 250 M entries; Section 4.2 uses
 /// 500 M.
 pub const PAPER_N_FIG7: usize = 250_000_000;

@@ -17,6 +17,12 @@
 //!   Section 4.4): one branch-free routine per bitwidth 0..=32,
 //!   dispatched through the [`UNPACKERS`] table, with the generic
 //!   [`extract`] kept as the partial-tail fallback and test oracle.
+//! * [`pack`] — the encode-side counterpart: monomorphized per-width
+//!   miniblock packers dispatched through [`PACKERS`].
+//! * [`simd`] — vectorized kernels for the fixed 4-lane 128-value
+//!   vertical block (the on-disk lane-transposed layout): runtime
+//!   AVX2 dispatch behind [`simd::simd_level`] with a bit-identical
+//!   autovectorizable portable fallback (`TLC_NO_SIMD=1`).
 //!
 //! All functions are deterministic, allocation-conscious, and defined
 //! for bitwidths 0..=32 inclusive (bitwidth 0 encodes a run of zeros in
@@ -25,11 +31,17 @@
 #![warn(missing_docs)]
 
 pub mod horizontal;
+pub mod pack;
+pub mod simd;
 pub mod unpack;
 pub mod vertical;
 pub mod width;
 
 pub use horizontal::{extract, pack_into, pack_stream, unpack_stream, words_for};
+pub use pack::{pack32, pack_miniblock, Packer, PACKERS};
+pub use simd::{
+    cpu_features, simd_level, vpack_block, vunpack_block_ref, vunpack_block_scan, SimdLevel, VLANES,
+};
 pub use unpack::{
     unpack128_ref, unpack128_scan, unpack32, unpack32_ref, unpack32_scan, unpack_block_ref,
     unpack_block_scan, unpack_miniblock, unpack_miniblock_ref, unpack_miniblock_scan,

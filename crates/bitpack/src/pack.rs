@@ -1,0 +1,159 @@
+//! Monomorphized per-width miniblock *packers* — the encode-side
+//! counterpart of [`crate::unpack`].
+//!
+//! [`crate::horizontal::pack_into`] recomputes `bit / 32`, `bit % 32`
+//! and a spans-a-boundary test per value, and its `debug_assert` range
+//! check keeps LLVM from vectorizing the loop. For a full 32-value
+//! miniblock all of that is a function of the bit width alone, so
+//! [`pack32`] is compiled once per width `B`: 32 explicit steps whose
+//! word indices and shift amounts constant-fold, leaving straight-line
+//! shift/or stores. [`PACKERS`] is the dispatch table and
+//! [`pack_miniblock`] the front door; in debug builds the packed words
+//! are cross-checked against the generic [`extract`](crate::horizontal::extract) oracle.
+//!
+//! Encode is the write-side hot path: ingest, compaction and
+//! `encode_best` (which packs every column three times) all bottleneck
+//! on it, which is why the ≥3× encode target of the vectorized-decode
+//! work lands here rather than in a second thread.
+
+#[cfg(debug_assertions)]
+use crate::horizontal::extract;
+use crate::MINIBLOCK;
+
+/// Pack one full 32-value miniblock at `B` bits per value into the
+/// front of `out`, which must hold at least `B` **zeroed** words (the
+/// packer ORs value bits into place, mirroring how `pack_into` appends
+/// onto freshly zero-resized words).
+///
+/// Values must fit in `B` bits (`debug_assert`ed).
+#[inline(always)]
+pub fn pack32<const B: u32>(values: &[u32; MINIBLOCK], out: &mut [u32]) {
+    if B == 0 {
+        debug_assert!(values.iter().all(|&v| v == 0));
+        return;
+    }
+    // One bounds check up front; value 31 ends at bit 32·B − 1, inside
+    // word B − 1, so every index below is provably in `out[..B]`.
+    let out = &mut out[..B as usize];
+    let mut step = |i: usize| {
+        let v = values[i];
+        debug_assert!(
+            B == 32 || v < (1u32 << B),
+            "value {v} does not fit in {B} bits"
+        );
+        let bit = i as u32 * B;
+        let w = (bit >> 5) as usize;
+        let off = bit & 31;
+        out[w] |= v << off;
+        // A value spanning two words spills its high bits into the next
+        // word; `w + 1 ≤ B − 1` whenever the span crosses.
+        if off + B > 32 {
+            out[w + 1] |= v >> (32 - off);
+        }
+    };
+    step(0);
+    step(1);
+    step(2);
+    step(3);
+    step(4);
+    step(5);
+    step(6);
+    step(7);
+    step(8);
+    step(9);
+    step(10);
+    step(11);
+    step(12);
+    step(13);
+    step(14);
+    step(15);
+    step(16);
+    step(17);
+    step(18);
+    step(19);
+    step(20);
+    step(21);
+    step(22);
+    step(23);
+    step(24);
+    step(25);
+    step(26);
+    step(27);
+    step(28);
+    step(29);
+    step(30);
+    step(31);
+}
+
+/// A monomorphized miniblock packer: `(values, zeroed output words)`.
+pub type Packer = fn(&[u32; MINIBLOCK], &mut [u32]);
+
+macro_rules! packer_table {
+    ($($b:literal),+ $(,)?) => {
+        [$(pack32::<$b> as Packer),+]
+    };
+}
+
+/// Dispatch table: `PACKERS[b]` packs one 32-value miniblock at `b`
+/// bits per value. Indexing past 32 is a compile-time-sized bounds
+/// error, matching the format's bitwidth domain.
+pub static PACKERS: [Packer; 33] = packer_table!(
+    0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25,
+    26, 27, 28, 29, 30, 31, 32
+);
+
+/// Pack one full 32-value miniblock at `bitwidth` bits into the front
+/// of `out` (which must hold at least `bitwidth` zeroed words), via the
+/// monomorphized [`PACKERS`] table.
+///
+/// Panics if `bitwidth > 32` or `out` is too short. In debug builds the
+/// packed words are cross-checked value-by-value against the generic
+/// [`extract`](crate::horizontal::extract) oracle.
+#[inline]
+pub fn pack_miniblock(values: &[u32; MINIBLOCK], bitwidth: u32, out: &mut [u32]) {
+    PACKERS[bitwidth as usize](values, out);
+    #[cfg(debug_assertions)]
+    for (i, &v) in values.iter().enumerate() {
+        debug_assert_eq!(
+            extract(out, i * bitwidth as usize, bitwidth),
+            v,
+            "pack32::<{bitwidth}> disagrees with extract at value {i}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::horizontal::pack_stream;
+
+    fn sample(bw: u32) -> [u32; MINIBLOCK] {
+        let mask = if bw == 32 {
+            u32::MAX
+        } else if bw == 0 {
+            0
+        } else {
+            (1u32 << bw) - 1
+        };
+        core::array::from_fn(|i| (i as u32).wrapping_mul(2654435761) & mask)
+    }
+
+    #[test]
+    fn packers_match_pack_stream_at_every_width() {
+        for bw in 0u32..=32 {
+            let values = sample(bw);
+            let mut fast = vec![0u32; bw as usize];
+            pack_miniblock(&values, bw, &mut fast);
+            assert_eq!(fast, pack_stream(&values, bw), "width {bw}");
+        }
+    }
+
+    #[test]
+    fn packs_into_the_front_of_a_larger_buffer() {
+        let values = sample(7);
+        let mut out = vec![0u32; 10];
+        pack_miniblock(&values, 7, &mut out);
+        assert_eq!(&out[..7], pack_stream(&values, 7).as_slice());
+        assert_eq!(&out[7..], &[0, 0, 0]);
+    }
+}

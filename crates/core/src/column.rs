@@ -61,10 +61,17 @@ pub enum EncodedColumn {
 
 impl EncodedColumn {
     /// Encode with an explicit scheme (at the default `D = 4`).
+    ///
+    /// The FOR-family schemes pick their physical layout automatically:
+    /// columns whose blocks all plan to one shared miniblock width come
+    /// out lane-transposed ([`crate::format::Layout::Vertical`], same
+    /// size, SIMD-friendly decode); everything else stays horizontal.
+    /// GPU-RFOR's short, width-heterogeneous run streams always stay
+    /// horizontal.
     pub fn encode_as(values: &[i32], scheme: Scheme) -> Self {
         match scheme {
-            Scheme::GpuFor => EncodedColumn::For(GpuFor::encode(values)),
-            Scheme::GpuDFor => EncodedColumn::DFor(GpuDFor::encode_with_d(values, DEFAULT_D)),
+            Scheme::GpuFor => EncodedColumn::For(GpuFor::encode_auto(values)),
+            Scheme::GpuDFor => EncodedColumn::DFor(GpuDFor::encode_auto(values)),
             Scheme::GpuRFor => EncodedColumn::RFor(GpuRFor::encode(values)),
         }
     }

@@ -21,6 +21,37 @@ pub const DEFAULT_D: usize = 4;
 /// Words in the block header (reference + bitwidth word).
 pub(crate) const BLOCK_HEADER_WORDS: usize = 2;
 
+/// Physical arrangement of a block's packed payload words.
+///
+/// Both layouts share the identical header (reference + bitwidth word),
+/// the identical sizes, and the identical `block_starts` — only the bit
+/// positions of the values inside the payload differ:
+///
+/// * [`Layout::Horizontal`] — the paper §4.1 layout: miniblock `m`
+///   packs its 32 values LSB-first into its own `bᵐ` words.
+/// * [`Layout::Vertical`] — the SIMD-BP128 lane-transposed layout
+///   (paper §4.3, Figure 1): the block's 128 values are striped over
+///   4 lanes at one shared width `w` (`bitwidth word = w repeated
+///   four times`), with lane `l`'s in-lane word `k` at payload word
+///   `k·4 + l`. Four consecutive logical values occupy the same bit
+///   window of four adjacent words — the shape SIMD loads want.
+///
+/// A column records its layout out of band (format minor 2 on the
+/// wire); the per-block decode rule is: under `Vertical`, a block whose
+/// four declared widths are equal is lane-transposed, and a block whose
+/// widths differ falls back to the horizontal interpretation (such
+/// blocks are never produced by the encoder, but hostile minor-2
+/// streams must still decode deterministically).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Layout {
+    /// Per-miniblock horizontal packing (format minor ≤ 1).
+    #[default]
+    Horizontal,
+    /// 4-lane vertical (lane-transposed) packing at a shared per-block
+    /// width (format minor 2).
+    Vertical,
+}
+
 /// Decode-time options for the fast bit-unpacking routine; each field
 /// corresponds to one optimization of paper Section 4.2. The base
 /// Algorithm 1 (no shared-memory staging at all) lives in

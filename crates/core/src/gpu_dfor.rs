@@ -13,14 +13,15 @@
 //! Deltas use wrapping 32-bit arithmetic so arbitrary `i32` input
 //! (including descending sequences) round-trips exactly.
 
+use tlc_bitpack::simd::vunpack_block_scan;
 use tlc_bitpack::unpack::{unpack_block_scan, unpack_miniblock_scan};
-use tlc_gpu_sim::scan::block_inclusive_scan_u32;
+use tlc_gpu_sim::scan::block_inclusive_scan_i32_from;
 use tlc_gpu_sim::{BlockCtx, Counter, Device, GlobalBuffer, Phase};
 
 use crate::checksum::staged_checksum;
 use crate::error::DecodeError;
-use crate::format::{blocks_for, BLOCK, BLOCK_HEADER_WORDS, DEFAULT_D, MINIBLOCK};
-use crate::gpu_for;
+use crate::format::{blocks_for, Layout, BLOCK, BLOCK_HEADER_WORDS, DEFAULT_D, MINIBLOCK};
+use crate::gpu_for::{self, BlockPlan};
 use crate::model::decode_config;
 
 const SCHEME: &str = "GPU-DFOR";
@@ -38,6 +39,18 @@ pub struct GpuDFor {
     pub block_starts: Vec<u32>,
     /// `[first value | block…] …` payloads.
     pub data: Vec<u32>,
+    /// Physical delta-block payload arrangement (see [`Layout`]).
+    pub layout: Layout,
+}
+
+/// Compute one tile's entry stream into `entries`: `[0, v₁−v₀, …]`,
+/// zero-padded to whole blocks ("we pad the deltas with 0",
+/// Section 5.1).
+fn tile_entries(tile: &[i32], entries: &mut Vec<i32>) {
+    entries.clear();
+    entries.push(0);
+    entries.extend(tile.windows(2).map(|w| w[1].wrapping_sub(w[0])));
+    entries.resize(entries.len().div_ceil(BLOCK) * BLOCK, 0);
 }
 
 impl GpuDFor {
@@ -48,23 +61,71 @@ impl GpuDFor {
 
     /// Encode with an explicit tile depth.
     pub fn encode_with_d(values: &[i32], d: usize) -> Self {
+        Self::encode_with_d_layout(values, d, Layout::Horizontal)
+    }
+
+    /// Encode with an explicit tile depth and payload [`Layout`] for
+    /// the delta blocks. `Horizontal` is bit-identical to
+    /// [`GpuDFor::encode_with_d`].
+    pub fn encode_with_d_layout(values: &[i32], d: usize, layout: Layout) -> Self {
+        Self::encode_planned(values, d, layout, None)
+    }
+
+    /// Encode at `D = 4`, choosing the layout per column: vertical when
+    /// every delta block's four miniblock widths agree (zero size
+    /// cost, SIMD scan decode), horizontal otherwise.
+    pub fn encode_auto(values: &[i32]) -> Self {
+        let d = DEFAULT_D;
+        let plans = Self::plan_blocks(values, d);
+        let layout = gpu_for::auto_layout(plans.iter().copied());
+        Self::encode_planned(values, d, layout, Some(&plans))
+    }
+
+    /// Planning pass: one [`BlockPlan`] per delta block in stream
+    /// order. Tiles restart the delta stream, so plans for any
+    /// tile-aligned chunk equal the corresponding slice of the whole
+    /// column's plans — which is what lets the parallel encoder plan
+    /// chunks independently.
+    pub(crate) fn plan_blocks(values: &[i32], d: usize) -> Vec<BlockPlan> {
+        let mut entries: Vec<i32> = Vec::with_capacity(d * BLOCK);
+        let mut plans: Vec<BlockPlan> = Vec::with_capacity(blocks_for(values.len()));
+        for tile in values.chunks(d * BLOCK) {
+            tile_entries(tile, &mut entries);
+            for chunk in entries.chunks_exact(BLOCK) {
+                plans.push(gpu_for::plan_block(chunk.try_into().expect("exact block")));
+            }
+        }
+        plans
+    }
+
+    /// Packing pass. `plans` (when given) must hold one plan per delta
+    /// block in stream order; without it, each block is planned on the
+    /// fly.
+    pub(crate) fn encode_planned(
+        values: &[i32],
+        d: usize,
+        layout: Layout,
+        plans: Option<&[BlockPlan]>,
+    ) -> Self {
         assert!(d >= 1);
         let blocks = blocks_for(values.len());
         let mut data = Vec::new();
         let mut block_starts = Vec::with_capacity(blocks + 1);
         let mut entries: Vec<i32> = Vec::with_capacity(d * BLOCK);
+        let mut b = 0usize;
         for tile in values.chunks(d * BLOCK) {
             let first = tile[0];
-            entries.clear();
-            entries.push(0);
-            entries.extend(tile.windows(2).map(|w| w[1].wrapping_sub(w[0])));
-            // Pad the final block of the tile with zero deltas
-            // ("we pad the deltas with 0", Section 5.1).
-            entries.resize(entries.len().div_ceil(BLOCK) * BLOCK, 0);
+            tile_entries(tile, &mut entries);
             data.push(first as u32);
-            for chunk in entries.chunks(BLOCK) {
+            for chunk in entries.chunks_exact(BLOCK) {
                 block_starts.push(data.len() as u32);
-                encode_delta_block(chunk, &mut data);
+                let chunk: &[i32; BLOCK] = chunk.try_into().expect("exact block");
+                let plan = match plans {
+                    Some(p) => p[b],
+                    None => gpu_for::plan_block(chunk),
+                };
+                gpu_for::pack_block_with_plan(chunk, &plan, layout, &mut data);
+                b += 1;
             }
         }
         block_starts.push(data.len() as u32);
@@ -73,6 +134,7 @@ impl GpuDFor {
             d,
             block_starts,
             data,
+            layout,
         }
     }
 
@@ -115,6 +177,7 @@ impl GpuDFor {
     /// `vec![0; n]` pays.
     pub fn decode_cpu_into(&self, out: &mut Vec<i32>) {
         let blocks = self.blocks();
+        let vertical = self.layout == Layout::Vertical;
         out.resize(blocks * BLOCK, 0);
         for t in 0..self.tiles() {
             let first_block = t * self.d;
@@ -135,16 +198,29 @@ impl GpuDFor {
                 let w0 = bw_word & 0xFF;
                 if bw_word == w0.wrapping_mul(0x0101_0101) {
                     // All four miniblocks share a width (the common
-                    // case on homogeneous data): decode the whole
-                    // block through one monomorphized kernel.
+                    // case on homogeneous data, and every
+                    // encoder-written vertical block): decode the whole
+                    // block through one monomorphized kernel — the
+                    // vectorized lane-transposed scan under
+                    // [`Layout::Vertical`].
                     let block_out: &mut [i32; BLOCK] = block_out.try_into().expect("exact block");
-                    acc = unpack_block_scan(
-                        &block[BLOCK_HEADER_WORDS..],
-                        w0,
-                        reference,
-                        acc,
-                        block_out,
-                    );
+                    acc = if vertical {
+                        vunpack_block_scan(
+                            &block[BLOCK_HEADER_WORDS..],
+                            w0,
+                            reference,
+                            acc,
+                            block_out,
+                        )
+                    } else {
+                        unpack_block_scan(
+                            &block[BLOCK_HEADER_WORDS..],
+                            w0,
+                            reference,
+                            acc,
+                            block_out,
+                        )
+                    };
                     continue;
                 }
                 let mut offset = BLOCK_HEADER_WORDS;
@@ -159,6 +235,22 @@ impl GpuDFor {
         out.truncate(self.total_count);
     }
 
+    /// A horizontal rendering of this column (see
+    /// [`GpuFor::to_horizontal`](crate::GpuFor::to_horizontal)):
+    /// identical values, sizes and starts, per-miniblock payloads.
+    pub fn to_horizontal(&self) -> Self {
+        let mut out = self.clone();
+        if self.layout == Layout::Horizontal {
+            return out;
+        }
+        out.layout = Layout::Horizontal;
+        for b in 0..self.blocks() {
+            let start = self.block_starts[b] as usize;
+            gpu_for::transpose_block_to_horizontal(&mut out.data[start..]);
+        }
+        out
+    }
+
     /// Upload to the simulated device (payload plus derived per-block
     /// checksums).
     pub fn to_device(&self, dev: &Device) -> GpuDForDevice {
@@ -168,16 +260,9 @@ impl GpuDFor {
             block_starts: dev.alloc_from_slice(&self.block_starts),
             data: dev.alloc_from_slice(&self.data),
             checksums: dev.alloc_from_slice(&self.block_checksums()),
+            layout: self.layout,
         }
     }
-}
-
-/// Encode one 128-entry block of (wrapping) deltas in GPU-FOR block
-/// layout: the reference is the signed minimum delta, and the four
-/// miniblock widths cover the delta offsets.
-fn encode_delta_block(entries: &[i32], data: &mut Vec<u32>) {
-    debug_assert_eq!(entries.len(), BLOCK);
-    gpu_for::encode_block(entries, data);
 }
 
 /// Device-resident GPU-DFOR column.
@@ -194,6 +279,8 @@ pub struct GpuDForDevice {
     /// Per-block FNV-1a checksums (`blocks` entries); a tile-heading
     /// block's checksum also covers the tile's first-value word.
     pub checksums: GlobalBuffer<u32>,
+    /// Physical delta-block payload arrangement (see [`Layout`]).
+    pub layout: Layout,
 }
 
 impl GpuDForDevice {
@@ -333,19 +420,66 @@ pub fn load_tile(
     let first = ctx.shared()[0] as i32;
     ctx.smem_traffic(4);
 
-    // Unpack deltas (same inner routine as GPU-FOR, on shared memory).
-    ctx.set_phase(Phase::Unpack);
-    let mut deltas: Vec<i32> = Vec::with_capacity(tile_blocks * BLOCK);
-    for &start in starts.iter().take(tile_blocks) {
-        let block_off = start as usize - stage_start;
-        gpu_for::decode_block_from_shared(ctx, block_off, true, &mut deltas);
+    if col.layout == Layout::Vertical {
+        // Lane-transposed tile: each width-uniform block decodes
+        // through the fused vectorized unpack + reference + prefix
+        // scan, carrying the accumulator block to block — no delta
+        // scratch array and no separate scan pass over shared memory.
+        // Width-heterogeneous blocks (hostile minor-2 streams only)
+        // take the per-miniblock horizontal interpretation, matching
+        // `decode_cpu_into` exactly.
+        ctx.set_phase(Phase::Unpack);
+        out.resize(tile_blocks * BLOCK, 0);
+        let mut acc = first;
+        for (b, &start) in starts.iter().take(tile_blocks).enumerate() {
+            let block_off = start as usize - stage_start;
+            ctx.bump(Counter::MiniblocksUnpacked, 4);
+            let (shared, traffic) = ctx.shared_and_traffic();
+            let block = &shared[block_off..];
+            let reference = block[0] as i32;
+            let bw_word = block[1];
+            let w0 = bw_word & 0xFF;
+            let block_out: &mut [i32; BLOCK] = (&mut out[b * BLOCK..(b + 1) * BLOCK])
+                .try_into()
+                .expect("exact block");
+            if bw_word == w0.wrapping_mul(0x0101_0101) {
+                traffic.shared_bytes += 4 * w0 as u64 * 4 + BLOCK_HEADER_WORDS as u64 * 4;
+                traffic.int_ops += BLOCK as u64 * 5;
+                acc = vunpack_block_scan(
+                    &block[BLOCK_HEADER_WORDS..BLOCK_HEADER_WORDS + 4 * w0 as usize],
+                    w0,
+                    reference,
+                    acc,
+                    block_out,
+                );
+            } else {
+                let mut offset = BLOCK_HEADER_WORDS;
+                for (m, mb_out) in block_out.chunks_exact_mut(MINIBLOCK).enumerate() {
+                    let w = (bw_word >> (8 * m)) & 0xFF;
+                    let mb_out: &mut [i32; MINIBLOCK] = mb_out.try_into().expect("exact chunk");
+                    acc = unpack_miniblock_scan(&block[offset..], w, reference, acc, mb_out);
+                    offset += w as usize;
+                    traffic.shared_bytes += w as u64 * 4 + 2;
+                    traffic.int_ops += MINIBLOCK as u64 * 5;
+                }
+            }
+        }
+        // The scan work is fused into the unpack above; charge its adds.
+        ctx.set_phase(Phase::Expand);
+        ctx.add_int_ops(2 * (tile_blocks * BLOCK) as u64);
+    } else {
+        // Unpack deltas (same inner routine as GPU-FOR, on shared
+        // memory) straight into the output buffer…
+        ctx.set_phase(Phase::Unpack);
+        for &start in starts.iter().take(tile_blocks) {
+            let block_off = start as usize - stage_start;
+            gpu_for::decode_block_from_shared(ctx, block_off, true, Layout::Horizontal, out);
+        }
+        // …then the fused delta decode: block-wide inclusive scan over
+        // the tile, in place (no per-tile scratch allocations).
+        ctx.set_phase(Phase::Expand);
+        block_inclusive_scan_i32_from(ctx, first, out);
     }
-
-    // Fused delta decode: block-wide inclusive scan over the tile.
-    ctx.set_phase(Phase::Expand);
-    let mut scan: Vec<u32> = deltas.iter().map(|&v| v as u32).collect();
-    block_inclusive_scan_u32(ctx, &mut scan);
-    out.extend(scan.iter().map(|&s| first.wrapping_add(s as i32)));
 
     let logical = col.total_count - (first_block * BLOCK).min(col.total_count);
     let decoded = (tile_blocks * BLOCK).min(logical);

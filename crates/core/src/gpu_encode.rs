@@ -19,7 +19,7 @@ use tlc_bitpack::width::bits_for;
 use tlc_gpu_sim::{Device, GlobalBuffer, KernelConfig};
 
 use crate::checksum::fnv1a;
-use crate::format::{BLOCK, BLOCK_HEADER_WORDS, MINIBLOCK, MINIBLOCKS_PER_BLOCK};
+use crate::format::{Layout, BLOCK, BLOCK_HEADER_WORDS, MINIBLOCK, MINIBLOCKS_PER_BLOCK};
 use crate::gpu_for::{self, GpuForDevice};
 
 /// Encode a device-resident plain column into GPU-FOR on the device.
@@ -104,6 +104,7 @@ pub fn encode_on_device(dev: &Device, input: &GlobalBuffer<i32>) -> GpuForDevice
         block_starts,
         data,
         checksums,
+        layout: Layout::Horizontal,
     }
 }
 

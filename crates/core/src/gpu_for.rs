@@ -13,7 +13,8 @@
 //! `block_starts` array records the word offset of every block so that
 //! thousands of thread blocks can decode in parallel.
 
-use tlc_bitpack::horizontal::pack_into;
+use tlc_bitpack::pack::pack_miniblock;
+use tlc_bitpack::simd::{vpack_block, vunpack_block_ref};
 use tlc_bitpack::unpack::{unpack_block_ref, unpack_miniblock, unpack_miniblock_ref};
 use tlc_bitpack::width::bits_for;
 use tlc_gpu_sim::{BlockCtx, Counter, Device, GlobalBuffer, Phase};
@@ -21,7 +22,7 @@ use tlc_gpu_sim::{BlockCtx, Counter, Device, GlobalBuffer, Phase};
 use crate::checksum::staged_checksum;
 use crate::error::DecodeError;
 use crate::format::{
-    blocks_for, tiles_for, ForDecodeOpts, BLOCK, BLOCK_HEADER_WORDS, MINIBLOCK,
+    blocks_for, tiles_for, ForDecodeOpts, Layout, BLOCK, BLOCK_HEADER_WORDS, MINIBLOCK,
     MINIBLOCKS_PER_BLOCK,
 };
 use crate::model::decode_config;
@@ -37,32 +38,171 @@ pub struct GpuFor {
     pub block_starts: Vec<u32>,
     /// Block payloads: reference, bitwidth word, packed miniblocks.
     pub data: Vec<u32>,
+    /// Physical payload arrangement (see [`Layout`]).
+    pub layout: Layout,
 }
 
-/// Compute one block's encoding and append it to `data`.
+/// One block's encoding decision: the frame of reference and the four
+/// per-miniblock bit widths. Computed by the planning pass, consumed by
+/// the packing pass — splitting the two is what lets the encoder pick a
+/// layout for the whole column before a single payload word is written.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BlockPlan {
+    pub reference: i32,
+    pub widths: [u32; MINIBLOCKS_PER_BLOCK],
+}
+
+impl BlockPlan {
+    /// A vertical rendering costs extra space unless the four widths
+    /// already agree (the shared width is their max).
+    #[inline]
+    pub fn uniform_width(&self) -> bool {
+        let w = self.widths[0];
+        self.widths.iter().all(|&x| x == w)
+    }
+}
+
+/// Planning pass for one full block: min-reduce the reference, then
+/// OR-reduce each miniblock's offsets (`bits_for(a|b|…) =
+/// bits_for(max)`). Both loops are branch-free over fixed-size slices,
+/// which is what lets LLVM vectorize them — the old encoder interleaved
+/// this with packing and a per-value `debug_assert`, pinning it scalar.
+#[inline]
+pub(crate) fn plan_block(values: &[i32; BLOCK]) -> BlockPlan {
+    let mut reference = values[0];
+    for &v in values.iter() {
+        reference = reference.min(v);
+    }
+    let mut widths = [0u32; MINIBLOCKS_PER_BLOCK];
+    for (m, w) in widths.iter_mut().enumerate() {
+        let mut or = 0u32;
+        for &v in &values[m * MINIBLOCK..(m + 1) * MINIBLOCK] {
+            // max(i32) − min(i32) ≤ u32::MAX, and for v ≥ reference the
+            // wrapping difference is exactly the unsigned offset.
+            or |= v.wrapping_sub(reference) as u32;
+        }
+        *w = bits_for(or);
+    }
+    BlockPlan { reference, widths }
+}
+
+/// Packing pass for one planned block: append header + payload in the
+/// requested layout. Horizontal packs each miniblock at its own width
+/// via the monomorphized [`pack_miniblock`]; vertical lane-transposes
+/// all 128 offsets at the shared (max) width via [`vpack_block`], so
+/// the bitwidth word repeats that width four times and every size,
+/// offset and checksum derivation is layout-agnostic.
+pub(crate) fn pack_block_with_plan(
+    values: &[i32; BLOCK],
+    plan: &BlockPlan,
+    layout: Layout,
+    data: &mut Vec<u32>,
+) {
+    let mut offs = [0u32; BLOCK];
+    for (o, &v) in offs.iter_mut().zip(values) {
+        *o = v.wrapping_sub(plan.reference) as u32;
+    }
+    data.push(plan.reference as u32);
+    match layout {
+        Layout::Horizontal => {
+            let [w0, w1, w2, w3] = plan.widths;
+            data.push(w0 | w1 << 8 | w2 << 16 | w3 << 24);
+            for (m, &w) in plan.widths.iter().enumerate() {
+                let start = data.len();
+                data.resize(start + w as usize, 0);
+                let mb: &[u32; MINIBLOCK] = offs[m * MINIBLOCK..(m + 1) * MINIBLOCK]
+                    .try_into()
+                    .expect("exact miniblock");
+                pack_miniblock(mb, w, &mut data[start..]);
+            }
+        }
+        Layout::Vertical => {
+            let w = plan.widths.iter().copied().max().unwrap_or(0);
+            data.push(w.wrapping_mul(0x0101_0101));
+            let start = data.len();
+            data.resize(start + MINIBLOCKS_PER_BLOCK * w as usize, 0);
+            vpack_block(&offs, w, &mut data[start..]);
+        }
+    }
+}
+
+/// Plan a (possibly short) block chunk, applying the encoder's padding
+/// rule (pad with the chunk min → zero-cost offsets).
+pub(crate) fn chunk_plan(chunk: &[i32]) -> BlockPlan {
+    if chunk.len() == BLOCK {
+        return plan_block(chunk.try_into().expect("exact block"));
+    }
+    let pad = *chunk.iter().min().expect("chunk is non-empty");
+    let mut padded = [pad; BLOCK];
+    padded[..chunk.len()].copy_from_slice(chunk);
+    plan_block(&padded)
+}
+
+/// The auto-layout rule shared by every scheme: vertical iff the
+/// column is non-empty and every planned block is width-uniform, so
+/// the lane transpose costs zero extra space.
+pub(crate) fn auto_layout(plans: impl IntoIterator<Item = BlockPlan>) -> Layout {
+    let mut any = false;
+    for plan in plans {
+        any = true;
+        if !plan.uniform_width() {
+            return Layout::Horizontal;
+        }
+    }
+    if any {
+        Layout::Vertical
+    } else {
+        Layout::Horizontal
+    }
+}
+
+/// Rewrite one lane-transposed block's payload in place into the
+/// horizontal arrangement at the same shared width (sizes and header
+/// unchanged — the two layouts are exact-size peers at uniform width).
+/// Width-heterogeneous blocks are already horizontal by the decode rule
+/// and are left untouched.
+pub(crate) fn transpose_block_to_horizontal(block: &mut [u32]) {
+    let bw_word = block[1];
+    let w = bw_word & 0xFF;
+    if bw_word != w.wrapping_mul(0x0101_0101) || w == 0 {
+        return;
+    }
+    transpose_payload_to_horizontal(
+        &mut block[BLOCK_HEADER_WORDS..BLOCK_HEADER_WORDS + MINIBLOCKS_PER_BLOCK * w as usize],
+        w,
+    );
+}
+
+/// Rewrite a lane-transposed four-miniblock payload (128 values at
+/// shared width `w`, reference 0) in place into the horizontal
+/// arrangement. Shared by the block formats and the GPU-RFOR stream
+/// groups, whose packed payloads are byte-compatible.
+pub(crate) fn transpose_payload_to_horizontal(payload: &mut [u32], w: u32) {
+    if w == 0 {
+        return;
+    }
+    let mut vals = [0i32; BLOCK];
+    vunpack_block_ref(payload, w, 0, &mut vals);
+    payload[..MINIBLOCKS_PER_BLOCK * w as usize].fill(0);
+    for m in 0..MINIBLOCKS_PER_BLOCK {
+        let mut mb = [0u32; MINIBLOCK];
+        for (o, &v) in mb.iter_mut().zip(&vals[m * MINIBLOCK..]) {
+            *o = v as u32;
+        }
+        pack_miniblock(&mb, w, &mut payload[m * w as usize..]);
+    }
+}
+
+/// Compute one block's encoding and append it to `data` (horizontal
+/// layout).
 ///
 /// `values` must contain exactly [`BLOCK`] entries (callers pad the
 /// final block). Also used by GPU-DFOR, whose delta blocks share this
 /// exact layout.
 pub(crate) fn encode_block(values: &[i32], data: &mut Vec<u32>) {
-    debug_assert_eq!(values.len(), BLOCK);
-    let reference = *values.iter().min().expect("block is non-empty");
-    // Offsets from the reference always fit u32 because
-    // max(i32) - min(i32) <= u32::MAX.
-    let mut deltas = [0u32; BLOCK];
-    for (d, &v) in deltas.iter_mut().zip(values) {
-        *d = (v as i64 - reference as i64) as u32;
-    }
-    let mut widths = [0u32; MINIBLOCKS_PER_BLOCK];
-    for (m, w) in widths.iter_mut().enumerate() {
-        let mb = &deltas[m * MINIBLOCK..(m + 1) * MINIBLOCK];
-        *w = bits_for(mb.iter().copied().max().unwrap_or(0));
-    }
-    data.push(reference as u32);
-    data.push(widths[0] | widths[1] << 8 | widths[2] << 16 | widths[3] << 24);
-    for (m, &w) in widths.iter().enumerate() {
-        pack_into(&deltas[m * MINIBLOCK..(m + 1) * MINIBLOCK], w, data);
-    }
+    let values: &[i32; BLOCK] = values.try_into().expect("exact block");
+    let plan = plan_block(values);
+    pack_block_with_plan(values, &plan, Layout::Horizontal, data);
 }
 
 impl GpuFor {
@@ -78,26 +218,57 @@ impl GpuFor {
     /// assert_eq!(encoded.decode_cpu(), values);
     /// ```
     pub fn encode(values: &[i32]) -> Self {
+        Self::encode_with_layout(values, Layout::Horizontal)
+    }
+
+    /// Encode with an explicit payload [`Layout`].
+    ///
+    /// `Horizontal` is bit-identical to [`GpuFor::encode`]. `Vertical`
+    /// lane-transposes every block at its max miniblock width — on
+    /// width-heterogeneous blocks that costs space, which is why the
+    /// auto chooser ([`GpuFor::encode_auto`]) only picks it when it is
+    /// free.
+    pub fn encode_with_layout(values: &[i32], layout: Layout) -> Self {
+        let plans: Vec<BlockPlan> = values.chunks(BLOCK).map(chunk_plan).collect();
+        Self::encode_planned(values, &plans, layout)
+    }
+
+    /// Encode, choosing the layout per column: vertical when every
+    /// block's four miniblock widths agree (then the lane transpose is
+    /// byte-for-byte the same size and the SIMD decode path applies),
+    /// horizontal otherwise. This is what `EncodedColumn::encode_as`
+    /// uses — the plan-time dispatch of the vectorized decode path.
+    pub fn encode_auto(values: &[i32]) -> Self {
+        let plans: Vec<BlockPlan> = values.chunks(BLOCK).map(chunk_plan).collect();
+        let layout = auto_layout(plans.iter().copied());
+        Self::encode_planned(values, &plans, layout)
+    }
+
+    /// Packing pass over pre-planned blocks (also the parallel
+    /// encoder's per-chunk worker, which decides `layout` globally
+    /// before packing any chunk).
+    pub(crate) fn encode_planned(values: &[i32], plans: &[BlockPlan], layout: Layout) -> Self {
         let blocks = blocks_for(values.len());
         let mut data = Vec::with_capacity(blocks * (BLOCK_HEADER_WORDS + BLOCK / 4));
         let mut block_starts = Vec::with_capacity(blocks + 1);
         let mut padded = [0i32; BLOCK];
-        for chunk in values.chunks(BLOCK) {
+        for (chunk, plan) in values.chunks(BLOCK).zip(plans) {
             block_starts.push(data.len() as u32);
-            if chunk.len() == BLOCK {
-                encode_block(chunk, &mut data);
+            let full: &[i32; BLOCK] = if chunk.len() == BLOCK {
+                chunk.try_into().expect("exact block")
             } else {
-                let pad = *chunk.iter().min().expect("chunk is non-empty");
                 padded[..chunk.len()].copy_from_slice(chunk);
-                padded[chunk.len()..].fill(pad);
-                encode_block(&padded, &mut data);
-            }
+                padded[chunk.len()..].fill(plan.reference);
+                &padded
+            };
+            pack_block_with_plan(full, plan, layout, &mut data);
         }
         block_starts.push(data.len() as u32);
         GpuFor {
             total_count: values.len(),
             block_starts,
             data,
+            layout,
         }
     }
 
@@ -139,6 +310,7 @@ impl GpuFor {
     /// measurable fraction of the whole decode.
     pub fn decode_cpu_into(&self, out: &mut Vec<i32>) {
         out.resize(self.blocks() * BLOCK, 0);
+        let vertical = self.layout == Layout::Vertical;
         for (b, block_out) in out.chunks_exact_mut(BLOCK).enumerate() {
             let start = self.block_starts[b] as usize;
             let block = &self.data[start..];
@@ -147,12 +319,20 @@ impl GpuFor {
             let w0 = bw_word & 0xFF;
             if bw_word == w0.wrapping_mul(0x0101_0101) {
                 // All four miniblocks share a width (the common case on
-                // homogeneous data): decode the whole block through one
+                // homogeneous data, and every encoder-written vertical
+                // block): decode the whole block through one
                 // monomorphized kernel, amortizing dispatch overhead.
                 let block_out: &mut [i32; BLOCK] = block_out.try_into().expect("exact block");
-                unpack_block_ref(&block[BLOCK_HEADER_WORDS..], w0, reference, block_out);
+                if vertical {
+                    vunpack_block_ref(&block[BLOCK_HEADER_WORDS..], w0, reference, block_out);
+                } else {
+                    unpack_block_ref(&block[BLOCK_HEADER_WORDS..], w0, reference, block_out);
+                }
                 continue;
             }
+            // Width-heterogeneous block: always the horizontal
+            // interpretation (the vertical encoder never writes one;
+            // hostile minor-2 streams fall back here deterministically).
             let mut offset = BLOCK_HEADER_WORDS;
             for (m, mb_out) in block_out.chunks_exact_mut(MINIBLOCK).enumerate() {
                 let w = (bw_word >> (8 * m)) & 0xFF;
@@ -164,6 +344,24 @@ impl GpuFor {
         out.truncate(self.total_count);
     }
 
+    /// A horizontal rendering of this column: identical values,
+    /// references, widths, sizes and `block_starts`, with every
+    /// lane-transposed payload repacked per-miniblock. Returns a clone
+    /// when the column already is horizontal. Used to derive the
+    /// legacy minor-0 byte stream of a vertical column.
+    pub fn to_horizontal(&self) -> Self {
+        let mut out = self.clone();
+        if self.layout == Layout::Horizontal {
+            return out;
+        }
+        out.layout = Layout::Horizontal;
+        for b in 0..self.blocks() {
+            let start = self.block_starts[b] as usize;
+            transpose_block_to_horizontal(&mut out.data[start..]);
+        }
+        out
+    }
+
     /// Upload to the simulated device (payload plus derived per-block
     /// checksums, so decode can verify staged tiles).
     pub fn to_device(&self, dev: &Device) -> GpuForDevice {
@@ -172,6 +370,7 @@ impl GpuFor {
             block_starts: dev.alloc_from_slice(&self.block_starts),
             data: dev.alloc_from_slice(&self.data),
             checksums: dev.alloc_from_slice(&self.block_checksums()),
+            layout: self.layout,
         }
     }
 }
@@ -187,6 +386,8 @@ pub struct GpuForDevice {
     pub data: GlobalBuffer<u32>,
     /// Per-block FNV-1a checksums (`blocks` entries).
     pub checksums: GlobalBuffer<u32>,
+    /// Physical payload arrangement (see [`Layout`]).
+    pub layout: Layout,
 }
 
 impl GpuForDevice {
@@ -370,7 +571,7 @@ pub fn load_tile(
     ctx.set_phase(Phase::Unpack);
     for &start in tile.starts.iter().take(tile.tile_blocks) {
         let block_off = start as usize - tile.tile_start;
-        decode_block_from_shared(ctx, block_off, opts.precompute_offsets, out);
+        decode_block_from_shared(ctx, block_off, opts.precompute_offsets, col.layout, out);
     }
     out.truncate(tile.decoded);
     ctx.bump(Counter::TilesDecoded, 1);
@@ -410,13 +611,49 @@ pub fn load_tile_select(
     let mut scratch = [0u32; MINIBLOCK];
     for (b, &start) in tile.starts.iter().take(tile.tile_blocks).enumerate() {
         let block_off = start as usize - tile.tile_start;
-        let (reference, table) = {
+        let (reference, bw_word) = {
             let shared = ctx.shared();
-            (
-                shared[block_off] as i32,
-                miniblock_table(shared[block_off + 1]),
-            )
+            (shared[block_off] as i32, shared[block_off + 1])
         };
+        let table = miniblock_table(bw_word);
+        let w0 = bw_word & 0xFF;
+        if col.layout == Layout::Vertical && bw_word == w0.wrapping_mul(0x0101_0101) {
+            // Lane-transposed block: lanes interleave every four
+            // logical slots, so the skip granularity is the whole
+            // block — dead only if all 128 incoming lanes are dead.
+            let pos = b * BLOCK;
+            let live =
+                |lane: usize| sel_in.is_none_or(|s| s.get(pos + lane).copied().unwrap_or(false));
+            if (0..BLOCK).all(|lane| !live(lane)) {
+                ctx.bump(Counter::MiniblocksSkipped, MINIBLOCKS_PER_BLOCK as u64);
+                ctx.add_int_ops(4 * MINIBLOCKS_PER_BLOCK as u64);
+                out.resize(out.len() + BLOCK, 0);
+                sel.resize(sel.len() + BLOCK, false);
+                continue;
+            }
+            ctx.set_phase(Phase::Unpack);
+            ctx.bump(Counter::MiniblocksUnpacked, MINIBLOCKS_PER_BLOCK as u64);
+            let mut vals = [0i32; BLOCK];
+            {
+                let (shared, traffic) = ctx.shared_and_traffic();
+                let payload = &shared[block_off + BLOCK_HEADER_WORDS..];
+                vunpack_block_ref(
+                    &payload[..MINIBLOCKS_PER_BLOCK * w0 as usize],
+                    w0,
+                    reference,
+                    &mut vals,
+                );
+                traffic.shared_bytes += MINIBLOCKS_PER_BLOCK as u64 * (w0 as u64 * 4 + 8);
+                traffic.int_ops += BLOCK as u64 * 4;
+            }
+            ctx.set_phase(Phase::Predicate);
+            ctx.add_int_ops(BLOCK as u64 * 2);
+            for (lane, &v) in vals.iter().enumerate() {
+                out.push(v);
+                sel.push(live(lane) && pred(v));
+            }
+            continue;
+        }
         for (m, &(offset, w)) in table.iter().enumerate() {
             let pos = b * BLOCK + m * MINIBLOCK;
             let live =
@@ -459,10 +696,18 @@ pub fn load_tile_select(
 }
 
 /// Decode one staged block (128 values) from shared memory into `out`.
+///
+/// Under [`Layout::Vertical`], a width-uniform block unpacks through
+/// the lane-transposed SIMD kernel (all four miniblocks at once — the
+/// row-major contiguity means one vector op covers four adjacent
+/// values); width-heterogeneous blocks take the horizontal
+/// interpretation, matching `decode_cpu_into`'s rule exactly so the
+/// fuzz oracle sees identical output from both decoders.
 pub(crate) fn decode_block_from_shared(
     ctx: &mut BlockCtx<'_>,
     block_off: usize,
     precompute: bool,
+    layout: Layout,
     out: &mut Vec<i32>,
 ) {
     ctx.bump(Counter::MiniblocksUnpacked, MINIBLOCKS_PER_BLOCK as u64);
@@ -494,6 +739,13 @@ pub(crate) fn decode_block_from_shared(
 
     let payload = &block[BLOCK_HEADER_WORDS..];
     out.reserve(BLOCK);
+    let w0 = bw_word & 0xFF;
+    if layout == Layout::Vertical && bw_word == w0.wrapping_mul(0x0101_0101) {
+        let mut vals = [0i32; BLOCK];
+        vunpack_block_ref(&payload[..payload_words as usize], w0, reference, &mut vals);
+        out.extend_from_slice(&vals);
+        return;
+    }
     let mut scratch = [0u32; MINIBLOCK];
     for &(offset, w) in table.iter().take(MINIBLOCKS_PER_BLOCK) {
         unpack_miniblock(&payload[offset as usize..], w, &mut scratch);

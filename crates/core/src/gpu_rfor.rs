@@ -15,7 +15,8 @@
 //! a gather of the values — all entirely in shared memory, fused into a
 //! single kernel pass.
 
-use tlc_bitpack::horizontal::pack_into;
+use tlc_bitpack::pack::pack_miniblock;
+use tlc_bitpack::simd::vunpack_block_ref;
 use tlc_bitpack::unpack::unpack_miniblock_ref;
 use tlc_bitpack::width::bits_for;
 use tlc_bitpack::MINIBLOCK;
@@ -24,7 +25,8 @@ use tlc_gpu_sim::{BlockCtx, Counter, Device, GlobalBuffer, KernelConfig, Phase};
 
 use crate::checksum::{fnv1a, fnv1a_continue};
 use crate::error::DecodeError;
-use crate::format::RFOR_BLOCK;
+use crate::format::{Layout, BLOCK, MINIBLOCKS_PER_BLOCK, RFOR_BLOCK};
+use crate::gpu_for::transpose_payload_to_horizontal;
 
 const SCHEME: &str = "GPU-RFOR";
 
@@ -41,39 +43,84 @@ pub struct GpuRFor {
     pub lengths_starts: Vec<u32>,
     /// Compressed run-lengths stream.
     pub lengths_data: Vec<u32>,
+    /// Physical stream payload arrangement (see [`Layout`]). Under
+    /// `Vertical`, every *complete* group of four miniblocks (128
+    /// entries) in a stream block is lane-transposed at the group's
+    /// max width; tail miniblocks stay horizontal.
+    pub layout: Layout,
+}
+
+/// Reusable per-stream-block encode scratch (offsets + widths), hoisted
+/// out of the per-block loop so steady-state encode allocates nothing.
+#[derive(Default)]
+struct StreamScratch {
+    deltas: Vec<u32>,
+    widths: Vec<u32>,
 }
 
 /// Encode one FOR+bit-packed stream block (used for both values and
 /// lengths). `raw` is padded to a multiple of 32 with the reference
 /// (zero-width deltas). Layout: `[ref][bw bytes, 4/word][miniblocks]`.
-fn encode_stream_block(raw: &[i32], data: &mut Vec<u32>) {
+///
+/// Under [`Layout::Vertical`] every complete group of four miniblocks
+/// packs lane-transposed at the group's shared (max) width — the four
+/// width bytes of that group's bitwidth word repeat it — while a tail
+/// of fewer than four miniblocks keeps the horizontal form.
+fn encode_stream_block(raw: &[i32], layout: Layout, s: &mut StreamScratch, data: &mut Vec<u32>) {
     let reference = *raw.iter().min().expect("stream block is non-empty");
     let padded = raw.len().div_ceil(MINIBLOCK) * MINIBLOCK;
-    let mut deltas = vec![0u32; padded];
-    for (d, &v) in deltas.iter_mut().zip(raw) {
-        *d = (v as i64 - reference as i64) as u32;
+    s.deltas.clear();
+    s.deltas.resize(padded, 0);
+    for (d, &v) in s.deltas.iter_mut().zip(raw) {
+        *d = v.wrapping_sub(reference) as u32;
     }
     let miniblocks = padded / MINIBLOCK;
-    let mut widths = vec![0u32; miniblocks];
-    for (m, w) in widths.iter_mut().enumerate() {
-        *w = bits_for(
-            deltas[m * MINIBLOCK..(m + 1) * MINIBLOCK]
-                .iter()
-                .copied()
-                .max()
-                .unwrap_or(0),
-        );
+    s.widths.clear();
+    s.widths.resize(miniblocks, 0);
+    for (m, w) in s.widths.iter_mut().enumerate() {
+        let mut or = 0u32;
+        for &d in &s.deltas[m * MINIBLOCK..(m + 1) * MINIBLOCK] {
+            or |= d;
+        }
+        *w = bits_for(or);
+    }
+    if layout == Layout::Vertical {
+        // Promote each complete group of four widths to the group max.
+        for group in s.widths.chunks_exact_mut(MINIBLOCKS_PER_BLOCK) {
+            let w = group.iter().copied().max().unwrap_or(0);
+            group.fill(w);
+        }
     }
     data.push(reference as u32);
-    for chunk in widths.chunks(4) {
+    for chunk in s.widths.chunks(4) {
         let mut word = 0u32;
         for (i, &w) in chunk.iter().enumerate() {
             word |= w << (8 * i);
         }
         data.push(word);
     }
-    for (m, &w) in widths.iter().enumerate() {
-        pack_into(&deltas[m * MINIBLOCK..(m + 1) * MINIBLOCK], w, data);
+    let full_groups = if layout == Layout::Vertical {
+        miniblocks / MINIBLOCKS_PER_BLOCK
+    } else {
+        0
+    };
+    for g in 0..full_groups {
+        let w = s.widths[g * MINIBLOCKS_PER_BLOCK];
+        let start = data.len();
+        data.resize(start + MINIBLOCKS_PER_BLOCK * w as usize, 0);
+        let vals: &[u32; BLOCK] = s.deltas[g * BLOCK..(g + 1) * BLOCK]
+            .try_into()
+            .expect("exact group");
+        tlc_bitpack::simd::vpack_block(vals, w, &mut data[start..]);
+    }
+    for m in full_groups * MINIBLOCKS_PER_BLOCK..miniblocks {
+        let w = s.widths[m];
+        let start = data.len();
+        data.resize(start + w as usize, 0);
+        let mb: &[u32; MINIBLOCK] = s.deltas[m * MINIBLOCK..(m + 1) * MINIBLOCK]
+            .try_into()
+            .expect("exact miniblock");
+        pack_miniblock(mb, w, &mut data[start..]);
     }
 }
 
@@ -87,6 +134,21 @@ fn encode_stream_block(raw: &[i32], data: &mut Vec<u32>) {
 /// Declared widths must be `<= 32` and fit inside `block`; run
 /// [`checked_stream_words`] first on untrusted input.
 pub fn decode_stream_block_into(block: &[u32], count: usize, out: &mut Vec<i32>) {
+    decode_stream_block_layout_into(block, count, Layout::Horizontal, out);
+}
+
+/// Layout-aware form of [`decode_stream_block_into`]. Under
+/// [`Layout::Vertical`], a complete four-miniblock group whose declared
+/// widths agree is lane-transposed and decodes through the vectorized
+/// [`vunpack_block_ref`]; groups with differing widths (hostile
+/// minor-2 streams only) and tail miniblocks take the horizontal
+/// interpretation — the same deterministic rule as the block formats.
+pub fn decode_stream_block_layout_into(
+    block: &[u32],
+    count: usize,
+    layout: Layout,
+    out: &mut Vec<i32>,
+) {
     out.clear();
     let reference = block[0] as i32;
     let padded = count.div_ceil(MINIBLOCK) * MINIBLOCK;
@@ -94,13 +156,61 @@ pub fn decode_stream_block_into(block: &[u32], count: usize, out: &mut Vec<i32>)
     let bw_words = miniblocks.div_ceil(4);
     out.resize(padded, 0);
     let mut offset = 1 + bw_words;
-    for (m, mb_out) in out.chunks_exact_mut(MINIBLOCK).enumerate() {
-        let w = (block[1 + m / 4] >> (8 * (m % 4))) & 0xFF;
-        let mb_out: &mut [i32; MINIBLOCK] = mb_out.try_into().expect("exact chunk");
+    let mut m = 0usize;
+    while m < miniblocks {
+        let bw_word = block[1 + m / 4];
+        if layout == Layout::Vertical
+            && m.is_multiple_of(4)
+            && m + MINIBLOCKS_PER_BLOCK <= miniblocks
+        {
+            let w0 = bw_word & 0xFF;
+            if bw_word == w0.wrapping_mul(0x0101_0101) {
+                let group_out: &mut [i32; BLOCK] = (&mut out[m * MINIBLOCK..m * MINIBLOCK + BLOCK])
+                    .try_into()
+                    .expect("exact group");
+                vunpack_block_ref(&block[offset..], w0, reference, group_out);
+                offset += MINIBLOCKS_PER_BLOCK * w0 as usize;
+                m += MINIBLOCKS_PER_BLOCK;
+                continue;
+            }
+        }
+        let w = (bw_word >> (8 * (m % 4))) & 0xFF;
+        let mb_out: &mut [i32; MINIBLOCK] = (&mut out[m * MINIBLOCK..(m + 1) * MINIBLOCK])
+            .try_into()
+            .expect("exact chunk");
         unpack_miniblock_ref(&block[offset..], w, reference, mb_out);
         offset += w as usize;
+        m += 1;
     }
     out.truncate(count);
+}
+
+/// Rewrite one vertical stream block (starting at its reference word)
+/// into the horizontal arrangement in place: every complete
+/// four-miniblock group with equal declared widths is lane-transposed
+/// and gets re-packed horizontally; everything else already is.
+fn transpose_stream_block(block: &mut [u32], count: usize) {
+    let padded = count.div_ceil(MINIBLOCK) * MINIBLOCK;
+    let miniblocks = padded / MINIBLOCK;
+    let bw_words = miniblocks.div_ceil(4);
+    let mut offset = 1 + bw_words;
+    let mut m = 0usize;
+    while m < miniblocks {
+        let bw_word = block[1 + m / 4];
+        let w = (bw_word >> (8 * (m % 4))) & 0xFF;
+        if m.is_multiple_of(4) && m + MINIBLOCKS_PER_BLOCK <= miniblocks {
+            let w0 = bw_word & 0xFF;
+            if bw_word == w0.wrapping_mul(0x0101_0101) {
+                let end = offset + MINIBLOCKS_PER_BLOCK * w0 as usize;
+                transpose_payload_to_horizontal(&mut block[offset..end], w0);
+                offset = end;
+                m += MINIBLOCKS_PER_BLOCK;
+                continue;
+            }
+        }
+        offset += w as usize;
+        m += 1;
+    }
 }
 
 /// Allocating wrapper around [`decode_stream_block_into`]. Public so
@@ -152,6 +262,15 @@ impl GpuRFor {
     /// Encode a column: RLE per 512-value block, then FOR + bit packing
     /// on the values and lengths arrays of each block.
     pub fn encode(values: &[i32]) -> Self {
+        // RFOR's run streams are short and width-heterogeneous in
+        // practice, so the automatic layout choice is always
+        // horizontal; [`Self::encode_with_layout`] exposes the forced
+        // vertical form for tests and serialization.
+        Self::encode_with_layout(values, Layout::Horizontal)
+    }
+
+    /// Encode with an explicit stream layout (see [`GpuRFor::layout`]).
+    pub fn encode_with_layout(values: &[i32], layout: Layout) -> Self {
         let blocks = values.len().div_ceil(RFOR_BLOCK);
         let mut enc = GpuRFor {
             total_count: values.len(),
@@ -159,32 +278,55 @@ impl GpuRFor {
             values_data: Vec::new(),
             lengths_starts: Vec::with_capacity(blocks + 1),
             lengths_data: Vec::new(),
+            layout,
         };
+        let mut scratch = StreamScratch::default();
         let mut run_values: Vec<i32> = Vec::with_capacity(RFOR_BLOCK);
         let mut run_lengths: Vec<i32> = Vec::with_capacity(RFOR_BLOCK);
         for chunk in values.chunks(RFOR_BLOCK) {
             run_values.clear();
             run_lengths.clear();
-            for &v in chunk {
-                match run_values.last() {
-                    Some(&last) if last == v => {
-                        *run_lengths.last_mut().expect("non-empty") += 1;
-                    }
-                    _ => {
-                        run_values.push(v);
-                        run_lengths.push(1);
-                    }
+            // Boundary scan: each run is one inner loop that stops at
+            // the first differing value, so the hot path is a plain
+            // compare-and-advance the optimizer vectorizes.
+            let mut i = 0;
+            while i < chunk.len() {
+                let v = chunk[i];
+                let mut j = i + 1;
+                while j < chunk.len() && chunk[j] == v {
+                    j += 1;
                 }
+                run_values.push(v);
+                run_lengths.push((j - i) as i32);
+                i = j;
             }
             enc.values_starts.push(enc.values_data.len() as u32);
             enc.values_data.push(run_values.len() as u32);
-            encode_stream_block(&run_values, &mut enc.values_data);
+            encode_stream_block(&run_values, layout, &mut scratch, &mut enc.values_data);
             enc.lengths_starts.push(enc.lengths_data.len() as u32);
-            encode_stream_block(&run_lengths, &mut enc.lengths_data);
+            encode_stream_block(&run_lengths, layout, &mut scratch, &mut enc.lengths_data);
         }
         enc.values_starts.push(enc.values_data.len() as u32);
         enc.lengths_starts.push(enc.lengths_data.len() as u32);
         enc
+    }
+
+    /// Return an equivalent column in the horizontal stream layout
+    /// (used to render minor-0/1 wire bytes from a vertical column).
+    pub fn to_horizontal(&self) -> Self {
+        let mut out = self.clone();
+        if self.layout == Layout::Horizontal {
+            return out;
+        }
+        out.layout = Layout::Horizontal;
+        for b in 0..self.blocks() {
+            let vstart = self.values_starts[b] as usize;
+            let run_count = self.values_data[vstart] as usize;
+            transpose_stream_block(&mut out.values_data[vstart + 1..], run_count);
+            let lstart = self.lengths_starts[b] as usize;
+            transpose_stream_block(&mut out.lengths_data[lstart..], run_count);
+        }
+        out
     }
 
     /// Number of 512-value logical blocks.
@@ -227,9 +369,19 @@ impl GpuRFor {
         for b in 0..self.blocks() {
             let vstart = self.values_starts[b] as usize;
             let run_count = self.values_data[vstart] as usize;
-            decode_stream_block_into(&self.values_data[vstart + 1..], run_count, &mut vals);
+            decode_stream_block_layout_into(
+                &self.values_data[vstart + 1..],
+                run_count,
+                self.layout,
+                &mut vals,
+            );
             let lstart = self.lengths_starts[b] as usize;
-            decode_stream_block_into(&self.lengths_data[lstart..], run_count, &mut lens);
+            decode_stream_block_layout_into(
+                &self.lengths_data[lstart..],
+                run_count,
+                self.layout,
+                &mut lens,
+            );
             if lens.iter().all(|&l| l == 1) {
                 // Incompressible block: the RLE layer is the identity
                 // and the values stream is the output verbatim.
@@ -253,6 +405,7 @@ impl GpuRFor {
             lengths_starts: dev.alloc_from_slice(&self.lengths_starts),
             lengths_data: dev.alloc_from_slice(&self.lengths_data),
             checksums: dev.alloc_from_slice(&self.block_checksums()),
+            layout: self.layout,
         }
     }
 }
@@ -273,6 +426,8 @@ pub struct GpuRForDevice {
     /// Per-block FNV-1a checksums, chained over the block's values
     /// words then its lengths words (`blocks` entries).
     pub checksums: GlobalBuffer<u32>,
+    /// Physical stream payload arrangement (see [`Layout`]).
+    pub layout: Layout,
 }
 
 impl GpuRForDevice {
@@ -406,10 +561,11 @@ pub fn load_tile(
     let (mut vals, mut lens) = (Vec::new(), Vec::new());
     {
         let shared = ctx.shared();
-        decode_stream_block_into(&shared[1..ve - vs], run_count, &mut vals);
-        decode_stream_block_into(
+        decode_stream_block_layout_into(&shared[1..ve - vs], run_count, col.layout, &mut vals);
+        decode_stream_block_layout_into(
             &shared[lengths_off..lengths_off + (le - ls)],
             run_count,
+            col.layout,
             &mut lens,
         );
     }

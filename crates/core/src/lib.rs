@@ -81,7 +81,9 @@ pub mod validate;
 
 pub use column::{EncodedColumn, Scheme};
 pub use error::DecodeError;
-pub use format::{ForDecodeOpts, BLOCK, DEFAULT_D, MINIBLOCK, MINIBLOCKS_PER_BLOCK, RFOR_BLOCK};
+pub use format::{
+    ForDecodeOpts, Layout, BLOCK, DEFAULT_D, MINIBLOCK, MINIBLOCKS_PER_BLOCK, RFOR_BLOCK,
+};
 pub use gpu_dfor::GpuDFor;
 pub use gpu_for::GpuFor;
 pub use gpu_rfor::GpuRFor;

@@ -9,9 +9,9 @@
 
 use tlc_gpu_sim::threads::{partitions, threads_from_env};
 
-use crate::format::{BLOCK, DEFAULT_D, RFOR_BLOCK};
+use crate::format::{Layout, BLOCK, DEFAULT_D, RFOR_BLOCK};
 use crate::gpu_dfor::GpuDFor;
-use crate::gpu_for::GpuFor;
+use crate::gpu_for::{auto_layout, chunk_plan, BlockPlan, GpuFor};
 use crate::gpu_rfor::GpuRFor;
 use crate::{EncodedColumn, Scheme};
 
@@ -27,21 +27,23 @@ fn map_chunks<E: Send>(
     values: &[i32],
     align: usize,
     threads: usize,
-    encode: impl Fn(&[i32]) -> E + Sync,
+    encode: impl Fn(usize, &[i32]) -> E + Sync,
 ) -> Vec<E> {
     let parts = partitions(values.len(), align, threads);
     if parts.len() <= 1 {
         return parts
             .into_iter()
-            .map(|(lo, hi)| encode(&values[lo..hi]))
+            .enumerate()
+            .map(|(i, (lo, hi))| encode(i, &values[lo..hi]))
             .collect();
     }
     std::thread::scope(|scope| {
         let handles: Vec<_> = parts
             .iter()
-            .map(|&(lo, hi)| {
+            .enumerate()
+            .map(|(i, &(lo, hi))| {
                 let encode = &encode;
-                scope.spawn(move || encode(&values[lo..hi]))
+                scope.spawn(move || encode(i, &values[lo..hi]))
             })
             .collect();
         handles
@@ -52,13 +54,30 @@ fn map_chunks<E: Send>(
 }
 
 impl GpuFor {
-    /// Encode on multiple threads; bit-identical to [`GpuFor::encode`].
+    /// Encode on multiple threads; bit-identical to
+    /// [`GpuFor::encode_auto`]. Runs as two chunked passes: plan every
+    /// block, decide the column-global layout from all plans (the
+    /// layout is a whole-column property, so no chunk may choose it
+    /// alone), then pack each chunk with that layout and its stored
+    /// plans.
     pub fn encode_parallel(values: &[i32], threads: usize) -> Self {
-        let chunks = map_chunks(values, BLOCK, threads, GpuFor::encode);
+        if partitions(values.len(), BLOCK, threads).len() <= 1 {
+            // One chunk: the fused serial encoder produces the same
+            // bytes without the plan-store/pack/splice round trips.
+            return Self::encode_auto(values);
+        }
+        let chunk_plans: Vec<Vec<BlockPlan>> = map_chunks(values, BLOCK, threads, |_, chunk| {
+            chunk.chunks(BLOCK).map(chunk_plan).collect()
+        });
+        let layout = auto_layout(chunk_plans.iter().flatten().copied());
+        let chunks = map_chunks(values, BLOCK, threads, |i, chunk| {
+            GpuFor::encode_planned(chunk, &chunk_plans[i], layout)
+        });
         let mut merged = GpuFor {
             total_count: values.len(),
             block_starts: vec![],
             data: vec![],
+            layout,
         };
         for c in chunks {
             let base = merged.data.len() as u32;
@@ -75,16 +94,29 @@ impl GpuFor {
 }
 
 impl GpuDFor {
-    /// Encode on multiple threads; bit-identical to [`GpuDFor::encode`]
-    /// (partitions align to tile boundaries, the delta scope).
+    /// Encode on multiple threads; bit-identical to
+    /// [`GpuDFor::encode_auto`] (partitions align to tile boundaries,
+    /// the delta scope, so chunk-local plans equal the global ones).
+    /// Same two-pass plan-then-pack structure as [`GpuFor`].
     pub fn encode_parallel(values: &[i32], threads: usize) -> Self {
         let d = DEFAULT_D;
-        let chunks = map_chunks(values, d * BLOCK, threads, GpuDFor::encode);
+        if partitions(values.len(), d * BLOCK, threads).len() <= 1 {
+            return Self::encode_auto(values);
+        }
+        let chunk_plans: Vec<Vec<BlockPlan>> =
+            map_chunks(values, d * BLOCK, threads, |_, chunk| {
+                GpuDFor::plan_blocks(chunk, d)
+            });
+        let layout = auto_layout(chunk_plans.iter().flatten().copied());
+        let chunks = map_chunks(values, d * BLOCK, threads, |i, chunk| {
+            GpuDFor::encode_planned(chunk, d, layout, Some(&chunk_plans[i]))
+        });
         let mut merged = GpuDFor {
             total_count: values.len(),
             d,
             block_starts: vec![],
             data: vec![],
+            layout,
         };
         for c in chunks {
             let base = merged.data.len() as u32;
@@ -105,13 +137,17 @@ impl GpuRFor {
     /// (partitions align to the 512-value RLE blocks, which runs never
     /// cross).
     pub fn encode_parallel(values: &[i32], threads: usize) -> Self {
-        let chunks = map_chunks(values, RFOR_BLOCK, threads, GpuRFor::encode);
+        if partitions(values.len(), RFOR_BLOCK, threads).len() <= 1 {
+            return Self::encode(values);
+        }
+        let chunks = map_chunks(values, RFOR_BLOCK, threads, |_, c| GpuRFor::encode(c));
         let mut merged = GpuRFor {
             total_count: values.len(),
             values_starts: vec![],
             values_data: vec![],
             lengths_starts: vec![],
             lengths_data: vec![],
+            layout: Layout::Horizontal,
         };
         for c in chunks {
             let vbase = merged.values_data.len() as u32;
@@ -183,7 +219,7 @@ mod tests {
             for threads in [1, 2, 3, 8] {
                 assert_eq!(
                     GpuFor::encode_parallel(&values, threads),
-                    GpuFor::encode(&values),
+                    GpuFor::encode_auto(&values),
                     "threads = {threads}, n = {}",
                     values.len()
                 );
@@ -197,7 +233,7 @@ mod tests {
             for threads in [2, 5] {
                 assert_eq!(
                     GpuDFor::encode_parallel(&values, threads),
-                    GpuDFor::encode(&values),
+                    GpuDFor::encode_auto(&values),
                     "n = {}",
                     values.len()
                 );

@@ -9,19 +9,25 @@
 //! consistent lengths) before constructing a column, so corrupted input
 //! is rejected instead of decoded into garbage.
 //!
-//! Format minor version 1 (the current writer) appends the per-block
-//! FNV-1a checksum array of [`crate::checksum`] and a trailing
-//! whole-stream digest word. The digest makes *every* single-byte
-//! change to a serialized column detectable (the FNV mix step is
-//! bijective per word), and the per-block array rides along to the
-//! device so decode kernels can verify staged tiles. Minor version 0
-//! streams (no checksums) are still accepted.
+//! Format minor version 1 appends the per-block FNV-1a checksum array
+//! of [`crate::checksum`] and a trailing whole-stream digest word. The
+//! digest makes *every* single-byte change to a serialized column
+//! detectable (the FNV mix step is bijective per word), and the
+//! per-block array rides along to the device so decode kernels can
+//! verify staged tiles. Minor version 0 streams (no checksums) are
+//! still accepted.
+//!
+//! Format minor version 2 marks the payload as lane-transposed
+//! ([`crate::format::Layout::Vertical`]); the field layout is identical
+//! to minor 1 — only the bit arrangement inside block payloads differs.
+//! The writer emits minor 2 exactly when the column is vertical, so
+//! horizontal columns keep producing byte-identical minor-1 streams.
 
 use std::fmt;
 
 use crate::checksum::fnv1a;
 use crate::column::EncodedColumn;
-use crate::format::{BLOCK, BLOCK_HEADER_WORDS, MINIBLOCKS_PER_BLOCK, RFOR_BLOCK};
+use crate::format::{Layout, BLOCK, BLOCK_HEADER_WORDS, MINIBLOCKS_PER_BLOCK, RFOR_BLOCK};
 use crate::gpu_dfor::GpuDFor;
 use crate::gpu_for::GpuFor;
 use crate::gpu_rfor::GpuRFor;
@@ -31,11 +37,31 @@ use crate::Scheme;
 /// Magic word at the head of every serialized column ("TLC1").
 pub const MAGIC: u32 = 0x544C_4331;
 
-/// Format minor version written by [`EncodedColumn::to_bytes`]: the
-/// low byte of the scheme word is the scheme id, the high bytes the
-/// minor version. Minor 1 adds per-block checksums and a trailing
-/// whole-stream digest; minor 0 (no checksums) is still readable.
-pub const FORMAT_MINOR: u32 = 1;
+/// Newest format minor version this reader accepts: the low byte of
+/// the scheme word is the scheme id, the high bytes the minor version.
+/// Minor 1 adds per-block checksums and a trailing whole-stream digest;
+/// minor 2 marks a lane-transposed (vertical) payload. The writer
+/// stamps each stream with the *lowest* minor that can represent it
+/// (1 for horizontal columns, 2 for vertical), and minor 0 (no
+/// checksums) is still readable.
+pub const FORMAT_MINOR: u32 = 2;
+
+/// The minor version a column's layout requires on the wire.
+fn wire_minor(layout: Layout) -> u32 {
+    match layout {
+        Layout::Horizontal => 1,
+        Layout::Vertical => 2,
+    }
+}
+
+/// The payload layout a stream's minor version declares.
+fn layout_for_minor(minor: u32) -> Layout {
+    if minor >= 2 {
+        Layout::Vertical
+    } else {
+        Layout::Horizontal
+    }
+}
 
 /// Why a byte stream was rejected.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -166,10 +192,6 @@ struct Writer {
 }
 
 impl Writer {
-    fn new(scheme: Scheme) -> Self {
-        Self::with_minor(scheme, FORMAT_MINOR)
-    }
-
     fn with_minor(scheme: Scheme, minor: u32) -> Self {
         Writer {
             words: vec![MAGIC, scheme_id(scheme) | (minor << 8)],
@@ -338,9 +360,10 @@ impl GpuFor {
         Ok(())
     }
 
-    /// Serialize to a self-describing little-endian byte stream.
+    /// Serialize to a self-describing little-endian byte stream
+    /// (minor 1 for horizontal columns, minor 2 for vertical).
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut w = Writer::new(Scheme::GpuFor);
+        let mut w = Writer::with_minor(Scheme::GpuFor, wire_minor(self.layout));
         w.word(self.total_count as u32);
         w.array(&self.block_starts);
         w.array(&self.data);
@@ -349,10 +372,14 @@ impl GpuFor {
     }
 
     /// Serialize in the legacy minor-0 layout: no per-block checksum
-    /// array, no trailing digest. Used by compatibility and
-    /// fault-campaign tests — on a minor-0 stream the structural
-    /// validator is the *only* line of defense.
+    /// array, no trailing digest, and always the horizontal payload
+    /// arrangement (a minor-0 reader knows no other). Used by
+    /// compatibility and fault-campaign tests — on a minor-0 stream the
+    /// structural validator is the *only* line of defense.
     pub fn to_bytes_minor0(&self) -> Vec<u8> {
+        if self.layout == Layout::Vertical {
+            return self.to_horizontal().to_bytes_minor0();
+        }
         let mut w = Writer::with_minor(Scheme::GpuFor, 0);
         w.word(self.total_count as u32);
         w.array(&self.block_starts);
@@ -387,6 +414,7 @@ impl GpuFor {
             total_count,
             block_starts,
             data,
+            layout: layout_for_minor(minor),
         };
         col.validate_deep(limits)?;
         if let Some(sums) = stored_sums {
@@ -460,9 +488,10 @@ impl GpuDFor {
         Ok(())
     }
 
-    /// Serialize to a self-describing little-endian byte stream.
+    /// Serialize to a self-describing little-endian byte stream
+    /// (minor 1 for horizontal columns, minor 2 for vertical).
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut w = Writer::new(Scheme::GpuDFor);
+        let mut w = Writer::with_minor(Scheme::GpuDFor, wire_minor(self.layout));
         w.word(self.total_count as u32);
         w.word(self.d as u32);
         w.array(&self.block_starts);
@@ -472,8 +501,11 @@ impl GpuDFor {
     }
 
     /// Serialize in the legacy minor-0 layout (no checksums, no
-    /// digest); see [`GpuFor::to_bytes_minor0`].
+    /// digest, horizontal payload); see [`GpuFor::to_bytes_minor0`].
     pub fn to_bytes_minor0(&self) -> Vec<u8> {
+        if self.layout == Layout::Vertical {
+            return self.to_horizontal().to_bytes_minor0();
+        }
         let mut w = Writer::with_minor(Scheme::GpuDFor, 0);
         w.word(self.total_count as u32);
         w.word(self.d as u32);
@@ -510,6 +542,7 @@ impl GpuDFor {
             d,
             block_starts,
             data,
+            layout: layout_for_minor(minor),
         };
         col.validate_deep(limits)?;
         if let Some(sums) = stored_sums {
@@ -569,9 +602,10 @@ impl GpuRFor {
         Ok(())
     }
 
-    /// Serialize to a self-describing little-endian byte stream.
+    /// Serialize to a self-describing little-endian byte stream
+    /// (minor 1 for horizontal columns, minor 2 for vertical).
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut w = Writer::new(Scheme::GpuRFor);
+        let mut w = Writer::with_minor(Scheme::GpuRFor, wire_minor(self.layout));
         w.word(self.total_count as u32);
         w.array(&self.values_starts);
         w.array(&self.values_data);
@@ -582,8 +616,11 @@ impl GpuRFor {
     }
 
     /// Serialize in the legacy minor-0 layout (no checksums, no
-    /// digest); see [`GpuFor::to_bytes_minor0`].
+    /// digest, horizontal payload); see [`GpuFor::to_bytes_minor0`].
     pub fn to_bytes_minor0(&self) -> Vec<u8> {
+        if self.layout == Layout::Vertical {
+            return self.to_horizontal().to_bytes_minor0();
+        }
         let mut w = Writer::with_minor(Scheme::GpuRFor, 0);
         w.word(self.total_count as u32);
         w.array(&self.values_starts);
@@ -623,6 +660,7 @@ impl GpuRFor {
             values_data,
             lengths_starts,
             lengths_data,
+            layout: layout_for_minor(minor),
         };
         col.validate_deep(limits)?;
         if let Some(sums) = stored_sums {

@@ -39,7 +39,7 @@
 use crate::format::{BLOCK, RFOR_BLOCK};
 use crate::gpu_dfor::GpuDFor;
 use crate::gpu_for::GpuFor;
-use crate::gpu_rfor::{checked_stream_words, decode_stream_block, GpuRFor};
+use crate::gpu_rfor::{checked_stream_words, decode_stream_block_layout_into, GpuRFor};
 use crate::serialize::FormatError;
 
 /// Decode fuel per thread block, in abstract work units (words staged +
@@ -177,6 +177,7 @@ impl GpuRFor {
         )?;
         self.validate()?;
         let blocks = self.blocks();
+        let mut lens = Vec::new();
         for b in 0..blocks {
             let (vs, ve) = (
                 self.values_starts[b] as usize,
@@ -196,7 +197,15 @@ impl GpuRFor {
             {
                 return Err(bad("stream widths overrun the block"));
             }
-            let lens = decode_stream_block(&self.lengths_data[ls..le], run_count);
+            // Decode under the column's own layout: a lane-transposed
+            // lengths stream read horizontally would yield garbage
+            // lengths and reject honest minor-2 streams.
+            decode_stream_block_layout_into(
+                &self.lengths_data[ls..le],
+                run_count,
+                self.layout,
+                &mut lens,
+            );
             let mut sum = 0usize;
             for &l in &lens {
                 if l < 1 || l as usize > RFOR_BLOCK {
@@ -288,6 +297,7 @@ mod tests {
             values_data: vec![1, 0, 0, 0],
             lengths_starts: vec![0, 1],
             lengths_data: vec![0],
+            layout: Default::default(),
         };
         assert!(col.validate_deep(&Limits::strict()).is_err());
         assert!(col.validate().is_err());

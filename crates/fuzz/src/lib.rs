@@ -114,6 +114,15 @@ pub fn base_streams(rng: &mut Rng) -> Vec<Vec<u8>> {
             out.push(col.to_bytes_minor0());
         }
     }
+    // Forced lane-transposed (format minor 2) streams for every scheme,
+    // so mutants probe the vertical decode rule too. The auto paths
+    // above already yield minor 2 where the shape is width-uniform;
+    // these cover forced-vertical RFOR (never automatic) and vertical
+    // blocks with heterogeneous natural widths.
+    use tlc_core::{GpuDFor, GpuFor, GpuRFor, Layout, DEFAULT_D};
+    out.push(GpuFor::encode_with_layout(&shapes[0], Layout::Vertical).to_bytes());
+    out.push(GpuDFor::encode_with_d_layout(&shapes[2], DEFAULT_D, Layout::Vertical).to_bytes());
+    out.push(GpuRFor::encode_with_layout(&shapes[1], Layout::Vertical).to_bytes());
     out
 }
 
@@ -250,6 +259,7 @@ pub fn regression_cases() -> Vec<(&'static str, Vec<u8>)> {
         values_data: vec![1, 0, 0, 0],
         lengths_starts: vec![0, 1],
         lengths_data: vec![0],
+        layout: Default::default(),
     }
     .to_bytes();
     // Inflated run lengths: raise the lengths stream's FOR reference so
@@ -267,6 +277,35 @@ pub fn regression_cases() -> Vec<(&'static str, Vec<u8>)> {
     let mut tampered = rfor.clone();
     tampered.values_data[0] = 0;
     let rfor_zero_runs = tampered.to_bytes();
+
+    // Minor-2 boundary cases. A width-uniform shape encodes vertical
+    // automatically; 16-bit pseudo-random values make every miniblock
+    // width 16.
+    use tlc_core::{GpuFor, GpuRFor as RF, Layout};
+    let uni: Vec<i32> = (0..512)
+        .map(|i| ((i as u32).wrapping_mul(2_654_435_761) >> 16) as i32)
+        .collect();
+    let vcol = GpuFor::encode_auto(&uni);
+    assert_eq!(vcol.layout, Layout::Vertical, "shape must encode vertical");
+    // Hostile minor-2 stream whose block 0 declares unequal widths that
+    // still sum to the block length: passes structural validation, and
+    // the decode rule must fall back to the horizontal interpretation
+    // identically on the CPU and sim paths.
+    let mut tampered = vcol.clone();
+    let w = tampered.data[1] & 0xFF;
+    tampered.data[1] = (w - 1) | ((w + 1) << 8) | (w << 16) | (w << 24);
+    let vertical_mismatch = tampered.to_bytes();
+    // A vertical payload mislabeled as minor 1: decodes as horizontal
+    // on both paths (wrong values, but consistently wrong — the oracle
+    // only requires agreement).
+    let vertical_mislabeled = {
+        let mut words = to_words(&vcol.to_bytes());
+        words[1] = 1 | (1 << 8);
+        refix_digest(&mut words);
+        to_bytes(&words)
+    };
+    // Forced-vertical RFOR (the automatic path never produces one).
+    let rfor_vertical = RF::encode_with_layout(&runs, Layout::Vertical).to_bytes();
 
     vec![
         ("empty", Vec::new()),
@@ -321,6 +360,9 @@ pub fn regression_cases() -> Vec<(&'static str, Vec<u8>)> {
         ("rfor-width-overrun", rfor_width),
         ("rfor-zero-run-count", rfor_zero_runs),
         ("rfor-count-mismatch", rewrite(&rfor_bytes, 2, 7)),
+        ("vertical-width-mismatch", vertical_mismatch),
+        ("vertical-mislabeled-minor1", vertical_mislabeled),
+        ("rfor-vertical-honest", rfor_vertical),
     ]
 }
 

@@ -38,6 +38,20 @@ pub fn block_exclusive_scan_u32(ctx: &mut BlockCtx<'_>, data: &mut [u32]) -> u32
     acc
 }
 
+/// In-place inclusive prefix sum over signed 32-bit deltas, seeded at
+/// `base`; returns the final accumulator. Lets a delta decoder scan
+/// directly in its output buffer instead of round-tripping through a
+/// separate unsigned scratch array.
+pub fn block_inclusive_scan_i32_from(ctx: &mut BlockCtx<'_>, base: i32, data: &mut [i32]) -> i32 {
+    account_scan(ctx, data.len(), 4);
+    let mut acc = base;
+    for v in data.iter_mut() {
+        acc = acc.wrapping_add(*v);
+        *v = acc;
+    }
+    acc
+}
+
 /// In-place inclusive prefix sum over `data`; returns the total.
 pub fn block_inclusive_scan_u32(ctx: &mut BlockCtx<'_>, data: &mut [u32]) -> u32 {
     account_scan(ctx, data.len(), 4);

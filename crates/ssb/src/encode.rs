@@ -220,6 +220,7 @@ fn reclone_device_column(
             block_starts: dev.alloc_from_slice(c.block_starts.as_slice_unaccounted()),
             data: dev.alloc_from_slice(c.data.as_slice_unaccounted()),
             checksums: dev.alloc_from_slice(c.checksums.as_slice_unaccounted()),
+            layout: c.layout,
         }),
         D::DFor(c) => D::DFor(tlc_core::gpu_dfor::GpuDForDevice {
             total_count: c.total_count,
@@ -227,6 +228,7 @@ fn reclone_device_column(
             block_starts: dev.alloc_from_slice(c.block_starts.as_slice_unaccounted()),
             data: dev.alloc_from_slice(c.data.as_slice_unaccounted()),
             checksums: dev.alloc_from_slice(c.checksums.as_slice_unaccounted()),
+            layout: c.layout,
         }),
         D::RFor(c) => D::RFor(tlc_core::gpu_rfor::GpuRForDevice {
             total_count: c.total_count,
@@ -235,6 +237,7 @@ fn reclone_device_column(
             lengths_starts: dev.alloc_from_slice(c.lengths_starts.as_slice_unaccounted()),
             lengths_data: dev.alloc_from_slice(c.lengths_data.as_slice_unaccounted()),
             checksums: dev.alloc_from_slice(c.checksums.as_slice_unaccounted()),
+            layout: c.layout,
         }),
     }
 }

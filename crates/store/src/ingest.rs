@@ -200,7 +200,10 @@ pub fn compact(
             for &p in group {
                 values.extend(store.load_column(p, name)?.decode_cpu());
             }
-            merged.push(EncodedColumn::encode_best(&values));
+            merged.push(EncodedColumn::encode_best_parallel(
+                &values,
+                tlc_core::parallel::encoder_threads(),
+            ));
         }
         ingest.append_partition(&merged)?;
     }

@@ -98,6 +98,7 @@ fn rfor_empty_stream_block_is_a_typed_error() {
         values_data: vec![1, 0, 0, 0],
         lengths_starts: vec![0, 1],
         lengths_data: vec![0],
+        layout: Default::default(),
     };
     assert!(hostile.validate().is_err());
     let bytes = hostile.to_bytes();

@@ -1,0 +1,165 @@
+//! Differential coverage for the lane-transposed (vertical) payload
+//! layout introduced with format minor 2: for every bit width 0..=32
+//! and every scheme, the forced-vertical encoding must decode to the
+//! same values as the horizontal one — on the CPU reference decoder,
+//! through the simulated device kernels, after a serialized roundtrip,
+//! and through the fused decode→select path.
+
+use tlc::crystal::{select, QueryColumn};
+use tlc::schemes::{EncodedColumn, GpuDFor, GpuFor, GpuRFor, Layout, Scheme, DEFAULT_D};
+use tlc::sim::Device;
+
+/// Deterministic values whose FOR deltas need about `w` bits: masked
+/// LCG outputs shifted to mix signs (the reference absorbs the shift).
+fn values_of_width(w: u32, n: usize) -> Vec<i32> {
+    if w == 0 {
+        return vec![-3; n];
+    }
+    let mask: u32 = if w == 32 { u32::MAX } else { (1 << w) - 1 };
+    let offset = (mask >> 1) as i32;
+    let mut state = 0x0123_4567_89AB_CDEFu64 ^ u64::from(w);
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (((state >> 33) as u32 & mask) as i32).wrapping_sub(offset)
+        })
+        .collect()
+}
+
+/// Runs shaped so RFOR's two streams both see the width.
+fn runs_of_width(w: u32, n: usize) -> Vec<i32> {
+    values_of_width(w, n.div_ceil(5))
+        .into_iter()
+        .flat_map(|v| std::iter::repeat_n(v, 5))
+        .take(n)
+        .collect()
+}
+
+fn encode_both(values: &[i32], scheme: Scheme) -> [EncodedColumn; 2] {
+    match scheme {
+        Scheme::GpuFor => [
+            EncodedColumn::For(GpuFor::encode_with_layout(values, Layout::Horizontal)),
+            EncodedColumn::For(GpuFor::encode_with_layout(values, Layout::Vertical)),
+        ],
+        Scheme::GpuDFor => [
+            EncodedColumn::DFor(GpuDFor::encode_with_d_layout(
+                values,
+                DEFAULT_D,
+                Layout::Horizontal,
+            )),
+            EncodedColumn::DFor(GpuDFor::encode_with_d_layout(
+                values,
+                DEFAULT_D,
+                Layout::Vertical,
+            )),
+        ],
+        Scheme::GpuRFor => [
+            EncodedColumn::RFor(GpuRFor::encode_with_layout(values, Layout::Horizontal)),
+            EncodedColumn::RFor(GpuRFor::encode_with_layout(values, Layout::Vertical)),
+        ],
+    }
+}
+
+/// The serialized stream's format-minor byte (scheme word, byte 1).
+fn wire_minor(bytes: &[u8]) -> u8 {
+    bytes[5]
+}
+
+#[test]
+fn width_sweep_vertical_matches_horizontal() {
+    let dev = Device::v100();
+    for w in 0..=32u32 {
+        for scheme in Scheme::ALL {
+            let values = match scheme {
+                Scheme::GpuRFor => runs_of_width(w, 700),
+                _ => values_of_width(w, 700),
+            };
+            let [horizontal, vertical] = encode_both(&values, scheme);
+            assert_eq!(horizontal.decode_cpu(), values, "w={w} {scheme:?} H cpu");
+            assert_eq!(vertical.decode_cpu(), values, "w={w} {scheme:?} V cpu");
+            for (col, tag) in [(&horizontal, "H"), (&vertical, "V")] {
+                let out = col.to_device(&dev).decompress(&dev).expect("decode");
+                assert_eq!(
+                    out.as_slice_unaccounted(),
+                    values,
+                    "w={w} {scheme:?} {tag} device"
+                );
+            }
+            // Serialized roundtrip: vertical stamps minor 2, parses
+            // back as vertical, and still decodes identically. The
+            // minor-0 rendering re-transposes to horizontal first.
+            let bytes = vertical.to_bytes();
+            assert_eq!(wire_minor(&bytes), 2, "w={w} {scheme:?} wire minor");
+            let restored = EncodedColumn::from_bytes(&bytes).expect("minor-2 parses");
+            assert_eq!(restored.decode_cpu(), values, "w={w} {scheme:?} roundtrip");
+            let minor0 = vertical.to_bytes_minor0();
+            assert_eq!(wire_minor(&minor0), 0, "w={w} {scheme:?} minor0 stamp");
+            let restored0 = EncodedColumn::from_bytes(&minor0).expect("minor-0 parses");
+            assert_eq!(restored0.decode_cpu(), values, "w={w} {scheme:?} minor0");
+        }
+    }
+}
+
+#[test]
+fn auto_layout_only_changes_bytes_when_width_uniform() {
+    // Width-uniform shape: auto picks vertical (minor 2) at identical
+    // size. Mixed-width shape: auto stays horizontal and the stream is
+    // byte-identical to the pre-minor-2 writer's output.
+    let uniform = values_of_width(16, 512);
+    let col = GpuFor::encode_auto(&uniform);
+    assert_eq!(col.layout, Layout::Vertical);
+    let horizontal = GpuFor::encode_with_layout(&uniform, Layout::Horizontal);
+    assert_eq!(col.data.len(), horizontal.data.len(), "no size inflation");
+
+    let mixed: Vec<i32> = (0..512).flat_map(|i| [i, i * 65_536]).collect();
+    let auto = GpuFor::encode_auto(&mixed);
+    assert_eq!(auto.layout, Layout::Horizontal);
+    assert_eq!(
+        auto.to_bytes(),
+        GpuFor::encode_with_layout(&mixed, Layout::Horizontal).to_bytes()
+    );
+    assert_eq!(wire_minor(&auto.to_bytes()), 1);
+}
+
+#[test]
+fn vertical_for_fused_select_matches_scalar_filter() {
+    let dev = Device::v100();
+    for w in [1u32, 7, 16, 32] {
+        let values = values_of_width(w, 5_000);
+        let expected: Vec<i32> = values.iter().copied().filter(|&v| v & 1 == 0).collect();
+        for layout in [Layout::Horizontal, Layout::Vertical] {
+            let col = QueryColumn::Encoded(
+                EncodedColumn::For(GpuFor::encode_with_layout(&values, layout)).to_device(&dev),
+            );
+            let (out, count) = select(&dev, &col, |v| v & 1 == 0).expect("select");
+            assert_eq!(count, expected.len(), "w={w} {layout:?} count");
+            assert_eq!(
+                &out.as_slice_unaccounted()[..count],
+                &expected[..],
+                "w={w} {layout:?} payload"
+            );
+        }
+    }
+}
+
+#[test]
+fn transpose_is_an_exact_inverse() {
+    // to_horizontal() of a forced-vertical column decodes identically
+    // and is accepted by the minor-1 writer path.
+    for w in [0u32, 3, 11, 24, 32] {
+        let values = values_of_width(w, 900);
+        let v = GpuFor::encode_with_layout(&values, Layout::Vertical);
+        let h = v.to_horizontal();
+        assert_eq!(h.layout, Layout::Horizontal, "w={w}");
+        assert_eq!(h.decode_cpu(), values, "w={w} FOR");
+
+        let v = GpuDFor::encode_with_d_layout(&values, DEFAULT_D, Layout::Vertical);
+        assert_eq!(v.to_horizontal().decode_cpu(), values, "w={w} DFOR");
+
+        let runs = runs_of_width(w, 900);
+        let v = GpuRFor::encode_with_layout(&runs, Layout::Vertical);
+        assert_eq!(v.to_horizontal().decode_cpu(), runs, "w={w} RFOR");
+    }
+}
