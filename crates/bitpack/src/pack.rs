@@ -9,7 +9,7 @@
 //! word indices and shift amounts constant-fold, leaving straight-line
 //! shift/or stores. [`PACKERS`] is the dispatch table and
 //! [`pack_miniblock`] the front door; in debug builds the packed words
-//! are cross-checked against the generic [`extract`](crate::horizontal::extract) oracle.
+//! are cross-checked against the generic [`extract`](crate::horizontal::extract()) oracle.
 //!
 //! Encode is the write-side hot path: ingest, compaction and
 //! `encode_best` (which packs every column three times) all bottleneck
@@ -108,7 +108,7 @@ pub static PACKERS: [Packer; 33] = packer_table!(
 ///
 /// Panics if `bitwidth > 32` or `out` is too short. In debug builds the
 /// packed words are cross-checked value-by-value against the generic
-/// [`extract`](crate::horizontal::extract) oracle.
+/// [`extract`](crate::horizontal::extract()) oracle.
 #[inline]
 pub fn pack_miniblock(values: &[u32; MINIBLOCK], bitwidth: u32, out: &mut [u32]) {
     PACKERS[bitwidth as usize](values, out);

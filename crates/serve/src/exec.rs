@@ -23,13 +23,15 @@
 //! the decompress kernel; its cost is negligible next to the decode
 //! and is not separately modelled.
 
+use std::sync::Arc;
+
 use tlc_core::EncodedColumn;
 use tlc_gpu_sim::Device;
 use tlc_ssb::stream::DeadlinePartial;
 use tlc_ssb::{
     run_query_streamed_bounded, LoColumn, ResilienceReport, SsbStore, StreamError, StreamOptions,
 };
-use tlc_store::StoreError;
+use tlc_store::{modeled_read_s, StoreError};
 
 use crate::QuerySpec;
 
@@ -58,6 +60,9 @@ pub struct ExecOutcome {
     pub partitions: usize,
     /// Total simulated device seconds (worker-count independent).
     pub device_s: f64,
+    /// Modelled storage-read seconds (cold reads at disk bandwidth,
+    /// cache hits at host-memory bandwidth; worker-count independent).
+    pub io_s: f64,
     /// Faults observed and recovery actions taken.
     pub report: ResilienceReport,
     /// Partitions that needed a recovery action, in partition order
@@ -81,6 +86,7 @@ pub fn execute(
                 rows: run.rows,
                 partitions: run.partitions,
                 device_s: run.device_s,
+                io_s: run.io_s,
                 report: run.report,
                 recovered_partitions: run.recovered_partitions,
             })
@@ -106,6 +112,7 @@ fn scalar_query(
     let mut report = ResilienceReport::default();
     let mut recovered_partitions = Vec::new();
     let mut device_s = 0.0f64;
+    let mut io_s = 0.0f64;
     let mut rows = 0u64;
     let mut count = 0u64;
     let mut sum = 0i64;
@@ -121,7 +128,8 @@ fn scalar_query(
 
     for p in 0..n {
         let mut part_report = ResilienceReport::default();
-        let (values, part_s, recovered) = scan_partition(store, column, p, opts, &mut part_report)?;
+        let (values, part_s, part_io_s, recovered) =
+            scan_partition(store, column, p, opts, &mut part_report)?;
         if let Some(deadline) = opts.deadline_device_s {
             if device_s + part_s > deadline {
                 return Err(StreamError::DeadlineExceeded(Box::new(DeadlinePartial {
@@ -135,6 +143,7 @@ fn scalar_query(
             }
         }
         device_s += part_s;
+        io_s += part_io_s;
         rows += store.store().rows(p);
         report.absorb(&part_report);
         if recovered {
@@ -148,32 +157,53 @@ fn scalar_query(
         rows,
         partitions: n,
         device_s,
+        io_s,
         report,
         recovered_partitions,
     })
 }
 
 /// One partition of a scalar query: storage ladder, then device
-/// ladder, returning `(values, device_seconds, needed_recovery)`.
+/// ladder, returning `(values, device_seconds, io_seconds,
+/// needed_recovery)`.
 fn scan_partition(
     store: &SsbStore,
     column: LoColumn,
     p: usize,
     opts: &StreamOptions,
     report: &mut ResilienceReport,
-) -> Result<(Vec<i32>, f64, bool), StreamError> {
+) -> Result<(Vec<i32>, f64, f64, bool), StreamError> {
     if opts.force_cpu_partitions.contains(&p) {
         report.cpu_fallbacks += 1;
         let lo = store.regenerate_partition(p);
-        return Ok((lo.column(column).to_vec(), 0.0, false));
+        return Ok((lo.column(column).to_vec(), 0.0, 0.0, false));
     }
 
-    // Storage ladder (same policy as the streaming engine): damage is
-    // quarantined by the store on load; regenerate deterministically
-    // and heal in place.
+    // Storage ladder (same policy as the streaming engine, including
+    // the shared cache when one is armed): damage is quarantined by
+    // the store on load; regenerate deterministically and heal in
+    // place. Regenerated columns never came from disk, so they charge
+    // no read time and skip the cache.
+    let loaded: Result<(Arc<EncodedColumn>, f64), StoreError> = match &opts.cache {
+        Some(cache) => cache
+            .load(store.store(), p, column.name())
+            .map(|l| (l.col, modeled_read_s(l.bytes, l.hit))),
+        None => {
+            let idx = store
+                .store()
+                .manifest()
+                .column_index(column.name())
+                .expect("queried columns are in the layout");
+            let bytes = store.store().manifest().partitions[p].files[idx].bytes as u64;
+            store
+                .store()
+                .load_column(p, column.name())
+                .map(|enc| (Arc::new(enc), modeled_read_s(bytes, false)))
+        }
+    };
     let mut damaged = false;
-    let enc = match store.store().load_column(p, column.name()) {
-        Ok(enc) => enc,
+    let (enc, io_s) = match loaded {
+        Ok(loaded) => loaded,
         Err(e) if matches!(e, StoreError::Io { .. } | StoreError::UnknownColumn { .. }) => {
             return Err(e.into());
         }
@@ -186,7 +216,7 @@ fn scan_partition(
                 store.store().heal_column(p, column.name(), &enc)?;
             }
             report.partitions_regenerated += 1;
-            enc
+            (Arc::new(enc), 0.0)
         }
     };
 
@@ -197,7 +227,7 @@ fn scan_partition(
     dev.reset_timeline();
     if let Ok(buf) = dc.decompress(&dev) {
         let part_s = dev.elapsed_seconds_scaled(opts.scale);
-        return Ok((buf.as_slice_unaccounted().to_vec(), part_s, damaged));
+        return Ok((buf.as_slice_unaccounted().to_vec(), part_s, io_s, damaged));
     }
     let mut part_s = dev.elapsed_seconds_scaled(opts.scale);
     report.shards_failed_over += 1;
@@ -214,7 +244,7 @@ fn scan_partition(
             enc.decode_cpu()
         }
     };
-    Ok((values, part_s, true))
+    Ok((values, part_s, io_s, true))
 }
 
 #[cfg(test)]

@@ -206,11 +206,15 @@ pub struct Response {
 
 impl Response {
     /// Modelled service latency in simulated seconds: device time of
-    /// the final attempt plus all backoff waits. (Deadline-exceeded
-    /// queries spent their budget; failed queries report backoff only.)
+    /// the final attempt, plus its modelled storage-read time (cold
+    /// reads at disk bandwidth, shared-cache hits at host-memory
+    /// bandwidth — this is where the partition cache shows up in the
+    /// percentiles), plus all backoff waits. (Deadline-exceeded
+    /// queries spent their device budget; failed queries report
+    /// backoff only.)
     pub fn latency_s(&self) -> f64 {
         let device = match &self.outcome {
-            Outcome::Completed(out) => out.device_s,
+            Outcome::Completed(out) => out.device_s + out.io_s,
             Outcome::DeadlineExceeded(p) => p.device_s,
             Outcome::Failed { .. } => 0.0,
         };

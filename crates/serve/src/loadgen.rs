@@ -33,7 +33,9 @@ use std::sync::Arc;
 use tlc_profile::{Json, LatencyHistogram, LatencySummary};
 use tlc_rng::Rng;
 use tlc_ssb::{LoColumn, QueryId, SsbStore};
+use tlc_store::CacheStats;
 
+use crate::metrics::{cache_stats_json, MetricsSnapshot};
 use crate::service::{ServeConfig, Service};
 use crate::{Outcome, QuerySpec, Request};
 
@@ -79,6 +81,13 @@ pub struct LoadgenConfig {
     pub deadline_device_s: Option<f64>,
     /// Class weights.
     pub mix: Mix,
+    /// Shared partition-cache budget in MiB for the measured service
+    /// (`0`: caching off). When on, the run also measures a cache-off
+    /// control pass, so the artifact carries both the
+    /// `service_nocache` row and the `p50_service_speedup` ratio —
+    /// the repeated-query win of keeping compressed partitions
+    /// resident.
+    pub cache_mb: u64,
 }
 
 impl Default for LoadgenConfig {
@@ -91,6 +100,7 @@ impl Default for LoadgenConfig {
             queue_capacity: 16,
             deadline_device_s: None,
             mix: Mix::default(),
+            cache_mb: 64,
         }
     }
 }
@@ -128,6 +138,20 @@ pub struct LoadgenReport {
     pub service: LatencySummary,
     /// Per-class sojourn latency.
     pub per_class: Vec<ClassReport>,
+    /// Service time of the cache-off control pass over every generated
+    /// request (`None` when `cache_mb` is 0 and there is nothing to
+    /// compare against).
+    pub service_nocache: Option<LatencySummary>,
+    /// `service_nocache.p50 / cache-on service p50` over the same
+    /// population — how much faster the median query got because
+    /// compressed partitions stayed resident.
+    pub p50_service_speedup: Option<f64>,
+    /// Shared-cache counters at the end of the cache-on measure pass.
+    pub cache: Option<CacheStats>,
+    /// Final service books of the cache-on measure pass (the
+    /// exactly-one-response invariant holds under caching too; `tlc
+    /// loadgen` refuses to write an artifact when this is unbalanced).
+    pub metrics: MetricsSnapshot,
 }
 
 impl LoadgenReport {
@@ -150,7 +174,10 @@ impl LoadgenReport {
         for c in &self.per_class {
             rows.push(row(&c.class, &c.latency));
         }
-        Json::Obj(vec![
+        if let Some(nc) = &self.service_nocache {
+            rows.push(row("service_nocache", nc));
+        }
+        let mut fields = vec![
             ("schema", Json::Str("tlc-serving/v1".to_string())),
             ("requests", Json::Int(self.requests as u64)),
             ("offered_qps", Json::Num(self.offered_qps)),
@@ -165,8 +192,15 @@ impl LoadgenReport {
             ),
             ("failed", Json::Int(self.failed as u64)),
             ("saturation_qps", Json::Num(self.saturation_qps)),
-            ("rows", Json::Arr(rows)),
-        ])
+        ];
+        if let Some(c) = &self.cache {
+            fields.push(("cache", cache_stats_json(c)));
+        }
+        if let Some(s) = self.p50_service_speedup {
+            fields.push(("p50_service_speedup", Json::Num(s)));
+        }
+        fields.push(("rows", Json::Arr(rows)));
+        Json::Obj(fields)
     }
 }
 
@@ -234,26 +268,56 @@ fn generate(cfg: &LoadgenConfig) -> Vec<GenRequest> {
         .collect()
 }
 
-/// Run the generator against `store` and report tail latency.
-pub fn run_loadgen(store: &Arc<SsbStore>, cfg: &LoadgenConfig) -> LoadgenReport {
-    let gen = generate(cfg);
-
-    // Phase 1: measure service time + outcome for every request
-    // through a real (deterministically configured) service.
+/// Phase-1 measurement: every generated request through a real
+/// (deterministically configured) service, one at a time — so with a
+/// cache armed, the hit/miss sequence is a pure function of the
+/// request order, not of worker scheduling.
+fn measure_pass(
+    store: &Arc<SsbStore>,
+    gen: &[GenRequest],
+    cache_budget_bytes: u64,
+) -> (Vec<(f64, Outcome)>, MetricsSnapshot) {
     let svc = Service::start(
         Arc::clone(store),
         ServeConfig {
-            queue_capacity: cfg.requests.max(1),
+            queue_capacity: gen.len().max(1),
+            cache_budget_bytes,
             ..ServeConfig::deterministic()
         },
     );
     let mut measured = Vec::with_capacity(gen.len());
-    for g in &gen {
+    for g in gen {
         let ticket = svc.submit(g.req.clone()).expect("measurement queue sized");
         let resp = ticket.wait();
         measured.push((resp.latency_s(), resp.outcome));
     }
-    svc.shutdown();
+    (measured, svc.shutdown())
+}
+
+/// Run the generator against `store` and report tail latency.
+pub fn run_loadgen(store: &Arc<SsbStore>, cfg: &LoadgenConfig) -> LoadgenReport {
+    let gen = generate(cfg);
+
+    // Phase 1: measure service time + outcome for every request, with
+    // the shared partition cache per `cfg.cache_mb`; when caching is
+    // on, a second cache-off control pass prices the same requests
+    // against cold storage so the artifact carries the comparison.
+    let (measured, metrics) = measure_pass(store, &gen, cfg.cache_mb << 20);
+    let service_nocache = (cfg.cache_mb > 0).then(|| {
+        let (control, _) = measure_pass(store, &gen, 0);
+        let mut h = LatencyHistogram::new();
+        for (s, _) in &control {
+            h.record(*s);
+        }
+        h.summary()
+    });
+    let p50_service_speedup = service_nocache.as_ref().map(|nc| {
+        let mut h = LatencyHistogram::new();
+        for (s, _) in &measured {
+            h.record(*s);
+        }
+        nc.p50 / h.summary().p50.max(f64::MIN_POSITIVE)
+    });
 
     // Phase 2: deterministic k-server FIFO queue with the admission
     // bound, over the virtual arrival clock.
@@ -326,6 +390,10 @@ pub fn run_loadgen(store: &Arc<SsbStore>, cfg: &LoadgenConfig) -> LoadgenReport 
                 latency: h.summary(),
             })
             .collect(),
+        service_nocache,
+        p50_service_speedup,
+        cache: metrics.cache.clone(),
+        metrics,
     }
 }
 

@@ -13,6 +13,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use tlc_profile::{Json, LatencyHistogram, LatencySummary};
+use tlc_store::CacheStats;
 
 /// Live counters owned by a running service (shared with its workers).
 #[derive(Debug, Default)]
@@ -65,6 +66,7 @@ impl Metrics {
             breaker_closes: load(&self.breaker_closes),
             tier_transitions: load(&self.tier_transitions),
             latency: self.latency.lock().expect("metrics lock").summary(),
+            cache: None,
         }
     }
 }
@@ -96,6 +98,11 @@ pub struct MetricsSnapshot {
     pub tier_transitions: u64,
     /// Latency percentiles over terminal queries.
     pub latency: LatencySummary,
+    /// Shared partition-cache counters, when the service runs with a
+    /// cache ([`crate::ServeConfig::cache_budget_bytes`] > 0). `None`
+    /// when caching is disabled — the service attaches these after
+    /// [`Metrics::snapshot`], since the cache owns its own counters.
+    pub cache: Option<CacheStats>,
 }
 
 impl MetricsSnapshot {
@@ -114,7 +121,7 @@ impl MetricsSnapshot {
 
     /// JSON object for bench artifacts and `tlc serve` output.
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("submitted", Json::Int(self.submitted)),
             ("admitted", Json::Int(self.admitted)),
             ("rejected_overloaded", Json::Int(self.rejected_overloaded)),
@@ -127,8 +134,26 @@ impl MetricsSnapshot {
             ("breaker_closes", Json::Int(self.breaker_closes)),
             ("tier_transitions", Json::Int(self.tier_transitions)),
             ("latency", self.latency.to_json()),
-        ])
+        ];
+        if let Some(cache) = &self.cache {
+            fields.push(("cache", cache_stats_json(cache)));
+        }
+        Json::Obj(fields)
     }
+}
+
+/// Render [`CacheStats`] as the `"cache"` JSON object shared by
+/// `tlc serve` metrics and the `tlc-serving/v1` bench artifact.
+pub fn cache_stats_json(c: &CacheStats) -> Json {
+    Json::Obj(vec![
+        ("hits", Json::Int(c.hits)),
+        ("misses", Json::Int(c.misses)),
+        ("evictions", Json::Int(c.evictions)),
+        ("revalidations", Json::Int(c.revalidations)),
+        ("coalesced", Json::Int(c.coalesced)),
+        ("bytes_resident", Json::Int(c.bytes_resident)),
+        ("budget_bytes", Json::Int(c.budget_bytes)),
+    ])
 }
 
 #[cfg(test)]

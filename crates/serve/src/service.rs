@@ -32,6 +32,7 @@ use std::thread::JoinHandle;
 
 use tlc_rng::Rng;
 use tlc_ssb::{SsbStore, StreamError, StreamOptions};
+use tlc_store::PartitionCache;
 
 use crate::breaker::{BreakerBank, BreakerConfig};
 use crate::exec::execute;
@@ -63,6 +64,14 @@ pub struct ServeConfig {
     /// Base streaming options (budget, scale). Deadlines, fault plans
     /// and forced-CPU routing are layered on per request.
     pub stream: StreamOptions,
+    /// Byte budget for the shared compressed-partition cache
+    /// ([`PartitionCache`]), shared across the whole worker pool.
+    /// `0` (the default) disables caching entirely. Degradation tiers
+    /// shrink this before the service gives up on devices:
+    /// `ReducedBudget` divides it by the health machine's divisor,
+    /// `CpuOnly` drops it to zero (forced-CPU queries read no
+    /// partition files, so a resident cache would only hold memory).
+    pub cache_budget_bytes: u64,
 }
 
 impl Default for ServeConfig {
@@ -76,6 +85,7 @@ impl Default for ServeConfig {
             breaker: BreakerConfig::default(),
             health: HealthConfig::default(),
             stream: StreamOptions::default(),
+            cache_budget_bytes: 0,
         }
     }
 }
@@ -114,6 +124,9 @@ struct Shared {
     breakers: Mutex<BreakerBank>,
     health: Mutex<HealthMachine>,
     metrics: Metrics,
+    /// One compressed-partition cache for the whole pool (None when
+    /// `cache_budget_bytes` is 0).
+    cache: Option<Arc<PartitionCache>>,
 }
 
 /// Receipt for one admitted request; redeem with [`Ticket::wait`].
@@ -137,6 +150,8 @@ pub struct Service {
 impl Service {
     /// Start `cfg.workers` worker threads over `store`.
     pub fn start(store: Arc<SsbStore>, cfg: ServeConfig) -> Service {
+        let cache = (cfg.cache_budget_bytes > 0)
+            .then(|| Arc::new(PartitionCache::new(cfg.cache_budget_bytes)));
         let shared = Arc::new(Shared {
             store,
             breakers: Mutex::new(BreakerBank::new(cfg.breaker.clone())),
@@ -147,6 +162,7 @@ impl Service {
                 shutting_down: false,
             }),
             cv: Condvar::new(),
+            cache,
             cfg,
         });
         let workers = (0..shared.cfg.workers.max(1))
@@ -203,9 +219,12 @@ impl Service {
             .open_partitions()
     }
 
-    /// Counter snapshot (callable while serving).
+    /// Counter snapshot (callable while serving), with the shared
+    /// cache's counters attached when the service runs one.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.shared.metrics.snapshot()
+        let mut snap = self.shared.metrics.snapshot();
+        snap.cache = self.shared.cache.as_ref().map(|c| c.stats());
+        snap
     }
 
     /// Stop admissions, drain every queued job, join the workers, and
@@ -220,7 +239,9 @@ impl Service {
         for h in self.workers.drain(..) {
             h.join().expect("worker panicked");
         }
-        self.shared.metrics.snapshot()
+        let mut snap = self.shared.metrics.snapshot();
+        snap.cache = self.shared.cache.as_ref().map(|c| c.stats());
+        snap
     }
 }
 
@@ -307,12 +328,26 @@ fn run_job(shared: &Shared, req: Request) -> Response {
         if tier == Tier::CpuOnly {
             force_cpu.extend(0..shared.store.store().partition_count());
         }
+        // Degradation shrinks the cache before the service abandons
+        // devices: ReducedBudget keeps a smaller working set resident,
+        // CpuOnly releases it entirely (forced-CPU answers read no
+        // partition files).
+        if let Some(cache) = &shared.cache {
+            cache.set_budget(match tier {
+                Tier::Full => cfg.cache_budget_bytes,
+                Tier::ReducedBudget => {
+                    cfg.cache_budget_bytes / cfg.health.reduced_budget_divisor.max(1)
+                }
+                Tier::CpuOnly => 0,
+            });
+        }
         let opts = StreamOptions {
             budget_bytes: budget,
             scale: cfg.stream.scale,
             plan: req.plan.clone(),
             deadline_device_s: req.deadline_device_s,
             force_cpu_partitions: force_cpu,
+            cache: shared.cache.clone(),
         };
 
         match execute(&shared.store, &req.query, &opts) {

@@ -42,11 +42,15 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
+use std::sync::Arc;
 
 use tlc_core::{DecodeError, EncodedColumn};
 use tlc_gpu_sim::{Device, FaultPlan, StorageFaults};
 use tlc_rng::Rng;
-use tlc_store::{damage, CompactReport, Ingest, RecoveryReport, Store, StoreError};
+use tlc_store::{
+    damage, modeled_read_s, CompactReport, Ingest, PartitionCache, RecoveryReport, Store,
+    StoreError,
+};
 
 use crate::encode::LoColumns;
 use crate::gen::{LineOrder, LoColumn, SsbData, StreamSpec};
@@ -295,6 +299,14 @@ pub struct StreamOptions {
     /// `cpu_fallbacks` recovery in the report and contributes zero
     /// device seconds to the deadline budget.
     pub force_cpu_partitions: BTreeSet<usize>,
+    /// Shared compressed-partition cache ([`PartitionCache`]). When
+    /// set, column loads go through the cache (single-flight, digest
+    /// revalidation after heals) and partitions whose queried columns
+    /// are already resident count **zero** bytes against
+    /// `budget_bytes` — the cached copy is shared, not a second
+    /// resident copy. `None` (the default) reads every column from
+    /// disk; results are bit-identical either way.
+    pub cache: Option<Arc<PartitionCache>>,
 }
 
 impl Default for StreamOptions {
@@ -305,6 +317,7 @@ impl Default for StreamOptions {
             plan: None,
             deadline_device_s: None,
             force_cpu_partitions: BTreeSet::new(),
+            cache: None,
         }
     }
 }
@@ -329,6 +342,13 @@ pub struct StreamedRun {
     /// Sum of per-partition simulated device time (worker-count
     /// independent; the serial-device total).
     pub device_s: f64,
+    /// Modelled storage-read seconds summed over partitions
+    /// (worker-count independent). Cold reads price at disk
+    /// bandwidth, cache hits at host-memory bandwidth
+    /// ([`modeled_read_s`]); forced-CPU and regenerated partitions
+    /// read nothing and charge nothing. Kept separate from
+    /// `device_s` so the deadline contract is untouched by caching.
+    pub io_s: f64,
     /// Slowest worker's summed simulated time under the actual
     /// partition assignment (depends on worker count).
     pub slowest_worker_s: f64,
@@ -478,9 +498,28 @@ pub fn run_query_streamed_bounded(
         col_idx.iter().map(|&c| files[c].bytes as u64).sum()
     };
     let max_working_set = (0..n).map(part_working_set).max().unwrap_or(0);
+    // Cache-aware budget accounting: bytes already resident in the
+    // shared cache are one copy shared by every worker, so only the
+    // *uncached* part of a partition's working set charges against the
+    // budget. A fully warm cache lifts the cap entirely.
+    let budget_working_set = match &opts.cache {
+        Some(cache) => (0..n)
+            .map(|p| {
+                let files = &store.store().manifest().partitions[p].files;
+                needed
+                    .iter()
+                    .zip(col_idx.iter())
+                    .filter(|(c, _)| !cache.contains_fresh(store.store(), p, c.name()))
+                    .map(|(_, &ci)| files[ci].bytes as u64)
+                    .sum::<u64>()
+            })
+            .max()
+            .unwrap_or(0),
+        None => max_working_set,
+    };
     let budget_cap = opts
         .budget_bytes
-        .checked_div(max_working_set)
+        .checked_div(budget_working_set)
         .map_or(usize::MAX, |cap| cap.max(1) as usize);
     let workers = tlc_gpu_sim::sim_threads().min(budget_cap).min(n.max(1));
 
@@ -488,6 +527,7 @@ pub fn run_query_streamed_bounded(
     let mut merged: BTreeMap<u64, u64> = BTreeMap::new();
     let mut merge_bytes = 0u64;
     let mut device_s = 0.0f64;
+    let mut io_s = 0.0f64;
     let mut rows_scanned = 0u64;
     let mut part_times = Vec::with_capacity(n);
     let mut recovered_partitions = Vec::new();
@@ -507,7 +547,8 @@ pub fn run_query_streamed_bounded(
         });
         for (i, outcome) in outcomes.into_iter().enumerate() {
             let p = next + i;
-            let (result, part_s, part_report, recovered) = outcome?;
+            let out = outcome?;
+            let (result, part_s) = (out.result, out.device_s);
             if let Some(deadline) = opts.deadline_device_s {
                 if device_s + part_s > deadline {
                     // The cut partition (and any wave siblings past
@@ -525,10 +566,11 @@ pub fn run_query_streamed_bounded(
                 }
             }
             device_s += part_s;
+            io_s += out.io_s;
             rows_scanned += store.store().rows(p);
             part_times.push(part_s);
-            report.absorb(&part_report);
-            if recovered {
+            report.absorb(&out.report);
+            if out.recovered {
                 recovered_partitions.push(p);
             }
             merge_bytes += result.len() as u64 * 16;
@@ -553,6 +595,7 @@ pub fn run_query_streamed_bounded(
         workers,
         peak_resident_bytes: workers as u64 * max_working_set,
         device_s,
+        io_s,
         slowest_worker_s,
         merge_s,
         report,
@@ -597,17 +640,53 @@ fn apply_storage_faults(
     Ok(())
 }
 
+/// What one partition contributed to the streamed run.
+struct PartOutcome {
+    result: Vec<(u64, u64)>,
+    device_s: f64,
+    io_s: f64,
+    report: ResilienceReport,
+    recovered: bool,
+}
+
+/// Load one queried column, through the shared cache when one is
+/// armed. Returns the (shared) encoded column plus the modelled
+/// storage-read seconds: cold reads price at disk bandwidth, cache
+/// hits at host-memory bandwidth.
+fn load_queried_column(
+    store: &SsbStore,
+    opts: &StreamOptions,
+    p: usize,
+    name: &str,
+) -> Result<(Arc<EncodedColumn>, f64), StoreError> {
+    match &opts.cache {
+        Some(cache) => {
+            let l = cache.load(store.store(), p, name)?;
+            Ok((l.col, modeled_read_s(l.bytes, l.hit)))
+        }
+        None => {
+            let idx = store
+                .store()
+                .manifest()
+                .column_index(name)
+                .expect("queried columns are in the layout");
+            let bytes = store.store().manifest().partitions[p].files[idx].bytes as u64;
+            let col = store.store().load_column(p, name)?;
+            Ok((Arc::new(col), modeled_read_s(bytes, false)))
+        }
+    }
+}
+
 /// Load partition `p`'s queried columns, regenerating and healing the
 /// partition if any file is damaged; then run the query on a (possibly
 /// fault-armed) partition-private device with the full recovery ladder.
-#[allow(clippy::type_complexity)]
 fn process_partition(
     store: &SsbStore,
     dims: &SsbData,
     p: usize,
     q: QueryId,
     opts: &StreamOptions,
-) -> Result<(Vec<(u64, u64)>, f64, ResilienceReport, bool), StoreError> {
+) -> Result<PartOutcome, StoreError> {
     let mut report = ResilienceReport::default();
     let needed = q.columns();
 
@@ -620,7 +699,13 @@ fn process_partition(
         report.cpu_fallbacks += 1;
         let mut part_data = dims.clone();
         part_data.lineorder = store.regenerate_partition(p);
-        return Ok((run_reference(&part_data, q), 0.0, report, false));
+        return Ok(PartOutcome {
+            result: run_reference(&part_data, q),
+            device_s: 0.0,
+            io_s: 0.0,
+            report,
+            recovered: false,
+        });
     }
 
     if let Some(plan) = &opts.plan {
@@ -629,15 +714,24 @@ fn process_partition(
         }
     }
 
-    // Storage ladder: load; on damage, quarantine is automatic, then
-    // regenerate the partition from the chunked generator and heal the
-    // store in place (byte-identical by determinism of the generator
-    // and of `encode_best`).
-    let mut cols: Vec<(LoColumn, EncodedColumn)> = Vec::with_capacity(needed.len());
+    // Storage ladder: load (through the shared cache when armed; a
+    // damaged file bumps the store epoch under quarantine, so any
+    // stale cached copy revalidates away); on damage, regenerate the
+    // partition from the chunked generator and heal the store in
+    // place (byte-identical by determinism of the generator and of
+    // `encode_best`). Regenerated columns come from the generator,
+    // not disk, so they charge no read time and are not inserted in
+    // the cache — the next read loads the healed file through the
+    // verified path.
+    let mut cols: Vec<(LoColumn, Arc<EncodedColumn>)> = Vec::with_capacity(needed.len());
+    let mut io_s = 0.0f64;
     let mut damaged = false;
     for &c in needed {
-        match store.store().load_column(p, c.name()) {
-            Ok(col) => cols.push((c, col)),
+        match load_queried_column(store, opts, p, c.name()) {
+            Ok((col, read_s)) => {
+                io_s += read_s;
+                cols.push((c, col));
+            }
             Err(e) if matches!(e, StoreError::Io { .. } | StoreError::UnknownColumn { .. }) => {
                 return Err(e);
             }
@@ -650,7 +744,12 @@ fn process_partition(
     if damaged {
         report.partitions_quarantined += 1;
         let lo = store.regenerate_partition(p);
-        cols = store.encode_partition(&lo, needed);
+        cols = store
+            .encode_partition(&lo, needed)
+            .into_iter()
+            .map(|(c, e)| (c, Arc::new(e)))
+            .collect();
+        io_s = 0.0;
         for (c, col) in &cols {
             if store.store().damage(p, c.name()).is_some() {
                 store.store().heal_column(p, c.name(), col)?;
@@ -682,13 +781,21 @@ fn process_partition(
             dev.inject_faults(dp);
         }
     }
-    let lo_cols = LoColumns::from_encoded(&dev, cols.iter().map(|(c, e)| (*c, e)));
+    let lo_cols = LoColumns::from_encoded(&dev, cols.iter().map(|(c, e)| (*c, &**e)));
     dev.reset_timeline();
     let outcome = run_query_checked(&dev, dims, &lo_cols, q, &mut report);
     let mut part_s = dev.elapsed_seconds_scaled(opts.scale);
     report.absorb_device(&dev);
     let err = match outcome {
-        Ok(result) => return Ok((result, part_s, report, damaged)),
+        Ok(result) => {
+            return Ok(PartOutcome {
+                result,
+                device_s: part_s,
+                io_s,
+                report,
+                recovered: damaged,
+            })
+        }
         Err(e) => e,
     };
     if matches!(
@@ -703,7 +810,7 @@ fn process_partition(
     // device and re-run.
     report.shards_failed_over += 1;
     let fresh = Device::v100();
-    let lo_cols = LoColumns::from_encoded(&fresh, cols.iter().map(|(c, e)| (*c, e)));
+    let lo_cols = LoColumns::from_encoded(&fresh, cols.iter().map(|(c, e)| (*c, &**e)));
     fresh.reset_timeline();
     let result = match run_query_checked(&fresh, dims, &lo_cols, q, &mut report) {
         Ok(result) => {
@@ -719,7 +826,13 @@ fn process_partition(
             run_reference(&part_data, q)
         }
     };
-    Ok((result, part_s, report, true))
+    Ok(PartOutcome {
+        result,
+        device_s: part_s,
+        io_s,
+        report,
+        recovered: true,
+    })
 }
 
 /// Map `f` over partition indices `lo..hi` on `workers` host threads,

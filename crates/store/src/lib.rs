@@ -47,11 +47,13 @@ use std::path::PathBuf;
 pub use tlc_core::serialize::FormatError;
 pub use tlc_core::EncodedColumn;
 
+pub mod cache;
 pub mod damage;
 pub mod ingest;
 pub mod manifest;
 pub mod store;
 
+pub use cache::{modeled_read_s, CacheLoad, CacheStats, PartitionCache};
 pub use ingest::{compact, CompactReport, Ingest};
 pub use manifest::{FileEntry, Manifest, PartitionEntry, MANIFEST_NAME};
 pub use store::{DamageCause, Quarantined, RecoveryReport, Store};

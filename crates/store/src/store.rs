@@ -112,6 +112,11 @@ pub struct Store {
     dir: PathBuf,
     manifest: Manifest,
     damaged: Mutex<BTreeMap<(usize, usize), DamageCause>>,
+    /// Per-`(partition, column)` change epochs, bumped on every
+    /// quarantine and heal. [`crate::cache::PartitionCache`] compares
+    /// a cached entry's epoch against this to invalidate entries that
+    /// pre-date a quarantine/heal (hit-after-heal revalidation).
+    epochs: Mutex<BTreeMap<(usize, usize), u64>>,
 }
 
 impl Store {
@@ -120,6 +125,7 @@ impl Store {
             dir,
             manifest,
             damaged: Mutex::new(BTreeMap::new()),
+            epochs: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -253,6 +259,28 @@ impl Store {
         self.damaged.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// Change epoch of one partition column: 0 until the file is first
+    /// quarantined or healed, bumped by one on each such event. A
+    /// cached copy of the file's bytes is only as fresh as the epoch
+    /// it was read under.
+    pub fn epoch(&self, partition: usize, column_idx: usize) -> u64 {
+        self.epochs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&(partition, column_idx))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    fn bump_epoch(&self, partition: usize, column_idx: usize) {
+        *self
+            .epochs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entry((partition, column_idx))
+            .or_insert(0) += 1;
+    }
+
     /// Move a damaged file aside and record it in the ledger.
     fn quarantine(
         &self,
@@ -276,6 +304,7 @@ impl Store {
             })?;
         }
         self.damaged_lock().insert((partition, column_idx), cause);
+        self.bump_epoch(partition, column_idx);
         Ok(())
     }
 
@@ -320,7 +349,7 @@ impl Store {
         }
         let entry = self.manifest.partitions[partition].files[c];
         let path = self.path_of(partition, column);
-        let bytes = match std::fs::read(&path) {
+        let bytes = match read_committed(&path, entry.bytes as u64) {
             Ok(b) => b,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
                 self.quarantine(partition, c, &path, DamageCause::Missing)?;
@@ -380,6 +409,10 @@ impl Store {
             &bytes,
         )?;
         self.damaged_lock().remove(&(partition, c));
+        // Healing changes the on-disk state (even though the bytes are
+        // digest-identical): any cached copy read before the heal must
+        // revalidate rather than assume it saw this file.
+        self.bump_epoch(partition, c);
         Ok(())
     }
 
@@ -401,6 +434,58 @@ impl Store {
         }
         Ok(stats)
     }
+}
+
+/// Read a committed partition file of known size with positioned
+/// reads (`pread`) into an exactly-sized buffer — the std stand-in
+/// for an mmap-backed read in this dependency-free workspace: the
+/// kernel pages the file straight into the destination with no
+/// intermediate growable heap buffer and no over-allocation, which is
+/// what matters when cold-streaming a 500 M-row flight. The file is
+/// stat'd first so a torn write is detected without reading it; a
+/// file that shrinks between stat and read comes back short and fails
+/// the caller's length check the same way.
+///
+/// Only the happy path is positioned: a file whose size already
+/// disagrees with the manifest is read whole (rare, and the bytes are
+/// evidence that goes to quarantine).
+fn read_committed(path: &Path, expected: u64) -> std::io::Result<Vec<u8>> {
+    let file = std::fs::File::open(path)?;
+    let len = file.metadata()?.len();
+    if len != expected {
+        drop(file);
+        return std::fs::read(path);
+    }
+    let mut buf = vec![0u8; expected as usize];
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::FileExt;
+        let mut filled = 0usize;
+        while filled < buf.len() {
+            let n = file.read_at(&mut buf[filled..], filled as u64)?;
+            if n == 0 {
+                break; // shrank underneath us: surface as short
+            }
+            filled += n;
+        }
+        buf.truncate(filled);
+    }
+    #[cfg(not(unix))]
+    {
+        use std::io::Read;
+        let mut file = file;
+        let mut filled = 0usize;
+        loop {
+            let n = file.read(&mut buf[filled..])?;
+            if n == 0 || filled + n == buf.len() {
+                filled += n;
+                break;
+            }
+            filled += n;
+        }
+        buf.truncate(filled);
+    }
+    Ok(buf)
 }
 
 /// Sweep torn `*.tmp` files and committed-format files the manifest

@@ -17,8 +17,8 @@
 //! tlc faultsim   [--seed N]
 //! tlc fuzz       [--seed N | --seed A..B] [--iters M]
 //! tlc profile    (<input.tlc> | --query <q>) [--sf N] [--system S] [--json PATH]
-//! tlc serve      <store-dir> [--workers N] [--queue N] [--requests N] [--seed S] [--kill-shard P]
-//! tlc loadgen    [--rows N] [--requests N] [--rate QPS] [--servers K] [--queue N] [--seed S]
+//! tlc serve      <store-dir> [--workers N] [--queue N] [--requests N] [--seed S] [--kill-shard P] [--cache-mb N]
+//! tlc loadgen    [--rows N] [--requests N] [--rate QPS] [--servers K] [--queue N] [--seed S] [--cache-mb N]
 //! ```
 //!
 //! `verify` checks a serialized column end to end (stream digest,
@@ -852,19 +852,22 @@ fn cmd_profile(args: &[String]) -> Result<(), CliError> {
 }
 
 /// `tlc serve <store-dir> [--workers N] [--queue N] [--requests N]
-/// [--seed S] [--kill-shard P]`: offer a deterministic mixed batch
-/// (flight 1, point filters, scans) to the concurrent query service
-/// and print the terminal counters and latency percentiles as JSON.
-/// `--kill-shard P` arms a kill-shard fault at partition P on every
-/// flight query, exercising the failover path under live traffic; the
-/// command still requires every admitted query to reach exactly one
-/// terminal state.
+/// [--seed S] [--kill-shard P] [--cache-mb N]`: offer a deterministic
+/// mixed batch (flight 1, point filters, scans) to the concurrent
+/// query service and print the terminal counters and latency
+/// percentiles as JSON. `--kill-shard P` arms a kill-shard fault at
+/// partition P on every flight query, exercising the failover path
+/// under live traffic; the command still requires every admitted query
+/// to reach exactly one terminal state. `--cache-mb N` shares an
+/// N-MiB compressed-partition cache across the worker pool (0, the
+/// default, disables it); cache counters appear in the JSON metrics.
 fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     let mut dir: Option<String> = None;
     let mut workers = 2usize;
     let mut queue = 64usize;
     let mut requests = 32usize;
     let mut seed = 7u64;
+    let mut cache_mb = 0u64;
     let mut kill_shard: Option<usize> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -879,6 +882,7 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
             "--queue" => queue = num("--queue")?,
             "--requests" => requests = num("--requests")?,
             "--kill-shard" => kill_shard = Some(num("--kill-shard")?),
+            "--cache-mb" => cache_mb = num("--cache-mb")? as u64,
             "--seed" => {
                 seed = it
                     .next()
@@ -892,7 +896,7 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     }
     let dir = dir.ok_or(
         "usage: tlc serve <store-dir> [--workers N] [--queue N] [--requests N] \
-         [--seed S] [--kill-shard P]",
+         [--seed S] [--kill-shard P] [--cache-mb N]",
     )?;
 
     let (store, _recovery) = SsbStore::open_deep(Path::new(&dir)).map_err(store_err)?;
@@ -906,6 +910,7 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         ServeConfig {
             workers,
             queue_capacity: queue,
+            cache_budget_bytes: cache_mb << 20,
             ..ServeConfig::default()
         },
     );
@@ -975,10 +980,13 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
 }
 
 /// `tlc loadgen [--rows N] [--requests N] [--rate QPS] [--servers K]
-/// [--queue N] [--seed S]`: ingest a scratch store, drive the
-/// open-loop Poisson workload through the service, print the tail
-/// latency report and write the `tlc-serving/v1` bench artifact
-/// (`BENCH_serving.json`) to `TLC_BENCH_DIR`.
+/// [--queue N] [--seed S] [--cache-mb N]`: ingest a scratch store,
+/// drive the open-loop Poisson workload through the service, print the
+/// tail latency report and write the `tlc-serving/v1` bench artifact
+/// (`BENCH_serving.json`) to `TLC_BENCH_DIR`. `--cache-mb N` sizes
+/// the shared compressed-partition cache (default 64; 0 disables it
+/// and skips the cache-off control pass); the artifact then carries
+/// the cache counters and the cache-on vs cache-off p50 speedup.
 fn cmd_loadgen(args: &[String]) -> Result<(), CliError> {
     let mut rows = 120_000u64;
     let mut cfg = LoadgenConfig::default();
@@ -1009,6 +1017,11 @@ fn cmd_loadgen(args: &[String]) -> Result<(), CliError> {
                     .map_err(|e| format!("--queue: {e}"))?;
             }
             "--seed" => cfg.seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--cache-mb" => {
+                cfg.cache_mb = val("--cache-mb")?
+                    .parse()
+                    .map_err(|e| format!("--cache-mb: {e}"))?;
+            }
             other => return Err(format!("unexpected argument '{other}'").into()),
         }
     }
@@ -1040,6 +1053,38 @@ fn cmd_loadgen(args: &[String]) -> Result<(), CliError> {
     println!(
         "  service time only:          p50 {:.6}s  p90 {:.6}s  p99 {:.6}s  p999 {:.6}s",
         s.p50, s.p90, s.p99, s.p999,
+    );
+    if let Some(c) = &report.cache {
+        println!(
+            "  cache ({} MiB): {} hit(s) / {} miss(es), {} eviction(s), \
+             {} revalidation(s), {} coalesced, {} byte(s) resident",
+            cfg.cache_mb,
+            c.hits,
+            c.misses,
+            c.evictions,
+            c.revalidations,
+            c.coalesced,
+            c.bytes_resident,
+        );
+    }
+    if let (Some(nc), Some(speedup)) = (&report.service_nocache, report.p50_service_speedup) {
+        println!(
+            "  cache-off control: p50 {:.6}s — cache-on p50 speedup {speedup:.2}x",
+            nc.p50,
+        );
+    }
+    if !report.metrics.is_balanced() {
+        return Err(format!(
+            "terminal-state books do not balance under load: {} admitted, {} terminal",
+            report.metrics.admitted,
+            report.metrics.terminals(),
+        )
+        .into());
+    }
+    println!(
+        "loadgen: {} admitted, {} terminal — books balance",
+        report.metrics.admitted,
+        report.metrics.terminals(),
     );
     let path = write_bench_json("BENCH_serving.json", &report.to_json())
         .map_err(|e| format!("BENCH_serving.json: {e}"))?;
