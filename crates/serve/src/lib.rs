@@ -51,6 +51,7 @@ use std::collections::BTreeSet;
 use tlc_gpu_sim::FaultPlan;
 use tlc_ssb::{DeadlinePartial, LoColumn, QueryId, ResilienceReport};
 
+mod batch;
 pub mod breaker;
 pub mod exec;
 pub mod health;
@@ -158,7 +159,11 @@ impl std::fmt::Display for Rejected {
 impl std::error::Error for Rejected {}
 
 /// Exactly one of these terminates every admitted query.
-#[derive(Debug)]
+///
+/// `Clone` because shared-scan batching deduplicates identical
+/// requests: one execution's outcome fans out to every duplicate
+/// ticket in the wave.
+#[derive(Debug, Clone)]
 pub enum Outcome {
     /// Full result produced (possibly after retries, failovers, or on
     /// a degraded tier).

@@ -6,38 +6,61 @@
 //! closed-loop "wait for the answer, then ask again" driver whose
 //! offered load self-throttles to the service's capacity.
 //!
-//! Everything is measured in *simulated* time, in two phases:
+//! Everything is measured in *simulated* time, in three phases:
 //!
-//! 1. **Measure** — every generated request is executed through a real
-//!    [`Service`] (deterministic configuration: breakers and tiers
-//!    pinned) to obtain its service time `device_s + backoff_s` and
-//!    terminal outcome. Service times are a pure function of the
-//!    request and the store, so this phase is reproducible at any
-//!    `TLC_SIM_THREADS`.
-//! 2. **Queue model** — a deterministic FIFO simulation replays the
-//!    arrival sequence against [`LoadgenConfig::servers`] virtual
-//!    lanes and the service's admission bound
-//!    ([`LoadgenConfig::queue_capacity`]): a request that arrives with
-//!    the waiting line full is shed as `Rejected::Overloaded`, exactly
-//!    the live admission rule. Sojourn latency is queue wait plus
-//!    service time.
+//! 1. **Primitives** — the workload's cost basis is memoized per
+//!    *primitive*, not per request: each column the mix touches is
+//!    decoded once through a singleton wave
+//!    ([`tlc_ssb::run_wave_streamed`]) to price its device decode and
+//!    its cold/warm storage read (warm = through a
+//!    [`PartitionCache`] sized by [`LoadgenConfig::cache_mb`]), and
+//!    each flight query is run once to isolate its predicate/aggregate
+//!    evaluation time on top of its columns' decodes. A point filter
+//!    and a scan over the same column price identically (the scalar
+//!    fold is host-side), so a handful of singleton runs prices every
+//!    distinct request — which is what lets one run scale to millions
+//!    of requests without millions of executions.
+//! 2. **Wave queue model** — a deterministic virtual-time simulation
+//!    replays the arrival sequence against
+//!    [`LoadgenConfig::servers`] lanes with the live service's
+//!    admission bound and its shared-scan batching rule: when a lane
+//!    frees, it takes up to [`LoadgenConfig::batch_window`] waiting
+//!    jobs as one wave (arrivals at the dispatch instant join the
+//!    wave). A member's service time is its *attributed* wave cost —
+//!    each shared column's decode + read divided by its consumer
+//!    count, plus the member's own evaluation — exactly the
+//!    attribution rule of the real wave executor, while the lane
+//!    stays busy for the wave's union cost. A batching-off control
+//!    pass (window 1) over the same arrivals yields
+//!    [`LoadgenReport::p50_batch_speedup`]. Deadline-carrying
+//!    requests are conservatively priced solo (sharing would only
+//!    make them cheaper); their terminal kind comes from a memoized
+//!    singleton run with the same deadline.
+//! 3. **Real-service prefix** — the first requests (up to 96) also run
+//!    through a real [`Service`] in fixed-composition waves, so the
+//!    artifact carries *real* batching counters (`batched_queries`,
+//!    `shared_decodes`, `launches_saved`), real cache counters, and a
+//!    balanced set of books, all byte-reproducible.
 //!
 //! Splitting measurement from queueing keeps the reported
 //! p50/p99/p999 bit-identical across runs and host thread counts —
 //! real thread interleaving never leaks into the artifact — while
-//! still exercising the full service path (admission, retries,
-//! executors) for every request.
+//! still exercising the full service path for the prefix.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use tlc_profile::{Json, LatencyHistogram, LatencySummary};
 use tlc_rng::Rng;
-use tlc_ssb::{LoColumn, QueryId, SsbStore};
-use tlc_store::CacheStats;
+use tlc_ssb::{
+    run_wave_streamed, LoColumn, QueryId, SsbStore, StreamOptions, WaveQuery, WaveQueryRun,
+    WaveSpec,
+};
+use tlc_store::{CacheStats, PartitionCache};
 
 use crate::metrics::{cache_stats_json, MetricsSnapshot};
 use crate::service::{ServeConfig, Service};
-use crate::{Outcome, QuerySpec, Request};
+use crate::{QuerySpec, Request};
 
 /// Workload class weights (any non-negative integers; all zero falls
 /// back to scans only).
@@ -76,17 +99,21 @@ pub struct LoadgenConfig {
     /// Admission bound in the queue model (the live service's
     /// `queue_capacity`).
     pub queue_capacity: usize,
+    /// Shared-scan batch window in the queue model and the prefix
+    /// service ([`ServeConfig::batch_window`]). `0` or `1` disables
+    /// batching; `≥ 2` also runs the batching-off control pass, so the
+    /// artifact carries [`LoadgenReport::p50_batch_speedup`].
+    pub batch_window: usize,
     /// Device-time budget attached to every request (`None`: no
     /// deadlines in the workload).
     pub deadline_device_s: Option<f64>,
     /// Class weights.
     pub mix: Mix,
-    /// Shared partition-cache budget in MiB for the measured service
-    /// (`0`: caching off). When on, the run also measures a cache-off
-    /// control pass, so the artifact carries both the
-    /// `service_nocache` row and the `p50_service_speedup` ratio —
-    /// the repeated-query win of keeping compressed partitions
-    /// resident.
+    /// Shared partition-cache budget in MiB for warm storage pricing
+    /// and the prefix service (`0`: caching off). When on, the
+    /// artifact also carries the `service_nocache` row and the
+    /// `p50_service_speedup` ratio — the repeated-query win of
+    /// keeping compressed partitions resident.
     pub cache_mb: u64,
 }
 
@@ -98,6 +125,7 @@ impl Default for LoadgenConfig {
             arrival_rate_qps: 50.0,
             servers: 2,
             queue_capacity: 16,
+            batch_window: 4,
             deadline_device_s: None,
             mix: Mix::default(),
             cache_mb: 64,
@@ -121,6 +149,8 @@ pub struct LoadgenReport {
     pub requests: usize,
     /// Offered arrival rate (config echo).
     pub offered_qps: f64,
+    /// Shared-scan batch window (config echo).
+    pub batch_window: usize,
     /// Requests shed by the admission bound in the queue model.
     pub rejected_overloaded: usize,
     /// Admitted requests that completed.
@@ -132,24 +162,36 @@ pub struct LoadgenReport {
     /// Terminals per simulated second of makespan — the saturation
     /// throughput the service actually sustained.
     pub saturation_qps: f64,
-    /// Sojourn latency (queue wait + service) over admitted terminals.
+    /// Sojourn latency (queue wait + attributed service) over admitted
+    /// terminals of the batching-on model — the live configuration.
     pub latency: LatencySummary,
-    /// Service time only (no queue wait), same population.
+    /// Solo (unbatched, cache-warm) service time of every generated
+    /// request — the per-request cost basis batching starts from.
     pub service: LatencySummary,
-    /// Per-class sojourn latency.
+    /// Attributed service time of admitted requests under batching —
+    /// what each member actually paid after sharing decodes.
+    pub service_batched: LatencySummary,
+    /// Per-class sojourn latency (batching-on model).
     pub per_class: Vec<ClassReport>,
-    /// Service time of the cache-off control pass over every generated
-    /// request (`None` when `cache_mb` is 0 and there is nothing to
+    /// Sojourn latency of the batching-off control pass over the same
+    /// arrivals (`None` when `batch_window` ≤ 1 — there is nothing to
     /// compare against).
+    pub latency_nobatch: Option<LatencySummary>,
+    /// `latency_nobatch.p50 / latency.p50` — how much faster the
+    /// median request got because waves decode each partition once and
+    /// serve every pending query from it.
+    pub p50_batch_speedup: Option<f64>,
+    /// Solo service time priced against cold storage for every
+    /// generated request (`None` when `cache_mb` is 0 and there is
+    /// nothing to compare against).
     pub service_nocache: Option<LatencySummary>,
-    /// `service_nocache.p50 / cache-on service p50` over the same
-    /// population — how much faster the median query got because
-    /// compressed partitions stayed resident.
+    /// `service_nocache.p50 / service.p50` — how much faster the
+    /// median query got because compressed partitions stayed resident.
     pub p50_service_speedup: Option<f64>,
-    /// Shared-cache counters at the end of the cache-on measure pass.
+    /// Shared-cache counters at the end of the real-service prefix.
     pub cache: Option<CacheStats>,
-    /// Final service books of the cache-on measure pass (the
-    /// exactly-one-response invariant holds under caching too; `tlc
+    /// Final service books of the real-service prefix (the
+    /// exactly-one-response invariant holds under batching too; `tlc
     /// loadgen` refuses to write an artifact when this is unbalanced).
     pub metrics: MetricsSnapshot,
 }
@@ -170,9 +212,16 @@ impl LoadgenReport {
                 ("p999", Json::Num(s.p999)),
             ])
         };
-        let mut rows = vec![row("all", &self.latency), row("service", &self.service)];
+        let mut rows = vec![
+            row("all", &self.latency),
+            row("service", &self.service),
+            row("service_batched", &self.service_batched),
+        ];
         for c in &self.per_class {
             rows.push(row(&c.class, &c.latency));
+        }
+        if let Some(nb) = &self.latency_nobatch {
+            rows.push(row("all_nobatch", nb));
         }
         if let Some(nc) = &self.service_nocache {
             rows.push(row("service_nocache", nc));
@@ -181,6 +230,7 @@ impl LoadgenReport {
             ("schema", Json::Str("tlc-serving/v1".to_string())),
             ("requests", Json::Int(self.requests as u64)),
             ("offered_qps", Json::Num(self.offered_qps)),
+            ("batch_window", Json::Int(self.batch_window as u64)),
             (
                 "rejected_overloaded",
                 Json::Int(self.rejected_overloaded as u64),
@@ -192,9 +242,15 @@ impl LoadgenReport {
             ),
             ("failed", Json::Int(self.failed as u64)),
             ("saturation_qps", Json::Num(self.saturation_qps)),
+            ("batched_queries", Json::Int(self.metrics.batched_queries)),
+            ("shared_decodes", Json::Int(self.metrics.shared_decodes)),
+            ("launches_saved", Json::Int(self.metrics.launches_saved)),
         ];
         if let Some(c) = &self.cache {
             fields.push(("cache", cache_stats_json(c)));
+        }
+        if let Some(s) = self.p50_batch_speedup {
+            fields.push(("p50_batch_speedup", Json::Num(s)));
         }
         if let Some(s) = self.p50_service_speedup {
             fields.push(("p50_service_speedup", Json::Num(s)));
@@ -268,121 +324,542 @@ fn generate(cfg: &LoadgenConfig) -> Vec<GenRequest> {
         .collect()
 }
 
-/// Phase-1 measurement: every generated request through a real
-/// (deterministically configured) service, one at a time — so with a
-/// cache armed, the hit/miss sequence is a pure function of the
-/// request order, not of worker scheduling.
-fn measure_pass(
-    store: &Arc<SsbStore>,
-    gen: &[GenRequest],
-    cache_budget_bytes: u64,
-) -> (Vec<(f64, Outcome)>, MetricsSnapshot) {
-    let svc = Service::start(
-        Arc::clone(store),
-        ServeConfig {
-            queue_capacity: gen.len().max(1),
-            cache_budget_bytes,
-            ..ServeConfig::deterministic()
-        },
-    );
-    let mut measured = Vec::with_capacity(gen.len());
-    for g in gen {
-        let ticket = svc.submit(g.req.clone()).expect("measurement queue sized");
-        let resp = ticket.wait();
-        measured.push((resp.latency_s(), resp.outcome));
-    }
-    (measured, svc.shutdown())
+/// Memoized price of one column the workload touches.
+struct ColCost {
+    /// Simulated device seconds to decode the column across every
+    /// partition — identical whether the compressed bytes came from
+    /// disk or cache.
+    decode_s: f64,
+    /// Modelled storage-read seconds with the cache warm (equals
+    /// `io_cold_s` when caching is off).
+    io_warm_s: f64,
+    /// Modelled storage-read seconds against cold storage.
+    io_cold_s: f64,
 }
+
+/// Which memoized solo price a request resolves to: flights have their
+/// own evaluation kernels; every scalar over a column prices like a
+/// scan of it (the fold is host-side).
+#[derive(Clone, Copy, PartialEq)]
+enum SpecKey {
+    Flight(QueryId),
+    Col(LoColumn),
+}
+
+/// Terminal kind of a memoized solo run.
+#[derive(Clone, Copy, PartialEq)]
+enum Terminal {
+    Completed,
+    Deadline,
+}
+
+/// The workload's memoized cost basis.
+struct Primitives {
+    cols: Vec<(LoColumn, ColCost)>,
+    /// Flight predicate/aggregate evaluation seconds on top of its
+    /// columns' decodes.
+    flight_eval: Vec<(QueryId, f64)>,
+    /// Solo `(service_s, terminal)` per spec key under the workload's
+    /// deadline (empty when the workload carries none).
+    deadline: Vec<(SpecKey, (f64, Terminal))>,
+}
+
+fn spec_key(q: &QuerySpec) -> SpecKey {
+    match q {
+        QuerySpec::Flight(id) => SpecKey::Flight(*id),
+        QuerySpec::PointFilter { column, .. } | QuerySpec::Scan { column } => SpecKey::Col(*column),
+    }
+}
+
+fn spec_cols(q: &QuerySpec) -> &[LoColumn] {
+    match q {
+        QuerySpec::Flight(id) => id.columns(),
+        QuerySpec::PointFilter { column, .. } | QuerySpec::Scan { column } => {
+            std::slice::from_ref(column)
+        }
+    }
+}
+
+impl Primitives {
+    fn col(&self, c: LoColumn) -> &ColCost {
+        &self
+            .cols
+            .iter()
+            .find(|(cc, _)| *cc == c)
+            .expect("every workload column was measured")
+            .1
+    }
+
+    fn eval(&self, q: &QuerySpec) -> f64 {
+        match q {
+            QuerySpec::Flight(id) => {
+                self.flight_eval
+                    .iter()
+                    .find(|(f, _)| f == id)
+                    .expect("every workload flight was measured")
+                    .1
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Solo service time: every column decoded and read at full price,
+    /// plus the query's own evaluation.
+    fn solo_s(&self, q: &QuerySpec, warm: bool) -> f64 {
+        spec_cols(q)
+            .iter()
+            .map(|&c| {
+                let cc = self.col(c);
+                cc.decode_s + if warm { cc.io_warm_s } else { cc.io_cold_s }
+            })
+            .sum::<f64>()
+            + self.eval(q)
+    }
+
+    /// Solo price and terminal kind of one request (deadline-aware).
+    fn solo_price(&self, req: &Request, warm: bool) -> (f64, Terminal) {
+        if req.deadline_device_s.is_some() {
+            let key = spec_key(&req.query);
+            let (s, term) = self
+                .deadline
+                .iter()
+                .find(|(k, _)| *k == key)
+                .expect("every deadline spec was memoized")
+                .1;
+            return match term {
+                // A run that beat its deadline pays normal solo price
+                // (the memoized figure is the warm one).
+                Terminal::Completed if !warm => (self.solo_s(&req.query, false), term),
+                _ => (s, term),
+            };
+        }
+        (self.solo_s(&req.query, warm), Terminal::Completed)
+    }
+}
+
+/// Price the workload's primitives with singleton waves: one decode
+/// per column (cold, then warm through the cache), one run per flight
+/// to isolate its evaluation, one run per spec key under the
+/// workload's deadline.
+fn measure_primitives(store: &SsbStore, gen: &[GenRequest], cfg: &LoadgenConfig) -> Primitives {
+    let mut need_cols: Vec<LoColumn> = Vec::new();
+    let mut need_flights: Vec<QueryId> = Vec::new();
+    for g in gen {
+        if let QuerySpec::Flight(id) = &g.req.query {
+            if !need_flights.contains(id) {
+                need_flights.push(*id);
+            }
+        }
+        for &c in spec_cols(&g.req.query) {
+            if !need_cols.contains(&c) {
+                need_cols.push(c);
+            }
+        }
+    }
+    // Measure in LoColumn::ALL order so the cache warm-up sequence —
+    // and therefore every warm price — is independent of the mix.
+    let need_cols: Vec<LoColumn> = LoColumn::ALL
+        .iter()
+        .copied()
+        .filter(|c| need_cols.contains(c))
+        .collect();
+
+    let cache = (cfg.cache_mb > 0).then(|| Arc::new(PartitionCache::new(cfg.cache_mb << 20)));
+    let cold_opts = StreamOptions::default();
+    let warm_opts = StreamOptions {
+        cache: cache.clone(),
+        ..StreamOptions::default()
+    };
+    let singleton = |spec: WaveSpec, deadline: Option<f64>, opts: &StreamOptions| -> WaveQueryRun {
+        run_wave_streamed(
+            store,
+            &[WaveQuery {
+                spec,
+                deadline_device_s: deadline,
+            }],
+            opts,
+        )
+        .expect("clean store prices without storage errors")
+        .queries
+        .remove(0)
+    };
+
+    let mut cols: Vec<(LoColumn, ColCost)> = Vec::with_capacity(need_cols.len());
+    for &c in &need_cols {
+        let scan = WaveSpec::Scalar {
+            column: c,
+            filter: None,
+        };
+        let cold = singleton(scan.clone(), None, &cold_opts);
+        let io_warm_s = if cache.is_some() {
+            let _populate = singleton(scan.clone(), None, &warm_opts);
+            singleton(scan, None, &warm_opts).io_s
+        } else {
+            cold.io_s
+        };
+        cols.push((
+            c,
+            ColCost {
+                decode_s: cold.device_s,
+                io_warm_s,
+                io_cold_s: cold.io_s,
+            },
+        ));
+    }
+
+    let decode_sum = |q: QueryId, cols: &[(LoColumn, ColCost)]| -> f64 {
+        q.columns()
+            .iter()
+            .map(|c| {
+                cols.iter()
+                    .find(|(cc, _)| cc == c)
+                    .expect("flight columns measured")
+                    .1
+                    .decode_s
+            })
+            .sum()
+    };
+    let flight_eval = need_flights
+        .iter()
+        .map(|&q| {
+            let run = singleton(WaveSpec::Flight(q), None, &warm_opts);
+            (q, (run.device_s - decode_sum(q, &cols)).max(0.0))
+        })
+        .collect();
+
+    let mut deadline = Vec::new();
+    if let Some(d) = cfg.deadline_device_s {
+        let mut keys: Vec<SpecKey> = Vec::new();
+        for g in gen {
+            let key = spec_key(&g.req.query);
+            if !keys.contains(&key) {
+                keys.push(key);
+            }
+        }
+        for key in keys {
+            let spec = match key {
+                SpecKey::Flight(id) => WaveSpec::Flight(id),
+                SpecKey::Col(c) => WaveSpec::Scalar {
+                    column: c,
+                    filter: None,
+                },
+            };
+            let run = singleton(spec, Some(d), &warm_opts);
+            let priced = match &run.outcome {
+                Ok(_) => (run.device_s + run.io_s, Terminal::Completed),
+                // Mirrors `Response::latency_s`: a deadline cut spent
+                // its attributed device budget; storage reads of the
+                // unfinished tail are not billed.
+                Err(partial) => (partial.device_s, Terminal::Deadline),
+            };
+            deadline.push((key, priced));
+        }
+    }
+
+    Primitives {
+        cols,
+        flight_eval,
+        deadline,
+    }
+}
+
+/// Everything one queue-model pass tallies.
+struct ModelOut {
+    sojourn: LatencyHistogram,
+    service_attr: LatencyHistogram,
+    per_class: Vec<(&'static str, LatencyHistogram)>,
+    rejected_overloaded: usize,
+    completed: usize,
+    deadline_exceeded: usize,
+    last_finish: f64,
+}
+
+impl ModelOut {
+    fn new() -> ModelOut {
+        ModelOut {
+            sojourn: LatencyHistogram::new(),
+            service_attr: LatencyHistogram::new(),
+            per_class: vec![
+                ("flight", LatencyHistogram::new()),
+                ("point", LatencyHistogram::new()),
+                ("scan", LatencyHistogram::new()),
+            ],
+            rejected_overloaded: 0,
+            completed: 0,
+            deadline_exceeded: 0,
+            last_finish: 0.0,
+        }
+    }
+}
+
+/// Price one dispatched wave with the real executor's attribution rule
+/// and record each member's sojourn; returns the lane-occupancy span
+/// (the wave's union cost).
+fn price_wave(
+    gen: &[GenRequest],
+    prims: &Primitives,
+    wave: &[usize],
+    start: f64,
+    out: &mut ModelOut,
+) -> f64 {
+    let mut record = |j: usize, service_s: f64, term: Terminal| {
+        let sojourn = (start - gen[j].arrival_s) + service_s;
+        out.sojourn.record(sojourn);
+        out.service_attr.record(service_s);
+        if let Some((_, h)) = out.per_class.iter_mut().find(|(c, _)| *c == gen[j].class) {
+            h.record(sojourn);
+        }
+        match term {
+            Terminal::Completed => out.completed += 1,
+            Terminal::Deadline => out.deadline_exceeded += 1,
+        }
+    };
+
+    // Deadline-carrying members are priced solo (conservative: shares
+    // would only make them cheaper) and do not join the shared pass.
+    let (shared, solo): (Vec<usize>, Vec<usize>) = wave
+        .iter()
+        .copied()
+        .partition(|&j| gen[j].req.deadline_device_s.is_none());
+    let mut span = 0.0f64;
+    for j in solo {
+        let (s, term) = prims.solo_price(&gen[j].req, true);
+        span += s;
+        record(j, s, term);
+    }
+
+    // Dedup: one execution per distinct query, first-seen order — the
+    // live batcher's rule, so duplicates pay the distinct member's
+    // attributed price.
+    let mut distinct: Vec<&QuerySpec> = Vec::new();
+    for &j in &shared {
+        if !distinct.contains(&&gen[j].req.query) {
+            distinct.push(&gen[j].req.query);
+        }
+    }
+    // Consumers per column, over distinct members.
+    let consumers: Vec<(LoColumn, usize)> = LoColumn::ALL
+        .iter()
+        .filter_map(|&c| {
+            let k = distinct
+                .iter()
+                .filter(|q| spec_cols(q).contains(&c))
+                .count();
+            (k > 0).then_some((c, k))
+        })
+        .collect();
+    // Lane occupancy: the union decoded once plus every distinct
+    // member's own evaluation.
+    for &(c, _) in &consumers {
+        let cc = prims.col(c);
+        span += cc.decode_s + cc.io_warm_s;
+    }
+    for q in &distinct {
+        span += prims.eval(q);
+    }
+    // Attributed member price: each consumed column's cost divided by
+    // its consumer count, plus the member's evaluation.
+    let attributed: Vec<f64> = distinct
+        .iter()
+        .map(|q| {
+            spec_cols(q)
+                .iter()
+                .map(|&c| {
+                    let k = consumers
+                        .iter()
+                        .find(|(cc, _)| *cc == c)
+                        .expect("consumed column counted")
+                        .1;
+                    let cc = prims.col(c);
+                    (cc.decode_s + cc.io_warm_s) / k as f64
+                })
+                .sum::<f64>()
+                + prims.eval(q)
+        })
+        .collect();
+    for &j in &shared {
+        let idx = distinct
+            .iter()
+            .position(|q| *q == &gen[j].req.query)
+            .expect("member's query is in the distinct set");
+        record(j, attributed[idx], Terminal::Completed);
+    }
+    span
+}
+
+/// Dispatch every wave that would start at or before `now` (strictly
+/// before when `inclusive` is false — used so an arrival at exactly
+/// the dispatch instant joins the wave, the arrivals-first tie rule).
+#[allow(clippy::too_many_arguments)]
+fn dispatch_until(
+    now: f64,
+    inclusive: bool,
+    window: usize,
+    gen: &[GenRequest],
+    prims: &Primitives,
+    lanes: &mut [f64],
+    waiting: &mut VecDeque<usize>,
+    out: &mut ModelOut,
+) {
+    while let Some(&head) = waiting.front() {
+        let (lane, free) = lanes
+            .iter()
+            .copied()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("at least one lane");
+        let start = free.max(gen[head].arrival_s);
+        if start > now || (!inclusive && start >= now) {
+            break;
+        }
+        let mut wave: Vec<usize> = Vec::new();
+        while wave.len() < window {
+            match waiting.front() {
+                Some(&j) if gen[j].arrival_s <= start => {
+                    wave.push(j);
+                    waiting.pop_front();
+                }
+                _ => break,
+            }
+        }
+        let span = price_wave(gen, prims, &wave, start, out);
+        lanes[lane] = start + span;
+        out.last_finish = out.last_finish.max(start + span);
+    }
+}
+
+/// The deterministic virtual-time wave queue: `servers` lanes, FIFO
+/// waiting line with the live admission bound, a freed lane takes up
+/// to `window` waiting jobs as one wave. `window` 1 is exactly the
+/// unbatched k-server FIFO.
+fn simulate_waves(
+    gen: &[GenRequest],
+    prims: &Primitives,
+    servers: usize,
+    capacity: usize,
+    window: usize,
+) -> ModelOut {
+    let window = window.max(1);
+    let mut lanes = vec![0.0f64; servers.max(1)];
+    let mut waiting: VecDeque<usize> = VecDeque::new();
+    let mut out = ModelOut::new();
+    for (j, g) in gen.iter().enumerate() {
+        // Waves that departed before this arrival form without it…
+        dispatch_until(
+            g.arrival_s,
+            false,
+            window,
+            gen,
+            prims,
+            &mut lanes,
+            &mut waiting,
+            &mut out,
+        );
+        if waiting.len() >= capacity {
+            out.rejected_overloaded += 1;
+            continue;
+        }
+        waiting.push_back(j);
+        // …and a wave departing at this instant takes it along.
+        dispatch_until(
+            g.arrival_s,
+            true,
+            window,
+            gen,
+            prims,
+            &mut lanes,
+            &mut waiting,
+            &mut out,
+        );
+    }
+    dispatch_until(
+        f64::INFINITY,
+        true,
+        window,
+        gen,
+        prims,
+        &mut lanes,
+        &mut waiting,
+        &mut out,
+    );
+    out
+}
+
+/// How many leading requests also run through a real [`Service`] so
+/// the artifact carries real (and reproducible) batching counters.
+const PREFIX_REQUESTS: usize = 96;
 
 /// Run the generator against `store` and report tail latency.
 pub fn run_loadgen(store: &Arc<SsbStore>, cfg: &LoadgenConfig) -> LoadgenReport {
     let gen = generate(cfg);
+    let prims = measure_primitives(store, &gen, cfg);
 
-    // Phase 1: measure service time + outcome for every request, with
-    // the shared partition cache per `cfg.cache_mb`; when caching is
-    // on, a second cache-off control pass prices the same requests
-    // against cold storage so the artifact carries the comparison.
-    let (measured, metrics) = measure_pass(store, &gen, cfg.cache_mb << 20);
-    let service_nocache = (cfg.cache_mb > 0).then(|| {
-        let (control, _) = measure_pass(store, &gen, 0);
-        let mut h = LatencyHistogram::new();
-        for (s, _) in &control {
-            h.record(*s);
-        }
-        h.summary()
-    });
-    let p50_service_speedup = service_nocache.as_ref().map(|nc| {
-        let mut h = LatencyHistogram::new();
-        for (s, _) in &measured {
-            h.record(*s);
-        }
-        nc.p50 / h.summary().p50.max(f64::MIN_POSITIVE)
-    });
-
-    // Phase 2: deterministic k-server FIFO queue with the admission
-    // bound, over the virtual arrival clock.
-    let k = cfg.servers.max(1);
-    let mut server_free = vec![0.0f64; k];
-    let mut admitted_starts: Vec<f64> = Vec::new();
-    let mut rejected_overloaded = 0usize;
-    let (mut completed, mut deadline_exceeded, mut failed) = (0usize, 0usize, 0usize);
-    let mut latency = LatencyHistogram::new();
-    let mut service_only = LatencyHistogram::new();
-    let mut per_class: Vec<(&'static str, LatencyHistogram)> = vec![
-        ("flight", LatencyHistogram::new()),
-        ("point", LatencyHistogram::new()),
-        ("scan", LatencyHistogram::new()),
-    ];
-    let mut last_finish = 0.0f64;
-
-    for (g, (service_s, outcome)) in gen.iter().zip(&measured) {
-        // Waiting line at this arrival: admitted jobs that have not
-        // started yet. Shed when it is at capacity — the live
-        // service's admission rule.
-        let waiting = admitted_starts.iter().filter(|&&s| s > g.arrival_s).count();
-        if waiting >= cfg.queue_capacity {
-            rejected_overloaded += 1;
-            continue;
-        }
-        // Earliest-free lane; FIFO start.
-        let lane = server_free
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, _)| i)
-            .expect("k >= 1");
-        let start = server_free[lane].max(g.arrival_s);
-        let finish = start + service_s;
-        server_free[lane] = finish;
-        admitted_starts.push(start);
-        last_finish = last_finish.max(finish);
-
-        match outcome {
-            Outcome::Completed(_) => completed += 1,
-            Outcome::DeadlineExceeded(_) => deadline_exceeded += 1,
-            Outcome::Failed { .. } => failed += 1,
-        }
-        let sojourn = (start - g.arrival_s) + service_s;
-        latency.record(sojourn);
-        service_only.record(*service_s);
-        if let Some((_, h)) = per_class.iter_mut().find(|(c, _)| *c == g.class) {
-            h.record(sojourn);
-        }
+    // Solo cost basis over every generated request: warm ("service"
+    // row) and cold ("service_nocache" row).
+    let mut warm_all = LatencyHistogram::new();
+    let mut cold_all = LatencyHistogram::new();
+    for g in &gen {
+        warm_all.record(prims.solo_price(&g.req, true).0);
+        cold_all.record(prims.solo_price(&g.req, false).0);
     }
+    let service = warm_all.summary();
+    let service_nocache = (cfg.cache_mb > 0).then(|| cold_all.summary());
+    let p50_service_speedup = service_nocache
+        .as_ref()
+        .map(|nc| nc.p50 / service.p50.max(f64::MIN_POSITIVE));
 
-    let terminals = completed + deadline_exceeded + failed;
-    let makespan = last_finish.max(f64::EPSILON);
+    // The wave queue model, and its batching-off control when batching
+    // is on.
+    let on = simulate_waves(
+        &gen,
+        &prims,
+        cfg.servers,
+        cfg.queue_capacity,
+        cfg.batch_window,
+    );
+    let off = (cfg.batch_window > 1)
+        .then(|| simulate_waves(&gen, &prims, cfg.servers, cfg.queue_capacity, 1));
+    let latency = on.sojourn.summary();
+    let latency_nobatch = off.map(|o| o.sojourn.summary());
+    let p50_batch_speedup = latency_nobatch
+        .as_ref()
+        .map(|nb| nb.p50 / latency.p50.max(f64::MIN_POSITIVE));
+
+    // Real-service prefix in fixed-composition waves: real batching
+    // and cache counters, balanced books, byte-reproducible.
+    let prefix: Vec<Request> = gen
+        .iter()
+        .take(PREFIX_REQUESTS)
+        .map(|g| g.req.clone())
+        .collect();
+    let svc = Service::start(
+        Arc::clone(store),
+        ServeConfig {
+            queue_capacity: prefix.len().max(1),
+            cache_budget_bytes: cfg.cache_mb << 20,
+            batch_window: cfg.batch_window,
+            ..ServeConfig::deterministic()
+        },
+    );
+    let _responses = svc.execute_waves(prefix, cfg.batch_window);
+    let metrics = svc.shutdown();
+
+    let terminals = on.completed + on.deadline_exceeded;
+    let makespan = on.last_finish.max(f64::EPSILON);
     LoadgenReport {
         requests: cfg.requests,
         offered_qps: cfg.arrival_rate_qps,
-        rejected_overloaded,
-        completed,
-        deadline_exceeded,
-        failed,
+        batch_window: cfg.batch_window,
+        rejected_overloaded: on.rejected_overloaded,
+        completed: on.completed,
+        deadline_exceeded: on.deadline_exceeded,
+        failed: 0,
         saturation_qps: terminals as f64 / makespan,
-        latency: latency.summary(),
-        service: service_only.summary(),
-        per_class: per_class
+        latency,
+        service,
+        service_batched: on.service_attr.summary(),
+        per_class: on
+            .per_class
             .into_iter()
             .filter(|(_, h)| !h.is_empty())
             .map(|(c, h)| ClassReport {
@@ -390,6 +867,8 @@ pub fn run_loadgen(store: &Arc<SsbStore>, cfg: &LoadgenConfig) -> LoadgenReport 
                 latency: h.summary(),
             })
             .collect(),
+        latency_nobatch,
+        p50_batch_speedup,
         service_nocache,
         p50_service_speedup,
         cache: metrics.cache.clone(),
@@ -445,12 +924,15 @@ mod tests {
         assert_eq!(a.latency, b.latency);
         assert_eq!(a.rejected_overloaded, b.rejected_overloaded);
         assert_eq!(a.saturation_qps, b.saturation_qps);
+        assert_eq!(a.p50_batch_speedup, b.p50_batch_speedup);
+        assert_eq!(a.metrics, b.metrics);
         assert_eq!(
             a.completed + a.deadline_exceeded + a.failed + a.rejected_overloaded,
             cfg.requests
         );
         assert!(a.latency.p999 >= a.latency.p50);
         assert!(a.saturation_qps > 0.0);
+        assert!(a.metrics.is_balanced(), "{:?}", a.metrics);
     }
 
     #[test]
@@ -480,6 +962,55 @@ mod tests {
     }
 
     #[test]
+    fn batching_beats_the_unbatched_control_under_load() {
+        let store = small_store("speedup");
+        let r = run_loadgen(
+            &store,
+            &LoadgenConfig {
+                requests: 160,
+                arrival_rate_qps: 1e5, // saturating: waves fill the window
+                ..LoadgenConfig::default()
+            },
+        );
+        let nb = r.latency_nobatch.as_ref().expect("control pass ran");
+        let speedup = r.p50_batch_speedup.expect("speedup reported");
+        assert!(
+            speedup > 1.0,
+            "batched p50 {} must beat unbatched p50 {}",
+            r.latency.p50,
+            nb.p50
+        );
+        // Attributed service time is strictly below the solo basis at
+        // the median: sharing made the median member cheaper.
+        assert!(r.service_batched.p50 < r.service.p50);
+        // The real-service prefix exercised actual waves.
+        assert!(r.metrics.batched_queries > 0, "{:?}", r.metrics);
+        assert!(r.metrics.shared_decodes > 0, "{:?}", r.metrics);
+        assert!(r.metrics.launches_saved > 0, "{:?}", r.metrics);
+        assert!(r.metrics.is_balanced(), "{:?}", r.metrics);
+    }
+
+    #[test]
+    fn window_one_disables_batching_everywhere() {
+        let store = small_store("nobatch");
+        let r = run_loadgen(
+            &store,
+            &LoadgenConfig {
+                requests: 40,
+                arrival_rate_qps: 1e5,
+                batch_window: 1,
+                ..LoadgenConfig::default()
+            },
+        );
+        assert!(r.latency_nobatch.is_none());
+        assert!(r.p50_batch_speedup.is_none());
+        assert_eq!(r.metrics.batched_queries, 0);
+        assert_eq!(r.metrics.shared_decodes, 0);
+        assert_eq!(r.metrics.launches_saved, 0);
+        assert!(r.metrics.is_balanced(), "{:?}", r.metrics);
+    }
+
+    #[test]
     fn json_artifact_has_percentile_rows() {
         let store = small_store("json");
         let r = run_loadgen(
@@ -494,8 +1025,15 @@ mod tests {
             "tlc-serving/v1",
             "\"workload\": \"all\"",
             "\"workload\": \"service\"",
+            "\"workload\": \"service_batched\"",
+            "\"workload\": \"all_nobatch\"",
             "\"p999\"",
             "\"saturation_qps\"",
+            "\"batch_window\"",
+            "\"batched_queries\"",
+            "\"shared_decodes\"",
+            "\"launches_saved\"",
+            "\"p50_batch_speedup\"",
         ] {
             assert!(rendered.contains(key), "missing {key} in:\n{rendered}");
         }

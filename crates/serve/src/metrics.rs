@@ -40,6 +40,16 @@ pub struct Metrics {
     pub breaker_closes: AtomicU64,
     /// Degradation-tier transitions (either direction).
     pub tier_transitions: AtomicU64,
+    /// Tickets answered by a shared-scan execution: members of a wave
+    /// with ≥ 2 distinct queries, plus every duplicate ticket answered
+    /// by one deduplicated execution.
+    pub batched_queries: AtomicU64,
+    /// `(partition, column)` decodes consumed by ≥ 2 wave members —
+    /// decodes that unbatched execution would have repeated.
+    pub shared_decodes: AtomicU64,
+    /// Decode-kernel launches avoided by sharing: Σ (consumers − 1)
+    /// over every wave decode.
+    pub launches_saved: AtomicU64,
     /// Latency population of terminal queries (simulated seconds).
     pub latency: Mutex<LatencyHistogram>,
 }
@@ -65,6 +75,9 @@ impl Metrics {
             breaker_trips: load(&self.breaker_trips),
             breaker_closes: load(&self.breaker_closes),
             tier_transitions: load(&self.tier_transitions),
+            batched_queries: load(&self.batched_queries),
+            shared_decodes: load(&self.shared_decodes),
+            launches_saved: load(&self.launches_saved),
             latency: self.latency.lock().expect("metrics lock").summary(),
             cache: None,
         }
@@ -96,6 +109,13 @@ pub struct MetricsSnapshot {
     pub breaker_closes: u64,
     /// Tier transitions.
     pub tier_transitions: u64,
+    /// Tickets answered by a shared-scan execution (wave of ≥ 2
+    /// distinct queries, or a deduplicated fan-out group of ≥ 2).
+    pub batched_queries: u64,
+    /// Decodes consumed by ≥ 2 wave members.
+    pub shared_decodes: u64,
+    /// Decode-kernel launches avoided by sharing.
+    pub launches_saved: u64,
     /// Latency percentiles over terminal queries.
     pub latency: LatencySummary,
     /// Shared partition-cache counters, when the service runs with a
@@ -133,6 +153,9 @@ impl MetricsSnapshot {
             ("breaker_trips", Json::Int(self.breaker_trips)),
             ("breaker_closes", Json::Int(self.breaker_closes)),
             ("tier_transitions", Json::Int(self.tier_transitions)),
+            ("batched_queries", Json::Int(self.batched_queries)),
+            ("shared_decodes", Json::Int(self.shared_decodes)),
+            ("launches_saved", Json::Int(self.launches_saved)),
             ("latency", self.latency.to_json()),
         ];
         if let Some(cache) = &self.cache {
@@ -151,6 +174,7 @@ pub fn cache_stats_json(c: &CacheStats) -> Json {
         ("evictions", Json::Int(c.evictions)),
         ("revalidations", Json::Int(c.revalidations)),
         ("coalesced", Json::Int(c.coalesced)),
+        ("shared_readers", Json::Int(c.shared_readers)),
         ("bytes_resident", Json::Int(c.bytes_resident)),
         ("budget_bytes", Json::Int(c.budget_bytes)),
     ])

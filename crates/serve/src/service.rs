@@ -48,6 +48,16 @@ pub struct ServeConfig {
     /// Bounded admission queue: requests arriving with this many jobs
     /// already waiting are shed with [`Rejected::Overloaded`].
     pub queue_capacity: usize,
+    /// Shared-scan batch window: a worker pops up to this many waiting
+    /// jobs at once and executes them as one **wave** — every
+    /// `(partition, column)` the wave needs is decoded once and every
+    /// member's predicate/aggregate evaluates against the decoded
+    /// tile, with identical requests deduplicated (one execution fans
+    /// out to all duplicate tickets). `0` or `1` disables batching
+    /// (every job runs solo, exactly the pre-batching service).
+    /// Answers are bit-identical either way; only attributed cost —
+    /// and therefore latency — changes.
+    pub batch_window: usize,
     /// Re-executions allowed after a storage error (0: fail fast).
     pub max_retries: usize,
     /// First backoff step in simulated seconds; step `k` waits
@@ -79,6 +89,7 @@ impl Default for ServeConfig {
         ServeConfig {
             workers: 2,
             queue_capacity: 64,
+            batch_window: 4,
             max_retries: 2,
             backoff_base_s: 0.010,
             backoff_jitter: 0.5,
@@ -104,9 +115,9 @@ impl ServeConfig {
 }
 
 /// One admitted job: the request plus its response channel.
-struct Job {
-    req: Request,
-    tx: mpsc::Sender<Response>,
+pub(crate) struct Job {
+    pub(crate) req: Request,
+    pub(crate) tx: mpsc::Sender<Response>,
 }
 
 /// Queue state guarded by the mutex half of the condvar pair.
@@ -116,17 +127,17 @@ struct QueueState {
 }
 
 /// Everything shared between the handle and the workers.
-struct Shared {
-    store: Arc<SsbStore>,
-    cfg: ServeConfig,
+pub(crate) struct Shared {
+    pub(crate) store: Arc<SsbStore>,
+    pub(crate) cfg: ServeConfig,
     queue: Mutex<QueueState>,
     cv: Condvar,
-    breakers: Mutex<BreakerBank>,
-    health: Mutex<HealthMachine>,
-    metrics: Metrics,
+    pub(crate) breakers: Mutex<BreakerBank>,
+    pub(crate) health: Mutex<HealthMachine>,
+    pub(crate) metrics: Metrics,
     /// One compressed-partition cache for the whole pool (None when
     /// `cache_budget_bytes` is 0).
-    cache: Option<Arc<PartitionCache>>,
+    pub(crate) cache: Option<Arc<PartitionCache>>,
 }
 
 /// Receipt for one admitted request; redeem with [`Ticket::wait`].
@@ -200,6 +211,76 @@ impl Service {
         Ok(Ticket { rx })
     }
 
+    /// Offer a batch of requests under **one** queue lock, so they
+    /// land as consecutive queue entries and a worker's next wave can
+    /// cover them together — the deterministic way to build a wave of
+    /// known composition (tests) or to amortize admission overhead
+    /// (load generators). Each request still passes the admission gate
+    /// individually: the returned vector has one entry per input, in
+    /// order, and capacity overflow sheds the tail with typed
+    /// rejections rather than failing the whole batch.
+    pub fn submit_many(&self, reqs: Vec<Request>) -> Vec<Result<Ticket, Rejected>> {
+        let m = &self.shared.metrics;
+        let mut out = Vec::with_capacity(reqs.len());
+        let mut q = self.shared.queue.lock().expect("queue lock");
+        for req in reqs {
+            m.submitted.fetch_add(1, Ordering::Relaxed);
+            if q.shutting_down {
+                m.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+                out.push(Err(Rejected::ShuttingDown));
+                continue;
+            }
+            if q.jobs.len() >= self.shared.cfg.queue_capacity {
+                m.rejected_overloaded.fetch_add(1, Ordering::Relaxed);
+                out.push(Err(Rejected::Overloaded {
+                    queue_depth: q.jobs.len(),
+                    capacity: self.shared.cfg.queue_capacity,
+                }));
+                continue;
+            }
+            m.admitted.fetch_add(1, Ordering::Relaxed);
+            let (tx, rx) = mpsc::channel();
+            q.jobs.push_back(Job { req, tx });
+            out.push(Ok(Ticket { rx }));
+        }
+        drop(q);
+        self.shared.cv.notify_all();
+        out
+    }
+
+    /// Execute `reqs` as fixed-composition waves of `window` jobs on
+    /// the caller's thread, bypassing the queue. The wave composition
+    /// a live queue produces depends on OS scheduling; bench artifacts
+    /// need the batching counters to be byte-reproducible, so the load
+    /// generator builds each wave explicitly. Admission and terminal
+    /// accounting are identical to the queued path, keeping the books
+    /// balanced.
+    pub(crate) fn execute_waves(&self, reqs: Vec<Request>, window: usize) -> Vec<Response> {
+        let m = &self.shared.metrics;
+        let mut out = Vec::with_capacity(reqs.len());
+        let mut reqs = reqs.into_iter().peekable();
+        while reqs.peek().is_some() {
+            let chunk: Vec<Request> = reqs.by_ref().take(window.max(1)).collect();
+            let mut rxs = Vec::with_capacity(chunk.len());
+            let jobs: Vec<Job> = chunk
+                .into_iter()
+                .map(|req| {
+                    m.submitted.fetch_add(1, Ordering::Relaxed);
+                    m.admitted.fetch_add(1, Ordering::Relaxed);
+                    let (tx, rx) = mpsc::channel();
+                    rxs.push(rx);
+                    Job { req, tx }
+                })
+                .collect();
+            crate::batch::run_wave_batch(&self.shared, jobs);
+            out.extend(
+                rxs.into_iter()
+                    .map(|rx| rx.recv().expect("wave sends one response per job")),
+            );
+        }
+        out
+    }
+
     /// Jobs currently waiting (diagnostics; racy by nature).
     pub fn queue_depth(&self) -> usize {
         self.shared.queue.lock().expect("queue lock").jobs.len()
@@ -269,15 +350,19 @@ fn backoff_s(cfg: &ServeConfig, req_id: u64, attempt: usize) -> f64 {
     exp * (1.0 + cfg.backoff_jitter.clamp(0.0, 1.0) * rng.gen_f64())
 }
 
-/// Worker: pop → execute with retries → send the one response. Exits
-/// when shutdown is flagged and the queue is drained.
+/// Worker: pop a wave of up to `batch_window` waiting jobs → execute
+/// them as one shared-scan wave (or solo when the window is ≤ 1 or
+/// only one job waits) → send exactly one response per job. Exits when
+/// shutdown is flagged and the queue is drained.
 fn worker_loop(shared: &Shared) {
+    let window = shared.cfg.batch_window.max(1);
     loop {
-        let job = {
+        let jobs: Vec<Job> = {
             let mut q = shared.queue.lock().expect("queue lock");
             loop {
-                if let Some(job) = q.jobs.pop_front() {
-                    break job;
+                if !q.jobs.is_empty() {
+                    let take = window.min(q.jobs.len());
+                    break q.jobs.drain(..take).collect();
                 }
                 if q.shutting_down {
                     return;
@@ -285,16 +370,22 @@ fn worker_loop(shared: &Shared) {
                 q = shared.cv.wait(q).expect("queue lock");
             }
         };
-        let response = run_job(shared, job.req);
-        record_terminal(shared, &response);
-        // A caller that dropped its ticket just doesn't read the
-        // response; the terminal state is still counted above.
-        let _ = job.tx.send(response);
+        crate::batch::run_wave_batch(shared, jobs);
     }
 }
 
+/// Execute one job solo and deliver its response (the non-batched
+/// path; also the batcher's fallback).
+pub(crate) fn run_solo(shared: &Shared, job: Job) {
+    let response = run_job(shared, job.req);
+    record_terminal(shared, &response);
+    // A caller that dropped its ticket just doesn't read the
+    // response; the terminal state is still counted above.
+    let _ = job.tx.send(response);
+}
+
 /// Count the terminal outcome and its latency.
-fn record_terminal(shared: &Shared, r: &Response) {
+pub(crate) fn record_terminal(shared: &Shared, r: &Response) {
     let m = &shared.metrics;
     match &r.outcome {
         Outcome::Completed(_) => m.completed.fetch_add(1, Ordering::Relaxed),
@@ -304,8 +395,64 @@ fn record_terminal(shared: &Shared, r: &Response) {
     m.record_latency(r.latency_s());
 }
 
+/// One routing-and-degradation snapshot: which shards the breaker
+/// bank routes around, which tier the health machine is on, and the
+/// [`StreamOptions`] those imply. Solo attempts take one per attempt;
+/// a wave takes one for the whole wave.
+pub(crate) struct Routing {
+    pub(crate) routed: BTreeSet<usize>,
+    pub(crate) tier: Tier,
+    pub(crate) opts: StreamOptions,
+}
+
+/// Snapshot the current routing state and derive the stream options
+/// (budget by tier, forced-CPU set from open breakers, shared cache
+/// re-bounded per tier).
+pub(crate) fn routing_snapshot(shared: &Shared) -> Routing {
+    let cfg = &shared.cfg;
+    let routed = shared
+        .breakers
+        .lock()
+        .expect("breaker lock")
+        .open_partitions();
+    let (tier, budget) = {
+        let h = shared.health.lock().expect("health lock");
+        (h.tier(), h.effective_budget(cfg.stream.budget_bytes))
+    };
+    let mut force_cpu = cfg.stream.force_cpu_partitions.clone();
+    force_cpu.extend(routed.iter().copied());
+    if tier == Tier::CpuOnly {
+        force_cpu.extend(0..shared.store.store().partition_count());
+    }
+    // Degradation shrinks the cache before the service abandons
+    // devices: ReducedBudget keeps a smaller working set resident,
+    // CpuOnly releases it entirely (forced-CPU answers read no
+    // partition files).
+    if let Some(cache) = &shared.cache {
+        cache.set_budget(match tier {
+            Tier::Full => cfg.cache_budget_bytes,
+            Tier::ReducedBudget => {
+                cfg.cache_budget_bytes / cfg.health.reduced_budget_divisor.max(1)
+            }
+            Tier::CpuOnly => 0,
+        });
+    }
+    Routing {
+        routed,
+        tier,
+        opts: StreamOptions {
+            budget_bytes: budget,
+            scale: cfg.stream.scale,
+            plan: None,
+            deadline_device_s: None,
+            force_cpu_partitions: force_cpu,
+            cache: shared.cache.clone(),
+        },
+    }
+}
+
 /// Execute one request to its single terminal state.
-fn run_job(shared: &Shared, req: Request) -> Response {
+pub(crate) fn run_job(shared: &Shared, req: Request) -> Response {
     let cfg = &shared.cfg;
     let mut attempts = 0usize;
     let mut backoff_total = 0.0f64;
@@ -314,40 +461,12 @@ fn run_job(shared: &Shared, req: Request) -> Response {
         attempts += 1;
 
         // Route and degrade per current feedback state.
-        let routed = shared
-            .breakers
-            .lock()
-            .expect("breaker lock")
-            .open_partitions();
-        let (tier, budget) = {
-            let h = shared.health.lock().expect("health lock");
-            (h.tier(), h.effective_budget(cfg.stream.budget_bytes))
-        };
-        let mut force_cpu = cfg.stream.force_cpu_partitions.clone();
-        force_cpu.extend(routed.iter().copied());
-        if tier == Tier::CpuOnly {
-            force_cpu.extend(0..shared.store.store().partition_count());
-        }
-        // Degradation shrinks the cache before the service abandons
-        // devices: ReducedBudget keeps a smaller working set resident,
-        // CpuOnly releases it entirely (forced-CPU answers read no
-        // partition files).
-        if let Some(cache) = &shared.cache {
-            cache.set_budget(match tier {
-                Tier::Full => cfg.cache_budget_bytes,
-                Tier::ReducedBudget => {
-                    cfg.cache_budget_bytes / cfg.health.reduced_budget_divisor.max(1)
-                }
-                Tier::CpuOnly => 0,
-            });
-        }
+        let routing = routing_snapshot(shared);
+        let (routed, tier) = (routing.routed, routing.tier);
         let opts = StreamOptions {
-            budget_bytes: budget,
-            scale: cfg.stream.scale,
             plan: req.plan.clone(),
             deadline_device_s: req.deadline_device_s,
-            force_cpu_partitions: force_cpu,
-            cache: shared.cache.clone(),
+            ..routing.opts
         };
 
         match execute(&shared.store, &req.query, &opts) {
@@ -409,7 +528,12 @@ fn run_job(shared: &Shared, req: Request) -> Response {
 
 /// Fold executor feedback into the breaker bank and health machine,
 /// keeping the trip/transition counters in the metrics current.
-fn feed_back(shared: &Shared, partitions: usize, recovered: &[usize], routed: &BTreeSet<usize>) {
+pub(crate) fn feed_back(
+    shared: &Shared,
+    partitions: usize,
+    recovered: &[usize],
+    routed: &BTreeSet<usize>,
+) {
     {
         let mut bank = shared.breakers.lock().expect("breaker lock");
         let (trips0, closes0) = (bank.trips(), bank.closes());

@@ -160,6 +160,36 @@ impl LoColumns {
         }
     }
 
+    /// Wrap already-decoded device buffers as plain columns. The
+    /// cross-query wave executor uses this: a partition's columns are
+    /// decompressed exactly once into `GlobalBuffer`s, then every
+    /// pending query in the wave evaluates against those buffers —
+    /// `prepare` for plain columns launches zero kernels, so no query
+    /// after the first pays a decode.
+    pub fn from_plain(
+        dev: &Device,
+        cols: impl IntoIterator<Item = (LoColumn, tlc_gpu_sim::GlobalBuffer<i32>)>,
+    ) -> Self {
+        let _ = dev;
+        let cols = cols
+            .into_iter()
+            .map(|(c, b)| (c, StoredColumn::Plain(QueryColumn::Plain(b))))
+            .collect();
+        LoColumns {
+            system: System::None,
+            cols,
+        }
+    }
+
+    /// Borrow a plain column's decoded values, if `c` is stored plain
+    /// (as every column of a [`LoColumns::from_plain`] wave set is).
+    pub fn plain_slice(&self, c: LoColumn) -> Option<&[i32]> {
+        match self.cols.get(&c) {
+            Some(StoredColumn::Plain(QueryColumn::Plain(b))) => Some(b.as_slice_unaccounted()),
+            _ => None,
+        }
+    }
+
     /// Total device footprint of the stored columns.
     pub fn size_bytes(&self) -> u64 {
         self.cols.values().map(StoredColumn::size_bytes).sum()

@@ -603,6 +603,559 @@ pub fn run_query_streamed_bounded(
     })
 }
 
+/// What one query in a shared-scan wave asks for.
+///
+/// The serving layer's [`QuerySpec`](../../tlc_serve) maps onto this
+/// 1:1: flights keep their [`QueryId`], point filters and scans both
+/// become [`WaveSpec::Scalar`] (a point filter is a scan with a
+/// `filter`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WaveSpec {
+    /// An SSB flight query (grouped aggregate).
+    Flight(QueryId),
+    /// Count + wrapping sum over one column, keeping only values equal
+    /// to `filter` when set.
+    Scalar {
+        /// The scanned column.
+        column: LoColumn,
+        /// Equality predicate, `None` for a full scan.
+        filter: Option<i32>,
+    },
+}
+
+impl WaveSpec {
+    /// Columns this query consumes, in `LoColumn::ALL` order.
+    fn columns(&self) -> Vec<LoColumn> {
+        match self {
+            WaveSpec::Flight(q) => q.columns().to_vec(),
+            WaveSpec::Scalar { column, .. } => vec![*column],
+        }
+    }
+}
+
+/// One member of a shared-scan wave: what to run and the member's own
+/// device-time budget (checked between partitions, exactly like the
+/// solo paths — a wave never shares a deadline).
+#[derive(Debug, Clone)]
+pub struct WaveQuery {
+    /// The query.
+    pub spec: WaveSpec,
+    /// Per-member deadline in simulated device seconds, or `None`.
+    pub deadline_device_s: Option<f64>,
+}
+
+/// A wave member's answer payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WaveAnswer {
+    /// Grouped aggregate rows from a flight query (merged in partition
+    /// order, zero-sum groups dropped — bit-identical to the solo
+    /// streamed run).
+    Groups(Vec<(u64, u64)>),
+    /// Count and wrapping sum from a scalar member.
+    Scalar {
+        /// Values matched.
+        count: u64,
+        /// Wrapping sum of the matched values.
+        sum: i64,
+    },
+}
+
+/// What one wave member got: its answer (or a deadline cut with
+/// partial progress) plus its *attributed* share of the wave's cost.
+#[derive(Debug, Clone)]
+pub struct WaveQueryRun {
+    /// The answer, or the member's deadline partial.
+    pub outcome: Result<WaveAnswer, Box<DeadlinePartial>>,
+    /// Fact rows covered by this member's completed partitions.
+    pub rows: u64,
+    /// Partitions the full query covers.
+    pub partitions: usize,
+    /// Attributed simulated device seconds: this member's share of
+    /// every decode it consumed (decode cost / consumer count) plus
+    /// its own predicate/aggregate evaluation time.
+    pub device_s: f64,
+    /// Attributed modelled storage-read seconds (same share rule).
+    pub io_s: f64,
+    /// Faults observed and recovery actions taken on the partitions
+    /// this member completed.
+    pub report: ResilienceReport,
+    /// Partitions that needed a recovery action, in partition order.
+    pub recovered_partitions: Vec<usize>,
+}
+
+/// Result of a shared-scan wave: one entry per input query, plus the
+/// wave-level sharing tallies.
+#[derive(Debug)]
+pub struct WaveRun {
+    /// Per-member outcomes, in input order.
+    pub queries: Vec<WaveQueryRun>,
+    /// `(partition, column)` decodes consumed by ≥ 2 live members —
+    /// decodes that solo execution would have repeated.
+    pub shared_decodes: u64,
+    /// Σ (consumers − 1) over every decode: the number of
+    /// decode-kernel launches the wave avoided versus solo execution.
+    pub launches_saved: u64,
+    /// Host workers used for the raw partition pass.
+    pub workers: usize,
+}
+
+/// Raw, liveness-independent record of one partition's work: what it
+/// cost to decode each union column once, and what every member's
+/// predicate/aggregate produced against the decoded tile. Computed in
+/// parallel ([`map_partitions`]); the serial fold applies deadline
+/// cuts and cost attribution in partition order, so the whole wave is
+/// bit-identical at any `TLC_SIM_THREADS`.
+struct WavePartRaw {
+    /// Per union column (same order as the union vec):
+    /// `(decode_s, io_s)`.
+    col_costs: Vec<(f64, f64)>,
+    /// Per member (input order): the raw per-partition result.
+    members: Vec<WaveMemberRaw>,
+    /// Storage-ladder and shared-decode events (quarantine,
+    /// regeneration, decode failover) — absorbed into every member
+    /// live at this partition.
+    report: ResilienceReport,
+    /// Whether the storage or decode ladder had to recover.
+    recovered: bool,
+    /// Whether this partition was answered on the forced-CPU route.
+    forced_cpu: bool,
+    /// Whether the union columns came through the shared cache.
+    from_cache: bool,
+    rows: u64,
+}
+
+/// One member's raw per-partition result.
+enum WaveMemberRaw {
+    /// `(groups, eval_s, eval_report, eval_recovered)` — evaluation
+    /// time excludes the shared decode, which is attributed separately.
+    Flight(Vec<(u64, u64)>, f64, ResilienceReport, bool),
+    /// `(count, wrapping sum)` — folded host-side, no device time
+    /// beyond the shared decode (same rule as the solo scalar path).
+    Scalar(u64, i64),
+}
+
+/// Per-member fold state for the serial attribution pass.
+struct WaveMemberState {
+    alive: bool,
+    partial: Option<Box<DeadlinePartial>>,
+    groups: BTreeMap<u64, u64>,
+    count: u64,
+    sum: i64,
+    rows: u64,
+    device_s: f64,
+    io_s: f64,
+    report: ResilienceReport,
+    recovered_partitions: Vec<usize>,
+}
+
+/// Run every query in `queries` over every partition of `store` as one
+/// **shared-scan wave**: each `(partition, column)` any member needs is
+/// loaded (through the shared cache when armed) and decoded **once**,
+/// and every member's predicate/aggregate evaluates against the
+/// decoded tile before the wave moves on — one fused
+/// decode→multi-predicate pass instead of per-query passes.
+///
+/// Cost attribution: at each partition, a decode's cost (and its
+/// modelled read time) is split evenly across the members **live at
+/// partition entry** that consume the column; flights additionally pay
+/// their own evaluation time, measured against the already-decoded
+/// plain tile. A member's deadline is checked between partitions, in
+/// partition order, against its cumulative *attributed* device time —
+/// so cuts are a pure function of the wave composition and the data,
+/// bit-identical at any `TLC_SIM_THREADS`. (A member cut at a
+/// partition still counted as a consumer there: shares never reprice
+/// retroactively.) Once a member is dead its columns stop counting
+/// toward later partitions' unions.
+///
+/// Fault plans are not supported on the wave path — the serving layer
+/// runs plan-carrying requests solo — but the full storage ladder is:
+/// a damaged union column quarantines and regenerates the partition,
+/// heals the store in place, and is invisible in every member's
+/// answer.
+pub fn run_wave_streamed(
+    store: &SsbStore,
+    queries: &[WaveQuery],
+    opts: &StreamOptions,
+) -> Result<WaveRun, StoreError> {
+    debug_assert!(
+        opts.plan.is_none(),
+        "fault plans run solo, not on the wave path"
+    );
+    let n = store.store().partition_count();
+    let dims = store.spec().dims();
+    let member_cols: Vec<Vec<LoColumn>> = queries.iter().map(|q| q.spec.columns()).collect();
+    // Union of every member's columns, in LoColumn::ALL order (stable
+    // regardless of wave composition order).
+    let union_cols: Vec<LoColumn> = LoColumn::ALL
+        .iter()
+        .copied()
+        .filter(|c| member_cols.iter().any(|cols| cols.contains(c)))
+        .collect();
+
+    // Budget cap over the union working set — same cache-aware rule as
+    // the solo streamed path.
+    let col_idx: Vec<usize> = union_cols
+        .iter()
+        .map(|c| {
+            store
+                .store()
+                .manifest()
+                .column_index(c.name())
+                .expect("ALL columns are in the layout")
+        })
+        .collect();
+    let budget_working_set = (0..n)
+        .map(|p| {
+            let files = &store.store().manifest().partitions[p].files;
+            union_cols
+                .iter()
+                .zip(col_idx.iter())
+                .filter(|(c, _)| match &opts.cache {
+                    Some(cache) => !cache.contains_fresh(store.store(), p, c.name()),
+                    None => true,
+                })
+                .map(|(_, &ci)| files[ci].bytes as u64)
+                .sum::<u64>()
+        })
+        .max()
+        .unwrap_or(0);
+    let budget_cap = opts
+        .budget_bytes
+        .checked_div(budget_working_set)
+        .map_or(usize::MAX, |cap| cap.max(1) as usize);
+    let workers = tlc_gpu_sim::sim_threads().min(budget_cap).min(n.max(1));
+
+    // Raw parallel pass: per-partition costs and per-member results,
+    // independent of which members are still live.
+    let raws = map_partitions(0, n, workers, |p| {
+        wave_partition(store, &dims, p, queries, &union_cols, opts)
+    });
+
+    // Serial attribution fold, in partition order.
+    let mut states: Vec<WaveMemberState> = queries
+        .iter()
+        .map(|_| WaveMemberState {
+            alive: true,
+            partial: None,
+            groups: BTreeMap::new(),
+            count: 0,
+            sum: 0,
+            rows: 0,
+            device_s: 0.0,
+            io_s: 0.0,
+            report: ResilienceReport::default(),
+            recovered_partitions: Vec::new(),
+        })
+        .collect();
+    let mut shared_decodes = 0u64;
+    let mut launches_saved = 0u64;
+    for (p, raw) in raws.into_iter().enumerate() {
+        let raw = raw?;
+        // Consumers per union column among members live at entry.
+        let consumers: Vec<u64> = union_cols
+            .iter()
+            .map(|c| {
+                states
+                    .iter()
+                    .zip(member_cols.iter())
+                    .filter(|(s, cols)| s.alive && cols.contains(c))
+                    .count() as u64
+            })
+            .collect();
+        if consumers.iter().all(|&k| k == 0) {
+            continue; // every member is dead
+        }
+        if !raw.forced_cpu {
+            for &k in &consumers {
+                if k >= 2 {
+                    shared_decodes += 1;
+                    launches_saved += k - 1;
+                    if raw.from_cache {
+                        if let Some(cache) = &opts.cache {
+                            cache.note_shared_readers(k - 1);
+                        }
+                    }
+                }
+            }
+        }
+        for (qi, state) in states.iter_mut().enumerate() {
+            if !state.alive {
+                continue;
+            }
+            let mut attributed_dev = 0.0f64;
+            let mut attributed_io = 0.0f64;
+            for (ci, c) in union_cols.iter().enumerate() {
+                if member_cols[qi].contains(c) {
+                    let k = consumers[ci].max(1) as f64;
+                    attributed_dev += raw.col_costs[ci].0 / k;
+                    attributed_io += raw.col_costs[ci].1 / k;
+                }
+            }
+            let (eval_s, eval_report, eval_recovered) = match &raw.members[qi] {
+                WaveMemberRaw::Flight(_, e, rep, rec) => (*e, Some(rep), *rec),
+                WaveMemberRaw::Scalar(..) => (0.0, None, false),
+            };
+            attributed_dev += eval_s;
+            if let Some(deadline) = queries[qi].deadline_device_s {
+                if state.device_s + attributed_dev > deadline {
+                    state.alive = false;
+                    state.partial = Some(Box::new(DeadlinePartial {
+                        partitions_completed: p,
+                        partitions: n,
+                        rows_scanned: state.rows,
+                        device_s: state.device_s,
+                        deadline_device_s: deadline,
+                        report: state.report.clone(),
+                    }));
+                    continue;
+                }
+            }
+            state.device_s += attributed_dev;
+            state.io_s += attributed_io;
+            state.rows += raw.rows;
+            state.report.absorb(&raw.report);
+            if let Some(rep) = eval_report {
+                state.report.absorb(rep);
+            }
+            if raw.recovered || eval_recovered {
+                state.recovered_partitions.push(p);
+            }
+            match &raw.members[qi] {
+                WaveMemberRaw::Flight(groups, ..) => {
+                    for &(g, v) in groups {
+                        let e = state.groups.entry(g).or_insert(0);
+                        *e = e.wrapping_add(v);
+                    }
+                }
+                WaveMemberRaw::Scalar(c, s) => {
+                    state.count += c;
+                    state.sum = state.sum.wrapping_add(*s);
+                }
+            }
+        }
+    }
+
+    let runs = states
+        .into_iter()
+        .zip(queries.iter())
+        .map(|(state, q)| {
+            let outcome = match state.partial {
+                Some(partial) => Err(partial),
+                None => Ok(match &q.spec {
+                    WaveSpec::Flight(_) => WaveAnswer::Groups(
+                        state.groups.into_iter().filter(|&(_, v)| v != 0).collect(),
+                    ),
+                    WaveSpec::Scalar { .. } => WaveAnswer::Scalar {
+                        count: state.count,
+                        sum: state.sum,
+                    },
+                }),
+            };
+            WaveQueryRun {
+                outcome,
+                rows: state.rows,
+                partitions: n,
+                device_s: state.device_s,
+                io_s: state.io_s,
+                report: state.report,
+                recovered_partitions: state.recovered_partitions,
+            }
+        })
+        .collect();
+    Ok(WaveRun {
+        queries: runs,
+        shared_decodes,
+        launches_saved,
+        workers,
+    })
+}
+
+/// One partition of a shared-scan wave: storage ladder over the union
+/// columns, one decode per column on a shared partition-private
+/// device, then every member's predicate/aggregate against the decoded
+/// tiles.
+fn wave_partition(
+    store: &SsbStore,
+    dims: &SsbData,
+    p: usize,
+    queries: &[WaveQuery],
+    union_cols: &[LoColumn],
+    opts: &StreamOptions,
+) -> Result<WavePartRaw, StoreError> {
+    let rows = store.store().rows(p);
+    let mut report = ResilienceReport::default();
+
+    // Forced-CPU route: regenerate the rows once and answer every
+    // member from them — zero device time, one regeneration shared by
+    // the whole wave (solo execution regenerates once per query).
+    if opts.force_cpu_partitions.contains(&p) {
+        report.cpu_fallbacks += 1;
+        let mut part_data = dims.clone();
+        part_data.lineorder = store.regenerate_partition(p);
+        let members = queries
+            .iter()
+            .map(|q| match &q.spec {
+                WaveSpec::Flight(id) => WaveMemberRaw::Flight(
+                    run_reference(&part_data, *id),
+                    0.0,
+                    ResilienceReport::default(),
+                    false,
+                ),
+                WaveSpec::Scalar { column, filter } => {
+                    let (c, s) = fold_scalar(part_data.lineorder.column(*column), *filter);
+                    WaveMemberRaw::Scalar(c, s)
+                }
+            })
+            .collect();
+        return Ok(WavePartRaw {
+            col_costs: vec![(0.0, 0.0); union_cols.len()],
+            members,
+            report,
+            recovered: false,
+            forced_cpu: true,
+            from_cache: false,
+            rows,
+        });
+    }
+
+    // Storage ladder over the union: any damaged column quarantines
+    // and regenerates the whole partition (same policy as the solo
+    // paths), healed in place; regenerated columns charge no read
+    // time and skip the cache.
+    let mut cols: Vec<(LoColumn, Arc<EncodedColumn>, f64)> = Vec::with_capacity(union_cols.len());
+    let mut damaged = false;
+    for &c in union_cols {
+        match load_queried_column(store, opts, p, c.name()) {
+            Ok((col, read_s)) => cols.push((c, col, read_s)),
+            Err(e) if matches!(e, StoreError::Io { .. } | StoreError::UnknownColumn { .. }) => {
+                return Err(e);
+            }
+            Err(_) => {
+                damaged = true;
+                break;
+            }
+        }
+    }
+    if damaged {
+        report.partitions_quarantined += 1;
+        let lo = store.regenerate_partition(p);
+        cols = store
+            .encode_partition(&lo, union_cols)
+            .into_iter()
+            .map(|(c, e)| (c, Arc::new(e), 0.0))
+            .collect();
+        for (c, col, _) in &cols {
+            if store.store().damage(p, c.name()).is_some() {
+                store.store().heal_column(p, c.name(), col)?;
+            }
+        }
+        report.partitions_regenerated += 1;
+    }
+
+    // Shared decode: each union column decompresses exactly once on
+    // one partition-private device; per-column device time comes from
+    // timeline deltas. A failed decompress (unreachable on clean,
+    // digest-verified bytes, but the ladder stays) fails over to a
+    // fresh device, then to the CPU decoder.
+    let dev = Device::v100();
+    let mut recovered = damaged;
+    let mut col_costs = Vec::with_capacity(union_cols.len());
+    let mut buffers = Vec::with_capacity(union_cols.len());
+    for (c, enc, io_s) in &cols {
+        let dc = enc.to_device(&dev);
+        dev.reset_timeline();
+        let (buf, decode_s) = match dc.decompress(&dev) {
+            Ok(buf) => (buf, dev.elapsed_seconds_scaled(opts.scale)),
+            Err(_) => {
+                let mut decode_s = dev.elapsed_seconds_scaled(opts.scale);
+                report.shards_failed_over += 1;
+                recovered = true;
+                let fresh = Device::v100();
+                let dc = enc.to_device(&fresh);
+                fresh.reset_timeline();
+                let buf = match dc.decompress(&fresh) {
+                    Ok(b) => {
+                        decode_s = decode_s.max(fresh.elapsed_seconds_scaled(opts.scale));
+                        dev.alloc_from_slice(b.as_slice_unaccounted())
+                    }
+                    Err(_) => {
+                        report.cpu_fallbacks += 1;
+                        dev.alloc_from_slice(&enc.decode_cpu())
+                    }
+                };
+                (buf, decode_s)
+            }
+        };
+        col_costs.push((decode_s, *io_s));
+        buffers.push((*c, buf));
+    }
+    let lo_cols = LoColumns::from_plain(&dev, buffers);
+
+    // Every member evaluates against the decoded tiles. Flights run
+    // the fused query kernels over the plain columns (prepare launches
+    // zero decode kernels for plain storage), timed per member;
+    // scalars fold host-side, exactly like the solo scalar path.
+    let members = queries
+        .iter()
+        .map(|q| match &q.spec {
+            WaveSpec::Flight(id) => {
+                let mut eval_report = ResilienceReport::default();
+                dev.reset_timeline();
+                match run_query_checked(&dev, dims, &lo_cols, *id, &mut eval_report) {
+                    Ok(groups) => {
+                        let eval_s = dev.elapsed_seconds_scaled(opts.scale);
+                        WaveMemberRaw::Flight(groups, eval_s, eval_report, false)
+                    }
+                    Err(_) => {
+                        // Last resort, mirroring the solo ladder:
+                        // regenerate and answer on the CPU.
+                        let eval_s = dev.elapsed_seconds_scaled(opts.scale);
+                        eval_report.cpu_fallbacks += 1;
+                        let mut part_data = dims.clone();
+                        part_data.lineorder = store.regenerate_partition(p);
+                        WaveMemberRaw::Flight(
+                            run_reference(&part_data, *id),
+                            eval_s,
+                            eval_report,
+                            true,
+                        )
+                    }
+                }
+            }
+            WaveSpec::Scalar { column, filter } => {
+                let values = lo_cols
+                    .plain_slice(*column)
+                    .expect("wave columns are stored plain");
+                let (c, s) = fold_scalar(values, *filter);
+                WaveMemberRaw::Scalar(c, s)
+            }
+        })
+        .collect();
+    Ok(WavePartRaw {
+        col_costs,
+        members,
+        report,
+        recovered,
+        forced_cpu: false,
+        from_cache: opts.cache.is_some() && !damaged,
+        rows,
+    })
+}
+
+/// Count + wrapping sum, keeping only values equal to `filter` when
+/// set.
+fn fold_scalar(values: &[i32], filter: Option<i32>) -> (u64, i64) {
+    let mut count = 0u64;
+    let mut sum = 0i64;
+    for &v in values {
+        if filter.is_none_or(|want| v == want) {
+            count += 1;
+            sum = sum.wrapping_add(v as i64);
+        }
+    }
+    (count, sum)
+}
+
 /// Damage partition `p`'s first queried column on disk per the armed
 /// [`StorageFaults`]. Positions are drawn from a PRNG seeded by the
 /// plan seed and the partition index, so a campaign is byte-exact
@@ -964,6 +1517,175 @@ mod tests {
         let run = run_query_streamed(&store, QueryId::Q13, &opts).expect("stream");
         assert_eq!(run.workers, 1);
         assert_eq!(run.result, run_reference(&spec.materialize(), QueryId::Q13));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn scalar_reference(store: &SsbStore, column: LoColumn, filter: Option<i32>) -> (u64, i64) {
+        let mut count = 0u64;
+        let mut sum = 0i64;
+        for p in 0..store.store().partition_count() {
+            let (c, s) = super::fold_scalar(store.regenerate_partition(p).column(column), filter);
+            count += c;
+            sum = sum.wrapping_add(s);
+        }
+        (count, sum)
+    }
+
+    fn mixed_wave() -> Vec<WaveQuery> {
+        [
+            WaveSpec::Flight(QueryId::Q11),
+            WaveSpec::Flight(QueryId::Q12),
+            WaveSpec::Scalar {
+                column: LoColumn::Quantity,
+                filter: None,
+            },
+            WaveSpec::Scalar {
+                column: LoColumn::Discount,
+                filter: Some(4),
+            },
+        ]
+        .into_iter()
+        .map(|spec| WaveQuery {
+            spec,
+            deadline_device_s: None,
+        })
+        .collect()
+    }
+
+    #[test]
+    fn wave_answers_match_solo_execution() {
+        let dir = tmp_dir("wave");
+        let spec = small_spec();
+        let store = SsbStore::ingest(&dir, &spec).expect("ingest");
+        let opts = StreamOptions::default();
+        let wave = run_wave_streamed(&store, &mixed_wave(), &opts).expect("wave");
+        let data = spec.materialize();
+        assert_eq!(
+            wave.queries[0].outcome.as_ref().unwrap(),
+            &WaveAnswer::Groups(run_reference(&data, QueryId::Q11))
+        );
+        assert_eq!(
+            wave.queries[1].outcome.as_ref().unwrap(),
+            &WaveAnswer::Groups(run_reference(&data, QueryId::Q12))
+        );
+        let (count, sum) = scalar_reference(&store, LoColumn::Quantity, None);
+        assert_eq!(
+            wave.queries[2].outcome.as_ref().unwrap(),
+            &WaveAnswer::Scalar { count, sum }
+        );
+        let (count, sum) = scalar_reference(&store, LoColumn::Discount, Some(4));
+        assert_eq!(
+            wave.queries[3].outcome.as_ref().unwrap(),
+            &WaveAnswer::Scalar { count, sum }
+        );
+        // Q11 and Q12 share all four flight-1 columns and the scan
+        // shares Quantity with them: every partition has shared
+        // decodes, and each saves at least one launch.
+        assert!(wave.shared_decodes >= spec.chunks as u64);
+        assert!(wave.launches_saved > wave.shared_decodes);
+        // Every member pays less device time than a singleton wave of
+        // just itself (sharing strictly reduces attributed decode
+        // cost for shared columns).
+        for (i, q) in mixed_wave().into_iter().enumerate() {
+            let solo = run_wave_streamed(&store, &[q], &opts).expect("solo wave");
+            assert_eq!(
+                solo.queries[0].outcome.as_ref().unwrap(),
+                wave.queries[i].outcome.as_ref().unwrap(),
+                "singleton wave answer must match member {i}"
+            );
+            assert_eq!(solo.shared_decodes, 0);
+            assert!(
+                wave.queries[i].device_s < solo.queries[0].device_s,
+                "member {i} must be cheaper batched: {} vs {}",
+                wave.queries[i].device_s,
+                solo.queries[0].device_s
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wave_deadline_cuts_one_member_without_repricing_the_rest() {
+        let dir = tmp_dir("wave_deadline");
+        let spec = small_spec();
+        let store = SsbStore::ingest(&dir, &spec).expect("ingest");
+        let opts = StreamOptions::default();
+        let full = run_wave_streamed(&store, &mixed_wave(), &opts).expect("full");
+        // Arm one member with a deadline its first partition overruns.
+        let mut queries = mixed_wave();
+        queries[2].deadline_device_s = Some(1e-12);
+        let cut = run_wave_streamed(&store, &queries, &opts).expect("cut");
+        match &cut.queries[2].outcome {
+            Err(p) => {
+                assert_eq!(p.partitions_completed, 0);
+                assert_eq!(p.partitions, spec.chunks);
+                assert_eq!(p.rows_scanned, 0);
+            }
+            other => panic!("expected deadline cut, got {other:?}"),
+        }
+        // Survivors' answers are unchanged; partition 0's shares were
+        // computed from the live-at-entry set, so the cut member still
+        // counted as a consumer there — later partitions drop it.
+        for i in [0usize, 1, 3] {
+            assert_eq!(
+                cut.queries[i].outcome.as_ref().unwrap(),
+                full.queries[i].outcome.as_ref().unwrap()
+            );
+        }
+        // Deterministic: re-running reproduces every attributed cost.
+        let again = run_wave_streamed(&store, &queries, &opts).expect("again");
+        for (a, b) in cut.queries.iter().zip(again.queries.iter()) {
+            assert_eq!(a.device_s, b.device_s);
+            assert_eq!(a.io_s, b.io_s);
+        }
+        assert_eq!(cut.shared_decodes, again.shared_decodes);
+        assert_eq!(cut.launches_saved, again.launches_saved);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wave_forced_cpu_routes_share_one_regeneration() {
+        let dir = tmp_dir("wave_cpu");
+        let spec = small_spec();
+        let store = SsbStore::ingest(&dir, &spec).expect("ingest");
+        let all: BTreeSet<usize> = (0..store.store().partition_count()).collect();
+        let opts = StreamOptions {
+            force_cpu_partitions: all.clone(),
+            ..StreamOptions::default()
+        };
+        let wave = run_wave_streamed(&store, &mixed_wave(), &opts).expect("wave");
+        let clean = run_wave_streamed(&store, &mixed_wave(), &StreamOptions::default()).unwrap();
+        for (routed, normal) in wave.queries.iter().zip(clean.queries.iter()) {
+            assert_eq!(
+                routed.outcome.as_ref().unwrap(),
+                normal.outcome.as_ref().unwrap()
+            );
+            assert_eq!(routed.device_s, 0.0);
+            assert_eq!(routed.io_s, 0.0);
+            assert_eq!(routed.report.cpu_fallbacks, all.len());
+        }
+        assert_eq!(wave.shared_decodes, 0, "no decodes on the CPU route");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wave_heals_storage_damage_for_every_member() {
+        let dir = tmp_dir("wave_rot");
+        let spec = small_spec();
+        let store = SsbStore::ingest(&dir, &spec).expect("ingest");
+        let clean = run_wave_streamed(&store, &mixed_wave(), &StreamOptions::default()).unwrap();
+        let path = store.store().path_of(1, "quantity");
+        drop(store);
+        damage::flip_bit(&path, 137).expect("rot");
+        let (store, recovery) = SsbStore::open_deep(&dir).expect("reopen");
+        assert_eq!(recovery.quarantined.len(), 1);
+        let healed = run_wave_streamed(&store, &mixed_wave(), &StreamOptions::default()).unwrap();
+        for (h, c) in healed.queries.iter().zip(clean.queries.iter()) {
+            assert_eq!(h.outcome.as_ref().unwrap(), c.outcome.as_ref().unwrap());
+            assert_eq!(h.report.partitions_regenerated, 1);
+            assert!(h.recovered_partitions.contains(&1));
+        }
+        store.store().verify().expect("healed in place");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

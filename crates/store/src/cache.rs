@@ -137,6 +137,11 @@ pub struct CacheStats {
     pub revalidations: u64,
     /// Loads that waited on another request's single-flight read.
     pub coalesced: u64,
+    /// Extra consumers served by one shared cached load: the wave
+    /// executor's shared-scan batching reports `consumers − 1` here
+    /// for every cached column decoded once and read by several
+    /// queries in the same wave.
+    pub shared_readers: u64,
     /// Compressed bytes currently resident.
     pub bytes_resident: u64,
     /// Current byte budget.
@@ -153,6 +158,7 @@ pub struct PartitionCache {
     evictions: AtomicU64,
     revalidations: AtomicU64,
     coalesced: AtomicU64,
+    shared_readers: AtomicU64,
 }
 
 impl std::fmt::Debug for PartitionCache {
@@ -186,6 +192,7 @@ impl PartitionCache {
             evictions: AtomicU64::new(0),
             revalidations: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            shared_readers: AtomicU64::new(0),
         }
     }
 
@@ -248,9 +255,18 @@ impl PartitionCache {
             evictions: self.evictions.load(Ordering::Relaxed),
             revalidations: self.revalidations.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
+            shared_readers: self.shared_readers.load(Ordering::Relaxed),
             bytes_resident: inner.resident,
             budget_bytes: inner.budget,
         }
+    }
+
+    /// Record `extra` additional consumers served by one shared cached
+    /// load — shared-scan admission accounting: when a wave decodes a
+    /// cached column once for `k` queries, the cache served `k − 1`
+    /// readers it would otherwise have been asked for separately.
+    pub fn note_shared_readers(&self, extra: u64) {
+        self.shared_readers.fetch_add(extra, Ordering::Relaxed);
     }
 
     /// Load one partition column through the cache: a fresh resident
@@ -522,6 +538,25 @@ mod tests {
         let s = cache.stats();
         assert_eq!(s.misses, 1, "one disk read for the whole burst: {s:?}");
         assert_eq!(s.hits, 7);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shared_readers_accumulate_without_touching_load_counters() {
+        let dir = tmp_dir("shared");
+        let store = build(&dir, 1, 500);
+        let cache = PartitionCache::new(64 << 20);
+        assert_eq!(cache.stats().shared_readers, 0);
+        cache.load(&store, 0, "alpha").expect("load");
+        // A wave decoded this cached column once for 4 queries → 3
+        // extra readers; a later wave adds 2 more. Pure bookkeeping:
+        // hit/miss counters must not move.
+        cache.note_shared_readers(3);
+        cache.note_shared_readers(2);
+        cache.note_shared_readers(0);
+        let s = cache.stats();
+        assert_eq!(s.shared_readers, 5);
+        assert_eq!((s.hits, s.misses), (0, 1));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

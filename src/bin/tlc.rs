@@ -17,8 +17,8 @@
 //! tlc faultsim   [--seed N]
 //! tlc fuzz       [--seed N | --seed A..B] [--iters M]
 //! tlc profile    (<input.tlc> | --query <q>) [--sf N] [--system S] [--json PATH]
-//! tlc serve      <store-dir> [--workers N] [--queue N] [--requests N] [--seed S] [--kill-shard P] [--cache-mb N]
-//! tlc loadgen    [--rows N] [--requests N] [--rate QPS] [--servers K] [--queue N] [--seed S] [--cache-mb N]
+//! tlc serve      <store-dir> [--workers N] [--queue N] [--requests N] [--seed S] [--kill-shard P] [--cache-mb N] [--batch-window W]
+//! tlc loadgen    [--rows N] [--requests N] [--rate QPS] [--servers K] [--queue N] [--seed S] [--cache-mb N] [--batch-window W]
 //! ```
 //!
 //! `verify` checks a serialized column end to end (stream digest,
@@ -852,15 +852,18 @@ fn cmd_profile(args: &[String]) -> Result<(), CliError> {
 }
 
 /// `tlc serve <store-dir> [--workers N] [--queue N] [--requests N]
-/// [--seed S] [--kill-shard P] [--cache-mb N]`: offer a deterministic
-/// mixed batch (flight 1, point filters, scans) to the concurrent
-/// query service and print the terminal counters and latency
-/// percentiles as JSON. `--kill-shard P` arms a kill-shard fault at
-/// partition P on every flight query, exercising the failover path
-/// under live traffic; the command still requires every admitted query
-/// to reach exactly one terminal state. `--cache-mb N` shares an
+/// [--seed S] [--kill-shard P] [--cache-mb N] [--batch-window N]`:
+/// offer a deterministic mixed batch (flight 1, point filters, scans)
+/// to the concurrent query service and print the terminal counters and
+/// latency percentiles as JSON. `--kill-shard P` arms a kill-shard
+/// fault at partition P on every flight query, exercising the failover
+/// path under live traffic; the command still requires every admitted
+/// query to reach exactly one terminal state. `--cache-mb N` shares an
 /// N-MiB compressed-partition cache across the worker pool (0, the
 /// default, disables it); cache counters appear in the JSON metrics.
+/// `--batch-window N` sets the shared-scan wave size (default 4; 0 or
+/// 1 disables batching) — the batching counters (`batched_queries`,
+/// `shared_decodes`, `launches_saved`) appear in the JSON metrics.
 fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     let mut dir: Option<String> = None;
     let mut workers = 2usize;
@@ -868,6 +871,7 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     let mut requests = 32usize;
     let mut seed = 7u64;
     let mut cache_mb = 0u64;
+    let mut batch_window = ServeConfig::default().batch_window;
     let mut kill_shard: Option<usize> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -883,6 +887,7 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
             "--requests" => requests = num("--requests")?,
             "--kill-shard" => kill_shard = Some(num("--kill-shard")?),
             "--cache-mb" => cache_mb = num("--cache-mb")? as u64,
+            "--batch-window" => batch_window = num("--batch-window")?,
             "--seed" => {
                 seed = it
                     .next()
@@ -896,7 +901,7 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     }
     let dir = dir.ok_or(
         "usage: tlc serve <store-dir> [--workers N] [--queue N] [--requests N] \
-         [--seed S] [--kill-shard P] [--cache-mb N]",
+         [--seed S] [--kill-shard P] [--cache-mb N] [--batch-window N]",
     )?;
 
     let (store, _recovery) = SsbStore::open_deep(Path::new(&dir)).map_err(store_err)?;
@@ -911,6 +916,7 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
             workers,
             queue_capacity: queue,
             cache_budget_bytes: cache_mb << 20,
+            batch_window,
             ..ServeConfig::default()
         },
     );
@@ -980,13 +986,18 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
 }
 
 /// `tlc loadgen [--rows N] [--requests N] [--rate QPS] [--servers K]
-/// [--queue N] [--seed S] [--cache-mb N]`: ingest a scratch store,
-/// drive the open-loop Poisson workload through the service, print the
-/// tail latency report and write the `tlc-serving/v1` bench artifact
-/// (`BENCH_serving.json`) to `TLC_BENCH_DIR`. `--cache-mb N` sizes
-/// the shared compressed-partition cache (default 64; 0 disables it
-/// and skips the cache-off control pass); the artifact then carries
-/// the cache counters and the cache-on vs cache-off p50 speedup.
+/// [--queue N] [--seed S] [--cache-mb N] [--batch-window N]`: ingest a
+/// scratch store, drive the open-loop Poisson workload through the
+/// service, print the tail latency report and write the
+/// `tlc-serving/v1` bench artifact (`BENCH_serving.json`) to
+/// `TLC_BENCH_DIR`. `--cache-mb N` sizes the shared
+/// compressed-partition cache (default 64; 0 disables it and skips the
+/// cache-off control pass); the artifact then carries the cache
+/// counters and the cache-on vs cache-off p50 speedup.
+/// `--batch-window N` sets the shared-scan wave size (default 4; 0 or
+/// 1 disables batching); at ≥ 2 the run adds a batching-off control
+/// pass over the same arrivals, so the artifact carries
+/// `p50_batch_speedup` and the batching counters.
 fn cmd_loadgen(args: &[String]) -> Result<(), CliError> {
     let mut rows = 120_000u64;
     let mut cfg = LoadgenConfig::default();
@@ -1021,6 +1032,11 @@ fn cmd_loadgen(args: &[String]) -> Result<(), CliError> {
                 cfg.cache_mb = val("--cache-mb")?
                     .parse()
                     .map_err(|e| format!("--cache-mb: {e}"))?;
+            }
+            "--batch-window" => {
+                cfg.batch_window = val("--batch-window")?
+                    .parse()
+                    .map_err(|e| format!("--batch-window: {e}"))?;
             }
             other => return Err(format!("unexpected argument '{other}'").into()),
         }
@@ -1071,6 +1087,20 @@ fn cmd_loadgen(args: &[String]) -> Result<(), CliError> {
         println!(
             "  cache-off control: p50 {:.6}s — cache-on p50 speedup {speedup:.2}x",
             nc.p50,
+        );
+    }
+    if let (Some(nb), Some(speedup)) = (&report.latency_nobatch, report.p50_batch_speedup) {
+        println!(
+            "  batching (window {}): {} batched quer(ies), {} shared decode(s), \
+             {} launch(es) saved",
+            report.batch_window,
+            report.metrics.batched_queries,
+            report.metrics.shared_decodes,
+            report.metrics.launches_saved,
+        );
+        println!(
+            "  batching-off control: p50 {:.6}s — batching-on p50 speedup {speedup:.2}x",
+            nb.p50,
         );
     }
     if !report.metrics.is_balanced() {

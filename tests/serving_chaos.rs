@@ -143,6 +143,69 @@ fn run_wave(tag: &str, chaos: bool) -> Vec<(u64, String)> {
     digests
 }
 
+/// One deduplicated wave execution answers many tickets — and the
+/// books still balance: every duplicate ticket is a separate admitted
+/// query and must reach its own terminal state, even though only one
+/// execution ran.
+#[test]
+fn deduplicated_wave_answers_every_ticket_with_balanced_books() {
+    let (store, dir) = fresh_store("dedup");
+    let svc = Service::start(
+        Arc::clone(&store),
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 16,
+            batch_window: 6,
+            ..ServeConfig::deterministic()
+        },
+    );
+    // Six jobs land as consecutive queue entries under one lock, so
+    // the single worker's next wave covers all of them: three
+    // identical flights (one execution, three tickets), a duplicated
+    // scan, and a point filter sharing the scanned column.
+    let queries = [
+        QuerySpec::Flight(QueryId::Q11),
+        QuerySpec::Flight(QueryId::Q11),
+        QuerySpec::Scan {
+            column: LoColumn::Quantity,
+        },
+        QuerySpec::Scan {
+            column: LoColumn::Quantity,
+        },
+        QuerySpec::Flight(QueryId::Q11),
+        QuerySpec::PointFilter {
+            column: LoColumn::Discount,
+            value: 4,
+        },
+    ];
+    let reqs: Vec<Request> = queries
+        .iter()
+        .enumerate()
+        .map(|(id, q)| Request::new(id as u64, q.clone()))
+        .collect();
+    let digests: Vec<String> = svc
+        .submit_many(reqs)
+        .into_iter()
+        .map(|r| digest(&r.expect("queue sized for the wave").wait().outcome))
+        .collect();
+    // Duplicates get the fanned-out outcome of their one execution.
+    assert_eq!(digests[0], digests[1]);
+    assert_eq!(digests[0], digests[4]);
+    assert_eq!(digests[2], digests[3]);
+    let m = svc.shutdown();
+    assert!(m.is_balanced(), "books under dedup fan-out: {m:?}");
+    assert_eq!(m.admitted, queries.len() as u64);
+    assert_eq!(m.completed, queries.len() as u64);
+    assert_eq!(m.latency.count, queries.len());
+    // Every ticket rode a shared wave (3 distinct queries), and the
+    // wave shared at least one decode (Q11 and the scans both consume
+    // `quantity`; Q11 and the point filter share `discount`).
+    assert_eq!(m.batched_queries, queries.len() as u64);
+    assert!(m.shared_decodes > 0, "{m:?}");
+    assert!(m.launches_saved > 0, "{m:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn chaos_under_load_is_invisible_in_answers_and_accounting() {
     let _guard = THREADS_LOCK.lock().unwrap();
